@@ -1,0 +1,57 @@
+//! Microbenchmarks: the LZSS archival codec (compress/decompress
+//! throughput per data shape — the CPU side of the archival trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cstore_storage::archive::{compress, decompress};
+
+fn datasets() -> Vec<(&'static str, Vec<u8>)> {
+    let text = "the quick brown fox jumps over the lazy dog. "
+        .repeat(4000)
+        .into_bytes();
+    let mut x: u64 = 0x1234_5678_9abc_def0;
+    let random: Vec<u8> = (0..180_000)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x as u8
+        })
+        .collect();
+    // Serialized-segment-like bytes: packed codes with some structure.
+    let segmentish: Vec<u8> = (0..180_000u32)
+        .map(|i| ((i / 64) % 200) as u8)
+        .collect();
+    vec![("text", text), ("random", random), ("segment_like", segmentish)]
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lzss_compress");
+    g.sample_size(10);
+    for (name, data) in datasets() {
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, data| {
+            b.iter(|| std::hint::black_box(compress(data).len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lzss_decompress");
+    g.sample_size(10);
+    for (name, data) in datasets() {
+        let compressed = compress(&data);
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &compressed,
+            |b, compressed| {
+                b.iter(|| std::hint::black_box(decompress(compressed).unwrap().len()));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Microbenchmarks: column encodings (encode + decode throughput per
+//! data shape, and predicate evaluation on encoded data).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cstore_common::{DataType, Value};
+use cstore_storage::builder::encode_column;
+use cstore_storage::pred::{CmpOp, ColumnPred};
+
+const N: usize = 64 * 1024;
+
+fn datasets() -> Vec<(&'static str, DataType, Vec<Value>)> {
+    vec![
+        (
+            "runny_ints(rle)",
+            DataType::Int64,
+            (0..N).map(|i| Value::Int64((i / 1000) as i64)).collect(),
+        ),
+        (
+            "dense_ints(bitpack)",
+            DataType::Int64,
+            (0..N).map(|i| Value::Int64((i % 997) as i64)).collect(),
+        ),
+        (
+            "sparse_ints(dict)",
+            DataType::Int64,
+            (0..N)
+                .map(|i| Value::Int64([i64::MIN, 7, i64::MAX / 3][i % 3]))
+                .collect(),
+        ),
+        (
+            "strings(dict)",
+            DataType::Utf8,
+            (0..N)
+                .map(|i| Value::str(format!("label-{:03}", i % 200)))
+                .collect(),
+        ),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for (name, ty, values) in datasets() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &values, |b, values| {
+            b.iter(|| encode_column(ty, values, None).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for (name, ty, values) in datasets() {
+        let seg = encode_column(ty, &values, None).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &seg, |b, seg| {
+            b.iter(|| std::hint::black_box(seg.decode()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_pushdown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pred_on_encoded");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for (name, ty, values) in datasets() {
+        let seg = encode_column(ty, &values, None).unwrap();
+        let pred = match ty {
+            DataType::Utf8 => ColumnPred::Cmp {
+                op: CmpOp::Eq,
+                value: Value::str("label-050"),
+            },
+            _ => ColumnPred::Cmp {
+                op: CmpOp::Ge,
+                value: Value::Int64(7),
+            },
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &seg, |b, seg| {
+            b.iter(|| seg.eval_pred(&pred).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_pushdown);
+criterion_main!(benches);

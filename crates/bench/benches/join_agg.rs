@@ -1,0 +1,109 @@
+//! Microbenchmarks: batch vs row hash join and hash aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cstore_common::{DataType, Row, Value};
+use cstore_exec::ops::hash_agg::{AggExpr, AggFunc, HashAggOp};
+use cstore_exec::ops::hash_join::JoinType;
+use cstore_exec::ops::{collect_row_mode, collect_rows};
+use cstore_exec::row_ops::{RowHashAgg, RowHashJoin, RowSource};
+use cstore_exec::{BatchHashJoin, BatchSource, ExecContext, Expr};
+
+const N_PROBE: usize = 100_000;
+const N_BUILD: usize = 10_000;
+
+fn probe_rows() -> Vec<Row> {
+    (0..N_PROBE)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int64((i % N_BUILD) as i64),
+                Value::Int64(i as i64),
+            ])
+        })
+        .collect()
+}
+
+fn build_rows() -> Vec<Row> {
+    (0..N_BUILD)
+        .map(|i| Row::new(vec![Value::Int64(i as i64), Value::str(format!("d{i}"))]))
+        .collect()
+}
+
+fn bench_join(c: &mut Criterion) {
+    let probe = probe_rows();
+    let build = build_rows();
+    let tp = vec![DataType::Int64, DataType::Int64];
+    let tb = vec![DataType::Int64, DataType::Utf8];
+    let mut g = c.benchmark_group("hash_join_inner");
+    g.throughput(Throughput::Elements(N_PROBE as u64));
+    g.sample_size(10);
+    g.bench_function("batch", |b| {
+        b.iter(|| {
+            let j = BatchHashJoin::new(
+                Box::new(BatchSource::from_rows(tp.clone(), &probe, 900).unwrap()),
+                Box::new(BatchSource::from_rows(tb.clone(), &build, 900).unwrap()),
+                vec![0],
+                vec![0],
+                JoinType::Inner,
+                ExecContext::default(),
+            )
+            .unwrap();
+            std::hint::black_box(collect_rows(Box::new(j)).unwrap().len())
+        });
+    });
+    g.bench_function("row", |b| {
+        b.iter(|| {
+            let j = RowHashJoin::new(
+                Box::new(RowSource::new(tp.clone(), probe.clone())),
+                Box::new(RowSource::new(tb.clone(), build.clone())),
+                vec![0],
+                vec![0],
+                JoinType::Inner,
+            )
+            .unwrap();
+            std::hint::black_box(collect_row_mode(Box::new(j)).unwrap().len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_agg(c: &mut Criterion) {
+    let rows = probe_rows();
+    let ty = vec![DataType::Int64, DataType::Int64];
+    let mut g = c.benchmark_group("hash_agg_grouped");
+    g.throughput(Throughput::Elements(N_PROBE as u64));
+    g.sample_size(10);
+    let aggs = || {
+        vec![
+            AggExpr::count_star(),
+            AggExpr::new(AggFunc::Sum, Expr::col(1)),
+            AggExpr::new(AggFunc::Max, Expr::col(1)),
+        ]
+    };
+    g.bench_function("batch_i64_key", |b| {
+        b.iter(|| {
+            let a = HashAggOp::new(
+                Box::new(BatchSource::from_rows(ty.clone(), &rows, 900).unwrap()),
+                vec![Expr::col(0)],
+                aggs(),
+                ExecContext::default(),
+            )
+            .unwrap();
+            std::hint::black_box(collect_rows(Box::new(a)).unwrap().len())
+        });
+    });
+    g.bench_function("row", |b| {
+        b.iter(|| {
+            let a = RowHashAgg::new(
+                Box::new(RowSource::new(ty.clone(), rows.clone())),
+                vec![Expr::col(0)],
+                aggs(),
+            )
+            .unwrap();
+            std::hint::black_box(collect_row_mode(Box::new(a)).unwrap().len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_join, bench_agg);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Microbenchmarks: vectorized kernels vs their row-at-a-time equivalents
+//! (the per-row overhead batch mode amortizes), plus bitmap-filter probes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cstore_common::{DataType, Row, Value};
+use cstore_exec::expr::Expr;
+use cstore_exec::{Batch, BitmapFilter};
+use cstore_storage::pred::CmpOp;
+
+const N: usize = 64 * 1024;
+
+fn rows() -> Vec<Row> {
+    (0..N)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int64(i as i64 % 1000),
+                Value::Float64((i % 97) as f64),
+            ])
+        })
+        .collect()
+}
+
+fn bench_filter_kernels(c: &mut Criterion) {
+    let rows = rows();
+    let types = vec![DataType::Int64, DataType::Float64];
+    let batch = Batch::from_rows(&types, &rows).unwrap();
+    let expr = Expr::and(
+        Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(100i64)),
+        Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::lit(50.0)),
+    );
+    let mut g = c.benchmark_group("filter");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+    g.bench_function("vectorized", |b| {
+        b.iter(|| expr.eval_pred(&batch).unwrap());
+    });
+    g.bench_function("row_at_a_time", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for row in &rows {
+                if matches!(expr.eval_row(row).unwrap(), Value::Bool(true)) {
+                    n += 1;
+                }
+            }
+            std::hint::black_box(n)
+        });
+    });
+    g.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let rows = rows();
+    let types = vec![DataType::Int64, DataType::Float64];
+    let batch = Batch::from_rows(&types, &rows).unwrap();
+    let mut g = c.benchmark_group("key_hash");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+    g.bench_function("vectorized", |b| {
+        let mut out = vec![0u64; N];
+        b.iter(|| {
+            out.iter_mut().for_each(|o| *o = 0);
+            batch.column(0).hash_into(&mut out);
+            std::hint::black_box(&out);
+        });
+    });
+    g.bench_function("row_at_a_time", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for row in &rows {
+                acc ^= cstore_exec::vector::hash_values(std::iter::once(row.get(0)));
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_filter");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+    // Exact representation (narrow key domain).
+    let exact = BitmapFilter::build(&(0..100_000i64).step_by(7).collect::<Vec<_>>()).unwrap();
+    assert!(exact.is_exact());
+    g.bench_function("probe_exact", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..N as i64 {
+                if exact.maybe_contains(i * 13) {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        });
+    });
+    // Bloom representation (wide domain).
+    let bloom =
+        BitmapFilter::build(&(0..100_000i64).map(|i| i * 1_000_003).collect::<Vec<_>>()).unwrap();
+    assert!(!bloom.is_exact());
+    g.bench_function("probe_bloom", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..N as i64 {
+                if bloom.maybe_contains(i * 13) {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_filter_kernels,
+    bench_hashing,
+    bench_bloom,
+    bench_batch_size_sweep
+);
+criterion_main!(benches);
+
+fn bench_batch_size_sweep(c: &mut Criterion) {
+    // The paper sizes batches (~1000 rows) so a few active columns stay
+    // cache-resident: too small and per-batch dispatch dominates, too big
+    // and vectors spill out of L2. Sweep a scan+filter+aggregate pipeline.
+    use cstore_common::{Field, Schema};
+    use cstore_delta::{ColumnStoreTable, TableConfig};
+    use cstore_exec::ops::collect_rows;
+    use cstore_exec::ops::filter::FilterOp;
+    use cstore_exec::ops::hash_agg::{AggExpr, AggFunc, HashAggOp};
+    use cstore_exec::{ColumnStoreScan, ExecContext};
+
+    let schema = Schema::new(vec![
+        Field::not_null("k", DataType::Int64),
+        Field::not_null("v", DataType::Int64),
+    ]);
+    let table = ColumnStoreTable::new(
+        schema,
+        TableConfig {
+            bulk_load_threshold: 1024,
+            ..Default::default()
+        },
+    );
+    let rows: Vec<Row> = (0..400_000)
+        .map(|i| Row::new(vec![Value::Int64(i % 50), Value::Int64(i)]))
+        .collect();
+    table.bulk_insert(&rows).unwrap();
+
+    let mut g = c.benchmark_group("batch_size_sweep");
+    g.throughput(Throughput::Elements(400_000));
+    g.sample_size(10);
+    for size in [64usize, 256, 900, 4096, 16384] {
+        g.bench_function(format!("{size}_rows_per_batch"), |b| {
+            b.iter(|| {
+                let ctx = ExecContext::default().with_batch_size(size);
+                let scan = ColumnStoreScan::new(table.snapshot(), vec![0, 1], vec![], ctx.clone());
+                let filt = FilterOp::new(
+                    Box::new(scan),
+                    Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit(100_000i64)),
+                );
+                let agg = HashAggOp::new(
+                    Box::new(filt),
+                    vec![Expr::col(0)],
+                    vec![AggExpr::new(AggFunc::Sum, Expr::col(1))],
+                    ctx,
+                )
+                .unwrap();
+                std::hint::black_box(collect_rows(Box::new(agg)).unwrap().len())
+            });
+        });
+    }
+    g.finish();
+}

@@ -1,0 +1,82 @@
+//! E2 — The headline result: batch mode on a columnstore vs row mode on a
+//! row store, per query.
+//!
+//! Paper shape: typical warehouse queries run ~10× faster, some reach
+//! 100×; the gap comes from (i) columnar scans reading only needed
+//! columns, (ii) segment elimination + pushdown, (iii) vectorized
+//! operators amortizing per-row overhead, and (iv) bitmap filters.
+
+use cstore_bench::report::{banner, Table};
+use cstore_bench::{fmt_ms, median_time, Scale};
+use cstore_core::{Database, ExecMode};
+use cstore_workload::{queries, StarSchema};
+
+fn heap_clone(db_cs: &Database, star: &StarSchema) -> Database {
+    // Same data, but every table is a row-store heap and queries run in
+    // row mode — the classic configuration the paper compares against.
+    let db = Database::new().with_exec_mode(ExecMode::Row);
+    let ddl = [
+        ("sales", StarSchema::sales_schema()),
+        ("date_dim", StarSchema::date_schema()),
+        ("customer", StarSchema::customer_schema()),
+        ("product", StarSchema::product_schema()),
+        ("store", StarSchema::store_schema()),
+    ];
+    for (name, schema) in ddl {
+        db.catalog().create_heap(name, schema).expect("create heap");
+    }
+    db.bulk_load("sales", &star.sales()).expect("load sales");
+    db.bulk_load("date_dim", &star.dates()).expect("load dates");
+    db.bulk_load("customer", &star.customers()).expect("load customers");
+    db.bulk_load("product", &star.products()).expect("load products");
+    db.bulk_load("store", &star.stores()).expect("load stores");
+    let _ = db_cs;
+    db
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.fact_rows();
+    banner(
+        "E2",
+        "Query speedup: batch mode on columnstore vs row mode on row store",
+        &format!("star schema, {n} fact rows, queries Q1-Q8; median of 3 runs"),
+    );
+    let star = StarSchema::scale(n);
+    let db_cs = Database::new().with_exec_mode(ExecMode::Batch);
+    star.load_into(&db_cs).expect("load columnstore");
+    let db_row = heap_clone(&db_cs, &star);
+
+    let mut table = Table::new(&["query", "what it stresses", "row_ms", "batch_ms", "speedup"]);
+    let mut speedups = Vec::new();
+    for q in queries::all() {
+        // Verify both modes agree before timing.
+        let mut a = db_cs.execute(q.sql).expect("batch run").rows().to_vec();
+        let mut b = db_row.execute(q.sql).expect("row run").rows().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{} results differ between engines", q.id);
+
+        let row_t = median_time(3, || {
+            db_row.execute(q.sql).expect("row run");
+        });
+        let batch_t = median_time(3, || {
+            db_cs.execute(q.sql).expect("batch run");
+        });
+        let speedup = row_t.as_secs_f64() / batch_t.as_secs_f64();
+        speedups.push(speedup);
+        table.row(&[
+            q.id.to_string(),
+            q.highlights.to_string(),
+            fmt_ms(row_t),
+            fmt_ms(batch_t),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+    table.print();
+    let gmean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!(
+        "\ngeometric-mean speedup {gmean:.1}x, max {:.1}x (paper: routinely 10x, up to 100x)",
+        speedups.iter().fold(0.0f64, |a, &b| a.max(b))
+    );
+}

@@ -1,0 +1,102 @@
+//! E5 — Trickle inserts: delta stores absorb single-row inserts; the
+//! tuple mover compresses them in the background.
+//!
+//! Paper shape: trickle inserts sustain high rates (B-tree inserts, no
+//! compression on the insert path); delta rows accumulate until the store
+//! closes; the tuple mover converts closed stores to compressed row groups
+//! so the delta tail stays bounded; queries stay correct throughout and
+//! get faster once data is compressed.
+
+use std::time::Instant;
+
+use cstore_bench::report::{banner, Table};
+use cstore_bench::{fmt_bytes, fmt_ms, median_time, Scale};
+use cstore_common::{Row, Value};
+use cstore_delta::{ColumnStoreTable, TableConfig, TupleMover};
+use cstore_workload::StarSchema;
+
+fn row(i: i64) -> Row {
+    Row::new(vec![
+        Value::Int64(i),
+        Value::Date((i % 365) as i32),
+        Value::Int64(i % 997),
+        Value::Int64(i % 199),
+        Value::Int64(i % 50),
+        Value::Int32((i % 10) as i32 + 1),
+        Value::Decimal(100 + i % 5000),
+        Value::Null,
+    ])
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = (scale.fact_rows() / 4).max(50_000);
+    banner(
+        "E5",
+        "Trickle insert path: delta stores + tuple mover",
+        &format!("{n} single-row inserts; delta capacity 100k rows"),
+    );
+    let config = TableConfig {
+        delta_capacity: 100_000,
+        ..Default::default()
+    };
+
+    // Phase 1: inserts with the mover off — delta stores pile up.
+    let t1 = ColumnStoreTable::new(StarSchema::sales_schema(), config.clone());
+    let start = Instant::now();
+    for i in 0..n as i64 {
+        t1.insert(row(i)).expect("insert");
+    }
+    let insert_time = start.elapsed();
+    let s = t1.stats();
+    println!(
+        "mover OFF : {:>9.0} inserts/s; {} delta rows in {} open + {} closed stores ({}), 0 compressed",
+        n as f64 / insert_time.as_secs_f64(),
+        s.delta_rows,
+        s.n_open_deltas,
+        s.n_closed_deltas,
+        fmt_bytes(s.delta_bytes),
+    );
+
+    // Phase 2: same inserts with a background mover — the backlog drains.
+    let t2 = ColumnStoreTable::new(StarSchema::sales_schema(), config.clone());
+    let mover = TupleMover::start(t2.clone(), std::time::Duration::from_millis(10));
+    let start = Instant::now();
+    for i in 0..n as i64 {
+        t2.insert(row(i)).expect("insert");
+    }
+    let insert_time2 = start.elapsed();
+    // Let the mover catch up.
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    while t2.stats().n_closed_deltas > 0 && Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let moved = mover.stop();
+    let s2 = t2.stats();
+    println!(
+        "mover ON  : {:>9.0} inserts/s; mover compressed {moved} stores → {} compressed rows ({}), {} left in delta",
+        n as f64 / insert_time2.as_secs_f64(),
+        s2.compressed_rows,
+        fmt_bytes(s2.compressed_bytes),
+        s2.delta_rows,
+    );
+    assert_eq!(t1.total_rows(), n);
+    assert_eq!(t2.total_rows(), n);
+
+    // Phase 3: query cost before vs after compression.
+    let scan_sum = |t: &ColumnStoreTable| {
+        let t = t.clone();
+        median_time(3, move || {
+            t.sum_i64(0).expect("sum");
+        })
+    };
+    let before = scan_sum(&t1);
+    t1.close_open_delta();
+    t1.tuple_move_once().expect("move");
+    let after = scan_sum(&t1);
+    let mut table = Table::new(&["state", "scan_ms"]);
+    table.row(&["all rows in delta stores".into(), fmt_ms(before)]);
+    table.row(&["after tuple mover (compressed)".into(), fmt_ms(after)]);
+    table.print();
+    println!("\nshape check: inserts stay in the millions/second either way (compression happens off the insert path; the background mover costs some concurrency), and scans speed up once row groups are compressed.");
+}

@@ -1,0 +1,75 @@
+//! E7 — Archival compression: extra size reduction, extra scan CPU.
+//!
+//! `COLUMNSTORE_ARCHIVE` wraps segments in an LZSS pass. Paper shape:
+//! archived data is smaller but every access pays decompression, so scans
+//! slow down — the trade intended for cold data. Segment elimination still
+//! works on archived groups (metadata stays uncompressed), so selective
+//! queries suffer the least.
+
+use cstore_bench::report::{banner, Table};
+use cstore_bench::{fmt_bytes, fmt_ms, median_time, Scale};
+use cstore_core::{Database, ExecMode};
+use cstore_workload::StarSchema;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.fact_rows();
+    banner(
+        "E7",
+        "Archival compression: size vs scan-time trade-off",
+        &format!("{n} fact rows; COLUMNSTORE vs COLUMNSTORE_ARCHIVE"),
+    );
+    let star = StarSchema::scale(n);
+    let db = Database::new().with_exec_mode(ExecMode::Batch);
+    star.load_into(&db).expect("load");
+
+    let queries = [
+        ("full scan + agg", "SELECT COUNT(*), SUM(quantity) FROM sales".to_string()),
+        (
+            "selective scan (1 month)",
+            "SELECT SUM(quantity) FROM sales WHERE date_key BETWEEN 100 AND 129".to_string(),
+        ),
+        (
+            "star join",
+            "SELECT d.month, SUM(s.quantity) AS q FROM sales s \
+             JOIN date_dim d ON s.date_key = d.date_key GROUP BY d.month"
+                .to_string(),
+        ),
+    ];
+
+    let size = |db: &Database| db.table_stats("sales").expect("stats").compressed_bytes;
+    let hot_size = size(&db);
+    let mut hot_times = Vec::new();
+    let mut answers = Vec::new();
+    for (_, sql) in &queries {
+        answers.push(db.execute(sql).expect("hot").rows().to_vec());
+        hot_times.push(median_time(3, || {
+            db.execute(sql).expect("hot");
+        }));
+    }
+
+    db.archive_table("sales").expect("archive");
+    let cold_size = size(&db);
+    let mut table = Table::new(&["query", "columnstore ms", "archive ms", "slowdown"]);
+    for (i, (label, sql)) in queries.iter().enumerate() {
+        let got = db.execute(sql).expect("cold").rows().to_vec();
+        assert_eq!(got, answers[i], "archival changed results for {label}");
+        let cold = median_time(3, || {
+            db.execute(sql).expect("cold");
+        });
+        table.row(&[
+            label.to_string(),
+            fmt_ms(hot_times[i]),
+            fmt_ms(cold),
+            format!("{:.2}x", cold.as_secs_f64() / hot_times[i].as_secs_f64()),
+        ]);
+    }
+    println!(
+        "storage: columnstore {} → archive {} ({:.2}x further reduction)\n",
+        fmt_bytes(hot_size),
+        fmt_bytes(cold_size),
+        hot_size as f64 / cold_size.max(1) as f64
+    );
+    table.print();
+    println!("\nshape check: archival shrinks storage further and costs decompression CPU on every scan; selective queries pay least (elimination skips archived groups without decompressing).");
+}

@@ -1,0 +1,45 @@
+//! Run every experiment (E1–E10) in sequence — one command to regenerate
+//! the full evaluation. Respects `CSTORE_SCALE`.
+//!
+//! ```sh
+//! CSTORE_SCALE=medium cargo run --release -p cstore-bench --bin run_all
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_e1_compression",
+    "exp_e2_batch_speedup",
+    "exp_e3_segment_elimination",
+    "exp_e4_bitmap_filters",
+    "exp_e5_trickle_inserts",
+    "exp_e6_bulk_load",
+    "exp_e7_archival_overhead",
+    "exp_e8_spilling",
+    "exp_e9_row_reordering",
+    "exp_e10_join_types",
+    "exp_a1_encoding_selection",
+];
+
+fn main() {
+    // Experiment binaries sit next to this one.
+    let me = std::env::current_exe().expect("own path");
+    let bin_dir = me.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        let path = bin_dir.join(exp);
+        eprintln!("\n>>> {exp}");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            failures.push(*exp);
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

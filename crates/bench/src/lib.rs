@@ -1,0 +1,75 @@
+//! Shared plumbing for the experiment harnesses (`src/bin/exp_*.rs`).
+//!
+//! Each binary regenerates one experiment from DESIGN.md's index (E1–E10),
+//! printing the table/series the paper's evaluation reports. Scale via the
+//! `CSTORE_SCALE` environment variable: `small` (quick sanity run),
+//! `medium` (default) or `full`.
+
+pub mod report;
+
+use std::time::{Duration, Instant};
+
+/// Experiment scale, from `CSTORE_SCALE`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Small,
+    Medium,
+    Full,
+}
+
+impl Scale {
+    pub fn from_env() -> Scale {
+        match std::env::var("CSTORE_SCALE").as_deref() {
+            Ok("small") => Scale::Small,
+            Ok("full") => Scale::Full,
+            _ => Scale::Medium,
+        }
+    }
+
+    /// Fact-table rows at this scale.
+    pub fn fact_rows(self) -> usize {
+        match self {
+            Scale::Small => 50_000,
+            Scale::Medium => 1_000_000,
+            Scale::Full => 4_000_000,
+        }
+    }
+
+    /// Rows per dataset in the compression study.
+    pub fn dataset_rows(self) -> usize {
+        match self {
+            Scale::Small => 20_000,
+            Scale::Medium => 200_000,
+            Scale::Full => 500_000,
+        }
+    }
+}
+
+/// Run `f` `n` times, returning the median wall time.
+pub fn median_time(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..n.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Milliseconds as a display string with sub-ms precision.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Human-readable byte count.
+pub fn fmt_bytes(n: usize) -> String {
+    if n >= 10 << 20 {
+        format!("{:.1} MiB", n as f64 / (1 << 20) as f64)
+    } else if n >= 10 << 10 {
+        format!("{:.1} KiB", n as f64 / (1 << 10) as f64)
+    } else {
+        format!("{n} B")
+    }
+}

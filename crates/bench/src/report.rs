@@ -1,0 +1,98 @@
+//! Aligned-table printing for experiment output.
+
+/// A simple text table builder.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with a header rule; numeric-looking cells right-align.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let numeric: Vec<bool> = (0..self.headers.len())
+            .map(|i| {
+                !self.rows.is_empty()
+                    && self.rows.iter().all(|r| {
+                        r[i].trim_start_matches(['-', '+'])
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_digit())
+                    })
+            })
+            .collect();
+        let fmt_cell = |c: &str, w: usize, num: bool| {
+            if num {
+                format!("{c:>w$}")
+            } else {
+                format!("{c:<w$}")
+            }
+        };
+        let mut out = String::new();
+        for ((h, &w), &num) in self.headers.iter().zip(&widths).zip(&numeric) {
+            out.push_str(&fmt_cell(h, w, num));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for &w in &widths {
+            out.push_str(&"-".repeat(w));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for ((c, &w), &num) in row.iter().zip(&widths).zip(&numeric) {
+                out.push_str(&fmt_cell(c, w, num));
+                out.push_str("  ");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Print an experiment banner.
+pub fn banner(id: &str, title: &str, detail: &str) {
+    println!("==========================================================");
+    println!("{id}: {title}");
+    println!("{detail}");
+    println!("==========================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "20".into()]);
+        let s = t.render();
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // value column right-aligned: " 1" under "20".
+        assert!(lines[2].contains(" 1"));
+    }
+}

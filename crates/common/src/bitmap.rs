@@ -1,0 +1,306 @@
+//! A growable bitset.
+//!
+//! Used for NULL masks in column vectors, qualifying-row vectors in batches,
+//! and as the building block of the delete bitmap.
+
+/// A growable bitset over `u64` words.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap of logical length 0.
+    pub fn new() -> Self {
+        Bitmap::default()
+    }
+
+    /// A bitmap of `len` bits, all clear.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A bitmap of `len` bits, all set.
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Build from a bool slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut b = Bitmap::zeros(bits.len());
+        for (i, &x) in bits.iter().enumerate() {
+            if x {
+                b.set(i);
+            }
+        }
+        b
+    }
+
+    /// Logical number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Clear bits past `len` in the last word so popcounts stay correct.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Grow to at least `len` bits (new bits clear).
+    pub fn grow(&mut self, len: usize) {
+        if len > self.len {
+            self.words.resize(len.div_ceil(64), 0);
+            self.len = len;
+        }
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, bit: bool) {
+        let i = self.len;
+        self.grow(self.len + 1);
+        if bit {
+            self.set(i);
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "bitmap index {idx} out of {}", self.len);
+        (self.words[idx >> 6] >> (idx & 63)) & 1 == 1
+    }
+
+    #[inline]
+    pub fn set(&mut self, idx: usize) {
+        debug_assert!(idx < self.len);
+        self.words[idx >> 6] |= 1u64 << (idx & 63);
+    }
+
+    #[inline]
+    pub fn clear(&mut self, idx: usize) {
+        debug_assert!(idx < self.len);
+        self.words[idx >> 6] &= !(1u64 << (idx & 63));
+    }
+
+    /// Set bit `idx`, growing the bitmap if needed. Returns whether the bit
+    /// was previously set (used by the delete bitmap to detect double
+    /// deletes).
+    pub fn set_grow(&mut self, idx: usize) -> bool {
+        if idx >= self.len {
+            self.grow(idx + 1);
+        }
+        let was = self.get(idx);
+        self.set(idx);
+        was
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Whether all bits are set.
+    pub fn all(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// In-place union with `other` (lengths must match).
+    pub fn union_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other` (lengths must match).
+    pub fn intersect_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// In-place set difference: clear every bit set in `other`.
+    pub fn subtract(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// Flip every bit.
+    pub fn negate(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Iterate over indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            bitmap: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collect set-bit indices into a `Vec<u32>` (selection-vector form).
+    pub fn to_indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        out.extend(self.iter_ones().map(|i| i as u32));
+        out
+    }
+
+    /// Raw words (read-only), for serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from raw words + logical length (for deserialization).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert!(words.len() == len.div_ceil(64), "word count mismatch");
+        let mut b = Bitmap { words, len };
+        b.mask_tail();
+        b
+    }
+}
+
+/// Iterator over set-bit positions.
+pub struct OnesIter<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bitmap.words.len() {
+                return None;
+            }
+            self.current = self.bitmap.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_get() {
+        let mut b = Bitmap::zeros(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn ones_respects_tail() {
+        let b = Bitmap::ones(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(b.all());
+    }
+
+    #[test]
+    fn negate_respects_tail() {
+        let mut b = Bitmap::zeros(70);
+        b.negate();
+        assert_eq!(b.count_ones(), 70);
+        b.negate();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_ones_matches_naive() {
+        let bools: Vec<bool> = (0..300).map(|i| i % 7 == 0 || i % 11 == 3).collect();
+        let b = Bitmap::from_bools(&bools);
+        let expect: Vec<usize> = bools
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| x.then_some(i))
+            .collect();
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, expect);
+        assert_eq!(b.to_indices(), expect.iter().map(|&i| i as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn set_grow_reports_previous_state() {
+        let mut b = Bitmap::new();
+        assert!(!b.set_grow(100));
+        assert!(b.set_grow(100));
+        assert_eq!(b.len(), 101);
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Bitmap::from_bools(&[true, true, false, false]);
+        let b = Bitmap::from_bools(&[true, false, true, false]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u, Bitmap::from_bools(&[true, true, true, false]));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i, Bitmap::from_bools(&[true, false, false, false]));
+        let mut d = a.clone();
+        d.subtract(&b);
+        assert_eq!(d, Bitmap::from_bools(&[false, true, false, false]));
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let b = Bitmap::from_bools(&[true, false, true]);
+        let c = Bitmap::from_words(b.words().to_vec(), b.len());
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut b = Bitmap::new();
+        for i in 0..100 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.count_ones(), 34);
+    }
+}

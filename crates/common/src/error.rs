@@ -1,0 +1,97 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// The error type shared by every `cstore` crate.
+///
+/// Variants are intentionally coarse: each names the subsystem that can
+/// produce it plus a human-readable message. Call sites that need to react
+/// programmatically match on the variant; everything else just propagates.
+#[derive(Debug)]
+pub enum Error {
+    /// A schema/type mismatch (wrong column type, arity mismatch, ...).
+    Type(String),
+    /// Malformed or unsupported SQL.
+    Sql(String),
+    /// Catalog problems: unknown table/column, duplicate names, ...
+    Catalog(String),
+    /// Planner/optimizer failures.
+    Plan(String),
+    /// Execution-time failures (overflow, division by zero, spill errors).
+    Execution(String),
+    /// Storage-layer failures: corrupt segment, bad checksum, format version.
+    Storage(String),
+    /// Underlying I/O error (file-backed blob store, spill files).
+    Io(std::io::Error),
+    /// An operation is valid but not supported by this build.
+    Unsupported(String),
+}
+
+impl Error {
+    /// Short code naming the variant; stable for tests and log grepping.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::Type(_) => "TYPE",
+            Error::Sql(_) => "SQL",
+            Error::Catalog(_) => "CATALOG",
+            Error::Plan(_) => "PLAN",
+            Error::Execution(_) => "EXECUTION",
+            Error::Storage(_) => "STORAGE",
+            Error::Io(_) => "IO",
+            Error::Unsupported(_) => "UNSUPPORTED",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Sql(m) => write!(f, "SQL error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = Error::Type("expected Int64".into());
+        assert_eq!(e.to_string(), "type error: expected Int64");
+        assert_eq!(e.code(), "TYPE");
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert_eq!(e.code(), "IO");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

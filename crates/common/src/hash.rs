@@ -1,0 +1,127 @@
+//! Fast, non-cryptographic hashing (the FxHash algorithm used by rustc).
+//!
+//! Hash joins and hash aggregation hash millions of keys per query; SipHash's
+//! HashDoS resistance is unnecessary inside a local engine, so the whole
+//! workspace uses these aliases instead of the std defaults.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash word-at-a-time multiplicative hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let word = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            self.add_to_hash(word);
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let word = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as u64;
+            self.add_to_hash(word);
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hash a single `u64` to a well-mixed `u64` without constructing a hasher.
+/// Used by the Bloom filter and hash-partitioning, where the key is already
+/// an integer and we want all 64 output bits to be usable.
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    // splitmix64 finalizer: full-avalanche, cheap, well studied.
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash a byte slice (for string keys) to a `u64`.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    // FxHash's raw output is weak in the low bits and maps all-zero inputs
+    // of any length to 0; mix in the length and finalize with splitmix.
+    hash_u64(h.finish() ^ (bytes.len() as u64) << 56)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&500), Some(&1000));
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn hash_u64_distinguishes_sequential_keys() {
+        // Sequential keys must not collide in low bits (bucket selection).
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..4096u64 {
+            low_bits.insert(hash_u64(i) & 0xfff);
+        }
+        // Expect a healthy fraction of the 4096 slots to be hit.
+        assert!(low_bits.len() > 2500, "poor low-bit mixing: {}", low_bits.len());
+    }
+
+    #[test]
+    fn hash_bytes_differs_on_prefix() {
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abd"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+        assert_eq!(hash_bytes(b"same"), hash_bytes(b"same"));
+    }
+}

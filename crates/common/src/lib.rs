@@ -1,0 +1,23 @@
+//! Shared substrate for the `cstore` workspace: scalar types, values,
+//! schemas, rows, bitmaps, row identifiers, fast hashing and errors.
+//!
+//! Every other crate in the workspace depends on this one; it has no
+//! runtime dependencies of its own.
+
+pub mod bitmap;
+pub mod error;
+pub mod hash;
+pub mod rid;
+pub mod row;
+pub mod schema;
+pub mod types;
+pub mod value;
+
+pub use bitmap::Bitmap;
+pub use error::{Error, Result};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use rid::{RowGroupId, RowId};
+pub use row::Row;
+pub use schema::{Field, Schema};
+pub use types::DataType;
+pub use value::Value;

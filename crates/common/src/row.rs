@@ -1,0 +1,84 @@
+//! Row representation for slow (non-vectorized) paths.
+
+use crate::value::Value;
+
+/// A single row: an ordered list of values matching some schema.
+/// Ordering is lexicographic over [`Value::cmp_sql`] (NULLs first).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// A new row containing only the columns at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Approximate in-memory size in bytes (used for delta-store accounting).
+    pub fn approx_bytes(&self) -> usize {
+        let mut n = std::mem::size_of::<Value>() * self.values.len();
+        for v in &self.values {
+            if let Value::Str(s) = v {
+                n += s.len();
+            }
+        }
+        n
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_reorders() {
+        let r = Row::new(vec![Value::Int64(1), Value::str("x"), Value::Bool(true)]);
+        let p = r.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Bool(true), Value::Int64(1)]);
+    }
+
+    #[test]
+    fn approx_bytes_counts_strings() {
+        let short = Row::new(vec![Value::Int64(1)]);
+        let long = Row::new(vec![Value::str("a".repeat(100))]);
+        assert!(long.approx_bytes() > short.approx_bytes() + 90);
+    }
+}

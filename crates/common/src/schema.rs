@@ -1,0 +1,178 @@
+//! Table schemas.
+
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::row::Row;
+use crate::types::DataType;
+
+/// One column of a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType, nullable: bool) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable,
+        }
+    }
+
+    /// Non-nullable convenience constructor.
+    pub fn not_null(name: impl Into<String>, data_type: DataType) -> Self {
+        Field::new(name, data_type, false)
+    }
+
+    /// Nullable convenience constructor.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Field::new(name, data_type, true)
+    }
+}
+
+/// An ordered list of named, typed columns.
+///
+/// Cheap to clone (`Arc` inside); column lookup by name is linear, which is
+/// fine for the column counts a warehouse schema has.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema {
+            fields: fields.into(),
+        }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Index of the column named `name`, if any.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Like [`Schema::index_of`] but returns a catalog error naming the column.
+    pub fn try_index_of(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| Error::Catalog(format!("unknown column '{name}'")))
+    }
+
+    /// A new schema containing only the columns at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+
+    /// Validate that `row` matches this schema (arity, types, nullability).
+    pub fn check_row(&self, row: &Row) -> Result<()> {
+        if row.len() != self.fields.len() {
+            return Err(Error::Type(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.fields.len()
+            )));
+        }
+        for (v, f) in row.values().iter().zip(self.fields.iter()) {
+            if v.is_null() {
+                if !f.nullable {
+                    return Err(Error::Type(format!(
+                        "NULL in non-nullable column '{}'",
+                        f.name
+                    )));
+                }
+            } else if !v.fits(f.data_type) {
+                return Err(Error::Type(format!(
+                    "value {v:?} does not fit column '{}' of type {}",
+                    f.name, f.data_type
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Schema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", fld.name, fld.data_type)?;
+            if !fld.nullable {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int64),
+            Field::nullable("name", DataType::Utf8),
+            Field::nullable("price", DataType::Decimal { scale: 2 }),
+        ])
+    }
+
+    #[test]
+    fn lookup_and_project() {
+        let s = sample();
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.field(0).name, "price");
+        assert_eq!(p.field(1).name, "id");
+    }
+
+    #[test]
+    fn check_row_accepts_matching() {
+        let s = sample();
+        let row = Row::new(vec![Value::Int64(1), Value::str("a"), Value::Decimal(100)]);
+        assert!(s.check_row(&row).is_ok());
+        let with_null = Row::new(vec![Value::Int64(1), Value::Null, Value::Null]);
+        assert!(s.check_row(&with_null).is_ok());
+    }
+
+    #[test]
+    fn check_row_rejects_bad_arity_type_null() {
+        let s = sample();
+        assert!(s.check_row(&Row::new(vec![Value::Int64(1)])).is_err());
+        let bad_type = Row::new(vec![Value::str("x"), Value::Null, Value::Null]);
+        assert!(s.check_row(&bad_type).is_err());
+        let bad_null = Row::new(vec![Value::Null, Value::Null, Value::Null]);
+        assert!(s.check_row(&bad_null).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            sample().to_string(),
+            "(id BIGINT NOT NULL, name VARCHAR, price DECIMAL(2))"
+        );
+    }
+}

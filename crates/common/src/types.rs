@@ -1,0 +1,109 @@
+//! Scalar data types supported by the engine.
+
+use std::fmt;
+
+/// The scalar types a column may have.
+///
+/// These mirror the types SQL Server's column store indexes supported in the
+/// release the paper describes, collapsed to the representations the engine
+/// actually needs:
+///
+/// * fixed-size numerics (`Bool`, `Int32`, `Int64`, `Float64`),
+/// * `Date` (days since the Unix epoch, like SQL Server's `date`),
+/// * `Decimal` with a fixed per-column scale, stored as a scaled `i64`
+///   mantissa (SQL Server stores decimals in column segments the same way:
+///   value-based encoding turns them into small integers),
+/// * variable-length `Utf8` strings (always dictionary-encoded in segments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int32,
+    Int64,
+    Float64,
+    /// Days since 1970-01-01, stored as `i32`.
+    Date,
+    /// Fixed-point decimal: `mantissa * 10^-scale`, mantissa stored as `i64`.
+    Decimal {
+        /// Number of digits to the right of the decimal point (0..=18).
+        scale: u8,
+    },
+    Utf8,
+}
+
+impl DataType {
+    /// Whether values of this type are stored as integers inside column
+    /// segments (and therefore eligible for value-based encoding, RLE and
+    /// bit packing directly on the raw value).
+    pub fn is_integer_backed(self) -> bool {
+        matches!(
+            self,
+            DataType::Bool
+                | DataType::Int32
+                | DataType::Int64
+                | DataType::Date
+                | DataType::Decimal { .. }
+        )
+    }
+
+    /// Whether this type is numeric for the purposes of arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            DataType::Int32 | DataType::Int64 | DataType::Float64 | DataType::Decimal { .. }
+        )
+    }
+
+    /// Size in bytes of one value in its uncompressed, row-store
+    /// representation. Strings report the pointer-free average handled by
+    /// callers separately, so this returns `None` for `Utf8`.
+    pub fn fixed_width(self) -> Option<usize> {
+        match self {
+            DataType::Bool => Some(1),
+            DataType::Int32 | DataType::Date => Some(4),
+            DataType::Int64 | DataType::Float64 | DataType::Decimal { .. } => Some(8),
+            DataType::Utf8 => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Bool => write!(f, "BOOL"),
+            DataType::Int32 => write!(f, "INT"),
+            DataType::Int64 => write!(f, "BIGINT"),
+            DataType::Float64 => write!(f, "DOUBLE"),
+            DataType::Date => write!(f, "DATE"),
+            DataType::Decimal { scale } => write!(f, "DECIMAL({scale})"),
+            DataType::Utf8 => write!(f, "VARCHAR"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_backed_classification() {
+        assert!(DataType::Int64.is_integer_backed());
+        assert!(DataType::Date.is_integer_backed());
+        assert!(DataType::Decimal { scale: 2 }.is_integer_backed());
+        assert!(!DataType::Float64.is_integer_backed());
+        assert!(!DataType::Utf8.is_integer_backed());
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(DataType::Bool.fixed_width(), Some(1));
+        assert_eq!(DataType::Int32.fixed_width(), Some(4));
+        assert_eq!(DataType::Int64.fixed_width(), Some(8));
+        assert_eq!(DataType::Utf8.fixed_width(), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Decimal { scale: 4 }.to_string(), "DECIMAL(4)");
+        assert_eq!(DataType::Utf8.to_string(), "VARCHAR");
+    }
+}

@@ -1,0 +1,185 @@
+//! The database catalog.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use cstore_common::{Error, Result, Schema};
+use cstore_delta::{ColumnStoreTable, TableConfig};
+use cstore_planner::{CatalogProvider, TableRef};
+use cstore_rowstore::HeapTable;
+
+/// A cataloged table.
+#[derive(Clone)]
+pub enum TableEntry {
+    ColumnStore(ColumnStoreTable),
+    /// Heap tables mutate through `Arc::make_mut`: reads share the Arc,
+    /// a write while a reader holds a snapshot clones (rare; DML on the
+    /// baseline tables is not on any measured path).
+    Heap(Arc<HeapTable>),
+}
+
+impl TableEntry {
+    pub fn schema(&self) -> Schema {
+        match self {
+            TableEntry::ColumnStore(t) => t.schema().clone(),
+            TableEntry::Heap(t) => t.schema().clone(),
+        }
+    }
+
+    fn as_planner_ref(&self) -> TableRef {
+        match self {
+            TableEntry::ColumnStore(t) => TableRef::ColumnStore(t.clone()),
+            TableEntry::Heap(t) => TableRef::Heap(t.clone()),
+        }
+    }
+}
+
+/// Thread-safe name → table map (plus an ANALYZE statistics cache).
+#[derive(Default, Clone)]
+pub struct Catalog {
+    inner: Arc<RwLock<Vec<(String, TableEntry)>>>,
+    stats: Arc<RwLock<Vec<(String, cstore_planner::stats::TableStatistics)>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a new table; errors if the name is taken.
+    pub fn create(&self, name: &str, entry: TableEntry) -> Result<()> {
+        let mut tables = self.inner.write();
+        if tables.iter().any(|(n, _)| n.eq_ignore_ascii_case(name)) {
+            return Err(Error::Catalog(format!("table '{name}' already exists")));
+        }
+        tables.push((name.to_owned(), entry));
+        Ok(())
+    }
+
+    /// Create a columnstore table with the given config.
+    pub fn create_columnstore(
+        &self,
+        name: &str,
+        schema: Schema,
+        config: TableConfig,
+    ) -> Result<ColumnStoreTable> {
+        let t = ColumnStoreTable::new(schema, config);
+        self.create(name, TableEntry::ColumnStore(t.clone()))?;
+        Ok(t)
+    }
+
+    /// Create a heap (row-store) table.
+    pub fn create_heap(&self, name: &str, schema: Schema) -> Result<()> {
+        self.create(name, TableEntry::Heap(Arc::new(HeapTable::new(schema))))
+    }
+
+    pub fn get(&self, name: &str) -> Option<TableEntry> {
+        self.inner
+            .read()
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, e)| e.clone())
+    }
+
+    pub fn try_get(&self, name: &str) -> Result<TableEntry> {
+        self.get(name)
+            .ok_or_else(|| Error::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Run `f` with mutable access to a heap table.
+    pub fn with_heap_mut<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut HeapTable) -> Result<R>,
+    ) -> Result<R> {
+        let mut tables = self.inner.write();
+        let entry = tables
+            .iter_mut()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, e)| e)
+            .ok_or_else(|| Error::Catalog(format!("unknown table '{name}'")))?;
+        match entry {
+            TableEntry::Heap(arc) => f(Arc::make_mut(arc)),
+            TableEntry::ColumnStore(_) => Err(Error::Catalog(format!(
+                "table '{name}' is a columnstore, not a heap"
+            ))),
+        }
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.read().iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    pub fn drop_table(&self, name: &str) -> bool {
+        let mut tables = self.inner.write();
+        let before = tables.len();
+        tables.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.stats
+            .write()
+            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        tables.len() != before
+    }
+
+    /// Install ANALYZE-collected statistics for `name`.
+    pub fn put_statistics(&self, name: &str, stats: cstore_planner::stats::TableStatistics) {
+        let mut cache = self.stats.write();
+        cache.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        cache.push((name.to_owned(), stats));
+    }
+}
+
+impl CatalogProvider for Catalog {
+    fn table(&self, name: &str) -> Option<TableRef> {
+        self.get(name).map(|e| e.as_planner_ref())
+    }
+
+    fn statistics(&self, name: &str) -> Option<cstore_planner::stats::TableStatistics> {
+        self.stats
+            .read()
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, s)| s.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstore_common::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::not_null("a", DataType::Int64)])
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let c = Catalog::new();
+        c.create_heap("t", schema()).unwrap();
+        assert!(c.get("t").is_some());
+        assert!(c.get("T").is_some(), "names are case-insensitive");
+        assert!(c.create_heap("T", schema()).is_err(), "duplicate rejected");
+        assert!(c.drop_table("t"));
+        assert!(!c.drop_table("t"));
+    }
+
+    #[test]
+    fn heap_mutation_through_make_mut() {
+        use cstore_common::{Row, Value};
+        let c = Catalog::new();
+        c.create_heap("h", schema()).unwrap();
+        // A reader holds the old Arc...
+        let TableEntry::Heap(snapshot) = c.get("h").unwrap() else {
+            panic!()
+        };
+        c.with_heap_mut("h", |t| {
+            t.insert(&Row::new(vec![Value::Int64(1)]))?;
+            Ok(())
+        })
+        .unwrap();
+        // ... and still sees the empty version; new readers see the row.
+        assert_eq!(snapshot.n_rows(), 0);
+        let TableEntry::Heap(now) = c.get("h").unwrap() else { panic!() };
+        assert_eq!(now.n_rows(), 1);
+    }
+}

@@ -1,0 +1,837 @@
+//! The `Database` facade: SQL in, results out.
+
+use std::time::{Duration, Instant};
+
+use cstore_common::{DataType, Error, Field, Result, Row, RowId, Schema, Value};
+use cstore_delta::{TableConfig, TupleMover};
+use cstore_exec::ops::collect_rows;
+use cstore_exec::{ExecContext, Expr};
+use cstore_planner::explain::explain;
+use cstore_planner::physical::build_physical;
+use cstore_planner::rules::optimize;
+use cstore_planner::ExecMode;
+use cstore_sql::ast::{Statement, TableOrganization};
+use cstore_sql::{bind_expr_on_schema, bind_select, coerce, literal_value, parse};
+
+use crate::catalog::{Catalog, TableEntry};
+
+/// The result of executing one statement.
+#[derive(Debug)]
+pub enum QueryResult {
+    /// A result set.
+    Rows {
+        columns: Vec<String>,
+        /// Output column types (decimal scales drive display formatting).
+        types: Vec<DataType>,
+        rows: Vec<Row>,
+        /// The execution mode the optimizer chose.
+        mode: ExecMode,
+        /// Execution counters (segment elimination, bitmap drops, ...).
+        metrics: Vec<(&'static str, u64)>,
+        elapsed: Duration,
+    },
+    /// DML row count.
+    Affected(usize),
+    /// DDL acknowledgement.
+    Created,
+    /// EXPLAIN output.
+    Explain(String),
+}
+
+impl QueryResult {
+    /// The rows of a result set (panics on non-queries; test/demo helper).
+    pub fn rows(&self) -> &[Row] {
+        match self {
+            QueryResult::Rows { rows, .. } => rows,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    pub fn columns(&self) -> &[String] {
+        match self {
+            QueryResult::Rows { columns, .. } => columns,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    /// Rows affected by DML (panics otherwise).
+    pub fn affected(&self) -> usize {
+        match self {
+            QueryResult::Affected(n) => *n,
+            other => panic!("expected affected count, got {other:?}"),
+        }
+    }
+
+    /// Render one value for display, applying the column's decimal scale.
+    pub fn format_value(v: &Value, ty: DataType) -> String {
+        match (v, ty) {
+            (Value::Decimal(m), DataType::Decimal { scale: 0 }) => m.to_string(),
+            (Value::Decimal(m), DataType::Decimal { scale }) => {
+                let factor = 10i64.pow(scale as u32);
+                let sign = if *m < 0 { "-" } else { "" };
+                let (int, frac) = ((m / factor).abs(), (m % factor).abs());
+                format!("{sign}{int}.{frac:0width$}", width = scale as usize)
+            }
+            _ => v.to_string(),
+        }
+    }
+
+    /// Render a result set as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let QueryResult::Rows {
+            columns,
+            types,
+            rows,
+            ..
+        } = self
+        else {
+            return format!("{self:?}");
+        };
+        let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+        let cells: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                r.values()
+                    .iter()
+                    .zip(types)
+                    .map(|(v, &ty)| Self::format_value(v, ty))
+                    .collect()
+            })
+            .collect();
+        for row in &cells {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for (w, c) in widths.iter().zip(columns) {
+            out.push_str(&format!("{c:<w$}  "));
+        }
+        out.push('\n');
+        for w in &widths {
+            out.push_str(&"-".repeat(*w));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &cells {
+            for (w, c) in widths.iter().zip(row) {
+                out.push_str(&format!("{c:<w$}  "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An embedded analytical database: updatable columnstore tables (plus
+/// heap baselines), batch-mode execution, and a SQL surface.
+#[derive(Clone)]
+pub struct Database {
+    catalog: Catalog,
+    ctx: ExecContext,
+    mode: ExecMode,
+    table_config: TableConfig,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            ctx: ExecContext::default(),
+            mode: ExecMode::Auto,
+            table_config: TableConfig::default(),
+        }
+    }
+
+    /// Override the execution context (memory budget, batch size, metrics).
+    pub fn with_exec_context(mut self, ctx: ExecContext) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
+    /// Force an execution mode for all queries (default: cost-based).
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Default configuration for new columnstore tables.
+    pub fn with_table_config(mut self, config: TableConfig) -> Self {
+        self.table_config = config;
+        self
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn exec_context(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        self.execute_statement(stmt)
+    }
+
+    fn execute_statement(&self, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(s) => self.run_select(&s),
+            Statement::UnionAll(branches) => self.run_union(&branches),
+            Statement::Explain(inner) => self.run_explain(*inner),
+            Statement::CreateTable {
+                name,
+                columns,
+                organization,
+            } => {
+                let schema = Schema::new(
+                    columns
+                        .into_iter()
+                        .map(|c| Field::new(c.name, c.data_type, c.nullable))
+                        .collect(),
+                );
+                match organization {
+                    TableOrganization::Columnstore => {
+                        self.catalog
+                            .create_columnstore(&name, schema, self.table_config.clone())?;
+                    }
+                    TableOrganization::Heap => self.catalog.create_heap(&name, schema)?,
+                }
+                Ok(QueryResult::Created)
+            }
+            Statement::Analyze { table } => {
+                self.analyze(&table, 16_384)?;
+                Ok(QueryResult::Created)
+            }
+            Statement::Insert { table, rows } => self.run_insert(&table, rows),
+            Statement::Delete { table, selection } => self.run_delete(&table, selection),
+            Statement::Update {
+                table,
+                assignments,
+                selection,
+            } => self.run_update(&table, assignments, selection),
+        }
+    }
+
+    fn run_select(&self, stmt: &cstore_sql::ast::SelectStmt) -> Result<QueryResult> {
+        let plan = bind_select(stmt, &self.catalog)?;
+        self.run_plan(plan)
+    }
+
+    fn run_union(&self, branches: &[cstore_sql::ast::SelectStmt]) -> Result<QueryResult> {
+        let plan = cstore_sql::bind_union(branches, &self.catalog)?;
+        self.run_plan(plan)
+    }
+
+    fn run_plan(&self, plan: cstore_planner::LogicalPlan) -> Result<QueryResult> {
+        let start = Instant::now();
+        let plan = optimize(plan, &self.catalog)?;
+        let fields = plan.output_fields()?;
+        let columns: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+        let types: Vec<DataType> = fields.iter().map(|f| f.data_type).collect();
+        let phys = build_physical(&plan, &self.catalog, &self.ctx, self.mode)?;
+        let mode = phys.mode;
+        let rows = collect_rows(phys.root)?;
+        Ok(QueryResult::Rows {
+            columns,
+            types,
+            rows,
+            mode,
+            metrics: self.ctx.metrics.snapshot(),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    fn run_explain(&self, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(s) => {
+                let plan = bind_select(&s, &self.catalog)?;
+                self.explain_plan(plan)
+            }
+            Statement::UnionAll(branches) => {
+                let plan = cstore_sql::bind_union(&branches, &self.catalog)?;
+                self.explain_plan(plan)
+            }
+            other => Err(Error::Unsupported(format!(
+                "EXPLAIN supports SELECT only, got {other:?}"
+            ))),
+        }
+    }
+
+    fn explain_plan(&self, plan: cstore_planner::LogicalPlan) -> Result<QueryResult> {
+        let plan = optimize(plan, &self.catalog)?;
+        let mut text = explain(&plan, &self.catalog, self.mode);
+        // Physical annotations: what lowering would actually build.
+        let phys = build_physical(&plan, &self.catalog, &self.ctx, self.mode)?;
+        text.push_str(&format!(
+            "physical: bitmap_filters={}, scan_parallelism={}\n",
+            phys.bitmap_filters, self.ctx.parallelism
+        ));
+        Ok(QueryResult::Explain(text))
+    }
+
+    fn run_insert(
+        &self,
+        table: &str,
+        value_rows: Vec<Vec<cstore_sql::ast::AstExpr>>,
+    ) -> Result<QueryResult> {
+        let entry = self.catalog.try_get(table)?;
+        let schema = entry.schema();
+        let mut rows = Vec::with_capacity(value_rows.len());
+        for exprs in value_rows {
+            if exprs.len() != schema.len() {
+                return Err(Error::Type(format!(
+                    "INSERT has {} values, table '{table}' has {} columns",
+                    exprs.len(),
+                    schema.len()
+                )));
+            }
+            let values = exprs
+                .iter()
+                .zip(schema.fields())
+                .map(|(e, f)| literal_value(e, f.data_type))
+                .collect::<Result<Vec<_>>>()?;
+            rows.push(Row::new(values));
+        }
+        let n = rows.len();
+        match entry {
+            TableEntry::ColumnStore(t) => {
+                // INSERT ... VALUES is the trickle path; programmatic bulk
+                // loads use [`Database::bulk_load`].
+                for row in rows {
+                    t.insert(row)?;
+                }
+            }
+            TableEntry::Heap(_) => {
+                self.catalog.with_heap_mut(table, |h| h.insert_all(&rows))?;
+            }
+        }
+        Ok(QueryResult::Affected(n))
+    }
+
+    /// Collect the row ids of live rows matching `selection`.
+    fn matching_rids(
+        &self,
+        t: &cstore_delta::ColumnStoreTable,
+        selection: &Option<Expr>,
+    ) -> Result<Vec<(RowId, Row)>> {
+        let snap = t.snapshot();
+        let mut out = Vec::new();
+        for g in snap.groups() {
+            let visible = snap.visible_bitmap(g);
+            for tuple in visible.iter_ones() {
+                let row = Row::new(g.row_values(tuple)?);
+                if self.row_matches(selection, &row)? {
+                    out.push((RowId::new(g.id(), tuple as u32), row));
+                }
+            }
+        }
+        for (rid, row) in snap.delta_rows() {
+            if self.row_matches(selection, row)? {
+                out.push((*rid, row.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    fn row_matches(&self, selection: &Option<Expr>, row: &Row) -> Result<bool> {
+        Ok(match selection {
+            None => true,
+            Some(e) => matches!(e.eval_row(row)?, Value::Bool(true)),
+        })
+    }
+
+    fn run_delete(
+        &self,
+        table: &str,
+        selection: Option<cstore_sql::ast::AstExpr>,
+    ) -> Result<QueryResult> {
+        let entry = self.catalog.try_get(table)?;
+        let schema = entry.schema();
+        let bound = selection
+            .map(|s| bind_expr_on_schema(&s, &schema, table))
+            .transpose()?;
+        match entry {
+            TableEntry::ColumnStore(t) => {
+                let victims = self.matching_rids(&t, &bound)?;
+                let mut n = 0;
+                for (rid, _) in victims {
+                    if t.delete(rid)? {
+                        n += 1;
+                    }
+                }
+                Ok(QueryResult::Affected(n))
+            }
+            TableEntry::Heap(h) => {
+                let victims: Vec<_> = h
+                    .scan_with_rids()
+                    .filter_map(|(rid, row)| {
+                        match self.row_matches(&bound, &row) {
+                            Ok(true) => Some(Ok(rid)),
+                            Ok(false) => None,
+                            Err(e) => Some(Err(e)),
+                        }
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let n = victims.len();
+                self.catalog.with_heap_mut(table, |h| {
+                    for rid in victims {
+                        h.delete(rid);
+                    }
+                    Ok(())
+                })?;
+                Ok(QueryResult::Affected(n))
+            }
+        }
+    }
+
+    fn run_update(
+        &self,
+        table: &str,
+        assignments: Vec<(String, cstore_sql::ast::AstExpr)>,
+        selection: Option<cstore_sql::ast::AstExpr>,
+    ) -> Result<QueryResult> {
+        let entry = self.catalog.try_get(table)?;
+        let schema = entry.schema();
+        let bound_sel = selection
+            .map(|s| bind_expr_on_schema(&s, &schema, table))
+            .transpose()?;
+        let bound_assign: Vec<(usize, DataType, Expr)> = assignments
+            .iter()
+            .map(|(col, e)| {
+                let idx = schema.try_index_of(col)?;
+                Ok((
+                    idx,
+                    schema.field(idx).data_type,
+                    bind_expr_on_schema(e, &schema, table)?,
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let apply = |row: &Row| -> Result<Row> {
+            let mut values = row.values().to_vec();
+            for (idx, ty, e) in &bound_assign {
+                values[*idx] = coerce(e.eval_row(row)?, *ty)?;
+            }
+            Ok(Row::new(values))
+        };
+        match entry {
+            TableEntry::ColumnStore(t) => {
+                let victims = self.matching_rids(&t, &bound_sel)?;
+                let mut n = 0;
+                for (rid, old) in victims {
+                    if t.update(rid, apply(&old)?)?.is_some() {
+                        n += 1;
+                    }
+                }
+                Ok(QueryResult::Affected(n))
+            }
+            TableEntry::Heap(h) => {
+                let victims: Vec<_> = h
+                    .scan_with_rids()
+                    .filter_map(|(rid, row)| match self.row_matches(&bound_sel, &row) {
+                        Ok(true) => Some(apply(&row).map(|new| (rid, new))),
+                        Ok(false) => None,
+                        Err(e) => Some(Err(e)),
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let n = victims.len();
+                self.catalog.with_heap_mut(table, |h| {
+                    for (rid, new) in victims {
+                        h.delete(rid);
+                        h.insert(&new)?;
+                    }
+                    Ok(())
+                })?;
+                Ok(QueryResult::Affected(n))
+            }
+        }
+    }
+
+    // --------------------------------------------------- bulk / admin API
+
+    /// Bulk-load rows into a columnstore table (the paper's bulk insert:
+    /// large batches compress directly, bypassing delta stores).
+    pub fn bulk_load(&self, table: &str, rows: &[Row]) -> Result<cstore_delta::BulkLoadReport> {
+        match self.catalog.try_get(table)? {
+            TableEntry::ColumnStore(t) => t.bulk_insert(rows),
+            TableEntry::Heap(_) => {
+                self.catalog.with_heap_mut(table, |h| h.insert_all(rows))?;
+                Ok(cstore_delta::BulkLoadReport {
+                    compressed_groups: vec![],
+                    delta_rows: rows.len(),
+                })
+            }
+        }
+    }
+
+    /// Run one synchronous tuple-mover pass over a table.
+    pub fn tuple_move(&self, table: &str) -> Result<usize> {
+        match self.catalog.try_get(table)? {
+            TableEntry::ColumnStore(t) => t.tuple_move_once(),
+            TableEntry::Heap(_) => Ok(0),
+        }
+    }
+
+    /// Start a background tuple mover for a table.
+    pub fn start_tuple_mover(&self, table: &str, interval: Duration) -> Result<TupleMover> {
+        match self.catalog.try_get(table)? {
+            TableEntry::ColumnStore(t) => Ok(TupleMover::start(t, interval)),
+            TableEntry::Heap(_) => Err(Error::Catalog(format!(
+                "'{table}' is a heap; the tuple mover applies to columnstores"
+            ))),
+        }
+    }
+
+    /// REORGANIZE a columnstore table: compress closed delta stores and
+    /// rebuild row groups with ≥ `deleted_threshold` deleted rows.
+    pub fn reorganize(&self, table: &str, deleted_threshold: f64) -> Result<(usize, usize)> {
+        match self.catalog.try_get(table)? {
+            TableEntry::ColumnStore(t) => t.reorganize(deleted_threshold),
+            TableEntry::Heap(_) => Ok((0, 0)),
+        }
+    }
+
+    /// Switch a columnstore table to archival compression.
+    pub fn archive_table(&self, table: &str) -> Result<()> {
+        match self.catalog.try_get(table)? {
+            TableEntry::ColumnStore(t) => t.archive_all(),
+            TableEntry::Heap(_) => Err(Error::Unsupported(
+                "archival compression applies to columnstore tables".into(),
+            )),
+        }
+    }
+
+    /// Sample up to `sample_target` rows of `table` and cache histogram
+    /// statistics for the optimizer (the paper's sampling support for
+    /// statistics on columnstore indexes). Also exposed as SQL
+    /// `ANALYZE <table>`.
+    pub fn analyze(&self, table: &str, sample_target: usize) -> Result<()> {
+        use cstore_planner::stats::TableStatistics;
+        use cstore_planner::CatalogProvider;
+        let t = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| Error::Catalog(format!("unknown table '{table}'")))?;
+        let stats = TableStatistics::collect_sampled(&t, sample_target);
+        self.catalog.put_statistics(table, stats);
+        Ok(())
+    }
+
+    /// Persist the whole database (catalog + every table) into a
+    /// directory. Heap tables store their rows; columnstore tables store
+    /// compressed row groups, delta rows and delete bitmaps.
+    pub fn save_to(&self, dir: impl AsRef<std::path::Path>) -> Result<()> {
+        use cstore_storage::blob::{BlobStore, FileBlobStore};
+        use cstore_storage::format::{write_schema, write_value, Writer};
+        let mut store = FileBlobStore::open(dir.as_ref())?;
+        let names = self.catalog.table_names();
+        // Catalog manifest: name, organization, schema per table.
+        let mut w = Writer::new();
+        w.u32(0x4243_5343); // "CSCB"
+        w.u16(cstore_storage::format::FORMAT_VERSION);
+        w.u32(names.len() as u32);
+        for name in &names {
+            let entry = self.catalog.try_get(name)?;
+            w.lp_bytes(name.as_bytes());
+            w.u8(matches!(entry, TableEntry::Heap(_)) as u8);
+            write_schema(&mut w, &entry.schema());
+        }
+        store.put("catalog", &w.seal())?;
+        for name in &names {
+            match self.catalog.try_get(name)? {
+                TableEntry::ColumnStore(t) => t.persist(&mut store, name)?,
+                TableEntry::Heap(h) => {
+                    let mut w = Writer::new();
+                    w.u32(h.n_rows() as u32);
+                    for row in h.scan() {
+                        for v in row.values() {
+                            write_value(&mut w, v);
+                        }
+                    }
+                    store.put(&format!("{name}.heap"), &w.seal())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Open a database persisted by [`Database::save_to`]. Uses this
+    /// database's table-config template for the loaded columnstores.
+    pub fn open_from(dir: impl AsRef<std::path::Path>) -> Result<Database> {
+        use cstore_storage::blob::{BlobStore, FileBlobStore};
+        use cstore_storage::format::{read_schema, read_value, Reader};
+        let store = FileBlobStore::open(dir.as_ref())?;
+        let db = Database::new();
+        let manifest = store.get("catalog")?;
+        let payload = Reader::check_crc(&manifest)?;
+        let mut r = Reader::new(payload);
+        if r.u32()? != 0x4243_5343 {
+            return Err(Error::Storage("bad catalog magic".into()));
+        }
+        let version = r.u16()?;
+        if version != cstore_storage::format::FORMAT_VERSION {
+            return Err(Error::Storage(format!(
+                "unsupported catalog version {version}"
+            )));
+        }
+        let n = r.u32()? as usize;
+        for _ in 0..n {
+            let name = std::str::from_utf8(r.lp_bytes()?)
+                .map_err(|_| Error::Storage("invalid UTF-8 table name".into()))?
+                .to_owned();
+            let is_heap = r.u8()? != 0;
+            let schema = read_schema(&mut r)?;
+            if is_heap {
+                db.catalog.create_heap(&name, schema.clone())?;
+                let blob = store.get(&format!("{name}.heap"))?;
+                let payload = Reader::check_crc(&blob)?;
+                let mut hr = Reader::new(payload);
+                let n_rows = hr.u32()? as usize;
+                let mut rows = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    let mut values = Vec::with_capacity(schema.len());
+                    for _ in 0..schema.len() {
+                        values.push(read_value(&mut hr)?);
+                    }
+                    rows.push(Row::new(values));
+                }
+                db.catalog.with_heap_mut(&name, |h| h.insert_all(&rows))?;
+            } else {
+                let t = cstore_delta::ColumnStoreTable::load(
+                    &store,
+                    &name,
+                    schema,
+                    db.table_config.clone(),
+                )?;
+                db.catalog
+                    .create(&name, TableEntry::ColumnStore(t))?;
+            }
+        }
+        Ok(db)
+    }
+
+    /// Table statistics (columnstore tables).
+    pub fn table_stats(&self, table: &str) -> Result<cstore_delta::TableStats> {
+        match self.catalog.try_get(table)? {
+            TableEntry::ColumnStore(t) => Ok(t.stats()),
+            TableEntry::Heap(h) => Ok(cstore_delta::TableStats {
+                compressed_rows: 0,
+                delta_rows: h.n_rows(),
+                ..Default::default()
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let db = Database::new().with_table_config(TableConfig {
+            delta_capacity: 100,
+            bulk_load_threshold: 500,
+            max_rowgroup_rows: 1000,
+            ..TableConfig::default()
+        });
+        db.execute(
+            "CREATE TABLE sales (id BIGINT NOT NULL, cust_id BIGINT NOT NULL, \
+             amount DOUBLE, day DATE NOT NULL)",
+        )
+        .unwrap();
+        db.execute(
+            "CREATE TABLE customers (id BIGINT NOT NULL, name VARCHAR NOT NULL, \
+             region VARCHAR NOT NULL)",
+        )
+        .unwrap();
+        let rows: Vec<Row> = (0..2000)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int64(i),
+                    Value::Int64(i % 20),
+                    Value::Float64((i % 100) as f64),
+                    Value::Date((i / 100) as i32),
+                ])
+            })
+            .collect();
+        db.bulk_load("sales", &rows).unwrap();
+        let custs: Vec<Row> = (0..20)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int64(i),
+                    Value::str(format!("cust{i}")),
+                    Value::str(["north", "south"][(i % 2) as usize]),
+                ])
+            })
+            .collect();
+        db.bulk_load("customers", &custs).unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let db = db();
+        let r = db
+            .execute("SELECT id, amount FROM sales WHERE id < 5 ORDER BY id")
+            .unwrap();
+        assert_eq!(r.columns(), &["id", "amount"]);
+        assert_eq!(r.rows().len(), 5);
+        assert_eq!(r.rows()[3].get(0), &Value::Int64(3));
+    }
+
+    #[test]
+    fn end_to_end_star_join_aggregate() {
+        let db = db();
+        let r = db
+            .execute(
+                "SELECT c.region, COUNT(*) AS n, SUM(s.amount) AS total \
+                 FROM sales s JOIN customers c ON s.cust_id = c.id \
+                 WHERE s.day < DATE 10 \
+                 GROUP BY c.region ORDER BY region",
+            )
+            .unwrap();
+        assert_eq!(r.rows().len(), 2);
+        // day < 10 → ids 0..1000; split evenly north/south by cust parity.
+        assert_eq!(r.rows()[0].get(0), &Value::str("north"));
+        assert_eq!(r.rows()[0].get(1), &Value::Int64(500));
+        let total_north: f64 = (0..1000)
+            .filter(|i| (i % 20) % 2 == 0)
+            .map(|i| (i % 100) as f64)
+            .sum();
+        assert_eq!(r.rows()[0].get(2), &Value::Float64(total_north));
+    }
+
+    #[test]
+    fn insert_update_delete_cycle() {
+        let db = db();
+        let n = db
+            .execute("INSERT INTO sales VALUES (9999, 1, 42.0, 5), (10000, 2, NULL, 5)")
+            .unwrap()
+            .affected();
+        assert_eq!(n, 2);
+        let r = db
+            .execute("SELECT COUNT(*) FROM sales WHERE id >= 9999")
+            .unwrap();
+        assert_eq!(r.rows()[0].get(0), &Value::Int64(2));
+        let n = db
+            .execute("UPDATE sales SET amount = 100.0 WHERE id = 9999")
+            .unwrap()
+            .affected();
+        assert_eq!(n, 1);
+        let r = db
+            .execute("SELECT amount FROM sales WHERE id = 9999")
+            .unwrap();
+        assert_eq!(r.rows()[0].get(0), &Value::Float64(100.0));
+        let n = db
+            .execute("DELETE FROM sales WHERE id >= 9999")
+            .unwrap()
+            .affected();
+        assert_eq!(n, 2);
+        let r = db
+            .execute("SELECT COUNT(*) FROM sales WHERE id >= 9999")
+            .unwrap();
+        assert_eq!(r.rows()[0].get(0), &Value::Int64(0));
+    }
+
+    #[test]
+    fn delete_then_tuple_move_then_query() {
+        let db = db();
+        db.execute("DELETE FROM sales WHERE id < 100").unwrap();
+        db.execute("INSERT INTO sales VALUES (5000, 3, 1.0, 0)").unwrap();
+        db.tuple_move("sales").unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(r.rows()[0].get(0), &Value::Int64(2000 - 100 + 1));
+    }
+
+    #[test]
+    fn heap_tables_work_via_sql() {
+        let db = Database::new();
+        db.execute("CREATE TABLE h (a BIGINT NOT NULL, b VARCHAR) USING HEAP")
+            .unwrap();
+        db.execute("INSERT INTO h VALUES (1, 'x'), (2, 'y'), (3, NULL)")
+            .unwrap();
+        let r = db.execute("SELECT a FROM h WHERE b IS NOT NULL ORDER BY a DESC").unwrap();
+        assert_eq!(r.rows().len(), 2);
+        assert_eq!(r.rows()[0].get(0), &Value::Int64(2));
+        assert_eq!(db.execute("UPDATE h SET b = 'z' WHERE a = 3").unwrap().affected(), 1);
+        assert_eq!(db.execute("DELETE FROM h WHERE b = 'z'").unwrap().affected(), 1);
+        let r = db.execute("SELECT COUNT(*) FROM h").unwrap();
+        assert_eq!(r.rows()[0].get(0), &Value::Int64(2));
+    }
+
+    #[test]
+    fn explain_reports_pushdown() {
+        let db = db();
+        let r = db
+            .execute("EXPLAIN SELECT id FROM sales WHERE day = 3")
+            .unwrap();
+        let QueryResult::Explain(text) = r else { panic!() };
+        assert!(text.contains("Scan sales"), "{text}");
+        assert!(text.contains("pushed="), "{text}");
+        assert!(text.contains("mode=Batch"), "{text}");
+    }
+
+    #[test]
+    fn archive_preserves_results() {
+        let db = db();
+        let before = db
+            .execute("SELECT SUM(amount) FROM sales")
+            .unwrap()
+            .rows()[0]
+            .get(0)
+            .clone();
+        db.archive_table("sales").unwrap();
+        let after = db
+            .execute("SELECT SUM(amount) FROM sales")
+            .unwrap()
+            .rows()[0]
+            .get(0)
+            .clone();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let db = db();
+        assert!(db.execute("SELECT nope FROM sales").is_err());
+        assert!(db.execute("SELECT * FROM missing").is_err());
+        assert!(db.execute("INSERT INTO sales VALUES (1)").is_err());
+        assert!(db.execute("CREATE TABLE sales (x BIGINT)").is_err());
+        assert!(db.execute("garbage").is_err());
+    }
+
+    #[test]
+    fn to_table_renders() {
+        let db = db();
+        let r = db.execute("SELECT id FROM sales WHERE id < 2 ORDER BY id").unwrap();
+        let text = r.to_table();
+        assert!(text.contains("id"));
+        assert!(text.contains('0') && text.contains('1'));
+    }
+}
+
+#[cfg(test)]
+mod format_tests {
+    use super::*;
+
+    #[test]
+    fn decimal_display_handles_signs_and_scales() {
+        let f = |m: i64, scale: u8| {
+            QueryResult::format_value(&Value::Decimal(m), DataType::Decimal { scale })
+        };
+        assert_eq!(f(1250, 2), "12.50");
+        assert_eq!(f(5, 2), "0.05");
+        assert_eq!(f(-25, 2), "-0.25");
+        assert_eq!(f(-1250, 2), "-12.50");
+        assert_eq!(f(0, 2), "0.00");
+        assert_eq!(f(7, 0), "7");
+        assert_eq!(f(123456, 4), "12.3456");
+    }
+}

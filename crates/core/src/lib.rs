@@ -1,0 +1,13 @@
+//! The user-facing database facade.
+//!
+//! [`Database`] ties the workspace together: a catalog of columnstore and
+//! heap tables, the SQL front end, the optimizer, and both execution
+//! engines — plus the administrative surface the paper's features need
+//! (bulk load, tuple mover control, archival compression, statistics).
+
+pub mod catalog;
+pub mod database;
+
+pub use catalog::{Catalog, TableEntry};
+pub use cstore_planner::ExecMode;
+pub use database::{Database, QueryResult};

@@ -1,0 +1,532 @@
+//! A B+tree keyed by `u64`.
+//!
+//! Delta stores in SQL Server's updatable columnstore are B-trees keyed by
+//! a row locator. This is that substrate: a textbook B+tree with node
+//! splitting on insert and borrow/merge rebalancing on remove, plus an
+//! in-order range iterator for scans. Values live only in leaves.
+
+/// Maximum keys per node; splits happen when a node exceeds this.
+const MAX_KEYS: usize = 32;
+/// Minimum keys per non-root node; merges/borrows restore this on removal.
+const MIN_KEYS: usize = MAX_KEYS / 2;
+
+enum Node<V> {
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<V>,
+    },
+    Internal {
+        /// `keys[i]` is the smallest key reachable under `children[i + 1]`.
+        keys: Vec<u64>,
+        children: Vec<Node<V>>,
+    },
+}
+
+impl<V> Node<V> {
+    fn n_keys(&self) -> usize {
+        match self {
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Internal { keys, .. } => keys.len(),
+        }
+    }
+
+    /// First key in the subtree (used to fix separator keys).
+    fn min_key(&self) -> u64 {
+        match self {
+            Node::Leaf { keys, .. } => keys[0],
+            Node::Internal { children, .. } => children[0].min_key(),
+        }
+    }
+}
+
+/// A B+tree from `u64` keys to values.
+pub struct BTree<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for BTree<V> {
+    fn default() -> Self {
+        BTree::new()
+    }
+}
+
+impl<V> BTree<V> {
+    pub fn new() -> Self {
+        BTree {
+            root: Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+            },
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `key → value`; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        match Self::insert_rec(&mut self.root, key, value) {
+            InsertResult::Replaced(old) => Some(old),
+            InsertResult::Inserted => {
+                self.len += 1;
+                None
+            }
+            InsertResult::Split(sep, right) => {
+                self.len += 1;
+                // Grow the tree by one level.
+                let old_root = std::mem::replace(
+                    &mut self.root,
+                    Node::Internal {
+                        keys: Vec::new(),
+                        children: Vec::new(),
+                    },
+                );
+                if let Node::Internal { keys, children } = &mut self.root {
+                    keys.push(sep);
+                    children.push(old_root);
+                    children.push(right);
+                }
+                None
+            }
+        }
+    }
+
+    fn insert_rec(node: &mut Node<V>, key: u64, value: V) -> InsertResult<V> {
+        match node {
+            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                Ok(i) => InsertResult::Replaced(std::mem::replace(&mut vals[i], value)),
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, value);
+                    if keys.len() > MAX_KEYS {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_vals = vals.split_off(mid);
+                        let sep = right_keys[0];
+                        InsertResult::Split(
+                            sep,
+                            Node::Leaf {
+                                keys: right_keys,
+                                vals: right_vals,
+                            },
+                        )
+                    } else {
+                        InsertResult::Inserted
+                    }
+                }
+            },
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|&k| k <= key);
+                match Self::insert_rec(&mut children[idx], key, value) {
+                    InsertResult::Split(sep, right) => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > MAX_KEYS {
+                            let mid = keys.len() / 2;
+                            // keys[mid] moves up as the separator.
+                            let sep_up = keys[mid];
+                            let right_keys = keys.split_off(mid + 1);
+                            keys.pop();
+                            let right_children = children.split_off(mid + 1);
+                            InsertResult::Split(
+                                sep_up,
+                                Node::Internal {
+                                    keys: right_keys,
+                                    children: right_children,
+                                },
+                            )
+                        } else {
+                            InsertResult::Inserted
+                        }
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(&key).ok().map(|i| &vals[i]);
+                }
+                Node::Internal { keys, children } => {
+                    node = &children[keys.partition_point(|&k| k <= key)];
+                }
+            }
+        }
+    }
+
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Remove `key`, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let removed = Self::remove_rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+            // Shrink the tree when the root is an internal node with a
+            // single child.
+            if let Node::Internal { children, .. } = &mut self.root {
+                if children.len() == 1 {
+                    let child = children.pop().unwrap();
+                    self.root = child;
+                }
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(node: &mut Node<V>, key: u64) -> Option<V> {
+        match node {
+            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(vals.remove(i))
+                }
+                Err(_) => None,
+            },
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|&k| k <= key);
+                let removed = Self::remove_rec(&mut children[idx], key)?;
+                if children[idx].n_keys() < MIN_KEYS {
+                    Self::rebalance(keys, children, idx);
+                }
+                Some(removed)
+            }
+        }
+    }
+
+    /// Restore the B+tree invariant after `children[idx]` underflowed.
+    fn rebalance(keys: &mut Vec<u64>, children: &mut Vec<Node<V>>, idx: usize) {
+        // Try borrowing from the left sibling.
+        if idx > 0 && children[idx - 1].n_keys() > MIN_KEYS {
+            let (left, right) = children.split_at_mut(idx);
+            let left = &mut left[idx - 1];
+            let right = &mut right[0];
+            match (left, right) {
+                (
+                    Node::Leaf { keys: lk, vals: lv },
+                    Node::Leaf { keys: rk, vals: rv },
+                ) => {
+                    rk.insert(0, lk.pop().unwrap());
+                    rv.insert(0, lv.pop().unwrap());
+                    keys[idx - 1] = rk[0];
+                }
+                (
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) => {
+                    let moved_child = lc.pop().unwrap();
+                    let sep = std::mem::replace(&mut keys[idx - 1], lk.pop().unwrap());
+                    rk.insert(0, sep);
+                    rc.insert(0, moved_child);
+                }
+                _ => unreachable!("siblings at the same height share a shape"),
+            }
+            return;
+        }
+        // Try borrowing from the right sibling.
+        if idx + 1 < children.len() && children[idx + 1].n_keys() > MIN_KEYS {
+            let (left, right) = children.split_at_mut(idx + 1);
+            let left = &mut left[idx];
+            let right = &mut right[0];
+            match (left, right) {
+                (
+                    Node::Leaf { keys: lk, vals: lv },
+                    Node::Leaf { keys: rk, vals: rv },
+                ) => {
+                    lk.push(rk.remove(0));
+                    lv.push(rv.remove(0));
+                    keys[idx] = rk[0];
+                }
+                (
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) => {
+                    let sep = std::mem::replace(&mut keys[idx], rk.remove(0));
+                    lk.push(sep);
+                    lc.push(rc.remove(0));
+                }
+                _ => unreachable!(),
+            }
+            return;
+        }
+        // Merge with a sibling (prefer left).
+        let merge_left = if idx > 0 { idx - 1 } else { idx };
+        let sep = keys.remove(merge_left);
+        let right = children.remove(merge_left + 1);
+        let left = &mut children[merge_left];
+        match (left, right) {
+            (
+                Node::Leaf { keys: lk, vals: lv },
+                Node::Leaf {
+                    keys: mut rk,
+                    vals: mut rv,
+                },
+            ) => {
+                lk.append(&mut rk);
+                lv.append(&mut rv);
+            }
+            (
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: mut rk,
+                    children: mut rc,
+                },
+            ) => {
+                lk.push(sep);
+                lk.append(&mut rk);
+                lc.append(&mut rc);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// In-order iterator over `(key, &value)` pairs with `key >= from`.
+    pub fn range_from(&self, from: u64) -> RangeIter<'_, V> {
+        let mut stack = Vec::new();
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, .. } => {
+                    let pos = keys.partition_point(|&k| k < from);
+                    stack.push((node, pos));
+                    break;
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= from);
+                    stack.push((node, idx + 1));
+                    node = &children[idx];
+                }
+            }
+        }
+        RangeIter { stack }
+    }
+
+    /// In-order iterator over all `(key, &value)` pairs.
+    pub fn iter(&self) -> RangeIter<'_, V> {
+        self.range_from(0)
+    }
+
+    /// Smallest key, if any.
+    pub fn first_key(&self) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.root.min_key())
+        }
+    }
+
+    /// Depth of the tree (1 = just a leaf). Exposed for tests/diagnostics.
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            d += 1;
+            node = &children[0];
+        }
+        d
+    }
+}
+
+enum InsertResult<V> {
+    Inserted,
+    Replaced(V),
+    /// The child split: `(separator key, new right node)`.
+    Split(u64, Node<V>),
+}
+
+/// In-order iterator (see [`BTree::range_from`]).
+pub struct RangeIter<'a, V> {
+    /// Path of `(node, next child/entry index)` from root to current leaf.
+    stack: Vec<(&'a Node<V>, usize)>,
+}
+
+impl<'a, V> Iterator for RangeIter<'a, V> {
+    type Item = (u64, &'a V);
+
+    fn next(&mut self) -> Option<(u64, &'a V)> {
+        loop {
+            let (node, pos) = self.stack.last_mut()?;
+            match node {
+                Node::Leaf { keys, vals } => {
+                    if *pos < keys.len() {
+                        let item = (keys[*pos], &vals[*pos]);
+                        *pos += 1;
+                        return Some(item);
+                    }
+                    self.stack.pop();
+                }
+                Node::Internal { children, .. } => {
+                    if *pos < children.len() {
+                        let child = &children[*pos];
+                        *pos += 1;
+                        // Descend to the leftmost leaf of this child.
+                        let mut n = child;
+                        loop {
+                            match n {
+                                Node::Leaf { .. } => {
+                                    self.stack.push((n, 0));
+                                    break;
+                                }
+                                Node::Internal { children, .. } => {
+                                    self.stack.push((n, 1));
+                                    n = &children[0];
+                                }
+                            }
+                        }
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_sequential() {
+        let mut t = BTree::new();
+        for i in 0..10_000u64 {
+            assert_eq!(t.insert(i, i * 2), None);
+        }
+        assert_eq!(t.len(), 10_000);
+        assert!(t.depth() > 1, "tree should have split");
+        for i in 0..10_000u64 {
+            assert_eq!(t.get(i), Some(&(i * 2)));
+        }
+        assert_eq!(t.get(10_000), None);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = BTree::new();
+        assert_eq!(t.insert(5, "a"), None);
+        assert_eq!(t.insert(5, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(5), Some(&"b"));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut t = BTree::new();
+        // Insert in a scrambled order.
+        for i in 0..5000u64 {
+            t.insert((i * 2654435761) % 5000, ());
+        }
+        let keys: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn range_from_starts_at_bound() {
+        let mut t = BTree::new();
+        for i in (0..1000u64).step_by(10) {
+            t.insert(i, i);
+        }
+        let got: Vec<u64> = t.range_from(495).map(|(k, _)| k).take(3).collect();
+        assert_eq!(got, vec![500, 510, 520]);
+        let got: Vec<u64> = t.range_from(500).map(|(k, _)| k).take(2).collect();
+        assert_eq!(got, vec![500, 510]);
+        assert_eq!(t.range_from(10_000).count(), 0);
+    }
+
+    #[test]
+    fn remove_everything_both_orders() {
+        for ascending in [true, false] {
+            let mut t = BTree::new();
+            let n = 3000u64;
+            for i in 0..n {
+                t.insert(i, i);
+            }
+            let order: Vec<u64> = if ascending {
+                (0..n).collect()
+            } else {
+                (0..n).rev().collect()
+            };
+            for (removed, &k) in order.iter().enumerate() {
+                assert_eq!(t.remove(k), Some(k), "removing {k}");
+                assert_eq!(t.len(), n as usize - removed - 1);
+            }
+            assert!(t.is_empty());
+            assert_eq!(t.depth(), 1, "tree should have collapsed");
+        }
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut t = BTree::new();
+        t.insert(1, ());
+        assert_eq!(t.remove(2), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn mirrors_btreemap_under_mixed_workload() {
+        // Deterministic pseudo-random workload checked against std's map.
+        let mut t: BTree<u64> = BTree::new();
+        let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut x: u64 = 88172645463325252;
+        for step in 0..30_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 500;
+            match step % 3 {
+                0 | 1 => {
+                    assert_eq!(t.insert(key, step), m.insert(key, step));
+                }
+                _ => {
+                    assert_eq!(t.remove(key), m.remove(&key));
+                }
+            }
+        }
+        assert_eq!(t.len(), m.len());
+        let t_items: Vec<(u64, u64)> = t.iter().map(|(k, v)| (k, *v)).collect();
+        let m_items: Vec<(u64, u64)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(t_items, m_items);
+    }
+
+    #[test]
+    fn first_key() {
+        let mut t = BTree::new();
+        assert_eq!(t.first_key(), None);
+        t.insert(42, ());
+        t.insert(7, ());
+        assert_eq!(t.first_key(), Some(7));
+    }
+}

@@ -1,0 +1,190 @@
+//! Delta stores: uncompressed row groups backed by a B+tree.
+//!
+//! Trickle inserts land in the table's *open* delta store. When a delta
+//! store reaches capacity it is *closed*; the tuple mover later compresses
+//! closed delta stores into columnar row groups. Deletes of delta-store
+//! rows remove the row from the B+tree directly (no delete-bitmap entry),
+//! exactly as in the paper.
+
+use cstore_common::{Result, Row, RowGroupId, RowId, Schema};
+
+use crate::btree::BTree;
+
+/// Lifecycle state of a delta store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaState {
+    /// Accepting inserts.
+    Open,
+    /// Full; waiting for the tuple mover.
+    Closed,
+}
+
+/// One delta store (an uncompressed row group).
+pub struct DeltaStore {
+    id: RowGroupId,
+    rows: BTree<Row>,
+    state: DeltaState,
+    /// Next tuple id; never reused, so RowIds stay unique even after
+    /// deletes.
+    next_tuple: u32,
+    capacity: usize,
+    approx_bytes: usize,
+}
+
+impl DeltaStore {
+    pub fn new(id: RowGroupId, capacity: usize) -> Self {
+        DeltaStore {
+            id,
+            rows: BTree::new(),
+            state: DeltaState::Open,
+            next_tuple: 0,
+            capacity,
+            approx_bytes: 0,
+        }
+    }
+
+    pub fn id(&self) -> RowGroupId {
+        self.id
+    }
+
+    pub fn state(&self) -> DeltaState {
+        self.state
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate heap bytes held by rows (delta stores are the
+    /// uncompressed, row-format part of the index — this is what the
+    /// storage-overhead experiments report).
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Whether this store has reached capacity (and should be closed).
+    pub fn is_full(&self) -> bool {
+        self.next_tuple as usize >= self.capacity
+    }
+
+    /// Mark closed (no more inserts).
+    pub fn close(&mut self) {
+        self.state = DeltaState::Closed;
+    }
+
+    /// Insert a row, returning its RowId. The row must already be
+    /// schema-checked by the table.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        debug_assert_eq!(self.state, DeltaState::Open, "insert into closed delta store");
+        let rid = RowId::new(self.id, self.next_tuple);
+        self.next_tuple += 1;
+        self.approx_bytes += row.approx_bytes();
+        self.rows.insert(rid.pack(), row);
+        Ok(rid)
+    }
+
+    /// Remove a row by id; returns it if present.
+    pub fn delete(&mut self, rid: RowId) -> Option<Row> {
+        debug_assert_eq!(rid.group, self.id);
+        let row = self.rows.remove(rid.pack())?;
+        self.approx_bytes -= row.approx_bytes();
+        Some(row)
+    }
+
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        self.rows.get(rid.pack())
+    }
+
+    /// Iterate rows in RowId order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.rows.iter().map(|(k, v)| (RowId::unpack(k), v))
+    }
+
+    /// Materialize all rows column-wise (tuple-mover path): returns
+    /// per-column value vectors matching `schema`.
+    pub fn to_columns(&self, schema: &Schema) -> Vec<Vec<cstore_common::Value>> {
+        let mut cols: Vec<Vec<cstore_common::Value>> = (0..schema.len())
+            .map(|_| Vec::with_capacity(self.rows.len()))
+            .collect();
+        for (_, row) in self.rows.iter() {
+            for (c, v) in cols.iter_mut().zip(row.values()) {
+                c.push(v.clone());
+            }
+        }
+        cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstore_common::Value;
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int64(i), Value::str(format!("r{i}"))])
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let mut d = DeltaStore::new(RowGroupId(9), 100);
+        let a = d.insert(row(1)).unwrap();
+        let b = d.insert(row(2)).unwrap();
+        assert_eq!(a, RowId::new(RowGroupId(9), 0));
+        assert_eq!(b, RowId::new(RowGroupId(9), 1));
+        assert_eq!(d.len(), 2);
+        assert!(d.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn delete_removes_and_ids_not_reused() {
+        let mut d = DeltaStore::new(RowGroupId(0), 100);
+        let a = d.insert(row(1)).unwrap();
+        assert!(d.delete(a).is_some());
+        assert!(d.delete(a).is_none());
+        let b = d.insert(row(2)).unwrap();
+        assert_ne!(a, b, "tuple ids must not be reused");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn fills_and_closes() {
+        let mut d = DeltaStore::new(RowGroupId(0), 3);
+        for i in 0..3 {
+            d.insert(row(i)).unwrap();
+        }
+        assert!(d.is_full());
+        d.close();
+        assert_eq!(d.state(), DeltaState::Closed);
+    }
+
+    #[test]
+    fn iter_in_rowid_order() {
+        let mut d = DeltaStore::new(RowGroupId(0), 100);
+        for i in 0..10 {
+            d.insert(row(i)).unwrap();
+        }
+        let ids: Vec<u32> = d.iter().map(|(rid, _)| rid.tuple).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn to_columns_shape() {
+        use cstore_common::{DataType, Field, Schema};
+        let schema = Schema::new(vec![
+            Field::not_null("a", DataType::Int64),
+            Field::not_null("b", DataType::Utf8),
+        ]);
+        let mut d = DeltaStore::new(RowGroupId(0), 100);
+        for i in 0..5 {
+            d.insert(row(i)).unwrap();
+        }
+        let cols = d.to_columns(&schema);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].len(), 5);
+        assert_eq!(cols[0][3], Value::Int64(3));
+    }
+}

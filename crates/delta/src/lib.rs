@@ -1,0 +1,26 @@
+//! The updatable clustered columnstore.
+//!
+//! Implements the paper's main enhancement: a column store index that
+//! serves as the base storage of a table and supports trickle inserts,
+//! deletes, updates and bulk loads. The moving parts:
+//!
+//! * [`btree::BTree`] — the B+tree substrate backing delta stores;
+//! * [`DeltaStore`] — uncompressed row groups absorbing trickle inserts;
+//! * [`DeleteBitmap`] — delete marks for rows in compressed row groups;
+//! * [`ColumnStoreTable`] — the table: compressed row groups (from
+//!   `cstore-storage`) + delta stores + delete bitmap + id allocation;
+//! * [`TupleMover`] — background compression of closed delta stores;
+//! * [`TableSnapshot`] — consistent scan views.
+
+pub mod btree;
+pub mod delete_bitmap;
+pub mod delta_store;
+pub mod snapshot;
+pub mod table;
+pub mod tuple_mover;
+
+pub use delete_bitmap::DeleteBitmap;
+pub use delta_store::{DeltaState, DeltaStore};
+pub use snapshot::TableSnapshot;
+pub use table::{BulkLoadReport, ColumnStoreTable, TableConfig, TableStats};
+pub use tuple_mover::TupleMover;

@@ -1,0 +1,742 @@
+//! The updatable clustered columnstore table.
+//!
+//! This is the paper's headline enhancement: a column store index that is
+//! the *base storage* of the table and supports inserts, deletes, updates
+//! and bulk loads:
+//!
+//! * trickle **inserts** go to the open [`DeltaStore`]; a full delta store
+//!   is closed and later compressed by the tuple mover;
+//! * **bulk loads** at or above `bulk_load_threshold` rows bypass delta
+//!   stores and compress directly (the trailing partial chunk below the
+//!   threshold goes to the delta store);
+//! * **deletes** of compressed rows mark the [`DeleteBitmap`]; deletes of
+//!   delta rows remove them from the B+tree;
+//! * **updates** are delete + insert;
+//! * scans read a [`TableSnapshot`] that merges compressed row groups
+//!   (minus deleted rows) with delta-store rows.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use cstore_common::{Error, Result, Row, RowGroupId, RowId, Schema, Value};
+use cstore_storage::builder::RowGroupBuilder;
+use cstore_storage::{ColumnStore, SortMode};
+
+use crate::delete_bitmap::DeleteBitmap;
+use crate::delta_store::DeltaStore;
+use crate::snapshot::TableSnapshot;
+
+/// Tuning knobs of a columnstore table.
+#[derive(Clone, Debug)]
+pub struct TableConfig {
+    /// Rows per delta store before it closes (paper/product: ~1M).
+    pub delta_capacity: usize,
+    /// Minimum batch size for a bulk load to bypass the delta store
+    /// (product default: 102,400 rows).
+    pub bulk_load_threshold: usize,
+    /// Maximum rows per compressed row group (~1M).
+    pub max_rowgroup_rows: usize,
+    /// Row-reordering policy for compression.
+    pub sort_mode: SortMode,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig {
+            delta_capacity: 1 << 20,
+            bulk_load_threshold: 102_400,
+            max_rowgroup_rows: 1 << 20,
+            sort_mode: SortMode::default(),
+        }
+    }
+}
+
+/// Outcome of a bulk load.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BulkLoadReport {
+    /// Row groups created directly (bypassing delta stores).
+    pub compressed_groups: Vec<RowGroupId>,
+    /// Rows that fell below the threshold and went to the delta store.
+    pub delta_rows: usize,
+}
+
+/// Point-in-time statistics of a table.
+#[derive(Clone, Debug, Default)]
+pub struct TableStats {
+    pub compressed_rows: usize,
+    pub deleted_rows: usize,
+    pub delta_rows: usize,
+    pub n_compressed_groups: usize,
+    pub n_open_deltas: usize,
+    pub n_closed_deltas: usize,
+    /// Encoded bytes of the compressed portion.
+    pub compressed_bytes: usize,
+    /// Approximate bytes held by delta stores.
+    pub delta_bytes: usize,
+}
+
+struct Inner {
+    cs: ColumnStore,
+    open: Option<DeltaStore>,
+    closed: Vec<DeltaStore>,
+    deleted: DeleteBitmap,
+    config: TableConfig,
+}
+
+/// An updatable clustered columnstore table. Cheap to clone (shared state);
+/// all methods take `&self` and synchronize internally, so a background
+/// tuple mover can run against a clone.
+#[derive(Clone)]
+pub struct ColumnStoreTable {
+    schema: Schema,
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl ColumnStoreTable {
+    pub fn new(schema: Schema, config: TableConfig) -> Self {
+        let cs = ColumnStore::new(schema.clone()).with_sort_mode(config.sort_mode.clone());
+        ColumnStoreTable {
+            schema,
+            inner: Arc::new(RwLock::new(Inner {
+                cs,
+                open: None,
+                closed: Vec::new(),
+                deleted: DeleteBitmap::new(),
+                config,
+            })),
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Trickle-insert one row. Returns its RowId (which may later change if
+    /// the tuple mover compresses the row's delta store).
+    pub fn insert(&self, row: Row) -> Result<RowId> {
+        self.schema.check_row(&row)?;
+        let mut inner = self.inner.write();
+        let inner = &mut *inner;
+        if inner.open.as_ref().is_none_or(|d| d.is_full()) {
+            if let Some(mut full) = inner.open.take() {
+                full.close();
+                inner.closed.push(full);
+            }
+            let id = inner.cs.alloc_group_id();
+            inner.open = Some(DeltaStore::new(id, inner.config.delta_capacity));
+        }
+        inner.open.as_mut().unwrap().insert(row)
+    }
+
+    /// Bulk-insert rows. Batches at/above the threshold compress directly;
+    /// a trailing remainder below it goes through the delta store.
+    pub fn bulk_insert(&self, rows: &[Row]) -> Result<BulkLoadReport> {
+        for row in rows {
+            self.schema.check_row(row)?;
+        }
+        let mut report = BulkLoadReport::default();
+        let mut inner = self.inner.write();
+        let (threshold, max_rows, sort) = {
+            let c = &inner.config;
+            (c.bulk_load_threshold, c.max_rowgroup_rows, c.sort_mode.clone())
+        };
+        let mut remaining = rows;
+        if rows.len() >= threshold {
+            while remaining.len() >= threshold {
+                let take = remaining.len().min(max_rows);
+                let (chunk, rest) = remaining.split_at(take);
+                let mut b =
+                    RowGroupBuilder::new(self.schema.clone(), sort.clone()).with_max_rows(take);
+                for row in chunk {
+                    b.push_row(row)?;
+                }
+                let id = inner.cs.finish_builder(b)?;
+                report.compressed_groups.push(id);
+                remaining = rest;
+            }
+        }
+        drop(inner);
+        // Remainder trickles through the delta store.
+        for row in remaining {
+            self.insert(row.clone())?;
+        }
+        report.delta_rows = remaining.len();
+        Ok(report)
+    }
+
+    /// Delete the row at `rid`. Returns `true` if a live row was deleted,
+    /// `false` if the row was already deleted or never existed.
+    pub fn delete(&self, rid: RowId) -> Result<bool> {
+        let mut inner = self.inner.write();
+        // Delta stores first (open, then closed).
+        if let Some(d) = inner.open.as_mut().filter(|d| d.id() == rid.group) {
+            return Ok(d.delete(rid).is_some());
+        }
+        if let Some(d) = inner.closed.iter_mut().find(|d| d.id() == rid.group) {
+            return Ok(d.delete(rid).is_some());
+        }
+        // Compressed groups: mark the delete bitmap.
+        if let Some(g) = inner.cs.group_by_id(rid.group) {
+            if (rid.tuple as usize) < g.n_rows() {
+                return Ok(inner.deleted.delete(rid));
+            }
+            return Ok(false);
+        }
+        Err(Error::Storage(format!("no row group {}", rid.group)))
+    }
+
+    /// Update = delete + insert. Returns the new row's RowId, or `None` if
+    /// `rid` was not a live row.
+    pub fn update(&self, rid: RowId, row: Row) -> Result<Option<RowId>> {
+        if !self.delete(rid)? {
+            return Ok(None);
+        }
+        Ok(Some(self.insert(row)?))
+    }
+
+    /// Fetch the row at `rid` if it is live.
+    pub fn get_row(&self, rid: RowId) -> Result<Option<Row>> {
+        let inner = self.inner.read();
+        if let Some(d) = inner.open.as_ref().filter(|d| d.id() == rid.group) {
+            return Ok(d.get(rid).cloned());
+        }
+        if let Some(d) = inner.closed.iter().find(|d| d.id() == rid.group) {
+            return Ok(d.get(rid).cloned());
+        }
+        if let Some(g) = inner.cs.group_by_id(rid.group) {
+            if (rid.tuple as usize) < g.n_rows() && !inner.deleted.is_deleted(rid) {
+                return Ok(Some(Row::new(g.row_values(rid.tuple as usize)?)));
+            }
+            return Ok(None);
+        }
+        Ok(None)
+    }
+
+    /// Compress every closed delta store into a columnar row group (one
+    /// tuple-mover pass). Returns the number of delta stores moved.
+    ///
+    /// The compressed group reuses the delta store's row-group id, so row
+    /// ids remain unique; tuple ids within the group are reassigned
+    /// (compression reorders rows).
+    pub fn tuple_move_once(&self) -> Result<usize> {
+        // Snapshot the closed stores' contents under a read lock, compress
+        // without holding any lock, then install under the write lock.
+        // Deletes can hit a closed store while it compresses; a store whose
+        // row count changed in between is left in place and retried on the
+        // next pass, so no delete is ever lost.
+        let work: Vec<(RowGroupId, usize, Vec<Vec<Value>>)> = {
+            let inner = self.inner.read();
+            inner
+                .closed
+                .iter()
+                .map(|d| (d.id(), d.len(), d.to_columns(&self.schema)))
+                .collect()
+        };
+        if work.is_empty() {
+            return Ok(0);
+        }
+        let (sort, dicts) = {
+            let inner = self.inner.read();
+            (inner.config.sort_mode.clone(), inner.cs.global_dicts().to_vec())
+        };
+        let mut built = Vec::with_capacity(work.len());
+        for (id, len, cols) in work {
+            let mut b = RowGroupBuilder::new(self.schema.clone(), sort.clone())
+                .with_max_rows(len.max(1));
+            b.push_columns(cols)?;
+            built.push((id, len, b.finish(id, &dicts)?));
+        }
+        let mut moved = 0;
+        let mut inner = self.inner.write();
+        for (id, len, rg) in built {
+            // Install only if the store is still present and unchanged
+            // (it cannot grow — closed stores take no inserts).
+            if let Some(pos) = inner
+                .closed
+                .iter()
+                .position(|d| d.id() == id && d.len() == len)
+            {
+                inner.closed.remove(pos);
+                inner.cs.add_rowgroup(rg);
+                moved += 1;
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Force-close the open delta store (so the next tuple-mover pass picks
+    /// it up). Used by tests, benchmarks and explicit REORGANIZE calls.
+    pub fn close_open_delta(&self) {
+        let mut inner = self.inner.write();
+        if let Some(mut d) = inner.open.take() {
+            if !d.is_empty() {
+                d.close();
+                inner.closed.push(d);
+            }
+        }
+    }
+
+    /// Rebuild one compressed row group, dropping deleted rows and
+    /// re-encoding (REORGANIZE of a group with many deletes).
+    pub fn rebuild_group(&self, id: RowGroupId) -> Result<()> {
+        let mut inner = self.inner.write();
+        let inner = &mut *inner;
+        let Some(g) = inner.cs.group_by_id(id) else {
+            return Err(Error::Storage(format!("no row group {id}")));
+        };
+        let n = g.n_rows();
+        let mut surviving: Vec<Row> = Vec::with_capacity(n);
+        for t in 0..n {
+            let rid = RowId::new(id, t as u32);
+            if !inner.deleted.is_deleted(rid) {
+                surviving.push(Row::new(g.row_values(t)?));
+            }
+        }
+        inner.cs.remove_group(id);
+        inner.deleted.clear_group(id);
+        if !surviving.is_empty() {
+            let mut b = RowGroupBuilder::new(self.schema.clone(), inner.config.sort_mode.clone())
+                .with_max_rows(surviving.len());
+            for row in &surviving {
+                b.push_row(row)?;
+            }
+            inner.cs.finish_builder(b)?;
+        }
+        Ok(())
+    }
+
+    /// REORGANIZE: compress closed delta stores and rebuild compressed row
+    /// groups whose deleted fraction reaches `deleted_threshold` (dropping
+    /// the dead rows and re-encoding). Returns `(groups_rebuilt,
+    /// deltas_compressed)`.
+    pub fn reorganize(&self, deleted_threshold: f64) -> Result<(usize, usize)> {
+        let moved = self.tuple_move_once()?;
+        let victims: Vec<RowGroupId> = {
+            let inner = self.inner.read();
+            inner
+                .cs
+                .groups()
+                .iter()
+                .filter(|g| {
+                    let dead = inner.deleted.deleted_in_group(g.id());
+                    g.n_rows() > 0 && dead as f64 / g.n_rows() as f64 >= deleted_threshold
+                })
+                .map(|g| g.id())
+                .collect()
+        };
+        for id in &victims {
+            self.rebuild_group(*id)?;
+        }
+        Ok((victims.len(), moved))
+    }
+
+    /// Switch a compressed row group to archival compression.
+    pub fn archive_group(&self, id: RowGroupId) -> Result<()> {
+        self.inner.write().cs.archive_group(id)
+    }
+
+    /// Archive every compressed row group (`ALTER ... COLUMNSTORE_ARCHIVE`).
+    pub fn archive_all(&self) -> Result<()> {
+        let ids: Vec<RowGroupId> = {
+            let inner = self.inner.read();
+            inner.cs.groups().iter().map(|g| g.id()).collect()
+        };
+        for id in ids {
+            self.archive_group(id)?;
+        }
+        Ok(())
+    }
+
+    /// Persist the whole table (compressed row groups, delta rows, delete
+    /// bitmap, config) into `store` under `prefix`.
+    pub fn persist(
+        &self,
+        store: &mut dyn cstore_storage::blob::BlobStore,
+        prefix: &str,
+    ) -> Result<()> {
+        use cstore_storage::format::{write_value, Writer};
+        let inner = self.inner.read();
+        inner.cs.persist(store, prefix)?;
+        // Delta rows (open + closed) flatten into one blob; on load they
+        // re-insert through the normal trickle path, so delta-store
+        // boundaries may differ — row ids are not durable, rows are.
+        let mut w = Writer::new();
+        w.u32(0x4454_5343); // "CSTD"
+        w.u16(cstore_storage::format::FORMAT_VERSION);
+        let delta_rows: Vec<&Row> = inner
+            .closed
+            .iter()
+            .chain(inner.open.as_ref())
+            .flat_map(|d| d.iter().map(|(_, r)| r))
+            .collect();
+        w.u32(delta_rows.len() as u32);
+        for row in delta_rows {
+            for v in row.values() {
+                write_value(&mut w, v);
+            }
+        }
+        // Delete bitmap: per-group bitmaps.
+        let groups: Vec<RowGroupId> = inner.cs.groups().iter().map(|g| g.id()).collect();
+        w.u32(groups.len() as u32);
+        for gid in groups {
+            w.u32(gid.0);
+            match inner.deleted.group_bitmap(gid) {
+                Some(b) => {
+                    w.u32(b.len() as u32);
+                    for &word in b.words() {
+                        w.u64(word);
+                    }
+                }
+                None => w.u32(0),
+            }
+        }
+        store.put(&format!("{prefix}.delta"), &w.seal())?;
+        Ok(())
+    }
+
+    /// Load a table persisted by [`ColumnStoreTable::persist`].
+    pub fn load(
+        store: &dyn cstore_storage::blob::BlobStore,
+        prefix: &str,
+        schema: Schema,
+        config: TableConfig,
+    ) -> Result<ColumnStoreTable> {
+        use cstore_storage::format::{read_value, Reader};
+        let cs = ColumnStore::load(store, prefix, schema.clone())?;
+        let table = ColumnStoreTable {
+            schema: schema.clone(),
+            inner: Arc::new(RwLock::new(Inner {
+                cs,
+                open: None,
+                closed: Vec::new(),
+                deleted: DeleteBitmap::new(),
+                config,
+            })),
+        };
+        let blob = store.get(&format!("{prefix}.delta"))?;
+        let payload = Reader::check_crc(&blob)?;
+        let mut r = Reader::new(payload);
+        if r.u32()? != 0x4454_5343 {
+            return Err(Error::Storage("bad delta blob magic".into()));
+        }
+        let version = r.u16()?;
+        if version != cstore_storage::format::FORMAT_VERSION {
+            return Err(Error::Storage(format!(
+                "unsupported delta blob version {version}"
+            )));
+        }
+        let n_rows = r.u32()? as usize;
+        for _ in 0..n_rows {
+            let mut values = Vec::with_capacity(schema.len());
+            for _ in 0..schema.len() {
+                values.push(read_value(&mut r)?);
+            }
+            table.insert(Row::new(values))?;
+        }
+        let n_groups = r.u32()? as usize;
+        {
+            let mut inner = table.inner.write();
+            for _ in 0..n_groups {
+                let gid = RowGroupId(r.u32()?);
+                let len = r.u32()? as usize;
+                if len > 0 {
+                    let mut words = Vec::with_capacity(len.div_ceil(64));
+                    for _ in 0..len.div_ceil(64) {
+                        words.push(r.u64()?);
+                    }
+                    let bitmap = cstore_common::Bitmap::from_words(words, len);
+                    for tuple in bitmap.iter_ones() {
+                        inner.deleted.delete(RowId::new(gid, tuple as u32));
+                    }
+                }
+            }
+        }
+        Ok(table)
+    }
+
+    /// A consistent snapshot for scans.
+    pub fn snapshot(&self) -> TableSnapshot {
+        let inner = self.inner.read();
+        let mut delta_rows = Vec::new();
+        for d in inner
+            .closed
+            .iter()
+            .chain(inner.open.as_ref())
+        {
+            for (rid, row) in d.iter() {
+                delta_rows.push((rid, row.clone()));
+            }
+        }
+        TableSnapshot::new(
+            self.schema.clone(),
+            inner.cs.groups().to_vec(),
+            delta_rows,
+            inner.deleted.clone(),
+        )
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> TableStats {
+        let inner = self.inner.read();
+        let delta_rows: usize = inner
+            .closed
+            .iter()
+            .chain(inner.open.as_ref())
+            .map(|d| d.len())
+            .sum();
+        TableStats {
+            compressed_rows: inner.cs.total_rows(),
+            deleted_rows: inner.deleted.total_deleted(),
+            delta_rows,
+            n_compressed_groups: inner.cs.groups().len(),
+            n_open_deltas: usize::from(inner.open.is_some()),
+            n_closed_deltas: inner.closed.len(),
+            compressed_bytes: inner.cs.encoded_bytes(),
+            delta_bytes: inner
+                .closed
+                .iter()
+                .chain(inner.open.as_ref())
+                .map(|d| d.approx_bytes())
+                .sum(),
+        }
+    }
+
+    /// Live rows (compressed − deleted + delta).
+    pub fn total_rows(&self) -> usize {
+        let s = self.stats();
+        s.compressed_rows - s.deleted_rows + s.delta_rows
+    }
+
+    /// Run `f` with read access to the compressed column store (scan path).
+    pub fn with_columnstore<R>(&self, f: impl FnOnce(&ColumnStore) -> R) -> R {
+        f(&self.inner.read().cs)
+    }
+
+    /// Sum of a column over a snapshot — convenience used by tests.
+    pub fn sum_i64(&self, col: usize) -> Result<i64> {
+        let snap = self.snapshot();
+        let mut total = 0i64;
+        for row in snap.scan_rows() {
+            if let Some(v) = row.get(col).as_i64() {
+                total += v;
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstore_common::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("k", DataType::Int64),
+            Field::not_null("s", DataType::Utf8),
+        ])
+    }
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int64(i), Value::str(format!("v{}", i % 5))])
+    }
+
+    fn small_config() -> TableConfig {
+        TableConfig {
+            delta_capacity: 100,
+            bulk_load_threshold: 500,
+            max_rowgroup_rows: 1000,
+            sort_mode: SortMode::None,
+        }
+    }
+
+    #[test]
+    fn trickle_inserts_fill_and_close_deltas() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        for i in 0..250 {
+            t.insert(row(i)).unwrap();
+        }
+        let s = t.stats();
+        assert_eq!(s.delta_rows, 250);
+        assert_eq!(s.n_closed_deltas, 2);
+        assert_eq!(s.n_open_deltas, 1);
+        assert_eq!(t.total_rows(), 250);
+    }
+
+    #[test]
+    fn tuple_mover_compresses_closed_deltas() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        for i in 0..250 {
+            t.insert(row(i)).unwrap();
+        }
+        let moved = t.tuple_move_once().unwrap();
+        assert_eq!(moved, 2);
+        let s = t.stats();
+        assert_eq!(s.compressed_rows, 200);
+        assert_eq!(s.delta_rows, 50);
+        assert_eq!(s.n_closed_deltas, 0);
+        assert_eq!(t.total_rows(), 250);
+        // Data survives the move.
+        let all: i64 = t.sum_i64(0).unwrap();
+        assert_eq!(all, (0..250).sum::<i64>());
+    }
+
+    #[test]
+    fn bulk_insert_above_threshold_bypasses_delta() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        let rows: Vec<Row> = (0..2300).map(row).collect();
+        let report = t.bulk_insert(&rows).unwrap();
+        // 2300 rows, max group 1000, threshold 500: groups of 1000+1000,
+        // remainder 300 < 500 → delta.
+        assert_eq!(report.compressed_groups.len(), 2);
+        assert_eq!(report.delta_rows, 300);
+        let s = t.stats();
+        assert_eq!(s.compressed_rows, 2000);
+        assert_eq!(s.delta_rows, 300);
+    }
+
+    #[test]
+    fn bulk_insert_below_threshold_goes_to_delta() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        let rows: Vec<Row> = (0..400).map(row).collect();
+        let report = t.bulk_insert(&rows).unwrap();
+        assert!(report.compressed_groups.is_empty());
+        assert_eq!(report.delta_rows, 400);
+        assert_eq!(t.stats().compressed_rows, 0);
+    }
+
+    #[test]
+    fn delete_from_delta_and_compressed() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        // Compressed rows via bulk load.
+        t.bulk_insert(&(0..1000).map(row).collect::<Vec<_>>()).unwrap();
+        // Delta rows via trickle.
+        let rid_delta = t.insert(row(5000)).unwrap();
+        let rid_comp = RowId::new(RowGroupId(0), 10);
+        assert!(t.delete(rid_comp).unwrap());
+        assert!(!t.delete(rid_comp).unwrap(), "double delete");
+        assert!(t.delete(rid_delta).unwrap());
+        assert!(!t.delete(rid_delta).unwrap());
+        assert_eq!(t.total_rows(), 999);
+        assert_eq!(t.get_row(rid_comp).unwrap(), None);
+    }
+
+    #[test]
+    fn delete_unknown_group_errors() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        assert!(t.delete(RowId::new(RowGroupId(99), 0)).is_err());
+    }
+
+    #[test]
+    fn update_moves_row() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        t.bulk_insert(&(0..1000).map(row).collect::<Vec<_>>()).unwrap();
+        let old = RowId::new(RowGroupId(0), 7);
+        let old_row = t.get_row(old).unwrap().unwrap();
+        let new_rid = t.update(old, row(9999)).unwrap().unwrap();
+        assert_ne!(old.group, new_rid.group, "update lands in a delta store");
+        assert_eq!(t.get_row(old).unwrap(), None);
+        assert_eq!(
+            t.get_row(new_rid).unwrap().unwrap().get(0),
+            &Value::Int64(9999)
+        );
+        assert_ne!(old_row.get(0), &Value::Int64(9999));
+        assert_eq!(t.total_rows(), 1000);
+        // Updating a dead row yields None.
+        assert_eq!(t.update(old, row(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn snapshot_merges_all_sources() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        t.bulk_insert(&(0..1000).map(row).collect::<Vec<_>>()).unwrap();
+        t.insert(row(1000)).unwrap();
+        t.delete(RowId::new(RowGroupId(0), 0)).unwrap();
+        let snap = t.snapshot();
+        let keys: std::collections::BTreeSet<i64> = snap
+            .scan_rows()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
+        assert_eq!(keys.len(), 1000);
+        assert!(!keys.contains(&0), "deleted row visible");
+        assert!(keys.contains(&1000), "delta row missing");
+    }
+
+    #[test]
+    fn rebuild_group_drops_deleted() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        t.bulk_insert(&(0..1000).map(row).collect::<Vec<_>>()).unwrap();
+        for tpl in 0..500 {
+            t.delete(RowId::new(RowGroupId(0), tpl)).unwrap();
+        }
+        assert_eq!(t.stats().deleted_rows, 500);
+        t.rebuild_group(RowGroupId(0)).unwrap();
+        let s = t.stats();
+        assert_eq!(s.deleted_rows, 0);
+        assert_eq!(s.compressed_rows, 500);
+        assert_eq!(t.total_rows(), 500);
+    }
+
+    #[test]
+    fn reorganize_rebuilds_heavily_deleted_groups() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        t.bulk_insert(&(0..2000).map(row).collect::<Vec<_>>()).unwrap();
+        // Kill 60% of group 0, 1% of group 1.
+        for tuple in 0..600 {
+            t.delete(RowId::new(RowGroupId(0), tuple)).unwrap();
+        }
+        for tuple in 0..10 {
+            t.delete(RowId::new(RowGroupId(1), tuple)).unwrap();
+        }
+        // Some closed delta stores too.
+        for i in 0..250 {
+            t.insert(row(10_000 + i)).unwrap();
+        }
+        let before = t.total_rows();
+        let (rebuilt, moved) = t.reorganize(0.3).unwrap();
+        assert_eq!(rebuilt, 1, "only the 60%-dead group crosses the threshold");
+        assert_eq!(moved, 2);
+        assert_eq!(t.total_rows(), before);
+        let s = t.stats();
+        assert_eq!(s.deleted_rows, 10, "group 0's marks were purged");
+        // Deleted: group 0 rows k=0..600, group 1 rows k=1000..1010.
+        assert_eq!(
+            t.sum_i64(0).unwrap(),
+            (600..2000).sum::<i64>() - (1000..1010).sum::<i64>()
+                + (10_000..10_250).sum::<i64>(),
+        );
+    }
+
+    #[test]
+    fn archive_all_preserves_scans() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        t.bulk_insert(&(0..2000).map(row).collect::<Vec<_>>()).unwrap();
+        let before: i64 = t.sum_i64(0).unwrap();
+        t.archive_all().unwrap();
+        assert_eq!(t.sum_i64(0).unwrap(), before);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_mover() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        let t2 = t.clone();
+        let writer = std::thread::spawn(move || {
+            for i in 0..2000 {
+                t2.insert(row(i)).unwrap();
+            }
+        });
+        let t3 = t.clone();
+        let mover = std::thread::spawn(move || {
+            for _ in 0..50 {
+                t3.tuple_move_once().unwrap();
+                std::thread::yield_now();
+            }
+        });
+        writer.join().unwrap();
+        mover.join().unwrap();
+        t.tuple_move_once().unwrap();
+        assert_eq!(t.total_rows(), 2000);
+        assert_eq!(t.sum_i64(0).unwrap(), (0..2000).sum::<i64>());
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: the B+tree must behave exactly like `BTreeMap`.
+
+use std::collections::BTreeMap;
+
+use cstore_delta::btree::BTree;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    RangeFrom(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Small key domain → lots of collisions, replacements and removals.
+    let key = 0u64..120;
+    prop_oneof![
+        3 => (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key.clone().prop_map(Op::Remove),
+        1 => key.clone().prop_map(Op::Get),
+        1 => key.prop_map(Op::RangeFrom),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mirrors_btreemap(ops in proptest::collection::vec(arb_op(), 0..600)) {
+        let mut t: BTree<u64> = BTree::new();
+        let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(t.insert(k, v), m.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(t.remove(k), m.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(t.get(k), m.get(&k));
+                }
+                Op::RangeFrom(k) => {
+                    let got: Vec<(u64, u64)> = t.range_from(k).map(|(a, b)| (a, *b)).collect();
+                    let want: Vec<(u64, u64)> = m.range(k..).map(|(&a, &b)| (a, b)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(t.len(), m.len());
+            prop_assert_eq!(t.first_key(), m.keys().next().copied());
+        }
+        let got: Vec<(u64, u64)> = t.iter().map(|(a, b)| (a, *b)).collect();
+        let want: Vec<(u64, u64)> = m.iter().map(|(&a, &b)| (a, b)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_then_drain(keys in proptest::collection::vec(any::<u64>(), 0..800)) {
+        let mut t: BTree<u64> = BTree::new();
+        let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+        for &k in &keys {
+            t.insert(k, k ^ 1);
+            m.insert(k, k ^ 1);
+        }
+        prop_assert_eq!(t.len(), m.len());
+        for &k in &keys {
+            prop_assert_eq!(t.remove(k), m.remove(&k));
+        }
+        prop_assert!(t.is_empty());
+        prop_assert_eq!(t.depth(), 1, "tree must collapse after draining");
+    }
+}

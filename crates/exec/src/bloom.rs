@@ -1,0 +1,155 @@
+//! Bitmap (Bloom) filters for semi-join reduction.
+//!
+//! During a batch hash join's build phase the engine creates a compact
+//! filter over the build-side join keys and pushes it into the probe-side
+//! scan, so fact rows that cannot join are dropped at the scan — before
+//! any join work. SQL Server calls these *bitmap filters*; like the real
+//! implementation, the filter is an **exact bitmap** when the key domain
+//! is small (no false positives) and a **Bloom filter** otherwise.
+
+use cstore_common::hash::hash_u64;
+use cstore_common::Bitmap;
+
+/// Maximum key span (max − min) for the exact-bitmap representation.
+const EXACT_SPAN_LIMIT: u64 = 1 << 21; // 2M bits = 256 KiB
+
+/// Bits per key in the Bloom representation (~1% false positives with
+/// 4 probes at 10 bits/key).
+const BLOOM_BITS_PER_KEY: usize = 10;
+const BLOOM_PROBES: usize = 4;
+
+/// A filter over i64 join keys.
+#[derive(Clone, Debug)]
+pub enum BitmapFilter {
+    /// Dense bitmap over `key - min` for narrow key domains: exact.
+    Exact { min: i64, bits: Bitmap },
+    /// Bloom filter for wide domains: small chance of false positives.
+    Bloom { bits: Bitmap, mask: u64 },
+}
+
+impl BitmapFilter {
+    /// Build from the build side's non-null join keys. Returns `None` for
+    /// an empty key set (the join produces nothing; the planner handles
+    /// that separately).
+    pub fn build(keys: &[i64]) -> Option<BitmapFilter> {
+        let (&min, &max) = (keys.iter().min()?, keys.iter().max()?);
+        let span = max.wrapping_sub(min) as u64;
+        if span < EXACT_SPAN_LIMIT {
+            let mut bits = Bitmap::zeros(span as usize + 1);
+            for &k in keys {
+                bits.set((k - min) as usize);
+            }
+            Some(BitmapFilter::Exact { min, bits })
+        } else {
+            let n_bits = (keys.len() * BLOOM_BITS_PER_KEY)
+                .next_power_of_two()
+                .max(1024);
+            let mut bits = Bitmap::zeros(n_bits);
+            let mask = (n_bits - 1) as u64;
+            for &k in keys {
+                let h = hash_u64(k as u64);
+                let h2 = (h >> 32) | 1;
+                for p in 0..BLOOM_PROBES as u64 {
+                    bits.set((h.wrapping_add(p.wrapping_mul(h2)) & mask) as usize);
+                }
+            }
+            Some(BitmapFilter::Bloom { bits, mask })
+        }
+    }
+
+    /// Might `key` be in the build side? Exact filters never report false
+    /// positives; Bloom filters may.
+    #[inline]
+    pub fn maybe_contains(&self, key: i64) -> bool {
+        match self {
+            BitmapFilter::Exact { min, bits } => {
+                let off = key.wrapping_sub(*min);
+                (0..bits.len() as i64).contains(&off) && bits.get(off as usize)
+            }
+            BitmapFilter::Bloom { bits, mask } => {
+                let h = hash_u64(key as u64);
+                let h2 = (h >> 32) | 1;
+                (0..BLOOM_PROBES as u64)
+                    .all(|p| bits.get((h.wrapping_add(p.wrapping_mul(h2)) & mask) as usize))
+            }
+        }
+    }
+
+    /// Is this the exact (false-positive-free) representation?
+    pub fn is_exact(&self) -> bool {
+        matches!(self, BitmapFilter::Exact { .. })
+    }
+
+    /// Filter size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            BitmapFilter::Exact { bits, .. } | BitmapFilter::Bloom { bits, .. } => {
+                bits.words().len() * 8
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_narrow_domain() {
+        let keys: Vec<i64> = (100..200).collect();
+        let f = BitmapFilter::build(&keys).unwrap();
+        assert!(f.is_exact());
+        for k in 100..200 {
+            assert!(f.maybe_contains(k));
+        }
+        assert!(!f.maybe_contains(99));
+        assert!(!f.maybe_contains(200));
+        assert!(!f.maybe_contains(i64::MIN));
+    }
+
+    #[test]
+    fn bloom_for_wide_domain() {
+        let keys: Vec<i64> = (0..10_000).map(|i| i * 1_000_003).collect();
+        let f = BitmapFilter::build(&keys).unwrap();
+        assert!(!f.is_exact());
+        // No false negatives.
+        for &k in &keys {
+            assert!(f.maybe_contains(k));
+        }
+        // False positive rate on absent keys ≈ 1%.
+        let mut fp = 0;
+        let trials = 10_000;
+        for i in 0..trials {
+            let k = i * 1_000_003 + 17; // guaranteed absent
+            if f.maybe_contains(k) {
+                fp += 1;
+            }
+        }
+        assert!(fp < trials / 20, "false positive rate too high: {fp}/{trials}");
+    }
+
+    #[test]
+    fn negative_keys() {
+        let keys = vec![-5, -1, 3];
+        let f = BitmapFilter::build(&keys).unwrap();
+        assert!(f.is_exact());
+        assert!(f.maybe_contains(-5));
+        assert!(f.maybe_contains(3));
+        assert!(!f.maybe_contains(0));
+        assert!(!f.maybe_contains(-6));
+    }
+
+    #[test]
+    fn empty_keys_yield_none() {
+        assert!(BitmapFilter::build(&[]).is_none());
+    }
+
+    #[test]
+    fn extreme_span_uses_bloom() {
+        let keys = vec![i64::MIN, 0, i64::MAX];
+        let f = BitmapFilter::build(&keys).unwrap();
+        assert!(!f.is_exact());
+        assert!(f.maybe_contains(i64::MIN));
+        assert!(f.maybe_contains(i64::MAX));
+    }
+}

@@ -1,0 +1,868 @@
+//! Scalar expressions with both vectorized (batch-mode) and row-at-a-time
+//! (row-mode) evaluation.
+//!
+//! The same expression tree drives both execution modes, which is exactly
+//! how the experiments isolate the batch-vs-row gap: identical semantics,
+//! different evaluation strategy.
+
+use cstore_common::{Bitmap, DataType, Error, Result, Row, Value};
+use cstore_storage::pred::CmpOp;
+
+use crate::batch::Batch;
+use crate::vector::{StrVector, Vector};
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// A scalar expression over the columns of a batch/row.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Column reference (ordinal into the input).
+    Col(usize),
+    /// Literal constant.
+    Lit(Value),
+    /// Comparison producing a boolean.
+    Cmp {
+        op: CmpOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Arith {
+        op: ArithOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    IsNull(Box<Expr>),
+    IsNotNull(Box<Expr>),
+    /// `col IN (list)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Value>,
+    },
+    /// `expr LIKE pattern` (`%` = any run, `_` = any one char; no escape).
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+    },
+}
+
+/// SQL LIKE matching (`%`/`_` wildcards), iterative with backtracking to
+/// the most recent `%`.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pi after %, si at %)
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, si));
+            pi += 1;
+        } else if let Some((sp, ss)) = star {
+            // Let the last % absorb one more character.
+            pi = sp;
+            si = ss + 1;
+            star = Some((sp, si));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+impl Expr {
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    pub fn and(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::And(Box::new(lhs), Box::new(rhs))
+    }
+
+    pub fn or(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(lhs), Box::new(rhs))
+    }
+
+    pub fn arith(op: ArithOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Arith {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// The expression's output type given input column types. Comparisons
+    /// and boolean connectives yield `Bool`.
+    pub fn infer_type(&self, inputs: &[DataType]) -> Result<DataType> {
+        Ok(match self {
+            Expr::Col(i) => *inputs
+                .get(*i)
+                .ok_or_else(|| Error::Plan(format!("column {i} out of range")))?,
+            Expr::Lit(v) => v.data_type().unwrap_or(DataType::Int64),
+            Expr::Cmp { .. }
+            | Expr::And(..)
+            | Expr::Or(..)
+            | Expr::Not(..)
+            | Expr::IsNull(..)
+            | Expr::IsNotNull(..)
+            | Expr::InList { .. }
+            | Expr::Like { .. } => DataType::Bool,
+            Expr::Arith { op, lhs, rhs } => {
+                let l = lhs.infer_type(inputs)?;
+                let r = rhs.infer_type(inputs)?;
+                if l == DataType::Float64 || r == DataType::Float64 {
+                    DataType::Float64
+                } else if *op == ArithOp::Div {
+                    // Integer division stays integral (SQL semantics).
+                    DataType::Int64
+                } else {
+                    match (l, r) {
+                        (DataType::Decimal { scale }, _) | (_, DataType::Decimal { scale }) => {
+                            DataType::Decimal { scale }
+                        }
+                        _ => DataType::Int64,
+                    }
+                }
+            }
+        })
+    }
+
+    /// All column ordinals this expression reads.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            Expr::Lit(_) => {}
+            Expr::Cmp { lhs, rhs, .. } | Expr::Arith { lhs, rhs, .. } => {
+                lhs.referenced_columns(out);
+                rhs.referenced_columns(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.referenced_columns(out);
+                b.referenced_columns(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) => e.referenced_columns(out),
+            Expr::InList { expr, .. } | Expr::Like { expr, .. } => {
+                expr.referenced_columns(out)
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- row mode
+
+    /// Row-at-a-time evaluation (SQL three-valued logic: comparisons with
+    /// NULL yield NULL, which filters treat as false).
+    pub fn eval_row(&self, row: &Row) -> Result<Value> {
+        Ok(match self {
+            Expr::Col(i) => row.get(*i).clone(),
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp { op, lhs, rhs } => {
+                let l = lhs.eval_row(row)?;
+                let r = rhs.eval_row(row)?;
+                if l.is_null() || r.is_null() {
+                    Value::Null
+                } else {
+                    Value::Bool(op.eval(l.cmp_sql(&r)))
+                }
+            }
+            Expr::And(a, b) => {
+                match (a.eval_row(row)?, b.eval_row(row)?) {
+                    (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
+                    (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                }
+            }
+            Expr::Or(a, b) => match (a.eval_row(row)?, b.eval_row(row)?) {
+                (Value::Bool(true), _) | (_, Value::Bool(true)) => Value::Bool(true),
+                (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
+                _ => Value::Null,
+            },
+            Expr::Not(e) => match e.eval_row(row)? {
+                Value::Bool(b) => Value::Bool(!b),
+                Value::Null => Value::Null,
+                v => return Err(Error::Type(format!("NOT on non-boolean {v:?}"))),
+            },
+            Expr::IsNull(e) => Value::Bool(e.eval_row(row)?.is_null()),
+            Expr::IsNotNull(e) => Value::Bool(!e.eval_row(row)?.is_null()),
+            Expr::InList { expr, list } => {
+                let v = expr.eval_row(row)?;
+                if v.is_null() {
+                    Value::Null
+                } else {
+                    Value::Bool(list.iter().any(|x| v.eq_storage(x)))
+                }
+            }
+            Expr::Like { expr, pattern } => {
+                let v = expr.eval_row(row)?;
+                match v {
+                    Value::Null => Value::Null,
+                    Value::Str(s) => Value::Bool(like_match(&s, pattern)),
+                    other => {
+                        return Err(Error::Type(format!("LIKE on non-string {other:?}")))
+                    }
+                }
+            }
+            Expr::Arith { op, lhs, rhs } => {
+                let l = lhs.eval_row(row)?;
+                let r = rhs.eval_row(row)?;
+                if l.is_null() || r.is_null() {
+                    Value::Null
+                } else {
+                    eval_arith_scalar(*op, &l, &r)?
+                }
+            }
+        })
+    }
+
+    // -------------------------------------------------------- batch mode
+
+    /// Vectorized evaluation over all physical rows of a batch (the
+    /// qualifying bitmap is applied by the *caller* — filters AND the
+    /// result in, projections ignore unqualified lanes).
+    pub fn eval(&self, batch: &Batch) -> Result<Vector> {
+        match self {
+            Expr::Col(i) => Ok(batch.column(*i).clone()),
+            Expr::Lit(v) => Vector::constant(
+                v.data_type().unwrap_or(DataType::Int64),
+                v,
+                batch.n_rows(),
+            ),
+            Expr::Arith { op, lhs, rhs } => {
+                let l = lhs.eval(batch)?;
+                let r = rhs.eval(batch)?;
+                eval_arith_vector(*op, &l, &r)
+            }
+            // Boolean-valued expressions evaluate to a 0/1 I64 vector with
+            // NULLs where three-valued logic says unknown.
+            _ => {
+                let (bits, nulls) = self.eval_bool(batch)?;
+                let n = batch.n_rows();
+                let mut values = vec![0i64; n];
+                for i in bits.iter_ones() {
+                    values[i] = 1;
+                }
+                Ok(Vector::I64 {
+                    values,
+                    nulls,
+                })
+            }
+        }
+    }
+
+    /// Vectorized predicate evaluation: the bitmap of rows where the
+    /// expression is TRUE (NULL counts as not-true, per SQL).
+    pub fn eval_pred(&self, batch: &Batch) -> Result<Bitmap> {
+        let (mut bits, nulls) = self.eval_bool(batch)?;
+        if let Some(nulls) = nulls {
+            bits.subtract(&nulls);
+        }
+        Ok(bits)
+    }
+
+    /// Three-valued vectorized evaluation: `(true_bits, unknown_bits)`.
+    /// Invariant: the two bitmaps are disjoint — a lane is TRUE, UNKNOWN,
+    /// or (in neither) FALSE. Comparison kernels run over all lanes
+    /// including NULL ones (whose physical values are garbage), so every
+    /// producer must mask unknown lanes out of its true bits.
+    fn eval_bool(&self, batch: &Batch) -> Result<(Bitmap, Option<Bitmap>)> {
+        let n = batch.n_rows();
+        match self {
+            Expr::Cmp { op, lhs, rhs } => {
+                let l = lhs.eval(batch)?;
+                let r = rhs.eval(batch)?;
+                let mut bits = compare_vectors(*op, &l, &r, n)?;
+                let nulls = union_nulls(&l, &r, n);
+                if let Some(nulls) = &nulls {
+                    bits.subtract(nulls);
+                }
+                Ok((bits, nulls))
+            }
+            Expr::And(a, b) => {
+                let (ab, an) = a.eval_bool(batch)?;
+                let (bb, bn) = b.eval_bool(batch)?;
+                let mut bits = ab.clone();
+                bits.intersect_with(&bb);
+                // unknown = (aU & bU) | (aU & bT) | (aT & bU)
+                let nulls = merge_and_unknown(&ab, &an, &bb, &bn, n);
+                Ok((bits, nulls))
+            }
+            Expr::Or(a, b) => {
+                let (ab, an) = a.eval_bool(batch)?;
+                let (bb, bn) = b.eval_bool(batch)?;
+                let mut bits = ab.clone();
+                bits.union_with(&bb);
+                // unknown = any unknown input that isn't overridden by a TRUE
+                let nulls = match (an, bn) {
+                    (None, None) => None,
+                    (an, bn) => {
+                        let mut u = an.unwrap_or_else(|| Bitmap::zeros(n));
+                        if let Some(bn) = bn {
+                            u.union_with(&bn);
+                        }
+                        u.subtract(&bits);
+                        u.any().then_some(u)
+                    }
+                };
+                Ok((bits, nulls))
+            }
+            Expr::Not(e) => {
+                let (mut bits, nulls) = e.eval_bool(batch)?;
+                bits.negate();
+                if let Some(nulls) = &nulls {
+                    bits.subtract(nulls);
+                }
+                Ok((bits, nulls))
+            }
+            Expr::IsNull(e) => {
+                let v = e.eval(batch)?;
+                let bits = v
+                    .nulls()
+                    .cloned()
+                    .unwrap_or_else(|| Bitmap::zeros(n));
+                Ok((bits, None))
+            }
+            Expr::IsNotNull(e) => {
+                let v = e.eval(batch)?;
+                let mut bits = Bitmap::ones(n);
+                if let Some(nulls) = v.nulls() {
+                    bits.subtract(nulls);
+                }
+                Ok((bits, None))
+            }
+            Expr::Like { expr, pattern } => {
+                let v = expr.eval(batch)?;
+                let mut bits = Bitmap::zeros(n);
+                match &v {
+                    Vector::Str { strings, .. } => match strings {
+                        StrVector::Dict { codes, dict } => {
+                            // Evaluate once per distinct code, gather.
+                            let code_match: Vec<bool> = (0..dict.len() as u32)
+                                .map(|c| like_match(dict.str_at(c), pattern))
+                                .collect();
+                            for (i, &c) in codes.iter().enumerate() {
+                                if code_match[c as usize] {
+                                    bits.set(i);
+                                }
+                            }
+                        }
+                        StrVector::Owned(vals) => {
+                            for (i, s) in vals.iter().enumerate() {
+                                if like_match(s, pattern) {
+                                    bits.set(i);
+                                }
+                            }
+                        }
+                    },
+                    _ => return Err(Error::Type("LIKE on non-string column".into())),
+                }
+                let nulls = v.nulls().cloned();
+                if let Some(nulls) = &nulls {
+                    bits.subtract(nulls);
+                }
+                Ok((bits, nulls))
+            }
+            Expr::InList { expr, list } => {
+                let v = expr.eval(batch)?;
+                let mut bits = Bitmap::zeros(n);
+                for item in list {
+                    let c = Vector::constant(
+                        item.data_type().unwrap_or(DataType::Int64),
+                        item,
+                        n,
+                    )?;
+                    bits.union_with(&compare_vectors(CmpOp::Eq, &v, &c, n)?);
+                }
+                let nulls = v.nulls().cloned();
+                if let Some(nulls) = &nulls {
+                    bits.subtract(nulls);
+                }
+                Ok((bits, nulls))
+            }
+            // Non-boolean expressions used in boolean position: nonzero =
+            // true (permissive, used for computed boolean columns).
+            other => {
+                let v = other.eval(batch)?;
+                let mut bits = Bitmap::zeros(n);
+                match &v {
+                    Vector::I64 { values, .. } => {
+                        for (i, &x) in values.iter().enumerate() {
+                            if x != 0 {
+                                bits.set(i);
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(Error::Type(
+                            "non-boolean expression in predicate position".into(),
+                        ))
+                    }
+                }
+                let nulls = v.nulls().cloned();
+                if let Some(nulls) = &nulls {
+                    bits.subtract(nulls);
+                }
+                Ok((bits, nulls))
+            }
+        }
+    }
+}
+
+fn union_nulls(l: &Vector, r: &Vector, n: usize) -> Option<Bitmap> {
+    match (l.nulls(), r.nulls()) {
+        (None, None) => None,
+        (a, b) => {
+            let mut u = a.cloned().unwrap_or_else(|| Bitmap::zeros(n));
+            if let Some(b) = b {
+                u.union_with(b);
+            }
+            Some(u)
+        }
+    }
+}
+
+/// AND's unknown lanes: unknown unless either side is definitely FALSE.
+fn merge_and_unknown(
+    ab: &Bitmap,
+    an: &Option<Bitmap>,
+    bb: &Bitmap,
+    bn: &Option<Bitmap>,
+    n: usize,
+) -> Option<Bitmap> {
+    if an.is_none() && bn.is_none() {
+        return None;
+    }
+    let mut u = an.clone().unwrap_or_else(|| Bitmap::zeros(n));
+    if let Some(bn) = bn {
+        u.union_with(bn);
+    }
+    // definitely-false lanes: (!aT & !aU) | (!bT & !bU)
+    let mut a_false = ab.clone();
+    a_false.negate();
+    if let Some(an) = an {
+        a_false.subtract(an);
+    }
+    let mut b_false = bb.clone();
+    b_false.negate();
+    if let Some(bn) = bn {
+        b_false.subtract(bn);
+    }
+    u.subtract(&a_false);
+    u.subtract(&b_false);
+    u.any().then_some(u)
+}
+
+/// Vectorized comparison kernels.
+fn compare_vectors(op: CmpOp, l: &Vector, r: &Vector, n: usize) -> Result<Bitmap> {
+    let mut bits = Bitmap::zeros(n);
+    match (l, r) {
+        (Vector::I64 { values: a, .. }, Vector::I64 { values: b, .. }) => {
+            cmp_loop(op, a, b, &mut bits);
+        }
+        (Vector::F64 { values: a, .. }, Vector::F64 { values: b, .. }) => {
+            for i in 0..n {
+                if op.eval(a[i].total_cmp(&b[i])) {
+                    bits.set(i);
+                }
+            }
+        }
+        (Vector::I64 { values: a, .. }, Vector::F64 { values: b, .. }) => {
+            for i in 0..n {
+                if op.eval((a[i] as f64).total_cmp(&b[i])) {
+                    bits.set(i);
+                }
+            }
+        }
+        (Vector::F64 { values: a, .. }, Vector::I64 { values: b, .. }) => {
+            for i in 0..n {
+                if op.eval(a[i].total_cmp(&(b[i] as f64))) {
+                    bits.set(i);
+                }
+            }
+        }
+        (Vector::Str { strings: a, .. }, Vector::Str { strings: b, .. }) => {
+            // Same-dictionary fast path: compare codes (dictionaries are
+            // sorted, so code order == string order).
+            if let (
+                StrVector::Dict { codes: ca, dict: da },
+                StrVector::Dict { codes: cb, dict: db },
+            ) = (a, b)
+            {
+                if std::sync::Arc::ptr_eq(da, db) {
+                    for i in 0..n {
+                        if op.eval(ca[i].cmp(&cb[i])) {
+                            bits.set(i);
+                        }
+                    }
+                    return Ok(bits);
+                }
+            }
+            for i in 0..n {
+                if op.eval(a.get(i).as_ref().cmp(b.get(i).as_ref())) {
+                    bits.set(i);
+                }
+            }
+        }
+        _ => {
+            return Err(Error::Type(
+                "comparison between incompatible vector types".into(),
+            ))
+        }
+    }
+    Ok(bits)
+}
+
+/// The hot inner loop, monomorphized per operator so the compiler emits a
+/// branch-free (and often SIMD) kernel.
+fn cmp_loop(op: CmpOp, a: &[i64], b: &[i64], bits: &mut Bitmap) {
+    #[inline(always)]
+    fn run(a: &[i64], b: &[i64], bits: &mut Bitmap, f: impl Fn(i64, i64) -> bool) {
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            if f(x, y) {
+                bits.set(i);
+            }
+        }
+    }
+    match op {
+        CmpOp::Eq => run(a, b, bits, |x, y| x == y),
+        CmpOp::Ne => run(a, b, bits, |x, y| x != y),
+        CmpOp::Lt => run(a, b, bits, |x, y| x < y),
+        CmpOp::Le => run(a, b, bits, |x, y| x <= y),
+        CmpOp::Gt => run(a, b, bits, |x, y| x > y),
+        CmpOp::Ge => run(a, b, bits, |x, y| x >= y),
+    }
+}
+
+fn eval_arith_scalar(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+    // Float if either side is float; else integer (wrapping is an error).
+    if matches!(l, Value::Float64(_)) || matches!(r, Value::Float64(_)) {
+        let (a, b) = (
+            l.as_f64().ok_or_else(|| Error::Type(format!("non-numeric {l:?}")))?,
+            r.as_f64().ok_or_else(|| Error::Type(format!("non-numeric {r:?}")))?,
+        );
+        Ok(Value::Float64(match op {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => {
+                if b == 0.0 {
+                    return Err(Error::Execution("division by zero".into()));
+                }
+                a / b
+            }
+        }))
+    } else {
+        let (a, b) = (
+            l.as_i64().ok_or_else(|| Error::Type(format!("non-numeric {l:?}")))?,
+            r.as_i64().ok_or_else(|| Error::Type(format!("non-numeric {r:?}")))?,
+        );
+        let out = match op {
+            ArithOp::Add => a.checked_add(b),
+            ArithOp::Sub => a.checked_sub(b),
+            ArithOp::Mul => a.checked_mul(b),
+            ArithOp::Div => {
+                if b == 0 {
+                    return Err(Error::Execution("division by zero".into()));
+                }
+                a.checked_div(b)
+            }
+        };
+        out.map(Value::Int64)
+            .ok_or_else(|| Error::Execution("integer overflow".into()))
+    }
+}
+
+fn eval_arith_vector(op: ArithOp, l: &Vector, r: &Vector) -> Result<Vector> {
+    let n = l.len();
+    let nulls = union_nulls(l, r, n);
+    match (l, r) {
+        (Vector::I64 { values: a, .. }, Vector::I64 { values: b, .. }) => {
+            let mut out = Vec::with_capacity(n);
+            match op {
+                ArithOp::Add => {
+                    for i in 0..n {
+                        out.push(a[i].wrapping_add(b[i]));
+                    }
+                }
+                ArithOp::Sub => {
+                    for i in 0..n {
+                        out.push(a[i].wrapping_sub(b[i]));
+                    }
+                }
+                ArithOp::Mul => {
+                    for i in 0..n {
+                        out.push(a[i].wrapping_mul(b[i]));
+                    }
+                }
+                ArithOp::Div => {
+                    for i in 0..n {
+                        // NULL lanes carry 0; division by zero in a live
+                        // lane is an error, in a dead lane is ignored.
+                        if b[i] == 0 {
+                            if !nulls.as_ref().is_some_and(|x| x.get(i)) {
+                                return Err(Error::Execution("division by zero".into()));
+                            }
+                            out.push(0);
+                        } else {
+                            out.push(a[i].wrapping_div(b[i]));
+                        }
+                    }
+                }
+            }
+            Ok(Vector::I64 { values: out, nulls })
+        }
+        _ => {
+            // Mixed / float arithmetic: promote both sides to f64.
+            let to_f64 = |v: &Vector| -> Result<Vec<f64>> {
+                Ok(match v {
+                    Vector::F64 { values, .. } => values.clone(),
+                    Vector::I64 { values, .. } => values.iter().map(|&x| x as f64).collect(),
+                    Vector::Str { .. } => {
+                        return Err(Error::Type("arithmetic on strings".into()))
+                    }
+                })
+            };
+            let a = to_f64(l)?;
+            let b = to_f64(r)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(match op {
+                    ArithOp::Add => a[i] + b[i],
+                    ArithOp::Sub => a[i] - b[i],
+                    ArithOp::Mul => a[i] * b[i],
+                    ArithOp::Div => a[i] / b[i], // IEEE inf/NaN semantics
+                });
+            }
+            Ok(Vector::F64 { values: out, nulls })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstore_common::Row;
+
+    fn batch() -> Batch {
+        Batch::from_rows(
+            &[DataType::Int64, DataType::Utf8, DataType::Float64],
+            &[
+                Row::new(vec![Value::Int64(1), Value::str("a"), Value::Float64(0.5)]),
+                Row::new(vec![Value::Int64(2), Value::str("b"), Value::Null]),
+                Row::new(vec![Value::Null, Value::str("c"), Value::Float64(2.5)]),
+                Row::new(vec![Value::Int64(4), Value::str("a"), Value::Float64(4.0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cmp_pred_matches_rows() {
+        let b = batch();
+        let p = Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(2i64));
+        assert_eq!(p.eval_pred(&b).unwrap().to_indices(), vec![1, 3]);
+    }
+
+    #[test]
+    fn null_lanes_are_not_true() {
+        let b = batch();
+        // col0 >= 0 is unknown for the NULL row
+        let p = Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(0i64));
+        assert_eq!(p.eval_pred(&b).unwrap().to_indices(), vec![0, 1, 3]);
+        // NOT(col0 >= 0): null is still not true
+        let np = Expr::Not(Box::new(p));
+        assert_eq!(np.eval_pred(&b).unwrap().to_indices(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn string_comparison() {
+        let b = batch();
+        let p = Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit("a"));
+        assert_eq!(p.eval_pred(&b).unwrap().to_indices(), vec![0, 3]);
+    }
+
+    #[test]
+    fn and_or_three_valued() {
+        let b = batch();
+        let ge2 = Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(2i64)); // T at 1,3; U at 2
+        let is_a = Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit("a")); // T at 0,3
+        let and = Expr::and(ge2.clone(), is_a.clone());
+        assert_eq!(and.eval_pred(&b).unwrap().to_indices(), vec![3]);
+        let or = Expr::or(ge2, is_a);
+        assert_eq!(or.eval_pred(&b).unwrap().to_indices(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn batch_and_row_agree() {
+        let b = batch();
+        let rows = b.to_rows();
+        let exprs = [
+            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(3i64)),
+            Expr::and(
+                Expr::cmp(CmpOp::Gt, Expr::col(2), Expr::lit(0.0)),
+                Expr::cmp(CmpOp::Ne, Expr::col(1), Expr::lit("b")),
+            ),
+            Expr::IsNull(Box::new(Expr::col(2))),
+            Expr::InList {
+                expr: Box::new(Expr::col(0)),
+                list: vec![Value::Int64(1), Value::Int64(4)],
+            },
+        ];
+        for e in &exprs {
+            let batch_bits = e.eval_pred(&b).unwrap();
+            for (i, row) in rows.iter().enumerate() {
+                let want = matches!(e.eval_row(row).unwrap(), Value::Bool(true));
+                assert_eq!(batch_bits.get(i), want, "expr {e:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_vectorized() {
+        let b = batch();
+        let e = Expr::arith(
+            ArithOp::Mul,
+            Expr::col(0),
+            Expr::lit(10i64),
+        );
+        let v = e.eval(&b).unwrap();
+        assert_eq!(v.i64_at(1), 20);
+        assert!(v.is_null(2), "null propagates");
+        // float promotion
+        let f = Expr::arith(ArithOp::Add, Expr::col(0), Expr::col(2));
+        let v = f.eval(&b).unwrap();
+        assert_eq!(v.value_at(0, DataType::Float64), Value::Float64(1.5));
+        assert!(v.is_null(1) && v.is_null(2));
+    }
+
+    #[test]
+    fn division_by_zero_detected() {
+        let b = batch();
+        let e = Expr::arith(ArithOp::Div, Expr::col(0), Expr::lit(0i64));
+        assert!(e.eval(&b).is_err());
+        assert!(e
+            .eval_row(&Row::new(vec![
+                Value::Int64(1),
+                Value::str("x"),
+                Value::Null
+            ]))
+            .is_err());
+    }
+
+    #[test]
+    fn infer_types() {
+        let inputs = [DataType::Int64, DataType::Utf8, DataType::Float64];
+        assert_eq!(
+            Expr::col(2).infer_type(&inputs).unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(
+            Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::lit(1i64))
+                .infer_type(&inputs)
+                .unwrap(),
+            DataType::Bool
+        );
+        assert_eq!(
+            Expr::arith(ArithOp::Add, Expr::col(0), Expr::col(2))
+                .infer_type(&inputs)
+                .unwrap(),
+            DataType::Float64
+        );
+        assert!(Expr::col(9).infer_type(&inputs).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let e = Expr::and(
+            Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::col(1)),
+            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(1i64)),
+        );
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 1]);
+    }
+}
+
+#[cfg(test)]
+mod like_tests {
+    use super::*;
+
+    #[test]
+    fn like_matcher_semantics() {
+        let cases = [
+            ("abc", "abc", true),
+            ("abc", "a%", true),
+            ("abc", "%c", true),
+            ("abc", "%b%", true),
+            ("abc", "a_c", true),
+            ("abc", "a_b", false),
+            ("abc", "", false),
+            ("", "", true),
+            ("", "%", true),
+            ("abc", "%", true),
+            ("abc", "abcd", false),
+            ("abc", "ab", false),
+            ("aXbXc", "a%b%c", true),
+            ("mississippi", "%iss%pi", true),
+            ("mississippi", "%iss%ippi", true),
+            ("mississippi", "%iss%pix", false),
+            ("aaa", "a%a%a", true),
+            ("aa", "a%a%a", false),
+            ("hello world", "hello%", true),
+            ("héllo", "h_llo", true),
+        ];
+        for (s, p, want) in cases {
+            assert_eq!(like_match(s, p), want, "{s:?} LIKE {p:?}");
+        }
+    }
+
+    #[test]
+    fn like_vectorized_matches_rowwise() {
+        use cstore_common::{DataType, Row, Value};
+        let rows: Vec<Row> = ["apple", "apricot", "banana", "grape"]
+            .iter()
+            .map(|s| Row::new(vec![Value::str(*s)]))
+            .chain(std::iter::once(Row::new(vec![Value::Null])))
+            .collect();
+        let batch = crate::batch::Batch::from_rows(&[DataType::Utf8], &rows).unwrap();
+        let e = Expr::Like {
+            expr: Box::new(Expr::col(0)),
+            pattern: "ap%".into(),
+        };
+        let bits = e.eval_pred(&batch).unwrap();
+        assert_eq!(bits.to_indices(), vec![0, 1]);
+        for (i, row) in rows.iter().enumerate() {
+            let want = matches!(e.eval_row(row).unwrap(), Value::Bool(true));
+            assert_eq!(bits.get(i), want, "row {i}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Mixed-mode adapters: row↔batch boundaries.
+//!
+//! SQL Server plans can mix modes — a batch region feeding a row region
+//! and vice versa — with explicit conversion points. These operators are
+//! those points; the planner inserts them when costing chooses different
+//! modes for different plan regions.
+
+use cstore_common::{DataType, Result, Row};
+
+use crate::batch::Batch;
+use crate::ops::{BatchOperator, BoxedBatchOp, BoxedRowOp, RowOperator};
+
+/// Collects rows from a row-mode input into batches.
+pub struct RowToBatch {
+    input: BoxedRowOp,
+    batch_size: usize,
+    types: Vec<DataType>,
+    done: bool,
+}
+
+impl RowToBatch {
+    pub fn new(input: BoxedRowOp, batch_size: usize) -> Self {
+        let types = input.output_types().to_vec();
+        RowToBatch {
+            input,
+            batch_size: batch_size.max(1),
+            types,
+            done: false,
+        }
+    }
+}
+
+impl BatchOperator for RowToBatch {
+    fn output_types(&self) -> &[DataType] {
+        &self.types
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut rows = Vec::with_capacity(self.batch_size);
+        while rows.len() < self.batch_size {
+            match self.input.next()? {
+                Some(row) => rows.push(row),
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if rows.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Batch::from_rows(&self.types, &rows)?))
+    }
+}
+
+/// Streams a batch-mode input one row at a time.
+pub struct BatchToRow {
+    input: BoxedBatchOp,
+    types: Vec<DataType>,
+    buffer: std::vec::IntoIter<Row>,
+}
+
+impl BatchToRow {
+    pub fn new(input: BoxedBatchOp) -> Self {
+        let types = input.output_types().to_vec();
+        BatchToRow {
+            input,
+            types,
+            buffer: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl RowOperator for BatchToRow {
+    fn output_types(&self) -> &[DataType] {
+        &self.types
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some(row) = self.buffer.next() {
+                return Ok(Some(row));
+            }
+            match self.input.next()? {
+                Some(batch) => self.buffer = batch.to_rows().into_iter(),
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::scan::BatchSource;
+    use crate::ops::{collect_row_mode, collect_rows};
+    use crate::row_ops::RowSource;
+    use cstore_common::Value;
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| Row::new(vec![Value::Int64(i)])).collect()
+    }
+
+    #[test]
+    fn row_to_batch_chunks() {
+        let src = RowSource::new(vec![DataType::Int64], rows(10));
+        let adapted = RowToBatch::new(Box::new(src), 4);
+        let out = collect_rows(Box::new(adapted)).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn batch_to_row_streams() {
+        let src = BatchSource::from_rows(vec![DataType::Int64], &rows(10), 3).unwrap();
+        let adapted = BatchToRow::new(Box::new(src));
+        let out = collect_row_mode(Box::new(adapted)).unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[9].get(0), &Value::Int64(9));
+    }
+
+    #[test]
+    fn roundtrip_both_ways() {
+        let src = RowSource::new(vec![DataType::Int64], rows(7));
+        let b = RowToBatch::new(Box::new(src), 2);
+        let r = BatchToRow::new(Box::new(b));
+        let out = collect_row_mode(Box::new(r)).unwrap();
+        assert_eq!(out, rows(7));
+    }
+}

@@ -1,0 +1,76 @@
+//! Batch-mode filter.
+
+use cstore_common::{DataType, Result};
+
+use crate::batch::Batch;
+use crate::expr::Expr;
+use crate::ops::{BatchOperator, BoxedBatchOp};
+
+/// Evaluates a predicate over each batch and ANDs the result into the
+/// qualifying-rows bitmap — rows are *marked*, never moved.
+pub struct FilterOp {
+    input: BoxedBatchOp,
+    predicate: Expr,
+}
+
+impl FilterOp {
+    pub fn new(input: BoxedBatchOp, predicate: Expr) -> Self {
+        FilterOp { input, predicate }
+    }
+}
+
+impl BatchOperator for FilterOp {
+    fn output_types(&self) -> &[DataType] {
+        self.input.output_types()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        while let Some(mut batch) = self.input.next()? {
+            let matches = self.predicate.eval_pred(&batch)?;
+            batch.filter(&matches);
+            if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
+            // Fully filtered batch: don't ship empty work downstream.
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::scan::BatchSource;
+    use crate::ops::collect_rows;
+    use cstore_common::{Row, Value};
+    use cstore_storage::pred::CmpOp;
+
+    #[test]
+    fn filters_and_skips_empty_batches() {
+        let rows: Vec<Row> = (0..100).map(|i| Row::new(vec![Value::Int64(i)])).collect();
+        let src = BatchSource::from_rows(vec![DataType::Int64], &rows, 10).unwrap();
+        let f = FilterOp::new(
+            Box::new(src),
+            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(25i64)),
+        );
+        let out = collect_rows(Box::new(f)).unwrap();
+        assert_eq!(out.len(), 25);
+        assert_eq!(out[24].get(0), &Value::Int64(24));
+    }
+
+    #[test]
+    fn stacked_filters_conjoin() {
+        let rows: Vec<Row> = (0..100).map(|i| Row::new(vec![Value::Int64(i)])).collect();
+        let src = BatchSource::from_rows(vec![DataType::Int64], &rows, 32).unwrap();
+        let f1 = FilterOp::new(
+            Box::new(src),
+            Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(10i64)),
+        );
+        let f2 = FilterOp::new(
+            Box::new(f1),
+            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(20i64)),
+        );
+        let out = collect_rows(Box::new(f2)).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+}

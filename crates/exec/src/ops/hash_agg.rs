@@ -1,0 +1,717 @@
+//! Batch-mode hash aggregation (grouped and scalar).
+//!
+//! The paper's expanded repertoire includes batch-mode scalar aggregates
+//! and grouped aggregation; both live here. Group keys hash through the
+//! same vectorized path as joins; aggregate states update per batch.
+
+use cstore_common::{DataType, Error, FxHashMap, Result, Row, Value};
+
+use crate::batch::Batch;
+use crate::expr::Expr;
+use crate::vector::Vector;
+use crate::ops::{BatchOperator, BoxedBatchOp};
+use crate::runtime::ExecContext;
+
+/// Aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts rows.
+    CountStar,
+    /// `COUNT(expr)` — counts non-null values.
+    Count,
+    /// `COUNT(DISTINCT expr)` — counts distinct non-null values.
+    CountDistinct,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// One aggregate: a function and (except `COUNT(*)`) its argument.
+#[derive(Clone, Debug)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    pub arg: Option<Expr>,
+}
+
+impl AggExpr {
+    pub fn count_star() -> Self {
+        AggExpr {
+            func: AggFunc::CountStar,
+            arg: None,
+        }
+    }
+
+    pub fn new(func: AggFunc, arg: Expr) -> Self {
+        AggExpr {
+            func,
+            arg: Some(arg),
+        }
+    }
+
+    /// Output type of this aggregate given input column types.
+    pub fn output_type(&self, inputs: &[DataType]) -> Result<DataType> {
+        Ok(match self.func {
+            AggFunc::CountStar | AggFunc::Count | AggFunc::CountDistinct => DataType::Int64,
+            AggFunc::Avg => DataType::Float64,
+            AggFunc::Sum => {
+                let t = self.arg_type(inputs)?;
+                if t == DataType::Float64 {
+                    DataType::Float64
+                } else if let DataType::Decimal { scale } = t {
+                    DataType::Decimal { scale }
+                } else {
+                    DataType::Int64
+                }
+            }
+            AggFunc::Min | AggFunc::Max => self.arg_type(inputs)?,
+        })
+    }
+
+    fn arg_type(&self, inputs: &[DataType]) -> Result<DataType> {
+        self.arg
+            .as_ref()
+            .ok_or_else(|| Error::Plan(format!("{:?} requires an argument", self.func)))?
+            .infer_type(inputs)
+    }
+}
+
+/// Running state of one aggregate in one group.
+#[derive(Clone, Debug)]
+enum AggState {
+    Count(i64),
+    Distinct(cstore_common::FxHashSet<Value>),
+    SumI64 { sum: i64, seen: bool },
+    SumF64 { sum: f64, seen: bool },
+    MinMax { best: Option<Value>, want_max: bool },
+    Avg {
+        sum: f64,
+        count: i64,
+        /// 10^scale for decimal inputs (mantissas divide out at the end).
+        divisor: f64,
+    },
+}
+
+impl AggState {
+    fn new(func: AggFunc, arg_ty: DataType) -> AggState {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
+            AggFunc::CountDistinct => AggState::Distinct(Default::default()),
+            AggFunc::Sum => {
+                if arg_ty == DataType::Float64 {
+                    AggState::SumF64 { sum: 0.0, seen: false }
+                } else {
+                    AggState::SumI64 { sum: 0, seen: false }
+                }
+            }
+            AggFunc::Min => AggState::MinMax {
+                best: None,
+                want_max: false,
+            },
+            AggFunc::Max => AggState::MinMax {
+                best: None,
+                want_max: true,
+            },
+            AggFunc::Avg => AggState::Avg {
+                sum: 0.0,
+                count: 0,
+                divisor: match arg_ty {
+                    DataType::Decimal { scale } => 10f64.powi(scale as i32),
+                    _ => 1.0,
+                },
+            },
+        }
+    }
+
+    /// Update with one value (`None` for `COUNT(*)` which has no argument).
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            AggState::Count(c) => {
+                // COUNT(*) counts rows; COUNT(expr) counts non-null values.
+                match v {
+                    None => *c += 1,
+                    Some(v) if !v.is_null() => *c += 1,
+                    _ => {}
+                }
+            }
+            AggState::Distinct(set) => {
+                if let Some(v) = v.filter(|v| !v.is_null()) {
+                    if !set.contains(v) {
+                        set.insert(v.clone());
+                    }
+                }
+            }
+            AggState::SumI64 { sum, seen } => {
+                if let Some(v) = v.filter(|v| !v.is_null()) {
+                    let x = v
+                        .as_i64()
+                        .ok_or_else(|| Error::Type(format!("SUM over non-integer {v:?}")))?;
+                    *sum = sum
+                        .checked_add(x)
+                        .ok_or_else(|| Error::Execution("SUM overflow".into()))?;
+                    *seen = true;
+                }
+            }
+            AggState::SumF64 { sum, seen } => {
+                if let Some(v) = v.filter(|v| !v.is_null()) {
+                    *sum += v
+                        .as_f64()
+                        .ok_or_else(|| Error::Type(format!("SUM over non-numeric {v:?}")))?;
+                    *seen = true;
+                }
+            }
+            AggState::MinMax { best, want_max } => {
+                if let Some(v) = v.filter(|v| !v.is_null()) {
+                    let better = match best.as_ref() {
+                        None => true,
+                        Some(b) => {
+                            let ord = v.cmp_sql(b);
+                            if *want_max {
+                                ord == std::cmp::Ordering::Greater
+                            } else {
+                                ord == std::cmp::Ordering::Less
+                            }
+                        }
+                    };
+                    if better {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Avg { sum, count, .. } => {
+                if let Some(v) = v.filter(|v| !v.is_null()) {
+                    let x = match v {
+                        Value::Decimal(m) => *m as f64,
+                        _ => v.as_f64().ok_or_else(|| {
+                            Error::Type(format!("AVG over non-numeric {v:?}"))
+                        })?,
+                    };
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Typed update for integer-backed arguments (no `Value` on the path
+    /// except when a Min/Max improves).
+    #[inline]
+    fn update_i64(&mut self, arg_ty: DataType, x: i64) -> Result<()> {
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::Distinct(set) => {
+                let v = Value::from_i64(arg_ty, x);
+                if !set.contains(&v) {
+                    set.insert(v);
+                }
+            }
+            AggState::SumI64 { sum, seen } => {
+                *sum = sum
+                    .checked_add(x)
+                    .ok_or_else(|| Error::Execution("SUM overflow".into()))?;
+                *seen = true;
+            }
+            AggState::SumF64 { sum, seen } => {
+                *sum += x as f64;
+                *seen = true;
+            }
+            AggState::MinMax { best, want_max } => {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let cur = b.as_i64().unwrap_or(0);
+                        if *want_max {
+                            x > cur
+                        } else {
+                            x < cur
+                        }
+                    }
+                };
+                if better {
+                    *best = Some(Value::from_i64(arg_ty, x));
+                }
+            }
+            AggState::Avg { sum, count, .. } => {
+                *sum += x as f64;
+                *count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Typed update for float arguments.
+    #[inline]
+    fn update_f64(&mut self, x: f64) -> Result<()> {
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::Distinct(set) => {
+                let v = Value::Float64(x);
+                if !set.contains(&v) {
+                    set.insert(v);
+                }
+            }
+            AggState::SumF64 { sum, seen } => {
+                *sum += x;
+                *seen = true;
+            }
+            AggState::SumI64 { .. } => {
+                return Err(Error::Type("integer SUM over float input".into()))
+            }
+            AggState::MinMax { best, want_max } => {
+                let better = match best {
+                    None => true,
+                    Some(Value::Float64(b)) => {
+                        if *want_max {
+                            x.total_cmp(b).is_gt()
+                        } else {
+                            x.total_cmp(b).is_lt()
+                        }
+                    }
+                    Some(_) => false,
+                };
+                if better {
+                    *best = Some(Value::Float64(x));
+                }
+            }
+            AggState::Avg { sum, count, .. } => {
+                *sum += x;
+                *count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, out_ty: DataType) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int64(c),
+            AggState::Distinct(set) => Value::Int64(set.len() as i64),
+            AggState::SumI64 { sum, seen } => {
+                if seen {
+                    Value::from_i64(out_ty, sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumF64 { sum, seen } => {
+                if seen {
+                    Value::Float64(sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
+            AggState::Avg { sum, count, divisor } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(sum / count as f64 / divisor)
+                }
+            }
+        }
+    }
+}
+
+/// Compare a stored group key against row `i` of the evaluated key
+/// vectors, without materializing `Value`s for the row.
+#[inline]
+fn keys_equal(stored: &[Value], key_vecs: &[Vector], i: usize) -> bool {
+    stored.iter().zip(key_vecs).all(|(s, v)| {
+        if v.is_null(i) {
+            return s.is_null();
+        }
+        match (v, s) {
+            (_, Value::Null) => false,
+            (Vector::I64 { values, .. }, _) => s.as_i64() == Some(values[i]),
+            (Vector::F64 { values, .. }, Value::Float64(f)) => {
+                values[i].total_cmp(f).is_eq()
+            }
+            (Vector::Str { strings, .. }, Value::Str(sv)) => {
+                let row_str = strings.get(i);
+                std::sync::Arc::ptr_eq(row_str, sv) || row_str.as_ref() == sv.as_ref()
+            }
+            _ => false,
+        }
+    })
+}
+
+/// Hash aggregation operator. With no group-by expressions it produces a
+/// single scalar row (even over empty input, per SQL).
+pub struct HashAggOp {
+    input: Option<BoxedBatchOp>,
+    group_by: Vec<Expr>,
+    aggs: Vec<AggExpr>,
+    ctx: ExecContext,
+    output_types: Vec<DataType>,
+    agg_arg_types: Vec<DataType>,
+    result: Option<std::vec::IntoIter<Batch>>,
+}
+
+impl HashAggOp {
+    pub fn new(
+        input: BoxedBatchOp,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggExpr>,
+        ctx: ExecContext,
+    ) -> Result<Self> {
+        let in_types = input.output_types();
+        let mut output_types = Vec::with_capacity(group_by.len() + aggs.len());
+        for g in &group_by {
+            output_types.push(g.infer_type(in_types)?);
+        }
+        let mut agg_arg_types = Vec::with_capacity(aggs.len());
+        for a in &aggs {
+            output_types.push(a.output_type(in_types)?);
+            agg_arg_types.push(match &a.arg {
+                Some(e) => e.infer_type(in_types)?,
+                None => DataType::Int64,
+            });
+        }
+        Ok(HashAggOp {
+            input: Some(input),
+            group_by,
+            aggs,
+            ctx,
+            output_types,
+            agg_arg_types,
+            result: None,
+        })
+    }
+
+    fn fresh_states(&self) -> Vec<AggState> {
+        self.aggs
+            .iter()
+            .zip(&self.agg_arg_types)
+            .map(|(a, &ty)| AggState::new(a.func, ty))
+            .collect()
+    }
+
+    /// Update one group's states from row `i` of the evaluated argument
+    /// vectors, through the typed fast paths where possible.
+    #[inline]
+    fn update_states(
+        states: &mut [AggState],
+        arg_vecs: &[Option<Vector>],
+        arg_types: &[DataType],
+        i: usize,
+    ) -> Result<()> {
+        for ((state, arg), &ty) in states.iter_mut().zip(arg_vecs).zip(arg_types) {
+            match arg {
+                None => state.update(None)?,
+                Some(v) if v.is_null(i) => {} // NULL arguments never update
+                Some(Vector::I64 { values, .. }) => state.update_i64(ty, values[i])?,
+                Some(Vector::F64 { values, .. }) => state.update_f64(values[i])?,
+                Some(v) => state.update(Some(&v.value_at(i, ty)))?,
+            }
+        }
+        Ok(())
+    }
+
+    fn execute(&mut self) -> Result<Vec<Batch>> {
+        let mut input = self.input.take().expect("executed once");
+        let key_types: Vec<DataType> = self.output_types[..self.group_by.len()].to_vec();
+        // Single integer-backed group key: hash on raw i64 (no Value, no
+        // per-row key allocation). NULL keys get their own group.
+        let fast_key = self.group_by.len() == 1 && key_types[0].is_integer_backed();
+        let mut fast_map: FxHashMap<i64, u32> = FxHashMap::default();
+        let mut fast_null_group: Option<u32> = None;
+        let mut fast_states: Vec<Vec<AggState>> = Vec::new();
+        let mut fast_keys: Vec<Value> = Vec::new();
+        // Generic path: composite / string keys. Keys hash through the
+        // vectorized path (dictionary-coded strings hash once per distinct
+        // code); per-row work is a hash lookup plus typed verification —
+        // `Value`s materialize only when a new group appears.
+        let mut hash_map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let mut group_keys: Vec<Vec<Value>> = Vec::new();
+        let mut group_states: Vec<Vec<AggState>> = Vec::new();
+        // Scalar aggregation starts with one implicit group.
+        if self.group_by.is_empty() {
+            group_keys.push(Vec::new());
+            group_states.push(self.fresh_states());
+        }
+        let mut hashes: Vec<u64> = Vec::new();
+        while let Some(batch) = input.next()? {
+            let batch = batch.compact();
+            let n = batch.n_rows();
+            if n == 0 {
+                continue;
+            }
+            let key_vecs = self
+                .group_by
+                .iter()
+                .map(|g| g.eval(&batch))
+                .collect::<Result<Vec<_>>>()?;
+            let arg_vecs = self
+                .aggs
+                .iter()
+                .map(|a| match &a.arg {
+                    Some(e) => e.eval(&batch).map(Some),
+                    None => Ok(None),
+                })
+                .collect::<Result<Vec<_>>>()?;
+            if fast_key {
+                let key_vec = &key_vecs[0];
+                let Vector::I64 { values: keys, nulls } = key_vec else {
+                    return Err(Error::Type("integer group key expected".into()));
+                };
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..n {
+                    let gi = if nulls.as_ref().is_some_and(|nu| nu.get(i)) {
+                        *fast_null_group.get_or_insert_with(|| {
+                            fast_states.push(Vec::new());
+                            fast_keys.push(Value::Null);
+                            (fast_states.len() - 1) as u32
+                        })
+                    } else {
+                        match fast_map.get(&keys[i]) {
+                            Some(&g) => g,
+                            None => {
+                                let g = fast_states.len() as u32;
+                                fast_map.insert(keys[i], g);
+                                fast_states.push(Vec::new());
+                                fast_keys.push(Value::from_i64(key_types[0], keys[i]));
+                                g
+                            }
+                        }
+                    } as usize;
+                    if fast_states[gi].is_empty() {
+                        fast_states[gi] = self.fresh_states();
+                    }
+                    let (aggs_types, states) = (&self.agg_arg_types, &mut fast_states[gi]);
+                    Self::update_states(states, &arg_vecs, aggs_types, i)?;
+                }
+            } else if self.group_by.is_empty() {
+                for i in 0..n {
+                    Self::update_states(
+                        &mut group_states[0],
+                        &arg_vecs,
+                        &self.agg_arg_types,
+                        i,
+                    )?;
+                }
+            } else {
+                hashes.clear();
+                hashes.resize(n, 0);
+                for kv in &key_vecs {
+                    kv.hash_into(&mut hashes);
+                }
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..n {
+                    let h = hashes[i];
+                    let found = hash_map.get(&h).and_then(|cands| {
+                        cands
+                            .iter()
+                            .copied()
+                            .find(|&g| keys_equal(&group_keys[g as usize], &key_vecs, i))
+                    });
+                    let gi = match found {
+                        Some(g) => g as usize,
+                        None => {
+                            let key: Vec<Value> = key_vecs
+                                .iter()
+                                .zip(&key_types)
+                                .map(|(v, &ty)| v.value_at(i, ty))
+                                .collect();
+                            let g = group_keys.len() as u32;
+                            group_keys.push(key);
+                            group_states.push(self.fresh_states());
+                            hash_map.entry(h).or_default().push(g);
+                            g as usize
+                        }
+                    };
+                    Self::update_states(
+                        &mut group_states[gi],
+                        &arg_vecs,
+                        &self.agg_arg_types,
+                        i,
+                    )?;
+                }
+            }
+        }
+        // Materialize result rows.
+        let n_keys = self.group_by.len();
+        let mut rows: Vec<Row> = Vec::new();
+        if fast_key {
+            rows.reserve(fast_states.len());
+            for (key, states) in fast_keys.into_iter().zip(fast_states) {
+                let states = if states.is_empty() {
+                    self.fresh_states()
+                } else {
+                    states
+                };
+                let mut values = vec![key];
+                for (state, &ty) in states.into_iter().zip(&self.output_types[n_keys..]) {
+                    values.push(state.finish(ty));
+                }
+                rows.push(Row::new(values));
+            }
+        } else {
+            rows.reserve(group_keys.len());
+            for (key, states) in group_keys.into_iter().zip(group_states) {
+                let mut values = key;
+                for (state, &ty) in states.into_iter().zip(&self.output_types[n_keys..]) {
+                    values.push(state.finish(ty));
+                }
+                rows.push(Row::new(values));
+            }
+        }
+        // Deterministic output order helps tests and result display.
+        rows.sort();
+        let mut batches = Vec::new();
+        for chunk in rows.chunks(self.ctx.batch_size) {
+            batches.push(Batch::from_rows(&self.output_types, chunk)?);
+        }
+        Ok(batches)
+    }
+}
+
+impl BatchOperator for HashAggOp {
+    fn output_types(&self) -> &[DataType] {
+        &self.output_types
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.result.is_none() {
+            let batches = self.execute()?;
+            self.result = Some(batches.into_iter());
+        }
+        Ok(self.result.as_mut().unwrap().next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::collect_rows;
+    use crate::ops::scan::BatchSource;
+
+    fn source() -> BoxedBatchOp {
+        // (cat, amount): cats a/b/c, amount i, NULL amount when i % 5 == 0.
+        let rows: Vec<Row> = (0..30)
+            .map(|i| {
+                Row::new(vec![
+                    Value::str(["a", "b", "c"][(i % 3) as usize]),
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int64(i)
+                    },
+                ])
+            })
+            .collect();
+        Box::new(BatchSource::from_rows(vec![DataType::Utf8, DataType::Int64], &rows, 7).unwrap())
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let agg = HashAggOp::new(
+            source(),
+            vec![Expr::col(0)],
+            vec![
+                AggExpr::count_star(),
+                AggExpr::new(AggFunc::Count, Expr::col(1)),
+                AggExpr::new(AggFunc::Sum, Expr::col(1)),
+                AggExpr::new(AggFunc::Min, Expr::col(1)),
+                AggExpr::new(AggFunc::Max, Expr::col(1)),
+            ],
+            ExecContext::default(),
+        )
+        .unwrap();
+        let rows = collect_rows(Box::new(agg)).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Group "a": i in {0,3,..,27}, nulls at 0,15; count*=10, count=8.
+        let a = rows.iter().find(|r| r.get(0) == &Value::str("a")).unwrap();
+        assert_eq!(a.get(1), &Value::Int64(10));
+        assert_eq!(a.get(2), &Value::Int64(8));
+        let sum_a: i64 = (0..30)
+            .filter(|i| i % 3 == 0 && i % 5 != 0)
+            .sum();
+        assert_eq!(a.get(3), &Value::Int64(sum_a));
+        assert_eq!(a.get(4), &Value::Int64(3));
+        assert_eq!(a.get(5), &Value::Int64(27));
+    }
+
+    #[test]
+    fn scalar_aggregation_over_empty_input() {
+        let empty: BoxedBatchOp = Box::new(BatchSource::new(vec![DataType::Int64], vec![]));
+        let agg = HashAggOp::new(
+            empty,
+            vec![],
+            vec![
+                AggExpr::count_star(),
+                AggExpr::new(AggFunc::Sum, Expr::col(0)),
+                AggExpr::new(AggFunc::Avg, Expr::col(0)),
+            ],
+            ExecContext::default(),
+        )
+        .unwrap();
+        let rows = collect_rows(Box::new(agg)).unwrap();
+        assert_eq!(rows.len(), 1, "scalar agg yields one row even when empty");
+        assert_eq!(rows[0].get(0), &Value::Int64(0));
+        assert_eq!(rows[0].get(1), &Value::Null, "SUM of nothing is NULL");
+        assert_eq!(rows[0].get(2), &Value::Null, "AVG of nothing is NULL");
+    }
+
+    #[test]
+    fn avg_and_float_sum() {
+        let rows: Vec<Row> = (1..=4)
+            .map(|i| Row::new(vec![Value::Float64(i as f64)]))
+            .collect();
+        let src: BoxedBatchOp =
+            Box::new(BatchSource::from_rows(vec![DataType::Float64], &rows, 2).unwrap());
+        let agg = HashAggOp::new(
+            src,
+            vec![],
+            vec![
+                AggExpr::new(AggFunc::Sum, Expr::col(0)),
+                AggExpr::new(AggFunc::Avg, Expr::col(0)),
+            ],
+            ExecContext::default(),
+        )
+        .unwrap();
+        let out = collect_rows(Box::new(agg)).unwrap();
+        assert_eq!(out[0].get(0), &Value::Float64(10.0));
+        assert_eq!(out[0].get(1), &Value::Float64(2.5));
+    }
+
+    #[test]
+    fn null_group_keys_form_a_group() {
+        let rows = vec![
+            Row::new(vec![Value::Null, Value::Int64(1)]),
+            Row::new(vec![Value::Null, Value::Int64(2)]),
+            Row::new(vec![Value::Int64(7), Value::Int64(3)]),
+        ];
+        let src: BoxedBatchOp = Box::new(
+            BatchSource::from_rows(vec![DataType::Int64, DataType::Int64], &rows, 8).unwrap(),
+        );
+        let agg = HashAggOp::new(
+            src,
+            vec![Expr::col(0)],
+            vec![AggExpr::new(AggFunc::Sum, Expr::col(1))],
+            ExecContext::default(),
+        )
+        .unwrap();
+        let out = collect_rows(Box::new(agg)).unwrap();
+        assert_eq!(out.len(), 2);
+        let null_group = out.iter().find(|r| r.get(0).is_null()).unwrap();
+        assert_eq!(null_group.get(1), &Value::Int64(3));
+    }
+
+    #[test]
+    fn sum_overflow_is_an_error() {
+        let rows = vec![
+            Row::new(vec![Value::Int64(i64::MAX)]),
+            Row::new(vec![Value::Int64(1)]),
+        ];
+        let src: BoxedBatchOp =
+            Box::new(BatchSource::from_rows(vec![DataType::Int64], &rows, 8).unwrap());
+        let mut agg = HashAggOp::new(
+            src,
+            vec![],
+            vec![AggExpr::new(AggFunc::Sum, Expr::col(0))],
+            ExecContext::default(),
+        )
+        .unwrap();
+        assert!(agg.next().is_err());
+    }
+}

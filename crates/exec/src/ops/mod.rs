@@ -1,0 +1,63 @@
+//! Physical operators.
+//!
+//! Two operator families, as in SQL Server:
+//!
+//! * **batch mode** ([`BatchOperator`]): pull-based Volcano iteration, but
+//!   each `next()` returns a ~900-row columnar [`Batch`] — amortizing the
+//!   per-call interpretation overhead that dominates row mode;
+//! * **row mode** ([`RowOperator`], see [`crate::row_ops`]): classic one
+//!   row per `next()` — the baseline the paper's 10–100× speedups are
+//!   measured against.
+
+pub mod adapters;
+pub mod filter;
+pub mod parallel;
+pub mod hash_agg;
+pub mod hash_join;
+pub mod project;
+pub mod scan;
+pub mod sort;
+pub mod union;
+
+use cstore_common::{DataType, Result, Row};
+
+use crate::batch::Batch;
+
+/// A pull-based batch-mode operator.
+pub trait BatchOperator: Send {
+    /// Types of the output columns.
+    fn output_types(&self) -> &[DataType];
+    /// Produce the next batch, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Batch>>;
+}
+
+/// Boxed batch operator (plan edges).
+pub type BoxedBatchOp = Box<dyn BatchOperator>;
+
+/// A pull-based row-mode operator.
+pub trait RowOperator: Send {
+    fn output_types(&self) -> &[DataType];
+    /// Produce the next row, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Row>>;
+}
+
+/// Boxed row operator.
+pub type BoxedRowOp = Box<dyn RowOperator>;
+
+/// Drain a batch operator into rows (test/result-delivery helper).
+pub fn collect_rows(mut op: BoxedBatchOp) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(batch) = op.next()? {
+        out.extend(batch.to_rows());
+    }
+    Ok(out)
+}
+
+/// Drain a row operator (test helper).
+pub fn collect_row_mode(mut op: BoxedRowOp) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(row) = op.next()? {
+        out.push(row);
+    }
+    Ok(out)
+}

@@ -1,0 +1,81 @@
+//! Batch-mode projection (computed columns).
+
+use cstore_common::{DataType, Result};
+
+use crate::batch::Batch;
+use crate::expr::Expr;
+use crate::ops::{BatchOperator, BoxedBatchOp};
+
+/// Evaluates expressions over each batch, producing a new batch with the
+/// same qualifying bitmap (expressions run over all lanes; dead lanes are
+/// never observed downstream).
+pub struct ProjectOp {
+    input: BoxedBatchOp,
+    exprs: Vec<Expr>,
+    output_types: Vec<DataType>,
+}
+
+impl ProjectOp {
+    pub fn new(input: BoxedBatchOp, exprs: Vec<Expr>) -> Result<Self> {
+        let output_types = exprs
+            .iter()
+            .map(|e| e.infer_type(input.output_types()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ProjectOp {
+            input,
+            exprs,
+            output_types,
+        })
+    }
+}
+
+impl BatchOperator for ProjectOp {
+    fn output_types(&self) -> &[DataType] {
+        &self.output_types
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        let Some(batch) = self.input.next()? else {
+            return Ok(None);
+        };
+        let columns = self
+            .exprs
+            .iter()
+            .map(|e| e.eval(&batch))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Some(Batch::with_qualifying(
+            self.output_types.clone(),
+            columns,
+            batch.qualifying().clone(),
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ArithOp;
+    use crate::ops::collect_rows;
+    use crate::ops::scan::BatchSource;
+    use cstore_common::{Row, Value};
+
+    #[test]
+    fn computes_expressions() {
+        let rows: Vec<Row> = (0..5)
+            .map(|i| Row::new(vec![Value::Int64(i), Value::Int64(i * 10)]))
+            .collect();
+        let src = BatchSource::from_rows(vec![DataType::Int64, DataType::Int64], &rows, 3).unwrap();
+        let p = ProjectOp::new(
+            Box::new(src),
+            vec![
+                Expr::arith(ArithOp::Add, Expr::col(0), Expr::col(1)),
+                Expr::col(0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.output_types(), &[DataType::Int64, DataType::Int64]);
+        let out = collect_rows(Box::new(p)).unwrap();
+        assert_eq!(out[4].get(0), &Value::Int64(44));
+        assert_eq!(out[4].get(1), &Value::Int64(4));
+    }
+}

@@ -1,0 +1,221 @@
+//! Batch-mode sort and Top-N.
+
+use cstore_common::{DataType, Result, Row};
+
+use crate::batch::Batch;
+use crate::expr::Expr;
+use crate::ops::{BatchOperator, BoxedBatchOp};
+use crate::runtime::ExecContext;
+
+/// One sort key: expression + direction.
+#[derive(Clone, Debug)]
+pub struct SortKey {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+impl SortKey {
+    pub fn asc(expr: Expr) -> Self {
+        SortKey {
+            expr,
+            descending: false,
+        }
+    }
+
+    pub fn desc(expr: Expr) -> Self {
+        SortKey {
+            expr,
+            descending: true,
+        }
+    }
+}
+
+/// Full sort (materializing), with an optional limit (Top-N). A Top-N keeps
+/// only `limit` rows while consuming input, bounding memory.
+pub struct SortOp {
+    input: Option<BoxedBatchOp>,
+    keys: Vec<SortKey>,
+    limit: Option<usize>,
+    offset: usize,
+    ctx: ExecContext,
+    output_types: Vec<DataType>,
+    result: Option<std::vec::IntoIter<Batch>>,
+}
+
+impl SortOp {
+    pub fn new(input: BoxedBatchOp, keys: Vec<SortKey>, ctx: ExecContext) -> Self {
+        let output_types = input.output_types().to_vec();
+        SortOp {
+            input: Some(input),
+            keys,
+            limit: None,
+            offset: 0,
+            ctx,
+            output_types,
+            result: None,
+        }
+    }
+
+    /// Keep only the first `limit` rows after sorting (Top-N).
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Skip `offset` rows before the limit.
+    pub fn with_offset(mut self, offset: usize) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    fn compare_keys(&self, ka: &Row, kb: &Row) -> std::cmp::Ordering {
+        for (i, key) in self.keys.iter().enumerate() {
+            let ord = ka.get(i).cmp_sql(kb.get(i));
+            let ord = if key.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    fn execute(&mut self) -> Result<Vec<Batch>> {
+        let mut input = self.input.take().expect("executed once");
+        // Materialize (row, key-values) pairs.
+        let mut items: Vec<(Row, Row)> = Vec::new();
+        let retain = self.limit.map(|l| self.offset + l);
+        while let Some(batch) = input.next()? {
+            let rows = batch.to_rows();
+            for row in rows {
+                let key = Row::new(
+                    self.keys
+                        .iter()
+                        .map(|k| k.expr.eval_row(&row))
+                        .collect::<Result<Vec<_>>>()?,
+                );
+                items.push((row, key));
+            }
+            // Top-N bound: sort and truncate whenever the buffer doubles
+            // past the retain bound.
+            if let Some(cap) = retain {
+                if items.len() > cap * 2 + 1024 {
+                    self.partial_truncate(&mut items, cap);
+                }
+            }
+        }
+        items.sort_by(|(_, ka), (_, kb)| self.compare_keys(ka, kb));
+        let mut rows: Vec<Row> = items.into_iter().map(|(r, _)| r).collect();
+        if self.offset > 0 {
+            rows.drain(..self.offset.min(rows.len()));
+        }
+        if let Some(l) = self.limit {
+            rows.truncate(l);
+        }
+        let mut batches = Vec::new();
+        for chunk in rows.chunks(self.ctx.batch_size) {
+            batches.push(Batch::from_rows(&self.output_types, chunk)?);
+        }
+        Ok(batches)
+    }
+
+    fn partial_truncate(&self, items: &mut Vec<(Row, Row)>, cap: usize) {
+        items.sort_by(|(_, ka), (_, kb)| self.compare_keys(ka, kb));
+        items.truncate(cap);
+    }
+}
+
+impl BatchOperator for SortOp {
+    fn output_types(&self) -> &[DataType] {
+        &self.output_types
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.result.is_none() {
+            let batches = self.execute()?;
+            self.result = Some(batches.into_iter());
+        }
+        Ok(self.result.as_mut().unwrap().next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::collect_rows;
+    use crate::ops::scan::BatchSource;
+    use cstore_common::Value;
+
+    fn source() -> BoxedBatchOp {
+        let rows: Vec<Row> = [(3, "c"), (1, "a"), (2, "b"), (1, "b"), (2, "a")]
+            .iter()
+            .map(|&(k, s)| Row::new(vec![Value::Int64(k), Value::str(s)]))
+            .collect();
+        Box::new(BatchSource::from_rows(vec![DataType::Int64, DataType::Utf8], &rows, 2).unwrap())
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let s = SortOp::new(
+            source(),
+            vec![SortKey::asc(Expr::col(0)), SortKey::desc(Expr::col(1))],
+            ExecContext::default(),
+        );
+        let rows = collect_rows(Box::new(s)).unwrap();
+        let got: Vec<(i64, String)> = rows
+            .iter()
+            .map(|r| {
+                (
+                    r.get(0).as_i64().unwrap(),
+                    r.get(1).as_str().unwrap().to_owned(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (1, "b".into()),
+                (1, "a".into()),
+                (2, "b".into()),
+                (2, "a".into()),
+                (3, "c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn top_n_with_offset() {
+        let s = SortOp::new(
+            source(),
+            vec![SortKey::asc(Expr::col(0)), SortKey::asc(Expr::col(1))],
+            ExecContext::default(),
+        )
+        .with_limit(2)
+        .with_offset(1);
+        let rows = collect_rows(Box::new(s)).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0), &Value::Int64(1));
+        assert_eq!(rows[0].get(1), &Value::str("b"));
+        assert_eq!(rows[1].get(0), &Value::Int64(2));
+    }
+
+    #[test]
+    fn top_n_bounds_memory_over_large_input() {
+        let rows: Vec<Row> = (0..10_000)
+            .map(|i| Row::new(vec![Value::Int64((i * 2654435761u64 as i64) % 10_000)]))
+            .collect();
+        let src: BoxedBatchOp =
+            Box::new(BatchSource::from_rows(vec![DataType::Int64], &rows, 512).unwrap());
+        let s = SortOp::new(
+            src,
+            vec![SortKey::asc(Expr::col(0))],
+            ExecContext::default(),
+        )
+        .with_limit(5);
+        let out = collect_rows(Box::new(s)).unwrap();
+        assert_eq!(out.len(), 5);
+        let mut expect: Vec<i64> = rows.iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        expect.sort_unstable();
+        let got: Vec<i64> = out.iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        assert_eq!(got, expect[..5].to_vec());
+    }
+}

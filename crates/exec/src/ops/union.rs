@@ -1,0 +1,81 @@
+//! Batch-mode UNION ALL.
+
+use cstore_common::{DataType, Error, Result};
+
+use crate::batch::Batch;
+use crate::ops::{BatchOperator, BoxedBatchOp};
+
+/// Concatenates the batches of several inputs (schemas must match).
+pub struct UnionAllOp {
+    inputs: Vec<BoxedBatchOp>,
+    current: usize,
+    output_types: Vec<DataType>,
+}
+
+impl UnionAllOp {
+    pub fn new(inputs: Vec<BoxedBatchOp>) -> Result<Self> {
+        let Some(first) = inputs.first() else {
+            return Err(Error::Plan("UNION ALL of zero inputs".into()));
+        };
+        let output_types = first.output_types().to_vec();
+        for (i, input) in inputs.iter().enumerate() {
+            if input.output_types() != output_types {
+                return Err(Error::Type(format!(
+                    "UNION ALL input {i} has mismatched column types"
+                )));
+            }
+        }
+        Ok(UnionAllOp {
+            inputs,
+            current: 0,
+            output_types,
+        })
+    }
+}
+
+impl BatchOperator for UnionAllOp {
+    fn output_types(&self) -> &[DataType] {
+        &self.output_types
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        while self.current < self.inputs.len() {
+            if let Some(batch) = self.inputs[self.current].next()? {
+                return Ok(Some(batch));
+            }
+            self.current += 1;
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::collect_rows;
+    use crate::ops::scan::BatchSource;
+    use cstore_common::{Row, Value};
+
+    fn src(lo: i64, hi: i64) -> BoxedBatchOp {
+        let rows: Vec<Row> = (lo..hi).map(|i| Row::new(vec![Value::Int64(i)])).collect();
+        Box::new(BatchSource::from_rows(vec![DataType::Int64], &rows, 4).unwrap())
+    }
+
+    #[test]
+    fn concatenates_inputs() {
+        let u = UnionAllOp::new(vec![src(0, 5), src(5, 10), src(10, 12)]).unwrap();
+        let out = collect_rows(Box::new(u)).unwrap();
+        let keys: Vec<i64> = out.iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        assert_eq!(keys, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_mismatched_schemas() {
+        let a = src(0, 1);
+        let rows = vec![Row::new(vec![Value::str("x")])];
+        let b: BoxedBatchOp =
+            Box::new(BatchSource::from_rows(vec![DataType::Utf8], &rows, 1).unwrap());
+        assert!(UnionAllOp::new(vec![a, b]).is_err());
+        assert!(UnionAllOp::new(vec![]).is_err());
+    }
+}

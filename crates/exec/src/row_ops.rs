@@ -1,0 +1,708 @@
+//! Row-mode operators: the baseline execution engine.
+//!
+//! Classic Volcano row-at-a-time iteration — one `next()` call, one
+//! dynamic dispatch, one `Row` allocation per row per operator. This is
+//! the execution model the paper's batch mode is measured against; the
+//! 10–100× gaps in E2 come from comparing these operators with the batch
+//! family on identical plans.
+
+use std::sync::Arc;
+
+use cstore_common::{DataType, Error, FxHashMap, Result, Row, Value};
+use cstore_delta::TableSnapshot;
+use cstore_rowstore::HeapTable;
+
+use crate::expr::Expr;
+use crate::ops::hash_join::JoinType;
+use crate::ops::{BoxedRowOp, RowOperator};
+use crate::vector::hash_values;
+
+/// Row-mode scan over a heap table (decodes each record as it is read).
+pub struct HeapScan {
+    table: Arc<HeapTable>,
+    types: Vec<DataType>,
+    page: usize,
+    slot: u16,
+}
+
+impl HeapScan {
+    pub fn new(table: Arc<HeapTable>) -> Self {
+        let types = table
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.data_type)
+            .collect();
+        HeapScan {
+            table,
+            types,
+            page: 0,
+            slot: 0,
+        }
+    }
+}
+
+impl RowOperator for HeapScan {
+    fn output_types(&self) -> &[DataType] {
+        &self.types
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            let Some(page) = self.table.page(self.page) else {
+                return Ok(None);
+            };
+            if (self.slot as usize) < page.n_rows() {
+                let slot = self.slot;
+                self.slot += 1;
+                if let Some(rec) = page.record(slot) {
+                    let row = cstore_rowstore::rowcodec::decode_fixed(self.table.schema(), rec)?;
+                    return Ok(Some(row));
+                }
+                continue; // tombstone
+            }
+            self.page += 1;
+            self.slot = 0;
+        }
+    }
+}
+
+/// Row-mode scan over a columnstore snapshot (SQL Server can read a CSI in
+/// row mode too; per-row segment decoding makes this deliberately slow).
+pub struct SnapshotRowScan {
+    rows: std::vec::IntoIter<Row>,
+    types: Vec<DataType>,
+}
+
+impl SnapshotRowScan {
+    pub fn new(snapshot: &TableSnapshot) -> Self {
+        let types = snapshot
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.data_type)
+            .collect();
+        let rows: Vec<Row> = snapshot.scan_rows().collect();
+        SnapshotRowScan {
+            rows: rows.into_iter(),
+            types,
+        }
+    }
+}
+
+impl RowOperator for SnapshotRowScan {
+    fn output_types(&self) -> &[DataType] {
+        &self.types
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.rows.next())
+    }
+}
+
+/// Row source over a fixed vector (tests, adapters).
+pub struct RowSource {
+    types: Vec<DataType>,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl RowSource {
+    pub fn new(types: Vec<DataType>, rows: Vec<Row>) -> Self {
+        RowSource {
+            types,
+            rows: rows.into_iter(),
+        }
+    }
+}
+
+impl RowOperator for RowSource {
+    fn output_types(&self) -> &[DataType] {
+        &self.types
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.rows.next())
+    }
+}
+
+/// Row-mode filter.
+pub struct RowFilter {
+    input: BoxedRowOp,
+    predicate: Expr,
+}
+
+impl RowFilter {
+    pub fn new(input: BoxedRowOp, predicate: Expr) -> Self {
+        RowFilter { input, predicate }
+    }
+}
+
+impl RowOperator for RowFilter {
+    fn output_types(&self) -> &[DataType] {
+        self.input.output_types()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next()? {
+            if matches!(self.predicate.eval_row(&row)?, Value::Bool(true)) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Row-mode projection.
+pub struct RowProject {
+    input: BoxedRowOp,
+    exprs: Vec<Expr>,
+    output_types: Vec<DataType>,
+}
+
+impl RowProject {
+    pub fn new(input: BoxedRowOp, exprs: Vec<Expr>) -> Result<Self> {
+        let output_types = exprs
+            .iter()
+            .map(|e| e.infer_type(input.output_types()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RowProject {
+            input,
+            exprs,
+            output_types,
+        })
+    }
+}
+
+impl RowOperator for RowProject {
+    fn output_types(&self) -> &[DataType] {
+        &self.output_types
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        let Some(row) = self.input.next()? else {
+            return Ok(None);
+        };
+        let values = self
+            .exprs
+            .iter()
+            .map(|e| e.eval_row(&row))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Some(Row::new(values)))
+    }
+}
+
+/// Row-mode hash join (inner / left outer / semi / anti — the subset the
+/// row-mode baselines need).
+pub struct RowHashJoin {
+    probe: BoxedRowOp,
+    build: Option<BoxedRowOp>,
+    probe_keys: Vec<usize>,
+    build_keys: Vec<usize>,
+    join_type: JoinType,
+    output_types: Vec<DataType>,
+    build_width: usize,
+    table: FxHashMap<u64, Vec<Row>>,
+    built: bool,
+    /// Pending matches for the current probe row.
+    pending: std::vec::IntoIter<Row>,
+}
+
+impl RowHashJoin {
+    pub fn new(
+        probe: BoxedRowOp,
+        build: BoxedRowOp,
+        probe_keys: Vec<usize>,
+        build_keys: Vec<usize>,
+        join_type: JoinType,
+    ) -> Result<Self> {
+        if probe_keys.is_empty() || probe_keys.len() != build_keys.len() {
+            return Err(Error::Plan("hash join key arity mismatch".into()));
+        }
+        if matches!(join_type, JoinType::RightOuter | JoinType::FullOuter) {
+            return Err(Error::Unsupported(
+                "row-mode hash join supports inner/left/semi/anti only".into(),
+            ));
+        }
+        let build_width = build.output_types().len();
+        let output_types = match join_type {
+            JoinType::LeftSemi | JoinType::LeftAnti => probe.output_types().to_vec(),
+            _ => {
+                let mut t = probe.output_types().to_vec();
+                t.extend(build.output_types().iter().copied());
+                t
+            }
+        };
+        Ok(RowHashJoin {
+            probe,
+            build: Some(build),
+            probe_keys,
+            build_keys,
+            join_type,
+            output_types,
+            build_width,
+            table: FxHashMap::default(),
+            built: false,
+            pending: Vec::new().into_iter(),
+        })
+    }
+
+    fn build_table(&mut self) -> Result<()> {
+        let mut build = self.build.take().expect("built once");
+        while let Some(row) = build.next()? {
+            if self.build_keys.iter().any(|&k| row.get(k).is_null()) {
+                continue;
+            }
+            let h = hash_values(self.build_keys.iter().map(|&k| row.get(k)));
+            self.table.entry(h).or_default().push(row);
+        }
+        self.built = true;
+        Ok(())
+    }
+}
+
+impl RowOperator for RowHashJoin {
+    fn output_types(&self) -> &[DataType] {
+        &self.output_types
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if !self.built {
+            self.build_table()?;
+        }
+        loop {
+            if let Some(row) = self.pending.next() {
+                return Ok(Some(row));
+            }
+            let Some(probe_row) = self.probe.next()? else {
+                return Ok(None);
+            };
+            let null_key = self.probe_keys.iter().any(|&k| probe_row.get(k).is_null());
+            let mut matches: Vec<&Row> = Vec::new();
+            if !null_key {
+                let h = hash_values(self.probe_keys.iter().map(|&k| probe_row.get(k)));
+                if let Some(candidates) = self.table.get(&h) {
+                    for brow in candidates {
+                        let eq = self
+                            .probe_keys
+                            .iter()
+                            .zip(&self.build_keys)
+                            .all(|(&pk, &bk)| probe_row.get(pk).eq_storage(brow.get(bk)));
+                        if eq {
+                            matches.push(brow);
+                        }
+                    }
+                }
+            }
+            match self.join_type {
+                JoinType::LeftSemi => {
+                    if !matches.is_empty() {
+                        return Ok(Some(probe_row));
+                    }
+                }
+                JoinType::LeftAnti => {
+                    if matches.is_empty() {
+                        return Ok(Some(probe_row));
+                    }
+                }
+                JoinType::Inner | JoinType::LeftOuter => {
+                    if matches.is_empty() {
+                        if self.join_type == JoinType::LeftOuter {
+                            let mut values = probe_row.into_values();
+                            values.extend(std::iter::repeat_n(Value::Null, self.build_width));
+                            return Ok(Some(Row::new(values)));
+                        }
+                        continue;
+                    }
+                    let out: Vec<Row> = matches
+                        .into_iter()
+                        .map(|b| {
+                            let mut values = probe_row.values().to_vec();
+                            values.extend(b.values().iter().cloned());
+                            Row::new(values)
+                        })
+                        .collect();
+                    self.pending = out.into_iter();
+                }
+                _ => unreachable!("rejected in constructor"),
+            }
+        }
+    }
+}
+
+/// Row-mode hash aggregation.
+pub struct RowHashAgg {
+    input: Option<BoxedRowOp>,
+    group_by: Vec<Expr>,
+    aggs: Vec<crate::ops::hash_agg::AggExpr>,
+    output_types: Vec<DataType>,
+    /// Per aggregate: 10^scale for decimal args, 1.0 otherwise (AVG).
+    agg_divisors: Vec<f64>,
+    result: std::vec::IntoIter<Row>,
+    executed: bool,
+}
+
+impl RowHashAgg {
+    pub fn new(
+        input: BoxedRowOp,
+        group_by: Vec<Expr>,
+        aggs: Vec<crate::ops::hash_agg::AggExpr>,
+    ) -> Result<Self> {
+        let in_types = input.output_types();
+        let mut output_types = Vec::new();
+        for g in &group_by {
+            output_types.push(g.infer_type(in_types)?);
+        }
+        let mut agg_divisors = Vec::with_capacity(aggs.len());
+        for a in &aggs {
+            output_types.push(a.output_type(in_types)?);
+            agg_divisors.push(match &a.arg {
+                Some(e) => match e.infer_type(in_types)? {
+                    DataType::Decimal { scale } => 10f64.powi(scale as i32),
+                    _ => 1.0,
+                },
+                None => 1.0,
+            });
+        }
+        Ok(RowHashAgg {
+            input: Some(input),
+            group_by,
+            aggs,
+            output_types,
+            agg_divisors,
+            result: Vec::new().into_iter(),
+            executed: false,
+        })
+    }
+
+    fn execute(&mut self) -> Result<()> {
+        use crate::ops::hash_agg::AggFunc;
+        let mut input = self.input.take().expect("executed once");
+        let mut groups: FxHashMap<Vec<Value>, Vec<RowAggState>> = FxHashMap::default();
+        if self.group_by.is_empty() {
+            groups.insert(Vec::new(), self.fresh());
+        }
+        while let Some(row) = input.next()? {
+            let key: Vec<Value> = self
+                .group_by
+                .iter()
+                .map(|g| g.eval_row(&row))
+                .collect::<Result<Vec<_>>>()?;
+            let (aggs, divisors) = (&self.aggs, &self.agg_divisors);
+            let states = groups.entry(key).or_insert_with(|| {
+                aggs.iter()
+                    .zip(divisors)
+                    .map(|(a, &d)| RowAggState::new(a.func, d))
+                    .collect::<Vec<_>>()
+            });
+            for (state, a) in states.iter_mut().zip(&self.aggs) {
+                let v = match (&a.arg, a.func) {
+                    (_, AggFunc::CountStar) => None,
+                    (Some(e), _) => Some(e.eval_row(&row)?),
+                    (None, _) => {
+                        return Err(Error::Plan(format!("{:?} requires an argument", a.func)))
+                    }
+                };
+                state.update(v.as_ref())?;
+            }
+        }
+        let n_keys = self.group_by.len();
+        let mut rows: Vec<Row> = Vec::with_capacity(groups.len());
+        for (key, states) in groups {
+            let mut values = key;
+            for (state, &ty) in states.into_iter().zip(&self.output_types[n_keys..]) {
+                values.push(state.finish(ty));
+            }
+            rows.push(Row::new(values));
+        }
+        rows.sort();
+        self.result = rows.into_iter();
+        self.executed = true;
+        Ok(())
+    }
+
+    fn fresh(&self) -> Vec<RowAggState> {
+        self.aggs
+            .iter()
+            .zip(&self.agg_divisors)
+            .map(|(a, &d)| RowAggState::new(a.func, d))
+            .collect()
+    }
+}
+
+/// Row-mode aggregate accumulator (mirrors the batch-mode semantics).
+struct RowAggState {
+    func: crate::ops::hash_agg::AggFunc,
+    count: i64,
+    distinct: Option<FxHashMap<Value, ()>>,
+    sum_i: i64,
+    sum_f: f64,
+    seen: bool,
+    is_float: bool,
+    /// 10^scale when summing decimal mantissas (for AVG's final divide).
+    divisor: f64,
+    best: Option<Value>,
+}
+
+impl RowAggState {
+    fn new(func: crate::ops::hash_agg::AggFunc, divisor: f64) -> Self {
+        RowAggState {
+            func,
+            count: 0,
+            distinct: matches!(func, crate::ops::hash_agg::AggFunc::CountDistinct)
+                .then(FxHashMap::default),
+            sum_i: 0,
+            sum_f: 0.0,
+            seen: false,
+            is_float: false,
+            divisor,
+            best: None,
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        use crate::ops::hash_agg::AggFunc::*;
+        match self.func {
+            CountStar => self.count += 1,
+            Count => {
+                if v.is_some_and(|v| !v.is_null()) {
+                    self.count += 1;
+                }
+            }
+            CountDistinct => {
+                if let Some(v) = v.filter(|v| !v.is_null()) {
+                    self.distinct
+                        .as_mut()
+                        .expect("distinct set present")
+                        .insert(v.clone(), ());
+                }
+            }
+            Sum | Avg => {
+                if let Some(v) = v.filter(|v| !v.is_null()) {
+                    self.seen = true;
+                    self.count += 1;
+                    match v {
+                        Value::Float64(f) => {
+                            self.is_float = true;
+                            self.sum_f += f;
+                        }
+                        _ => {
+                            let x = v.as_i64().ok_or_else(|| {
+                                Error::Type(format!("SUM over non-numeric {v:?}"))
+                            })?;
+                            self.sum_i = self
+                                .sum_i
+                                .checked_add(x)
+                                .ok_or_else(|| Error::Execution("SUM overflow".into()))?;
+                            self.sum_f += x as f64;
+                        }
+                    }
+                }
+            }
+            Min | Max => {
+                if let Some(v) = v.filter(|v| !v.is_null()) {
+                    let want_max = self.func == Max;
+                    let better = match &self.best {
+                        None => true,
+                        Some(b) => {
+                            let ord = v.cmp_sql(b);
+                            if want_max {
+                                ord == std::cmp::Ordering::Greater
+                            } else {
+                                ord == std::cmp::Ordering::Less
+                            }
+                        }
+                    };
+                    if better {
+                        self.best = Some(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, out_ty: DataType) -> Value {
+        use crate::ops::hash_agg::AggFunc::*;
+        match self.func {
+            CountStar | Count => Value::Int64(self.count),
+            CountDistinct => Value::Int64(
+                self.distinct.map(|d| d.len()).unwrap_or(0) as i64
+            ),
+            Sum => {
+                if !self.seen {
+                    Value::Null
+                } else if self.is_float {
+                    Value::Float64(self.sum_f)
+                } else {
+                    Value::from_i64(out_ty, self.sum_i)
+                }
+            }
+            Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(self.sum_f / self.count as f64 / self.divisor)
+                }
+            }
+            Min | Max => self.best.unwrap_or(Value::Null),
+        }
+    }
+}
+
+impl RowOperator for RowHashAgg {
+    fn output_types(&self) -> &[DataType] {
+        &self.output_types
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if !self.executed {
+            self.execute()?;
+        }
+        Ok(self.result.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::collect_row_mode;
+    use crate::ops::hash_agg::{AggExpr, AggFunc};
+    use cstore_common::{Field, Schema};
+    use cstore_storage::pred::CmpOp;
+
+    fn heap() -> Arc<HeapTable> {
+        let schema = Schema::new(vec![
+            Field::not_null("k", DataType::Int64),
+            Field::not_null("cat", DataType::Utf8),
+        ]);
+        let mut t = HeapTable::new(schema);
+        for i in 0..100 {
+            t.insert(&Row::new(vec![
+                Value::Int64(i),
+                Value::str(["x", "y"][(i % 2) as usize]),
+            ]))
+            .unwrap();
+        }
+        Arc::new(t)
+    }
+
+    #[test]
+    fn heap_scan_reads_all() {
+        let rows = collect_row_mode(Box::new(HeapScan::new(heap()))).unwrap();
+        assert_eq!(rows.len(), 100);
+        assert_eq!(rows[42].get(0), &Value::Int64(42));
+    }
+
+    #[test]
+    fn filter_project_pipeline() {
+        let scan = HeapScan::new(heap());
+        let filt = RowFilter::new(
+            Box::new(scan),
+            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(10i64)),
+        );
+        let proj = RowProject::new(Box::new(filt), vec![Expr::col(1), Expr::col(0)]).unwrap();
+        let rows = collect_row_mode(Box::new(proj)).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[3].get(0), &Value::str("y"));
+        assert_eq!(rows[3].get(1), &Value::Int64(3));
+    }
+
+    #[test]
+    fn row_join_matches_batch_semantics() {
+        let probe = RowSource::new(
+            vec![DataType::Int64],
+            (0..10).map(|i| Row::new(vec![Value::Int64(i)])).collect(),
+        );
+        let build = RowSource::new(
+            vec![DataType::Int64, DataType::Utf8],
+            (5..15)
+                .map(|i| Row::new(vec![Value::Int64(i), Value::str(format!("b{i}"))]))
+                .collect(),
+        );
+        let j = RowHashJoin::new(
+            Box::new(probe),
+            Box::new(build),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+        )
+        .unwrap();
+        let rows = collect_row_mode(Box::new(j)).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].len(), 3);
+    }
+
+    #[test]
+    fn row_left_outer_and_anti() {
+        let mk_probe = || {
+            RowSource::new(
+                vec![DataType::Int64],
+                vec![
+                    Row::new(vec![Value::Int64(1)]),
+                    Row::new(vec![Value::Null]),
+                    Row::new(vec![Value::Int64(99)]),
+                ],
+            )
+        };
+        let mk_build = || {
+            RowSource::new(
+                vec![DataType::Int64],
+                vec![Row::new(vec![Value::Int64(1)])],
+            )
+        };
+        let outer = RowHashJoin::new(
+            Box::new(mk_probe()),
+            Box::new(mk_build()),
+            vec![0],
+            vec![0],
+            JoinType::LeftOuter,
+        )
+        .unwrap();
+        let rows = collect_row_mode(Box::new(outer)).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.iter().filter(|r| r.get(1).is_null()).count(), 2);
+        let anti = RowHashJoin::new(
+            Box::new(mk_probe()),
+            Box::new(mk_build()),
+            vec![0],
+            vec![0],
+            JoinType::LeftAnti,
+        )
+        .unwrap();
+        let rows = collect_row_mode(Box::new(anti)).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn row_agg_matches_batch_agg() {
+        let scan = HeapScan::new(heap());
+        let agg = RowHashAgg::new(
+            Box::new(scan),
+            vec![Expr::col(1)],
+            vec![
+                AggExpr::count_star(),
+                AggExpr::new(AggFunc::Sum, Expr::col(0)),
+            ],
+        )
+        .unwrap();
+        let rows = collect_row_mode(Box::new(agg)).unwrap();
+        assert_eq!(rows.len(), 2);
+        let x = rows.iter().find(|r| r.get(0) == &Value::str("x")).unwrap();
+        assert_eq!(x.get(1), &Value::Int64(50));
+        assert_eq!(x.get(2), &Value::Int64((0..100).filter(|i| i % 2 == 0).sum::<i64>()));
+    }
+
+    #[test]
+    fn row_mode_rejects_right_outer() {
+        let probe = RowSource::new(vec![DataType::Int64], vec![]);
+        let build = RowSource::new(vec![DataType::Int64], vec![]);
+        assert!(RowHashJoin::new(
+            Box::new(probe),
+            Box::new(build),
+            vec![0],
+            vec![0],
+            JoinType::RightOuter,
+        )
+        .is_err());
+    }
+}

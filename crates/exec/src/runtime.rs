@@ -1,0 +1,138 @@
+//! Execution context: memory budget, batch size, metrics.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::batch::BATCH_SIZE;
+
+/// Counters collected during execution; all monotonic, safe to read while
+/// the query runs.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Rows produced by scans (after elimination, before filters).
+    pub rows_scanned: AtomicU64,
+    /// Row groups skipped by segment elimination.
+    pub groups_eliminated: AtomicU64,
+    /// Row groups actually read.
+    pub groups_scanned: AtomicU64,
+    /// Rows dropped at scans by pushed-down bitmap filters.
+    pub rows_dropped_by_bitmap: AtomicU64,
+    /// Batches produced by all operators.
+    pub batches: AtomicU64,
+    /// Hash-join partitions spilled to disk.
+    pub partitions_spilled: AtomicU64,
+    /// Bytes written to spill files.
+    pub bytes_spilled: AtomicU64,
+}
+
+impl Metrics {
+    pub fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as (name, value) pairs for EXPLAIN ANALYZE-style output.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("rows_scanned", self.rows_scanned.load(Ordering::Relaxed)),
+            (
+                "groups_eliminated",
+                self.groups_eliminated.load(Ordering::Relaxed),
+            ),
+            ("groups_scanned", self.groups_scanned.load(Ordering::Relaxed)),
+            (
+                "rows_dropped_by_bitmap",
+                self.rows_dropped_by_bitmap.load(Ordering::Relaxed),
+            ),
+            ("batches", self.batches.load(Ordering::Relaxed)),
+            (
+                "partitions_spilled",
+                self.partitions_spilled.load(Ordering::Relaxed),
+            ),
+            ("bytes_spilled", self.bytes_spilled.load(Ordering::Relaxed)),
+        ]
+    }
+}
+
+/// Shared execution context, cloned into every operator.
+#[derive(Clone)]
+pub struct ExecContext {
+    /// Memory budget for blocking operators (hash join build side); beyond
+    /// this, operators spill.
+    pub memory_budget: usize,
+    /// Rows per batch.
+    pub batch_size: usize,
+    /// Directory for spill files.
+    pub spill_dir: PathBuf,
+    /// Whether hash joins may push bitmap (Bloom) filters into probe-side
+    /// scans. On by default; the ablation experiment (E4) turns it off.
+    pub enable_bitmap_filters: bool,
+    /// Worker threads per columnstore scan (1 = serial).
+    pub parallelism: usize,
+    /// Shared metrics.
+    pub metrics: Arc<Metrics>,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext {
+            memory_budget: 256 << 20,
+            batch_size: BATCH_SIZE,
+            spill_dir: std::env::temp_dir(),
+            enable_bitmap_filters: true,
+            parallelism: 1,
+            metrics: Arc::new(Metrics::default()),
+        }
+    }
+}
+
+impl ExecContext {
+    /// A context with a specific memory budget (spill experiments).
+    pub fn with_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    pub fn with_batch_size(mut self, rows: usize) -> Self {
+        self.batch_size = rows.max(1);
+        self
+    }
+
+    /// Disable bitmap-filter pushdown (ablation).
+    pub fn without_bitmap_filters(mut self) -> Self {
+        self.enable_bitmap_filters = false;
+        self
+    }
+
+    /// Scan with `k` worker threads per columnstore scan.
+    pub fn with_parallelism(mut self, k: usize) -> Self {
+        self.parallelism = k.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_accumulate() {
+        let m = Metrics::default();
+        m.add(&m.rows_scanned, 10);
+        m.add(&m.rows_scanned, 5);
+        assert_eq!(Metrics::get(&m.rows_scanned), 15);
+        let snap = m.snapshot();
+        assert_eq!(snap[0], ("rows_scanned", 15));
+    }
+
+    #[test]
+    fn context_builders() {
+        let ctx = ExecContext::default().with_budget(1024).with_batch_size(0);
+        assert_eq!(ctx.memory_budget, 1024);
+        assert_eq!(ctx.batch_size, 1, "batch size clamps to >= 1");
+    }
+}

@@ -1,0 +1,198 @@
+//! Spill files: temporary row storage for graceful degradation.
+//!
+//! When a hash join's build side exceeds the memory budget, both inputs
+//! are hash-partitioned into spill files and each partition is joined
+//! independently (Grace hash join). Rows serialize with the workspace's
+//! binary value codec; files delete themselves on drop.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cstore_common::{Error, Result, Row};
+use cstore_storage::format::{read_value, write_value, Reader, Writer};
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A temporary file of serialized rows.
+pub struct SpillFile {
+    path: PathBuf,
+    writer: Option<BufWriter<File>>,
+    n_rows: usize,
+    bytes: u64,
+}
+
+impl SpillFile {
+    /// Create a fresh spill file in `dir`.
+    pub fn create(dir: &std::path::Path) -> Result<SpillFile> {
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!(
+            "cstore-spill-{}-{seq}.tmp",
+            std::process::id()
+        ));
+        let file = File::create(&path)?;
+        Ok(SpillFile {
+            path,
+            writer: Some(BufWriter::new(file)),
+            n_rows: 0,
+            bytes: 0,
+        })
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Append one row.
+    pub fn write_row(&mut self, row: &Row) -> Result<()> {
+        let w = self
+            .writer
+            .as_mut()
+            .ok_or_else(|| Error::Execution("spill file already sealed".into()))?;
+        let mut buf = Writer::new();
+        buf.u16(row.len() as u16);
+        for v in row.values() {
+            write_value(&mut buf, v);
+        }
+        let bytes = buf.into_bytes();
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&bytes)?;
+        self.n_rows += 1;
+        self.bytes += bytes.len() as u64 + 4;
+        Ok(())
+    }
+
+    /// Finish writing and return a reader over the rows.
+    pub fn into_reader(mut self) -> Result<SpillReader> {
+        if let Some(mut w) = self.writer.take() {
+            w.flush()?;
+        }
+        let file = File::open(&self.path)?;
+        Ok(SpillReader {
+            // Move path ownership so the file is deleted when the reader
+            // drops (self's Drop must not delete it first).
+            path: std::mem::take(&mut self.path),
+            reader: BufReader::new(file),
+            remaining: self.n_rows,
+        })
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// Reader over a sealed spill file; deletes the file on drop.
+pub struct SpillReader {
+    path: PathBuf,
+    reader: BufReader<File>,
+    remaining: usize,
+}
+
+impl SpillReader {
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Read the next row, or `None` at end.
+    pub fn read_row(&mut self) -> Result<Option<Row>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut len_buf = [0u8; 4];
+        self.reader.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut buf = vec![0u8; len];
+        self.reader.read_exact(&mut buf)?;
+        let mut r = Reader::new(&buf);
+        let n = r.u16()? as usize;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(read_value(&mut r)?);
+        }
+        self.remaining -= 1;
+        Ok(Some(Row::new(values)))
+    }
+
+    /// Drain all remaining rows.
+    pub fn read_all(mut self) -> Result<Vec<Row>> {
+        let mut out = Vec::with_capacity(self.remaining);
+        while let Some(row) = self.read_row()? {
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for SpillReader {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstore_common::Value;
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![
+            Value::Int64(i),
+            Value::str(format!("spill-{i}")),
+            if i % 3 == 0 { Value::Null } else { Value::Float64(i as f64) },
+        ])
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut f = SpillFile::create(&std::env::temp_dir()).unwrap();
+        for i in 0..1000 {
+            f.write_row(&row(i)).unwrap();
+        }
+        assert_eq!(f.n_rows(), 1000);
+        assert!(f.bytes_written() > 0);
+        let rows = f.into_reader().unwrap().read_all().unwrap();
+        assert_eq!(rows.len(), 1000);
+        assert_eq!(rows[123], row(123));
+        assert_eq!(rows[999], row(999));
+    }
+
+    #[test]
+    fn file_deleted_after_reader_drops() {
+        let mut f = SpillFile::create(&std::env::temp_dir()).unwrap();
+        f.write_row(&row(1)).unwrap();
+        let reader = f.into_reader().unwrap();
+        let path = reader.path.clone();
+        assert!(path.exists());
+        drop(reader);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn file_deleted_if_never_read() {
+        let path;
+        {
+            let mut f = SpillFile::create(&std::env::temp_dir()).unwrap();
+            f.write_row(&row(1)).unwrap();
+            path = f.path.clone();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn empty_file() {
+        let f = SpillFile::create(&std::env::temp_dir()).unwrap();
+        let mut r = f.into_reader().unwrap();
+        assert!(r.read_row().unwrap().is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property test: the vectorized and row-at-a-time expression evaluators
+//! implement the same semantics for *arbitrary* expression trees —
+//! the invariant that lets one query plan run in either mode.
+
+use cstore_common::{DataType, Row, Value};
+use cstore_exec::expr::like_match;
+use cstore_exec::{ArithOp, Batch, Expr};
+use cstore_storage::pred::CmpOp;
+use proptest::prelude::*;
+
+const TYPES: [DataType; 3] = [DataType::Int64, DataType::Float64, DataType::Utf8];
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        prop_oneof![4 => (-20i64..20).prop_map(Value::Int64), 1 => Just(Value::Null)],
+        prop_oneof![4 => (-40i32..40).prop_map(|x| Value::Float64(x as f64 / 4.0)), 1 => Just(Value::Null)],
+        prop_oneof![4 => "[ab]{0,3}".prop_map(Value::str), 1 => Just(Value::Null)],
+    )
+        .prop_map(|(a, b, c)| Row::new(vec![a, b, c]))
+}
+
+/// Random expression trees, kept type-sane by construction: numeric
+/// leaves feed arithmetic/comparisons; the string column only meets
+/// string comparisons and LIKE.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let num_leaf = prop_oneof![
+        Just(Expr::Col(0)),
+        Just(Expr::Col(1)),
+        (-25i64..25).prop_map(Expr::lit),
+        (-50i32..50).prop_map(|x| Expr::lit(x as f64 / 4.0)),
+    ];
+    let arith = (num_leaf.clone(), num_leaf.clone(), 0usize..3).prop_map(|(a, b, op)| {
+        // Div excluded: division-by-zero error behavior differs by lane
+        // liveness and is tested separately.
+        let ops = [ArithOp::Add, ArithOp::Sub, ArithOp::Mul];
+        Expr::arith(ops[op], a, b)
+    });
+    let num = prop_oneof![num_leaf, arith];
+    let cmp_op = (0usize..6).prop_map(|i| {
+        [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][i]
+    });
+    let num_cmp = (num.clone(), num, cmp_op).prop_map(|(a, b, op)| Expr::cmp(op, a, b));
+    let str_pred = prop_oneof![
+        "[ab%_]{0,4}".prop_map(|p| Expr::Like {
+            expr: Box::new(Expr::Col(2)),
+            pattern: p,
+        }),
+        "[ab]{0,3}".prop_map(|s| Expr::cmp(CmpOp::Eq, Expr::Col(2), Expr::lit(s.as_str()))),
+        Just(Expr::IsNull(Box::new(Expr::Col(2)))),
+        Just(Expr::IsNotNull(Box::new(Expr::Col(0)))),
+        proptest::collection::vec(-20i64..20, 0..4).prop_map(|vs| Expr::InList {
+            expr: Box::new(Expr::Col(0)),
+            list: vs.into_iter().map(Value::Int64).collect(),
+        }),
+    ];
+    let atom = prop_oneof![num_cmp, str_pred];
+    atom.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+            inner.prop_map(|a| Expr::Not(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn batch_and_row_evaluators_agree(
+        rows in proptest::collection::vec(arb_row(), 1..60),
+        expr in arb_expr(),
+    ) {
+        let batch = Batch::from_rows(&TYPES, &rows).unwrap();
+        let bits = expr.eval_pred(&batch).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            let want = matches!(expr.eval_row(row).unwrap(), Value::Bool(true));
+            prop_assert_eq!(
+                bits.get(i), want,
+                "row {} = {:?} disagrees for {:?}", i, row, expr
+            );
+        }
+    }
+
+    #[test]
+    fn like_is_reflexive_on_literal_patterns(s in "[a-c]{0,8}") {
+        // A string always matches itself and itself+% as a pattern when it
+        // contains no metacharacters.
+        prop_assert!(like_match(&s, &s));
+        let suffix = format!("{s}%");
+        prop_assert!(like_match(&s, &suffix));
+        let prefixed = format!("%{s}");
+        prop_assert!(like_match(&s, &prefixed));
+    }
+}

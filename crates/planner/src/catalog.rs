@@ -1,0 +1,73 @@
+//! The planner's view of tables.
+
+use std::sync::Arc;
+
+use cstore_common::Schema;
+use cstore_delta::ColumnStoreTable;
+use cstore_rowstore::HeapTable;
+
+/// A table reference the planner can plan against: either an updatable
+/// clustered columnstore or a classic row-store heap (the baseline).
+#[derive(Clone)]
+pub enum TableRef {
+    ColumnStore(ColumnStoreTable),
+    Heap(Arc<HeapTable>),
+}
+
+impl TableRef {
+    pub fn schema(&self) -> Schema {
+        match self {
+            TableRef::ColumnStore(t) => t.schema().clone(),
+            TableRef::Heap(t) => t.schema().clone(),
+        }
+    }
+
+    /// Live row count (statistics input).
+    pub fn row_count(&self) -> usize {
+        match self {
+            TableRef::ColumnStore(t) => t.total_rows(),
+            TableRef::Heap(t) => t.n_rows(),
+        }
+    }
+
+    pub fn is_columnstore(&self) -> bool {
+        matches!(self, TableRef::ColumnStore(_))
+    }
+}
+
+/// Name → table resolution (implemented by the database catalog).
+pub trait CatalogProvider {
+    fn table(&self, name: &str) -> Option<TableRef>;
+
+    /// Cached (e.g. ANALYZE-collected) statistics for a table, if any.
+    /// The optimizer prefers these over on-the-fly directory scans.
+    fn statistics(&self, name: &str) -> Option<crate::stats::TableStatistics> {
+        let _ = name;
+        None
+    }
+}
+
+/// A trivial map-backed catalog (tests, benches).
+#[derive(Default)]
+pub struct MemoryCatalog {
+    tables: Vec<(String, TableRef)>,
+}
+
+impl MemoryCatalog {
+    pub fn new() -> Self {
+        MemoryCatalog::default()
+    }
+
+    pub fn register(&mut self, name: impl Into<String>, table: TableRef) {
+        self.tables.push((name.into(), table));
+    }
+}
+
+impl CatalogProvider for MemoryCatalog {
+    fn table(&self, name: &str) -> Option<TableRef> {
+        self.tables
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.clone())
+    }
+}

@@ -1,0 +1,124 @@
+//! Plan rendering (`EXPLAIN`).
+
+use crate::catalog::CatalogProvider;
+use crate::cost::{batch_mode_cost, choose_mode, row_mode_cost, ExecMode};
+use crate::logical::LogicalPlan;
+use crate::rules::estimate_rows;
+
+/// Render a logical plan with the optimizer's annotations: chosen mode,
+/// estimated cardinalities and costs, pushed predicates and projections.
+pub fn explain(plan: &LogicalPlan, catalog: &dyn CatalogProvider, mode: ExecMode) -> String {
+    let chosen = choose_mode(mode, plan, catalog);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "mode={chosen:?} (row_cost={:.0}, batch_cost={:.0})\n",
+        row_mode_cost(plan, catalog),
+        batch_mode_cost(plan, catalog)
+    ));
+    render(plan, catalog, 0, &mut out);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render(plan: &LogicalPlan, catalog: &dyn CatalogProvider, depth: usize, out: &mut String) {
+    indent(out, depth);
+    let est = estimate_rows(plan, catalog);
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            projection,
+            pushed,
+            ..
+        } => {
+            out.push_str(&format!("Scan {table}"));
+            if let Some(p) = projection {
+                out.push_str(&format!(" cols={p:?}"));
+            }
+            if !pushed.is_empty() {
+                out.push_str(" pushed=[");
+                for (i, (col, pred)) in pushed.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("col{col} {pred}"));
+                }
+                out.push(']');
+            }
+        }
+        LogicalPlan::Filter { predicate, .. } => {
+            out.push_str(&format!("Filter {predicate:?}"));
+        }
+        LogicalPlan::Project { names, .. } => {
+            out.push_str(&format!("Project {names:?}"));
+        }
+        LogicalPlan::Join {
+            join_type,
+            on_left,
+            on_right,
+            ..
+        } => {
+            out.push_str(&format!(
+                "HashJoin {join_type:?} on left{on_left:?} = right{on_right:?}"
+            ));
+        }
+        LogicalPlan::Aggregate { group_by, aggs, .. } => {
+            out.push_str(&format!(
+                "HashAggregate groups={} aggs={}",
+                group_by.len(),
+                aggs.len()
+            ));
+        }
+        LogicalPlan::Sort { keys, limit, .. } => {
+            out.push_str(&format!("Sort keys={}", keys.len()));
+            if let Some(l) = limit {
+                out.push_str(&format!(" limit={l}"));
+            }
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            out.push_str(&format!("UnionAll inputs={}", inputs.len()));
+        }
+    }
+    out.push_str(&format!("  (~{est:.0} rows)\n"));
+    for child in plan.children() {
+        render(child, catalog, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::MemoryCatalog;
+    use cstore_common::{DataType, Field, Schema};
+    use cstore_exec::Expr;
+    use cstore_storage::pred::{CmpOp, ColumnPred};
+
+    #[test]
+    fn explain_renders_tree() {
+        let catalog = MemoryCatalog::new();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan {
+                table: "t".into(),
+                schema: Schema::new(vec![Field::not_null("a", DataType::Int64)]),
+                projection: Some(vec![0]),
+                pushed: vec![(
+                    0,
+                    ColumnPred::Cmp {
+                        op: CmpOp::Gt,
+                        value: cstore_common::Value::Int64(5),
+                    },
+                )],
+            }),
+            predicate: Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(100i64)),
+        };
+        let text = explain(&plan, &catalog, ExecMode::Batch);
+        assert!(text.contains("mode=Batch"));
+        assert!(text.contains("Scan t"));
+        assert!(text.contains("pushed=[col0 > 5]"));
+        assert!(text.contains("Filter"));
+    }
+}

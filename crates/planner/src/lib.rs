@@ -1,0 +1,28 @@
+//! Query planning and optimization.
+//!
+//! The optimizer enhancements the paper describes, scaled to this engine:
+//!
+//! * [`logical`] — logical plans (scan/filter/project/join/aggregate/sort/
+//!   union) with schema propagation;
+//! * [`stats`] — table statistics and selectivity estimation, fed by the
+//!   segment directory;
+//! * [`rules`] — rewrites: predicate pushdown into scans (as encodable
+//!   `ColumnPred`s), projection pruning, and greedy star-join ordering;
+//! * [`cost`] — the batch-vs-row mode decision, costed per plan;
+//! * [`physical`] — lowering to `cstore-exec` operators, including bitmap-
+//!   filter placement between hash joins and probe-side scans;
+//! * [`explain`] — plan rendering with the optimizer's annotations.
+
+pub mod catalog;
+pub mod cost;
+pub mod explain;
+pub mod logical;
+pub mod physical;
+pub mod rules;
+pub mod stats;
+
+pub use catalog::{CatalogProvider, TableRef};
+pub use cost::ExecMode;
+pub use cstore_storage::pred::{CmpOp, ColumnPred};
+pub use logical::LogicalPlan;
+pub use physical::build_physical;

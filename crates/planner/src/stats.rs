@@ -1,0 +1,561 @@
+//! Statistics and selectivity estimation.
+//!
+//! The optimizer reads table cardinalities from the catalog and per-column
+//! min/max/distinct statistics from the columnstore's segment directory —
+//! the same metadata segment elimination uses — then applies standard
+//! selectivity heuristics to predicates.
+
+use cstore_common::Value;
+use cstore_exec::Expr;
+use cstore_storage::pred::{CmpOp, ColumnPred};
+
+use crate::catalog::TableRef;
+
+/// An equi-depth histogram over a column's sampled `i64` images.
+///
+/// The paper notes the updatable columnstore supports *sampling* for
+/// statistics; this is that path: `ANALYZE` samples rows and builds one
+/// of these per integer-backed column, replacing the span-based uniform
+/// assumption with observed quantiles — which matters exactly when data
+/// is skewed.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Ascending bucket upper bounds (inclusive); the first bucket spans
+    /// `[min, bounds[0]]`.
+    bounds: Vec<i64>,
+    /// Smallest sampled value.
+    min: i64,
+    /// Distinct-per-bucket estimates (for equality selectivity).
+    distinct: Vec<u64>,
+    /// Cumulative row fraction at each bound.
+    cum: Vec<f64>,
+}
+
+impl Histogram {
+    /// Build from a sample (equi-depth, up to `n_buckets`).
+    pub fn build(mut sample: Vec<i64>, n_buckets: usize) -> Option<Histogram> {
+        if sample.is_empty() {
+            return None;
+        }
+        sample.sort_unstable();
+        let min = sample[0];
+        let b = n_buckets.clamp(1, sample.len());
+        let per = sample.len().div_ceil(b);
+        let mut bounds = Vec::with_capacity(b);
+        let mut distinct = Vec::with_capacity(b);
+        for chunk in sample.chunks(per) {
+            bounds.push(*chunk.last().unwrap());
+            let mut d = 1u64;
+            for w in chunk.windows(2) {
+                d += u64::from(w[0] != w[1]);
+            }
+            distinct.push(d);
+        }
+        // Merge buckets with duplicate bounds (heavy hitters).
+        let mut merged_bounds: Vec<i64> = Vec::new();
+        let mut merged_distinct: Vec<u64> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        for (i, &bd) in bounds.iter().enumerate() {
+            if merged_bounds.last() == Some(&bd) {
+                *weights.last_mut().unwrap() += 1.0;
+            } else {
+                merged_bounds.push(bd);
+                merged_distinct.push(distinct[i]);
+                weights.push(1.0);
+            }
+        }
+        // Fold merged weights back: each entry's cumulative fraction.
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let fractions: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Some(Histogram {
+            bounds: merged_bounds,
+            min,
+            distinct: merged_distinct,
+            cum: fractions,
+        })
+    }
+
+    /// Fraction of rows with value `<= v`.
+    pub fn fraction_le(&self, v: i64) -> f64 {
+        if v < self.min {
+            return 0.0;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        if idx >= self.bounds.len() {
+            return 1.0;
+        }
+        // Within-bucket linear interpolation between the previous bound
+        // and this one.
+        let hi_frac = self.cum[idx];
+        let lo_frac = if idx == 0 { 0.0 } else { self.cum[idx - 1] };
+        let lo_bound = if idx == 0 { self.min } else { self.bounds[idx - 1] };
+        let hi_bound = self.bounds[idx];
+        if hi_bound <= lo_bound {
+            return hi_frac;
+        }
+        let t = (v - lo_bound) as f64 / (hi_bound - lo_bound) as f64;
+        lo_frac + (hi_frac - lo_frac) * t.clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of `lo <= x <= hi` (inclusive).
+    pub fn range_selectivity(&self, lo: Option<i64>, hi: Option<i64>) -> f64 {
+        let hi_f = hi.map_or(1.0, |h| self.fraction_le(h));
+        let lo_f = lo.map_or(0.0, |l| self.fraction_le(l - 1));
+        (hi_f - lo_f).clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of `x = v`.
+    pub fn eq_selectivity(&self, v: i64) -> f64 {
+        if v < self.min || self.bounds.last().is_none_or(|&b| v > b) {
+            return 0.0;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        let hi_frac = self.cum[idx];
+        let lo_frac = if idx == 0 { 0.0 } else { self.cum[idx - 1] };
+        let bucket_frac = hi_frac - lo_frac;
+        bucket_frac / self.distinct[idx].max(1) as f64
+    }
+
+    pub fn n_buckets(&self) -> usize {
+        self.bounds.len()
+    }
+}
+
+/// Per-column statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ColumnStats {
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    pub distinct_estimate: Option<u64>,
+    pub null_fraction: f64,
+    /// Sampled equi-depth histogram (set by ANALYZE).
+    pub histogram: Option<Histogram>,
+}
+
+/// Per-table statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TableStatistics {
+    pub row_count: usize,
+    pub columns: Vec<ColumnStats>,
+}
+
+/// Default selectivity for predicates we cannot analyze.
+pub const DEFAULT_SELECTIVITY: f64 = 1.0 / 3.0;
+/// Default equality selectivity without distinct statistics.
+pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.05;
+
+impl TableStatistics {
+    /// Gather statistics from a table (columnstore: from segment metadata;
+    /// heap: row count only).
+    pub fn collect(table: &TableRef) -> TableStatistics {
+        match table {
+            TableRef::Heap(t) => TableStatistics {
+                row_count: t.n_rows(),
+                columns: vec![ColumnStats::default(); t.schema().len()],
+            },
+            TableRef::ColumnStore(t) => {
+                let n_cols = t.schema().len();
+                let mut columns = vec![ColumnStats::default(); n_cols];
+                let mut rows_with_stats = 0usize;
+                t.with_columnstore(|cs| {
+                    for entry in cs.directory().entries() {
+                        let c = &mut columns[entry.column];
+                        if let Some(min) = &entry.min {
+                            if c.min.as_ref().is_none_or(|m| min.cmp_sql(m).is_lt()) {
+                                c.min = Some(min.clone());
+                            }
+                        }
+                        if let Some(max) = &entry.max {
+                            if c.max.as_ref().is_none_or(|m| max.cmp_sql(m).is_gt()) {
+                                c.max = Some(max.clone());
+                            }
+                        }
+                        c.null_fraction += entry.null_count as f64;
+                        if entry.column == 0 {
+                            rows_with_stats += entry.row_count as usize;
+                        }
+                    }
+                });
+                let total = t.total_rows().max(1);
+                for c in &mut columns {
+                    c.null_fraction /= total as f64;
+                    // Distinct estimate: span-based for integers (upper
+                    // bound), else unknown.
+                    if let (Some(Value::Int64(lo)), Some(Value::Int64(hi))) = (&c.min, &c.max) {
+                        c.distinct_estimate = Some(((hi - lo).unsigned_abs() + 1).min(total as u64));
+                    }
+                }
+                let _ = rows_with_stats;
+                TableStatistics {
+                    row_count: t.total_rows(),
+                    columns,
+                }
+            }
+        }
+    }
+
+    /// Sample rows and attach equi-depth histograms to integer-backed
+    /// columns (the ANALYZE path). `sample_target` bounds the number of
+    /// sampled rows.
+    pub fn collect_sampled(table: &TableRef, sample_target: usize) -> TableStatistics {
+        let mut stats = Self::collect(table);
+        let TableRef::ColumnStore(t) = table else {
+            return stats; // heap baselines keep coarse stats
+        };
+        let snap = t.snapshot();
+        let total: usize = snap.groups().iter().map(|g| g.n_rows()).sum::<usize>()
+            + snap.delta_rows().len();
+        if total == 0 {
+            return stats;
+        }
+        let step = (total / sample_target.max(1)).max(1);
+        let n_cols = t.schema().len();
+        let mut samples: Vec<Vec<i64>> = vec![Vec::new(); n_cols];
+        let int_backed: Vec<bool> = t
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.data_type.is_integer_backed())
+            .collect();
+        for g in snap.groups() {
+            let visible = snap.visible_bitmap(g);
+            for (c, sample) in samples.iter_mut().enumerate() {
+                if !int_backed[c] {
+                    continue;
+                }
+                let Ok(seg) = g.open_segment(c) else { continue };
+                let decoded = seg.decode();
+                if let cstore_storage::segment::SegmentValues::I64 { values, nulls } = &decoded
+                {
+                    for i in (0..values.len()).step_by(step) {
+                        let is_null = nulls.as_ref().is_some_and(|n| n.get(i));
+                        if !is_null && visible.get(i) {
+                            sample.push(values[i]);
+                        }
+                    }
+                }
+            }
+        }
+        for (i, (_, row)) in snap.delta_rows().iter().enumerate() {
+            if i % step != 0 {
+                continue;
+            }
+            for (c, v) in row.values().iter().enumerate() {
+                if int_backed[c] {
+                    if let Some(x) = v.as_i64() {
+                        samples[c].push(x);
+                    }
+                }
+            }
+        }
+        for (c, sample) in samples.into_iter().enumerate() {
+            if int_backed[c] {
+                let n = sample.len() as u64;
+                if let Some(h) = Histogram::build(sample, 64) {
+                    // A histogram also refines the distinct estimate.
+                    let d: u64 = (0..h.n_buckets()).map(|i| h.distinct[i]).sum();
+                    let prev = stats.columns[c].distinct_estimate.unwrap_or(u64::MAX);
+                    stats.columns[c].distinct_estimate = Some(d.min(prev).min(n.max(1)));
+                    stats.columns[c].histogram = Some(h);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Estimated selectivity of a pushed-down predicate on column `col`.
+    pub fn pred_selectivity(&self, col: usize, pred: &ColumnPred) -> f64 {
+        let stats = self.columns.get(col);
+        let span = stats.and_then(|s| match (&s.min, &s.max) {
+            (Some(lo), Some(hi)) => Some((lo.as_f64().or(lo.as_i64().map(|x| x as f64))?,
+                                          hi.as_f64().or(hi.as_i64().map(|x| x as f64))?)),
+            _ => None,
+        });
+        let distinct = stats.and_then(|s| s.distinct_estimate);
+        let hist = stats.and_then(|s| s.histogram.as_ref());
+        // Histogram path: observed quantiles beat uniform assumptions on
+        // skewed data.
+        if let Some(h) = hist {
+            let as_i64 = |v: &Value| v.as_i64();
+            match pred {
+                ColumnPred::Cmp { op: CmpOp::Eq, value } => {
+                    if let Some(k) = as_i64(value) {
+                        return h.eq_selectivity(k);
+                    }
+                }
+                ColumnPred::Cmp { op, value } => {
+                    if let Some(k) = as_i64(value) {
+                        return match op {
+                            CmpOp::Lt => h.range_selectivity(None, Some(k - 1)),
+                            CmpOp::Le => h.range_selectivity(None, Some(k)),
+                            CmpOp::Gt => h.range_selectivity(Some(k + 1), None),
+                            CmpOp::Ge => h.range_selectivity(Some(k), None),
+                            CmpOp::Ne => 1.0 - h.eq_selectivity(k),
+                            CmpOp::Eq => unreachable!(),
+                        };
+                    }
+                }
+                ColumnPred::Between { lo, hi } => {
+                    if let (Some(a), Some(b)) = (as_i64(lo), as_i64(hi)) {
+                        return h.range_selectivity(Some(a), Some(b));
+                    }
+                }
+                _ => {}
+            }
+        }
+        match pred {
+            ColumnPred::IsNull => stats.map_or(0.05, |s| s.null_fraction),
+            ColumnPred::IsNotNull => stats.map_or(0.95, |s| 1.0 - s.null_fraction),
+            ColumnPred::Cmp { op: CmpOp::Eq, .. } => match distinct {
+                Some(d) if d > 0 => 1.0 / d as f64,
+                _ => DEFAULT_EQ_SELECTIVITY,
+            },
+            ColumnPred::Cmp { op: CmpOp::Ne, .. } => match distinct {
+                Some(d) if d > 0 => 1.0 - 1.0 / d as f64,
+                _ => 1.0 - DEFAULT_EQ_SELECTIVITY,
+            },
+            ColumnPred::Cmp { op, value } => {
+                let Some((lo, hi)) = span else {
+                    return DEFAULT_SELECTIVITY;
+                };
+                let Some(v) = value.as_f64().or(value.as_i64().map(|x| x as f64)) else {
+                    return DEFAULT_SELECTIVITY;
+                };
+                if hi <= lo {
+                    return DEFAULT_SELECTIVITY;
+                }
+                let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+                match op {
+                    CmpOp::Lt | CmpOp::Le => frac,
+                    CmpOp::Gt | CmpOp::Ge => 1.0 - frac,
+                    _ => unreachable!("Eq/Ne handled above"),
+                }
+            }
+            ColumnPred::Between { lo: plo, hi: phi } => {
+                let Some((lo, hi)) = span else {
+                    return DEFAULT_SELECTIVITY;
+                };
+                let (Some(a), Some(b)) = (
+                    plo.as_f64().or(plo.as_i64().map(|x| x as f64)),
+                    phi.as_f64().or(phi.as_i64().map(|x| x as f64)),
+                ) else {
+                    return DEFAULT_SELECTIVITY;
+                };
+                if hi <= lo {
+                    return DEFAULT_SELECTIVITY;
+                }
+                ((b.min(hi) - a.max(lo)) / (hi - lo)).clamp(0.0, 1.0)
+            }
+            ColumnPred::InList(items) => match distinct {
+                Some(d) if d > 0 => (items.len() as f64 / d as f64).min(1.0),
+                _ => (items.len() as f64 * DEFAULT_EQ_SELECTIVITY).min(1.0),
+            },
+        }
+    }
+
+    /// Estimated selectivity of a general expression predicate.
+    pub fn expr_selectivity(&self, e: &Expr) -> f64 {
+        match e {
+            Expr::And(a, b) => self.expr_selectivity(a) * self.expr_selectivity(b),
+            Expr::Or(a, b) => {
+                let (sa, sb) = (self.expr_selectivity(a), self.expr_selectivity(b));
+                (sa + sb - sa * sb).min(1.0)
+            }
+            Expr::Not(inner) => 1.0 - self.expr_selectivity(inner),
+            Expr::Cmp { op, lhs, rhs } => match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Col(c), Expr::Lit(v)) => self.pred_selectivity(
+                    *c,
+                    &ColumnPred::Cmp {
+                        op: *op,
+                        value: v.clone(),
+                    },
+                ),
+                (Expr::Lit(v), Expr::Col(c)) => self.pred_selectivity(
+                    *c,
+                    &ColumnPred::Cmp {
+                        op: op.flip(),
+                        value: v.clone(),
+                    },
+                ),
+                _ => DEFAULT_SELECTIVITY,
+            },
+            Expr::InList { expr, list } => match expr.as_ref() {
+                Expr::Col(c) => self.pred_selectivity(*c, &ColumnPred::InList(list.clone())),
+                _ => DEFAULT_SELECTIVITY,
+            },
+            Expr::IsNull(inner) => match inner.as_ref() {
+                Expr::Col(c) => self.pred_selectivity(*c, &ColumnPred::IsNull),
+                _ => 0.05,
+            },
+            Expr::IsNotNull(inner) => match inner.as_ref() {
+                Expr::Col(c) => self.pred_selectivity(*c, &ColumnPred::IsNotNull),
+                _ => 0.95,
+            },
+            _ => DEFAULT_SELECTIVITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstore_common::{DataType, Field, Row, Schema};
+    use cstore_delta::{ColumnStoreTable, TableConfig};
+
+    fn stats() -> TableStatistics {
+        let schema = Schema::new(vec![Field::not_null("k", DataType::Int64)]);
+        let t = ColumnStoreTable::new(
+            schema,
+            TableConfig {
+                bulk_load_threshold: 10,
+                max_rowgroup_rows: 500,
+                ..TableConfig::default()
+            },
+        );
+        t.bulk_insert(
+            &(0..1000)
+                .map(|i| Row::new(vec![Value::Int64(i)]))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        TableStatistics::collect(&TableRef::ColumnStore(t))
+    }
+
+    #[test]
+    fn collect_reads_directory() {
+        let s = stats();
+        assert_eq!(s.row_count, 1000);
+        assert_eq!(s.columns[0].min, Some(Value::Int64(0)));
+        assert_eq!(s.columns[0].max, Some(Value::Int64(999)));
+        assert_eq!(s.columns[0].distinct_estimate, Some(1000));
+    }
+
+    #[test]
+    fn range_selectivity_tracks_span() {
+        let s = stats();
+        let sel = s.pred_selectivity(
+            0,
+            &ColumnPred::Cmp {
+                op: CmpOp::Lt,
+                value: Value::Int64(250),
+            },
+        );
+        assert!((sel - 0.25).abs() < 0.01, "sel={sel}");
+        let sel = s.pred_selectivity(
+            0,
+            &ColumnPred::Between {
+                lo: Value::Int64(100),
+                hi: Value::Int64(199),
+            },
+        );
+        assert!((sel - 0.099).abs() < 0.01, "sel={sel}");
+    }
+
+    #[test]
+    fn eq_uses_distinct() {
+        let s = stats();
+        let sel = s.pred_selectivity(
+            0,
+            &ColumnPred::Cmp {
+                op: CmpOp::Eq,
+                value: Value::Int64(7),
+            },
+        );
+        assert!((sel - 0.001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expr_selectivity_combines() {
+        let s = stats();
+        let e = Expr::and(
+            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(500i64)),
+            Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(250i64)),
+        );
+        let sel = s.expr_selectivity(&e);
+        assert!((0.3..0.45).contains(&sel), "sel={sel}");
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+    use cstore_common::{DataType, Field, Row, Schema};
+    use cstore_delta::{ColumnStoreTable, TableConfig};
+
+    #[test]
+    fn histogram_fractions_are_monotone_and_bounded() {
+        let sample: Vec<i64> = (0..1000).map(|i| (i * i) % 503).collect();
+        let h = Histogram::build(sample, 32).unwrap();
+        let mut prev = 0.0;
+        for v in (-10..520).step_by(7) {
+            let f = h.fraction_le(v);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= prev - 1e-9, "non-monotone at {v}");
+            prev = f;
+        }
+        assert_eq!(h.fraction_le(i64::MIN + 1), 0.0);
+        assert_eq!(h.fraction_le(i64::MAX), 1.0);
+    }
+
+    #[test]
+    fn histogram_beats_uniform_on_skew() {
+        // 90% of values are 0, the rest spread over 0..1,000,000.
+        let mut sample: Vec<i64> = vec![0; 9000];
+        sample.extend((0..1000).map(|i| i * 1000));
+        let h = Histogram::build(sample, 64).unwrap();
+        // x <= 0 covers ~90% of rows; the uniform span estimate would say
+        // ~0%.
+        let sel = h.range_selectivity(None, Some(0));
+        assert!(sel > 0.8, "histogram sel {sel} should reflect the skew");
+        // Equality on the heavy hitter is large; on a tail value tiny.
+        assert!(h.eq_selectivity(0) > 0.5);
+        assert!(h.eq_selectivity(777_000) < 0.05);
+    }
+
+    #[test]
+    fn collect_sampled_attaches_histograms() {
+        let schema = Schema::new(vec![
+            Field::not_null("k", DataType::Int64),
+            Field::not_null("s", DataType::Utf8),
+        ]);
+        let t = ColumnStoreTable::new(
+            schema,
+            TableConfig {
+                bulk_load_threshold: 100,
+                max_rowgroup_rows: 5000,
+                ..TableConfig::default()
+            },
+        );
+        // Zipf-ish skew: many zeros.
+        t.bulk_insert(
+            &(0..20_000)
+                .map(|i| {
+                    let k = if i % 10 < 8 { 0 } else { i };
+                    Row::new(vec![Value::Int64(k), Value::str("x")])
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let table = TableRef::ColumnStore(t);
+        let plain = TableStatistics::collect(&table);
+        let sampled = TableStatistics::collect_sampled(&table, 4000);
+        assert!(sampled.columns[0].histogram.is_some());
+        assert!(sampled.columns[1].histogram.is_none(), "strings unsampled");
+        let pred = ColumnPred::Cmp {
+            op: CmpOp::Eq,
+            value: Value::Int64(0),
+        };
+        let uniform = plain.pred_selectivity(0, &pred);
+        let hist = sampled.pred_selectivity(0, &pred);
+        // Truth: 80% of rows are 0. Uniform says ~1/distinct ≈ 0.005%.
+        assert!(uniform < 0.01, "uniform {uniform}");
+        assert!((0.6..=1.0).contains(&hist), "histogram {hist}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Row-store baseline.
+//!
+//! The paper's experiments compare the column store against SQL Server's
+//! classic row-oriented storage, both uncompressed and with PAGE
+//! compression. This crate is that comparator:
+//!
+//! * [`page`] — 8 KiB slotted pages;
+//! * [`heap`] — a heap table of slotted pages with row-at-a-time scans
+//!   (the row-mode execution baseline reads from here);
+//! * [`rowcodec`] — row serialization, both fixed-width and SQL Server
+//!   "row compression"-style variable-width;
+//! * [`pagecompress`] — a PAGE-compression analogue (per-page, per-column
+//!   prefix + dictionary compression over row-compressed cells), the
+//!   baseline in the compression-ratio experiment (E1).
+
+pub mod heap;
+pub mod page;
+pub mod pagecompress;
+pub mod rowcodec;
+
+pub use heap::HeapTable;
+pub use pagecompress::CompressedHeapTable;

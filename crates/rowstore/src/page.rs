@@ -1,0 +1,135 @@
+//! Slotted pages.
+//!
+//! The classic row-store page: record bytes grow from the front, the slot
+//! array records (offset, length) per record. 8 KiB pages, matching SQL
+//! Server.
+
+/// Page capacity in bytes (data + slot array).
+pub const PAGE_SIZE: usize = 8192;
+/// Bytes of bookkeeping per slot.
+const SLOT_BYTES: usize = 4;
+/// Fixed page header allowance.
+const HEADER_BYTES: usize = 96;
+
+/// One slotted page.
+#[derive(Clone, Debug, Default)]
+pub struct Page {
+    data: Vec<u8>,
+    slots: Vec<(u32, u32)>,
+}
+
+impl Page {
+    pub fn new() -> Self {
+        Page::default()
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Bytes in use (header + data + slots).
+    pub fn used_bytes(&self) -> usize {
+        HEADER_BYTES + self.data.len() + self.slots.len() * SLOT_BYTES
+    }
+
+    /// Free space remaining.
+    pub fn free_bytes(&self) -> usize {
+        PAGE_SIZE.saturating_sub(self.used_bytes())
+    }
+
+    /// Whether a record of `len` bytes fits.
+    pub fn fits(&self, len: usize) -> bool {
+        self.used_bytes() + len + SLOT_BYTES <= PAGE_SIZE
+    }
+
+    /// Append a record, returning its slot number, or `None` if it does
+    /// not fit.
+    pub fn insert(&mut self, record: &[u8]) -> Option<u16> {
+        if !self.fits(record.len()) {
+            return None;
+        }
+        let offset = self.data.len() as u32;
+        self.data.extend_from_slice(record);
+        self.slots.push((offset, record.len() as u32));
+        Some((self.slots.len() - 1) as u16)
+    }
+
+    /// The record in `slot`, if the slot exists and is live.
+    pub fn record(&self, slot: u16) -> Option<&[u8]> {
+        let &(off, len) = self.slots.get(slot as usize)?;
+        if len == u32::MAX {
+            return None; // tombstone
+        }
+        Some(&self.data[off as usize..(off + len) as usize])
+    }
+
+    /// Tombstone a slot (space is not reclaimed until page rebuild).
+    pub fn delete(&mut self, slot: u16) -> bool {
+        match self.slots.get_mut(slot as usize) {
+            Some(s) if s.1 != u32::MAX => {
+                *s = (0, u32::MAX);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Iterate live records as `(slot, bytes)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, len))| len != u32::MAX)
+            .map(|(i, &(off, len))| {
+                (i as u16, &self.data[off as usize..(off + len) as usize])
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_read() {
+        let mut p = Page::new();
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(p.record(s0), Some(&b"hello"[..]));
+        assert_eq!(p.record(s1), Some(&b"world!"[..]));
+        assert_eq!(p.n_rows(), 2);
+    }
+
+    #[test]
+    fn fills_up() {
+        let mut p = Page::new();
+        let rec = [0u8; 100];
+        let mut n = 0;
+        while p.insert(&rec).is_some() {
+            n += 1;
+        }
+        // 8192 - 96 header over 104 bytes/record ≈ 77 records.
+        assert!((70..=80).contains(&n), "fit {n} records");
+        assert!(p.free_bytes() < 104);
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut p = Page::new();
+        let s = p.insert(b"x").unwrap();
+        assert!(p.delete(s));
+        assert!(!p.delete(s));
+        assert_eq!(p.record(s), None);
+        assert_eq!(p.iter().count(), 0);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut p = Page::new();
+        assert!(p.insert(&vec![0u8; PAGE_SIZE]).is_none());
+    }
+}

@@ -1,0 +1,303 @@
+//! PAGE compression: the row-store compression baseline.
+//!
+//! SQL Server's PAGE compression applies, per page: (1) row compression
+//! (minimal-width cells — see [`crate::rowcodec::cell_image`]), (2) prefix
+//! compression (per column, cells share a common byte prefix stored once),
+//! and (3) dictionary compression (repeated cell suffixes across the page
+//! stored once and referenced). This module reproduces that pipeline over
+//! logical pages of rows so E1 can report "PAGE compression" sizes next to
+//! columnstore sizes, and decodes pages back for correctness tests.
+
+use cstore_common::{Error, FxHashMap, Result, Row, Schema, Value};
+
+/// Rows per compressed page. A real page is 8 KiB; compressed cells are a
+/// few bytes, so ~200 rows per page mirrors real occupancy for warehouse
+/// rows.
+pub const ROWS_PER_PAGE: usize = 200;
+/// Per-page header allowance (mirrors the slotted-page header plus the
+/// compression-information record).
+const PAGE_HEADER_BYTES: usize = 96;
+/// Per-cell descriptor cost: 4 bits of length/ref metadata.
+const CELL_DESCRIPTOR_BITS: usize = 4;
+
+/// One PAGE-compressed page.
+struct CompressedPage {
+    /// Per column: the shared prefix.
+    prefixes: Vec<Vec<u8>>,
+    /// Page dictionary: distinct suffixes referenced more than once.
+    dictionary: Vec<Vec<u8>>,
+    /// Per row, per column: the encoded cell.
+    cells: Vec<Vec<Cell>>,
+}
+
+enum Cell {
+    Null,
+    /// Suffix stored inline (after the column prefix).
+    Inline(Vec<u8>),
+    /// Suffix stored in the page dictionary.
+    DictRef(u16),
+}
+
+/// A heap table stored with PAGE compression.
+pub struct CompressedHeapTable {
+    schema: Schema,
+    pages: Vec<CompressedPage>,
+    n_rows: usize,
+}
+
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+impl CompressedHeapTable {
+    /// Build from rows (PAGE compression is applied when a page fills).
+    pub fn build(schema: Schema, rows: &[Row]) -> Result<Self> {
+        for row in rows {
+            schema.check_row(row)?;
+        }
+        let mut pages = Vec::with_capacity(rows.len().div_ceil(ROWS_PER_PAGE));
+        for chunk in rows.chunks(ROWS_PER_PAGE) {
+            pages.push(Self::compress_page(&schema, chunk));
+        }
+        Ok(CompressedHeapTable {
+            schema,
+            pages,
+            n_rows: rows.len(),
+        })
+    }
+
+    fn compress_page(schema: &Schema, rows: &[Row]) -> CompressedPage {
+        let n_cols = schema.len();
+        // Row-compress every cell.
+        let images: Vec<Vec<Option<Vec<u8>>>> = rows
+            .iter()
+            .map(|row| {
+                (0..n_cols)
+                    .map(|c| {
+                        crate::rowcodec::cell_image(schema.field(c).data_type, row.get(c))
+                    })
+                    .collect()
+            })
+            .collect();
+        // Prefix per column: longest prefix common to all non-null cells
+        // (only worthwhile if at least 2 cells share it; a single value's
+        // "prefix" would just move bytes around).
+        let mut prefixes: Vec<Vec<u8>> = Vec::with_capacity(n_cols);
+        for c in 0..n_cols {
+            let mut iter = images.iter().filter_map(|r| r[c].as_deref());
+            let prefix = match iter.next() {
+                Some(first) => {
+                    let mut p = first.to_vec();
+                    for img in iter {
+                        let l = common_prefix_len(&p, img);
+                        p.truncate(l);
+                        if p.is_empty() {
+                            break;
+                        }
+                    }
+                    p
+                }
+                None => Vec::new(),
+            };
+            prefixes.push(prefix);
+        }
+        // Dictionary: suffixes (post-prefix) occurring more than once.
+        let mut counts: FxHashMap<(usize, Vec<u8>), usize> = FxHashMap::default();
+        for row in &images {
+            for (c, img) in row.iter().enumerate() {
+                if let Some(img) = img {
+                    let suffix = img[prefixes[c].len().min(img.len())..].to_vec();
+                    // Dictionary entries are shared across columns of the
+                    // same byte content in SQL Server; keep them per-column
+                    // here for simpler decode (key includes the column).
+                    *counts.entry((c, suffix)).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut dictionary: Vec<Vec<u8>> = Vec::new();
+        let mut dict_index: FxHashMap<(usize, Vec<u8>), u16> = FxHashMap::default();
+        for ((c, suffix), n) in counts {
+            // Worth a dictionary entry when referencing beats inlining:
+            // n copies of the suffix vs one copy + n 2-byte refs.
+            if n >= 2 && suffix.len() * n > suffix.len() + 2 * n && dictionary.len() < u16::MAX as usize
+            {
+                dict_index.insert((c, suffix.clone()), dictionary.len() as u16);
+                dictionary.push(suffix);
+            }
+        }
+        // Encode cells.
+        let cells: Vec<Vec<Cell>> = images
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .enumerate()
+                    .map(|(c, img)| match img {
+                        None => Cell::Null,
+                        Some(img) => {
+                            let suffix = img[prefixes[c].len().min(img.len())..].to_vec();
+                            match dict_index.get(&(c, suffix.clone())) {
+                                Some(&idx) => Cell::DictRef(idx),
+                                None => Cell::Inline(suffix),
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        CompressedPage {
+            prefixes,
+            dictionary,
+            cells,
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Compressed size in bytes: what E1 reports for "PAGE compression".
+    pub fn compressed_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for page in &self.pages {
+            total += PAGE_HEADER_BYTES;
+            total += page.prefixes.iter().map(|p| p.len() + 2).sum::<usize>();
+            total += page
+                .dictionary
+                .iter()
+                .map(|d| d.len() + 2)
+                .sum::<usize>();
+            let mut cell_bits = 0usize;
+            for row in &page.cells {
+                for cell in row {
+                    cell_bits += CELL_DESCRIPTOR_BITS;
+                    cell_bits += 8 * match cell {
+                        Cell::Null => 0,
+                        Cell::Inline(s) => s.len() + usize::from(s.len() >= 8),
+                        Cell::DictRef(_) => 2,
+                    };
+                }
+            }
+            total += cell_bits.div_ceil(8);
+        }
+        total
+    }
+
+    /// Decode everything back (correctness check for the compressor).
+    pub fn scan(&self) -> impl Iterator<Item = Result<Row>> + '_ {
+        self.pages.iter().flat_map(move |page| {
+            page.cells.iter().map(move |cells| {
+                let mut values = Vec::with_capacity(cells.len());
+                for (c, cell) in cells.iter().enumerate() {
+                    let ty = self.schema.field(c).data_type;
+                    let v = match cell {
+                        Cell::Null => Value::Null,
+                        Cell::Inline(suffix) => {
+                            let mut img = page.prefixes[c].clone();
+                            img.extend_from_slice(suffix);
+                            crate::rowcodec::decode_cell(ty, Some(&img))?
+                        }
+                        Cell::DictRef(idx) => {
+                            let suffix = page
+                                .dictionary
+                                .get(*idx as usize)
+                                .ok_or_else(|| Error::Storage("bad dict ref".into()))?;
+                            let mut img = page.prefixes[c].clone();
+                            img.extend_from_slice(suffix);
+                            crate::rowcodec::decode_cell(ty, Some(&img))?
+                        }
+                    };
+                    values.push(v);
+                }
+                Ok(Row::new(values))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapTable;
+    use cstore_common::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int64),
+            Field::nullable("city", DataType::Utf8),
+            Field::not_null("qty", DataType::Int32),
+        ])
+    }
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int64(1_000_000 + i),
+                    if i % 17 == 0 {
+                        Value::Null
+                    } else {
+                        Value::str(format!("city-{:03}", i % 20))
+                    },
+                    Value::Int32((i % 10) as i32),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data = rows(1234);
+        let t = CompressedHeapTable::build(schema(), &data).unwrap();
+        assert_eq!(t.n_rows(), 1234);
+        let got: Vec<Row> = t.scan().collect::<Result<_>>().unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn page_compression_beats_uncompressed() {
+        let data = rows(5000);
+        let compressed = CompressedHeapTable::build(schema(), &data).unwrap();
+        let mut heap = HeapTable::new(schema());
+        heap.insert_all(&data).unwrap();
+        let c = compressed.compressed_bytes();
+        let u = heap.allocated_bytes();
+        assert!(c * 2 < u, "page-compressed {c} vs uncompressed {u}");
+    }
+
+    #[test]
+    fn repeated_values_hit_dictionary() {
+        // One distinct string repeated: dictionary should collapse it.
+        let data: Vec<Row> = (0..400)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int64(i),
+                    Value::str("same-city-name-every-row"),
+                    Value::Int32(0),
+                ])
+            })
+            .collect();
+        let t = CompressedHeapTable::build(schema(), &data).unwrap();
+        // Bytes per row should be small: id cell + refs, far below the
+        // 24-byte string.
+        let per_row = t.compressed_bytes() as f64 / 400.0;
+        assert!(per_row < 16.0, "bytes/row = {per_row}");
+        let got: Vec<Row> = t.scan().collect::<Result<_>>().unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = CompressedHeapTable::build(schema(), &[]).unwrap();
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.compressed_bytes(), 0);
+        assert_eq!(t.scan().count(), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Row serialization for the row store.
+//!
+//! Two codecs:
+//!
+//! * **fixed** — every value at its type's full width plus a NULL bitmap
+//!   (SQL Server's classic uncompressed record format, simplified);
+//! * **compressed** — SQL Server "row compression": integers shrink to
+//!   their minimal byte length, strings drop trailing padding (ours are
+//!   already unpadded), every cell carries a 1-byte length. This is the
+//!   cell image that PAGE compression builds on.
+
+use cstore_common::{Bitmap, DataType, Error, Result, Row, Schema, Value};
+use cstore_storage::format::{Reader, Writer};
+
+/// Serialize a row at full width (uncompressed record format).
+pub fn encode_fixed(schema: &Schema, row: &Row) -> Vec<u8> {
+    let mut nulls = Bitmap::zeros(schema.len());
+    for (i, v) in row.values().iter().enumerate() {
+        if v.is_null() {
+            nulls.set(i);
+        }
+    }
+    let mut w = Writer::new();
+    for &word in nulls.words() {
+        w.u64(word);
+    }
+    for (i, v) in row.values().iter().enumerate() {
+        match schema.field(i).data_type {
+            DataType::Bool => w.u8(v.as_bool().unwrap_or(false) as u8),
+            DataType::Int32 | DataType::Date => {
+                w.u32(v.as_i64().unwrap_or(0) as u32);
+            }
+            DataType::Int64 | DataType::Decimal { .. } => {
+                w.i64(v.as_i64().unwrap_or(0));
+            }
+            DataType::Float64 => w.f64(v.as_f64().unwrap_or(0.0)),
+            DataType::Utf8 => {
+                let s = v.as_str().unwrap_or("");
+                w.u16(s.len() as u16);
+                w.bytes(s.as_bytes());
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a row serialized by [`encode_fixed`].
+pub fn decode_fixed(schema: &Schema, data: &[u8]) -> Result<Row> {
+    let mut r = Reader::new(data);
+    let n_words = schema.len().div_ceil(64);
+    let mut words = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        words.push(r.u64()?);
+    }
+    let nulls = Bitmap::from_words(words, schema.len());
+    let mut values = Vec::with_capacity(schema.len());
+    for i in 0..schema.len() {
+        let ty = schema.field(i).data_type;
+        let v = match ty {
+            DataType::Bool => Value::Bool(r.u8()? != 0),
+            DataType::Int32 | DataType::Date => {
+                Value::from_i64(ty, r.u32()? as i32 as i64)
+            }
+            DataType::Int64 | DataType::Decimal { .. } => Value::from_i64(ty, r.i64()?),
+            DataType::Float64 => Value::Float64(r.f64()?),
+            DataType::Utf8 => {
+                let n = r.u16()? as usize;
+                let mut buf = vec![0u8; n];
+                for b in &mut buf {
+                    *b = r.u8()?;
+                }
+                Value::str(
+                    std::str::from_utf8(&buf)
+                        .map_err(|_| Error::Storage("invalid UTF-8 in row".into()))?,
+                )
+            }
+        };
+        values.push(if nulls.get(i) { Value::Null } else { v });
+    }
+    Ok(Row::new(values))
+}
+
+/// The row-compressed image of one cell: minimal-length bytes, without the
+/// length prefix (PAGE compression stores lengths out of line).
+///
+/// NULL encodes as `None` (PAGE compression stores a NULL marker in the
+/// cell descriptor, not bytes).
+pub fn cell_image(ty: DataType, v: &Value) -> Option<Vec<u8>> {
+    if v.is_null() {
+        return None;
+    }
+    Some(match ty {
+        DataType::Bool => vec![v.as_bool().unwrap_or(false) as u8],
+        DataType::Float64 => v.as_f64().unwrap_or(0.0).to_be_bytes().to_vec(),
+        DataType::Utf8 => v.as_str().unwrap_or("").as_bytes().to_vec(),
+        _ => {
+            // Minimal-length big-endian two's complement.
+            let x = v.as_i64().unwrap_or(0);
+            let full = x.to_be_bytes();
+            let mut start = 0;
+            while start < 7 {
+                // A leading byte is droppable if it is pure sign extension
+                // of the byte after it.
+                let b = full[start];
+                let next_neg = full[start + 1] & 0x80 != 0;
+                if (b == 0 && !next_neg) || (b == 0xFF && next_neg) {
+                    start += 1;
+                } else {
+                    break;
+                }
+            }
+            full[start..].to_vec()
+        }
+    })
+}
+
+/// Decode a [`cell_image`] back to a value.
+pub fn decode_cell(ty: DataType, image: Option<&[u8]>) -> Result<Value> {
+    let Some(bytes) = image else {
+        return Ok(Value::Null);
+    };
+    Ok(match ty {
+        DataType::Bool => Value::Bool(bytes.first().copied().unwrap_or(0) != 0),
+        DataType::Float64 => {
+            let arr: [u8; 8] = bytes
+                .try_into()
+                .map_err(|_| Error::Storage("bad float cell".into()))?;
+            Value::Float64(f64::from_be_bytes(arr))
+        }
+        DataType::Utf8 => Value::str(
+            std::str::from_utf8(bytes)
+                .map_err(|_| Error::Storage("invalid UTF-8 cell".into()))?,
+        ),
+        _ => {
+            if bytes.is_empty() || bytes.len() > 8 {
+                return Err(Error::Storage("bad integer cell length".into()));
+            }
+            // Sign-extend.
+            let neg = bytes[0] & 0x80 != 0;
+            let mut full = [if neg { 0xFF } else { 0 }; 8];
+            full[8 - bytes.len()..].copy_from_slice(bytes);
+            Value::from_i64(ty, i64::from_be_bytes(full))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstore_common::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("a", DataType::Int64),
+            Field::nullable("b", DataType::Utf8),
+            Field::nullable("c", DataType::Float64),
+            Field::not_null("d", DataType::Date),
+        ])
+    }
+
+    #[test]
+    fn fixed_roundtrip() {
+        let s = schema();
+        for row in [
+            Row::new(vec![
+                Value::Int64(-5),
+                Value::str("hello"),
+                Value::Float64(2.5),
+                Value::Date(19000),
+            ]),
+            Row::new(vec![
+                Value::Int64(i64::MAX),
+                Value::Null,
+                Value::Null,
+                Value::Date(-1),
+            ]),
+        ] {
+            let bytes = encode_fixed(&s, &row);
+            assert_eq!(decode_fixed(&s, &bytes).unwrap(), row);
+        }
+    }
+
+    #[test]
+    fn cell_image_minimal_ints() {
+        for (v, want_len) in [
+            (0i64, 1),
+            (1, 1),
+            (-1, 1),
+            (127, 1),
+            (128, 2), // needs a 0x00 sign byte
+            (-128, 1),
+            (-129, 2),
+            (65535, 3),
+            (i64::MAX, 8),
+            (i64::MIN, 8),
+        ] {
+            let img = cell_image(DataType::Int64, &Value::Int64(v)).unwrap();
+            assert_eq!(img.len(), want_len, "value {v}");
+            assert_eq!(
+                decode_cell(DataType::Int64, Some(&img)).unwrap(),
+                Value::Int64(v)
+            );
+        }
+    }
+
+    #[test]
+    fn cell_image_null_and_strings() {
+        assert_eq!(cell_image(DataType::Int64, &Value::Null), None);
+        assert_eq!(decode_cell(DataType::Int64, None).unwrap(), Value::Null);
+        let img = cell_image(DataType::Utf8, &Value::str("ab")).unwrap();
+        assert_eq!(img, b"ab");
+        assert_eq!(
+            decode_cell(DataType::Utf8, Some(&img)).unwrap(),
+            Value::str("ab")
+        );
+    }
+
+    #[test]
+    fn cell_image_floats_roundtrip() {
+        for f in [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE] {
+            let img = cell_image(DataType::Float64, &Value::Float64(f)).unwrap();
+            assert_eq!(
+                decode_cell(DataType::Float64, Some(&img)).unwrap(),
+                Value::Float64(f)
+            );
+        }
+    }
+
+    #[test]
+    fn row_compression_shrinks_small_ints() {
+        let fixed = encode_fixed(
+            &Schema::new(vec![Field::not_null("a", DataType::Int64)]),
+            &Row::new(vec![Value::Int64(3)]),
+        );
+        let img = cell_image(DataType::Int64, &Value::Int64(3)).unwrap();
+        assert!(img.len() < fixed.len());
+    }
+}

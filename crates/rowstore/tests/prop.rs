@@ -1,0 +1,62 @@
+//! Property tests for the row-store baseline's codecs.
+
+use cstore_common::{DataType, Field, Row, Schema, Value};
+use cstore_rowstore::rowcodec::{cell_image, decode_cell, decode_fixed, encode_fixed};
+use cstore_rowstore::CompressedHeapTable;
+use proptest::prelude::*;
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        any::<i64>(),
+        prop_oneof![3 => "[ -~]{0,12}".prop_map(Some), 1 => Just(None)],
+        prop_oneof![3 => any::<i32>().prop_map(|x| Some(x as f64 / 4.0)), 1 => Just(None)],
+        any::<i32>(),
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, c, d, e)| {
+            Row::new(vec![
+                Value::Int64(a),
+                b.map_or(Value::Null, Value::str),
+                c.map_or(Value::Null, Value::Float64),
+                Value::Int32(d),
+                Value::Bool(e),
+            ])
+        })
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::not_null("a", DataType::Int64),
+        Field::nullable("b", DataType::Utf8),
+        Field::nullable("c", DataType::Float64),
+        Field::not_null("d", DataType::Int32),
+        Field::not_null("e", DataType::Bool),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fixed_codec_roundtrips(row in arb_row()) {
+        let bytes = encode_fixed(&schema(), &row);
+        prop_assert_eq!(decode_fixed(&schema(), &bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn cell_images_roundtrip(v in any::<i64>()) {
+        for ty in [DataType::Int64, DataType::Decimal { scale: 3 }] {
+            let value = Value::from_i64(ty, v);
+            let img = cell_image(ty, &value).unwrap();
+            prop_assert!(img.len() <= 8);
+            prop_assert_eq!(decode_cell(ty, Some(&img)).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn page_compression_roundtrips(rows in proptest::collection::vec(arb_row(), 0..250)) {
+        let t = CompressedHeapTable::build(schema(), &rows).unwrap();
+        let got: Vec<Row> = t.scan().collect::<cstore_common::Result<_>>().unwrap();
+        prop_assert_eq!(got, rows);
+    }
+}

@@ -1,0 +1,166 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use cstore_common::{DataType, Value};
+use cstore_exec::ops::hash_join::JoinType;
+use cstore_storage::pred::CmpOp;
+
+/// Binary operators in expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    Cmp(CmpOp),
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// An unbound expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstExpr {
+    /// `[table.]column`
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Lit(Value),
+    Binary {
+        op: BinaryOp,
+        lhs: Box<AstExpr>,
+        rhs: Box<AstExpr>,
+    },
+    Not(Box<AstExpr>),
+    Neg(Box<AstExpr>),
+    Between {
+        expr: Box<AstExpr>,
+        negated: bool,
+        lo: Box<AstExpr>,
+        hi: Box<AstExpr>,
+    },
+    InList {
+        expr: Box<AstExpr>,
+        negated: bool,
+        list: Vec<AstExpr>,
+    },
+    IsNull {
+        expr: Box<AstExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<AstExpr>,
+        negated: bool,
+        pattern: String,
+    },
+    /// `FUNC(arg)` / `COUNT(*)` / `COUNT(DISTINCT arg)`
+    FuncCall {
+        name: String,
+        arg: Option<Box<AstExpr>>,
+        star: bool,
+        distinct: bool,
+    },
+}
+
+/// An item in the SELECT list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    Wildcard,
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
+}
+
+/// A base table reference with optional alias.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table binds to in scopes.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// One JOIN clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinClause {
+    pub join_type: JoinType,
+    pub table: TableRef,
+    pub on: AstExpr,
+}
+
+/// A SELECT statement.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<TableRef>,
+    pub joins: Vec<JoinClause>,
+    pub where_clause: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub having: Option<AstExpr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<usize>,
+    pub offset: usize,
+}
+
+/// One ORDER BY item: an output-column reference and direction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderItem {
+    pub expr: AstExpr,
+    pub descending: bool,
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+/// Storage organization of a created table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TableOrganization {
+    /// Clustered columnstore index (the default, as in the paper's release
+    /// for warehouse tables).
+    #[default]
+    Columnstore,
+    /// Row-store heap (the baseline).
+    Heap,
+}
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    /// `SELECT … UNION ALL SELECT …` — ORDER BY/LIMIT of the final branch
+    /// apply to the whole union (standard SQL).
+    UnionAll(Vec<SelectStmt>),
+    Insert {
+        table: String,
+        rows: Vec<Vec<AstExpr>>,
+    },
+    Delete {
+        table: String,
+        selection: Option<AstExpr>,
+    },
+    Update {
+        table: String,
+        assignments: Vec<(String, AstExpr)>,
+        selection: Option<AstExpr>,
+    },
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+        organization: TableOrganization,
+    },
+    /// `ANALYZE <table>`: sample rows and cache histogram statistics.
+    Analyze { table: String },
+    Explain(Box<Statement>),
+}

@@ -1,0 +1,236 @@
+//! SQL lexer.
+
+use cstore_common::{Error, Result};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords matched by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, '' unescaped).
+    Str(String),
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semi,
+}
+
+impl Token {
+    /// Is this token the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        out.push(Token::Le);
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        out.push(Token::Ne);
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(Error::Sql("unterminated string literal".into())),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        Error::Sql(format!("bad float literal '{text}'"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        Error::Sql(format!("bad integer literal '{text}'"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(sql[start..i].to_owned()));
+            }
+            other => {
+                return Err(Error::Sql(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_query() {
+        let toks = tokenize("SELECT a, b FROM t WHERE x >= 1.5 AND y <> 'it''s'").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Str("it's".into())));
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        let toks = tokenize("SELECT -- comment\n 1").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], Token::Int(1));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("< <= > >= = <> != + - * /").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_on_junk() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("'unterminated").is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Archival compression: an LZ77/LZSS codec layered over encoded segments.
+//!
+//! SQL Server's `COLUMNSTORE_ARCHIVE` option runs a modified LZ77 (Xpress)
+//! pass over each column segment after the columnar encodings, for cold
+//! data that is rarely queried. This module is a from-scratch LZSS codec in
+//! the same family: a 64 KiB sliding window, hash-chain match finder,
+//! greedy parse, and a token stream of literal/match flags. The trade-off
+//! it reproduces is the paper's: a further size reduction at the cost of
+//! decompression CPU on every access (archived segments are *not* cached
+//! decompressed).
+//!
+//! Stream format: groups of 8 tokens, each group led by a flag byte
+//! (bit i set → token i is a match). A literal is 1 raw byte. A match is
+//! 3 bytes: 16-bit little-endian distance (1-based) and a length byte
+//! encoding `len - MIN_MATCH`.
+
+use cstore_common::{Error, Result};
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 255;
+const WINDOW: usize = 1 << 16;
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let w = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (w.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input` into a fresh buffer.
+///
+/// Output always begins with the 4-byte original length, so decompression
+/// can preallocate exactly.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let n = input.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+
+    let mut head = vec![u32::MAX; 1 << HASH_BITS];
+    let mut prev = vec![u32::MAX; n.max(1)];
+
+    let mut i = 0;
+    // Token group state: position of the current flag byte in `out`.
+    let mut flag_pos = usize::MAX;
+    let mut flag_bit = 8u8;
+
+    macro_rules! begin_token {
+        () => {
+            if flag_bit == 8 {
+                flag_pos = out.len();
+                out.push(0);
+                flag_bit = 0;
+            }
+        };
+    }
+
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash4(input, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != u32::MAX && chain < 64 {
+                let c = cand as usize;
+                if i - c > WINDOW - 1 {
+                    break;
+                }
+                // Quick reject on the byte past the current best.
+                if best_len == 0 || input.get(c + best_len) == input.get(i + best_len) {
+                    let max_len = (n - i).min(MAX_MATCH);
+                    let mut l = 0;
+                    while l < max_len && input[c + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l >= MIN_MATCH && l > best_len {
+                        best_len = l;
+                        best_dist = i - c;
+                        if l == MAX_MATCH {
+                            break;
+                        }
+                    }
+                }
+                cand = prev[c];
+                chain += 1;
+            }
+        }
+
+        begin_token!();
+        if best_len >= MIN_MATCH {
+            out[flag_pos] |= 1 << flag_bit;
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Insert hash entries for every position the match covers so
+            // later matches can reference them.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= n {
+                    let h = hash4(input, i);
+                    prev[i] = head[h];
+                    head[h] = i as u32;
+                }
+                i += 1;
+            }
+        } else {
+            out.push(input[i]);
+            if i + MIN_MATCH <= n {
+                let h = hash4(input, i);
+                prev[i] = head[h];
+                head[h] = i as u32;
+            }
+            i += 1;
+        }
+        flag_bit += 1;
+    }
+    out
+}
+
+/// Decompress a buffer produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if data.len() < 4 {
+        return Err(Error::Storage("archival stream too short".into()));
+    }
+    let n = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut i = 4;
+    let mut flags = 0u8;
+    let mut flag_bit = 8u8;
+    let err = || Error::Storage("archival stream truncated".into());
+    while out.len() < n {
+        if flag_bit == 8 {
+            flags = *data.get(i).ok_or_else(err)?;
+            i += 1;
+            flag_bit = 0;
+        }
+        if flags >> flag_bit & 1 == 1 {
+            if i + 3 > data.len() {
+                return Err(err());
+            }
+            let dist = u16::from_le_bytes([data[i], data[i + 1]]) as usize;
+            let len = data[i + 2] as usize + MIN_MATCH;
+            i += 3;
+            if dist == 0 || dist > out.len() {
+                return Err(Error::Storage(format!(
+                    "archival stream corrupt: distance {dist} at output {}",
+                    out.len()
+                )));
+            }
+            // Overlapping copies are the normal case (e.g. RLE-like bytes);
+            // copy byte-by-byte.
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            out.push(*data.get(i).ok_or_else(err)?);
+            i += 1;
+        }
+        flag_bit += 1;
+    }
+    if out.len() != n {
+        return Err(Error::Storage("archival stream length mismatch".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data, "roundtrip failed for {} bytes", data.len());
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn repetitive_compresses_well() {
+        let data: Vec<u8> = b"abcabcabc".iter().cycle().take(10_000).copied().collect();
+        let clen = roundtrip(&data);
+        assert!(clen < 500, "repetitive data compressed to {clen} bytes");
+    }
+
+    #[test]
+    fn constant_run_compresses_well() {
+        let data = vec![7u8; 100_000];
+        let clen = roundtrip(&data);
+        // Max match length is 259 bytes, so ~386 matches * 3 bytes + flags.
+        assert!(clen < 2000, "constant data compressed to {clen} bytes");
+    }
+
+    #[test]
+    fn random_data_roundtrips() {
+        // Pseudo-random bytes: incompressible but must roundtrip.
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let clen = roundtrip(&data);
+        // Flag bytes add at most 1/8 overhead plus header.
+        assert!(clen <= data.len() + data.len() / 8 + 8);
+    }
+
+    #[test]
+    fn text_like_data() {
+        let text = "the quick brown fox jumps over the lazy dog. "
+            .repeat(500)
+            .into_bytes();
+        let clen = roundtrip(&text);
+        assert!(clen < text.len() / 4, "text compressed to {clen}/{}", text.len());
+    }
+
+    #[test]
+    fn long_range_matches_respect_window() {
+        // Two identical blocks separated by > WINDOW of noise: must still
+        // roundtrip (the second block simply won't match the first).
+        let mut data = vec![1u8; 1000];
+        let mut x: u32 = 12345;
+        for _ in 0..(WINDOW + 100) {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            data.push((x >> 24) as u8);
+        }
+        data.extend(vec![1u8; 1000]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        let c = compress(b"hello world hello world hello world");
+        assert!(decompress(&c[..2]).is_err());
+        let mut truncated = c.clone();
+        truncated.truncate(c.len() - 1);
+        assert!(decompress(&truncated).is_err());
+        // Claim a longer output than the stream provides.
+        let mut bad_len = c.clone();
+        bad_len[0] = 0xFF;
+        bad_len[1] = 0xFF;
+        assert!(decompress(&bad_len).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Blob storage for serialized row groups.
+//!
+//! SQL Server stores column segments as LOBs managed by its storage engine
+//! (buffer pool, allocation units). The experiments only need the columnar
+//! format itself, so this module substitutes a minimal keyed blob store
+//! with two backends: in-memory (default) and file-per-blob on disk.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cstore_common::{Error, FxHashMap, Result};
+
+/// A keyed store of immutable byte blobs.
+pub trait BlobStore: Send + Sync {
+    /// Store `bytes` under `key`, replacing any previous blob.
+    fn put(&mut self, key: &str, bytes: &[u8]) -> Result<()>;
+    /// Fetch the blob stored under `key`.
+    fn get(&self, key: &str) -> Result<Vec<u8>>;
+    /// Remove the blob under `key` (no-op if absent).
+    fn delete(&mut self, key: &str) -> Result<()>;
+    /// All stored keys, in unspecified order.
+    fn keys(&self) -> Vec<String>;
+}
+
+/// In-memory blob store.
+#[derive(Default)]
+pub struct MemBlobStore {
+    blobs: FxHashMap<String, Vec<u8>>,
+}
+
+impl MemBlobStore {
+    pub fn new() -> Self {
+        MemBlobStore::default()
+    }
+
+    /// Total stored bytes (for size accounting in tests).
+    pub fn total_bytes(&self) -> usize {
+        self.blobs.values().map(|b| b.len()).sum()
+    }
+}
+
+impl BlobStore for MemBlobStore {
+    fn put(&mut self, key: &str, bytes: &[u8]) -> Result<()> {
+        self.blobs.insert(key.to_owned(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        self.blobs
+            .get(key)
+            .cloned()
+            .ok_or_else(|| Error::Storage(format!("blob '{key}' not found")))
+    }
+
+    fn delete(&mut self, key: &str) -> Result<()> {
+        self.blobs.remove(key);
+        Ok(())
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.blobs.keys().cloned().collect()
+    }
+}
+
+/// File-per-blob store rooted at a directory.
+pub struct FileBlobStore {
+    root: PathBuf,
+}
+
+impl FileBlobStore {
+    /// Open (creating if needed) a blob store at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(FileBlobStore { root })
+    }
+
+    fn path(&self, key: &str) -> Result<PathBuf> {
+        // Keys become file names; reject separators to avoid traversal.
+        if key.is_empty() || key.contains(['/', '\\', '\0']) {
+            return Err(Error::Storage(format!("invalid blob key '{key}'")));
+        }
+        Ok(self.root.join(format!("{key}.blob")))
+    }
+}
+
+impl BlobStore for FileBlobStore {
+    fn put(&mut self, key: &str, bytes: &[u8]) -> Result<()> {
+        let path = self.path(key)?;
+        // Write-then-rename so readers never observe a torn blob.
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        let path = self.path(key)?;
+        fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                Error::Storage(format!("blob '{key}' not found"))
+            } else {
+                Error::Io(e)
+            }
+        })
+    }
+
+    fn delete(&mut self, key: &str) -> Result<()> {
+        let path = self.path(key)?;
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn keys(&self) -> Vec<String> {
+        let Ok(rd) = fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        rd.filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".blob").map(str::to_owned)
+        })
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn BlobStore) {
+        store.put("a", b"alpha").unwrap();
+        store.put("b", b"beta").unwrap();
+        assert_eq!(store.get("a").unwrap(), b"alpha");
+        store.put("a", b"alpha2").unwrap();
+        assert_eq!(store.get("a").unwrap(), b"alpha2");
+        let mut keys = store.keys();
+        keys.sort();
+        assert_eq!(keys, vec!["a", "b"]);
+        store.delete("a").unwrap();
+        assert!(store.get("a").is_err());
+        store.delete("a").unwrap(); // idempotent
+    }
+
+    #[test]
+    fn mem_store() {
+        let mut s = MemBlobStore::new();
+        exercise(&mut s);
+        assert_eq!(s.total_bytes(), 4);
+    }
+
+    #[test]
+    fn file_store() {
+        let dir = std::env::temp_dir().join(format!("cstore-blob-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = FileBlobStore::open(&dir).unwrap();
+        exercise(&mut s);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_store_rejects_traversal() {
+        let dir = std::env::temp_dir().join(format!("cstore-blob-test2-{}", std::process::id()));
+        let mut s = FileBlobStore::open(&dir).unwrap();
+        assert!(s.put("../evil", b"x").is_err());
+        assert!(s.put("", b"x").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

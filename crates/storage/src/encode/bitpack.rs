@@ -1,0 +1,194 @@
+//! Fixed-width bit packing of unsigned codes.
+//!
+//! Codes in `0..2^width` are stored `width` bits each, packed little-endian
+//! into `u64` words. `width == 0` is the degenerate constant-zero sequence
+//! and stores no payload at all.
+
+use super::bits_needed;
+
+/// A sequence of `u64` codes packed at a fixed bit width.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedInts {
+    words: Vec<u64>,
+    width: u32,
+    len: usize,
+}
+
+impl PackedInts {
+    /// Pack `codes` at the minimum width that fits their maximum.
+    pub fn from_codes(codes: &[u64]) -> Self {
+        let width = bits_needed(codes.iter().copied().max().unwrap_or(0));
+        Self::from_codes_with_width(codes, width)
+    }
+
+    /// Pack `codes` at an explicit width (each code must fit).
+    pub fn from_codes_with_width(codes: &[u64], width: u32) -> Self {
+        assert!(width <= 64);
+        let total_bits = codes.len() * width as usize;
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        if width > 0 {
+            let mask = Self::mask(width);
+            for (i, &c) in codes.iter().enumerate() {
+                debug_assert!(c <= mask, "code {c} exceeds width {width}");
+                let bit = i * width as usize;
+                let (w, off) = (bit >> 6, (bit & 63) as u32);
+                words[w] |= c << off;
+                // A code may straddle a word boundary.
+                if off + width > 64 {
+                    words[w + 1] |= c >> (64 - off);
+                }
+            }
+        }
+        PackedInts {
+            words,
+            width,
+            len: codes.len(),
+        }
+    }
+
+    #[inline]
+    fn mask(width: u32) -> u64 {
+        if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Random access to one code.
+    #[inline]
+    pub fn get(&self, idx: usize) -> u64 {
+        debug_assert!(idx < self.len);
+        if self.width == 0 {
+            return 0;
+        }
+        let bit = idx * self.width as usize;
+        let (w, off) = (bit >> 6, (bit & 63) as u32);
+        let mut v = self.words[w] >> off;
+        if off + self.width > 64 {
+            v |= self.words[w + 1] << (64 - off);
+        }
+        v & Self::mask(self.width)
+    }
+
+    /// Decode every code into `out` (appended).
+    pub fn decode_into(&self, out: &mut Vec<u64>) {
+        out.reserve(self.len);
+        if self.width == 0 {
+            out.extend(std::iter::repeat_n(0, self.len));
+            return;
+        }
+        // Straight-line per-element decode; get() is branch-light and the
+        // compiler unrolls it well at fixed widths.
+        for i in 0..self.len {
+            out.push(self.get(i));
+        }
+    }
+
+    /// Payload size in bytes (words only, excluding struct overhead).
+    pub fn payload_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Exact byte size this packing would take for `n` codes at `width` bits
+    /// — used by the encoder to pick RLE vs bit packing without building
+    /// both.
+    pub fn estimate_bytes(n: usize, width: u32) -> usize {
+        (n * width as usize).div_ceil(64) * 8
+    }
+
+    /// Raw words for serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from serialized parts.
+    pub fn from_raw(words: Vec<u64>, width: u32, len: usize) -> Self {
+        assert!(width <= 64);
+        assert_eq!(words.len(), (len * width as usize).div_ceil(64));
+        PackedInts { words, width, len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(codes: &[u64]) {
+        let p = PackedInts::from_codes(codes);
+        let mut out = Vec::new();
+        p.decode_into(&mut out);
+        assert_eq!(out, codes);
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(p.get(i), c, "get({i})");
+        }
+    }
+
+    #[test]
+    fn roundtrip_small_widths() {
+        roundtrip(&[0, 1, 0, 1, 1, 0]);
+        roundtrip(&[3, 1, 2, 0, 3, 3, 1]);
+        roundtrip(&(0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn roundtrip_zero_width() {
+        let p = PackedInts::from_codes(&[0; 17]);
+        assert_eq!(p.width(), 0);
+        assert_eq!(p.payload_bytes(), 0);
+        let mut out = Vec::new();
+        p.decode_into(&mut out);
+        assert_eq!(out, vec![0; 17]);
+    }
+
+    #[test]
+    fn roundtrip_straddling_words() {
+        // width 7 → codes straddle u64 boundaries regularly.
+        let codes: Vec<u64> = (0..200).map(|i| (i * 37) % 128).collect();
+        roundtrip(&codes);
+    }
+
+    #[test]
+    fn roundtrip_width_64() {
+        roundtrip(&[u64::MAX, 0, 1, u64::MAX - 1, 42]);
+    }
+
+    #[test]
+    fn roundtrip_width_33() {
+        let codes: Vec<u64> = (0..50).map(|i| (1u64 << 32) + i).collect();
+        roundtrip(&codes);
+    }
+
+    #[test]
+    fn estimate_matches_actual() {
+        for width in [0u32, 1, 3, 8, 13, 33, 64] {
+            for n in [0usize, 1, 7, 64, 100] {
+                let codes: Vec<u64> = (0..n as u64)
+                    .map(|i| if width == 0 { 0 } else { i % (1u64 << (width.min(63))) })
+                    .collect();
+                let p = PackedInts::from_codes_with_width(&codes, width);
+                assert_eq!(p.payload_bytes(), PackedInts::estimate_bytes(n, width));
+            }
+        }
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let codes: Vec<u64> = (0..77).map(|i| i * 3).collect();
+        let p = PackedInts::from_codes(&codes);
+        let q = PackedInts::from_raw(p.words().to_vec(), p.width(), p.len());
+        assert_eq!(p, q);
+    }
+}

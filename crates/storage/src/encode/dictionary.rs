@@ -1,0 +1,267 @@
+//! Sorted dictionaries for dictionary encoding.
+//!
+//! Dictionaries are *sorted*, so a range predicate on the raw value becomes
+//! a contiguous code interval — this is what lets scans evaluate predicates
+//! directly on encoded data without decompressing. SQL Server distinguishes
+//! a *primary* (global, shared across segments of a column) dictionary and
+//! per-segment *secondary* dictionaries; here a dictionary is an
+//! `Arc<Dictionary>` that a row-group builder may share across row groups of
+//! the same column when the value set is stable (see `builder`).
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use cstore_common::{DataType, Value};
+
+/// The sorted distinct values of a dictionary-encoded column segment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dictionary {
+    /// Sorted distinct strings.
+    Str(Vec<Arc<str>>),
+    /// Sorted distinct integers (for dictionary-encoded integer columns).
+    I64(Vec<i64>),
+    /// Sorted distinct floats (total order; NaNs sort last).
+    F64(Vec<f64>),
+}
+
+impl Dictionary {
+    /// Build a sorted dictionary from (possibly duplicated) values of one
+    /// type and return it together with a function domain check.
+    pub fn build_str<'a>(values: impl Iterator<Item = &'a str>) -> Dictionary {
+        let mut v: Vec<&str> = values.collect();
+        v.sort_unstable();
+        v.dedup();
+        Dictionary::Str(v.into_iter().map(Arc::from).collect())
+    }
+
+    pub fn build_i64(values: impl Iterator<Item = i64>) -> Dictionary {
+        let mut v: Vec<i64> = values.collect();
+        v.sort_unstable();
+        v.dedup();
+        Dictionary::I64(v)
+    }
+
+    pub fn build_f64(values: impl Iterator<Item = f64>) -> Dictionary {
+        let mut v: Vec<f64> = values.collect();
+        v.sort_unstable_by(|a, b| a.total_cmp(b));
+        v.dedup_by(|a, b| a.total_cmp(b).is_eq());
+        Dictionary::F64(v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Dictionary::Str(v) => v.len(),
+            Dictionary::I64(v) => v.len(),
+            Dictionary::F64(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The code of `value`, if present.
+    pub fn code_of(&self, value: &Value) -> Option<u32> {
+        match (self, value) {
+            (Dictionary::Str(v), Value::Str(s)) => v
+                .binary_search_by(|e| e.as_ref().cmp(s.as_ref()))
+                .ok()
+                .map(|i| i as u32),
+            (Dictionary::I64(v), _) => {
+                let k = value.as_i64()?;
+                v.binary_search(&k).ok().map(|i| i as u32)
+            }
+            (Dictionary::F64(v), Value::Float64(f)) => v
+                .binary_search_by(|e| e.total_cmp(f))
+                .ok()
+                .map(|i| i as u32),
+            _ => None,
+        }
+    }
+
+    /// Where `value` would sit in code space: `Ok(code)` if present,
+    /// `Err(insertion_point)` if between codes. Drives predicate rewriting
+    /// into code space.
+    pub fn search(&self, value: &Value) -> Result<u32, u32> {
+        let r = match (self, value) {
+            (Dictionary::Str(v), Value::Str(s)) => {
+                v.binary_search_by(|e| e.as_ref().cmp(s.as_ref()))
+            }
+            (Dictionary::I64(v), _) => match value.as_i64() {
+                Some(k) => v.binary_search(&k),
+                None => Err(v.len()),
+            },
+            (Dictionary::F64(v), Value::Float64(f)) => v.binary_search_by(|e| e.total_cmp(f)),
+            (Dictionary::F64(v), _) => match value.as_f64() {
+                Some(f) => v.binary_search_by(|e| e.total_cmp(&f)),
+                None => Err(v.len()),
+            },
+            _ => Err(self.len()),
+        };
+        match r {
+            Ok(i) => Ok(i as u32),
+            Err(i) => Err(i as u32),
+        }
+    }
+
+    /// The code interval (inclusive bounds in code space) matching a raw
+    /// value interval. Returns `None` when no code can match.
+    pub fn code_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Option<(u32, u32)> {
+        let n = self.len() as u32;
+        if n == 0 {
+            return None;
+        }
+        let lo_code = match lo {
+            Bound::Unbounded => 0,
+            Bound::Included(v) => match self.search(v) {
+                Ok(c) => c,
+                Err(ins) => ins,
+            },
+            Bound::Excluded(v) => match self.search(v) {
+                Ok(c) => c + 1,
+                Err(ins) => ins,
+            },
+        };
+        let hi_code = match hi {
+            Bound::Unbounded => n - 1,
+            Bound::Included(v) => match self.search(v) {
+                Ok(c) => c,
+                Err(0) => return None,
+                Err(ins) => ins - 1,
+            },
+            Bound::Excluded(v) => match self.search(v) {
+                Ok(0) | Err(0) => return None,
+                Ok(c) => c - 1,
+                Err(ins) => ins - 1,
+            },
+        };
+        (lo_code < n && lo_code <= hi_code).then_some((lo_code, hi_code))
+    }
+
+    /// Decode one code back to a `Value` of column type `ty`.
+    pub fn value_at(&self, code: u32, ty: DataType) -> Value {
+        match self {
+            Dictionary::Str(v) => Value::Str(v[code as usize].clone()),
+            Dictionary::I64(v) => Value::from_i64(ty, v[code as usize]),
+            Dictionary::F64(v) => Value::Float64(v[code as usize]),
+        }
+    }
+
+    /// Raw string at `code` (dictionary must be `Str`).
+    pub fn str_at(&self, code: u32) -> &Arc<str> {
+        match self {
+            Dictionary::Str(v) => &v[code as usize],
+            _ => panic!("str_at on non-string dictionary"),
+        }
+    }
+
+    /// Raw i64 at `code` (dictionary must be `I64`).
+    pub fn i64_at(&self, code: u32) -> i64 {
+        match self {
+            Dictionary::I64(v) => v[code as usize],
+            _ => panic!("i64_at on non-integer dictionary"),
+        }
+    }
+
+    /// Raw f64 at `code` (dictionary must be `F64`).
+    pub fn f64_at(&self, code: u32) -> f64 {
+        match self {
+            Dictionary::F64(v) => v[code as usize],
+            _ => panic!("f64_at on non-float dictionary"),
+        }
+    }
+
+    /// Whether every value in `values` is already present (used when
+    /// deciding to share a global dictionary).
+    pub fn covers_i64(&self, values: &[i64]) -> bool {
+        match self {
+            Dictionary::I64(v) => values.iter().all(|k| v.binary_search(k).is_ok()),
+            _ => false,
+        }
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Dictionary::Str(v) => v.iter().map(|s| s.len() + 16).sum(),
+            Dictionary::I64(v) => v.len() * 8,
+            Dictionary::F64(v) => v.len() * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn str_dict() -> Dictionary {
+        Dictionary::build_str(["cherry", "apple", "banana", "apple"].into_iter())
+    }
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let d = str_dict();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.str_at(0).as_ref(), "apple");
+        assert_eq!(d.str_at(2).as_ref(), "cherry");
+    }
+
+    #[test]
+    fn code_of_finds_values() {
+        let d = str_dict();
+        assert_eq!(d.code_of(&Value::str("banana")), Some(1));
+        assert_eq!(d.code_of(&Value::str("durian")), None);
+    }
+
+    #[test]
+    fn code_range_inclusive() {
+        let d = str_dict();
+        // apple..=cherry covers everything
+        let r = d.code_range(
+            Bound::Included(&Value::str("apple")),
+            Bound::Included(&Value::str("cherry")),
+        );
+        assert_eq!(r, Some((0, 2)));
+    }
+
+    #[test]
+    fn code_range_between_entries() {
+        let d = str_dict();
+        // > "apricot" (between apple and banana) means codes 1..=2
+        let r = d.code_range(Bound::Excluded(&Value::str("apricot")), Bound::Unbounded);
+        assert_eq!(r, Some((1, 2)));
+        // < "aardvark" matches nothing
+        let r = d.code_range(Bound::Unbounded, Bound::Excluded(&Value::str("aardvark")));
+        assert_eq!(r, None);
+        // > "zebra" matches nothing
+        let r = d.code_range(Bound::Excluded(&Value::str("zebra")), Bound::Unbounded);
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn i64_dictionary() {
+        let d = Dictionary::build_i64([30, 10, 20, 10].into_iter());
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.code_of(&Value::Int64(20)), Some(1));
+        let r = d.code_range(Bound::Included(&Value::Int64(15)), Bound::Included(&Value::Int64(30)));
+        assert_eq!(r, Some((1, 2)));
+        assert_eq!(d.value_at(2, DataType::Int64), Value::Int64(30));
+        assert!(d.covers_i64(&[10, 30]));
+        assert!(!d.covers_i64(&[10, 11]));
+    }
+
+    #[test]
+    fn f64_dictionary_handles_order() {
+        let d = Dictionary::build_f64([2.5, -1.0, 2.5, 0.0].into_iter());
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.code_of(&Value::Float64(2.5)), Some(2));
+        assert_eq!(d.value_at(0, DataType::Float64), Value::Float64(-1.0));
+    }
+
+    #[test]
+    fn empty_dictionary_range() {
+        let d = Dictionary::build_i64(std::iter::empty());
+        assert_eq!(d.code_range(Bound::Unbounded, Bound::Unbounded), None);
+    }
+}

@@ -1,0 +1,60 @@
+//! Column encodings.
+//!
+//! Encoding happens in two stages, exactly as in SQL Server's column store:
+//!
+//! 1. A **primary encoding** maps each value to an unsigned integer *code*:
+//!    [`dictionary`] encoding (value → index into a sorted dictionary) or
+//!    [`value_encoding`] (integer → `(raw - base) / divisor`).
+//! 2. The code sequence is compressed with [`rle`] (run-length encoding) or
+//!    [`bitpack`] (fixed-width bit packing), whichever yields fewer bytes.
+
+pub mod bitpack;
+pub mod dictionary;
+pub mod rle;
+pub mod value_encoding;
+
+pub use bitpack::PackedInts;
+pub use dictionary::Dictionary;
+pub use rle::RleVec;
+pub use value_encoding::ValueEncoding;
+
+/// How a segment's codes are physically compressed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Run-length encoded (values + run lengths).
+    Rle,
+    /// Fixed-width bit-packed.
+    BitPacked,
+}
+
+/// How values are mapped to codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrimaryEncoding {
+    /// `code = (raw_i64 - base) / divisor` — for integer-backed types.
+    ValueBased,
+    /// `code = index into a sorted dictionary` — strings, floats, and
+    /// integers whose cardinality makes a dictionary smaller.
+    Dictionary,
+}
+
+/// Number of bits needed to represent `max_code` (0 for a constant-zero
+/// sequence, which bit-packs to nothing).
+#[inline]
+pub fn bits_needed(max_code: u64) -> u32 {
+    64 - max_code.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_needed_boundaries() {
+        assert_eq!(bits_needed(0), 0);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(2), 2);
+        assert_eq!(bits_needed(255), 8);
+        assert_eq!(bits_needed(256), 9);
+        assert_eq!(bits_needed(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,201 @@
+//! Value-based encoding of integer data.
+//!
+//! `code = (raw - base) / divisor`. The base shifts the smallest value to
+//! code 0; the divisor strips a common factor (SQL Server applies exponent
+//! rescaling to decimals the same way — our decimals are scaled-integer
+//! mantissas, so a power-of-ten divisor falls out of the same GCD). Both
+//! transformations shrink the code domain and therefore the packed width.
+
+use std::ops::Bound;
+
+/// Parameters of a value-based encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValueEncoding {
+    /// Raw value encoded as code 0.
+    pub base: i64,
+    /// Common factor divided out of `(raw - base)`; always >= 1.
+    /// Unsigned because offsets span the full `u64` range when a column
+    /// covers most of `i64` (e.g. contains both `i64::MIN` and `i64::MAX`).
+    pub divisor: u64,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl ValueEncoding {
+    /// Analyze non-null raw values and derive `(base, divisor)`.
+    /// Returns the encoding plus the maximum code it produces.
+    pub fn analyze(values: &[i64]) -> (ValueEncoding, u64) {
+        let Some(&first) = values.first() else {
+            return (ValueEncoding { base: 0, divisor: 1 }, 0);
+        };
+        let mut min = first;
+        let mut max = first;
+        for &v in &values[1..] {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        // GCD of offsets from base.
+        let mut g: u64 = 0;
+        for &v in values {
+            g = gcd(g, (v as i128 - min as i128) as u64);
+            if g == 1 {
+                break;
+            }
+        }
+        let divisor = g.max(1);
+        let enc = ValueEncoding { base: min, divisor };
+        let max_code = enc.encode(max);
+        (enc, max_code)
+    }
+
+    /// Encode a raw value that is known to be in this encoding's domain.
+    #[inline]
+    pub fn encode(&self, raw: i64) -> u64 {
+        debug_assert!(raw >= self.base);
+        ((raw as i128 - self.base as i128) as u64) / self.divisor
+    }
+
+    /// Decode a code back to its raw value.
+    #[inline]
+    pub fn decode(&self, code: u64) -> i64 {
+        (self.base as i128 + code as i128 * self.divisor as i128) as i64
+    }
+
+    /// The inclusive code interval matching a raw-value interval, or `None`
+    /// when nothing can match. `max_code` bounds the segment's code domain.
+    pub fn code_range(
+        &self,
+        lo: Bound<i64>,
+        hi: Bound<i64>,
+        max_code: u64,
+    ) -> Option<(u64, u64)> {
+        let d = self.divisor as i128;
+        let b = self.base as i128;
+        // Smallest code whose raw value satisfies the lower bound.
+        let lo_code: i128 = match lo {
+            Bound::Unbounded => 0,
+            Bound::Included(v) => (v as i128 - b).div_euclid(d) + i128::from((v as i128 - b).rem_euclid(d) != 0),
+            Bound::Excluded(v) => (v as i128 - b).div_euclid(d) + 1,
+        };
+        // Largest code whose raw value satisfies the upper bound.
+        let hi_code: i128 = match hi {
+            Bound::Unbounded => max_code as i128,
+            Bound::Included(v) => (v as i128 - b).div_euclid(d),
+            Bound::Excluded(v) => {
+                let q = (v as i128 - b).div_euclid(d);
+                if (v as i128 - b).rem_euclid(d) == 0 {
+                    q - 1
+                } else {
+                    q
+                }
+            }
+        };
+        let lo_code = lo_code.max(0);
+        let hi_code = hi_code.min(max_code as i128);
+        (lo_code <= hi_code).then_some((lo_code as u64, hi_code as u64))
+    }
+
+    /// The exact code for raw value `v`, or `None` if `v` is not
+    /// representable (off-grid or out of range). For equality predicates.
+    pub fn exact_code(&self, v: i64, max_code: u64) -> Option<u64> {
+        let off = v as i128 - self.base as i128;
+        if off < 0 || off % self.divisor as i128 != 0 {
+            return None;
+        }
+        let code = (off / self.divisor as i128) as u64;
+        (code <= max_code).then_some(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_finds_base_and_gcd() {
+        let (e, max) = ValueEncoding::analyze(&[100, 130, 160, 190]);
+        assert_eq!(e.base, 100);
+        assert_eq!(e.divisor, 30);
+        assert_eq!(max, 3);
+        for v in [100, 130, 160, 190] {
+            assert_eq!(e.decode(e.encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn analyze_handles_negatives() {
+        let (e, max) = ValueEncoding::analyze(&[-50, 0, 50]);
+        assert_eq!(e.base, -50);
+        assert_eq!(e.divisor, 50);
+        assert_eq!(max, 2);
+        assert_eq!(e.decode(0), -50);
+        assert_eq!(e.decode(2), 50);
+    }
+
+    #[test]
+    fn analyze_constant_column() {
+        let (e, max) = ValueEncoding::analyze(&[7, 7, 7]);
+        assert_eq!(max, 0);
+        assert_eq!(e.decode(0), 7);
+    }
+
+    #[test]
+    fn analyze_extreme_span() {
+        let (e, max) = ValueEncoding::analyze(&[i64::MIN, i64::MAX]);
+        assert_eq!(e.base, i64::MIN);
+        assert_eq!(e.decode(0), i64::MIN);
+        assert_eq!(e.decode(max), i64::MAX);
+    }
+
+    #[test]
+    fn code_range_on_grid() {
+        let (e, max) = ValueEncoding::analyze(&[0, 10, 20, 30]);
+        // raw in [10, 20] → codes [1, 2]
+        assert_eq!(
+            e.code_range(Bound::Included(10), Bound::Included(20), max),
+            Some((1, 2))
+        );
+        // raw > 10 and < 30 → codes [2, 2]
+        assert_eq!(
+            e.code_range(Bound::Excluded(10), Bound::Excluded(30), max),
+            Some((2, 2))
+        );
+    }
+
+    #[test]
+    fn code_range_off_grid() {
+        let (e, max) = ValueEncoding::analyze(&[0, 10, 20, 30]);
+        // raw >= 11 → codes [2, 3]
+        assert_eq!(
+            e.code_range(Bound::Included(11), Bound::Unbounded, max),
+            Some((2, 3))
+        );
+        // raw <= 9 → codes [0, 0]
+        assert_eq!(
+            e.code_range(Bound::Unbounded, Bound::Included(9), max),
+            Some((0, 0))
+        );
+        // raw in [31, 40] → nothing
+        assert_eq!(
+            e.code_range(Bound::Included(31), Bound::Included(40), max),
+            None
+        );
+        // raw <= -1 → nothing
+        assert_eq!(e.code_range(Bound::Unbounded, Bound::Included(-1), max), None);
+    }
+
+    #[test]
+    fn exact_code() {
+        let (e, max) = ValueEncoding::analyze(&[0, 10, 20, 30]);
+        assert_eq!(e.exact_code(20, max), Some(2));
+        assert_eq!(e.exact_code(15, max), None);
+        assert_eq!(e.exact_code(40, max), None);
+        assert_eq!(e.exact_code(-10, max), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! Column-store storage engine.
+//!
+//! Implements the storage side of SQL Server's column store indexes as
+//! described in *"Enhancements to SQL Server Column Stores"* (SIGMOD 2013):
+//!
+//! * data is split into **row groups** of up to ~1M rows;
+//! * each column of a row group is stored as a **column segment**;
+//! * segments are encoded with **dictionary encoding** (strings, floats,
+//!   low-cardinality numerics) or **value-based encoding** (integers:
+//!   subtract a base, divide by a common factor), then compressed with
+//!   **run-length encoding** or **bit packing**, whichever is smaller;
+//! * rows may be **reordered** (Vertipaq-style) before encoding to lengthen
+//!   runs;
+//! * each segment records **min/max metadata** so scans can skip whole
+//!   segments (*segment elimination*);
+//! * cold row groups can additionally be wrapped in **archival compression**
+//!   (an LZ77/LZSS layer) trading CPU for a further size reduction;
+//! * everything serializes to a versioned, checksummed binary **format**
+//!   stored in a **blob store** (in-memory or file-backed).
+
+pub mod archive;
+pub mod blob;
+pub mod builder;
+pub mod encode;
+pub mod format;
+pub mod pred;
+pub mod reorder;
+pub mod rowgroup;
+pub mod segment;
+pub mod stats;
+pub mod table;
+
+pub use builder::{RowGroupBuilder, SortMode};
+pub use pred::{CmpOp, ColumnPred};
+pub use rowgroup::{CompressedRowGroup, CompressionLevel};
+pub use segment::{ColumnSegment, SegmentValues};
+pub use table::ColumnStore;

@@ -1,0 +1,270 @@
+//! Single-column predicates pushed down into scans.
+//!
+//! The planner lowers WHERE-clause conjuncts of the form
+//! `column <op> constant` into [`ColumnPred`]s; the scan evaluates them
+//! directly on encoded segment data (see `segment::ColumnSegment::eval_pred`)
+//! and uses them for segment elimination (see `stats`).
+
+use std::ops::Bound;
+
+use cstore_common::Value;
+
+/// A comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with its operands swapped (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Evaluate on an ordering result.
+    #[inline]
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A predicate over one column, against constants.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnPred {
+    /// `col <op> value`.
+    Cmp { op: CmpOp, value: Value },
+    /// `col BETWEEN lo AND hi` (inclusive).
+    Between { lo: Value, hi: Value },
+    /// `col IN (values)` — values must be distinct.
+    InList(Vec<Value>),
+    /// `col IS NULL`.
+    IsNull,
+    /// `col IS NOT NULL`.
+    IsNotNull,
+}
+
+impl ColumnPred {
+    /// Evaluate against a single value (row-mode / delta-store path).
+    /// Implements SQL semantics: any comparison with NULL is false
+    /// (except IS NULL).
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            ColumnPred::IsNull => v.is_null(),
+            ColumnPred::IsNotNull => !v.is_null(),
+            _ if v.is_null() => false,
+            ColumnPred::Cmp { op, value } => op.eval(v.cmp_sql(value)),
+            ColumnPred::Between { lo, hi } => {
+                v.cmp_sql(lo) != std::cmp::Ordering::Less
+                    && v.cmp_sql(hi) != std::cmp::Ordering::Greater
+            }
+            ColumnPred::InList(vals) => vals.iter().any(|x| v.eq_storage(x)),
+        }
+    }
+
+    /// The raw-value interval this predicate selects, if it is an interval
+    /// (`Ne` and `InList` are not). Used for segment elimination and
+    /// code-space rewriting.
+    pub fn as_range(&self) -> Option<(Bound<&Value>, Bound<&Value>)> {
+        match self {
+            ColumnPred::Cmp { op, value } => Some(match op {
+                CmpOp::Eq => (Bound::Included(value), Bound::Included(value)),
+                CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(value)),
+                CmpOp::Le => (Bound::Unbounded, Bound::Included(value)),
+                CmpOp::Gt => (Bound::Excluded(value), Bound::Unbounded),
+                CmpOp::Ge => (Bound::Included(value), Bound::Unbounded),
+                CmpOp::Ne => return None,
+            }),
+            ColumnPred::Between { lo, hi } => Some((Bound::Included(lo), Bound::Included(hi))),
+            _ => None,
+        }
+    }
+
+    /// Can any row in a segment with the given min/max/null statistics
+    /// match? `false` means the whole segment can be eliminated.
+    ///
+    /// `min`/`max` are over non-null values and are `None` when the segment
+    /// is all-NULL.
+    pub fn may_match(
+        &self,
+        min: Option<&Value>,
+        max: Option<&Value>,
+        null_count: usize,
+    ) -> bool {
+        match self {
+            ColumnPred::IsNull => null_count > 0,
+            ColumnPred::IsNotNull => min.is_some(),
+            ColumnPred::Cmp { .. } | ColumnPred::Between { .. } => {
+                let (Some(min), Some(max)) = (min, max) else {
+                    return false; // all NULL: no comparison can match
+                };
+                match self.as_range() {
+                    Some((lo, hi)) => {
+                        let lo_ok = match lo {
+                            Bound::Unbounded => true,
+                            Bound::Included(v) => max.cmp_sql(v) != std::cmp::Ordering::Less,
+                            Bound::Excluded(v) => max.cmp_sql(v) == std::cmp::Ordering::Greater,
+                        };
+                        let hi_ok = match hi {
+                            Bound::Unbounded => true,
+                            Bound::Included(v) => min.cmp_sql(v) != std::cmp::Ordering::Greater,
+                            Bound::Excluded(v) => min.cmp_sql(v) == std::cmp::Ordering::Less,
+                        };
+                        lo_ok && hi_ok
+                    }
+                    // Ne: only eliminable when min == max == the constant.
+                    None => match self {
+                        ColumnPred::Cmp { op: CmpOp::Ne, value } => {
+                            !(min.eq_storage(value) && max.eq_storage(value))
+                        }
+                        _ => true,
+                    },
+                }
+            }
+            ColumnPred::InList(vals) => {
+                let (Some(min), Some(max)) = (min, max) else {
+                    return false;
+                };
+                vals.iter().any(|v| {
+                    min.cmp_sql(v) != std::cmp::Ordering::Greater
+                        && max.cmp_sql(v) != std::cmp::Ordering::Less
+                })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ColumnPred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColumnPred::Cmp { op, value } => write!(f, "{op} {value}"),
+            ColumnPred::Between { lo, hi } => write!(f, "BETWEEN {lo} AND {hi}"),
+            ColumnPred::InList(vs) => {
+                write!(f, "IN (")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            ColumnPred::IsNull => write!(f, "IS NULL"),
+            ColumnPred::IsNotNull => write!(f, "IS NOT NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_null_semantics() {
+        let p = ColumnPred::Cmp {
+            op: CmpOp::Eq,
+            value: Value::Int64(5),
+        };
+        assert!(!p.matches(&Value::Null));
+        assert!(p.matches(&Value::Int64(5)));
+        assert!(ColumnPred::IsNull.matches(&Value::Null));
+        assert!(!ColumnPred::IsNotNull.matches(&Value::Null));
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let p = ColumnPred::Between {
+            lo: Value::Int64(2),
+            hi: Value::Int64(4),
+        };
+        assert!(p.matches(&Value::Int64(2)));
+        assert!(p.matches(&Value::Int64(4)));
+        assert!(!p.matches(&Value::Int64(5)));
+    }
+
+    #[test]
+    fn elimination_range() {
+        let p = ColumnPred::Cmp {
+            op: CmpOp::Gt,
+            value: Value::Int64(100),
+        };
+        // segment max 100 → x > 100 impossible
+        assert!(!p.may_match(Some(&Value::Int64(0)), Some(&Value::Int64(100)), 0));
+        assert!(p.may_match(Some(&Value::Int64(0)), Some(&Value::Int64(101)), 0));
+    }
+
+    #[test]
+    fn elimination_eq_and_ne() {
+        let eq = ColumnPred::Cmp {
+            op: CmpOp::Eq,
+            value: Value::Int64(50),
+        };
+        assert!(eq.may_match(Some(&Value::Int64(0)), Some(&Value::Int64(100)), 0));
+        assert!(!eq.may_match(Some(&Value::Int64(60)), Some(&Value::Int64(100)), 0));
+        let ne = ColumnPred::Cmp {
+            op: CmpOp::Ne,
+            value: Value::Int64(7),
+        };
+        // constant segment of all-7s: x <> 7 eliminable
+        assert!(!ne.may_match(Some(&Value::Int64(7)), Some(&Value::Int64(7)), 0));
+        assert!(ne.may_match(Some(&Value::Int64(7)), Some(&Value::Int64(8)), 0));
+    }
+
+    #[test]
+    fn elimination_all_null_segment() {
+        let p = ColumnPred::Cmp {
+            op: CmpOp::Eq,
+            value: Value::Int64(1),
+        };
+        assert!(!p.may_match(None, None, 100));
+        assert!(ColumnPred::IsNull.may_match(None, None, 100));
+        assert!(!ColumnPred::IsNotNull.may_match(None, None, 100));
+    }
+
+    #[test]
+    fn elimination_in_list() {
+        let p = ColumnPred::InList(vec![Value::Int64(5), Value::Int64(500)]);
+        assert!(p.may_match(Some(&Value::Int64(0)), Some(&Value::Int64(10)), 0));
+        assert!(!p.may_match(Some(&Value::Int64(20)), Some(&Value::Int64(400)), 0));
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+}

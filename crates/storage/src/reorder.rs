@@ -1,0 +1,112 @@
+//! Vertipaq-style row reordering.
+//!
+//! Within a row group, row order is free — the engine may permute rows
+//! before encoding to lengthen runs and shrink RLE output. SQL Server's
+//! encoder (inherited from Vertipaq/Analysis Services) searches for a good
+//! ordering; the standard, well-performing approximation implemented here
+//! sorts rows lexicographically with columns keyed in ascending-cardinality
+//! order: the lowest-cardinality column becomes one giant run per value,
+//! the next column long runs within those, and so on.
+
+use cstore_common::Value;
+
+/// Column key order for [`apply_lexicographic`]: ascending distinct count
+/// (ties broken by column index for determinism).
+pub fn cardinality_ascending_order(columns: &[Vec<Value>]) -> Vec<usize> {
+    let mut cards: Vec<(usize, usize)> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, col)| (distinct_estimate(col), i))
+        .collect();
+    cards.sort();
+    cards.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Exact distinct count (cheap enough at row-group scale: sort of refs).
+fn distinct_estimate(col: &[Value]) -> usize {
+    let mut refs: Vec<&Value> = col.iter().collect();
+    refs.sort_unstable_by(|a, b| a.cmp_sql(b));
+    refs.dedup_by(|a, b| a.eq_storage(b));
+    refs.len()
+}
+
+/// Sort all columns in place by the lexicographic row order over the key
+/// columns `keys` (first key is most significant).
+pub fn apply_lexicographic(columns: &mut [Vec<Value>], keys: &[usize]) {
+    let n = columns.first().map_or(0, |c| c.len());
+    if n <= 1 || keys.is_empty() {
+        return;
+    }
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.sort_by(|&a, &b| {
+        for &k in keys {
+            let ord = columns[k][a as usize].cmp_sql(&columns[k][b as usize]);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    for col in columns.iter_mut() {
+        let mut sorted = Vec::with_capacity(n);
+        for &i in &perm {
+            sorted.push(col[i as usize].clone());
+        }
+        *col = sorted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: &[i64]) -> Vec<Value> {
+        v.iter().map(|&x| Value::Int64(x)).collect()
+    }
+
+    #[test]
+    fn cardinality_order_sorts_low_first() {
+        let cols = vec![
+            ints(&[1, 2, 3, 4, 5, 6]),    // card 6
+            ints(&[1, 1, 1, 2, 2, 2]),    // card 2
+            ints(&[1, 2, 1, 2, 3, 3]),    // card 3
+        ];
+        assert_eq!(cardinality_ascending_order(&cols), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn lexicographic_sort_keeps_rows_together() {
+        let mut cols = vec![ints(&[2, 1, 2, 1]), ints(&[10, 20, 30, 40])];
+        apply_lexicographic(&mut cols, &[0, 1]);
+        assert_eq!(cols[0], ints(&[1, 1, 2, 2]));
+        assert_eq!(cols[1], ints(&[20, 40, 10, 30]));
+    }
+
+    #[test]
+    fn rows_stay_paired() {
+        // Whatever the permutation, (a, b) pairs must be preserved.
+        let a: Vec<i64> = (0..100).map(|i| (i * 13) % 7).collect();
+        let b: Vec<i64> = (0..100).map(|i| i).collect();
+        let pairs_before: std::collections::BTreeSet<(i64, i64)> =
+            a.iter().zip(b.iter()).map(|(&x, &y)| (x, y)).collect();
+        let mut cols = vec![ints(&a), ints(&b)];
+        let order = cardinality_ascending_order(&cols);
+        apply_lexicographic(&mut cols, &order);
+        let pairs_after: std::collections::BTreeSet<(i64, i64)> = cols[0]
+            .iter()
+            .zip(cols[1].iter())
+            .map(|(x, y)| (x.as_i64().unwrap(), y.as_i64().unwrap()))
+            .collect();
+        assert_eq!(pairs_before, pairs_after);
+    }
+
+    #[test]
+    fn empty_and_single_row_are_noops() {
+        let mut empty: Vec<Vec<Value>> = vec![vec![], vec![]];
+        apply_lexicographic(&mut empty, &[0]);
+        assert!(empty[0].is_empty());
+        let mut one = vec![ints(&[5]), ints(&[6])];
+        apply_lexicographic(&mut one, &[1, 0]);
+        assert_eq!(one[0], ints(&[5]));
+    }
+}

@@ -1,0 +1,137 @@
+//! Segment directory: table-level view of per-segment statistics.
+//!
+//! SQL Server keeps a *segment directory* with each segment's min/max and
+//! row counts so the scan can decide which row groups to read before
+//! touching any data. This module materializes that directory from a set
+//! of row groups and answers elimination queries against it.
+
+use cstore_common::{RowGroupId, Value};
+
+use crate::pred::ColumnPred;
+use crate::rowgroup::CompressedRowGroup;
+
+/// Directory entry for one column of one row group.
+#[derive(Clone, Debug)]
+pub struct SegmentEntry {
+    pub group: RowGroupId,
+    pub column: usize,
+    pub row_count: u32,
+    pub null_count: u32,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    pub encoded_bytes: u64,
+}
+
+/// The directory of all segments of one table.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentDirectory {
+    entries: Vec<SegmentEntry>,
+    n_columns: usize,
+}
+
+impl SegmentDirectory {
+    pub fn build(groups: &[CompressedRowGroup]) -> Self {
+        let n_columns = groups.first().map_or(0, |g| g.n_columns());
+        let mut entries = Vec::with_capacity(groups.len() * n_columns);
+        for g in groups {
+            for col in 0..g.n_columns() {
+                let m = g.seg_meta(col);
+                entries.push(SegmentEntry {
+                    group: g.id(),
+                    column: col,
+                    row_count: m.row_count,
+                    null_count: m.null_count,
+                    min: m.min.clone(),
+                    max: m.max.clone(),
+                    encoded_bytes: m.payload_bytes + m.dict_bytes,
+                });
+            }
+        }
+        SegmentDirectory { entries, n_columns }
+    }
+
+    pub fn entries(&self) -> &[SegmentEntry] {
+        &self.entries
+    }
+
+    /// Row-group ids whose segments *may* satisfy all `preds`
+    /// (column index, predicate). Groups absent from the directory are
+    /// never returned.
+    pub fn surviving_groups(&self, preds: &[(usize, ColumnPred)]) -> Vec<RowGroupId> {
+        let mut out = Vec::new();
+        for chunk in self.entries.chunks(self.n_columns.max(1)) {
+            let Some(first) = chunk.first() else { continue };
+            let ok = preds.iter().all(|(col, p)| {
+                chunk
+                    .iter()
+                    .find(|e| e.column == *col)
+                    .is_some_and(|e| {
+                        p.may_match(e.min.as_ref(), e.max.as_ref(), e.null_count as usize)
+                    })
+            });
+            if ok {
+                out.push(first.group);
+            }
+        }
+        out
+    }
+
+    /// Number of row groups in the directory.
+    pub fn n_groups(&self) -> usize {
+        self.entries
+            .len()
+            .checked_div(self.n_columns)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{RowGroupBuilder, SortMode};
+    use crate::pred::CmpOp;
+    use cstore_common::{DataType, Field, Row, Schema};
+
+    fn group(id: u32, lo: i64, hi: i64) -> CompressedRowGroup {
+        let schema = Schema::new(vec![Field::not_null("v", DataType::Int64)]);
+        let mut b = RowGroupBuilder::new(schema, SortMode::None);
+        for v in lo..hi {
+            b.push_row(&Row::new(vec![Value::Int64(v)])).unwrap();
+        }
+        b.finish(RowGroupId(id), &[None]).unwrap()
+    }
+
+    #[test]
+    fn directory_eliminates_disjoint_groups() {
+        let groups = vec![group(0, 0, 100), group(1, 100, 200), group(2, 200, 300)];
+        let dir = SegmentDirectory::build(&groups);
+        assert_eq!(dir.n_groups(), 3);
+        let preds = vec![(
+            0usize,
+            ColumnPred::Between {
+                lo: Value::Int64(150),
+                hi: Value::Int64(160),
+            },
+        )];
+        assert_eq!(dir.surviving_groups(&preds), vec![RowGroupId(1)]);
+        // No predicates: everything survives.
+        assert_eq!(dir.surviving_groups(&[]).len(), 3);
+    }
+
+    #[test]
+    fn directory_handles_boundary_overlap() {
+        let groups = vec![group(0, 0, 101), group(1, 100, 200)];
+        let dir = SegmentDirectory::build(&groups);
+        let preds = vec![(
+            0usize,
+            ColumnPred::Cmp {
+                op: CmpOp::Eq,
+                value: Value::Int64(100),
+            },
+        )];
+        assert_eq!(
+            dir.surviving_groups(&preds),
+            vec![RowGroupId(0), RowGroupId(1)]
+        );
+    }
+}

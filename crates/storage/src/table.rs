@@ -1,0 +1,386 @@
+//! `ColumnStore`: the compressed portion of a columnstore index.
+//!
+//! Owns the set of compressed row groups of one table, the row-group id
+//! sequence (shared with delta stores, see `cstore-delta`), the global
+//! string dictionaries reused across row groups, and persistence through a
+//! [`BlobStore`].
+
+use std::sync::Arc;
+
+use cstore_common::{DataType, Result, Row, RowGroupId, Schema, Value};
+
+use crate::blob::BlobStore;
+use crate::builder::{RowGroupBuilder, SortMode};
+use crate::encode::Dictionary;
+use crate::pred::ColumnPred;
+use crate::rowgroup::{CompressedRowGroup, CompressionLevel};
+use crate::stats::SegmentDirectory;
+
+/// The compressed row groups of one table.
+pub struct ColumnStore {
+    schema: Schema,
+    groups: Vec<CompressedRowGroup>,
+    /// Per-column global ("primary") dictionary candidates, populated from
+    /// the first row group that dictionary-encodes the column and reused by
+    /// later row groups whose values it covers.
+    global_dicts: Vec<Option<Arc<Dictionary>>>,
+    /// Next row-group id. Delta stores draw from the same sequence via
+    /// [`ColumnStore::alloc_group_id`], so ids are unique table-wide.
+    next_group_id: u32,
+    /// Default sort mode for new row groups.
+    sort: SortMode,
+}
+
+impl ColumnStore {
+    pub fn new(schema: Schema) -> Self {
+        let n = schema.len();
+        ColumnStore {
+            schema,
+            groups: Vec::new(),
+            global_dicts: vec![None; n],
+            next_group_id: 0,
+            sort: SortMode::default(),
+        }
+    }
+
+    /// Override the row-reordering policy applied when encoding row groups.
+    pub fn with_sort_mode(mut self, sort: SortMode) -> Self {
+        self.sort = sort;
+        self
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn sort_mode(&self) -> &SortMode {
+        &self.sort
+    }
+
+    /// Allocate the next row-group id (also used by delta stores).
+    pub fn alloc_group_id(&mut self) -> RowGroupId {
+        let id = RowGroupId(self.next_group_id);
+        self.next_group_id += 1;
+        id
+    }
+
+    pub fn groups(&self) -> &[CompressedRowGroup] {
+        &self.groups
+    }
+
+    pub fn group_by_id(&self, id: RowGroupId) -> Option<&CompressedRowGroup> {
+        self.groups.iter().find(|g| g.id() == id)
+    }
+
+    /// Total rows across all compressed row groups.
+    pub fn total_rows(&self) -> usize {
+        self.groups.iter().map(|g| g.n_rows()).sum()
+    }
+
+    /// Total encoded bytes, deduplicating shared (global) dictionaries so a
+    /// dictionary reused by many segments is counted once — matching how
+    /// SQL Server accounts primary dictionaries.
+    pub fn encoded_bytes(&self) -> usize {
+        let mut total = 0usize;
+        let mut seen_dicts: Vec<*const Dictionary> = Vec::new();
+        for g in &self.groups {
+            for col in 0..g.n_columns() {
+                let m = g.seg_meta(col);
+                total += m.payload_bytes as usize;
+                total += m.row_count.div_ceil(64) as usize * 8 * usize::from(m.null_count > 0);
+            }
+        }
+        for g in &self.groups {
+            if g.level() == CompressionLevel::Archive {
+                // Archived groups already folded dictionaries into their
+                // compressed bytes; recompute from scratch for them.
+                continue;
+            }
+            for col in 0..g.n_columns() {
+                if let Some(d) = g.segment(col).dictionary() {
+                    let p = Arc::as_ptr(d);
+                    if !seen_dicts.contains(&p) {
+                        seen_dicts.push(p);
+                        total += d.heap_bytes();
+                    }
+                }
+            }
+        }
+        // Archived groups: replace the hot accounting with compressed sizes.
+        for g in &self.groups {
+            if g.level() == CompressionLevel::Archive {
+                for col in 0..g.n_columns() {
+                    let m = g.seg_meta(col);
+                    total -= m.payload_bytes as usize;
+                    total -= m.row_count.div_ceil(64) as usize * 8 * usize::from(m.null_count > 0);
+                }
+                total += g.encoded_bytes();
+            }
+        }
+        total
+    }
+
+    /// Estimated size of the same data stored raw (uncompressed row-store
+    /// image): the denominator of compression-ratio experiments.
+    pub fn raw_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for g in &self.groups {
+            for col in 0..g.n_columns() {
+                let ty = self.schema.field(col).data_type;
+                match ty.fixed_width() {
+                    Some(w) => total += w * g.n_rows(),
+                    None => {
+                        // Strings: sum of actual lengths + 2-byte length.
+                        let seg = g.open_segment(col).expect("segment readable");
+                        if let crate::segment::SegmentValues::Str { codes, dict, nulls } =
+                            seg.decode()
+                        {
+                            for (i, &c) in codes.iter().enumerate() {
+                                if !nulls.as_ref().is_some_and(|n| n.get(i)) {
+                                    total += dict.str_at(c).len() + 2;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Bulk-append rows as one or more new compressed row groups, splitting
+    /// at `max_rows_per_group`. Returns the ids of the groups created.
+    pub fn append_rows(
+        &mut self,
+        rows: &[Row],
+        max_rows_per_group: usize,
+    ) -> Result<Vec<RowGroupId>> {
+        let mut ids = Vec::new();
+        for chunk in rows.chunks(max_rows_per_group.max(1)) {
+            let mut b = RowGroupBuilder::new(self.schema.clone(), self.sort.clone());
+            for row in chunk {
+                b.push_row(row)?;
+            }
+            ids.push(self.finish_builder(b)?);
+        }
+        Ok(ids)
+    }
+
+    /// Encode a filled builder into a row group and install it.
+    pub fn finish_builder(&mut self, builder: RowGroupBuilder) -> Result<RowGroupId> {
+        let id = self.alloc_group_id();
+        let rg = builder.finish(id, &self.global_dicts)?;
+        self.adopt_global_dicts(&rg);
+        self.groups.push(rg);
+        Ok(id)
+    }
+
+    /// Install an externally built row group (tuple mover path). The id
+    /// must come from [`ColumnStore::alloc_group_id`].
+    pub fn add_rowgroup(&mut self, rg: CompressedRowGroup) {
+        assert!(
+            rg.id().0 < self.next_group_id,
+            "row group id {} not allocated by this store",
+            rg.id()
+        );
+        self.adopt_global_dicts(&rg);
+        self.groups.push(rg);
+    }
+
+    /// Candidate global dictionaries for the next row group.
+    pub fn global_dicts(&self) -> &[Option<Arc<Dictionary>>] {
+        &self.global_dicts
+    }
+
+    fn adopt_global_dicts(&mut self, rg: &CompressedRowGroup) {
+        if rg.level() == CompressionLevel::Archive {
+            return;
+        }
+        for col in 0..rg.n_columns() {
+            if self.global_dicts[col].is_none()
+                && self.schema.field(col).data_type == DataType::Utf8
+            {
+                if let Some(d) = rg.segment(col).dictionary() {
+                    self.global_dicts[col] = Some(d.clone());
+                }
+            }
+        }
+    }
+
+    /// Switch a row group to archival compression.
+    pub fn archive_group(&mut self, id: RowGroupId) -> Result<()> {
+        let g = self
+            .groups
+            .iter_mut()
+            .find(|g| g.id() == id)
+            .ok_or_else(|| cstore_common::Error::Storage(format!("no row group {id}")))?;
+        g.archive();
+        Ok(())
+    }
+
+    /// Remove a row group (tuple-mover cleanup after a rebuild).
+    pub fn remove_group(&mut self, id: RowGroupId) -> Option<CompressedRowGroup> {
+        let idx = self.groups.iter().position(|g| g.id() == id)?;
+        Some(self.groups.remove(idx))
+    }
+
+    /// Build the segment directory (elimination metadata snapshot).
+    pub fn directory(&self) -> SegmentDirectory {
+        SegmentDirectory::build(&self.groups)
+    }
+
+    /// Row-group ids surviving segment elimination under `preds`.
+    pub fn surviving_groups(&self, preds: &[(usize, ColumnPred)]) -> Vec<RowGroupId> {
+        self.groups
+            .iter()
+            .filter(|g| g.may_match(preds))
+            .map(|g| g.id())
+            .collect()
+    }
+
+    /// Persist all row groups into `store` under `prefix`.
+    pub fn persist(&self, store: &mut dyn BlobStore, prefix: &str) -> Result<()> {
+        // Manifest: list of group ids + next id.
+        let mut w = crate::format::Writer::new();
+        w.u32(0x4654_5343); // "CSTF"
+        w.u16(crate::format::FORMAT_VERSION);
+        w.u32(self.next_group_id);
+        w.u32(self.groups.len() as u32);
+        for g in &self.groups {
+            w.u32(g.id().0);
+        }
+        store.put(&format!("{prefix}.manifest"), &w.seal())?;
+        for g in &self.groups {
+            store.put(&format!("{prefix}.rg{}", g.id().0), &g.serialize())?;
+        }
+        Ok(())
+    }
+
+    /// Load a persisted column store (schema from the caller's catalog).
+    pub fn load(store: &dyn BlobStore, prefix: &str, schema: Schema) -> Result<ColumnStore> {
+        let manifest = store.get(&format!("{prefix}.manifest"))?;
+        let payload = crate::format::Reader::check_crc(&manifest)?;
+        let mut r = crate::format::Reader::new(payload);
+        if r.u32()? != 0x4654_5343 {
+            return Err(cstore_common::Error::Storage("bad manifest magic".into()));
+        }
+        let version = r.u16()?;
+        if version != crate::format::FORMAT_VERSION {
+            return Err(cstore_common::Error::Storage(format!(
+                "unsupported manifest version {version}"
+            )));
+        }
+        let next_group_id = r.u32()?;
+        let n = r.u32()? as usize;
+        let mut cs = ColumnStore::new(schema);
+        cs.next_group_id = next_group_id;
+        for _ in 0..n {
+            let gid = r.u32()?;
+            let blob = store.get(&format!("{prefix}.rg{gid}"))?;
+            let rg = CompressedRowGroup::deserialize(&blob, cs.schema.clone())?;
+            cs.adopt_global_dicts(&rg);
+            cs.groups.push(rg);
+        }
+        Ok(cs)
+    }
+
+    /// Fetch a single value (slow path).
+    pub fn value_at(&self, id: RowGroupId, tuple: usize, col: usize) -> Result<Value> {
+        let g = self
+            .group_by_id(id)
+            .ok_or_else(|| cstore_common::Error::Storage(format!("no row group {id}")))?;
+        Ok(g.open_segment(col)?.value_at(tuple))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blob::MemBlobStore;
+    use crate::pred::CmpOp;
+    use cstore_common::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("k", DataType::Int64),
+            Field::not_null("cat", DataType::Utf8),
+        ])
+    }
+
+    fn rows(lo: i64, hi: i64) -> Vec<Row> {
+        (lo..hi)
+            .map(|i| Row::new(vec![Value::Int64(i), Value::str(format!("c{}", i % 3))]))
+            .collect()
+    }
+
+    #[test]
+    fn append_splits_into_groups() {
+        let mut cs = ColumnStore::new(schema());
+        let ids = cs.append_rows(&rows(0, 2500), 1000).unwrap();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(cs.total_rows(), 2500);
+        assert_eq!(cs.groups()[2].n_rows(), 500);
+    }
+
+    #[test]
+    fn global_dictionary_shared_across_groups() {
+        let mut cs = ColumnStore::new(schema());
+        cs.append_rows(&rows(0, 1000), 500).unwrap();
+        let d0 = cs.groups()[0].segment(1).dictionary().unwrap().clone();
+        let d1 = cs.groups()[1].segment(1).dictionary().unwrap().clone();
+        assert!(Arc::ptr_eq(&d0, &d1), "second group should reuse the global dict");
+    }
+
+    #[test]
+    fn compression_beats_raw() {
+        let mut cs = ColumnStore::new(schema());
+        cs.append_rows(&rows(0, 10_000), 5000).unwrap();
+        let raw = cs.raw_bytes();
+        let enc = cs.encoded_bytes();
+        assert!(enc * 2 < raw, "encoded {enc} raw {raw}");
+    }
+
+    #[test]
+    fn elimination_with_sorted_groups() {
+        let mut cs = ColumnStore::new(schema()).with_sort_mode(SortMode::Columns(vec![0]));
+        cs.append_rows(&rows(0, 3000), 1000).unwrap();
+        let preds = vec![(
+            0usize,
+            ColumnPred::Cmp {
+                op: CmpOp::Ge,
+                value: Value::Int64(2500),
+            },
+        )];
+        let surv = cs.surviving_groups(&preds);
+        assert_eq!(surv, vec![RowGroupId(2)]);
+        assert_eq!(cs.directory().surviving_groups(&preds), vec![RowGroupId(2)]);
+    }
+
+    #[test]
+    fn persist_load_roundtrip() {
+        let mut cs = ColumnStore::new(schema());
+        cs.append_rows(&rows(0, 1500), 1000).unwrap();
+        cs.archive_group(RowGroupId(1)).unwrap();
+        let mut store = MemBlobStore::new();
+        cs.persist(&mut store, "t1").unwrap();
+        let loaded = ColumnStore::load(&store, "t1", schema()).unwrap();
+        assert_eq!(loaded.total_rows(), 1500);
+        assert_eq!(loaded.groups()[1].level(), CompressionLevel::Archive);
+        assert_eq!(
+            loaded.value_at(RowGroupId(0), 123, 0).unwrap(),
+            cs.value_at(RowGroupId(0), 123, 0).unwrap()
+        );
+        // Id sequence continues after load.
+        let mut loaded = loaded;
+        assert_eq!(loaded.alloc_group_id(), RowGroupId(2));
+    }
+
+    #[test]
+    fn remove_group_works() {
+        let mut cs = ColumnStore::new(schema());
+        cs.append_rows(&rows(0, 100), 50).unwrap();
+        assert!(cs.remove_group(RowGroupId(0)).is_some());
+        assert!(cs.remove_group(RowGroupId(0)).is_none());
+        assert_eq!(cs.total_rows(), 50);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests on the storage crate's core data structures.
+
+use proptest::prelude::*;
+
+use cstore_common::{Bitmap, DataType, Value};
+use cstore_storage::encode::{Dictionary, PackedInts, RleVec};
+use cstore_storage::pred::{CmpOp, ColumnPred};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitpack_roundtrips_any_width(
+        codes in proptest::collection::vec(any::<u64>(), 0..300),
+        width_cap in 1u32..=64,
+    ) {
+        let mask = if width_cap == 64 { u64::MAX } else { (1 << width_cap) - 1 };
+        let codes: Vec<u64> = codes.iter().map(|c| c & mask).collect();
+        let p = PackedInts::from_codes(&codes);
+        let mut out = Vec::new();
+        p.decode_into(&mut out);
+        prop_assert_eq!(&out, &codes);
+        for (i, &c) in codes.iter().enumerate() {
+            prop_assert_eq!(p.get(i), c);
+        }
+    }
+
+    #[test]
+    fn rle_roundtrips_and_counts_runs(codes in proptest::collection::vec(0u64..6, 0..300)) {
+        let r = RleVec::from_codes(&codes);
+        let mut out = Vec::new();
+        r.decode_into(&mut out);
+        prop_assert_eq!(&out, &codes);
+        prop_assert_eq!(r.n_runs(), RleVec::count_runs(&codes));
+        // Runs tile the sequence exactly.
+        let mut end = 0;
+        for (_, s, e) in r.iter_runs() {
+            prop_assert_eq!(s, end);
+            prop_assert!(e > s);
+            end = e;
+        }
+        prop_assert_eq!(end, codes.len());
+    }
+
+    #[test]
+    fn bitmap_algebra_laws(
+        a in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let b: Vec<bool> = a.iter().map(|&x| !x).collect();
+        let ba = Bitmap::from_bools(&a);
+        let bb = Bitmap::from_bools(&b);
+        // a ∪ ¬a = ones; a ∩ ¬a = zeros.
+        let mut u = ba.clone();
+        u.union_with(&bb);
+        prop_assert!(u.all());
+        let mut i = ba.clone();
+        i.intersect_with(&bb);
+        prop_assert!(!i.any());
+        // double negation
+        let mut n = ba.clone();
+        n.negate();
+        n.negate();
+        prop_assert_eq!(&n, &ba);
+        // subtract self = zeros
+        let mut s = ba.clone();
+        s.subtract(&ba);
+        prop_assert!(!s.any());
+        // popcount consistency
+        prop_assert_eq!(ba.count_ones() + bb.count_ones(), a.len());
+        prop_assert_eq!(ba.iter_ones().count(), ba.count_ones());
+    }
+
+    #[test]
+    fn dictionary_code_range_matches_naive(
+        mut values in proptest::collection::vec(-50i64..50, 1..100),
+        lo in -60i64..60,
+        span in 0i64..40,
+    ) {
+        values.sort_unstable();
+        values.dedup();
+        let dict = Dictionary::build_i64(values.iter().copied());
+        let hi = lo + span;
+        let range = dict.code_range(
+            std::ops::Bound::Included(&Value::Int64(lo)),
+            std::ops::Bound::Included(&Value::Int64(hi)),
+        );
+        let expect: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| (lo..=hi).contains(&v))
+            .map(|(i, _)| i as u32)
+            .collect();
+        match range {
+            None => prop_assert!(expect.is_empty()),
+            Some((a, b)) => {
+                prop_assert_eq!(expect.first(), Some(&a));
+                prop_assert_eq!(expect.last(), Some(&b));
+                prop_assert_eq!(expect.len() as u32, b - a + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn elimination_never_false_negative(
+        values in proptest::collection::vec(
+            prop_oneof![3 => (-100i64..100).prop_map(Value::Int64), 1 => Just(Value::Null)],
+            1..150,
+        ),
+        k in -120i64..120,
+        op_idx in 0usize..6,
+    ) {
+        use cstore_storage::builder::encode_column;
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let pred = ColumnPred::Cmp { op: ops[op_idx], value: Value::Int64(k) };
+        let seg = encode_column(DataType::Int64, &values, None).unwrap();
+        let any_matches = values.iter().any(|v| !v.is_null() && pred.matches(v));
+        if any_matches {
+            prop_assert!(
+                seg.may_match(&pred),
+                "eliminated a segment with matching rows (k={}, op={:?})", k, ops[op_idx]
+            );
+        }
+    }
+
+    #[test]
+    fn rowgroup_serialization_roundtrips(
+        seed_rows in proptest::collection::vec((any::<i64>(), "[a-c]{0,4}"), 1..120),
+        archive in any::<bool>(),
+    ) {
+        use cstore_common::{Field, Row, RowGroupId, Schema};
+        use cstore_storage::builder::{RowGroupBuilder, SortMode};
+        use cstore_storage::CompressedRowGroup;
+        let schema = Schema::new(vec![
+            Field::not_null("a", DataType::Int64),
+            Field::not_null("b", DataType::Utf8),
+        ]);
+        let mut b = RowGroupBuilder::new(schema.clone(), SortMode::Auto);
+        for (x, s) in &seed_rows {
+            b.push_row(&Row::new(vec![Value::Int64(*x), Value::str(s.as_str())])).unwrap();
+        }
+        let mut rg = b.finish(RowGroupId(1), &[None, None]).unwrap();
+        if archive {
+            rg.archive();
+        }
+        let blob = rg.serialize();
+        let back = CompressedRowGroup::deserialize(&blob, schema).unwrap();
+        prop_assert_eq!(back.n_rows(), rg.n_rows());
+        for t in 0..rg.n_rows() {
+            prop_assert_eq!(back.row_values(t).unwrap(), rg.row_values(t).unwrap());
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Synthetic "customer databases" for the compression study (E1).
+//!
+//! The paper reports compression ratios across real customer databases
+//! whose characteristics vary widely. These seven generators span the same
+//! axes — cardinality, skew, run structure, string share, value density —
+//! so the reproduced table exhibits the same spread of ratios:
+//!
+//! | id | stands in for        | characteristics                               |
+//! |----|----------------------|-----------------------------------------------|
+//! | A  | telco call records   | high-cardinality ids, dense timestamps        |
+//! | B  | retail orders        | low-card strings, moderate numerics           |
+//! | C  | sensor readings      | sorted time, slowly-varying measures (runs)   |
+//! | D  | web click logs       | zipf-skewed urls, tiny status domain          |
+//! | E  | finance ticks        | decimals with shared scale, repeated symbols  |
+//! | F  | inventory snapshots  | very low cardinality everywhere               |
+//! | G  | adversarial random   | near-random values (worst case)               |
+
+use cstore_common::{DataType, Field, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// One synthetic dataset: a name, a schema and its rows.
+pub struct CustomerDb {
+    pub id: &'static str,
+    pub description: &'static str,
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+/// Generate all seven datasets at `n` rows each.
+pub fn all(n: usize, seed: u64) -> Vec<CustomerDb> {
+    vec![
+        telco(n, seed),
+        retail(n, seed),
+        sensor(n, seed),
+        weblog(n, seed),
+        finance(n, seed),
+        inventory(n, seed),
+        random(n, seed),
+    ]
+}
+
+pub fn telco(n: usize, seed: u64) -> CustomerDb {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA);
+    let schema = Schema::new(vec![
+        Field::not_null("call_id", DataType::Int64),
+        Field::not_null("caller", DataType::Int64),
+        Field::not_null("callee", DataType::Int64),
+        Field::not_null("start_ts", DataType::Int64),
+        Field::not_null("duration_s", DataType::Int32),
+        Field::not_null("cell_id", DataType::Int32),
+    ]);
+    let rows = (0..n as i64)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int64(10_000_000 + i),
+                Value::Int64(rng.gen_range(2_000_000_000i64..2_100_000_000)),
+                Value::Int64(rng.gen_range(2_000_000_000i64..2_100_000_000)),
+                Value::Int64(1_600_000_000 + i * 3 + rng.gen_range(0..3)),
+                Value::Int32(rng.gen_range(1..3600)),
+                Value::Int32(rng.gen_range(0..5000)),
+            ])
+        })
+        .collect();
+    CustomerDb {
+        id: "A",
+        description: "telco calls: high-cardinality ids, dense timestamps",
+        schema,
+        rows,
+    }
+}
+
+pub fn retail(n: usize, seed: u64) -> CustomerDb {
+    const STATUS: [&str; 4] = ["placed", "shipped", "delivered", "returned"];
+    const CHANNEL: [&str; 3] = ["web", "store", "phone"];
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB);
+    let schema = Schema::new(vec![
+        Field::not_null("order_id", DataType::Int64),
+        Field::not_null("status", DataType::Utf8),
+        Field::not_null("channel", DataType::Utf8),
+        Field::not_null("items", DataType::Int32),
+        Field::not_null("total", DataType::Decimal { scale: 2 }),
+        Field::nullable("coupon", DataType::Utf8),
+    ]);
+    let rows = (0..n as i64)
+        .map(|i| {
+            let coupon = if rng.gen_bool(0.9) {
+                Value::Null
+            } else {
+                Value::str(format!("SAVE{:02}", rng.gen_range(5..30)))
+            };
+            Row::new(vec![
+                Value::Int64(i),
+                Value::str(STATUS[rng.gen_range(0..STATUS.len())]),
+                Value::str(CHANNEL[rng.gen_range(0..CHANNEL.len())]),
+                Value::Int32(rng.gen_range(1..12)),
+                Value::Decimal(rng.gen_range(100..50_000)),
+                coupon,
+            ])
+        })
+        .collect();
+    CustomerDb {
+        id: "B",
+        description: "retail orders: low-cardinality strings, moderate numerics",
+        schema,
+        rows,
+    }
+}
+
+pub fn sensor(n: usize, seed: u64) -> CustomerDb {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC);
+    let schema = Schema::new(vec![
+        Field::not_null("sensor_id", DataType::Int32),
+        Field::not_null("ts", DataType::Int64),
+        Field::not_null("temp_c10", DataType::Int32),
+        Field::not_null("humidity", DataType::Int32),
+        Field::not_null("status", DataType::Int32),
+    ]);
+    // 20 sensors, readings in time order, measures drift slowly → runs.
+    let mut temp = [200i32; 20];
+    let mut hum = [50i32; 20];
+    let rows = (0..n)
+        .map(|i| {
+            let s = i % 20;
+            if rng.gen_bool(0.05) {
+                temp[s] += rng.gen_range(-2..=2);
+            }
+            if rng.gen_bool(0.02) {
+                hum[s] += rng.gen_range(-1..=1);
+            }
+            Row::new(vec![
+                Value::Int32(s as i32),
+                Value::Int64(1_700_000_000 + (i as i64) * 10),
+                Value::Int32(temp[s]),
+                Value::Int32(hum[s]),
+                Value::Int32(0),
+            ])
+        })
+        .collect();
+    CustomerDb {
+        id: "C",
+        description: "sensor readings: sorted time, slowly-varying measures",
+        schema,
+        rows,
+    }
+}
+
+pub fn weblog(n: usize, seed: u64) -> CustomerDb {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD);
+    let n_urls = 2000;
+    let urls: Vec<String> = (0..n_urls)
+        .map(|i| format!("/site/section-{}/page-{i:04}.html", i % 25))
+        .collect();
+    let zipf = Zipf::new(n_urls, 1.2);
+    let schema = Schema::new(vec![
+        Field::not_null("ts", DataType::Int64),
+        Field::not_null("url", DataType::Utf8),
+        Field::not_null("status", DataType::Int32),
+        Field::not_null("bytes", DataType::Int32),
+        Field::not_null("user_hash", DataType::Int64),
+    ]);
+    let rows = (0..n as i64)
+        .map(|i| {
+            let status = *[200, 200, 200, 200, 304, 404, 500]
+                .get(rng.gen_range(0..7))
+                .unwrap();
+            Row::new(vec![
+                Value::Int64(1_650_000_000 + i),
+                Value::str(urls[zipf.sample(&mut rng) - 1].as_str()),
+                Value::Int32(status),
+                Value::Int32(rng.gen_range(200..100_000)),
+                Value::Int64(rng.gen::<u32>() as i64),
+            ])
+        })
+        .collect();
+    CustomerDb {
+        id: "D",
+        description: "web logs: zipf-skewed urls, tiny status domain",
+        schema,
+        rows,
+    }
+}
+
+pub fn finance(n: usize, seed: u64) -> CustomerDb {
+    const SYMBOLS: [&str; 30] = [
+        "AAPL", "MSFT", "GOOG", "AMZN", "META", "NVDA", "TSLA", "BRK", "JPM", "V", "JNJ", "WMT",
+        "PG", "MA", "UNH", "HD", "DIS", "BAC", "ADBE", "CRM", "NFLX", "XOM", "CVX", "PFE", "KO",
+        "PEP", "COST", "AVGO", "CSCO", "ORCL",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE);
+    let schema = Schema::new(vec![
+        Field::not_null("ts", DataType::Int64),
+        Field::not_null("symbol", DataType::Utf8),
+        Field::not_null("price", DataType::Decimal { scale: 2 }),
+        Field::not_null("size_lots", DataType::Int32),
+        Field::not_null("venue", DataType::Utf8),
+    ]);
+    const VENUES: [&str; 4] = ["NYSE", "NASD", "ARCA", "BATS"];
+    // Prices move in ticks of 25 (a shared factor value encoding strips).
+    let mut price = vec![10_000i64; SYMBOLS.len()];
+    let rows = (0..n as i64)
+        .map(|i| {
+            let s = rng.gen_range(0..SYMBOLS.len());
+            price[s] += 25 * rng.gen_range(-3i64..=3);
+            price[s] = price[s].max(100);
+            Row::new(vec![
+                Value::Int64(1_680_000_000_000 + i * 17),
+                Value::str(SYMBOLS[s]),
+                Value::Decimal(price[s]),
+                Value::Int32(rng.gen_range(1..100) * 100),
+                Value::str(VENUES[rng.gen_range(0..VENUES.len())]),
+            ])
+        })
+        .collect();
+    CustomerDb {
+        id: "E",
+        description: "finance ticks: tick-grid decimals, repeated symbols",
+        schema,
+        rows,
+    }
+}
+
+pub fn inventory(n: usize, seed: u64) -> CustomerDb {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF);
+    let schema = Schema::new(vec![
+        Field::not_null("warehouse", DataType::Int32),
+        Field::not_null("sku_class", DataType::Utf8),
+        Field::not_null("on_hand", DataType::Int32),
+        Field::not_null("reorder_point", DataType::Int32),
+        Field::not_null("active", DataType::Bool),
+    ]);
+    const CLASSES: [&str; 5] = ["bulk", "fragile", "cold", "hazmat", "standard"];
+    let rows = (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int32((i % 8) as i32),
+                Value::str(CLASSES[(i / 8) % CLASSES.len()]),
+                Value::Int32(rng.gen_range(0..20) * 10),
+                Value::Int32(50),
+                Value::Bool(rng.gen_bool(0.97)),
+            ])
+        })
+        .collect();
+    CustomerDb {
+        id: "F",
+        description: "inventory snapshots: very low cardinality everywhere",
+        schema,
+        rows,
+    }
+}
+
+pub fn random(n: usize, seed: u64) -> CustomerDb {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10);
+    let schema = Schema::new(vec![
+        Field::not_null("a", DataType::Int64),
+        Field::not_null("b", DataType::Int64),
+        Field::not_null("c", DataType::Float64),
+        Field::not_null("d", DataType::Utf8),
+    ]);
+    let rows = (0..n)
+        .map(|_| {
+            Row::new(vec![
+                Value::Int64(rng.gen()),
+                Value::Int64(rng.gen()),
+                Value::Float64(rng.gen()),
+                Value::str(format!("{:016x}", rng.gen::<u64>())),
+            ])
+        })
+        .collect();
+    CustomerDb {
+        id: "G",
+        description: "adversarial: near-random values (worst case)",
+        schema,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_validate() {
+        for db in all(500, 1) {
+            assert_eq!(db.rows.len(), 500, "{}", db.id);
+            for row in db.rows.iter().take(50) {
+                db.schema.check_row(row).unwrap_or_else(|e| {
+                    panic!("dataset {} row invalid: {e}", db.id);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn datasets_have_distinct_compressibility() {
+        use cstore_storage::builder::encode_column;
+        // Compare per-dataset encoded size: sensor (C, runny) must compress
+        // far better than random (G).
+        let bytes = |db: &CustomerDb| -> usize {
+            let n_cols = db.schema.len();
+            let mut total = 0;
+            for c in 0..n_cols {
+                let vals: Vec<Value> = db.rows.iter().map(|r| r.get(c).clone()).collect();
+                let seg = encode_column(db.schema.field(c).data_type, &vals, None).unwrap();
+                total += seg.encoded_bytes();
+            }
+            total
+        };
+        let sensor = bytes(&sensor(2000, 1));
+        let rand = bytes(&random(2000, 1));
+        assert!(
+            sensor * 5 < rand,
+            "sensor {sensor} should be ≥5x smaller than random {rand}"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Workload generators for examples, tests and the experiment harnesses.
+//!
+//! * [`zipf`] — Zipfian sampling (warehouse foreign keys are skewed);
+//! * [`star`] — a retail star schema (1 fact + 4 dimensions) standing in
+//!   for the paper's TPC-DS-derived and customer workloads;
+//! * [`customer_dbs`] — seven synthetic datasets whose column
+//!   characteristics span the range of the paper's customer databases
+//!   (the compression-ratio study, E1);
+//! * [`queries`] — the canned star-join query set Q1–Q8 used by the
+//!   performance experiments.
+
+pub mod customer_dbs;
+pub mod queries;
+pub mod star;
+pub mod zipf;
+
+pub use star::StarSchema;
+pub use zipf::Zipf;

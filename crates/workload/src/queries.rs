@@ -1,0 +1,119 @@
+//! The canned star-join query set (Q1–Q8).
+//!
+//! Eight queries over the [`crate::star`] schema, covering the operator
+//! repertoire the performance experiments exercise: selective scans,
+//! single- and multi-dimension star joins, grouped and scalar aggregation,
+//! semi/anti joins and Top-N. Each entry records what it stresses, so the
+//! experiment harnesses can print meaningful labels.
+
+/// One benchmark query.
+pub struct BenchQuery {
+    pub id: &'static str,
+    pub sql: &'static str,
+    /// What the query stresses (printed by the harnesses).
+    pub highlights: &'static str,
+}
+
+/// The full query set.
+pub fn all() -> Vec<BenchQuery> {
+    vec![
+        BenchQuery {
+            id: "Q1",
+            sql: "SELECT COUNT(*), SUM(quantity) FROM sales",
+            highlights: "full scan + scalar aggregation",
+        },
+        BenchQuery {
+            id: "Q2",
+            sql: "SELECT COUNT(*) FROM sales WHERE date_key BETWEEN 100 AND 130",
+            highlights: "date-range scan: segment elimination",
+        },
+        BenchQuery {
+            id: "Q3",
+            sql: "SELECT d.month, SUM(s.quantity) AS q FROM sales s \
+                  JOIN date_dim d ON s.date_key = d.date_key \
+                  GROUP BY d.month ORDER BY month",
+            highlights: "single star join + group-by",
+        },
+        BenchQuery {
+            id: "Q4",
+            sql: "SELECT c.region, p.category, COUNT(*) AS n, SUM(s.quantity) AS q \
+                  FROM sales s \
+                  JOIN customer c ON s.cust_key = c.cust_key \
+                  JOIN product p ON s.prod_key = p.prod_key \
+                  GROUP BY c.region, p.category",
+            highlights: "two-dimension star join, wide group-by",
+        },
+        BenchQuery {
+            id: "Q5",
+            sql: "SELECT st.state, SUM(s.quantity) AS q FROM sales s \
+                  JOIN store st ON s.store_key = st.store_key \
+                  JOIN date_dim d ON s.date_key = d.date_key \
+                  WHERE d.month = 6 AND st.state = 'WA' \
+                  GROUP BY st.state",
+            highlights: "selective dimensions: bitmap filters pay off",
+        },
+        BenchQuery {
+            id: "Q6",
+            sql: "SELECT s.sale_id, s.quantity FROM sales s \
+                  LEFT SEMI JOIN customer c ON s.cust_key = c.cust_key \
+                  WHERE s.quantity > 8",
+            highlights: "semi join (batch-mode repertoire expansion)",
+        },
+        BenchQuery {
+            id: "Q7",
+            sql: "SELECT p.brand, AVG(s.unit_price) AS avg_price FROM sales s \
+                  JOIN product p ON s.prod_key = p.prod_key \
+                  GROUP BY p.brand ORDER BY avg_price DESC LIMIT 10",
+            highlights: "join + group-by + Top-N",
+        },
+        BenchQuery {
+            id: "Q8",
+            sql: "SELECT c.segment, COUNT(*) AS n FROM sales s \
+                  JOIN customer c ON s.cust_key = c.cust_key \
+                  WHERE s.discount IS NOT NULL AND s.date_key < 200 \
+                  GROUP BY c.segment",
+            highlights: "NULL-predicate pushdown + selective join",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::star::StarSchema;
+
+    #[test]
+    fn every_query_parses_and_runs() {
+        let db = cstore_core::Database::new();
+        StarSchema::scale(3000).load_into(&db).unwrap();
+        for q in super::all() {
+            let r = db
+                .execute(q.sql)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", q.id));
+            assert!(
+                !r.rows().is_empty() || q.id == "Q6",
+                "{} returned no rows",
+                q.id
+            );
+        }
+    }
+
+    #[test]
+    fn batch_and_row_agree_on_every_query() {
+        use cstore_core::ExecMode;
+        let mk = |mode| {
+            let db = cstore_core::Database::new().with_exec_mode(mode);
+            StarSchema::scale(2000).load_into(&db).unwrap();
+            db
+        };
+        let batch_db = mk(ExecMode::Batch);
+        let row_db = mk(ExecMode::Row);
+        for q in super::all() {
+            let mut b = batch_db.execute(q.sql).unwrap().rows().to_vec();
+            let mut r = row_db.execute(q.sql).unwrap().rows().to_vec();
+            // Queries without ORDER BY have unspecified order.
+            b.sort();
+            r.sort();
+            assert_eq!(b, r, "{} differs between modes", q.id);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The retail star schema.
+//!
+//! One fact table plus four dimensions, shaped like the warehouse the
+//! paper's performance experiments run on:
+//!
+//! ```text
+//! sales(sale_id, date_key, cust_key, prod_key, store_key,
+//!       quantity, unit_price, discount)
+//!   date_dim(date_key, year, month, day_of_week)
+//!   customer(cust_key, name, region, segment)
+//!   product(prod_key, name, category, brand, list_price)
+//!   store(store_key, name, state)
+//! ```
+//!
+//! Fact rows arrive in date order (as loads do in practice), so date-sorted
+//! row groups give real segment elimination; customer/product keys are
+//! Zipf-skewed.
+
+use cstore_common::{DataType, Field, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Scale parameters of a generated star schema.
+#[derive(Clone, Debug)]
+pub struct StarSchema {
+    pub n_sales: usize,
+    pub n_dates: usize,
+    pub n_customers: usize,
+    pub n_products: usize,
+    pub n_stores: usize,
+    pub seed: u64,
+}
+
+impl StarSchema {
+    /// A scale where `n_sales` drives everything else (dimension sizes
+    /// follow warehouse-typical ratios).
+    pub fn scale(n_sales: usize) -> StarSchema {
+        StarSchema {
+            n_sales,
+            n_dates: 365,
+            n_customers: (n_sales / 50).clamp(10, 100_000),
+            n_products: (n_sales / 100).clamp(10, 20_000),
+            n_stores: 50,
+            seed: 42,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    // ----------------------------------------------------------- schemas
+
+    pub fn sales_schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("sale_id", DataType::Int64),
+            Field::not_null("date_key", DataType::Date),
+            Field::not_null("cust_key", DataType::Int64),
+            Field::not_null("prod_key", DataType::Int64),
+            Field::not_null("store_key", DataType::Int64),
+            Field::not_null("quantity", DataType::Int32),
+            Field::not_null("unit_price", DataType::Decimal { scale: 2 }),
+            Field::nullable("discount", DataType::Float64),
+        ])
+    }
+
+    pub fn date_schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("date_key", DataType::Date),
+            Field::not_null("year", DataType::Int32),
+            Field::not_null("month", DataType::Int32),
+            Field::not_null("day_of_week", DataType::Utf8),
+        ])
+    }
+
+    pub fn customer_schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("cust_key", DataType::Int64),
+            Field::not_null("name", DataType::Utf8),
+            Field::not_null("region", DataType::Utf8),
+            Field::not_null("segment", DataType::Utf8),
+        ])
+    }
+
+    pub fn product_schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("prod_key", DataType::Int64),
+            Field::not_null("name", DataType::Utf8),
+            Field::not_null("category", DataType::Utf8),
+            Field::not_null("brand", DataType::Utf8),
+            Field::not_null("list_price", DataType::Decimal { scale: 2 }),
+        ])
+    }
+
+    pub fn store_schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("store_key", DataType::Int64),
+            Field::not_null("name", DataType::Utf8),
+            Field::not_null("state", DataType::Utf8),
+        ])
+    }
+
+    // --------------------------------------------------------- generators
+
+    pub fn dates(&self) -> Vec<Row> {
+        const DOW: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+        (0..self.n_dates as i32)
+            .map(|d| {
+                Row::new(vec![
+                    Value::Date(d),
+                    Value::Int32(2013 + d / 365),
+                    Value::Int32(1 + (d / 30) % 12),
+                    Value::str(DOW[(d % 7) as usize]),
+                ])
+            })
+            .collect()
+    }
+
+    pub fn customers(&self) -> Vec<Row> {
+        const REGIONS: [&str; 4] = ["north", "south", "east", "west"];
+        const SEGMENTS: [&str; 3] = ["consumer", "corporate", "public"];
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xC057);
+        (0..self.n_customers as i64)
+            .map(|k| {
+                Row::new(vec![
+                    Value::Int64(k),
+                    Value::str(format!("customer-{k:06}")),
+                    Value::str(REGIONS[rng.gen_range(0..REGIONS.len())]),
+                    Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                ])
+            })
+            .collect()
+    }
+
+    pub fn products(&self) -> Vec<Row> {
+        const CATEGORIES: [&str; 8] = [
+            "grocery", "dairy", "produce", "bakery", "frozen", "household", "apparel", "toys",
+        ];
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x920D);
+        (0..self.n_products as i64)
+            .map(|k| {
+                Row::new(vec![
+                    Value::Int64(k),
+                    Value::str(format!("product-{k:05}")),
+                    Value::str(CATEGORIES[rng.gen_range(0..CATEGORIES.len())]),
+                    Value::str(format!("brand-{:02}", rng.gen_range(0..40))),
+                    Value::Decimal(rng.gen_range(99..9999)),
+                ])
+            })
+            .collect()
+    }
+
+    pub fn stores(&self) -> Vec<Row> {
+        const STATES: [&str; 10] = ["WA", "OR", "CA", "TX", "IL", "NY", "FL", "GA", "MA", "CO"];
+        (0..self.n_stores as i64)
+            .map(|k| {
+                Row::new(vec![
+                    Value::Int64(k),
+                    Value::str(format!("store-{k:03}")),
+                    Value::str(STATES[k as usize % STATES.len()]),
+                ])
+            })
+            .collect()
+    }
+
+    /// Fact rows, in date order.
+    pub fn sales(&self) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cust = Zipf::new(self.n_customers, 1.1);
+        let prod = Zipf::new(self.n_products, 1.05);
+        let per_day = self.n_sales.div_ceil(self.n_dates).max(1);
+        let mut rows = Vec::with_capacity(self.n_sales);
+        for id in 0..self.n_sales as i64 {
+            let day = ((id as usize / per_day).min(self.n_dates - 1)) as i32;
+            let discount = if rng.gen_bool(0.8) {
+                Value::Null
+            } else {
+                Value::Float64((rng.gen_range(1..=30) as f64) / 100.0)
+            };
+            rows.push(Row::new(vec![
+                Value::Int64(id),
+                Value::Date(day),
+                Value::Int64((cust.sample(&mut rng) - 1) as i64),
+                Value::Int64((prod.sample(&mut rng) - 1) as i64),
+                Value::Int64(rng.gen_range(0..self.n_stores as i64)),
+                Value::Int32(rng.gen_range(1..=10)),
+                Value::Decimal(rng.gen_range(99..99_99)),
+                discount,
+            ]));
+        }
+        rows
+    }
+
+    /// Create all five tables in `db` (columnstore) and load them.
+    /// Table names: `sales`, `date_dim`, `customer`, `product`, `store`.
+    pub fn load_into(&self, db: &cstore_core::Database) -> cstore_common::Result<()> {
+        let ddl = [
+            ("sales", Self::sales_schema()),
+            ("date_dim", Self::date_schema()),
+            ("customer", Self::customer_schema()),
+            ("product", Self::product_schema()),
+            ("store", Self::store_schema()),
+        ];
+        for (name, schema) in ddl {
+            // Lower the direct-compress threshold so small experiment
+            // scales still produce compressed row groups (the default
+            // 102,400 would route a 50k-row load through delta stores).
+            db.catalog().create_columnstore(
+                name,
+                schema,
+                cstore_delta::TableConfig {
+                    bulk_load_threshold: 1024,
+                    ..cstore_delta::TableConfig::default()
+                },
+            )?;
+        }
+        db.bulk_load("sales", &self.sales())?;
+        db.bulk_load("date_dim", &self.dates())?;
+        db.bulk_load("customer", &self.customers())?;
+        db.bulk_load("product", &self.products())?;
+        db.bulk_load("store", &self.stores())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_rows_match_schemas() {
+        let s = StarSchema::scale(5000);
+        let sales = s.sales();
+        assert_eq!(sales.len(), 5000);
+        for row in sales.iter().take(100) {
+            StarSchema::sales_schema().check_row(row).unwrap();
+        }
+        for row in s.customers().iter().take(10) {
+            StarSchema::customer_schema().check_row(row).unwrap();
+        }
+        for row in s.products().iter().take(10) {
+            StarSchema::product_schema().check_row(row).unwrap();
+        }
+        StarSchema::date_schema().check_row(&s.dates()[0]).unwrap();
+        StarSchema::store_schema().check_row(&s.stores()[0]).unwrap();
+    }
+
+    #[test]
+    fn facts_are_date_ordered_and_fk_valid() {
+        let s = StarSchema::scale(2000);
+        let sales = s.sales();
+        let mut prev = i32::MIN;
+        for row in &sales {
+            let Value::Date(d) = row.get(1) else { panic!() };
+            assert!(*d >= prev, "dates must be non-decreasing");
+            prev = *d;
+            let ck = row.get(2).as_i64().unwrap();
+            assert!((0..s.n_customers as i64).contains(&ck));
+            let pk = row.get(3).as_i64().unwrap();
+            assert!((0..s.n_products as i64).contains(&pk));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = StarSchema::scale(1000).sales();
+        let b = StarSchema::scale(1000).sales();
+        assert_eq!(a, b);
+        let c = StarSchema::scale(1000).with_seed(7).sales();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn load_into_database() {
+        let db = cstore_core::Database::new();
+        StarSchema::scale(2000).load_into(&db).unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(r.rows()[0].get(0), &Value::Int64(2000));
+        let r = db
+            .execute(
+                "SELECT d.year, SUM(s.quantity) AS q FROM sales s \
+                 JOIN date_dim d ON s.date_key = d.date_key GROUP BY d.year",
+            )
+            .unwrap();
+        assert!(!r.rows().is_empty());
+    }
+}

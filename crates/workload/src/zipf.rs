@@ -1,0 +1,88 @@
+//! Zipfian sampling.
+//!
+//! Foreign keys in warehouse facts are skewed: a few customers/products
+//! account for most sales. The generators draw keys from a Zipf(s)
+//! distribution over `1..=n` via inverse-CDF lookup (exact, O(log n) per
+//! sample after O(n) setup).
+
+use rand::Rng;
+
+/// A Zipf distribution over `1..=n` with exponent `s`.
+pub struct Zipf {
+    /// Cumulative probabilities, cdf[k-1] = P(X <= k).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` items with exponent `s` (s = 0 → uniform;
+    /// s ≈ 1 → classic heavy skew).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one sample in `1..=n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&p| p < u) + 1
+    }
+
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = z.sample(&mut rng);
+            assert!((1..=100).contains(&x));
+        }
+    }
+
+    #[test]
+    fn skew_favors_small_keys() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) <= 10 {
+                head += 1;
+            }
+        }
+        // With s=1.2 the top-10 keys carry well over a third of the mass.
+        assert!(head as f64 > 0.3 * n as f64, "head share {head}/{n}");
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count {c}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! `cstore` — an interactive SQL shell over the embedded database.
+//!
+//! ```sh
+//! cargo run --release --bin cstore            # in-memory session
+//! cargo run --release --bin cstore -- mydb/   # persistent session
+//! ```
+//!
+//! Meta commands: `\tables`, `\stats <table>`, `\save`, `\demo`, `\quit`.
+//! Everything else is SQL (`SELECT`/`INSERT`/`UPDATE`/`DELETE`/
+//! `CREATE TABLE`/`ANALYZE`/`EXPLAIN`), terminated by `;` or a newline.
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+use cstore::workload::StarSchema;
+use cstore::{Database, QueryResult};
+
+fn main() {
+    let dir: Option<PathBuf> = std::env::args().nth(1).map(PathBuf::from);
+    let db = match &dir {
+        Some(d) if d.join("catalog.blob").exists() => {
+            match Database::open_from(d) {
+                Ok(db) => {
+                    eprintln!("opened database at {}", d.display());
+                    db
+                }
+                Err(e) => {
+                    eprintln!("failed to open {}: {e}", d.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => Database::new(),
+    };
+    eprintln!("cstore — updatable columnstore + batch mode (SIGMOD'13 reproduction)");
+    eprintln!("type SQL, or \\demo to load a sample warehouse; \\quit exits");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("cstore> ");
+        } else {
+            eprint!("   ...> ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Meta commands act immediately.
+        if buffer.is_empty() && line.starts_with('\\') {
+            match run_meta(&db, line, &dir) {
+                MetaResult::Continue => continue,
+                MetaResult::Quit => break,
+            }
+        }
+        buffer.push_str(line);
+        buffer.push(' ');
+        // Execute on a terminating semicolon (or any complete line that
+        // came in one piece).
+        if line.ends_with(';') || !line.ends_with(',') {
+            let sql = buffer.trim().trim_end_matches(';').to_owned();
+            buffer.clear();
+            if sql.is_empty() {
+                continue;
+            }
+            run_sql(&db, &sql);
+        }
+    }
+    if let Some(d) = dir {
+        match db.save_to(&d) {
+            Ok(()) => eprintln!("saved to {}", d.display()),
+            Err(e) => eprintln!("save failed: {e}"),
+        }
+    }
+}
+
+enum MetaResult {
+    Continue,
+    Quit,
+}
+
+fn run_meta(db: &Database, line: &str, dir: &Option<PathBuf>) -> MetaResult {
+    let mut parts = line.split_whitespace();
+    match parts.next().unwrap_or("") {
+        "\\quit" | "\\q" => return MetaResult::Quit,
+        "\\tables" => {
+            for name in db.catalog().table_names() {
+                println!("{name}");
+            }
+        }
+        "\\stats" => match parts.next() {
+            Some(t) => match db.table_stats(t) {
+                Ok(s) => println!("{s:#?}"),
+                Err(e) => eprintln!("{e}"),
+            },
+            None => eprintln!("usage: \\stats <table>"),
+        },
+        "\\save" => match dir {
+            Some(d) => match db.save_to(d) {
+                Ok(()) => println!("saved to {}", d.display()),
+                Err(e) => eprintln!("save failed: {e}"),
+            },
+            None => eprintln!("no directory: start as `cstore <dir>` to persist"),
+        },
+        "\\demo" => {
+            let n = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(100_000);
+            eprintln!("loading star schema with {n} fact rows…");
+            match StarSchema::scale(n).load_into(db) {
+                Ok(()) => eprintln!(
+                    "loaded: sales, date_dim, customer, product, store — try:\n  \
+                     SELECT c.region, SUM(s.quantity) AS qty FROM sales s \
+                     JOIN customer c ON s.cust_key = c.cust_key GROUP BY c.region;"
+                ),
+                Err(e) => eprintln!("demo load failed: {e}"),
+            }
+        }
+        other => eprintln!("unknown command {other}; try \\tables \\stats \\save \\demo \\quit"),
+    }
+    MetaResult::Continue
+}
+
+fn run_sql(db: &Database, sql: &str) {
+    match db.execute(sql) {
+        Ok(result) => match &result {
+            QueryResult::Rows {
+                rows, mode, elapsed, ..
+            } => {
+                print!("{}", result.to_table());
+                println!(
+                    "({} rows, {:.2} ms, {mode:?} mode)",
+                    rows.len(),
+                    elapsed.as_secs_f64() * 1e3
+                );
+            }
+            QueryResult::Affected(n) => println!("{n} rows affected"),
+            QueryResult::Created => println!("ok"),
+            QueryResult::Explain(text) => print!("{text}"),
+        },
+        Err(e) => eprintln!("error: {e}"),
+    }
+}

@@ -1,0 +1,17 @@
+//! # cstore — an updatable column store with batch-mode (vectorized) execution
+//!
+//! A Rust reproduction of *"Enhancements to SQL Server Column Stores"*
+//! (Larson et al., SIGMOD 2013). This crate is the user-facing facade: it
+//! re-exports the workspace crates under stable names.
+//!
+//! Start with [`cstore_core::Database`] (re-exported as `cstore::Database`).
+
+pub use cstore_common as common;
+pub use cstore_core::{Catalog, Database, ExecMode, QueryResult, TableEntry};
+pub use cstore_delta as delta;
+pub use cstore_exec as exec;
+pub use cstore_planner as planner;
+pub use cstore_rowstore as rowstore;
+pub use cstore_sql as sql;
+pub use cstore_storage as storage;
+pub use cstore_workload as workload;

@@ -1,0 +1,206 @@
+//! Cheap, CI-friendly assertions of the paper's qualitative claims —
+//! the experiment harnesses (`cstore-bench`) measure the magnitudes;
+//! these tests pin the *directions* so regressions are caught by
+//! `cargo test`.
+
+use std::time::Instant;
+
+use cstore::common::{Row, Value};
+use cstore::delta::TableConfig;
+use cstore::workload::StarSchema;
+use cstore::{Database, ExecMode};
+
+fn star_db(mode: ExecMode, n: usize) -> Database {
+    let db = Database::new().with_exec_mode(mode);
+    StarSchema::scale(n).load_into(&db).unwrap();
+    db
+}
+
+#[test]
+fn columnstore_compresses_warehouse_data() {
+    // Claim: columnstore compression shrinks typical warehouse data by
+    // several x vs the raw row-store image.
+    let db = cstore::workload::customer_dbs::retail(30_000, 1);
+    let mut heap = cstore::rowstore::HeapTable::new(db.schema.clone());
+    heap.insert_all(&db.rows).unwrap();
+    let mut cs = cstore::storage::ColumnStore::new(db.schema.clone());
+    cs.append_rows(&db.rows, 1 << 20).unwrap();
+    assert!(
+        cs.encoded_bytes() * 4 < heap.allocated_bytes(),
+        "columnstore {} should be ≥4x smaller than raw {}",
+        cs.encoded_bytes(),
+        heap.allocated_bytes()
+    );
+}
+
+#[test]
+fn archival_compression_shrinks_further() {
+    let db = cstore::workload::customer_dbs::weblog(30_000, 1);
+    let mut cs = cstore::storage::ColumnStore::new(db.schema.clone());
+    cs.append_rows(&db.rows, 1 << 20).unwrap();
+    let hot = cs.encoded_bytes();
+    let ids: Vec<_> = cs.groups().iter().map(|g| g.id()).collect();
+    for id in ids {
+        cs.archive_group(id).unwrap();
+    }
+    assert!(
+        cs.encoded_bytes() < hot,
+        "archive {} should be smaller than columnstore {hot}",
+        cs.encoded_bytes()
+    );
+}
+
+#[test]
+fn batch_mode_beats_row_mode_on_scans() {
+    // Claim: batch mode is multiples faster on scan+aggregate queries.
+    let n = 120_000;
+    let batch = star_db(ExecMode::Batch, n);
+    let row = star_db(ExecMode::Row, n);
+    let sql = "SELECT COUNT(*), SUM(quantity) FROM sales WHERE quantity > 2";
+    // Warm up and verify agreement.
+    assert_eq!(
+        batch.execute(sql).unwrap().rows(),
+        row.execute(sql).unwrap().rows()
+    );
+    let time = |db: &Database| {
+        let t = Instant::now();
+        for _ in 0..3 {
+            db.execute(sql).unwrap();
+        }
+        t.elapsed()
+    };
+    let bt = time(&batch);
+    let rt = time(&row);
+    assert!(
+        bt * 2 < rt,
+        "batch ({bt:?}) should be ≥2x faster than row mode ({rt:?})"
+    );
+}
+
+#[test]
+fn segment_elimination_skips_groups() {
+    let db = Database::new().with_table_config(TableConfig {
+        bulk_load_threshold: 1024,
+        max_rowgroup_rows: 10_000,
+        ..Default::default()
+    });
+    db.execute("CREATE TABLE f (id BIGINT NOT NULL, day DATE NOT NULL)")
+        .unwrap();
+    let rows: Vec<Row> = (0..100_000)
+        .map(|i| Row::new(vec![Value::Int64(i), Value::Date((i / 1000) as i32)]))
+        .collect();
+    db.bulk_load("f", &rows).unwrap();
+    let r = db
+        .execute("SELECT COUNT(*) FROM f WHERE day BETWEEN 40 AND 49")
+        .unwrap();
+    assert_eq!(r.rows()[0].get(0), &Value::Int64(10_000));
+    let cstore::QueryResult::Rows { metrics, .. } = r else {
+        panic!()
+    };
+    let get = |n: &str| metrics.iter().find(|(x, _)| *x == n).unwrap().1;
+    assert_eq!(get("groups_eliminated"), 9, "9 of 10 groups skipped");
+    assert_eq!(get("groups_scanned"), 1);
+}
+
+#[test]
+fn bitmap_filters_drop_probe_rows_at_scan() {
+    let db = star_db(ExecMode::Batch, 60_000);
+    let r = db
+        .execute(
+            "SELECT COUNT(*) FROM sales s JOIN store st \
+             ON s.store_key = st.store_key WHERE st.state = 'WA'",
+        )
+        .unwrap();
+    let cstore::QueryResult::Rows { metrics, rows, .. } = r else {
+        panic!()
+    };
+    assert!(rows[0].get(0).as_i64().unwrap() > 0);
+    let dropped = metrics
+        .iter()
+        .find(|(x, _)| *x == "rows_dropped_by_bitmap")
+        .unwrap()
+        .1;
+    assert!(dropped > 30_000, "bitmap filter dropped only {dropped} rows");
+}
+
+#[test]
+fn spilling_degrades_gracefully_not_wrongly() {
+    // Claim: a memory-starved hash join produces identical results.
+    use cstore_exec::ExecContext;
+    let roomy = Database::new().with_exec_mode(ExecMode::Batch);
+    StarSchema::scale(50_000).load_into(&roomy).unwrap();
+    let starved = Database::new()
+        .with_exec_mode(ExecMode::Batch)
+        .with_exec_context(ExecContext::default().with_budget(16 << 10));
+    StarSchema::scale(50_000).load_into(&starved).unwrap();
+    let sql = "SELECT c.region, COUNT(*) AS n FROM sales s \
+               JOIN customer c ON s.cust_key = c.cust_key \
+               GROUP BY c.region ORDER BY region";
+    assert_eq!(
+        roomy.execute(sql).unwrap().rows(),
+        starved.execute(sql).unwrap().rows()
+    );
+    let spilled = starved
+        .exec_context()
+        .metrics
+        .snapshot()
+        .iter()
+        .find(|(x, _)| *x == "partitions_spilled")
+        .unwrap()
+        .1;
+    assert!(spilled > 0, "the starved join never spilled");
+}
+
+#[test]
+fn trickle_then_move_preserves_query_results() {
+    let db = Database::new().with_table_config(TableConfig {
+        delta_capacity: 500,
+        ..Default::default()
+    });
+    db.execute("CREATE TABLE e (id BIGINT NOT NULL, v BIGINT NOT NULL)")
+        .unwrap();
+    for i in 0..2000i64 {
+        db.execute(&format!("INSERT INTO e VALUES ({i}, {})", i % 7))
+            .unwrap();
+    }
+    let sql = "SELECT SUM(v), COUNT(*) FROM e WHERE id >= 1000";
+    let before = db.execute(sql).unwrap().rows().to_vec();
+    let moved = db.tuple_move("e").unwrap();
+    assert!(moved >= 3, "expected several closed delta stores, moved {moved}");
+    assert_eq!(db.execute(sql).unwrap().rows(), before);
+}
+
+#[test]
+fn parallel_scan_agrees_with_serial_and_uses_threads() {
+    use cstore_exec::ExecContext;
+    let load = |ctx: ExecContext| {
+        let db = Database::new()
+            .with_exec_mode(ExecMode::Batch)
+            .with_exec_context(ctx)
+            .with_table_config(TableConfig {
+                bulk_load_threshold: 1024,
+                max_rowgroup_rows: 8192,
+                ..Default::default()
+            });
+        db.execute("CREATE TABLE p (id BIGINT NOT NULL, v BIGINT NOT NULL)")
+            .unwrap();
+        let rows: Vec<Row> = (0..100_000)
+            .map(|i| Row::new(vec![Value::Int64(i), Value::Int64(i % 101)]))
+            .collect();
+        db.bulk_load("p", &rows).unwrap();
+        db
+    };
+    let serial = load(ExecContext::default());
+    let parallel = load(ExecContext::default().with_parallelism(4));
+    for sql in [
+        "SELECT COUNT(*), SUM(v) FROM p",
+        "SELECT COUNT(*) FROM p WHERE v BETWEEN 10 AND 20",
+        "SELECT v, COUNT(*) AS n FROM p GROUP BY v ORDER BY v LIMIT 5",
+    ] {
+        assert_eq!(
+            serial.execute(sql).unwrap().rows(),
+            parallel.execute(sql).unwrap().rows(),
+            "parallel disagrees on: {sql}"
+        );
+    }
+}

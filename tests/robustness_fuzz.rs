@@ -1,0 +1,99 @@
+//! Robustness: hostile inputs must produce errors, never panics or
+//! silent corruption — untrusted bytes hit the storage format and the SQL
+//! parser first, so both get fuzz-style property tests.
+
+use proptest::prelude::*;
+
+use cstore::storage::format::{deserialize_segment, serialize_segment};
+use cstore::storage::CompressedRowGroup;
+use cstore::common::{DataType, Field, Schema, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn segment_deserializer_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        // Random bytes: must return Err, not panic (the checksum rejects
+        // almost everything; what slips past must fail structurally).
+        let _ = deserialize_segment(&data);
+    }
+
+    #[test]
+    fn rowgroup_deserializer_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let schema = Schema::new(vec![Field::not_null("a", DataType::Int64)]);
+        let _ = CompressedRowGroup::deserialize(&data, schema);
+    }
+
+    #[test]
+    fn bitflipped_segment_is_rejected(
+        values in proptest::collection::vec(-1000i64..1000, 1..200),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let vals: Vec<Value> = values.iter().map(|&v| Value::Int64(v)).collect();
+        let seg = cstore::storage::builder::encode_column(DataType::Int64, &vals, None).unwrap();
+        let mut bytes = serialize_segment(&seg);
+        let idx = flip_at.index(bytes.len());
+        bytes[idx] ^= 1 << flip_bit;
+        // Either the checksum catches it, or (if the flip hit the checksum
+        // itself... no: flipping the checksum also mismatches). Must error.
+        prop_assert!(deserialize_segment(&bytes).is_err());
+    }
+
+    #[test]
+    fn archival_decompressor_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = cstore::storage::archive::decompress(&data);
+    }
+
+    #[test]
+    fn sql_parser_never_panics(input in "[ -~]{0,120}") {
+        // Printable-ASCII soup: parse must return Ok or Err, never panic.
+        let _ = cstore::sql::parse(&input);
+    }
+
+    #[test]
+    fn sql_parser_handles_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("JOIN"),
+                Just("GROUP"), Just("BY"), Just("("), Just(")"), Just(","),
+                Just("*"), Just("="), Just("<"), Just("AND"), Just("NOT"),
+                Just("t"), Just("x"), Just("1"), Just("'s'"), Just("NULL"),
+                Just("BETWEEN"), Just("IN"), Just("ORDER"), Just("LIMIT"),
+                Just("UNION"), Just("ALL"), Just("DISTINCT"),
+            ],
+            0..25,
+        )
+    ) {
+        let sql = tokens.join(" ");
+        let _ = cstore::sql::parse(&sql);
+    }
+
+    #[test]
+    fn executor_rejects_garbage_gracefully(
+        sql in "SELECT [a-z]{1,3} FROM [a-z]{1,3}( WHERE [a-z]{1,3} (=|<|>) [0-9]{1,3})?",
+    ) {
+        // Random references against a real catalog: unknown names must be
+        // catalog errors, not panics; valid accidents must run.
+        let db = cstore::Database::new();
+        db.execute("CREATE TABLE abc (a BIGINT, b BIGINT, c VARCHAR)").unwrap();
+        let _ = db.execute(&sql);
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_are_rejected_not_overflowed() {
+    // Unbounded nesting must hit the parser's depth limit (a clean error),
+    // not the thread's stack. 32 levels parse fine; 1000 must error.
+    let nested = |n: usize| {
+        let mut sql = String::from("SELECT ");
+        sql.extend(std::iter::repeat_n('(', n));
+        sql.push('1');
+        sql.extend(std::iter::repeat_n(')', n));
+        sql.push_str(" FROM t");
+        sql
+    };
+    assert!(cstore::sql::parse(&nested(32)).is_ok());
+    let err = cstore::sql::parse(&nested(1000)).unwrap_err();
+    assert!(err.to_string().contains("nesting"), "{err}");
+}
