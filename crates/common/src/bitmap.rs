@@ -260,7 +260,10 @@ mod tests {
             .collect();
         let got: Vec<usize> = b.iter_ones().collect();
         assert_eq!(got, expect);
-        assert_eq!(b.to_indices(), expect.iter().map(|&i| i as u32).collect::<Vec<_>>());
+        assert_eq!(
+            b.to_indices(),
+            expect.iter().map(|&i| i as u32).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Checked numeric conversions for the storage format.
+//!
+//! The binary format stores lengths and counts as fixed-width integers;
+//! converting between them and `usize` is where silent truncation bugs
+//! live. These helpers centralize every such conversion: the lossless
+//! ones are plain functions (the `as` is provably value-preserving here,
+//! and lives outside the files `cstore-lint` rule L3 patrols precisely so
+//! that lossy casts can't hide among them), and the potentially lossy
+//! ones return `Result` so corrupt or oversized inputs surface as
+//! `Error::Storage` instead of wrapping around.
+
+use crate::{Error, Result};
+
+/// Lossless: every `u32` fits in `usize` on the 32/64-bit targets this
+/// engine supports.
+#[inline]
+pub fn usize_from_u32(v: u32) -> usize {
+    const _: () = assert!(usize::BITS >= u32::BITS);
+    v as usize
+}
+
+/// Checked `u64` → `usize` (would truncate on 32-bit targets).
+#[inline]
+pub fn usize_from_u64(v: u64) -> Result<usize> {
+    usize::try_from(v).map_err(|_| Error::Storage(format!("count {v} exceeds usize::MAX")))
+}
+
+/// Checked `usize` → `u32` for serialized length prefixes and counts.
+#[inline]
+pub fn u32_from_usize(v: usize) -> Result<u32> {
+    u32::try_from(v).map_err(|_| Error::Storage(format!("length {v} exceeds u32::MAX")))
+}
+
+/// Checked `usize` → `u16` for small serialized counts (e.g. schema arity).
+#[inline]
+pub fn u16_from_usize(v: usize) -> Result<u16> {
+    u16::try_from(v).map_err(|_| Error::Storage(format!("count {v} exceeds u16::MAX")))
+}
+
+/// Checked `i64` → `i32` for values deserialized into narrow columns.
+#[inline]
+pub fn i32_from_i64(v: i64) -> Result<i32> {
+    i32::try_from(v).map_err(|_| Error::Storage(format!("value {v} out of i32 range")))
+}
+
+/// Checked `u32` → `u8` for serialized bit widths and small tags.
+#[inline]
+pub fn u8_from_u32(v: u32) -> Result<u8> {
+    u8::try_from(v).map_err(|_| Error::Storage(format!("value {v} out of u8 range")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_paths() {
+        assert_eq!(usize_from_u32(u32::MAX), u32::MAX as usize);
+        assert_eq!(usize_from_u64(7).unwrap(), 7);
+        assert_eq!(u32_from_usize(42).unwrap(), 42);
+        assert_eq!(u16_from_usize(65_535).unwrap(), u16::MAX);
+        assert_eq!(i32_from_i64(-1).unwrap(), -1);
+        assert_eq!(u8_from_u32(64).unwrap(), 64);
+    }
+
+    #[test]
+    fn lossy_inputs_are_rejected_as_storage_errors() {
+        assert_eq!(
+            u32_from_usize(u32::MAX as usize + 1).unwrap_err().code(),
+            "STORAGE"
+        );
+        assert_eq!(u16_from_usize(70_000).unwrap_err().code(), "STORAGE");
+        assert_eq!(i32_from_i64(i64::MAX).unwrap_err().code(), "STORAGE");
+        assert_eq!(u8_from_u32(256).unwrap_err().code(), "STORAGE");
+    }
+}

@@ -115,7 +115,11 @@ mod tests {
             low_bits.insert(hash_u64(i) & 0xfff);
         }
         // Expect a healthy fraction of the 4096 slots to be hit.
-        assert!(low_bits.len() > 2500, "poor low-bit mixing: {}", low_bits.len());
+        assert!(
+            low_bits.len() > 2500,
+            "poor low-bit mixing: {}",
+            low_bits.len()
+        );
     }
 
     #[test]

@@ -5,11 +5,14 @@
 //! runtime dependencies of its own.
 
 pub mod bitmap;
+pub mod convert;
 pub mod error;
 pub mod hash;
 pub mod rid;
 pub mod row;
 pub mod schema;
+pub mod sync;
+pub mod testutil;
 pub mod types;
 pub mod value;
 

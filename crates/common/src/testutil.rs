@@ -1,0 +1,173 @@
+//! Deterministic test utilities, chiefly a tiny seedable PRNG.
+//!
+//! The container builds offline, so the workspace cannot depend on the
+//! `rand` crate outside the excluded `cstore-bench` crate. Workload
+//! generators and randomized tests use this xorshift64* generator
+//! instead: it is deterministic per seed, fast, and statistically more
+//! than good enough for data generation and property-style testing.
+
+/// A seedable xorshift64* pseudo-random generator.
+///
+/// Not cryptographically secure; intended for workload synthesis and
+/// randomized tests only.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from `seed`. Any seed is accepted; zero is
+    /// remapped so the xorshift state never sticks at the fixed point.
+    pub fn new(seed: u64) -> Rng {
+        // SplitMix64 scramble gives well-mixed state even for small seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Rng {
+            state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32-bit value (upper half of the 64-bit output).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u64` in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "Rng::below(0)");
+        // Multiply-shift bounding (Lemire); bias is < 2^-64 per draw,
+        // immaterial for workloads and tests.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `i64` in `[lo, hi)` (half-open, like `rand`'s `gen_range`).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Pick a uniformly random element of `items` (`None` when empty).
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.range_usize(0, items.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// An ASCII alphanumeric string of length `len`.
+    pub fn alnum_string(&mut self, len: usize) -> String {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+        (0..len)
+            .map(|_| ALPHABET[self.range_usize(0, ALPHABET.len())] as char)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_bounds_and_covers() {
+        let mut rng = Rng::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let x = rng.below(10);
+            assert!(x < 10);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+
+    #[test]
+    fn range_i64_handles_negative_bounds() {
+        let mut rng = Rng::new(9);
+        for _ in 0..10_000 {
+            let x = rng.range_i64(-50, 50);
+            assert!((-50..50).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = Rng::new(11);
+        let mut acc = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+            acc += x;
+        }
+        let mean = acc / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::new(13);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = Rng::new(0);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

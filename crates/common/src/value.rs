@@ -117,6 +117,8 @@ impl Value {
             DataType::Int64 => Value::Int64(raw),
             DataType::Date => Value::Date(raw as i32),
             DataType::Decimal { .. } => Value::Decimal(raw),
+            // lint: allow(panic) — typed-conversion contract: callers check
+            // is_integer_backed first
             _ => panic!("from_i64 called for non-integer-backed type {ty}"),
         }
     }
@@ -142,6 +144,8 @@ impl Value {
                 (Some(x), Some(y)) => x.cmp(&y),
                 _ => match (a.as_f64(), b.as_f64()) {
                     (Some(x), Some(y)) => x.total_cmp(&y),
+                    // lint: allow(panic) — the binder rejects comparisons
+                    // between non-coercible types before execution
                     _ => panic!("cmp_sql on incomparable values {a:?} vs {b:?}"),
                 },
             },

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use cstore_common::sync::RwLock;
 
 use cstore_common::{Error, Result, Schema};
 use cstore_delta::{ColumnStoreTable, TableConfig};
@@ -38,7 +38,7 @@ impl TableEntry {
 /// Thread-safe name → table map (plus an ANALYZE statistics cache).
 #[derive(Default, Clone)]
 pub struct Catalog {
-    inner: Arc<RwLock<Vec<(String, TableEntry)>>>,
+    tables: Arc<RwLock<Vec<(String, TableEntry)>>>,
     stats: Arc<RwLock<Vec<(String, cstore_planner::stats::TableStatistics)>>>,
 }
 
@@ -49,7 +49,7 @@ impl Catalog {
 
     /// Register a new table; errors if the name is taken.
     pub fn create(&self, name: &str, entry: TableEntry) -> Result<()> {
-        let mut tables = self.inner.write();
+        let mut tables = self.tables.write();
         if tables.iter().any(|(n, _)| n.eq_ignore_ascii_case(name)) {
             return Err(Error::Catalog(format!("table '{name}' already exists")));
         }
@@ -75,7 +75,7 @@ impl Catalog {
     }
 
     pub fn get(&self, name: &str) -> Option<TableEntry> {
-        self.inner
+        self.tables
             .read()
             .iter()
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
@@ -93,7 +93,7 @@ impl Catalog {
         name: &str,
         f: impl FnOnce(&mut HeapTable) -> Result<R>,
     ) -> Result<R> {
-        let mut tables = self.inner.write();
+        let mut tables = self.tables.write();
         let entry = tables
             .iter_mut()
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
@@ -108,11 +108,11 @@ impl Catalog {
     }
 
     pub fn table_names(&self) -> Vec<String> {
-        self.inner.read().iter().map(|(n, _)| n.clone()).collect()
+        self.tables.read().iter().map(|(n, _)| n.clone()).collect()
     }
 
     pub fn drop_table(&self, name: &str) -> bool {
-        let mut tables = self.inner.write();
+        let mut tables = self.tables.write();
         let before = tables.len();
         tables.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
         self.stats
@@ -179,7 +179,9 @@ mod tests {
         .unwrap();
         // ... and still sees the empty version; new readers see the row.
         assert_eq!(snapshot.n_rows(), 0);
-        let TableEntry::Heap(now) = c.get("h").unwrap() else { panic!() };
+        let TableEntry::Heap(now) = c.get("h").unwrap() else {
+            panic!()
+        };
         assert_eq!(now.n_rows(), 1);
     }
 }

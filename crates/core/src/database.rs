@@ -43,6 +43,8 @@ impl QueryResult {
     pub fn rows(&self) -> &[Row] {
         match self {
             QueryResult::Rows { rows, .. } => rows,
+            // lint: allow(panic) — documented panicking accessor for
+            // tests and demos
             other => panic!("expected rows, got {other:?}"),
         }
     }
@@ -50,6 +52,8 @@ impl QueryResult {
     pub fn columns(&self) -> &[String] {
         match self {
             QueryResult::Rows { columns, .. } => columns,
+            // lint: allow(panic) — documented panicking accessor for
+            // tests and demos
             other => panic!("expected rows, got {other:?}"),
         }
     }
@@ -58,6 +62,8 @@ impl QueryResult {
     pub fn affected(&self) -> usize {
         match self {
             QueryResult::Affected(n) => *n,
+            // lint: allow(panic) — documented panicking accessor for
+            // tests and demos
             other => panic!("expected affected count, got {other:?}"),
         }
     }
@@ -199,8 +205,11 @@ impl Database {
                 );
                 match organization {
                     TableOrganization::Columnstore => {
-                        self.catalog
-                            .create_columnstore(&name, schema, self.table_config.clone())?;
+                        self.catalog.create_columnstore(
+                            &name,
+                            schema,
+                            self.table_config.clone(),
+                        )?;
                     }
                     TableOrganization::Heap => self.catalog.create_heap(&name, schema)?,
                 }
@@ -372,12 +381,10 @@ impl Database {
             TableEntry::Heap(h) => {
                 let victims: Vec<_> = h
                     .scan_with_rids()
-                    .filter_map(|(rid, row)| {
-                        match self.row_matches(&bound, &row) {
-                            Ok(true) => Some(Ok(rid)),
-                            Ok(false) => None,
-                            Err(e) => Some(Err(e)),
-                        }
+                    .filter_map(|(rid, row)| match self.row_matches(&bound, &row) {
+                        Ok(true) => Some(Ok(rid)),
+                        Ok(false) => None,
+                        Err(e) => Some(Err(e)),
                     })
                     .collect::<Result<Vec<_>>>()?;
                 let n = victims.len();
@@ -482,7 +489,7 @@ impl Database {
     /// Start a background tuple mover for a table.
     pub fn start_tuple_mover(&self, table: &str, interval: Duration) -> Result<TupleMover> {
         match self.catalog.try_get(table)? {
-            TableEntry::ColumnStore(t) => Ok(TupleMover::start(t, interval)),
+            TableEntry::ColumnStore(t) => TupleMover::start(t, interval),
             TableEntry::Heap(_) => Err(Error::Catalog(format!(
                 "'{table}' is a heap; the tuple mover applies to columnstores"
             ))),
@@ -539,9 +546,9 @@ impl Database {
         w.u32(names.len() as u32);
         for name in &names {
             let entry = self.catalog.try_get(name)?;
-            w.lp_bytes(name.as_bytes());
+            w.lp_bytes(name.as_bytes())?;
             w.u8(matches!(entry, TableEntry::Heap(_)) as u8);
-            write_schema(&mut w, &entry.schema());
+            write_schema(&mut w, &entry.schema())?;
         }
         store.put("catalog", &w.seal())?;
         for name in &names {
@@ -552,7 +559,7 @@ impl Database {
                     w.u32(h.n_rows() as u32);
                     for row in h.scan() {
                         for v in row.values() {
-                            write_value(&mut w, v);
+                            write_value(&mut w, v)?;
                         }
                     }
                     store.put(&format!("{name}.heap"), &w.seal())?;
@@ -610,8 +617,7 @@ impl Database {
                     schema,
                     db.table_config.clone(),
                 )?;
-                db.catalog
-                    .create(&name, TableEntry::ColumnStore(t))?;
+                db.catalog.create(&name, TableEntry::ColumnStore(t))?;
             }
         }
         Ok(db)
@@ -744,7 +750,8 @@ mod tests {
     fn delete_then_tuple_move_then_query() {
         let db = db();
         db.execute("DELETE FROM sales WHERE id < 100").unwrap();
-        db.execute("INSERT INTO sales VALUES (5000, 3, 1.0, 0)").unwrap();
+        db.execute("INSERT INTO sales VALUES (5000, 3, 1.0, 0)")
+            .unwrap();
         db.tuple_move("sales").unwrap();
         let r = db.execute("SELECT COUNT(*) FROM sales").unwrap();
         assert_eq!(r.rows()[0].get(0), &Value::Int64(2000 - 100 + 1));
@@ -757,11 +764,23 @@ mod tests {
             .unwrap();
         db.execute("INSERT INTO h VALUES (1, 'x'), (2, 'y'), (3, NULL)")
             .unwrap();
-        let r = db.execute("SELECT a FROM h WHERE b IS NOT NULL ORDER BY a DESC").unwrap();
+        let r = db
+            .execute("SELECT a FROM h WHERE b IS NOT NULL ORDER BY a DESC")
+            .unwrap();
         assert_eq!(r.rows().len(), 2);
         assert_eq!(r.rows()[0].get(0), &Value::Int64(2));
-        assert_eq!(db.execute("UPDATE h SET b = 'z' WHERE a = 3").unwrap().affected(), 1);
-        assert_eq!(db.execute("DELETE FROM h WHERE b = 'z'").unwrap().affected(), 1);
+        assert_eq!(
+            db.execute("UPDATE h SET b = 'z' WHERE a = 3")
+                .unwrap()
+                .affected(),
+            1
+        );
+        assert_eq!(
+            db.execute("DELETE FROM h WHERE b = 'z'")
+                .unwrap()
+                .affected(),
+            1
+        );
         let r = db.execute("SELECT COUNT(*) FROM h").unwrap();
         assert_eq!(r.rows()[0].get(0), &Value::Int64(2));
     }
@@ -772,7 +791,9 @@ mod tests {
         let r = db
             .execute("EXPLAIN SELECT id FROM sales WHERE day = 3")
             .unwrap();
-        let QueryResult::Explain(text) = r else { panic!() };
+        let QueryResult::Explain(text) = r else {
+            panic!()
+        };
         assert!(text.contains("Scan sales"), "{text}");
         assert!(text.contains("pushed="), "{text}");
         assert!(text.contains("mode=Batch"), "{text}");
@@ -781,17 +802,11 @@ mod tests {
     #[test]
     fn archive_preserves_results() {
         let db = db();
-        let before = db
-            .execute("SELECT SUM(amount) FROM sales")
-            .unwrap()
-            .rows()[0]
+        let before = db.execute("SELECT SUM(amount) FROM sales").unwrap().rows()[0]
             .get(0)
             .clone();
         db.archive_table("sales").unwrap();
-        let after = db
-            .execute("SELECT SUM(amount) FROM sales")
-            .unwrap()
-            .rows()[0]
+        let after = db.execute("SELECT SUM(amount) FROM sales").unwrap().rows()[0]
             .get(0)
             .clone();
         assert_eq!(before, after);
@@ -810,7 +825,9 @@ mod tests {
     #[test]
     fn to_table_renders() {
         let db = db();
-        let r = db.execute("SELECT id FROM sales WHERE id < 2 ORDER BY id").unwrap();
+        let r = db
+            .execute("SELECT id FROM sales WHERE id < 2 ORDER BY id")
+            .unwrap();
         let text = r.to_table();
         assert!(text.contains("id"));
         assert!(text.contains('0') && text.contains('1'));

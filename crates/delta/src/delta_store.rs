@@ -79,7 +79,11 @@ impl DeltaStore {
     /// Insert a row, returning its RowId. The row must already be
     /// schema-checked by the table.
     pub fn insert(&mut self, row: Row) -> Result<RowId> {
-        debug_assert_eq!(self.state, DeltaState::Open, "insert into closed delta store");
+        debug_assert_eq!(
+            self.state,
+            DeltaState::Open,
+            "insert into closed delta store"
+        );
         let rid = RowId::new(self.id, self.next_tuple);
         self.next_tuple += 1;
         self.approx_bytes += row.approx_bytes();

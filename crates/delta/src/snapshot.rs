@@ -113,6 +113,8 @@ impl TableSnapshot {
             let visible = self.visible_bitmap(g);
             // Decode all columns once per group, then emit visible rows.
             let segs: Vec<_> = (0..g.n_columns())
+                // lint: allow(unwrap) — snapshot groups are immutable and
+                // were validated when they were compressed
                 .map(|c| g.open_segment(c).expect("segment readable"))
                 .collect();
             visible

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use cstore_common::sync::RwLock;
 
 use cstore_common::{Error, Result, Row, RowGroupId, RowId, Schema, Value};
 use cstore_storage::builder::RowGroupBuilder;
@@ -126,7 +126,10 @@ impl ColumnStoreTable {
             let id = inner.cs.alloc_group_id();
             inner.open = Some(DeltaStore::new(id, inner.config.delta_capacity));
         }
-        inner.open.as_mut().unwrap().insert(row)
+        match inner.open.as_mut() {
+            Some(open) => open.insert(row),
+            None => Err(Error::Execution("no open delta store after refill".into())),
+        }
     }
 
     /// Bulk-insert rows. Batches at/above the threshold compress directly;
@@ -139,7 +142,11 @@ impl ColumnStoreTable {
         let mut inner = self.inner.write();
         let (threshold, max_rows, sort) = {
             let c = &inner.config;
-            (c.bulk_load_threshold, c.max_rowgroup_rows, c.sort_mode.clone())
+            (
+                c.bulk_load_threshold,
+                c.max_rowgroup_rows,
+                c.sort_mode.clone(),
+            )
         };
         let mut remaining = rows;
         if rows.len() >= threshold {
@@ -238,12 +245,15 @@ impl ColumnStoreTable {
         }
         let (sort, dicts) = {
             let inner = self.inner.read();
-            (inner.config.sort_mode.clone(), inner.cs.global_dicts().to_vec())
+            (
+                inner.config.sort_mode.clone(),
+                inner.cs.global_dicts().to_vec(),
+            )
         };
         let mut built = Vec::with_capacity(work.len());
         for (id, len, cols) in work {
-            let mut b = RowGroupBuilder::new(self.schema.clone(), sort.clone())
-                .with_max_rows(len.max(1));
+            let mut b =
+                RowGroupBuilder::new(self.schema.clone(), sort.clone()).with_max_rows(len.max(1));
             b.push_columns(cols)?;
             built.push((id, len, b.finish(id, &dicts)?));
         }
@@ -373,7 +383,7 @@ impl ColumnStoreTable {
         w.u32(delta_rows.len() as u32);
         for row in delta_rows {
             for v in row.values() {
-                write_value(&mut w, v);
+                write_value(&mut w, v)?;
             }
         }
         // Delete bitmap: per-group bitmaps.
@@ -459,11 +469,7 @@ impl ColumnStoreTable {
     pub fn snapshot(&self) -> TableSnapshot {
         let inner = self.inner.read();
         let mut delta_rows = Vec::new();
-        for d in inner
-            .closed
-            .iter()
-            .chain(inner.open.as_ref())
-        {
+        for d in inner.closed.iter().chain(inner.open.as_ref()) {
             for (rid, row) in d.iter() {
                 delta_rows.push((rid, row.clone()));
             }
@@ -610,7 +616,8 @@ mod tests {
     fn delete_from_delta_and_compressed() {
         let t = ColumnStoreTable::new(schema(), small_config());
         // Compressed rows via bulk load.
-        t.bulk_insert(&(0..1000).map(row).collect::<Vec<_>>()).unwrap();
+        t.bulk_insert(&(0..1000).map(row).collect::<Vec<_>>())
+            .unwrap();
         // Delta rows via trickle.
         let rid_delta = t.insert(row(5000)).unwrap();
         let rid_comp = RowId::new(RowGroupId(0), 10);
@@ -631,7 +638,8 @@ mod tests {
     #[test]
     fn update_moves_row() {
         let t = ColumnStoreTable::new(schema(), small_config());
-        t.bulk_insert(&(0..1000).map(row).collect::<Vec<_>>()).unwrap();
+        t.bulk_insert(&(0..1000).map(row).collect::<Vec<_>>())
+            .unwrap();
         let old = RowId::new(RowGroupId(0), 7);
         let old_row = t.get_row(old).unwrap().unwrap();
         let new_rid = t.update(old, row(9999)).unwrap().unwrap();
@@ -650,7 +658,8 @@ mod tests {
     #[test]
     fn snapshot_merges_all_sources() {
         let t = ColumnStoreTable::new(schema(), small_config());
-        t.bulk_insert(&(0..1000).map(row).collect::<Vec<_>>()).unwrap();
+        t.bulk_insert(&(0..1000).map(row).collect::<Vec<_>>())
+            .unwrap();
         t.insert(row(1000)).unwrap();
         t.delete(RowId::new(RowGroupId(0), 0)).unwrap();
         let snap = t.snapshot();
@@ -666,7 +675,8 @@ mod tests {
     #[test]
     fn rebuild_group_drops_deleted() {
         let t = ColumnStoreTable::new(schema(), small_config());
-        t.bulk_insert(&(0..1000).map(row).collect::<Vec<_>>()).unwrap();
+        t.bulk_insert(&(0..1000).map(row).collect::<Vec<_>>())
+            .unwrap();
         for tpl in 0..500 {
             t.delete(RowId::new(RowGroupId(0), tpl)).unwrap();
         }
@@ -681,7 +691,8 @@ mod tests {
     #[test]
     fn reorganize_rebuilds_heavily_deleted_groups() {
         let t = ColumnStoreTable::new(schema(), small_config());
-        t.bulk_insert(&(0..2000).map(row).collect::<Vec<_>>()).unwrap();
+        t.bulk_insert(&(0..2000).map(row).collect::<Vec<_>>())
+            .unwrap();
         // Kill 60% of group 0, 1% of group 1.
         for tuple in 0..600 {
             t.delete(RowId::new(RowGroupId(0), tuple)).unwrap();
@@ -703,15 +714,15 @@ mod tests {
         // Deleted: group 0 rows k=0..600, group 1 rows k=1000..1010.
         assert_eq!(
             t.sum_i64(0).unwrap(),
-            (600..2000).sum::<i64>() - (1000..1010).sum::<i64>()
-                + (10_000..10_250).sum::<i64>(),
+            (600..2000).sum::<i64>() - (1000..1010).sum::<i64>() + (10_000..10_250).sum::<i64>(),
         );
     }
 
     #[test]
     fn archive_all_preserves_scans() {
         let t = ColumnStoreTable::new(schema(), small_config());
-        t.bulk_insert(&(0..2000).map(row).collect::<Vec<_>>()).unwrap();
+        t.bulk_insert(&(0..2000).map(row).collect::<Vec<_>>())
+            .unwrap();
         let before: i64 = t.sum_i64(0).unwrap();
         t.archive_all().unwrap();
         assert_eq!(t.sum_i64(0).unwrap(), before);

@@ -11,7 +11,9 @@
 
 use std::time::Duration;
 
-use crossbeam::channel::{self, Sender};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+
+use cstore_common::{Error, Result};
 
 use crate::table::ColumnStoreTable;
 
@@ -26,13 +28,14 @@ enum Msg {
 /// the thread.
 pub struct TupleMover {
     tx: Sender<Msg>,
-    handle: Option<std::thread::JoinHandle<usize>>,
+    handle: Option<std::thread::JoinHandle<Result<usize>>>,
 }
 
 impl TupleMover {
-    /// Start a mover over `table`, ticking every `interval`.
-    pub fn start(table: ColumnStoreTable, interval: Duration) -> Self {
-        let (tx, rx) = channel::unbounded();
+    /// Start a mover over `table`, ticking every `interval`. Errors when
+    /// the OS refuses to spawn the worker thread.
+    pub fn start(table: ColumnStoreTable, interval: Duration) -> Result<Self> {
+        let (tx, rx) = mpsc::channel();
         let handle = std::thread::Builder::new()
             .name("tuple-mover".into())
             .spawn(move || {
@@ -40,44 +43,54 @@ impl TupleMover {
                 loop {
                     match rx.recv_timeout(interval) {
                         Ok(Msg::Stop) => break,
-                        Ok(Msg::Kick) | Err(channel::RecvTimeoutError::Timeout) => {
-                            // Compression failures here would mean a bug in
-                            // the encoder; surface loudly rather than spin.
-                            total_moved +=
-                                table.tuple_move_once().expect("tuple mover pass failed");
+                        Ok(Msg::Kick) | Err(RecvTimeoutError::Timeout) => {
+                            // A compression failure means an encoder bug:
+                            // stop the thread and hand the error to stop()
+                            // rather than spinning on it.
+                            total_moved += table.tuple_move_once()?;
                         }
-                        Err(channel::RecvTimeoutError::Disconnected) => break,
+                        Err(RecvTimeoutError::Disconnected) => break,
                     }
                 }
-                total_moved
+                Ok(total_moved)
             })
-            .expect("spawn tuple mover");
-        TupleMover {
+            .map_err(|e| Error::Execution(format!("cannot spawn tuple mover: {e}")))?;
+        Ok(TupleMover {
             tx,
             handle: Some(handle),
-        }
+        })
     }
 
     /// Request an immediate pass (non-blocking).
     pub fn kick(&self) {
+        // lint: allow(discard) — send fails only when the worker already
+        // stopped; a kick at that point is a harmless no-op
         let _ = self.tx.send(Msg::Kick);
     }
 
     /// Stop the thread and return the total number of delta stores it
-    /// compressed over its lifetime.
-    pub fn stop(mut self) -> usize {
+    /// compressed over its lifetime. Surfaces any compression error the
+    /// background passes hit.
+    pub fn stop(mut self) -> Result<usize> {
+        // lint: allow(discard) — send fails only when the worker already
+        // exited, in which case join() below still collects its result
         let _ = self.tx.send(Msg::Stop);
-        self.handle
-            .take()
-            .map(|h| h.join().expect("tuple mover panicked"))
-            .unwrap_or(0)
+        match self.handle.take() {
+            Some(h) => h
+                .join()
+                .map_err(|_| Error::Execution("tuple mover panicked".into()))?,
+            None => Ok(0),
+        }
     }
 }
 
 impl Drop for TupleMover {
     fn drop(&mut self) {
+        // lint: allow(discard) — best-effort shutdown: the worker may have
+        // already exited and its result has nowhere to go from a Drop
         let _ = self.tx.send(Msg::Stop);
         if let Some(h) = self.handle.take() {
+            // lint: allow(discard) — same best-effort shutdown path
             let _ = h.join();
         }
     }
@@ -102,7 +115,7 @@ mod tests {
                 sort_mode: SortMode::None,
             },
         );
-        let mover = TupleMover::start(t.clone(), Duration::from_millis(2));
+        let mover = TupleMover::start(t.clone(), Duration::from_millis(2)).unwrap();
         for i in 0..1050 {
             t.insert(Row::new(vec![Value::Int64(i)])).unwrap();
         }
@@ -111,7 +124,7 @@ mod tests {
         while t.stats().n_closed_deltas > 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
-        let moved = mover.stop();
+        let moved = mover.stop().unwrap();
         assert!(moved >= 10, "mover compressed {moved} stores");
         let s = t.stats();
         assert_eq!(s.n_closed_deltas, 0);
@@ -132,7 +145,7 @@ mod tests {
             },
         );
         // Long interval: only the kick can drain in time.
-        let mover = TupleMover::start(t.clone(), Duration::from_secs(60));
+        let mover = TupleMover::start(t.clone(), Duration::from_secs(60)).unwrap();
         for i in 0..25 {
             t.insert(Row::new(vec![Value::Int64(i)])).unwrap();
         }
@@ -143,6 +156,6 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(t.stats().n_closed_deltas, 0);
-        mover.stop();
+        mover.stop().unwrap();
     }
 }

@@ -1,9 +1,11 @@
-//! Property tests: the B+tree must behave exactly like `BTreeMap`.
+//! Randomized differential tests: the B+tree must behave exactly like
+//! `BTreeMap`. Deterministic seeded `Rng` replaces proptest so the suite
+//! builds offline; each case runs many independent seeds.
 
 use std::collections::BTreeMap;
 
+use cstore_common::testutil::Rng;
 use cstore_delta::btree::BTree;
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -13,62 +15,72 @@ enum Op {
     RangeFrom(u64),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    // Small key domain → lots of collisions, replacements and removals.
-    let key = 0u64..120;
-    prop_oneof![
-        3 => (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        2 => key.clone().prop_map(Op::Remove),
-        1 => key.clone().prop_map(Op::Get),
-        1 => key.prop_map(Op::RangeFrom),
-    ]
+/// Small key domain → lots of collisions, replacements and removals.
+fn random_op(rng: &mut Rng) -> Op {
+    let key = rng.below(120);
+    match rng.below(7) {
+        0..=2 => Op::Insert(key, rng.next_u64()),
+        3..=4 => Op::Remove(key),
+        5 => Op::Get(key),
+        _ => Op::RangeFrom(key),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn mirrors_btreemap(ops in proptest::collection::vec(arb_op(), 0..600)) {
+#[test]
+fn mirrors_btreemap() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed);
+        let n_ops = rng.range_usize(0, 600);
         let mut t: BTree<u64> = BTree::new();
         let mut m: BTreeMap<u64, u64> = BTreeMap::new();
-        for op in ops {
-            match op {
+        for step in 0..n_ops {
+            let op = random_op(&mut rng);
+            match op.clone() {
                 Op::Insert(k, v) => {
-                    prop_assert_eq!(t.insert(k, v), m.insert(k, v));
+                    assert_eq!(t.insert(k, v), m.insert(k, v), "seed {seed} step {step}");
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(t.remove(k), m.remove(&k));
+                    assert_eq!(t.remove(k), m.remove(&k), "seed {seed} step {step}");
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(t.get(k), m.get(&k));
+                    assert_eq!(t.get(k), m.get(&k), "seed {seed} step {step}");
                 }
                 Op::RangeFrom(k) => {
                     let got: Vec<(u64, u64)> = t.range_from(k).map(|(a, b)| (a, *b)).collect();
                     let want: Vec<(u64, u64)> = m.range(k..).map(|(&a, &b)| (a, b)).collect();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "seed {seed} step {step} op {op:?}");
                 }
             }
-            prop_assert_eq!(t.len(), m.len());
-            prop_assert_eq!(t.first_key(), m.keys().next().copied());
+            assert_eq!(t.len(), m.len(), "seed {seed} step {step}");
+            assert_eq!(t.first_key(), m.keys().next().copied(), "seed {seed}");
         }
         let got: Vec<(u64, u64)> = t.iter().map(|(a, b)| (a, *b)).collect();
         let want: Vec<(u64, u64)> = m.iter().map(|(&a, &b)| (a, b)).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bulk_then_drain(keys in proptest::collection::vec(any::<u64>(), 0..800)) {
+#[test]
+fn bulk_then_drain() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed ^ 0xB17E);
+        let n_keys = rng.range_usize(0, 800);
+        let keys: Vec<u64> = (0..n_keys).map(|_| rng.next_u64()).collect();
         let mut t: BTree<u64> = BTree::new();
         let mut m: BTreeMap<u64, u64> = BTreeMap::new();
         for &k in &keys {
             t.insert(k, k ^ 1);
             m.insert(k, k ^ 1);
         }
-        prop_assert_eq!(t.len(), m.len());
+        assert_eq!(t.len(), m.len(), "seed {seed}");
         for &k in &keys {
-            prop_assert_eq!(t.remove(k), m.remove(&k));
+            assert_eq!(t.remove(k), m.remove(&k), "seed {seed} key {k}");
         }
-        prop_assert!(t.is_empty());
-        prop_assert_eq!(t.depth(), 1, "tree must collapse after draining");
+        assert!(t.is_empty(), "seed {seed}");
+        assert_eq!(
+            t.depth(),
+            1,
+            "tree must collapse after draining (seed {seed})"
+        );
     }
 }

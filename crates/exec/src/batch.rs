@@ -189,7 +189,9 @@ mod tests {
     #[test]
     fn filter_marks_not_moves() {
         let mut b = batch();
-        let keep = Bitmap::from_bools(&[true, false, true, false, true, false, true, false, true, false]);
+        let keep = Bitmap::from_bools(&[
+            true, false, true, false, true, false, true, false, true, false,
+        ]);
         b.filter(&keep);
         assert_eq!(b.n_rows(), 10, "physical rows untouched");
         assert_eq!(b.n_qualifying(), 5);

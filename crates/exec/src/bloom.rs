@@ -125,7 +125,10 @@ mod tests {
                 fp += 1;
             }
         }
-        assert!(fp < trials / 20, "false positive rate too high: {fp}/{trials}");
+        assert!(
+            fp < trials / 20,
+            "false positive rate too high: {fp}/{trials}"
+        );
     }
 
     #[test]

@@ -171,9 +171,7 @@ impl Expr {
                 b.referenced_columns(out);
             }
             Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) => e.referenced_columns(out),
-            Expr::InList { expr, .. } | Expr::Like { expr, .. } => {
-                expr.referenced_columns(out)
-            }
+            Expr::InList { expr, .. } | Expr::Like { expr, .. } => expr.referenced_columns(out),
         }
     }
 
@@ -194,13 +192,11 @@ impl Expr {
                     Value::Bool(op.eval(l.cmp_sql(&r)))
                 }
             }
-            Expr::And(a, b) => {
-                match (a.eval_row(row)?, b.eval_row(row)?) {
-                    (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
-                    (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
-                    _ => Value::Null,
-                }
-            }
+            Expr::And(a, b) => match (a.eval_row(row)?, b.eval_row(row)?) {
+                (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
+                (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+                _ => Value::Null,
+            },
             Expr::Or(a, b) => match (a.eval_row(row)?, b.eval_row(row)?) {
                 (Value::Bool(true), _) | (_, Value::Bool(true)) => Value::Bool(true),
                 (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
@@ -226,9 +222,7 @@ impl Expr {
                 match v {
                     Value::Null => Value::Null,
                     Value::Str(s) => Value::Bool(like_match(&s, pattern)),
-                    other => {
-                        return Err(Error::Type(format!("LIKE on non-string {other:?}")))
-                    }
+                    other => return Err(Error::Type(format!("LIKE on non-string {other:?}"))),
                 }
             }
             Expr::Arith { op, lhs, rhs } => {
@@ -251,11 +245,9 @@ impl Expr {
     pub fn eval(&self, batch: &Batch) -> Result<Vector> {
         match self {
             Expr::Col(i) => Ok(batch.column(*i).clone()),
-            Expr::Lit(v) => Vector::constant(
-                v.data_type().unwrap_or(DataType::Int64),
-                v,
-                batch.n_rows(),
-            ),
+            Expr::Lit(v) => {
+                Vector::constant(v.data_type().unwrap_or(DataType::Int64), v, batch.n_rows())
+            }
             Expr::Arith { op, lhs, rhs } => {
                 let l = lhs.eval(batch)?;
                 let r = rhs.eval(batch)?;
@@ -270,10 +262,7 @@ impl Expr {
                 for i in bits.iter_ones() {
                     values[i] = 1;
                 }
-                Ok(Vector::I64 {
-                    values,
-                    nulls,
-                })
+                Ok(Vector::I64 { values, nulls })
             }
         }
     }
@@ -344,10 +333,7 @@ impl Expr {
             }
             Expr::IsNull(e) => {
                 let v = e.eval(batch)?;
-                let bits = v
-                    .nulls()
-                    .cloned()
-                    .unwrap_or_else(|| Bitmap::zeros(n));
+                let bits = v.nulls().cloned().unwrap_or_else(|| Bitmap::zeros(n));
                 Ok((bits, None))
             }
             Expr::IsNotNull(e) => {
@@ -394,11 +380,7 @@ impl Expr {
                 let v = expr.eval(batch)?;
                 let mut bits = Bitmap::zeros(n);
                 for item in list {
-                    let c = Vector::constant(
-                        item.data_type().unwrap_or(DataType::Int64),
-                        item,
-                        n,
-                    )?;
+                    let c = Vector::constant(item.data_type().unwrap_or(DataType::Int64), item, n)?;
                     bits.union_with(&compare_vectors(CmpOp::Eq, &v, &c, n)?);
                 }
                 let nulls = v.nulls().cloned();
@@ -512,8 +494,14 @@ fn compare_vectors(op: CmpOp, l: &Vector, r: &Vector, n: usize) -> Result<Bitmap
             // Same-dictionary fast path: compare codes (dictionaries are
             // sorted, so code order == string order).
             if let (
-                StrVector::Dict { codes: ca, dict: da },
-                StrVector::Dict { codes: cb, dict: db },
+                StrVector::Dict {
+                    codes: ca,
+                    dict: da,
+                },
+                StrVector::Dict {
+                    codes: cb,
+                    dict: db,
+                },
             ) = (a, b)
             {
                 if std::sync::Arc::ptr_eq(da, db) {
@@ -565,8 +553,10 @@ fn eval_arith_scalar(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
     // Float if either side is float; else integer (wrapping is an error).
     if matches!(l, Value::Float64(_)) || matches!(r, Value::Float64(_)) {
         let (a, b) = (
-            l.as_f64().ok_or_else(|| Error::Type(format!("non-numeric {l:?}")))?,
-            r.as_f64().ok_or_else(|| Error::Type(format!("non-numeric {r:?}")))?,
+            l.as_f64()
+                .ok_or_else(|| Error::Type(format!("non-numeric {l:?}")))?,
+            r.as_f64()
+                .ok_or_else(|| Error::Type(format!("non-numeric {r:?}")))?,
         );
         Ok(Value::Float64(match op {
             ArithOp::Add => a + b,
@@ -581,8 +571,10 @@ fn eval_arith_scalar(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
         }))
     } else {
         let (a, b) = (
-            l.as_i64().ok_or_else(|| Error::Type(format!("non-numeric {l:?}")))?,
-            r.as_i64().ok_or_else(|| Error::Type(format!("non-numeric {r:?}")))?,
+            l.as_i64()
+                .ok_or_else(|| Error::Type(format!("non-numeric {l:?}")))?,
+            r.as_i64()
+                .ok_or_else(|| Error::Type(format!("non-numeric {r:?}")))?,
         );
         let out = match op {
             ArithOp::Add => a.checked_add(b),
@@ -645,9 +637,7 @@ fn eval_arith_vector(op: ArithOp, l: &Vector, r: &Vector) -> Result<Vector> {
                 Ok(match v {
                     Vector::F64 { values, .. } => values.clone(),
                     Vector::I64 { values, .. } => values.iter().map(|&x| x as f64).collect(),
-                    Vector::Str { .. } => {
-                        return Err(Error::Type("arithmetic on strings".into()))
-                    }
+                    Vector::Str { .. } => return Err(Error::Type("arithmetic on strings".into())),
                 })
             };
             let a = to_f64(l)?;
@@ -748,11 +738,7 @@ mod tests {
     #[test]
     fn arithmetic_vectorized() {
         let b = batch();
-        let e = Expr::arith(
-            ArithOp::Mul,
-            Expr::col(0),
-            Expr::lit(10i64),
-        );
+        let e = Expr::arith(ArithOp::Mul, Expr::col(0), Expr::lit(10i64));
         let v = e.eval(&b).unwrap();
         assert_eq!(v.i64_at(1), 20);
         assert!(v.is_null(2), "null propagates");
@@ -780,10 +766,7 @@ mod tests {
     #[test]
     fn infer_types() {
         let inputs = [DataType::Int64, DataType::Utf8, DataType::Float64];
-        assert_eq!(
-            Expr::col(2).infer_type(&inputs).unwrap(),
-            DataType::Float64
-        );
+        assert_eq!(Expr::col(2).infer_type(&inputs).unwrap(), DataType::Float64);
         assert_eq!(
             Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::lit(1i64))
                 .infer_type(&inputs)

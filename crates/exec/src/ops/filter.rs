@@ -40,8 +40,8 @@ impl BatchOperator for FilterOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::scan::BatchSource;
     use crate::ops::collect_rows;
+    use crate::ops::scan::BatchSource;
     use cstore_common::{Row, Value};
     use cstore_storage::pred::CmpOp;
 

@@ -8,9 +8,9 @@ use cstore_common::{DataType, Error, FxHashMap, Result, Row, Value};
 
 use crate::batch::Batch;
 use crate::expr::Expr;
-use crate::vector::Vector;
 use crate::ops::{BatchOperator, BoxedBatchOp};
 use crate::runtime::ExecContext;
+use crate::vector::Vector;
 
 /// Aggregate functions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,9 +81,18 @@ impl AggExpr {
 enum AggState {
     Count(i64),
     Distinct(cstore_common::FxHashSet<Value>),
-    SumI64 { sum: i64, seen: bool },
-    SumF64 { sum: f64, seen: bool },
-    MinMax { best: Option<Value>, want_max: bool },
+    SumI64 {
+        sum: i64,
+        seen: bool,
+    },
+    SumF64 {
+        sum: f64,
+        seen: bool,
+    },
+    MinMax {
+        best: Option<Value>,
+        want_max: bool,
+    },
     Avg {
         sum: f64,
         count: i64,
@@ -99,9 +108,15 @@ impl AggState {
             AggFunc::CountDistinct => AggState::Distinct(Default::default()),
             AggFunc::Sum => {
                 if arg_ty == DataType::Float64 {
-                    AggState::SumF64 { sum: 0.0, seen: false }
+                    AggState::SumF64 {
+                        sum: 0.0,
+                        seen: false,
+                    }
                 } else {
-                    AggState::SumI64 { sum: 0, seen: false }
+                    AggState::SumI64 {
+                        sum: 0,
+                        seen: false,
+                    }
                 }
             }
             AggFunc::Min => AggState::MinMax {
@@ -182,9 +197,9 @@ impl AggState {
                 if let Some(v) = v.filter(|v| !v.is_null()) {
                     let x = match v {
                         Value::Decimal(m) => *m as f64,
-                        _ => v.as_f64().ok_or_else(|| {
-                            Error::Type(format!("AVG over non-numeric {v:?}"))
-                        })?,
+                        _ => v
+                            .as_f64()
+                            .ok_or_else(|| Error::Type(format!("AVG over non-numeric {v:?}")))?,
                     };
                     *sum += x;
                     *count += 1;
@@ -301,7 +316,11 @@ impl AggState {
                 }
             }
             AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
-            AggState::Avg { sum, count, divisor } => {
+            AggState::Avg {
+                sum,
+                count,
+                divisor,
+            } => {
                 if count == 0 {
                     Value::Null
                 } else {
@@ -323,9 +342,7 @@ fn keys_equal(stored: &[Value], key_vecs: &[Vector], i: usize) -> bool {
         match (v, s) {
             (_, Value::Null) => false,
             (Vector::I64 { values, .. }, _) => s.as_i64() == Some(values[i]),
-            (Vector::F64 { values, .. }, Value::Float64(f)) => {
-                values[i].total_cmp(f).is_eq()
-            }
+            (Vector::F64 { values, .. }, Value::Float64(f)) => values[i].total_cmp(f).is_eq(),
             (Vector::Str { strings, .. }, Value::Str(sv)) => {
                 let row_str = strings.get(i);
                 std::sync::Arc::ptr_eq(row_str, sv) || row_str.as_ref() == sv.as_ref()
@@ -408,7 +425,10 @@ impl HashAggOp {
     }
 
     fn execute(&mut self) -> Result<Vec<Batch>> {
-        let mut input = self.input.take().expect("executed once");
+        let mut input = self
+            .input
+            .take()
+            .ok_or_else(|| Error::Execution("aggregate executed twice".into()))?;
         let key_types: Vec<DataType> = self.output_types[..self.group_by.len()].to_vec();
         // Single integer-backed group key: hash on raw i64 (no Value, no
         // per-row key allocation). NULL keys get their own group.
@@ -451,7 +471,11 @@ impl HashAggOp {
                 .collect::<Result<Vec<_>>>()?;
             if fast_key {
                 let key_vec = &key_vecs[0];
-                let Vector::I64 { values: keys, nulls } = key_vec else {
+                let Vector::I64 {
+                    values: keys,
+                    nulls,
+                } = key_vec
+                else {
                     return Err(Error::Type("integer group key expected".into()));
                 };
                 #[allow(clippy::needless_range_loop)]
@@ -482,12 +506,7 @@ impl HashAggOp {
                 }
             } else if self.group_by.is_empty() {
                 for i in 0..n {
-                    Self::update_states(
-                        &mut group_states[0],
-                        &arg_vecs,
-                        &self.agg_arg_types,
-                        i,
-                    )?;
+                    Self::update_states(&mut group_states[0], &arg_vecs, &self.agg_arg_types, i)?;
                 }
             } else {
                 hashes.clear();
@@ -519,12 +538,7 @@ impl HashAggOp {
                             g as usize
                         }
                     };
-                    Self::update_states(
-                        &mut group_states[gi],
-                        &arg_vecs,
-                        &self.agg_arg_types,
-                        i,
-                    )?;
+                    Self::update_states(&mut group_states[gi], &arg_vecs, &self.agg_arg_types, i)?;
                 }
             }
         }
@@ -575,7 +589,7 @@ impl BatchOperator for HashAggOp {
             let batches = self.execute()?;
             self.result = Some(batches.into_iter());
         }
-        Ok(self.result.as_mut().unwrap().next())
+        Ok(self.result.as_mut().and_then(Iterator::next))
     }
 }
 
@@ -623,9 +637,7 @@ mod tests {
         let a = rows.iter().find(|r| r.get(0) == &Value::str("a")).unwrap();
         assert_eq!(a.get(1), &Value::Int64(10));
         assert_eq!(a.get(2), &Value::Int64(8));
-        let sum_a: i64 = (0..30)
-            .filter(|i| i % 3 == 0 && i % 5 != 0)
-            .sum();
+        let sum_a: i64 = (0..30).filter(|i| i % 3 == 0 && i % 5 != 0).sum();
         assert_eq!(a.get(3), &Value::Int64(sum_a));
         assert_eq!(a.get(4), &Value::Int64(3));
         assert_eq!(a.get(5), &Value::Int64(27));

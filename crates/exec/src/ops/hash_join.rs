@@ -25,7 +25,6 @@ use crate::runtime::ExecContext;
 use crate::spill::{SpillFile, SpillReader};
 use crate::vector::{hash_values, Vector};
 
-
 /// Join variants supported in batch mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum JoinType {
@@ -83,11 +82,9 @@ impl BuildCol {
             DataType::Utf8 => {
                 // Dictionary-encode once; output gathers 4-byte codes and
                 // downstream group-bys hash per distinct code.
-                let dict = std::sync::Arc::new(
-                    cstore_storage::encode::Dictionary::build_str(
-                        rows.iter().filter_map(|r| r.get(col).as_str()),
-                    ),
-                );
+                let dict = std::sync::Arc::new(cstore_storage::encode::Dictionary::build_str(
+                    rows.iter().filter_map(|r| r.get(col).as_str()),
+                ));
                 let mut codes = Vec::with_capacity(n);
                 for (i, r) in rows.iter().enumerate() {
                     match r.get(col) {
@@ -453,7 +450,10 @@ impl BatchHashJoin {
     // ------------------------------------------------------------- build
 
     fn start(&mut self) -> Result<()> {
-        let mut build_input = self.build_input.take().expect("start called once");
+        let mut build_input = self
+            .build_input
+            .take()
+            .ok_or_else(|| Error::Execution("join build side consumed twice".into()))?;
         let mut rows: Vec<Row> = Vec::new();
         let mut bytes = 0usize;
         let mut overflow = false;
@@ -471,7 +471,11 @@ impl BatchHashJoin {
             let build = BuildTable::build(rows, &self.build_keys, &self.build_types)?;
             // Publish the bitmap filter before the probe side is polled.
             if let Some(slot) = &self.filter_slot {
-                let filter = build.filter_keys().and_then(|keys| BitmapFilter::build(&keys));
+                let filter = build
+                    .filter_keys()
+                    .and_then(|keys| BitmapFilter::build(&keys));
+                // lint: allow(discard) — set fails only when a filter was
+                // already published; the first value wins
                 let _ = slot.set(filter);
             }
             self.state = JoinState::InMemory {
@@ -485,6 +489,8 @@ impl BatchHashJoin {
         // No bitmap filter in the spill case (the build key set is not in
         // memory); publish None so the scan proceeds unfiltered.
         if let Some(slot) = &self.filter_slot {
+            // lint: allow(discard) — set fails only when a filter was
+            // already published; the first value wins
             let _ = slot.set(None);
         }
         let mut build_files: Vec<SpillFile> = (0..SPILL_PARTITIONS)
@@ -505,7 +511,10 @@ impl BatchHashJoin {
         let mut probe_files: Vec<SpillFile> = (0..SPILL_PARTITIONS)
             .map(|_| SpillFile::create(&self.ctx.spill_dir))
             .collect::<Result<_>>()?;
-        let mut probe_input = self.probe_input.take().expect("probe not yet consumed");
+        let mut probe_input = self
+            .probe_input
+            .take()
+            .ok_or_else(|| Error::Execution("join probe side consumed twice".into()))?;
         while let Some(batch) = probe_input.next()? {
             for row in batch.to_rows() {
                 probe_files[part_of(&row, &self.probe_keys)].write_row(&row)?;
@@ -529,7 +538,6 @@ impl BatchHashJoin {
         };
         Ok(())
     }
-
 }
 
 impl BatchOperator for BatchHashJoin {
@@ -543,7 +551,11 @@ impl BatchOperator for BatchHashJoin {
         }
         loop {
             match &mut self.state {
-                JoinState::NotStarted => unreachable!(),
+                JoinState::NotStarted => {
+                    return Err(Error::Execution(
+                        "join state machine: still NotStarted after start()".into(),
+                    ))
+                }
                 JoinState::Done => return Ok(None),
                 JoinState::InMemory {
                     build,
@@ -551,7 +563,11 @@ impl BatchOperator for BatchHashJoin {
                     unmatched_cursor,
                 } => {
                     if !*probe_done {
-                        match self.probe_input.as_mut().expect("probe alive").next()? {
+                        let probe = self
+                            .probe_input
+                            .as_mut()
+                            .ok_or_else(|| Error::Execution("join probe side missing".into()))?;
+                        match probe.next()? {
                             Some(batch) => {
                                 let dense = batch.compact();
                                 let m =
@@ -628,7 +644,9 @@ impl BatchOperator for BatchHashJoin {
                             }
                         }
                     }
-                    let part = current.as_mut().expect("just installed");
+                    let Some(part) = current.as_mut() else {
+                        return Err(Error::Execution("spill partition cursor missing".into()));
+                    };
                     if !part.probe_done {
                         // Read a batch worth of probe rows from the file.
                         let mut rows = Vec::with_capacity(self.ctx.batch_size);
@@ -767,9 +785,7 @@ mod tests {
             .map(|i| Row::new(vec![Value::Int64(i), Value::str(format!("p{i}"))]))
             .collect();
         rows.push(Row::new(vec![Value::Null, Value::str("pnull")]));
-        Box::new(
-            BatchSource::from_rows(vec![DataType::Int64, DataType::Utf8], &rows, 3).unwrap(),
-        )
+        Box::new(BatchSource::from_rows(vec![DataType::Int64, DataType::Utf8], &rows, 3).unwrap())
     }
 
     fn build_side() -> BoxedBatchOp {
@@ -779,9 +795,7 @@ mod tests {
             .collect();
         rows.push(Row::new(vec![Value::Int64(5), Value::str("b5x")]));
         rows.push(Row::new(vec![Value::Null, Value::str("bnull")]));
-        Box::new(
-            BatchSource::from_rows(vec![DataType::Int64, DataType::Utf8], &rows, 4).unwrap(),
-        )
+        Box::new(BatchSource::from_rows(vec![DataType::Int64, DataType::Utf8], &rows, 4).unwrap())
     }
 
     fn join(join_type: JoinType, ctx: ExecContext) -> Vec<Row> {

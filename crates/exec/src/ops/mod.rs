@@ -11,9 +11,9 @@
 
 pub mod adapters;
 pub mod filter;
-pub mod parallel;
 pub mod hash_agg;
 pub mod hash_join;
+pub mod parallel;
 pub mod project;
 pub mod scan;
 pub mod sort;

@@ -7,10 +7,10 @@
 //! partition and streaming batches through a bounded channel. Output
 //! batch order is unspecified, as for any parallel scan.
 
-use crossbeam::channel::{bounded, Receiver};
 use cstore_common::{DataType, Error, Result};
 use cstore_delta::TableSnapshot;
 use cstore_storage::pred::ColumnPred;
+use std::sync::mpsc::{sync_channel, Receiver};
 
 use crate::batch::Batch;
 use crate::ops::scan::{ColumnStoreScan, FilterSlot};
@@ -73,7 +73,7 @@ impl ParallelScan {
 
     fn start(&mut self) {
         let scans = std::mem::take(&mut self.partitions);
-        let (tx, rx) = bounded::<Result<Batch>>(scans.len() * 4);
+        let (tx, rx) = sync_channel::<Result<Batch>>(scans.len() * 4);
         let workers = scans
             .into_iter()
             .map(|mut scan| {
@@ -87,6 +87,8 @@ impl ParallelScan {
                         }
                         Ok(None) => return,
                         Err(e) => {
+                            // lint: allow(discard) — the consumer hung up;
+                            // the error has nowhere left to go
                             let _ = tx.send(Err(e));
                             return;
                         }
@@ -107,7 +109,10 @@ impl BatchOperator for ParallelScan {
         if self.running.is_none() {
             self.start();
         }
-        let running = self.running.as_mut().expect("started");
+        let running = self
+            .running
+            .as_mut()
+            .ok_or_else(|| Error::Execution("parallel scan polled before start".into()))?;
         match running.rx.recv() {
             Ok(item) => item.map(Some),
             // All senders dropped: every worker finished.
@@ -129,6 +134,8 @@ impl Drop for ParallelScan {
         if let Some(running) = self.running.take() {
             drop(running.rx);
             for w in running.workers {
+                // lint: allow(discard) — best-effort join in Drop; a worker
+                // panic was already surfaced through the result channel
                 let _ = w.join();
             }
         }

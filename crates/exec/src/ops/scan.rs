@@ -18,7 +18,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use cstore_common::{Bitmap, DataType, Result, Row};
+use cstore_common::{Bitmap, DataType, Error, Result, Row};
 use cstore_delta::TableSnapshot;
 use cstore_storage::pred::ColumnPred;
 
@@ -88,6 +88,13 @@ impl ColumnStoreScan {
         self
     }
 
+    /// The lazily-installed scan state; `next` populates it on first poll.
+    fn state_mut(&mut self) -> Result<&mut ScanState> {
+        self.state
+            .as_mut()
+            .ok_or_else(|| Error::Execution("scan polled before initialization".into()))
+    }
+
     fn init(&mut self) -> Result<ScanState> {
         let total = self.snapshot.groups().len();
         let mut pending_groups = Vec::new();
@@ -138,12 +145,15 @@ impl ColumnStoreScan {
             };
             let fresh;
             let decoded: &Vector = match self.projection.iter().position(|c| c == col) {
-                Some(pos) => {
-                    if cache[pos].is_none() {
-                        cache[pos] = Some(Vector::from_segment(g.open_segment(*col)?.decode()));
+                Some(pos) => match &mut cache[pos] {
+                    Some(v) => v,
+                    slot @ None => {
+                        *slot = Some(Vector::from_segment(g.open_segment(*col)?.decode()));
+                        slot.as_ref().ok_or_else(|| {
+                            Error::Execution("projection cache slot vanished".into())
+                        })?
                     }
-                    cache[pos].as_ref().unwrap()
-                }
+                },
                 None => {
                     fresh = Vector::from_segment(g.open_segment(*col)?.decode());
                     &fresh
@@ -168,9 +178,10 @@ impl ColumnStoreScan {
             return Ok(None);
         }
         self.ctx.metrics.add(&self.ctx.metrics.groups_scanned, 1);
-        self.ctx
-            .metrics
-            .add(&self.ctx.metrics.rows_scanned, qualifying.count_ones() as u64);
+        self.ctx.metrics.add(
+            &self.ctx.metrics.rows_scanned,
+            qualifying.count_ones() as u64,
+        );
         // Decode the remaining projected columns only now.
         let vectors = cache
             .into_iter()
@@ -214,11 +225,7 @@ impl ColumnStoreScan {
                 let columns = cur.vectors.iter().map(|v| v.gather(&idx)).collect();
                 return Some(Batch::new(self.output_types.clone(), columns));
             }
-            let columns = cur
-                .vectors
-                .iter()
-                .map(|v| v.slice(offset, len))
-                .collect();
+            let columns = cur.vectors.iter().map(|v| v.slice(offset, len)).collect();
             return Some(Batch::with_qualifying(
                 self.output_types.clone(),
                 columns,
@@ -275,19 +282,19 @@ impl BatchOperator for ColumnStoreScan {
         }
         loop {
             // Take the cursor out so &self methods can run while we hold it.
-            if let Some(mut cursor) = self.state.as_mut().unwrap().current.take() {
+            if let Some(mut cursor) = self.state_mut()?.current.take() {
                 if let Some(batch) = self.next_from_cursor(&mut cursor) {
-                    self.state.as_mut().unwrap().current = Some(cursor);
+                    self.state_mut()?.current = Some(cursor);
                     return Ok(Some(batch));
                 }
                 // Cursor exhausted: fall through to the next group.
             }
-            let state = self.state.as_mut().unwrap();
-            if let Some(group_idx) = state.pending_groups.pop() {
+            if let Some(group_idx) = self.state_mut()?.pending_groups.pop() {
                 let cursor = self.open_group(group_idx)?;
-                self.state.as_mut().unwrap().current = cursor;
+                self.state_mut()?.current = cursor;
                 continue;
             }
+            let state = self.state_mut()?;
             if !state.delta_done {
                 state.delta_done = true;
                 let b = self.delta_batches()?;
@@ -381,12 +388,8 @@ mod tests {
         t.bulk_insert(&rows).unwrap();
         // A few trickle rows in the delta store.
         for i in 3000..3010 {
-            t.insert(Row::new(vec![
-                v(i),
-                Value::str("c0"),
-                Value::Float64(0.0),
-            ]))
-            .unwrap();
+            t.insert(Row::new(vec![v(i), Value::str("c0"), Value::Float64(0.0)]))
+                .unwrap();
         }
         t
     }
@@ -444,7 +447,11 @@ mod tests {
         assert_eq!(rows.len(), 510); // 500 compressed + 10 delta
         let m = ctx.metrics.snapshot();
         let get = |name: &str| m.iter().find(|(n, _)| *n == name).unwrap().1;
-        assert_eq!(get("groups_eliminated"), 2, "groups [0..1000) and [1000..2000) skipped");
+        assert_eq!(
+            get("groups_eliminated"),
+            2,
+            "groups [0..1000) and [1000..2000) skipped"
+        );
         assert_eq!(get("groups_scanned"), 1);
     }
 
@@ -481,9 +488,7 @@ mod tests {
     fn bitmap_filter_drops_rows() {
         let t = make_table();
         let slot: FilterSlot = Arc::new(OnceLock::new());
-        slot.set(BitmapFilter::build(&[5, 500, 2999]))
-            .ok()
-            .unwrap();
+        slot.set(BitmapFilter::build(&[5, 500, 2999])).ok().unwrap();
         let ctx = ExecContext::default();
         let scan = ColumnStoreScan::new(t.snapshot(), vec![0], vec![], ctx.clone())
             .with_bitmap_filter(0, slot);

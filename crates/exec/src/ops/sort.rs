@@ -1,6 +1,6 @@
 //! Batch-mode sort and Top-N.
 
-use cstore_common::{DataType, Result, Row};
+use cstore_common::{DataType, Error, Result, Row};
 
 use crate::batch::Batch;
 use crate::expr::Expr;
@@ -80,7 +80,10 @@ impl SortOp {
     }
 
     fn execute(&mut self) -> Result<Vec<Batch>> {
-        let mut input = self.input.take().expect("executed once");
+        let mut input = self
+            .input
+            .take()
+            .ok_or_else(|| Error::Execution("sort executed twice".into()))?;
         // Materialize (row, key-values) pairs.
         let mut items: Vec<(Row, Row)> = Vec::new();
         let retain = self.limit.map(|l| self.offset + l);
@@ -134,7 +137,7 @@ impl BatchOperator for SortOp {
             let batches = self.execute()?;
             self.result = Some(batches.into_iter());
         }
-        Ok(self.result.as_mut().unwrap().next())
+        Ok(self.result.as_mut().and_then(Iterator::next))
     }
 }
 

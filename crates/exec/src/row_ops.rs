@@ -247,7 +247,10 @@ impl RowHashJoin {
     }
 
     fn build_table(&mut self) -> Result<()> {
-        let mut build = self.build.take().expect("built once");
+        let mut build = self
+            .build
+            .take()
+            .ok_or_else(|| Error::Execution("join build side consumed twice".into()))?;
         while let Some(row) = build.next()? {
             if self.build_keys.iter().any(|&k| row.get(k).is_null()) {
                 continue;
@@ -323,6 +326,8 @@ impl RowOperator for RowHashJoin {
                         .collect();
                     self.pending = out.into_iter();
                 }
+                // lint: allow(panic) — the constructor rejects every other
+                // operator shape before execution starts
                 _ => unreachable!("rejected in constructor"),
             }
         }
@@ -376,7 +381,10 @@ impl RowHashAgg {
 
     fn execute(&mut self) -> Result<()> {
         use crate::ops::hash_agg::AggFunc;
-        let mut input = self.input.take().expect("executed once");
+        let mut input = self
+            .input
+            .take()
+            .ok_or_else(|| Error::Execution("aggregate executed twice".into()))?;
         let mut groups: FxHashMap<Vec<Value>, Vec<RowAggState>> = FxHashMap::default();
         if self.group_by.is_empty() {
             groups.insert(Vec::new(), self.fresh());
@@ -472,7 +480,7 @@ impl RowAggState {
                 if let Some(v) = v.filter(|v| !v.is_null()) {
                     self.distinct
                         .as_mut()
-                        .expect("distinct set present")
+                        .ok_or_else(|| Error::Execution("COUNT(DISTINCT) state missing".into()))?
                         .insert(v.clone(), ());
                 }
             }
@@ -525,9 +533,7 @@ impl RowAggState {
         use crate::ops::hash_agg::AggFunc::*;
         match self.func {
             CountStar | Count => Value::Int64(self.count),
-            CountDistinct => Value::Int64(
-                self.distinct.map(|d| d.len()).unwrap_or(0) as i64
-            ),
+            CountDistinct => Value::Int64(self.distinct.map(|d| d.len()).unwrap_or(0) as i64),
             Sum => {
                 if !self.seen {
                     Value::Null
@@ -644,12 +650,8 @@ mod tests {
                 ],
             )
         };
-        let mk_build = || {
-            RowSource::new(
-                vec![DataType::Int64],
-                vec![Row::new(vec![Value::Int64(1)])],
-            )
-        };
+        let mk_build =
+            || RowSource::new(vec![DataType::Int64], vec![Row::new(vec![Value::Int64(1)])]);
         let outer = RowHashJoin::new(
             Box::new(mk_probe()),
             Box::new(mk_build()),
@@ -689,7 +691,10 @@ mod tests {
         assert_eq!(rows.len(), 2);
         let x = rows.iter().find(|r| r.get(0) == &Value::str("x")).unwrap();
         assert_eq!(x.get(1), &Value::Int64(50));
-        assert_eq!(x.get(2), &Value::Int64((0..100).filter(|i| i % 2 == 0).sum::<i64>()));
+        assert_eq!(
+            x.get(2),
+            &Value::Int64((0..100).filter(|i| i % 2 == 0).sum::<i64>())
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl Metrics {
                 "groups_eliminated",
                 self.groups_eliminated.load(Ordering::Relaxed),
             ),
-            ("groups_scanned", self.groups_scanned.load(Ordering::Relaxed)),
+            (
+                "groups_scanned",
+                self.groups_scanned.load(Ordering::Relaxed),
+            ),
             (
                 "rows_dropped_by_bitmap",
                 self.rows_dropped_by_bitmap.load(Ordering::Relaxed),

@@ -27,10 +27,7 @@ impl SpillFile {
     /// Create a fresh spill file in `dir`.
     pub fn create(dir: &std::path::Path) -> Result<SpillFile> {
         let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
-        let path = dir.join(format!(
-            "cstore-spill-{}-{seq}.tmp",
-            std::process::id()
-        ));
+        let path = dir.join(format!("cstore-spill-{}-{seq}.tmp", std::process::id()));
         let file = File::create(&path)?;
         Ok(SpillFile {
             path,
@@ -57,7 +54,7 @@ impl SpillFile {
         let mut buf = Writer::new();
         buf.u16(row.len() as u16);
         for v in row.values() {
-            write_value(&mut buf, v);
+            write_value(&mut buf, v)?;
         }
         let bytes = buf.into_bytes();
         w.write_all(&(bytes.len() as u32).to_le_bytes())?;
@@ -86,6 +83,7 @@ impl SpillFile {
 impl Drop for SpillFile {
     fn drop(&mut self) {
         if !self.path.as_os_str().is_empty() {
+            // lint: allow(discard) — best-effort temp-file cleanup in Drop
             let _ = std::fs::remove_file(&self.path);
         }
     }
@@ -135,6 +133,7 @@ impl SpillReader {
 
 impl Drop for SpillReader {
     fn drop(&mut self) {
+        // lint: allow(discard) — best-effort temp-file cleanup in Drop
         let _ = std::fs::remove_file(&self.path);
     }
 }
@@ -148,7 +147,11 @@ mod tests {
         Row::new(vec![
             Value::Int64(i),
             Value::str(format!("spill-{i}")),
-            if i % 3 == 0 { Value::Null } else { Value::Float64(i as f64) },
+            if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Float64(i as f64)
+            },
         ])
     }
 

@@ -130,6 +130,8 @@ impl Vector {
     pub fn i64_at(&self, idx: usize) -> i64 {
         match self {
             Vector::I64 { values, .. } => values[idx],
+            // lint: allow(panic) — typed-accessor contract, same class as
+            // slice indexing
             _ => panic!("i64_at on non-integer vector"),
         }
     }
@@ -150,9 +152,10 @@ impl Vector {
                             mark_null(i, &mut nulls);
                             out.push(0.0);
                         }
-                        _ => out.push(v.as_f64().ok_or_else(|| {
-                            Error::Type(format!("expected FLOAT, got {v:?}"))
-                        })?),
+                        _ => out
+                            .push(v.as_f64().ok_or_else(|| {
+                                Error::Type(format!("expected FLOAT, got {v:?}"))
+                            })?),
                     }
                 }
                 Vector::F64 { values: out, nulls }
@@ -166,9 +169,7 @@ impl Vector {
                             out.push(Arc::from(""));
                         }
                         Value::Str(s) => out.push(s.clone()),
-                        _ => {
-                            return Err(Error::Type(format!("expected VARCHAR, got {v:?}")))
-                        }
+                        _ => return Err(Error::Type(format!("expected VARCHAR, got {v:?}"))),
                     }
                 }
                 Vector::Str {
@@ -184,9 +185,10 @@ impl Vector {
                             mark_null(i, &mut nulls);
                             out.push(0);
                         }
-                        _ => out.push(v.as_i64().ok_or_else(|| {
-                            Error::Type(format!("expected {ty}, got {v:?}"))
-                        })?),
+                        _ => out.push(
+                            v.as_i64()
+                                .ok_or_else(|| Error::Type(format!("expected {ty}, got {v:?}")))?,
+                        ),
                     }
                 }
                 Vector::I64 { values: out, nulls }
@@ -227,9 +229,12 @@ impl Vector {
         }
         Ok(match ty {
             DataType::Float64 => Vector::F64 {
-                values: vec![v.as_f64().ok_or_else(|| {
-                    Error::Type(format!("literal {v:?} is not a float"))
-                })?; n],
+                values: vec![
+                    v.as_f64().ok_or_else(|| {
+                        Error::Type(format!("literal {v:?} is not a float"))
+                    })?;
+                    n
+                ],
                 nulls: None,
             },
             DataType::Utf8 => match v {
@@ -240,9 +245,12 @@ impl Vector {
                 _ => return Err(Error::Type(format!("literal {v:?} is not a string"))),
             },
             _ => Vector::I64 {
-                values: vec![v.as_i64().ok_or_else(|| {
-                    Error::Type(format!("literal {v:?} is not integer-backed"))
-                })?; n],
+                values: vec![
+                    v.as_i64().ok_or_else(|| {
+                        Error::Type(format!("literal {v:?} is not integer-backed"))
+                    })?;
+                    n
+                ],
                 nulls: None,
             },
         })
@@ -276,9 +284,9 @@ impl Vector {
                         codes: indices.iter().map(|&i| codes[i as usize]).collect(),
                         dict: dict.clone(),
                     },
-                    StrVector::Owned(v) => StrVector::Owned(
-                        indices.iter().map(|&i| v[i as usize].clone()).collect(),
-                    ),
+                    StrVector::Owned(v) => {
+                        StrVector::Owned(indices.iter().map(|&i| v[i as usize].clone()).collect())
+                    }
                 };
                 Vector::Str {
                     strings,
@@ -456,11 +464,8 @@ mod tests {
 
     #[test]
     fn hash_consistent_across_str_representations() {
-        let owned = Vector::from_values(
-            DataType::Utf8,
-            &[Value::str("aa"), Value::str("bb")],
-        )
-        .unwrap();
+        let owned =
+            Vector::from_values(DataType::Utf8, &[Value::str("aa"), Value::str("bb")]).unwrap();
         let dict = Arc::new(Dictionary::build_str(["aa", "bb"].into_iter()));
         let coded = Vector::Str {
             strings: StrVector::Dict {

@@ -1,95 +1,162 @@
-//! Property test: the vectorized and row-at-a-time expression evaluators
-//! implement the same semantics for *arbitrary* expression trees —
-//! the invariant that lets one query plan run in either mode.
+//! Randomized equivalence test: the vectorized and row-at-a-time
+//! expression evaluators implement the same semantics for *arbitrary*
+//! expression trees — the invariant that lets one query plan run in
+//! either mode. A seeded `Rng` replaces proptest so the suite builds
+//! offline; each case runs many independent seeds.
 
+use cstore_common::testutil::Rng;
 use cstore_common::{DataType, Row, Value};
 use cstore_exec::expr::like_match;
 use cstore_exec::{ArithOp, Batch, Expr};
 use cstore_storage::pred::CmpOp;
-use proptest::prelude::*;
 
 const TYPES: [DataType; 3] = [DataType::Int64, DataType::Float64, DataType::Utf8];
 
-fn arb_row() -> impl Strategy<Value = Row> {
-    (
-        prop_oneof![4 => (-20i64..20).prop_map(Value::Int64), 1 => Just(Value::Null)],
-        prop_oneof![4 => (-40i32..40).prop_map(|x| Value::Float64(x as f64 / 4.0)), 1 => Just(Value::Null)],
-        prop_oneof![4 => "[ab]{0,3}".prop_map(Value::str), 1 => Just(Value::Null)],
-    )
-        .prop_map(|(a, b, c)| Row::new(vec![a, b, c]))
+/// A short string over {a, b}, possibly empty.
+fn ab_string(rng: &mut Rng, max_len: usize) -> String {
+    let len = rng.range_usize(0, max_len + 1);
+    (0..len)
+        .map(|_| if rng.gen_bool(0.5) { 'a' } else { 'b' })
+        .collect()
 }
 
-/// Random expression trees, kept type-sane by construction: numeric
-/// leaves feed arithmetic/comparisons; the string column only meets
-/// string comparisons and LIKE.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let num_leaf = prop_oneof![
-        Just(Expr::Col(0)),
-        Just(Expr::Col(1)),
-        (-25i64..25).prop_map(Expr::lit),
-        (-50i32..50).prop_map(|x| Expr::lit(x as f64 / 4.0)),
-    ];
-    let arith = (num_leaf.clone(), num_leaf.clone(), 0usize..3).prop_map(|(a, b, op)| {
+fn random_row(rng: &mut Rng) -> Row {
+    let a = if rng.gen_bool(0.2) {
+        Value::Null
+    } else {
+        Value::Int64(rng.range_i64(-20, 20))
+    };
+    let b = if rng.gen_bool(0.2) {
+        Value::Null
+    } else {
+        Value::Float64(rng.range_i64(-40, 40) as f64 / 4.0)
+    };
+    let c = if rng.gen_bool(0.2) {
+        Value::Null
+    } else {
+        Value::str(ab_string(rng, 3))
+    };
+    Row::new(vec![a, b, c])
+}
+
+fn random_num_leaf(rng: &mut Rng) -> Expr {
+    match rng.below(4) {
+        0 => Expr::Col(0),
+        1 => Expr::Col(1),
+        2 => Expr::lit(rng.range_i64(-25, 25)),
+        _ => Expr::lit(rng.range_i64(-50, 50) as f64 / 4.0),
+    }
+}
+
+fn random_num(rng: &mut Rng) -> Expr {
+    if rng.gen_bool(0.5) {
+        random_num_leaf(rng)
+    } else {
         // Div excluded: division-by-zero error behavior differs by lane
         // liveness and is tested separately.
         let ops = [ArithOp::Add, ArithOp::Sub, ArithOp::Mul];
-        Expr::arith(ops[op], a, b)
-    });
-    let num = prop_oneof![num_leaf, arith];
-    let cmp_op = (0usize..6).prop_map(|i| {
-        [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][i]
-    });
-    let num_cmp = (num.clone(), num, cmp_op).prop_map(|(a, b, op)| Expr::cmp(op, a, b));
-    let str_pred = prop_oneof![
-        "[ab%_]{0,4}".prop_map(|p| Expr::Like {
-            expr: Box::new(Expr::Col(2)),
-            pattern: p,
-        }),
-        "[ab]{0,3}".prop_map(|s| Expr::cmp(CmpOp::Eq, Expr::Col(2), Expr::lit(s.as_str()))),
-        Just(Expr::IsNull(Box::new(Expr::Col(2)))),
-        Just(Expr::IsNotNull(Box::new(Expr::Col(0)))),
-        proptest::collection::vec(-20i64..20, 0..4).prop_map(|vs| Expr::InList {
-            expr: Box::new(Expr::Col(0)),
-            list: vs.into_iter().map(Value::Int64).collect(),
-        }),
-    ];
-    let atom = prop_oneof![num_cmp, str_pred];
-    atom.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
-            inner.prop_map(|a| Expr::Not(Box::new(a))),
-        ]
-    })
+        let op = ops[rng.range_usize(0, ops.len())];
+        Expr::arith(op, random_num_leaf(rng), random_num_leaf(rng))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_cmp_op(rng: &mut Rng) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][rng.range_usize(0, 6)]
+}
 
-    #[test]
-    fn batch_and_row_evaluators_agree(
-        rows in proptest::collection::vec(arb_row(), 1..60),
-        expr in arb_expr(),
-    ) {
+/// Random boolean atom, kept type-sane by construction: numeric leaves
+/// feed arithmetic/comparisons; the string column only meets string
+/// comparisons and LIKE.
+fn random_atom(rng: &mut Rng) -> Expr {
+    match rng.below(6) {
+        0 | 1 => Expr::cmp(random_cmp_op(rng), random_num(rng), random_num(rng)),
+        2 => {
+            // LIKE pattern over {a, b, %, _}.
+            let len = rng.range_usize(0, 5);
+            let pattern: String = (0..len)
+                .map(|_| ['a', 'b', '%', '_'][rng.range_usize(0, 4)])
+                .collect();
+            Expr::Like {
+                expr: Box::new(Expr::Col(2)),
+                pattern,
+            }
+        }
+        3 => {
+            let s = ab_string(rng, 3);
+            Expr::cmp(CmpOp::Eq, Expr::Col(2), Expr::lit(s.as_str()))
+        }
+        4 => {
+            if rng.gen_bool(0.5) {
+                Expr::IsNull(Box::new(Expr::Col(2)))
+            } else {
+                Expr::IsNotNull(Box::new(Expr::Col(0)))
+            }
+        }
+        _ => {
+            let n = rng.range_usize(0, 4);
+            Expr::InList {
+                expr: Box::new(Expr::Col(0)),
+                list: (0..n)
+                    .map(|_| Value::Int64(rng.range_i64(-20, 20)))
+                    .collect(),
+            }
+        }
+    }
+}
+
+/// Random boolean expression tree with bounded depth.
+fn random_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return random_atom(rng);
+    }
+    match rng.below(3) {
+        0 => Expr::and(random_expr(rng, depth - 1), random_expr(rng, depth - 1)),
+        1 => Expr::or(random_expr(rng, depth - 1), random_expr(rng, depth - 1)),
+        _ => Expr::Not(Box::new(random_expr(rng, depth - 1))),
+    }
+}
+
+#[test]
+fn batch_and_row_evaluators_agree() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(seed);
+        let n_rows = rng.range_usize(1, 60);
+        let rows: Vec<Row> = (0..n_rows).map(|_| random_row(&mut rng)).collect();
+        let expr = random_expr(&mut rng, 3);
         let batch = Batch::from_rows(&TYPES, &rows).unwrap();
         let bits = expr.eval_pred(&batch).unwrap();
         for (i, row) in rows.iter().enumerate() {
             let want = matches!(expr.eval_row(row).unwrap(), Value::Bool(true));
-            prop_assert_eq!(
-                bits.get(i), want,
-                "row {} = {:?} disagrees for {:?}", i, row, expr
+            assert_eq!(
+                bits.get(i),
+                want,
+                "seed {seed} row {i} = {row:?} disagrees for {expr:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn like_is_reflexive_on_literal_patterns(s in "[a-c]{0,8}") {
-        // A string always matches itself and itself+% as a pattern when it
-        // contains no metacharacters.
-        prop_assert!(like_match(&s, &s));
+#[test]
+fn like_is_reflexive_on_literal_patterns() {
+    let mut rng = Rng::new(0x11CE);
+    for _ in 0..500 {
+        // Strings over {a, b, c} contain no metacharacters, so a string
+        // always matches itself, itself+% and %+itself as a pattern.
+        let len = rng.range_usize(0, 9);
+        let s: String = (0..len)
+            .map(|_| ['a', 'b', 'c'][rng.range_usize(0, 3)])
+            .collect();
+        assert!(like_match(&s, &s));
         let suffix = format!("{s}%");
-        prop_assert!(like_match(&s, &suffix));
+        assert!(like_match(&s, &suffix));
         let prefixed = format!("%{s}");
-        prop_assert!(like_match(&s, &prefixed));
+        assert!(like_match(&s, &prefixed));
     }
 }

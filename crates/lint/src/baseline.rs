@@ -1,0 +1,187 @@
+//! The ratchet: violation counts are compared against the checked-in
+//! `lint-baseline.toml`. Counts may only go down — a count above its
+//! baseline fails the build; a count below it passes but prints a notice
+//! to re-run `update-baseline` so the improvement is locked in.
+//!
+//! The file is a deliberately tiny TOML subset (one `[counts]` table of
+//! `"rule.crate" = N` pairs) parsed by hand so the lint crate stays
+//! dependency-free.
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Baseline counts keyed by `"rule.crate"`, e.g. `"unwrap.storage"`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<String, u64>,
+}
+
+/// Outcome of comparing current counts against the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// `(key, baseline, current)` where current > baseline — failures.
+    pub regressions: Vec<(String, u64, u64)>,
+    /// `(key, baseline, current)` where current < baseline — ratchet
+    /// opportunities; the baseline should be re-generated.
+    pub improvements: Vec<(String, u64, u64)>,
+}
+
+impl Baseline {
+    /// Parse the `[counts]` table. Unknown sections are errors: the file
+    /// is machine-written, so anything unexpected means drift.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut baseline = Baseline::default();
+        let mut in_counts = false;
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let section = section.strip_suffix(']').unwrap_or(section).trim();
+                if section != "counts" {
+                    return Err(format!(
+                        "lint-baseline.toml line {}: unknown section [{}]",
+                        n + 1,
+                        section
+                    ));
+                }
+                in_counts = true;
+                continue;
+            }
+            if !in_counts {
+                return Err(format!(
+                    "lint-baseline.toml line {}: entry outside [counts]",
+                    n + 1
+                ));
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                format!(
+                    "lint-baseline.toml line {}: expected `\"rule.crate\" = N`",
+                    n + 1
+                )
+            })?;
+            let key = key.trim().trim_matches('"').to_owned();
+            let value: u64 = value.trim().parse().map_err(|_| {
+                format!(
+                    "lint-baseline.toml line {}: count {:?} is not a non-negative integer",
+                    n + 1,
+                    value.trim()
+                )
+            })?;
+            if baseline.counts.insert(key.clone(), value).is_some() {
+                return Err(format!(
+                    "lint-baseline.toml line {}: duplicate key {:?}",
+                    n + 1,
+                    key
+                ));
+            }
+        }
+        Ok(baseline)
+    }
+
+    /// Aggregate violations into per-`rule.crate` counts.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for v in violations {
+            *counts
+                .entry(format!("{}.{}", v.rule, v.crate_name))
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Render back to the canonical file format (sorted keys, so diffs
+    /// between regenerations stay minimal).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Violation ratchet for cstore-lint. Counts may only decrease.\n\
+             # Regenerate with: cargo run -p cstore-lint -- update-baseline\n\n[counts]\n",
+        );
+        for (key, count) in &self.counts {
+            // render() writes to a String; fmt::Write cannot fail here.
+            let _ = writeln!(out, "\"{key}\" = {count}");
+        }
+        out
+    }
+
+    /// Ratchet comparison: every key present in either side is checked.
+    /// A key absent from the baseline counts as baseline 0 (new rule/crate
+    /// combinations start clean); a key absent from `current` counts as 0
+    /// (fully burned down).
+    pub fn compare(&self, current: &Baseline) -> Comparison {
+        let mut cmp = Comparison::default();
+        let keys: std::collections::BTreeSet<&String> =
+            self.counts.keys().chain(current.counts.keys()).collect();
+        for key in keys {
+            let base = self.counts.get(key).copied().unwrap_or(0);
+            let cur = current.counts.get(key).copied().unwrap_or(0);
+            if cur > base {
+                cmp.regressions.push((key.clone(), base, cur));
+            } else if cur < base {
+                cmp.improvements.push((key.clone(), base, cur));
+            }
+        }
+        cmp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn violation(rule: Rule, crate_name: &str) -> Violation {
+        Violation {
+            rule,
+            crate_name: crate_name.into(),
+            path: "x.rs".into(),
+            line: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let v = vec![
+            violation(Rule::Unwrap, "storage"),
+            violation(Rule::Unwrap, "storage"),
+            violation(Rule::Panic, "exec"),
+        ];
+        let b = Baseline::from_violations(&v);
+        let rendered = b.render();
+        let parsed = Baseline::parse(&rendered).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.counts["unwrap.storage"], 2);
+        assert_eq!(parsed.counts["panic.exec"], 1);
+    }
+
+    #[test]
+    fn increase_is_a_regression_decrease_is_an_improvement() {
+        let base =
+            Baseline::parse("[counts]\n\"unwrap.storage\" = 5\n\"panic.exec\" = 2\n").unwrap();
+        let current =
+            Baseline::parse("[counts]\n\"unwrap.storage\" = 6\n\"panic.exec\" = 1\n").unwrap();
+        let cmp = base.compare(&current);
+        assert_eq!(cmp.regressions, vec![("unwrap.storage".to_owned(), 5, 6)]);
+        assert_eq!(cmp.improvements, vec![("panic.exec".to_owned(), 2, 1)]);
+    }
+
+    #[test]
+    fn new_key_regresses_from_zero_and_absent_key_improves_to_zero() {
+        let base = Baseline::parse("[counts]\n\"unwrap.storage\" = 3\n").unwrap();
+        let current = Baseline::parse("[counts]\n\"cast.storage\" = 1\n").unwrap();
+        let cmp = base.compare(&current);
+        assert_eq!(cmp.regressions, vec![("cast.storage".to_owned(), 0, 1)]);
+        assert_eq!(cmp.improvements, vec![("unwrap.storage".to_owned(), 3, 0)]);
+    }
+
+    #[test]
+    fn malformed_files_are_rejected() {
+        assert!(Baseline::parse("[other]\n\"x\" = 1\n").is_err());
+        assert!(Baseline::parse("\"x\" = 1\n").is_err());
+        assert!(Baseline::parse("[counts]\n\"x\" = -1\n").is_err());
+        assert!(Baseline::parse("[counts]\n\"x\" = 1\n\"x\" = 2\n").is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! `cstore-lint` — a dependency-free static-analysis and ratchet layer
+//! for the cstore workspace.
+//!
+//! The binary (`cargo run -p cstore-lint -- check`) walks every
+//! `crates/*/src` tree plus the root `src/`, scans each Rust file with a
+//! lightweight comment/string-aware tokenizer ([`source`]), and enforces
+//! six rules:
+//!
+//! | rule        | meaning                                                        |
+//! |-------------|----------------------------------------------------------------|
+//! | `unwrap`    | L1 — no `.unwrap()`/`.expect(` in lib code of storage/exec/delta/core |
+//! | `panic`     | L2 — no `panic!`/`unreachable!`/`todo!`/`unimplemented!` in lib code without a waiver |
+//! | `cast`      | L3 — no lossy `as` numeric casts in storage format/encode files |
+//! | `unsafe`    | L4 — every `unsafe` needs a `// SAFETY:` comment                |
+//! | `lock-order`| L5 — guard acquisitions must follow LOCK_ORDER.md               |
+//! | `discard`   | L6 — no silent Result discards (`.ok();`, `let _ =`)            |
+//!
+//! Findings are compared against the checked-in `lint-baseline.toml`
+//! ratchet ([`baseline`]): counts may only decrease.
+
+pub mod baseline;
+pub mod lockorder;
+pub mod rules;
+pub mod source;
+
+use baseline::Baseline;
+use lockorder::LockOrder;
+use rules::Violation;
+use source::SourceFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories under `crates/` that are skipped entirely. `bench` is
+/// excluded from the workspace (it needs registry access) and `lint` is
+/// this tool — it may talk about unwrap/panic in strings and tests.
+const SKIPPED_CRATES: [&str; 2] = ["bench", "lint"];
+
+/// Walk the repository at `root` and scan every in-scope Rust source
+/// file. Returns the parsed files, sorted by path for deterministic
+/// output.
+pub fn scan_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut files: Vec<SourceFile> = Vec::new();
+
+    // crates/*/src
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        if SKIPPED_CRATES.contains(&name.as_str()) {
+            continue;
+        }
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &name, root, &mut files)?;
+        }
+    }
+
+    // Root package src/ (crate name "cstore").
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, "cstore", root, &mut files)?;
+    }
+
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+/// Recursively collect and parse `.rs` files under `dir`.
+fn collect_rs(
+    dir: &Path,
+    crate_name: &str,
+    root: &Path,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry
+            .map_err(|e| format!("cannot read entry in {}: {e}", dir.display()))?
+            .path();
+        if path.is_dir() {
+            collect_rs(&path, crate_name, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            let rel_str = rel.to_string_lossy();
+            let is_bin = rel_str.ends_with("src/main.rs") || rel_str.contains("src/bin/");
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            out.push(SourceFile::parse(rel, crate_name, is_bin, text.as_str()));
+        }
+    }
+    Ok(())
+}
+
+/// Run every rule over the scanned files. `lock_order` comes from
+/// LOCK_ORDER.md; pass `None` to skip L5 (used by some fixtures).
+pub fn check_files(files: &[SourceFile], lock_order: Option<&LockOrder>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        rules::check_file(file, &mut out);
+        if let Some(order) = lock_order {
+            lockorder::check_file(order, file, &mut out);
+        }
+    }
+    out.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    out
+}
+
+/// Full check of the repo at `root` against the baseline at
+/// `baseline_path`. Returns `(violations, comparison)` on success.
+pub fn run_check(
+    root: &Path,
+    baseline_path: &Path,
+) -> Result<(Vec<Violation>, baseline::Comparison), String> {
+    let violations = collect_violations(root)?;
+    let baseline_text = fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+    let base = Baseline::parse(&baseline_text)?;
+    let current = Baseline::from_violations(&violations);
+    let cmp = base.compare(&current);
+    Ok((violations, cmp))
+}
+
+/// Scan + all rules, without the baseline step.
+pub fn collect_violations(root: &Path) -> Result<Vec<Violation>, String> {
+    let files = scan_workspace(root)?;
+    let lock_doc_path = root.join("LOCK_ORDER.md");
+    let lock_order = if lock_doc_path.is_file() {
+        let doc = fs::read_to_string(&lock_doc_path)
+            .map_err(|e| format!("cannot read {}: {e}", lock_doc_path.display()))?;
+        Some(LockOrder::parse(&doc)?)
+    } else {
+        None
+    };
+    Ok(check_files(&files, lock_order.as_ref()))
+}

@@ -1,0 +1,334 @@
+//! L5 — static lock-order checking against the hierarchy declared in
+//! `LOCK_ORDER.md`.
+//!
+//! The check is deliberately conservative and syntactic: it tracks guard
+//! bindings (`let g = self.inner.write();`) per function, scoped by brace
+//! depth and released early by `drop(g)`, and flags any acquisition whose
+//! declared level is less than or equal to a level already held. Receivers
+//! are matched by the final field segment before the guard call
+//! (`...stats.write()` → field `stats`), which is why `LOCK_ORDER.md`
+//! requires lock field names to be unique within the checked crates.
+
+use crate::rules::{Rule, Violation};
+use crate::source::SourceFile;
+use std::collections::HashMap;
+
+/// One declared lock from the `lock-order` table.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    pub level: u32,
+    pub name: String,
+    pub file: String,
+    pub field: String,
+}
+
+/// The parsed hierarchy: field name → declaration.
+#[derive(Debug, Clone, Default)]
+pub struct LockOrder {
+    pub by_field: HashMap<String, LockDecl>,
+}
+
+impl LockOrder {
+    /// Parse the fenced ```lock-order block out of LOCK_ORDER.md text.
+    /// Returns an error string when the document or a row is malformed.
+    pub fn parse(doc: &str) -> Result<LockOrder, String> {
+        let mut order = LockOrder::default();
+        let mut in_block = false;
+        for (n, raw) in doc.lines().enumerate() {
+            let line = raw.trim();
+            if line.starts_with("```") {
+                if line == "```lock-order" {
+                    in_block = true;
+                } else if in_block {
+                    break; // closing fence of the table
+                }
+                continue;
+            }
+            if !in_block || line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 {
+                return Err(format!(
+                    "LOCK_ORDER.md line {}: expected `<level> <name> <file> <field>`, got {:?}",
+                    n + 1,
+                    line
+                ));
+            }
+            let level: u32 = parts[0]
+                .parse()
+                .map_err(|_| format!("LOCK_ORDER.md line {}: bad level {:?}", n + 1, parts[0]))?;
+            let decl = LockDecl {
+                level,
+                name: parts[1].to_owned(),
+                file: parts[2].to_owned(),
+                field: parts[3].to_owned(),
+            };
+            if let Some(prev) = order.by_field.insert(decl.field.clone(), decl) {
+                return Err(format!(
+                    "LOCK_ORDER.md: duplicate lock field {:?} (levels must be keyed by unique field names)",
+                    prev.field
+                ));
+            }
+        }
+        if order.by_field.is_empty() {
+            return Err("LOCK_ORDER.md: no ```lock-order table found".into());
+        }
+        Ok(order)
+    }
+}
+
+/// Crates whose lock usage is checked.
+const CHECKED_CRATES: [&str; 3] = ["core", "delta", "exec"];
+
+/// Guard-returning calls we recognise as acquisitions.
+const ACQUIRE_CALLS: [&str; 6] = [
+    ".lock()",
+    ".read()",
+    ".write()",
+    ".try_lock()",
+    ".try_read()",
+    ".try_write()",
+];
+
+/// A currently-held guard inside a function body.
+#[derive(Debug, Clone)]
+struct Held {
+    field: String,
+    level: u32,
+    /// Brace depth at which the binding was made; popped when the scope
+    /// containing it closes.
+    depth: i64,
+    /// Binding name (for `drop(name)` release), or None for a temporary
+    /// that only lives for its statement.
+    binding: Option<String>,
+}
+
+/// Extract the receiver field of an acquisition ending at byte `pos` in
+/// `code` (the index where the matched `.read()` etc. begins): the last
+/// identifier segment before the call.
+fn receiver_field(code: &str, pos: usize) -> Option<String> {
+    let head = &code[..pos];
+    let field: String = head
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if field.is_empty() || field.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(field)
+    }
+}
+
+/// Extract the `let` binding name at the start of a (trimmed) statement,
+/// e.g. `let mut inner = ...` → `inner`.
+fn let_binding(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name == "_" {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Check one file against the hierarchy, appending L5 findings to `out`.
+pub fn check_file(order: &LockOrder, file: &SourceFile, out: &mut Vec<Violation>) {
+    if !CHECKED_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    let path = file.path.to_string_lossy().to_string();
+    let mut depth: i64 = 0;
+    let mut held: Vec<Held> = Vec::new();
+    // Function boundary approximation: when depth returns to the level
+    // where `fn` was declared, all guards are gone anyway because their
+    // scopes closed; `held` self-cleans via depth tracking.
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if code.trim().is_empty() {
+            depth += brace_delta(code);
+            continue;
+        }
+        let waived = line.comment.contains("lint: allow(lock-order)")
+            || idx
+                .checked_sub(1)
+                .is_some_and(|j| file.lines[j].comment.contains("lint: allow(lock-order)"));
+
+        // Releases via drop(name).
+        let mut from = 0;
+        while let Some(rel) = code[from..].find("drop(") {
+            let pos = from + rel;
+            if crate::rules::at_word_boundary(code, pos) {
+                let arg: String = code[pos + 5..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                held.retain(|h| h.binding.as_deref() != Some(arg.as_str()));
+            }
+            from = pos + 5;
+        }
+
+        // Acquisitions on this line.
+        for call in ACQUIRE_CALLS {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(call) {
+                let pos = from + rel;
+                from = pos + call.len();
+                let Some(field) = receiver_field(code, pos) else {
+                    continue;
+                };
+                let Some(decl) = order.by_field.get(&field) else {
+                    // An acquisition on an undeclared field: only flag it
+                    // when the receiver plausibly is one of ours — i.e. the
+                    // file declares a sync::Mutex/RwLock we don't know.
+                    // Matching every `.read()` in the codebase (io::Read
+                    // etc.) would drown the rule, so undeclared-lock
+                    // detection is done at the Cargo.toml/import level in
+                    // main.rs instead.
+                    continue;
+                };
+                if !waived {
+                    for h in &held {
+                        if decl.level <= h.level {
+                            out.push(Violation {
+                                rule: Rule::LockOrder,
+                                crate_name: file.crate_name.clone(),
+                                path: path.clone(),
+                                line: idx + 1,
+                                message: format!(
+                                    "acquires `{}` (level {}) while holding `{}` (level {}) — violates LOCK_ORDER.md",
+                                    decl.name,
+                                    decl.level,
+                                    lock_name(order, &h.field),
+                                    h.level,
+                                ),
+                            });
+                        }
+                    }
+                }
+                held.push(Held {
+                    field: field.clone(),
+                    level: decl.level,
+                    depth,
+                    binding: let_binding(code),
+                });
+            }
+        }
+
+        // Temporaries (no binding) die at end of statement — i.e. now,
+        // after the line's acquisitions were checked against each other.
+        held.retain(|h| h.binding.is_some());
+
+        // Scope tracking: a net close below a guard's binding depth frees it.
+        depth += brace_delta(code);
+        held.retain(|h| depth >= h.depth);
+    }
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0i64;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+fn lock_name<'a>(order: &'a LockOrder, field: &'a str) -> &'a str {
+    order.by_field.get(field).map_or(field, |d| d.name.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    const DOC: &str = "```lock-order\n1 a.first src/a.rs first\n2 b.second src/b.rs second\n```\n";
+
+    fn check(text: &str) -> Vec<Violation> {
+        let order = LockOrder::parse(DOC).unwrap();
+        let f = SourceFile::parse(PathBuf::from("crates/core/src/x.rs"), "core", false, text);
+        let mut out = Vec::new();
+        check_file(&order, &f, &mut out);
+        out
+    }
+
+    #[test]
+    fn parse_rejects_malformed_rows() {
+        assert!(LockOrder::parse("```lock-order\n1 only two\n```").is_err());
+        assert!(LockOrder::parse("no table at all").is_err());
+        let ok = LockOrder::parse(DOC).unwrap();
+        assert_eq!(ok.by_field.len(), 2);
+        assert_eq!(ok.by_field["second"].level, 2);
+    }
+
+    #[test]
+    fn increasing_order_is_clean() {
+        let v = check(
+            "fn f(&self) {\n let g1 = self.first.write();\n let g2 = self.second.write();\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn inverted_order_is_flagged() {
+        let v = check(
+            "fn f(&self) {\n let g2 = self.second.write();\n let g1 = self.first.read();\n}\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::LockOrder);
+        assert!(v[0].message.contains("level 1"));
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let v = check(
+            "fn f(&self) {\n let g2 = self.second.write();\n drop(g2);\n let g1 = self.first.read();\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn scope_exit_releases_the_guard() {
+        let v = check(
+            "fn f(&self) {\n {\n let g2 = self.second.write();\n }\n let g1 = self.first.read();\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn same_level_reacquisition_is_flagged() {
+        let v =
+            check("fn f(&self) {\n let g = self.first.write();\n let h = self.first.read();\n}\n");
+        assert_eq!(v.len(), 1, "self-deadlock on the same lock must be flagged");
+    }
+
+    #[test]
+    fn waiver_suppresses_the_finding() {
+        let v = check(
+            "fn f(&self) {\n let g2 = self.second.write();\n // lint: allow(lock-order) — tables then stats is the documented pair\n let g1 = self.first.read();\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let v = check(
+            "fn f(&self) {\n self.second.write().push(1);\n let g1 = self.first.read();\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

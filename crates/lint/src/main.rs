@@ -1,0 +1,137 @@
+//! CLI for the cstore static-analysis layer.
+//!
+//! ```text
+//! cargo run -p cstore-lint -- check            # scan + ratchet, exit 1 on failure
+//! cargo run -p cstore-lint -- list             # print every finding (no ratchet)
+//! cargo run -p cstore-lint -- update-baseline  # rewrite lint-baseline.toml
+//! ```
+//!
+//! Options: `--root <DIR>` (default `.`), `--baseline <FILE>` (default
+//! `<root>/lint-baseline.toml`). Exit codes: 0 clean, 1 violations or
+//! ratchet regression, 2 internal/usage error.
+
+use cstore_lint::baseline::Baseline;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    root: PathBuf,
+    baseline: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut command = None;
+    let mut root = PathBuf::from(".");
+    let mut baseline = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root requires a directory")?);
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline requires a file path")?,
+                ));
+            }
+            "check" | "list" | "update-baseline" if command.is_none() => {
+                command = Some(arg);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let command = command
+        .ok_or("usage: cstore-lint <check|list|update-baseline> [--root DIR] [--baseline FILE]")?;
+    let baseline = baseline.unwrap_or_else(|| root.join("lint-baseline.toml"));
+    Ok(Options {
+        command,
+        root,
+        baseline,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cstore-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("cstore-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    match opts.command.as_str() {
+        "list" => {
+            let violations = cstore_lint::collect_violations(&opts.root)?;
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("{} finding(s)", violations.len());
+            Ok(violations.is_empty())
+        }
+        "update-baseline" => {
+            let violations = cstore_lint::collect_violations(&opts.root)?;
+            let baseline = Baseline::from_violations(&violations);
+            std::fs::write(&opts.baseline, baseline.render())
+                .map_err(|e| format!("cannot write {}: {e}", opts.baseline.display()))?;
+            println!(
+                "wrote {} ({} finding(s) across {} rule/crate key(s))",
+                opts.baseline.display(),
+                violations.len(),
+                baseline.counts.len()
+            );
+            Ok(true)
+        }
+        "check" => {
+            let (violations, cmp) = cstore_lint::run_check(&opts.root, &opts.baseline)?;
+            if !cmp.regressions.is_empty() {
+                eprintln!("ratchet REGRESSION — new violations over the baseline:");
+                for (key, base, cur) in &cmp.regressions {
+                    eprintln!("  {key}: baseline {base}, now {cur}");
+                }
+                // Print the offending findings for the regressed keys so
+                // the developer can find them without re-running `list`.
+                eprintln!();
+                for v in &violations {
+                    let key = format!("{}.{}", v.rule, v.crate_name);
+                    if cmp.regressions.iter().any(|(k, _, _)| *k == key) {
+                        eprintln!("  {v}");
+                    }
+                }
+                eprintln!(
+                    "\nfix the new findings, add a `// lint: allow(<rule>) — <reason>` waiver,\n\
+                     or (for deliberate scope growth) run `cargo run -p cstore-lint -- update-baseline`."
+                );
+                return Ok(false);
+            }
+            if !cmp.improvements.is_empty() {
+                println!("ratchet improvement — counts dropped below the baseline:");
+                for (key, base, cur) in &cmp.improvements {
+                    println!("  {key}: baseline {base}, now {cur}");
+                }
+                println!("run `cargo run -p cstore-lint -- update-baseline` to lock this in.");
+            }
+            println!(
+                "cstore-lint: OK ({} finding(s), all within baseline)",
+                violations.len()
+            );
+            Ok(true)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}

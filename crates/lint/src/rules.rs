@@ -1,0 +1,405 @@
+//! The line-oriented rules (L1–L4, L6). The lock-order rule (L5) needs
+//! cross-line scope tracking and lives in [`crate::lockorder`].
+//!
+//! Every rule supports an inline waiver:
+//!
+//! ```text
+//! // lint: allow(<rule>) — <reason>
+//! ```
+//!
+//! placed on the offending line or on the line directly above it. The
+//! reason is mandatory; a waiver without one is itself a violation
+//! (`waiver` rule) so suppressions stay auditable.
+
+use crate::source::SourceFile;
+use std::fmt;
+
+/// Rule identifiers, matching the `allow(<name>)` waiver vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// L1 — `.unwrap()` / `.expect(` in library code of the core crates.
+    Unwrap,
+    /// L2 — `panic!` / `unreachable!` / `todo!` / `unimplemented!` in
+    /// library code without a waiver.
+    Panic,
+    /// L3 — lossy `as` numeric cast in the storage format/encode files.
+    Cast,
+    /// L4 — `unsafe` without a preceding `// SAFETY:` comment.
+    Unsafe,
+    /// L5 — lock acquisition order contradicts LOCK_ORDER.md.
+    LockOrder,
+    /// L6 — silently discarded `Result` (`.ok();` or `let _ =`).
+    Discard,
+    /// A waiver comment missing its mandatory reason.
+    Waiver,
+}
+
+impl Rule {
+    /// The name used in waiver comments and baseline keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Unwrap => "unwrap",
+            Rule::Panic => "panic",
+            Rule::Cast => "cast",
+            Rule::Unsafe => "unsafe",
+            Rule::LockOrder => "lock-order",
+            Rule::Discard => "discard",
+            Rule::Waiver => "waiver",
+        }
+    }
+
+    pub const ALL: [Rule; 7] = [
+        Rule::Unwrap,
+        Rule::Panic,
+        Rule::Cast,
+        Rule::Unsafe,
+        Rule::LockOrder,
+        Rule::Discard,
+        Rule::Waiver,
+    ];
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, pointing at a source line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    pub crate_name: String,
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Crates whose library code must not unwrap/expect (L1).
+const L1_CRATES: [&str; 4] = ["storage", "exec", "delta", "core"];
+
+/// Files subject to the lossy-cast rule (L3).
+fn cast_rule_applies(path: &str) -> bool {
+    path.contains("crates/storage/src/encode/") || path.ends_with("crates/storage/src/format.rs")
+}
+
+/// Numeric types a lossy `as` cast can target.
+const NUMERIC_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize", "f32", "f64",
+];
+
+/// Check whether line `idx` (0-based) carries a waiver for `rule`: on the
+/// same line, or in the contiguous block of comment-only lines directly
+/// above it (so a waiver's reason may wrap). Returns `Some(has_reason)`
+/// when a waiver is present.
+fn waiver_for(file: &SourceFile, idx: usize, rule: Rule) -> Option<bool> {
+    let needle = format!("lint: allow({})", rule.name());
+    let check = |j: usize| -> Option<bool> {
+        let comment = &file.lines[j].comment;
+        let pos = comment.find(&needle)?;
+        let rest = &comment[pos + needle.len()..];
+        // The reason is whatever follows the closing paren once
+        // separators (dashes, colons, whitespace) are stripped.
+        let reason = rest
+            .trim_start_matches(|c: char| {
+                c.is_whitespace() || c == '—' || c == '-' || c == ':' || c == '–'
+            })
+            .trim();
+        Some(!reason.is_empty())
+    };
+    if let Some(found) = check(idx) {
+        return Some(found);
+    }
+    // Walk upward while lines are pure comments (blank code).
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let line = &file.lines[j];
+        if let Some(found) = check(j) {
+            return Some(found);
+        }
+        if !line.code.trim().is_empty() || line.comment.is_empty() {
+            break;
+        }
+    }
+    None
+}
+
+/// True when `code[pos..]` starts a word-boundary occurrence of `word`
+/// (previous char is not an identifier char).
+pub(crate) fn at_word_boundary(code: &str, pos: usize) -> bool {
+    pos == 0
+        || !code[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Find word-boundary occurrences of `pat` in `code`.
+fn find_word(code: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(pat) {
+        let pos = from + rel;
+        if at_word_boundary(code, pos) {
+            return true;
+        }
+        from = pos + pat.len();
+    }
+    false
+}
+
+/// Detect ` as <numeric-type>` casts on a code line. Returns the target
+/// type when found. `trivial_numeric_casts` is denied compiler-side, so
+/// anything the scanner finds here is potentially lossy.
+fn find_numeric_cast(code: &str) -> Option<&'static str> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(" as ") {
+        let pos = from + rel;
+        let after = &code[pos + 4..];
+        let tail = after.trim_start();
+        for ty in NUMERIC_TYPES {
+            if tail.starts_with(ty) {
+                // Must end at a word boundary (`as u64` not `as u64x`).
+                let nxt = tail[ty.len()..].chars().next();
+                if !nxt.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    return Some(ty);
+                }
+            }
+        }
+        from = pos + 4;
+    }
+    None
+}
+
+/// Run the line-oriented rules over one file, appending findings to `out`.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
+    let path = file.path.to_string_lossy().to_string();
+    let lib_rules_apply = !file.is_bin;
+    let l1_applies = lib_rules_apply && L1_CRATES.contains(&file.crate_name.as_str());
+    let l3_applies = cast_rule_applies(&path);
+
+    let record = |rule: Rule, idx: usize, message: String, out: &mut Vec<Violation>| {
+        match waiver_for(file, idx, rule) {
+            Some(true) => {} // waived with a reason
+            Some(false) => out.push(Violation {
+                rule: Rule::Waiver,
+                crate_name: file.crate_name.clone(),
+                path: path.clone(),
+                line: idx + 1,
+                message: format!(
+                    "waiver for `{}` is missing its reason — write `// lint: allow({}) — <why>`",
+                    rule, rule
+                ),
+            }),
+            None => out.push(Violation {
+                rule,
+                crate_name: file.crate_name.clone(),
+                path: path.clone(),
+                line: idx + 1,
+                message,
+            }),
+        }
+    };
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if code.trim().is_empty() {
+            continue;
+        }
+        let lib_line = !line.in_test;
+
+        // L1 — unwrap/expect in library code of the core crates.
+        if l1_applies && lib_line {
+            if code.contains(".unwrap()") {
+                record(
+                    Rule::Unwrap,
+                    idx,
+                    "`.unwrap()` in library code — return a Result or document why it cannot fail"
+                        .into(),
+                    out,
+                );
+            }
+            if code.contains(".expect(") {
+                record(
+                    Rule::Unwrap,
+                    idx,
+                    "`.expect(...)` in library code — return a Result or document why it cannot fail"
+                        .into(),
+                    out,
+                );
+            }
+        }
+
+        // L2 — panicking macros in any library crate.
+        if lib_rules_apply && lib_line {
+            for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+                if find_word(code, mac) && !code.contains("debug_assert") {
+                    record(
+                        Rule::Panic,
+                        idx,
+                        format!(
+                            "`{mac}` in library code — convert to an error or waive with a reason"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+
+        // L3 — lossy numeric `as` casts in format/encode files.
+        if l3_applies && lib_line {
+            if let Some(ty) = find_numeric_cast(code) {
+                record(
+                    Rule::Cast,
+                    idx,
+                    format!(
+                        "`as {ty}` cast in a storage-format file — use a checked conversion (try_into / u64_to_usize) or waive with a reason"
+                    ),
+                    out,
+                );
+            }
+        }
+
+        // L4 — `unsafe` needs a SAFETY comment nearby (applies everywhere,
+        // including tests: unsafety doesn't get safer under cfg(test)).
+        if find_word(code, "unsafe") {
+            let documented =
+                (idx.saturating_sub(3)..=idx).any(|j| file.lines[j].comment.contains("SAFETY:"));
+            if !documented {
+                record(
+                    Rule::Unsafe,
+                    idx,
+                    "`unsafe` without a `// SAFETY:` comment on or within 3 lines above".into(),
+                    out,
+                );
+            }
+        }
+
+        // L6 — silently discarded Results in library code.
+        if lib_rules_apply && lib_line {
+            if code.contains(".ok();") {
+                record(
+                    Rule::Discard,
+                    idx,
+                    "Result discarded via `.ok();` — handle the error or waive with a reason"
+                        .into(),
+                    out,
+                );
+            }
+            if code.trim_start().starts_with("let _ =") || code.contains(" let _ =") {
+                record(
+                    Rule::Discard,
+                    idx,
+                    "`let _ =` discards a value — handle the error or waive with a reason".into(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(path: &str, crate_name: &str, text: &str) -> Vec<Violation> {
+        let f = SourceFile::parse(PathBuf::from(path), crate_name, false, text);
+        let mut out = Vec::new();
+        check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_l1_crates() {
+        let v = scan(
+            "crates/storage/src/x.rs",
+            "storage",
+            "fn f() { a.unwrap(); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Unwrap);
+        let v = scan(
+            "crates/planner/src/x.rs",
+            "planner",
+            "fn f() { a.unwrap(); }\n",
+        );
+        assert!(v.is_empty(), "planner is not an L1 crate");
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_ignored() {
+        let text = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); } }\n";
+        let v = scan("crates/exec/src/x.rs", "exec", text);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn panic_waiver_with_reason_accepted() {
+        let text =
+            "// lint: allow(panic) — impossible by construction\nfn f() { panic!(\"x\"); }\n";
+        let v = scan("crates/sql/src/x.rs", "sql", text);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_violation() {
+        let text = "fn f() { panic!(\"x\"); } // lint: allow(panic)\n";
+        let v = scan("crates/sql/src/x.rs", "sql", text);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Waiver);
+    }
+
+    #[test]
+    fn cast_rule_scoped_to_format_files() {
+        let text = "fn f(x: u64) -> u8 { x as u8 }\n";
+        let v = scan("crates/storage/src/encode/rle.rs", "storage", text);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Cast);
+        let v = scan("crates/storage/src/segment.rs", "storage", text);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }\n";
+        let v = scan("crates/common/src/x.rs", "common", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Unsafe);
+        let good = "// SAFETY: g has no preconditions\nfn f() { unsafe { g() } }\n";
+        assert!(scan("crates/common/src/x.rs", "common", good).is_empty());
+    }
+
+    #[test]
+    fn discard_detected_and_word_boundaries_hold() {
+        let text = "fn f() {\n    let _ = g();\n    h().ok();\n}\n";
+        let v = scan("crates/core/src/x.rs", "core", text);
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::Discard).count(), 2);
+        // `.ok()` not followed by `;` (e.g. in a chain) is fine, and
+        // identifiers containing `panic` must not trip L2.
+        let v = scan(
+            "crates/core/src/x.rs",
+            "core",
+            "fn f() { no_panic_here(); }\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn strings_never_trip_rules() {
+        let text = "fn f() { log(\"call .unwrap() or panic! now\"); }\n";
+        let v = scan("crates/storage/src/x.rs", "storage", text);
+        assert!(v.is_empty());
+    }
+}

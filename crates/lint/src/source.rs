@@ -1,0 +1,331 @@
+//! A lightweight, line-aware model of a Rust source file.
+//!
+//! The scanner is not a full parser — it only needs to answer the
+//! questions the rules ask: "what code is on this line once comments and
+//! string-literal *contents* are removed?", "what comment text rides on
+//! this line?", and "is this line inside a `#[cfg(test)]` module?". It
+//! understands line comments, (nested) block comments, string/char/byte
+//! literals, raw strings with any number of `#`s, and the `'lifetime`
+//! ambiguity — enough that rule matching never fires on text inside a
+//! string or a comment.
+
+use std::path::PathBuf;
+
+/// One line of a scanned source file.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Source text with comments removed and string/char literal contents
+    /// blanked (the delimiting quotes survive so tokens don't fuse).
+    pub code: String,
+    /// Concatenated comment text that appears on this line (line comments
+    /// and the portions of block comments that cross it).
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]`-gated module or
+    /// block (unit tests embedded in library files).
+    pub in_test: bool,
+}
+
+/// A scanned source file plus the classification rules care about.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path, e.g. `crates/storage/src/format.rs`.
+    pub path: PathBuf,
+    /// Short crate name: the directory under `crates/` (`storage`, `exec`,
+    /// ...) or `cstore` for the root package.
+    pub crate_name: String,
+    /// True for binary targets (`src/main.rs`, `src/bin/*`): the library
+    /// rules (L1/L2/L6) do not apply to top-level driver code.
+    pub is_bin: bool,
+    pub lines: Vec<Line>,
+}
+
+/// Scanner state across characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    Char,
+}
+
+impl SourceFile {
+    /// Scan `text` into lines. `path` and `crate_name` are carried through
+    /// for reporting; `is_bin` marks binary targets.
+    pub fn parse(path: PathBuf, crate_name: &str, is_bin: bool, text: &str) -> SourceFile {
+        let mut lines: Vec<Line> = Vec::new();
+        let mut cur = Line::default();
+        let mut mode = Mode::Code;
+        let chars: Vec<char> = text.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            if c == '\n' {
+                if mode == Mode::LineComment {
+                    mode = Mode::Code;
+                }
+                lines.push(std::mem::take(&mut cur));
+                i += 1;
+                continue;
+            }
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        mode = Mode::LineComment;
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        cur.code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    }
+                    'r' if starts_raw_string(&chars, i) => {
+                        let hashes = count_hashes(&chars, i + 1);
+                        cur.code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        // skip r, hashes and the opening quote
+                        i += 2 + hashes as usize;
+                    }
+                    'b' if next == Some('"') => {
+                        cur.code.push('"');
+                        mode = Mode::Str;
+                        i += 2;
+                    }
+                    'b' if next == Some('r') && starts_raw_string(&chars, i + 1) => {
+                        let hashes = count_hashes(&chars, i + 2);
+                        cur.code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i += 3 + hashes as usize;
+                    }
+                    'b' if next == Some('\'') => {
+                        cur.code.push('\'');
+                        mode = Mode::Char;
+                        i += 2;
+                    }
+                    '\'' => {
+                        // Lifetime (`'a`) vs char literal (`'a'`). A
+                        // lifetime is a quote followed by an identifier
+                        // with no closing quote right after.
+                        let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
+                            && chars.get(i + 2).copied() != Some('\'');
+                        if is_lifetime {
+                            cur.code.push('\'');
+                            i += 1;
+                        } else {
+                            cur.code.push('\'');
+                            mode = Mode::Char;
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                },
+                Mode::LineComment => {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+                Mode::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        cur.comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => match c {
+                    '\\' => i += 2, // skip escaped char (contents blanked anyway)
+                    '"' => {
+                        cur.code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                Mode::RawStr(hashes) => {
+                    if c == '"' && closes_raw_string(&chars, i, hashes) {
+                        cur.code.push('"');
+                        mode = Mode::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Char => match c {
+                    '\\' => i += 2,
+                    '\'' => {
+                        cur.code.push('\'');
+                        mode = Mode::Code;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+            }
+        }
+        if !cur.code.is_empty() || !cur.comment.is_empty() {
+            lines.push(cur);
+        }
+        let mut file = SourceFile {
+            path,
+            crate_name: crate_name.to_owned(),
+            is_bin,
+            lines,
+        };
+        file.mark_test_regions();
+        file
+    }
+
+    /// Mark lines inside `#[cfg(test)]`-gated items (typically
+    /// `mod tests { ... }`) by tracking brace depth from the attribute.
+    fn mark_test_regions(&mut self) {
+        let mut depth: i64 = 0;
+        // Depth below which each active test region ends.
+        let mut region_floor: Option<i64> = None;
+        // A `#[cfg(test)]` was seen and its item hasn't opened yet.
+        let mut pending_attr = false;
+        for idx in 0..self.lines.len() {
+            let code = self.lines[idx].code.clone();
+            if code.contains("#[cfg(test)]") {
+                pending_attr = true;
+            }
+            let entering = region_floor.is_some() || pending_attr;
+            if entering {
+                self.lines[idx].in_test = true;
+            }
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        if pending_attr && region_floor.is_none() {
+                            // The attribute's item body just opened.
+                            region_floor = Some(depth - 1);
+                            pending_attr = false;
+                        }
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if let Some(floor) = region_floor {
+                            if depth <= floor {
+                                region_floor = None;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn starts_raw_string(chars: &[char], r_pos: usize) -> bool {
+    // `r` followed by zero or more `#` then `"`.
+    let mut j = r_pos + 1;
+    while chars.get(j).copied() == Some('#') {
+        j += 1;
+    }
+    chars.get(j).copied() == Some('"')
+}
+
+fn count_hashes(chars: &[char], from: usize) -> u8 {
+    let mut n = 0u8;
+    let mut j = from;
+    while chars.get(j).copied() == Some('#') {
+        n = n.saturating_add(1);
+        j += 1;
+    }
+    n
+}
+
+fn closes_raw_string(chars: &[char], quote_pos: usize, hashes: u8) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(quote_pos + k).copied() == Some('#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("x.rs"), "x", false, text)
+    }
+
+    #[test]
+    fn strips_line_comments_keeps_text() {
+        let f = parse("let a = 1; // trailing note\n");
+        assert_eq!(f.lines[0].code.trim_end(), "let a = 1;");
+        assert_eq!(f.lines[0].comment.trim(), "trailing note");
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let f = parse("let s = \"call .unwrap() now\"; s.len();\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("s.len()"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let f = parse("let s = r#\"panic!(\"inner\")\"#; done();\n");
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].code.contains("done()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = parse("a(); /* outer /* inner */ still comment */ b();\n");
+        assert!(f.lines[0].code.contains("a();"));
+        assert!(f.lines[0].code.contains("b();"));
+        assert!(!f.lines[0].code.contains("comment"));
+        assert!(f.lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let f = parse("a();\n/* one\ntwo */ b();\n");
+        assert!(f.lines[1].code.trim().is_empty());
+        assert!(f.lines[1].comment.contains("one"));
+        assert!(f.lines[2].code.contains("b();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = parse("fn f<'a>(x: &'a str) -> &'a str { x } g();\n");
+        assert!(f.lines[0].code.contains("g();"));
+    }
+
+    #[test]
+    fn char_literal_contents_blanked() {
+        let f = parse("let c = '\"'; let d = '\\''; h();\n");
+        assert!(f.lines[0].code.contains("h();"));
+    }
+
+    #[test]
+    fn cfg_test_region_marked() {
+        let text = "fn lib() { x.unwrap(); }\n\
+                    #[cfg(test)]\n\
+                    mod tests {\n\
+                    fn t() { y.unwrap(); }\n\
+                    }\n\
+                    fn lib2() {}\n";
+        let f = parse(text);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test, "region must close");
+    }
+}

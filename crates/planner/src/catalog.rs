@@ -41,8 +41,7 @@ pub trait CatalogProvider {
 
     /// Cached (e.g. ANALYZE-collected) statistics for a table, if any.
     /// The optimizer prefers these over on-the-fly directory scans.
-    fn statistics(&self, name: &str) -> Option<crate::stats::TableStatistics> {
-        let _ = name;
+    fn statistics(&self, _name: &str) -> Option<crate::stats::TableStatistics> {
         None
     }
 }

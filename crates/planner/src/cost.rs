@@ -72,11 +72,7 @@ pub fn batch_mode_cost(plan: &LogicalPlan, catalog: &dyn CatalogProvider) -> f64
 }
 
 /// Resolve `Auto` to a concrete mode for this plan.
-pub fn choose_mode(
-    mode: ExecMode,
-    plan: &LogicalPlan,
-    catalog: &dyn CatalogProvider,
-) -> ExecMode {
+pub fn choose_mode(mode: ExecMode, plan: &LogicalPlan, catalog: &dyn CatalogProvider) -> ExecMode {
     match mode {
         ExecMode::Auto => {
             if requires_batch(plan) {
@@ -98,7 +94,12 @@ pub fn choose_mode(
 fn requires_batch(plan: &LogicalPlan) -> bool {
     use cstore_exec::ops::hash_join::JoinType;
     match plan {
-        LogicalPlan::Join { join_type, left, right, .. } => {
+        LogicalPlan::Join {
+            join_type,
+            left,
+            right,
+            ..
+        } => {
             matches!(join_type, JoinType::RightOuter | JoinType::FullOuter)
                 || requires_batch(left)
                 || requires_batch(right)

@@ -118,10 +118,7 @@ impl LogicalPlan {
                 let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
                 for (i, g) in group_by.iter().enumerate() {
                     fields.push(Field::nullable(
-                        names
-                            .get(i)
-                            .cloned()
-                            .unwrap_or_else(|| format!("group{i}")),
+                        names.get(i).cloned().unwrap_or_else(|| format!("group{i}")),
                         g.infer_type(&in_types)?,
                     ));
                 }
@@ -146,11 +143,7 @@ impl LogicalPlan {
 
     /// Output column types.
     pub fn output_types(&self) -> Result<Vec<DataType>> {
-        Ok(self
-            .output_fields()?
-            .iter()
-            .map(|f| f.data_type)
-            .collect())
+        Ok(self.output_fields()?.iter().map(|f| f.data_type).collect())
     }
 
     /// Number of output columns.

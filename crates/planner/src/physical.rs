@@ -17,7 +17,9 @@ use cstore_exec::ops::project::ProjectOp;
 use cstore_exec::ops::scan::ColumnStoreScan;
 use cstore_exec::ops::sort::{SortKey, SortOp};
 use cstore_exec::ops::union::UnionAllOp;
-use cstore_exec::row_ops::{HeapScan, RowFilter, RowHashAgg, RowHashJoin, RowProject, SnapshotRowScan};
+use cstore_exec::row_ops::{
+    HeapScan, RowFilter, RowHashAgg, RowHashJoin, RowProject, SnapshotRowScan,
+};
 use cstore_exec::{
     BatchHashJoin, BoxedBatchOp, BoxedRowOp, ExecContext, Expr, FilterSlot, HashAggOp,
 };
@@ -61,6 +63,8 @@ pub fn build_physical(
                 bitmap_filters: 0,
             })
         }
+        // lint: allow(panic) — choose_mode resolves Auto to a concrete
+        // mode before this dispatch
         ExecMode::Auto => unreachable!("choose_mode resolves Auto"),
     }
 }
@@ -116,12 +120,8 @@ fn build_batch(
                         }
                         return Ok(Box::new(scan));
                     }
-                    let mut scan = ColumnStoreScan::new(
-                        snapshot,
-                        proj,
-                        pushed.clone(),
-                        ctx.clone(),
-                    );
+                    let mut scan =
+                        ColumnStoreScan::new(snapshot, proj, pushed.clone(), ctx.clone());
                     if let Some((col, slot)) = filter {
                         scan = scan.with_bitmap_filter(col, slot);
                         *n_filters += 1;
@@ -149,11 +149,7 @@ fn build_batch(
             let child = build_batch(input, catalog, ctx, pass_through(filter_req), n_filters)?;
             Ok(Box::new(FilterOp::new(child, predicate.clone())))
         }
-        LogicalPlan::Project {
-            input,
-            exprs,
-            ..
-        } => {
+        LogicalPlan::Project { input, exprs, .. } => {
             // A filter request survives a projection only if the requested
             // output column is a bare column reference.
             let fwd = filter_req.and_then(|req| match exprs.get(req.column) {
@@ -273,11 +269,13 @@ fn preds_to_expr(pushed: &[(usize, cstore_storage::pred::ColumnPred)]) -> Expr {
     for (col, pred) in pushed {
         let c = Expr::col(*col);
         conjuncts.push(match pred {
-            ColumnPred::Cmp { op, value } => {
-                Expr::cmp(*op, c, Expr::Lit(value.clone()))
-            }
+            ColumnPred::Cmp { op, value } => Expr::cmp(*op, c, Expr::Lit(value.clone())),
             ColumnPred::Between { lo, hi } => Expr::and(
-                Expr::cmp(cstore_storage::pred::CmpOp::Ge, c.clone(), Expr::Lit(lo.clone())),
+                Expr::cmp(
+                    cstore_storage::pred::CmpOp::Ge,
+                    c.clone(),
+                    Expr::Lit(lo.clone()),
+                ),
                 Expr::cmp(cstore_storage::pred::CmpOp::Le, c, Expr::Lit(hi.clone())),
             ),
             ColumnPred::InList(vals) => Expr::InList {

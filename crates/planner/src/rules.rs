@@ -329,16 +329,16 @@ pub fn estimate_rows(plan: &LogicalPlan, catalog: &dyn CatalogProvider) -> f64 {
                 JoinType::FullOuter => l + r,
             }
         }
-        LogicalPlan::Aggregate { input, group_by, .. } => {
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
             if group_by.is_empty() {
                 1.0
             } else {
                 (estimate_rows(input, catalog) / 10.0).max(1.0)
             }
         }
-        LogicalPlan::UnionAll { inputs } => {
-            inputs.iter().map(|p| estimate_rows(p, catalog)).sum()
-        }
+        LogicalPlan::UnionAll { inputs } => inputs.iter().map(|p| estimate_rows(p, catalog)).sum(),
     }
 }
 
@@ -587,7 +587,11 @@ fn restrict(
             if cols.is_empty() {
                 cols.push(0);
             }
-            let mapping = cols.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            let mapping = cols
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
             Ok((
                 LogicalPlan::Scan {
                     table,
@@ -619,8 +623,11 @@ fn restrict(
             // Narrow to the requested output expressions. Like scans, a
             // projection must keep at least one column or batches lose
             // their row counts (COUNT(*) needs rows, not columns).
-            let mut kept: Vec<usize> =
-                needed.iter().copied().filter(|&i| i < exprs.len()).collect();
+            let mut kept: Vec<usize> = needed
+                .iter()
+                .copied()
+                .filter(|&i| i < exprs.len())
+                .collect();
             if kept.is_empty() && !exprs.is_empty() {
                 kept.push(0);
             }
@@ -634,7 +641,11 @@ fn restrict(
                 .map(|&i| remap_expr(&exprs[i], &|c| m[&c]))
                 .collect();
             let new_names: Vec<String> = kept.iter().map(|&i| names[i].clone()).collect();
-            let mapping = kept.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            let mapping = kept
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
             Ok((
                 LogicalPlan::Project {
                     input: Box::new(input),
@@ -702,10 +713,7 @@ fn restrict(
                 }
             }
             let (input, m) = restrict(*input, &need_inputs)?;
-            let group_by = group_by
-                .iter()
-                .map(|g| remap_expr(g, &|c| m[&c]))
-                .collect();
+            let group_by = group_by.iter().map(|g| remap_expr(g, &|c| m[&c])).collect();
             let aggs = aggs
                 .into_iter()
                 .map(|mut a| {
@@ -765,9 +773,7 @@ fn restrict(
                 let (p, m) = restrict(p, &all)?;
                 if let Some(prev) = &mapping {
                     if *prev != m {
-                        return Err(Error::Plan(
-                            "UNION ALL inputs pruned inconsistently".into(),
-                        ));
+                        return Err(Error::Plan("UNION ALL inputs pruned inconsistently".into()));
                     }
                 }
                 mapping = Some(m);
@@ -791,11 +797,7 @@ mod tests {
     fn scan(name: &str, cols: &[(&str, DataType)]) -> LogicalPlan {
         LogicalPlan::Scan {
             table: name.into(),
-            schema: Schema::new(
-                cols.iter()
-                    .map(|(n, t)| Field::nullable(*n, *t))
-                    .collect(),
-            ),
+            schema: Schema::new(cols.iter().map(|(n, t)| Field::nullable(*n, *t)).collect()),
             projection: None,
             pushed: vec![],
         }
@@ -893,7 +895,10 @@ mod tests {
             panic!()
         };
         assert_eq!(projection.as_deref(), Some(&[2usize][..]));
-        assert!(matches!(exprs[0], Expr::Col(0)), "expr remapped to new ordinal");
+        assert!(
+            matches!(exprs[0], Expr::Col(0)),
+            "expr remapped to new ordinal"
+        );
     }
 
     #[test]
@@ -911,14 +916,27 @@ mod tests {
             names: vec!["x".into()],
         };
         let out = prune_projections(plan).unwrap();
-        let LogicalPlan::Project { input, .. } = &out else { panic!() };
-        let LogicalPlan::Join { left, right, on_left, on_right, .. } = input.as_ref() else {
+        let LogicalPlan::Project { input, .. } = &out else {
+            panic!()
+        };
+        let LogicalPlan::Join {
+            left,
+            right,
+            on_left,
+            on_right,
+            ..
+        } = input.as_ref()
+        else {
             panic!()
         };
         // Both sides keep their key column even though only f.x is output.
-        let LogicalPlan::Scan { projection: pl, .. } = left.as_ref() else { panic!() };
+        let LogicalPlan::Scan { projection: pl, .. } = left.as_ref() else {
+            panic!()
+        };
         assert_eq!(pl.as_deref(), Some(&[0usize, 1][..]));
-        let LogicalPlan::Scan { projection: pr, .. } = right.as_ref() else { panic!() };
+        let LogicalPlan::Scan { projection: pr, .. } = right.as_ref() else {
+            panic!()
+        };
         assert_eq!(pr.as_deref(), Some(&[0usize][..]));
         assert_eq!(on_left, &[0]);
         assert_eq!(on_right, &[0]);
@@ -926,8 +944,8 @@ mod tests {
 
     #[test]
     fn join_order_puts_selective_dimension_first() {
-        use cstore_delta::{ColumnStoreTable, TableConfig};
         use cstore_common::Row;
+        use cstore_delta::{ColumnStoreTable, TableConfig};
         let mut catalog = MemoryCatalog::new();
         let mk = |n: usize| {
             let t = ColumnStoreTable::new(
@@ -978,9 +996,15 @@ mod tests {
         let LogicalPlan::Project { input, .. } = &out else {
             panic!("expected compensating project, got {out:?}")
         };
-        let LogicalPlan::Join { left, .. } = input.as_ref() else { panic!() };
-        let LogicalPlan::Join { right, .. } = left.as_ref() else { panic!() };
-        let LogicalPlan::Scan { table, .. } = right.as_ref() else { panic!() };
+        let LogicalPlan::Join { left, .. } = input.as_ref() else {
+            panic!()
+        };
+        let LogicalPlan::Join { right, .. } = left.as_ref() else {
+            panic!()
+        };
+        let LogicalPlan::Scan { table, .. } = right.as_ref() else {
+            panic!()
+        };
         assert_eq!(table, "small_dim");
     }
 }

@@ -95,7 +95,11 @@ impl Histogram {
         // and this one.
         let hi_frac = self.cum[idx];
         let lo_frac = if idx == 0 { 0.0 } else { self.cum[idx - 1] };
-        let lo_bound = if idx == 0 { self.min } else { self.bounds[idx - 1] };
+        let lo_bound = if idx == 0 {
+            self.min
+        } else {
+            self.bounds[idx - 1]
+        };
         let hi_bound = self.bounds[idx];
         if hi_bound <= lo_bound {
             return hi_frac;
@@ -163,7 +167,7 @@ impl TableStatistics {
             TableRef::ColumnStore(t) => {
                 let n_cols = t.schema().len();
                 let mut columns = vec![ColumnStats::default(); n_cols];
-                let mut rows_with_stats = 0usize;
+                let mut _rows_with_stats = 0usize;
                 t.with_columnstore(|cs| {
                     for entry in cs.directory().entries() {
                         let c = &mut columns[entry.column];
@@ -179,7 +183,7 @@ impl TableStatistics {
                         }
                         c.null_fraction += entry.null_count as f64;
                         if entry.column == 0 {
-                            rows_with_stats += entry.row_count as usize;
+                            _rows_with_stats += entry.row_count as usize;
                         }
                     }
                 });
@@ -189,10 +193,10 @@ impl TableStatistics {
                     // Distinct estimate: span-based for integers (upper
                     // bound), else unknown.
                     if let (Some(Value::Int64(lo)), Some(Value::Int64(hi))) = (&c.min, &c.max) {
-                        c.distinct_estimate = Some(((hi - lo).unsigned_abs() + 1).min(total as u64));
+                        c.distinct_estimate =
+                            Some(((hi - lo).unsigned_abs() + 1).min(total as u64));
                     }
                 }
-                let _ = rows_with_stats;
                 TableStatistics {
                     row_count: t.total_rows(),
                     columns,
@@ -210,8 +214,8 @@ impl TableStatistics {
             return stats; // heap baselines keep coarse stats
         };
         let snap = t.snapshot();
-        let total: usize = snap.groups().iter().map(|g| g.n_rows()).sum::<usize>()
-            + snap.delta_rows().len();
+        let total: usize =
+            snap.groups().iter().map(|g| g.n_rows()).sum::<usize>() + snap.delta_rows().len();
         if total == 0 {
             return stats;
         }
@@ -232,8 +236,7 @@ impl TableStatistics {
                 }
                 let Ok(seg) = g.open_segment(c) else { continue };
                 let decoded = seg.decode();
-                if let cstore_storage::segment::SegmentValues::I64 { values, nulls } = &decoded
-                {
+                if let cstore_storage::segment::SegmentValues::I64 { values, nulls } = &decoded {
                     for i in (0..values.len()).step_by(step) {
                         let is_null = nulls.as_ref().is_some_and(|n| n.get(i));
                         if !is_null && visible.get(i) {
@@ -274,8 +277,10 @@ impl TableStatistics {
     pub fn pred_selectivity(&self, col: usize, pred: &ColumnPred) -> f64 {
         let stats = self.columns.get(col);
         let span = stats.and_then(|s| match (&s.min, &s.max) {
-            (Some(lo), Some(hi)) => Some((lo.as_f64().or(lo.as_i64().map(|x| x as f64))?,
-                                          hi.as_f64().or(hi.as_i64().map(|x| x as f64))?)),
+            (Some(lo), Some(hi)) => Some((
+                lo.as_f64().or(lo.as_i64().map(|x| x as f64))?,
+                hi.as_f64().or(hi.as_i64().map(|x| x as f64))?,
+            )),
             _ => None,
         });
         let distinct = stats.and_then(|s| s.distinct_estimate);
@@ -285,7 +290,10 @@ impl TableStatistics {
         if let Some(h) = hist {
             let as_i64 = |v: &Value| v.as_i64();
             match pred {
-                ColumnPred::Cmp { op: CmpOp::Eq, value } => {
+                ColumnPred::Cmp {
+                    op: CmpOp::Eq,
+                    value,
+                } => {
                     if let Some(k) = as_i64(value) {
                         return h.eq_selectivity(k);
                     }
@@ -298,7 +306,9 @@ impl TableStatistics {
                             CmpOp::Gt => h.range_selectivity(Some(k + 1), None),
                             CmpOp::Ge => h.range_selectivity(Some(k), None),
                             CmpOp::Ne => 1.0 - h.eq_selectivity(k),
-                            CmpOp::Eq => unreachable!(),
+                            // lint: allow(panic) — Eq takes the
+                            // histogram-equality path before this dispatch
+                            CmpOp::Eq => unreachable!("Eq handled above"),
                         };
                     }
                 }
@@ -335,6 +345,8 @@ impl TableStatistics {
                 match op {
                     CmpOp::Lt | CmpOp::Le => frac,
                     CmpOp::Gt | CmpOp::Ge => 1.0 - frac,
+                    // lint: allow(panic) — Eq/Ne take the equality path
+                    // before this range dispatch
                     _ => unreachable!("Eq/Ne handled above"),
                 }
             }

@@ -121,8 +121,9 @@ impl HeapTable {
     /// faithfully modeling per-row interpretation overhead.
     pub fn scan(&self) -> impl Iterator<Item = Row> + '_ {
         self.pages.iter().flat_map(move |p| {
-            p.iter()
-                .map(move |(_, rec)| rowcodec::decode_fixed(&self.schema, rec).expect("valid record"))
+            p.iter().map(move |(_, rec)| {
+                rowcodec::decode_fixed(&self.schema, rec).expect("valid record")
+            })
         })
     }
 }
@@ -169,7 +170,8 @@ mod tests {
     #[test]
     fn allocated_ge_used() {
         let mut t = HeapTable::new(schema());
-        t.insert_all(&(0..1000).map(row).collect::<Vec<_>>()).unwrap();
+        t.insert_all(&(0..1000).map(row).collect::<Vec<_>>())
+            .unwrap();
         assert!(t.allocated_bytes() >= t.used_bytes());
     }
 

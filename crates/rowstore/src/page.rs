@@ -84,9 +84,7 @@ impl Page {
             .iter()
             .enumerate()
             .filter(|(_, &(_, len))| len != u32::MAX)
-            .map(|(i, &(off, len))| {
-                (i as u16, &self.data[off as usize..(off + len) as usize])
-            })
+            .map(|(i, &(off, len))| (i as u16, &self.data[off as usize..(off + len) as usize]))
     }
 }
 

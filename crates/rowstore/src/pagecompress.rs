@@ -73,9 +73,7 @@ impl CompressedHeapTable {
             .iter()
             .map(|row| {
                 (0..n_cols)
-                    .map(|c| {
-                        crate::rowcodec::cell_image(schema.field(c).data_type, row.get(c))
-                    })
+                    .map(|c| crate::rowcodec::cell_image(schema.field(c).data_type, row.get(c)))
                     .collect()
             })
             .collect();
@@ -119,7 +117,9 @@ impl CompressedHeapTable {
         for ((c, suffix), n) in counts {
             // Worth a dictionary entry when referencing beats inlining:
             // n copies of the suffix vs one copy + n 2-byte refs.
-            if n >= 2 && suffix.len() * n > suffix.len() + 2 * n && dictionary.len() < u16::MAX as usize
+            if n >= 2
+                && suffix.len() * n > suffix.len() + 2 * n
+                && dictionary.len() < u16::MAX as usize
             {
                 dict_index.insert((c, suffix.clone()), dictionary.len() as u16);
                 dictionary.push(suffix);
@@ -169,11 +169,7 @@ impl CompressedHeapTable {
         for page in &self.pages {
             total += PAGE_HEADER_BYTES;
             total += page.prefixes.iter().map(|p| p.len() + 2).sum::<usize>();
-            total += page
-                .dictionary
-                .iter()
-                .map(|d| d.len() + 2)
-                .sum::<usize>();
+            total += page.dictionary.iter().map(|d| d.len() + 2).sum::<usize>();
             let mut cell_bits = 0usize;
             for row in &page.cells {
                 for cell in row {

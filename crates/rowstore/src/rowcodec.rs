@@ -58,9 +58,7 @@ pub fn decode_fixed(schema: &Schema, data: &[u8]) -> Result<Row> {
         let ty = schema.field(i).data_type;
         let v = match ty {
             DataType::Bool => Value::Bool(r.u8()? != 0),
-            DataType::Int32 | DataType::Date => {
-                Value::from_i64(ty, r.u32()? as i32 as i64)
-            }
+            DataType::Int32 | DataType::Date => Value::from_i64(ty, r.u32()? as i32 as i64),
             DataType::Int64 | DataType::Decimal { .. } => Value::from_i64(ty, r.i64()?),
             DataType::Float64 => Value::Float64(r.f64()?),
             DataType::Utf8 => {
@@ -128,8 +126,7 @@ pub fn decode_cell(ty: DataType, image: Option<&[u8]>) -> Result<Value> {
             Value::Float64(f64::from_be_bytes(arr))
         }
         DataType::Utf8 => Value::str(
-            std::str::from_utf8(bytes)
-                .map_err(|_| Error::Storage("invalid UTF-8 cell".into()))?,
+            std::str::from_utf8(bytes).map_err(|_| Error::Storage("invalid UTF-8 cell".into()))?,
         ),
         _ => {
             if bytes.is_empty() || bytes.len() > 8 {

@@ -1,27 +1,39 @@
-//! Property tests for the row-store baseline's codecs.
+//! Randomized roundtrip tests for the row-store baseline's codecs.
+//! Deterministic seeded `Rng` replaces proptest so the suite builds
+//! offline.
 
+use cstore_common::testutil::Rng;
 use cstore_common::{DataType, Field, Row, Schema, Value};
 use cstore_rowstore::rowcodec::{cell_image, decode_cell, decode_fixed, encode_fixed};
 use cstore_rowstore::CompressedHeapTable;
-use proptest::prelude::*;
 
-fn arb_row() -> impl Strategy<Value = Row> {
-    (
-        any::<i64>(),
-        prop_oneof![3 => "[ -~]{0,12}".prop_map(Some), 1 => Just(None)],
-        prop_oneof![3 => any::<i32>().prop_map(|x| Some(x as f64 / 4.0)), 1 => Just(None)],
-        any::<i32>(),
-        any::<bool>(),
+/// Printable-ASCII string of length 0..=12, or None ~25% of the time.
+fn random_opt_string(rng: &mut Rng) -> Option<String> {
+    if rng.gen_bool(0.25) {
+        return None;
+    }
+    let len = rng.range_usize(0, 13);
+    Some(
+        (0..len)
+            .map(|_| rng.range_i64(0x20, 0x7f) as u8 as char)
+            .collect(),
     )
-        .prop_map(|(a, b, c, d, e)| {
-            Row::new(vec![
-                Value::Int64(a),
-                b.map_or(Value::Null, Value::str),
-                c.map_or(Value::Null, Value::Float64),
-                Value::Int32(d),
-                Value::Bool(e),
-            ])
-        })
+}
+
+fn random_row(rng: &mut Rng) -> Row {
+    let b = random_opt_string(rng);
+    let c = if rng.gen_bool(0.25) {
+        None
+    } else {
+        Some(rng.next_u32() as i32 as f64 / 4.0)
+    };
+    Row::new(vec![
+        Value::Int64(rng.next_u64() as i64),
+        b.map_or(Value::Null, Value::str),
+        c.map_or(Value::Null, Value::Float64),
+        Value::Int32(rng.next_u32() as i32),
+        Value::Bool(rng.gen_bool(0.5)),
+    ])
 }
 
 fn schema() -> Schema {
@@ -34,29 +46,38 @@ fn schema() -> Schema {
     ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn fixed_codec_roundtrips(row in arb_row()) {
+#[test]
+fn fixed_codec_roundtrips() {
+    let mut rng = Rng::new(1);
+    for case in 0..256 {
+        let row = random_row(&mut rng);
         let bytes = encode_fixed(&schema(), &row);
-        prop_assert_eq!(decode_fixed(&schema(), &bytes).unwrap(), row);
+        assert_eq!(decode_fixed(&schema(), &bytes).unwrap(), row, "case {case}");
     }
+}
 
-    #[test]
-    fn cell_images_roundtrip(v in any::<i64>()) {
+#[test]
+fn cell_images_roundtrip() {
+    let mut rng = Rng::new(2);
+    for case in 0..256 {
+        let v = rng.next_u64() as i64;
         for ty in [DataType::Int64, DataType::Decimal { scale: 3 }] {
             let value = Value::from_i64(ty, v);
             let img = cell_image(ty, &value).unwrap();
-            prop_assert!(img.len() <= 8);
-            prop_assert_eq!(decode_cell(ty, Some(&img)).unwrap(), value);
+            assert!(img.len() <= 8, "case {case}");
+            assert_eq!(decode_cell(ty, Some(&img)).unwrap(), value, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn page_compression_roundtrips(rows in proptest::collection::vec(arb_row(), 0..250)) {
+#[test]
+fn page_compression_roundtrips() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed ^ 0x9A6E);
+        let n = rng.range_usize(0, 250);
+        let rows: Vec<Row> = (0..n).map(|_| random_row(&mut rng)).collect();
         let t = CompressedHeapTable::build(schema(), &rows).unwrap();
         let got: Vec<Row> = t.scan().collect::<cstore_common::Result<_>>().unwrap();
-        prop_assert_eq!(got, rows);
+        assert_eq!(got, rows, "seed {seed}");
     }
 }

@@ -161,6 +161,8 @@ pub enum Statement {
         organization: TableOrganization,
     },
     /// `ANALYZE <table>`: sample rows and cache histogram statistics.
-    Analyze { table: String },
+    Analyze {
+        table: String,
+    },
     Explain(Box<Statement>),
 }

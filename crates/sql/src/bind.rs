@@ -77,7 +77,7 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &dyn CatalogProvider) -> Result<L
     // Joins.
     for join in &stmt.joins {
         let (right_plan, right_scope) = bind_table(&join.table, catalog)?;
-        let left_arity = scope.cols.len();
+        let _left_arity = scope.cols.len();
         // Split ON into equi-key pairs and residual conjuncts.
         let mut conjuncts = Vec::new();
         split_ast_conjuncts(&join.on, &mut conjuncts);
@@ -136,7 +136,6 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &dyn CatalogProvider) -> Result<L
             on_left,
             on_right,
         };
-        let _ = left_arity;
         scope = joined_scope;
         if !residual.is_empty() {
             let pred = bind_conjunction(&residual, &scope)?;
@@ -437,10 +436,7 @@ fn bind_expr(e: &AstExpr, scope: &Scope) -> Result<Expr> {
                     Some((lo, hi)) => {
                         let mut e = Expr::cmp(CmpOp::Ge, x.clone(), Expr::Lit(Value::str(lo)));
                         if let Some(hi) = hi {
-                            e = Expr::and(
-                                e,
-                                Expr::cmp(CmpOp::Lt, x, Expr::Lit(Value::str(hi))),
-                            );
+                            e = Expr::and(e, Expr::cmp(CmpOp::Lt, x, Expr::Lit(Value::str(hi))));
                         }
                         Expr::and(e, like)
                     }
@@ -474,9 +470,7 @@ fn prefix_range(pattern: &str) -> Option<(String, Option<String>)> {
         match chars.pop() {
             None => break None,
             Some(c) => {
-                if let Some(next) = char::from_u32(c as u32 + 1)
-                    .filter(|n| *n > c)
-                {
+                if let Some(next) = char::from_u32(c as u32 + 1).filter(|n| *n > c) {
                     chars.push(next);
                     break Some(chars.iter().collect::<String>());
                 }
@@ -538,7 +532,9 @@ fn bind_grouped(
         if let SelectItem::Expr { expr, .. } = item {
             collect_aggs(expr, &mut agg_asts);
         } else {
-            return Err(Error::Sql("SELECT * cannot be combined with GROUP BY".into()));
+            return Err(Error::Sql(
+                "SELECT * cannot be combined with GROUP BY".into(),
+            ));
         }
     }
     if let Some(h) = &stmt.having {
@@ -586,6 +582,8 @@ fn bind_grouped(
     let mut names = Vec::with_capacity(stmt.items.len());
     for (i, item) in stmt.items.iter().enumerate() {
         let SelectItem::Expr { expr, alias } = item else {
+            // lint: allow(panic) — wildcards were expanded into Expr items
+            // earlier in bind_select
             unreachable!("wildcard rejected above");
         };
         exprs.push(rewrite(expr)?);
@@ -713,7 +711,10 @@ fn rewrite_grouped(
         AstExpr::Column { name, qualifier } => {
             return Err(Error::Sql(format!(
                 "column '{}{name}' must appear in GROUP BY or inside an aggregate",
-                qualifier.as_ref().map(|q| format!("{q}.")).unwrap_or_default()
+                qualifier
+                    .as_ref()
+                    .map(|q| format!("{q}."))
+                    .unwrap_or_default()
             )))
         }
         other => {
@@ -732,6 +733,7 @@ fn bind_agg(e: &AstExpr, scope: &Scope) -> Result<AggExpr> {
         distinct,
     } = e
     else {
+        // lint: allow(panic) — collect_aggs only yields Func expressions
         unreachable!("collect_aggs only collects calls");
     };
     let func = match name.as_str() {
@@ -754,10 +756,7 @@ fn bind_agg(e: &AstExpr, scope: &Scope) -> Result<AggExpr> {
 }
 
 /// Bind SELECT items (non-grouped path).
-fn bind_select_items(
-    items: &[SelectItem],
-    scope: &Scope,
-) -> Result<(Vec<Expr>, Vec<String>)> {
+fn bind_select_items(items: &[SelectItem], scope: &Scope) -> Result<(Vec<Expr>, Vec<String>)> {
     let mut exprs = Vec::new();
     let mut names = Vec::new();
     for (i, item) in items.iter().enumerate() {
@@ -806,11 +805,16 @@ fn bind_order_limit(
             AstExpr::Lit(Value::Int64(n)) if (1..=output_names.len() as i64).contains(n) => {
                 (*n - 1) as usize
             }
-            AstExpr::Column { qualifier: None, name } => output_names
+            AstExpr::Column {
+                qualifier: None,
+                name,
+            } => output_names
                 .iter()
                 .position(|x| x.eq_ignore_ascii_case(name))
                 .ok_or_else(|| {
-                    Error::Sql(format!("ORDER BY column '{name}' is not in the SELECT list"))
+                    Error::Sql(format!(
+                        "ORDER BY column '{name}' is not in the SELECT list"
+                    ))
                 })?,
             AstExpr::FuncCall { .. } => {
                 return Err(Error::Unsupported(
@@ -851,9 +855,7 @@ pub fn literal_value(e: &AstExpr, target: DataType) -> Result<Value> {
             Value::Int32(n) => Value::Int32(-n),
             Value::Float64(f) => Value::Float64(-f),
             Value::Decimal(m) => Value::Decimal(-m),
-            other => {
-                return Err(Error::Type(format!("cannot negate {other:?}")))
-            }
+            other => return Err(Error::Type(format!("cannot negate {other:?}"))),
         },
         other => {
             return Err(Error::Unsupported(format!(
@@ -878,9 +880,9 @@ pub fn coerce(v: Value, target: DataType) -> Result<Value> {
             Some(Value::Date(*n as i32))
         }
         (Value::Int64(n), DataType::Float64) => Some(Value::Float64(*n as f64)),
-        (Value::Int64(n), DataType::Decimal { scale }) => n
-            .checked_mul(10i64.pow(scale as u32))
-            .map(Value::Decimal),
+        (Value::Int64(n), DataType::Decimal { scale }) => {
+            n.checked_mul(10i64.pow(scale as u32)).map(Value::Decimal)
+        }
         (Value::Float64(f), DataType::Decimal { scale }) => {
             Some(Value::Decimal((f * 10f64.powi(scale as i32)).round() as i64))
         }
@@ -972,14 +974,14 @@ mod tests {
 
     #[test]
     fn binds_join_with_keys() {
-        let plan = bind(
-            "SELECT s.id, c.name FROM sales s JOIN customers c ON s.cust_id = c.id",
-        )
-        .unwrap();
+        let plan =
+            bind("SELECT s.id, c.name FROM sales s JOIN customers c ON s.cust_id = c.id").unwrap();
         // Find the join and check its keys.
         fn find_join(p: &LogicalPlan) -> Option<(&Vec<usize>, &Vec<usize>)> {
             match p {
-                LogicalPlan::Join { on_left, on_right, .. } => Some((on_left, on_right)),
+                LogicalPlan::Join {
+                    on_left, on_right, ..
+                } => Some((on_left, on_right)),
                 _ => p.children().iter().find_map(|c| find_join(c)),
             }
         }
@@ -1009,8 +1011,10 @@ mod tests {
         let fields = plan.output_fields().unwrap();
         // Sort is at the root.
         assert!(matches!(plan, LogicalPlan::Sort { .. }));
-        assert_eq!(fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
-                   vec!["cust_id", "n", "total"]);
+        assert_eq!(
+            fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            vec!["cust_id", "n", "total"]
+        );
     }
 
     #[test]
@@ -1021,17 +1025,16 @@ mod tests {
 
     #[test]
     fn agg_expression_over_aggregates() {
-        let plan = bind(
-            "SELECT SUM(amount) / COUNT(*) AS mean FROM sales",
-        )
-        .unwrap();
+        let plan = bind("SELECT SUM(amount) / COUNT(*) AS mean FROM sales").unwrap();
         assert_eq!(plan.output_fields().unwrap()[0].name, "mean");
     }
 
     #[test]
     fn order_by_ordinal() {
         let plan = bind("SELECT id, amount FROM sales ORDER BY 2 DESC").unwrap();
-        let LogicalPlan::Sort { keys, .. } = &plan else { panic!() };
+        let LogicalPlan::Sort { keys, .. } = &plan else {
+            panic!()
+        };
         assert!(matches!(keys[0].expr, Expr::Col(1)));
         assert!(keys[0].descending);
     }

@@ -10,7 +10,11 @@ use crate::lexer::{tokenize, Token};
 /// Parse one SQL statement.
 pub fn parse(sql: &str) -> Result<Statement> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0, depth: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let stmt = p.statement()?;
     p.eat_if(|t| *t == Token::Semi);
     if !p.at_end() {
@@ -85,7 +89,10 @@ impl Parser {
         if self.eat_if(|x| *x == t) {
             Ok(())
         } else {
-            Err(Error::Sql(format!("expected {t:?}, found {:?}", self.peek())))
+            Err(Error::Sql(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -669,9 +676,10 @@ impl Parser {
 fn is_keyword(s: &str) -> bool {
     const KEYWORDS: &[&str] = &[
         "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "JOIN",
-        "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "SEMI", "ANTI", "ON", "AS", "AND", "OR",
-        "NOT", "IN", "IS", "NULL", "BETWEEN", "INSERT", "INTO", "VALUES", "DELETE", "UPDATE",
-        "SET", "CREATE", "TABLE", "USING", "EXPLAIN", "ASC", "DESC", "UNION", "ALL", "DISTINCT", "ANALYZE", "LIKE",
+        "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "SEMI", "ANTI", "ON", "AS", "AND", "OR", "NOT",
+        "IN", "IS", "NULL", "BETWEEN", "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
+        "CREATE", "TABLE", "USING", "EXPLAIN", "ASC", "DESC", "UNION", "ALL", "DISTINCT",
+        "ANALYZE", "LIKE",
     ];
     KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
 }
@@ -719,10 +727,8 @@ mod tests {
 
     #[test]
     fn parses_aggregates_and_groups() {
-        let s = parse(
-            "SELECT cat, COUNT(*), SUM(x + 1) FROM t GROUP BY cat HAVING COUNT(*) > 2",
-        )
-        .unwrap();
+        let s = parse("SELECT cat, COUNT(*), SUM(x + 1) FROM t GROUP BY cat HAVING COUNT(*) > 2")
+            .unwrap();
         let Statement::Select(s) = s else { panic!() };
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
@@ -749,14 +755,24 @@ mod tests {
     #[test]
     fn parses_dml_and_ddl() {
         let s = parse("INSERT INTO t VALUES (1, 'a'), (2, NULL)").unwrap();
-        let Statement::Insert { rows, .. } = s else { panic!() };
+        let Statement::Insert { rows, .. } = s else {
+            panic!()
+        };
         assert_eq!(rows.len(), 2);
 
         let s = parse("DELETE FROM t WHERE a = 1").unwrap();
-        assert!(matches!(s, Statement::Delete { selection: Some(_), .. }));
+        assert!(matches!(
+            s,
+            Statement::Delete {
+                selection: Some(_),
+                ..
+            }
+        ));
 
         let s = parse("UPDATE t SET a = a + 1, b = 'x' WHERE c < 0").unwrap();
-        let Statement::Update { assignments, .. } = s else { panic!() };
+        let Statement::Update { assignments, .. } = s else {
+            panic!()
+        };
         assert_eq!(assignments.len(), 2);
 
         let s = parse(
@@ -764,7 +780,12 @@ mod tests {
              note VARCHAR(40)) USING COLUMNSTORE",
         )
         .unwrap();
-        let Statement::CreateTable { columns, organization, .. } = s else {
+        let Statement::CreateTable {
+            columns,
+            organization,
+            ..
+        } = s
+        else {
             panic!()
         };
         assert_eq!(columns.len(), 4);
@@ -785,11 +806,24 @@ mod tests {
         // a + b * 2 parses as a + (b * 2)
         let s = parse("SELECT a + b * 2 FROM t").unwrap();
         let Statement::Select(s) = s else { panic!() };
-        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
-        let AstExpr::Binary { op: BinaryOp::Add, rhs, .. } = expr else {
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        let AstExpr::Binary {
+            op: BinaryOp::Add,
+            rhs,
+            ..
+        } = expr
+        else {
             panic!("expected +, got {expr:?}")
         };
-        assert!(matches!(rhs.as_ref(), AstExpr::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            rhs.as_ref(),
+            AstExpr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]

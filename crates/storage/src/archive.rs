@@ -121,7 +121,9 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
     if data.len() < 4 {
         return Err(Error::Storage("archival stream too short".into()));
     }
-    let n = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+    let mut n_bytes = [0u8; 4];
+    n_bytes.copy_from_slice(&data[..4]);
+    let n = u32::from_le_bytes(n_bytes) as usize;
     let mut out = Vec::with_capacity(n);
     let mut i = 4;
     let mut flags = 0u8;
@@ -222,7 +224,11 @@ mod tests {
             .repeat(500)
             .into_bytes();
         let clen = roundtrip(&text);
-        assert!(clen < text.len() / 4, "text compressed to {clen}/{}", text.len());
+        assert!(
+            clen < text.len() / 4,
+            "text compressed to {clen}/{}",
+            text.len()
+        );
     }
 
     #[test]

@@ -13,9 +13,7 @@ use std::sync::Arc;
 
 use cstore_common::{Bitmap, DataType, Error, Result, Row, RowGroupId, Schema, Value};
 
-use crate::encode::{
-    bits_needed, Dictionary, PackedInts, RleVec, ValueEncoding,
-};
+use crate::encode::{bits_needed, Dictionary, PackedInts, RleVec, ValueEncoding};
 use crate::reorder;
 use crate::rowgroup::CompressedRowGroup;
 use crate::segment::{ColumnSegment, Payload};
@@ -178,9 +176,7 @@ pub fn encode_column_with_policy(
     let mut nulls: Option<Bitmap> = None;
     for (i, v) in values.iter().enumerate() {
         if v.is_null() {
-            nulls
-                .get_or_insert_with(|| Bitmap::zeros(n))
-                .set(i);
+            nulls.get_or_insert_with(|| Bitmap::zeros(n)).set(i);
         } else if !v.fits(data_type) {
             return Err(Error::Type(format!(
                 "value {v:?} does not fit column type {data_type}"
@@ -222,6 +218,8 @@ fn encode_strings(
             if v.is_null() {
                 0
             } else {
+                // lint: allow(unwrap) — the dictionary was built from
+                // exactly these values a few lines above
                 dict.code_of(v).expect("dictionary covers values") as u64
             }
         })
@@ -261,6 +259,8 @@ fn encode_floats(
             if v.is_null() {
                 0
             } else {
+                // lint: allow(unwrap) — the dictionary was built from
+                // exactly these values a few lines above
                 dict.code_of(v).expect("dictionary covers values") as u64
             }
         })
@@ -321,18 +321,14 @@ fn encode_integers(
         count
     };
     let venc_bytes = payload_estimate(n, runs, bits_needed(venc_max_code));
-    let dict_bytes =
-        payload_estimate(n, runs, bits_needed(dict_max_code)) + distinct.len() * 8;
+    let dict_bytes = payload_estimate(n, runs, bits_needed(dict_max_code)) + distinct.len() * 8;
 
-    let (min, max) = if non_null.is_empty() {
-        (None, None)
-    } else {
-        let lo = *non_null.iter().min().unwrap();
-        let hi = *non_null.iter().max().unwrap();
-        (
+    let (min, max) = match (non_null.iter().min(), non_null.iter().max()) {
+        (Some(&lo), Some(&hi)) => (
             Some(Value::from_i64(data_type, lo)),
             Some(Value::from_i64(data_type, hi)),
-        )
+        ),
+        _ => (None, None),
     };
 
     let use_dict = dict_bytes < venc_bytes && policy != EncodingPolicy::NoIntDictionary;
@@ -346,8 +342,12 @@ fn encode_integers(
                     0
                 } else {
                     match dict.as_ref() {
+                        // lint: allow(unwrap) — `distinct` contains every
+                        // raw value by construction
                         Dictionary::I64(d) => d.binary_search(&raw[i]).unwrap() as u64,
-                        _ => unreachable!(),
+                        // lint: allow(panic) — `dict` was built as I64 a few
+                        // lines above
+                        _ => unreachable!("dict built as I64 above"),
                     }
                 }
             })
@@ -553,9 +553,7 @@ mod tests {
     fn push_columns_validates_shape() {
         let mut b = RowGroupBuilder::new(schema(), SortMode::None);
         assert!(b.push_columns(vec![vec![Value::Int64(1)]]).is_err());
-        assert!(b
-            .push_columns(vec![vec![Value::Int64(1)], vec![]])
-            .is_err());
+        assert!(b.push_columns(vec![vec![Value::Int64(1)], vec![]]).is_err());
         assert!(b
             .push_columns(vec![vec![Value::Int64(1)], vec![Value::str("x")]])
             .is_ok());

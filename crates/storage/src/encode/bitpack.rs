@@ -5,6 +5,7 @@
 //! and stores no payload at all.
 
 use super::bits_needed;
+use cstore_common::convert::usize_from_u32;
 
 /// A sequence of `u64` codes packed at a fixed bit width.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,17 +25,18 @@ impl PackedInts {
     /// Pack `codes` at an explicit width (each code must fit).
     pub fn from_codes_with_width(codes: &[u64], width: u32) -> Self {
         assert!(width <= 64);
-        let total_bits = codes.len() * width as usize;
+        let w_bits = usize_from_u32(width);
+        let total_bits = codes.len() * w_bits;
         let mut words = vec![0u64; total_bits.div_ceil(64)];
         if width > 0 {
             let mask = Self::mask(width);
             for (i, &c) in codes.iter().enumerate() {
                 debug_assert!(c <= mask, "code {c} exceeds width {width}");
-                let bit = i * width as usize;
-                let (w, off) = (bit >> 6, (bit & 63) as u32);
+                let bit = i * w_bits;
+                let (w, off) = (bit >> 6, bit & 63);
                 words[w] |= c << off;
                 // A code may straddle a word boundary.
-                if off + width > 64 {
+                if off + w_bits > 64 {
                     words[w + 1] |= c >> (64 - off);
                 }
             }
@@ -74,10 +76,11 @@ impl PackedInts {
         if self.width == 0 {
             return 0;
         }
-        let bit = idx * self.width as usize;
-        let (w, off) = (bit >> 6, (bit & 63) as u32);
+        let w_bits = usize_from_u32(self.width);
+        let bit = idx * w_bits;
+        let (w, off) = (bit >> 6, bit & 63);
         let mut v = self.words[w] >> off;
-        if off + self.width > 64 {
+        if off + w_bits > 64 {
             v |= self.words[w + 1] << (64 - off);
         }
         v & Self::mask(self.width)
@@ -106,7 +109,7 @@ impl PackedInts {
     /// — used by the encoder to pick RLE vs bit packing without building
     /// both.
     pub fn estimate_bytes(n: usize, width: u32) -> usize {
-        (n * width as usize).div_ceil(64) * 8
+        (n * usize_from_u32(width)).div_ceil(64) * 8
     }
 
     /// Raw words for serialization.
@@ -117,7 +120,7 @@ impl PackedInts {
     /// Rebuild from serialized parts.
     pub fn from_raw(words: Vec<u64>, width: u32, len: usize) -> Self {
         assert!(width <= 64);
-        assert_eq!(words.len(), (len * width as usize).div_ceil(64));
+        assert_eq!(words.len(), (len * usize_from_u32(width)).div_ceil(64));
         PackedInts { words, width, len }
     }
 }
@@ -176,7 +179,13 @@ mod tests {
         for width in [0u32, 1, 3, 8, 13, 33, 64] {
             for n in [0usize, 1, 7, 64, 100] {
                 let codes: Vec<u64> = (0..n as u64)
-                    .map(|i| if width == 0 { 0 } else { i % (1u64 << (width.min(63))) })
+                    .map(|i| {
+                        if width == 0 {
+                            0
+                        } else {
+                            i % (1u64 << (width.min(63)))
+                        }
+                    })
                     .collect();
                 let p = PackedInts::from_codes_with_width(&codes, width);
                 assert_eq!(p.payload_bytes(), PackedInts::estimate_bytes(n, width));

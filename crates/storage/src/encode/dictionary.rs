@@ -11,6 +11,7 @@
 use std::ops::Bound;
 use std::sync::Arc;
 
+use cstore_common::convert::usize_from_u32;
 use cstore_common::{DataType, Value};
 
 /// The sorted distinct values of a dictionary-encoded column segment.
@@ -22,6 +23,14 @@ pub enum Dictionary {
     I64(Vec<i64>),
     /// Sorted distinct floats (total order; NaNs sort last).
     F64(Vec<f64>),
+}
+
+/// Dictionary codes live in `u32`: a dictionary never outgrows its row
+/// group (~1M rows), so any index fits. Saturate defensively instead of
+/// truncating if that invariant is ever broken upstream.
+#[inline]
+fn code_u32(i: usize) -> u32 {
+    u32::try_from(i).unwrap_or(u32::MAX)
 }
 
 impl Dictionary {
@@ -67,15 +76,14 @@ impl Dictionary {
             (Dictionary::Str(v), Value::Str(s)) => v
                 .binary_search_by(|e| e.as_ref().cmp(s.as_ref()))
                 .ok()
-                .map(|i| i as u32),
+                .map(code_u32),
             (Dictionary::I64(v), _) => {
                 let k = value.as_i64()?;
-                v.binary_search(&k).ok().map(|i| i as u32)
+                v.binary_search(&k).ok().map(code_u32)
             }
-            (Dictionary::F64(v), Value::Float64(f)) => v
-                .binary_search_by(|e| e.total_cmp(f))
-                .ok()
-                .map(|i| i as u32),
+            (Dictionary::F64(v), Value::Float64(f)) => {
+                v.binary_search_by(|e| e.total_cmp(f)).ok().map(code_u32)
+            }
             _ => None,
         }
     }
@@ -100,15 +108,15 @@ impl Dictionary {
             _ => Err(self.len()),
         };
         match r {
-            Ok(i) => Ok(i as u32),
-            Err(i) => Err(i as u32),
+            Ok(i) => Ok(code_u32(i)),
+            Err(i) => Err(code_u32(i)),
         }
     }
 
     /// The code interval (inclusive bounds in code space) matching a raw
     /// value interval. Returns `None` when no code can match.
     pub fn code_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Option<(u32, u32)> {
-        let n = self.len() as u32;
+        let n = code_u32(self.len());
         if n == 0 {
             return None;
         }
@@ -142,16 +150,17 @@ impl Dictionary {
     /// Decode one code back to a `Value` of column type `ty`.
     pub fn value_at(&self, code: u32, ty: DataType) -> Value {
         match self {
-            Dictionary::Str(v) => Value::Str(v[code as usize].clone()),
-            Dictionary::I64(v) => Value::from_i64(ty, v[code as usize]),
-            Dictionary::F64(v) => Value::Float64(v[code as usize]),
+            Dictionary::Str(v) => Value::Str(v[usize_from_u32(code)].clone()),
+            Dictionary::I64(v) => Value::from_i64(ty, v[usize_from_u32(code)]),
+            Dictionary::F64(v) => Value::Float64(v[usize_from_u32(code)]),
         }
     }
 
     /// Raw string at `code` (dictionary must be `Str`).
     pub fn str_at(&self, code: u32) -> &Arc<str> {
         match self {
-            Dictionary::Str(v) => &v[code as usize],
+            Dictionary::Str(v) => &v[usize_from_u32(code)],
+            // lint: allow(panic) — typed-accessor contract, same class as slice indexing
             _ => panic!("str_at on non-string dictionary"),
         }
     }
@@ -159,7 +168,8 @@ impl Dictionary {
     /// Raw i64 at `code` (dictionary must be `I64`).
     pub fn i64_at(&self, code: u32) -> i64 {
         match self {
-            Dictionary::I64(v) => v[code as usize],
+            Dictionary::I64(v) => v[usize_from_u32(code)],
+            // lint: allow(panic) — typed-accessor contract, same class as slice indexing
             _ => panic!("i64_at on non-integer dictionary"),
         }
     }
@@ -167,7 +177,8 @@ impl Dictionary {
     /// Raw f64 at `code` (dictionary must be `F64`).
     pub fn f64_at(&self, code: u32) -> f64 {
         match self {
-            Dictionary::F64(v) => v[code as usize],
+            Dictionary::F64(v) => v[usize_from_u32(code)],
+            // lint: allow(panic) — typed-accessor contract, same class as slice indexing
             _ => panic!("f64_at on non-float dictionary"),
         }
     }
@@ -244,7 +255,10 @@ mod tests {
         let d = Dictionary::build_i64([30, 10, 20, 10].into_iter());
         assert_eq!(d.len(), 3);
         assert_eq!(d.code_of(&Value::Int64(20)), Some(1));
-        let r = d.code_range(Bound::Included(&Value::Int64(15)), Bound::Included(&Value::Int64(30)));
+        let r = d.code_range(
+            Bound::Included(&Value::Int64(15)),
+            Bound::Included(&Value::Int64(30)),
+        );
         assert_eq!(r, Some((1, 2)));
         assert_eq!(d.value_at(2, DataType::Int64), Value::Int64(30));
         assert!(d.covers_i64(&[10, 30]));

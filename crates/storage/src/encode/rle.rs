@@ -4,6 +4,8 @@
 //! ends*; the cumulative form gives O(log r) random access by binary search
 //! and O(1) run iteration for scans.
 
+use cstore_common::convert::usize_from_u32;
+
 /// A run-length-encoded sequence of `u64` codes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RleVec {
@@ -26,7 +28,10 @@ impl RleVec {
                 j += 1;
             }
             values.push(v);
-            run_ends.push(j as u32);
+            // Row groups cap out far below u32::MAX rows, so cumulative
+            // run ends always fit; saturate rather than truncate if a
+            // caller ever violates that.
+            run_ends.push(u32::try_from(j).unwrap_or(u32::MAX));
             i = j;
         }
         RleVec { values, run_ends }
@@ -34,7 +39,7 @@ impl RleVec {
 
     /// Number of logical elements.
     pub fn len(&self) -> usize {
-        self.run_ends.last().map_or(0, |&e| e as usize)
+        self.run_ends.last().map_or(0, |&e| usize_from_u32(e))
     }
 
     pub fn is_empty(&self) -> bool {
@@ -49,20 +54,20 @@ impl RleVec {
     /// Random access to one code (O(log runs)).
     pub fn get(&self, idx: usize) -> u64 {
         debug_assert!(idx < self.len());
-        let run = self.run_ends.partition_point(|&e| e as usize <= idx);
+        let run = self.run_ends.partition_point(|&e| usize_from_u32(e) <= idx);
         self.values[run]
     }
 
     /// Iterate `(code, start, end)` triples over all runs.
     pub fn iter_runs(&self) -> impl Iterator<Item = (u64, usize, usize)> + '_ {
-        self.values.iter().zip(self.run_ends.iter()).scan(
-            0usize,
-            |start, (&v, &end)| {
+        self.values
+            .iter()
+            .zip(self.run_ends.iter())
+            .scan(0usize, |start, (&v, &end)| {
                 let s = *start;
-                *start = end as usize;
-                Some((v, s, end as usize))
-            },
-        )
+                *start = usize_from_u32(end);
+                Some((v, s, usize_from_u32(end)))
+            })
     }
 
     /// Decode every code into `out` (appended).
@@ -103,7 +108,10 @@ impl RleVec {
     /// Rebuild from serialized parts.
     pub fn from_raw(values: Vec<u64>, run_ends: Vec<u32>) -> Self {
         assert_eq!(values.len(), run_ends.len());
-        debug_assert!(run_ends.windows(2).all(|w| w[0] < w[1]), "run ends not increasing");
+        debug_assert!(
+            run_ends.windows(2).all(|w| w[0] < w[1]),
+            "run ends not increasing"
+        );
         RleVec { values, run_ends }
     }
 }

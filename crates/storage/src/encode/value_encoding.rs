@@ -32,7 +32,13 @@ impl ValueEncoding {
     /// Returns the encoding plus the maximum code it produces.
     pub fn analyze(values: &[i64]) -> (ValueEncoding, u64) {
         let Some(&first) = values.first() else {
-            return (ValueEncoding { base: 0, divisor: 1 }, 0);
+            return (
+                ValueEncoding {
+                    base: 0,
+                    divisor: 1,
+                },
+                0,
+            );
         };
         let mut min = first;
         let mut max = first;
@@ -43,7 +49,9 @@ impl ValueEncoding {
         // GCD of offsets from base.
         let mut g: u64 = 0;
         for &v in values {
-            g = gcd(g, (v as i128 - min as i128) as u64);
+            // lint: allow(cast) — v >= min, so the i128 difference of two
+            // i64s is in 0..=u64::MAX and converts exactly
+            g = gcd(g, (i128::from(v) - i128::from(min)) as u64);
             if g == 1 {
                 break;
             }
@@ -58,38 +66,40 @@ impl ValueEncoding {
     #[inline]
     pub fn encode(&self, raw: i64) -> u64 {
         debug_assert!(raw >= self.base);
-        ((raw as i128 - self.base as i128) as u64) / self.divisor
+        // lint: allow(cast) — raw >= base, so the i128 difference is in
+        // 0..=u64::MAX and converts exactly
+        ((i128::from(raw) - i128::from(self.base)) as u64) / self.divisor
     }
 
     /// Decode a code back to its raw value.
     #[inline]
     pub fn decode(&self, code: u64) -> i64 {
-        (self.base as i128 + code as i128 * self.divisor as i128) as i64
+        // lint: allow(cast) — codes come from encode(), whose result times
+        // divisor plus base is a valid i64 by construction
+        (i128::from(self.base) + i128::from(code) * i128::from(self.divisor)) as i64
     }
 
     /// The inclusive code interval matching a raw-value interval, or `None`
     /// when nothing can match. `max_code` bounds the segment's code domain.
-    pub fn code_range(
-        &self,
-        lo: Bound<i64>,
-        hi: Bound<i64>,
-        max_code: u64,
-    ) -> Option<(u64, u64)> {
-        let d = self.divisor as i128;
-        let b = self.base as i128;
+    pub fn code_range(&self, lo: Bound<i64>, hi: Bound<i64>, max_code: u64) -> Option<(u64, u64)> {
+        let d = i128::from(self.divisor);
+        let b = i128::from(self.base);
         // Smallest code whose raw value satisfies the lower bound.
         let lo_code: i128 = match lo {
             Bound::Unbounded => 0,
-            Bound::Included(v) => (v as i128 - b).div_euclid(d) + i128::from((v as i128 - b).rem_euclid(d) != 0),
-            Bound::Excluded(v) => (v as i128 - b).div_euclid(d) + 1,
+            Bound::Included(v) => {
+                (i128::from(v) - b).div_euclid(d)
+                    + i128::from((i128::from(v) - b).rem_euclid(d) != 0)
+            }
+            Bound::Excluded(v) => (i128::from(v) - b).div_euclid(d) + 1,
         };
         // Largest code whose raw value satisfies the upper bound.
         let hi_code: i128 = match hi {
-            Bound::Unbounded => max_code as i128,
-            Bound::Included(v) => (v as i128 - b).div_euclid(d),
+            Bound::Unbounded => i128::from(max_code),
+            Bound::Included(v) => (i128::from(v) - b).div_euclid(d),
             Bound::Excluded(v) => {
-                let q = (v as i128 - b).div_euclid(d);
-                if (v as i128 - b).rem_euclid(d) == 0 {
+                let q = (i128::from(v) - b).div_euclid(d);
+                if (i128::from(v) - b).rem_euclid(d) == 0 {
                     q - 1
                 } else {
                     q
@@ -97,18 +107,21 @@ impl ValueEncoding {
             }
         };
         let lo_code = lo_code.max(0);
-        let hi_code = hi_code.min(max_code as i128);
+        let hi_code = hi_code.min(i128::from(max_code));
+        // lint: allow(cast) — both clamped into 0..=max_code, a u64 range
         (lo_code <= hi_code).then_some((lo_code as u64, hi_code as u64))
     }
 
     /// The exact code for raw value `v`, or `None` if `v` is not
     /// representable (off-grid or out of range). For equality predicates.
     pub fn exact_code(&self, v: i64, max_code: u64) -> Option<u64> {
-        let off = v as i128 - self.base as i128;
-        if off < 0 || off % self.divisor as i128 != 0 {
+        let off = i128::from(v) - i128::from(self.base);
+        if off < 0 || off % i128::from(self.divisor) != 0 {
             return None;
         }
-        let code = (off / self.divisor as i128) as u64;
+        // lint: allow(cast) — off >= 0 and off/divisor <= max_code is
+        // checked below before the value escapes
+        let code = u64::try_from(off / i128::from(self.divisor)).unwrap_or(u64::MAX);
         (code <= max_code).then_some(code)
     }
 }
@@ -187,7 +200,10 @@ mod tests {
             None
         );
         // raw <= -1 → nothing
-        assert_eq!(e.code_range(Bound::Unbounded, Bound::Included(-1), max), None);
+        assert_eq!(
+            e.code_range(Bound::Unbounded, Bound::Included(-1), max),
+            None
+        );
     }
 
     #[test]

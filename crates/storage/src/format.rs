@@ -7,6 +7,7 @@
 
 use std::sync::Arc;
 
+use cstore_common::convert::{i32_from_i64, u16_from_usize, u32_from_usize, usize_from_u32};
 use cstore_common::{Bitmap, DataType, Error, Result, Value};
 
 use crate::encode::{Dictionary, PackedInts, RleVec, ValueEncoding};
@@ -23,9 +24,14 @@ pub fn crc32(data: &[u8]) -> u32 {
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
         for (i, e) in t.iter_mut().enumerate() {
+            // lint: allow(cast) — table index 0..256 always fits u32
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 == 1 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -33,7 +39,7 @@ pub fn crc32(data: &[u8]) -> u32 {
     });
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        c = table[usize_from_u32((c ^ u32::from(b)) & 0xFF)] ^ (c >> 8);
     }
     !c
 }
@@ -86,10 +92,12 @@ impl Writer {
         self.buf.extend_from_slice(v);
     }
 
-    /// Length-prefixed byte string.
-    pub fn lp_bytes(&mut self, v: &[u8]) {
-        self.u32(v.len() as u32);
+    /// Length-prefixed byte string; errors when the length does not
+    /// fit the `u32` prefix.
+    pub fn lp_bytes(&mut self, v: &[u8]) -> Result<()> {
+        self.u32(u32_from_usize(v.len())?);
         self.bytes(v);
+        Ok(())
     }
 
     /// Append a CRC-32 of everything written so far.
@@ -130,27 +138,35 @@ impl<'a> Reader<'a> {
         self.data.len() - self.pos
     }
 
+    /// Take exactly `N` bytes as an array; bounds come from [`take`], so
+    /// the slice→array conversion cannot fail.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| Self::corrupt("unexpected end of data"))
+    }
+
     pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
     pub fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
     pub fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
     pub fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     pub fn lp_bytes(&mut self) -> Result<&'a [u8]> {
-        let n = self.u32()? as usize;
+        let n = usize_from_u32(self.u32()?);
         self.take(n)
     }
 
@@ -160,7 +176,10 @@ impl<'a> Reader<'a> {
             return Err(Self::corrupt("blob shorter than its checksum"));
         }
         let (payload, crc_bytes) = data.split_at(data.len() - 4);
-        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        let stored = crc_bytes
+            .try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| Self::corrupt("blob shorter than its checksum"))?;
         if crc32(payload) != stored {
             return Err(Self::corrupt("checksum mismatch"));
         }
@@ -185,7 +204,7 @@ fn write_type(w: &mut Writer, ty: DataType) {
     }
 }
 
-fn read_type(r: &mut Reader) -> Result<DataType> {
+fn read_type(r: &mut Reader<'_>) -> Result<DataType> {
     Ok(match r.u8()? {
         0 => DataType::Bool,
         1 => DataType::Int32,
@@ -199,18 +218,19 @@ fn read_type(r: &mut Reader) -> Result<DataType> {
 }
 
 /// Serialize a schema (field names, types, nullability).
-pub fn write_schema(w: &mut Writer, schema: &cstore_common::Schema) {
-    w.u16(schema.len() as u16);
+pub fn write_schema(w: &mut Writer, schema: &cstore_common::Schema) -> Result<()> {
+    w.u16(u16_from_usize(schema.len())?);
     for f in schema.fields() {
-        w.lp_bytes(f.name.as_bytes());
+        w.lp_bytes(f.name.as_bytes())?;
         write_type(w, f.data_type);
-        w.u8(f.nullable as u8);
+        w.u8(u8::from(f.nullable));
     }
+    Ok(())
 }
 
 /// Deserialize a schema written by [`write_schema`].
-pub fn read_schema(r: &mut Reader) -> Result<cstore_common::Schema> {
-    let n = r.u16()? as usize;
+pub fn read_schema(r: &mut Reader<'_>) -> Result<cstore_common::Schema> {
+    let n = usize::from(r.u16()?);
     let mut fields = Vec::with_capacity(n);
     for _ in 0..n {
         let name = std::str::from_utf8(r.lp_bytes()?)
@@ -223,16 +243,16 @@ pub fn read_schema(r: &mut Reader) -> Result<cstore_common::Schema> {
     Ok(cstore_common::Schema::new(fields))
 }
 
-pub fn write_value(w: &mut Writer, v: &Value) {
+pub fn write_value(w: &mut Writer, v: &Value) -> Result<()> {
     match v {
         Value::Null => w.u8(0),
         Value::Bool(b) => {
             w.u8(1);
-            w.u8(*b as u8);
+            w.u8(u8::from(*b));
         }
         Value::Int32(x) => {
             w.u8(2);
-            w.i64(*x as i64);
+            w.i64(i64::from(*x));
         }
         Value::Int64(x) => {
             w.u8(3);
@@ -244,7 +264,7 @@ pub fn write_value(w: &mut Writer, v: &Value) {
         }
         Value::Date(x) => {
             w.u8(5);
-            w.i64(*x as i64);
+            w.i64(i64::from(*x));
         }
         Value::Decimal(x) => {
             w.u8(6);
@@ -252,41 +272,43 @@ pub fn write_value(w: &mut Writer, v: &Value) {
         }
         Value::Str(s) => {
             w.u8(7);
-            w.lp_bytes(s.as_bytes());
+            w.lp_bytes(s.as_bytes())?;
         }
     }
+    Ok(())
 }
 
-pub fn read_value(r: &mut Reader) -> Result<Value> {
+pub fn read_value(r: &mut Reader<'_>) -> Result<Value> {
     Ok(match r.u8()? {
         0 => Value::Null,
         1 => Value::Bool(r.u8()? != 0),
-        2 => Value::Int32(r.i64()? as i32),
+        2 => Value::Int32(i32_from_i64(r.i64()?)?),
         3 => Value::Int64(r.i64()?),
         4 => Value::Float64(r.f64()?),
-        5 => Value::Date(r.i64()? as i32),
+        5 => Value::Date(i32_from_i64(r.i64()?)?),
         6 => Value::Decimal(r.i64()?),
         7 => {
             let b = r.lp_bytes()?;
-            let s = std::str::from_utf8(b)
-                .map_err(|_| Reader::corrupt("invalid UTF-8 in value"))?;
+            let s =
+                std::str::from_utf8(b).map_err(|_| Reader::corrupt("invalid UTF-8 in value"))?;
             Value::str(s)
         }
         t => return Err(Reader::corrupt(&format!("unknown value tag {t}"))),
     })
 }
 
-fn write_opt_value(w: &mut Writer, v: &Option<Value>) {
+fn write_opt_value(w: &mut Writer, v: &Option<Value>) -> Result<()> {
     match v {
         None => w.u8(0),
         Some(v) => {
             w.u8(1);
-            write_value(w, v);
+            write_value(w, v)?;
         }
     }
+    Ok(())
 }
 
-fn read_opt_value(r: &mut Reader) -> Result<Option<Value>> {
+fn read_opt_value(r: &mut Reader<'_>) -> Result<Option<Value>> {
     Ok(if r.u8()? == 0 {
         None
     } else {
@@ -294,15 +316,16 @@ fn read_opt_value(r: &mut Reader) -> Result<Option<Value>> {
     })
 }
 
-fn write_bitmap(w: &mut Writer, b: &Bitmap) {
-    w.u32(b.len() as u32);
+fn write_bitmap(w: &mut Writer, b: &Bitmap) -> Result<()> {
+    w.u32(u32_from_usize(b.len())?);
     for &word in b.words() {
         w.u64(word);
     }
+    Ok(())
 }
 
-fn read_bitmap(r: &mut Reader) -> Result<Bitmap> {
-    let len = r.u32()? as usize;
+fn read_bitmap(r: &mut Reader<'_>) -> Result<Bitmap> {
+    let len = usize_from_u32(r.u32()?);
     let n_words = len.div_ceil(64);
     let mut words = Vec::with_capacity(n_words);
     for _ in 0..n_words {
@@ -311,35 +334,36 @@ fn read_bitmap(r: &mut Reader) -> Result<Bitmap> {
     Ok(Bitmap::from_words(words, len))
 }
 
-fn write_dictionary(w: &mut Writer, d: &Dictionary) {
+fn write_dictionary(w: &mut Writer, d: &Dictionary) -> Result<()> {
     match d {
         Dictionary::Str(v) => {
             w.u8(0);
-            w.u32(v.len() as u32);
+            w.u32(u32_from_usize(v.len())?);
             for s in v {
-                w.lp_bytes(s.as_bytes());
+                w.lp_bytes(s.as_bytes())?;
             }
         }
         Dictionary::I64(v) => {
             w.u8(1);
-            w.u32(v.len() as u32);
+            w.u32(u32_from_usize(v.len())?);
             for &x in v {
                 w.i64(x);
             }
         }
         Dictionary::F64(v) => {
             w.u8(2);
-            w.u32(v.len() as u32);
+            w.u32(u32_from_usize(v.len())?);
             for &x in v {
                 w.f64(x);
             }
         }
     }
+    Ok(())
 }
 
-fn read_dictionary(r: &mut Reader) -> Result<Dictionary> {
+fn read_dictionary(r: &mut Reader<'_>) -> Result<Dictionary> {
     let tag = r.u8()?;
-    let n = r.u32()? as usize;
+    let n = usize_from_u32(r.u32()?);
     Ok(match tag {
         0 => {
             let mut v = Vec::with_capacity(n);
@@ -372,7 +396,7 @@ fn read_dictionary(r: &mut Reader) -> Result<Dictionary> {
 // ------------------------------------------------------ segment codec
 
 /// Serialize a segment to a standalone, checksummed blob.
-pub fn serialize_segment(seg: &ColumnSegment) -> Vec<u8> {
+pub fn serialize_segment(seg: &ColumnSegment) -> Result<Vec<u8>> {
     let mut w = Writer::new();
     w.u32(SEGMENT_MAGIC);
     w.u16(FORMAT_VERSION);
@@ -382,7 +406,7 @@ pub fn serialize_segment(seg: &ColumnSegment) -> Vec<u8> {
         None => w.u8(0),
         Some(b) => {
             w.u8(1);
-            write_bitmap(&mut w, b);
+            write_bitmap(&mut w, b)?;
         }
     }
     match (seg.dictionary(), seg.value_encoding()) {
@@ -393,14 +417,18 @@ pub fn serialize_segment(seg: &ColumnSegment) -> Vec<u8> {
         }
         (Some(dict), None) => {
             w.u8(1);
-            write_dictionary(&mut w, dict);
+            write_dictionary(&mut w, dict)?;
         }
-        _ => unreachable!("segment has exactly one primary encoding"),
+        _ => {
+            return Err(Error::Storage(
+                "segment must carry exactly one primary encoding".into(),
+            ))
+        }
     }
     match seg.payload() {
         Payload::Rle(rle) => {
             w.u8(0);
-            w.u32(rle.n_runs() as u32);
+            w.u32(u32_from_usize(rle.n_runs())?);
             for &v in rle.values() {
                 w.u64(v);
             }
@@ -410,18 +438,18 @@ pub fn serialize_segment(seg: &ColumnSegment) -> Vec<u8> {
         }
         Payload::Packed(p) => {
             w.u8(1);
-            w.u8(p.width() as u8);
-            w.u32(p.len() as u32);
-            w.u32(p.words().len() as u32);
+            w.u8(cstore_common::convert::u8_from_u32(p.width())?);
+            w.u32(u32_from_usize(p.len())?);
+            w.u32(u32_from_usize(p.words().len())?);
             for &word in p.words() {
                 w.u64(word);
             }
         }
     }
     w.u64(seg.max_code());
-    write_opt_value(&mut w, &seg.meta.min);
-    write_opt_value(&mut w, &seg.meta.max);
-    w.seal()
+    write_opt_value(&mut w, &seg.meta.min)?;
+    write_opt_value(&mut w, &seg.meta.max)?;
+    Ok(w.seal())
 }
 
 /// Deserialize a segment blob produced by [`serialize_segment`].
@@ -458,7 +486,7 @@ pub fn deserialize_segment(data: &[u8]) -> Result<ColumnSegment> {
     };
     let payload = match r.u8()? {
         0 => {
-            let n_runs = r.u32()? as usize;
+            let n_runs = usize_from_u32(r.u32()?);
             let mut values = Vec::with_capacity(n_runs);
             for _ in 0..n_runs {
                 values.push(r.u64()?);
@@ -470,10 +498,10 @@ pub fn deserialize_segment(data: &[u8]) -> Result<ColumnSegment> {
             Payload::Rle(RleVec::from_raw(values, run_ends))
         }
         1 => {
-            let width = r.u8()? as u32;
-            let len = r.u32()? as usize;
-            let n_words = r.u32()? as usize;
-            if n_words != (len * width as usize).div_ceil(64) {
+            let width = u32::from(r.u8()?);
+            let len = usize_from_u32(r.u32()?);
+            let n_words = usize_from_u32(r.u32()?);
+            if n_words != len.saturating_mul(usize_from_u32(width)).div_ceil(64) {
                 return Err(Reader::corrupt("packed word count mismatch"));
             }
             let mut words = Vec::with_capacity(n_words);
@@ -484,7 +512,7 @@ pub fn deserialize_segment(data: &[u8]) -> Result<ColumnSegment> {
         }
         t => return Err(Reader::corrupt(&format!("unknown payload tag {t}"))),
     };
-    if payload.len() != row_count as usize {
+    if payload.len() != usize_from_u32(row_count) {
         return Err(Reader::corrupt("payload length != row count"));
     }
     let max_code = r.u64()?;
@@ -516,7 +544,7 @@ mod tests {
         w.u64(1 << 40);
         w.i64(-5);
         w.f64(1.5);
-        w.lp_bytes(b"abc");
+        w.lp_bytes(b"abc").unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.u8().unwrap(), 7);
@@ -544,7 +572,7 @@ mod tests {
         ];
         let mut w = Writer::new();
         for v in &values {
-            write_value(&mut w, v);
+            write_value(&mut w, v).unwrap();
         }
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
@@ -555,7 +583,7 @@ mod tests {
 
     fn seg_roundtrip(ty: DataType, vals: Vec<Value>) {
         let seg = encode_column(ty, &vals, None).unwrap();
-        let bytes = serialize_segment(&seg);
+        let bytes = serialize_segment(&seg).unwrap();
         let back = deserialize_segment(&bytes).unwrap();
         assert_eq!(back.row_count(), seg.row_count());
         assert_eq!(back.meta.min, seg.meta.min);
@@ -574,12 +602,20 @@ mod tests {
         seg_roundtrip(
             DataType::Int64,
             (0..500)
-                .map(|i| if i % 9 == 0 { Value::Null } else { Value::Int64(i / 100) })
+                .map(|i| {
+                    if i % 9 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int64(i / 100)
+                    }
+                })
                 .collect(),
         );
         seg_roundtrip(
             DataType::Utf8,
-            (0..200).map(|i| Value::str(format!("s{}", i % 7))).collect(),
+            (0..200)
+                .map(|i| Value::str(format!("s{}", i % 7)))
+                .collect(),
         );
         seg_roundtrip(
             DataType::Float64,
@@ -600,7 +636,7 @@ mod tests {
             None,
         )
         .unwrap();
-        let mut bytes = serialize_segment(&seg);
+        let mut bytes = serialize_segment(&seg).unwrap();
         // Flip a payload byte.
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
@@ -611,9 +647,9 @@ mod tests {
     #[test]
     fn version_mismatch_rejected() {
         let seg = encode_column(DataType::Int64, &[Value::Int64(1)], None).unwrap();
-        let mut bytes = serialize_segment(&seg);
+        let mut bytes = serialize_segment(&seg).unwrap();
         bytes[4] = 99; // version lives right after the magic
-        // Fix the CRC so only the version check fires.
+                       // Fix the CRC so only the version check fires.
         let n = bytes.len();
         let crc = crc32(&bytes[..n - 4]);
         bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());

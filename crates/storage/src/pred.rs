@@ -118,12 +118,7 @@ impl ColumnPred {
     ///
     /// `min`/`max` are over non-null values and are `None` when the segment
     /// is all-NULL.
-    pub fn may_match(
-        &self,
-        min: Option<&Value>,
-        max: Option<&Value>,
-        null_count: usize,
-    ) -> bool {
+    pub fn may_match(&self, min: Option<&Value>, max: Option<&Value>, null_count: usize) -> bool {
         match self {
             ColumnPred::IsNull => null_count > 0,
             ColumnPred::IsNotNull => min.is_some(),
@@ -147,9 +142,10 @@ impl ColumnPred {
                     }
                     // Ne: only eliminable when min == max == the constant.
                     None => match self {
-                        ColumnPred::Cmp { op: CmpOp::Ne, value } => {
-                            !(min.eq_storage(value) && max.eq_storage(value))
-                        }
+                        ColumnPred::Cmp {
+                            op: CmpOp::Ne,
+                            value,
+                        } => !(min.eq_storage(value) && max.eq_storage(value)),
                         _ => true,
                     },
                 }
@@ -263,7 +259,14 @@ mod tests {
 
     #[test]
     fn flip_is_involutive() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
         }
     }

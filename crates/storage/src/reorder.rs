@@ -67,9 +67,9 @@ mod tests {
     #[test]
     fn cardinality_order_sorts_low_first() {
         let cols = vec![
-            ints(&[1, 2, 3, 4, 5, 6]),    // card 6
-            ints(&[1, 1, 1, 2, 2, 2]),    // card 2
-            ints(&[1, 2, 1, 2, 3, 3]),    // card 3
+            ints(&[1, 2, 3, 4, 5, 6]), // card 6
+            ints(&[1, 1, 1, 2, 2, 2]), // card 2
+            ints(&[1, 2, 1, 2, 3, 3]), // card 3
         ];
         assert_eq!(cardinality_ascending_order(&cols), vec![1, 2, 0]);
     }

@@ -12,6 +12,7 @@
 
 use std::sync::Arc;
 
+use cstore_common::convert;
 use cstore_common::{DataType, Result, RowGroupId, Schema, Value};
 
 use crate::archive;
@@ -50,7 +51,11 @@ pub struct CompressedRowGroup {
 
 impl CompressedRowGroup {
     pub fn new(id: RowGroupId, schema: Schema, segments: Vec<ColumnSegment>) -> Self {
-        assert_eq!(schema.len(), segments.len(), "segment count != column count");
+        assert_eq!(
+            schema.len(),
+            segments.len(),
+            "segment count != column count"
+        );
         let n_rows = segments.first().map_or(0, |s| s.row_count());
         assert!(
             segments.iter().all(|s| s.row_count() == n_rows),
@@ -124,6 +129,8 @@ impl CompressedRowGroup {
         match &self.columns[col] {
             SegmentStore::Hot(s) => s,
             SegmentStore::Archived { .. } => {
+                // lint: allow(panic) — documented panicking accessor for
+                // tests/introspection; engine code uses open_segment
                 panic!("segment({col}) on an archived row group; use open_segment")
             }
         }
@@ -142,10 +149,10 @@ impl CompressedRowGroup {
     }
 
     /// Convert every segment to archival compression. Idempotent.
-    pub fn archive(&mut self) {
+    pub fn archive(&mut self) -> Result<()> {
         for c in self.columns.iter_mut() {
             if let SegmentStore::Hot(s) = c {
-                let serialized = format::serialize_segment(s);
+                let serialized = format::serialize_segment(s)?;
                 let compressed = archive::compress(&serialized);
                 *c = SegmentStore::Archived {
                     meta: s.meta.clone(),
@@ -153,6 +160,7 @@ impl CompressedRowGroup {
                 };
             }
         }
+        Ok(())
     }
 
     /// Restore archived segments to hot form.
@@ -192,26 +200,26 @@ impl CompressedRowGroup {
 
     /// Serialize the whole row group (header + per-column segment blobs,
     /// preserving the compression level).
-    pub fn serialize(&self) -> Vec<u8> {
+    pub fn serialize(&self) -> Result<Vec<u8>> {
         let mut w = format::Writer::new();
         w.u32(0x4752_5343); // "CSRG"
         w.u16(format::FORMAT_VERSION);
         w.u32(self.id.0);
-        w.u32(self.n_rows as u32);
-        w.u16(self.columns.len() as u16);
+        w.u32(convert::u32_from_usize(self.n_rows)?);
+        w.u16(convert::u16_from_usize(self.columns.len())?);
         for c in &self.columns {
             match c {
                 SegmentStore::Hot(s) => {
                     w.u8(0);
-                    w.lp_bytes(&format::serialize_segment(s));
+                    w.lp_bytes(&format::serialize_segment(s)?)?;
                 }
                 SegmentStore::Archived { bytes, .. } => {
                     w.u8(1);
-                    w.lp_bytes(bytes);
+                    w.lp_bytes(bytes)?;
                 }
             }
         }
-        w.seal()
+        Ok(w.seal())
     }
 
     /// Deserialize a row group blob (schema comes from the table catalog).
@@ -228,8 +236,8 @@ impl CompressedRowGroup {
             )));
         }
         let id = RowGroupId(r.u32()?);
-        let n_rows = r.u32()? as usize;
-        let n_cols = r.u16()? as usize;
+        let n_rows = convert::usize_from_u32(r.u32()?);
+        let n_cols = usize::from(r.u16()?);
         if n_cols != schema.len() {
             return Err(cstore_common::Error::Storage(format!(
                 "row group has {n_cols} columns, schema has {}",
@@ -300,7 +308,7 @@ mod tests {
         let mut rg = sample_group();
         let hot_bytes = rg.encoded_bytes();
         let before: Vec<Vec<Value>> = (0..10).map(|i| rg.row_values(i * 97).unwrap()).collect();
-        rg.archive();
+        rg.archive().unwrap();
         assert_eq!(rg.level(), CompressionLevel::Archive);
         // Metadata still there without decompression.
         assert_eq!(rg.seg_meta(0).min, Some(Value::Int64(0)));
@@ -334,14 +342,14 @@ mod tests {
     #[test]
     fn serialize_roundtrip_hot_and_archived() {
         let rg = sample_group();
-        let blob = rg.serialize();
+        let blob = rg.serialize().unwrap();
         let back = CompressedRowGroup::deserialize(&blob, rg.schema().clone()).unwrap();
         assert_eq!(back.n_rows(), rg.n_rows());
         assert_eq!(back.row_values(123).unwrap(), rg.row_values(123).unwrap());
 
         let mut arch = sample_group();
-        arch.archive();
-        let blob = arch.serialize();
+        arch.archive().unwrap();
+        let blob = arch.serialize().unwrap();
         let back = CompressedRowGroup::deserialize(&blob, arch.schema().clone()).unwrap();
         assert_eq!(back.level(), CompressionLevel::Archive);
         assert_eq!(back.row_values(7).unwrap(), arch.row_values(7).unwrap());
@@ -350,7 +358,7 @@ mod tests {
     #[test]
     fn deserialize_rejects_schema_mismatch() {
         let rg = sample_group();
-        let blob = rg.serialize();
+        let blob = rg.serialize().unwrap();
         let wrong = Schema::new(vec![Field::not_null("only", DataType::Int64)]);
         assert!(CompressedRowGroup::deserialize(&blob, wrong).is_err());
     }

@@ -16,9 +16,7 @@ use std::sync::Arc;
 
 use cstore_common::{Bitmap, DataType, Error, Result, Value};
 
-use crate::encode::{
-    Dictionary, PackedInts, PayloadKind, PrimaryEncoding, RleVec, ValueEncoding,
-};
+use crate::encode::{Dictionary, PackedInts, PayloadKind, PrimaryEncoding, RleVec, ValueEncoding};
 use crate::pred::ColumnPred;
 
 /// The physically compressed code sequence.
@@ -287,22 +285,22 @@ impl ColumnSegment {
                     nulls: self.nulls.clone(),
                 },
                 Dictionary::I64(_) => {
-                    let values: Vec<i64> =
-                        codes.iter().map(|&c| dict.i64_at(c as u32)).collect();
+                    let values: Vec<i64> = codes.iter().map(|&c| dict.i64_at(c as u32)).collect();
                     SegmentValues::I64 {
                         values,
                         nulls: self.nulls.clone(),
                     }
                 }
                 Dictionary::F64(_) => {
-                    let values: Vec<f64> =
-                        codes.iter().map(|&c| dict.f64_at(c as u32)).collect();
+                    let values: Vec<f64> = codes.iter().map(|&c| dict.f64_at(c as u32)).collect();
                     SegmentValues::F64 {
                         values,
                         nulls: self.nulls.clone(),
                     }
                 }
             },
+            // lint: allow(panic) — `assemble` guarantees exactly one
+            // primary encoding
             _ => unreachable!("segment must have exactly one primary encoding"),
         }
     }
@@ -316,7 +314,9 @@ impl ColumnSegment {
         match (&self.dict, &self.venc) {
             (None, Some(venc)) => Value::from_i64(self.meta.data_type, venc.decode(code)),
             (Some(dict), None) => dict.value_at(code as u32, self.meta.data_type),
-            _ => unreachable!(),
+            // lint: allow(panic) — `assemble` guarantees exactly one
+            // primary encoding
+            _ => unreachable!("segment must have exactly one primary encoding"),
         }
     }
 
@@ -330,10 +330,7 @@ impl ColumnSegment {
     pub fn eval_pred(&self, pred: &ColumnPred) -> Result<Bitmap> {
         let n = self.row_count();
         match pred {
-            ColumnPred::IsNull => Ok(self
-                .nulls
-                .clone()
-                .unwrap_or_else(|| Bitmap::zeros(n))),
+            ColumnPred::IsNull => Ok(self.nulls.clone().unwrap_or_else(|| Bitmap::zeros(n))),
             ColumnPred::IsNotNull => {
                 let mut b = Bitmap::ones(n);
                 if let Some(nulls) = &self.nulls {
@@ -395,28 +392,24 @@ impl ColumnSegment {
     ) -> Result<Option<(u64, u64)>> {
         use std::ops::Bound;
         match (&self.dict, &self.venc) {
-            (Some(dict), None) => Ok(dict
-                .code_range(lo, hi)
-                .map(|(a, b)| (a as u64, b as u64))),
+            (Some(dict), None) => Ok(dict.code_range(lo, hi).map(|(a, b)| (a as u64, b as u64))),
             (None, Some(venc)) => {
                 let to_i64 = |b: Bound<&Value>| -> Result<Bound<i64>> {
                     Ok(match b {
                         Bound::Unbounded => Bound::Unbounded,
                         Bound::Included(v) => Bound::Included(v.as_i64().ok_or_else(|| {
-                            Error::Type(format!(
-                                "predicate constant {v:?} is not integer-backed"
-                            ))
+                            Error::Type(format!("predicate constant {v:?} is not integer-backed"))
                         })?),
                         Bound::Excluded(v) => Bound::Excluded(v.as_i64().ok_or_else(|| {
-                            Error::Type(format!(
-                                "predicate constant {v:?} is not integer-backed"
-                            ))
+                            Error::Type(format!("predicate constant {v:?} is not integer-backed"))
                         })?),
                     })
                 };
                 Ok(venc.code_range(to_i64(lo)?, to_i64(hi)?, self.max_code))
             }
-            _ => unreachable!(),
+            // lint: allow(panic) — `assemble` guarantees exactly one
+            // primary encoding
+            _ => unreachable!("segment must have exactly one primary encoding"),
         }
     }
 
@@ -531,7 +524,10 @@ mod tests {
     #[test]
     fn eval_pred_is_null() {
         let seg = int_segment(&[Some(1), None, Some(3)]);
-        assert_eq!(seg.eval_pred(&ColumnPred::IsNull).unwrap().to_indices(), vec![1]);
+        assert_eq!(
+            seg.eval_pred(&ColumnPred::IsNull).unwrap().to_indices(),
+            vec![1]
+        );
         assert_eq!(
             seg.eval_pred(&ColumnPred::IsNotNull).unwrap().to_indices(),
             vec![0, 2]
@@ -541,10 +537,23 @@ mod tests {
     #[test]
     fn eval_pred_matches_naive_for_many_ops() {
         let data: Vec<Option<i64>> = (0..200)
-            .map(|i| if i % 13 == 0 { None } else { Some((i * 7) % 50) })
+            .map(|i| {
+                if i % 13 == 0 {
+                    None
+                } else {
+                    Some((i * 7) % 50)
+                }
+            })
             .collect();
         let seg = int_segment(&data);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for k in [0i64, 7, 23, 49, 50, -1] {
                 let pred = ColumnPred::Cmp {
                     op,

@@ -62,12 +62,9 @@ impl SegmentDirectory {
         for chunk in self.entries.chunks(self.n_columns.max(1)) {
             let Some(first) = chunk.first() else { continue };
             let ok = preds.iter().all(|(col, p)| {
-                chunk
-                    .iter()
-                    .find(|e| e.column == *col)
-                    .is_some_and(|e| {
-                        p.may_match(e.min.as_ref(), e.max.as_ref(), e.null_count as usize)
-                    })
+                chunk.iter().find(|e| e.column == *col).is_some_and(|e| {
+                    p.may_match(e.min.as_ref(), e.max.as_ref(), e.null_count as usize)
+                })
             });
             if ok {
                 out.push(first.group);
@@ -78,10 +75,7 @@ impl SegmentDirectory {
 
     /// Number of row groups in the directory.
     pub fn n_groups(&self) -> usize {
-        self.entries
-            .len()
-            .checked_div(self.n_columns)
-            .unwrap_or(0)
+        self.entries.len().checked_div(self.n_columns).unwrap_or(0)
     }
 }
 

@@ -131,6 +131,9 @@ impl ColumnStore {
                     Some(w) => total += w * g.n_rows(),
                     None => {
                         // Strings: sum of actual lengths + 2-byte length.
+                        // lint: allow(unwrap) — advisory size estimate over
+                        // segments this process wrote; corrupt-archive errors
+                        // surface on the real read paths
                         let seg = g.open_segment(col).expect("segment readable");
                         if let crate::segment::SegmentValues::Str { codes, dict, nulls } =
                             seg.decode()
@@ -214,8 +217,7 @@ impl ColumnStore {
             .iter_mut()
             .find(|g| g.id() == id)
             .ok_or_else(|| cstore_common::Error::Storage(format!("no row group {id}")))?;
-        g.archive();
-        Ok(())
+        g.archive()
     }
 
     /// Remove a row group (tuple-mover cleanup after a rebuild).
@@ -251,7 +253,7 @@ impl ColumnStore {
         }
         store.put(&format!("{prefix}.manifest"), &w.seal())?;
         for g in &self.groups {
-            store.put(&format!("{prefix}.rg{}", g.id().0), &g.serialize())?;
+            store.put(&format!("{prefix}.rg{}", g.id().0), &g.serialize()?)?;
         }
         Ok(())
     }
@@ -328,7 +330,10 @@ mod tests {
         cs.append_rows(&rows(0, 1000), 500).unwrap();
         let d0 = cs.groups()[0].segment(1).dictionary().unwrap().clone();
         let d1 = cs.groups()[1].segment(1).dictionary().unwrap().clone();
-        assert!(Arc::ptr_eq(&d0, &d1), "second group should reuse the global dict");
+        assert!(
+            Arc::ptr_eq(&d0, &d1),
+            "second group should reuse the global dict"
+        );
     }
 
     #[test]

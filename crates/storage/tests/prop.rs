@@ -1,85 +1,99 @@
-//! Property tests on the storage crate's core data structures.
+//! Randomized tests on the storage crate's core data structures.
+//! Deterministic seeded `Rng` replaces proptest so the suite builds
+//! offline.
 
-use proptest::prelude::*;
-
+use cstore_common::testutil::Rng;
 use cstore_common::{Bitmap, DataType, Value};
 use cstore_storage::encode::{Dictionary, PackedInts, RleVec};
 use cstore_storage::pred::{CmpOp, ColumnPred};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn bitpack_roundtrips_any_width(
-        codes in proptest::collection::vec(any::<u64>(), 0..300),
-        width_cap in 1u32..=64,
-    ) {
-        let mask = if width_cap == 64 { u64::MAX } else { (1 << width_cap) - 1 };
-        let codes: Vec<u64> = codes.iter().map(|c| c & mask).collect();
+#[test]
+fn bitpack_roundtrips_any_width() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed);
+        let width_cap = rng.range_i64(1, 65) as u32;
+        let mask = if width_cap == 64 {
+            u64::MAX
+        } else {
+            (1 << width_cap) - 1
+        };
+        let n = rng.range_usize(0, 300);
+        let codes: Vec<u64> = (0..n).map(|_| rng.next_u64() & mask).collect();
         let p = PackedInts::from_codes(&codes);
         let mut out = Vec::new();
         p.decode_into(&mut out);
-        prop_assert_eq!(&out, &codes);
+        assert_eq!(&out, &codes, "seed {seed} width {width_cap}");
         for (i, &c) in codes.iter().enumerate() {
-            prop_assert_eq!(p.get(i), c);
+            assert_eq!(p.get(i), c, "seed {seed} idx {i}");
         }
     }
+}
 
-    #[test]
-    fn rle_roundtrips_and_counts_runs(codes in proptest::collection::vec(0u64..6, 0..300)) {
+#[test]
+fn rle_roundtrips_and_counts_runs() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed ^ 0x41E);
+        let n = rng.range_usize(0, 300);
+        // Tiny domain → long runs.
+        let codes: Vec<u64> = (0..n).map(|_| rng.below(6)).collect();
         let r = RleVec::from_codes(&codes);
         let mut out = Vec::new();
         r.decode_into(&mut out);
-        prop_assert_eq!(&out, &codes);
-        prop_assert_eq!(r.n_runs(), RleVec::count_runs(&codes));
+        assert_eq!(&out, &codes, "seed {seed}");
+        assert_eq!(r.n_runs(), RleVec::count_runs(&codes), "seed {seed}");
         // Runs tile the sequence exactly.
         let mut end = 0;
         for (_, s, e) in r.iter_runs() {
-            prop_assert_eq!(s, end);
-            prop_assert!(e > s);
+            assert_eq!(s, end, "seed {seed}");
+            assert!(e > s, "seed {seed}");
             end = e;
         }
-        prop_assert_eq!(end, codes.len());
+        assert_eq!(end, codes.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn bitmap_algebra_laws(
-        a in proptest::collection::vec(any::<bool>(), 1..200),
-    ) {
+#[test]
+fn bitmap_algebra_laws() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed ^ 0xB17);
+        let n = rng.range_usize(1, 200);
+        let a: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
         let b: Vec<bool> = a.iter().map(|&x| !x).collect();
         let ba = Bitmap::from_bools(&a);
         let bb = Bitmap::from_bools(&b);
         // a ∪ ¬a = ones; a ∩ ¬a = zeros.
         let mut u = ba.clone();
         u.union_with(&bb);
-        prop_assert!(u.all());
+        assert!(u.all(), "seed {seed}");
         let mut i = ba.clone();
         i.intersect_with(&bb);
-        prop_assert!(!i.any());
+        assert!(!i.any(), "seed {seed}");
         // double negation
-        let mut n = ba.clone();
-        n.negate();
-        n.negate();
-        prop_assert_eq!(&n, &ba);
+        let mut neg = ba.clone();
+        neg.negate();
+        neg.negate();
+        assert_eq!(&neg, &ba, "seed {seed}");
         // subtract self = zeros
         let mut s = ba.clone();
         s.subtract(&ba);
-        prop_assert!(!s.any());
+        assert!(!s.any(), "seed {seed}");
         // popcount consistency
-        prop_assert_eq!(ba.count_ones() + bb.count_ones(), a.len());
-        prop_assert_eq!(ba.iter_ones().count(), ba.count_ones());
+        assert_eq!(ba.count_ones() + bb.count_ones(), a.len(), "seed {seed}");
+        assert_eq!(ba.iter_ones().count(), ba.count_ones(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn dictionary_code_range_matches_naive(
-        mut values in proptest::collection::vec(-50i64..50, 1..100),
-        lo in -60i64..60,
-        span in 0i64..40,
-    ) {
+#[test]
+fn dictionary_code_range_matches_naive() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed ^ 0xD1C7);
+        let n = rng.range_usize(1, 100);
+        let mut values: Vec<i64> = (0..n).map(|_| rng.range_i64(-50, 50)).collect();
         values.sort_unstable();
         values.dedup();
+        let lo = rng.range_i64(-60, 60);
+        let hi = lo + rng.range_i64(0, 40);
         let dict = Dictionary::build_i64(values.iter().copied());
-        let hi = lo + span;
         let range = dict.code_range(
             std::ops::Bound::Included(&Value::Int64(lo)),
             std::ops::Bound::Included(&Value::Int64(hi)),
@@ -91,62 +105,91 @@ proptest! {
             .map(|(i, _)| i as u32)
             .collect();
         match range {
-            None => prop_assert!(expect.is_empty()),
+            None => assert!(expect.is_empty(), "seed {seed} lo {lo} hi {hi}"),
             Some((a, b)) => {
-                prop_assert_eq!(expect.first(), Some(&a));
-                prop_assert_eq!(expect.last(), Some(&b));
-                prop_assert_eq!(expect.len() as u32, b - a + 1);
+                assert_eq!(expect.first(), Some(&a), "seed {seed}");
+                assert_eq!(expect.last(), Some(&b), "seed {seed}");
+                assert_eq!(expect.len() as u32, b - a + 1, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn elimination_never_false_negative(
-        values in proptest::collection::vec(
-            prop_oneof![3 => (-100i64..100).prop_map(Value::Int64), 1 => Just(Value::Null)],
-            1..150,
-        ),
-        k in -120i64..120,
-        op_idx in 0usize..6,
-    ) {
+#[test]
+fn elimination_never_false_negative() {
+    let ops = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+    for seed in 0..128u64 {
         use cstore_storage::builder::encode_column;
-        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
-        let pred = ColumnPred::Cmp { op: ops[op_idx], value: Value::Int64(k) };
+        let mut rng = Rng::new(seed ^ 0xE11);
+        let n = rng.range_usize(1, 150);
+        let values: Vec<Value> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.25) {
+                    Value::Null
+                } else {
+                    Value::Int64(rng.range_i64(-100, 100))
+                }
+            })
+            .collect();
+        let k = rng.range_i64(-120, 120);
+        let op = ops[rng.range_usize(0, ops.len())];
+        let pred = ColumnPred::Cmp {
+            op,
+            value: Value::Int64(k),
+        };
         let seg = encode_column(DataType::Int64, &values, None).unwrap();
         let any_matches = values.iter().any(|v| !v.is_null() && pred.matches(v));
         if any_matches {
-            prop_assert!(
+            assert!(
                 seg.may_match(&pred),
-                "eliminated a segment with matching rows (k={}, op={:?})", k, ops[op_idx]
+                "eliminated a segment with matching rows (seed={seed}, k={k}, op={op:?})"
             );
         }
     }
+}
 
-    #[test]
-    fn rowgroup_serialization_roundtrips(
-        seed_rows in proptest::collection::vec((any::<i64>(), "[a-c]{0,4}"), 1..120),
-        archive in any::<bool>(),
-    ) {
-        use cstore_common::{Field, Row, RowGroupId, Schema};
-        use cstore_storage::builder::{RowGroupBuilder, SortMode};
-        use cstore_storage::CompressedRowGroup;
+#[test]
+fn rowgroup_serialization_roundtrips() {
+    use cstore_common::{Field, Row, RowGroupId, Schema};
+    use cstore_storage::builder::{RowGroupBuilder, SortMode};
+    use cstore_storage::CompressedRowGroup;
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed ^ 0x56E1);
         let schema = Schema::new(vec![
             Field::not_null("a", DataType::Int64),
             Field::not_null("b", DataType::Utf8),
         ]);
+        let n = rng.range_usize(1, 120);
         let mut b = RowGroupBuilder::new(schema.clone(), SortMode::Auto);
-        for (x, s) in &seed_rows {
-            b.push_row(&Row::new(vec![Value::Int64(*x), Value::str(s.as_str())])).unwrap();
+        for _ in 0..n {
+            let x = rng.next_u64() as i64;
+            let len = rng.range_usize(0, 5);
+            let s: String = (0..len)
+                .map(|_| ['a', 'b', 'c'][rng.range_usize(0, 3)])
+                .collect();
+            b.push_row(&Row::new(vec![Value::Int64(x), Value::str(s)]))
+                .unwrap();
         }
         let mut rg = b.finish(RowGroupId(1), &[None, None]).unwrap();
-        if archive {
-            rg.archive();
+        if rng.gen_bool(0.5) {
+            rg.archive().unwrap();
         }
-        let blob = rg.serialize();
+        let blob = rg.serialize().unwrap();
         let back = CompressedRowGroup::deserialize(&blob, schema).unwrap();
-        prop_assert_eq!(back.n_rows(), rg.n_rows());
+        assert_eq!(back.n_rows(), rg.n_rows(), "seed {seed}");
         for t in 0..rg.n_rows() {
-            prop_assert_eq!(back.row_values(t).unwrap(), rg.row_values(t).unwrap());
+            assert_eq!(
+                back.row_values(t).unwrap(),
+                rg.row_values(t).unwrap(),
+                "seed {seed} row {t}"
+            );
         }
     }
 }

@@ -15,9 +15,8 @@
 //! | F  | inventory snapshots  | very low cardinality everywhere               |
 //! | G  | adversarial random   | near-random values (worst case)               |
 
+use cstore_common::testutil::Rng;
 use cstore_common::{DataType, Field, Row, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::zipf::Zipf;
 
@@ -43,7 +42,7 @@ pub fn all(n: usize, seed: u64) -> Vec<CustomerDb> {
 }
 
 pub fn telco(n: usize, seed: u64) -> CustomerDb {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xA);
+    let mut rng = Rng::new(seed ^ 0xA);
     let schema = Schema::new(vec![
         Field::not_null("call_id", DataType::Int64),
         Field::not_null("caller", DataType::Int64),
@@ -56,11 +55,11 @@ pub fn telco(n: usize, seed: u64) -> CustomerDb {
         .map(|i| {
             Row::new(vec![
                 Value::Int64(10_000_000 + i),
-                Value::Int64(rng.gen_range(2_000_000_000i64..2_100_000_000)),
-                Value::Int64(rng.gen_range(2_000_000_000i64..2_100_000_000)),
-                Value::Int64(1_600_000_000 + i * 3 + rng.gen_range(0..3)),
-                Value::Int32(rng.gen_range(1..3600)),
-                Value::Int32(rng.gen_range(0..5000)),
+                Value::Int64(rng.range_i64(2_000_000_000, 2_100_000_000)),
+                Value::Int64(rng.range_i64(2_000_000_000, 2_100_000_000)),
+                Value::Int64(1_600_000_000 + i * 3 + rng.range_i64(0, 3)),
+                Value::Int32(rng.range_i64(1, 3600) as i32),
+                Value::Int32(rng.range_i64(0, 5000) as i32),
             ])
         })
         .collect();
@@ -75,7 +74,7 @@ pub fn telco(n: usize, seed: u64) -> CustomerDb {
 pub fn retail(n: usize, seed: u64) -> CustomerDb {
     const STATUS: [&str; 4] = ["placed", "shipped", "delivered", "returned"];
     const CHANNEL: [&str; 3] = ["web", "store", "phone"];
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xB);
+    let mut rng = Rng::new(seed ^ 0xB);
     let schema = Schema::new(vec![
         Field::not_null("order_id", DataType::Int64),
         Field::not_null("status", DataType::Utf8),
@@ -89,14 +88,14 @@ pub fn retail(n: usize, seed: u64) -> CustomerDb {
             let coupon = if rng.gen_bool(0.9) {
                 Value::Null
             } else {
-                Value::str(format!("SAVE{:02}", rng.gen_range(5..30)))
+                Value::str(format!("SAVE{:02}", rng.range_i64(5, 30)))
             };
             Row::new(vec![
                 Value::Int64(i),
-                Value::str(STATUS[rng.gen_range(0..STATUS.len())]),
-                Value::str(CHANNEL[rng.gen_range(0..CHANNEL.len())]),
-                Value::Int32(rng.gen_range(1..12)),
-                Value::Decimal(rng.gen_range(100..50_000)),
+                Value::str(STATUS[rng.range_usize(0, STATUS.len())]),
+                Value::str(CHANNEL[rng.range_usize(0, CHANNEL.len())]),
+                Value::Int32(rng.range_i64(1, 12) as i32),
+                Value::Decimal(rng.range_i64(100, 50_000)),
                 coupon,
             ])
         })
@@ -110,7 +109,7 @@ pub fn retail(n: usize, seed: u64) -> CustomerDb {
 }
 
 pub fn sensor(n: usize, seed: u64) -> CustomerDb {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xC);
+    let mut rng = Rng::new(seed ^ 0xC);
     let schema = Schema::new(vec![
         Field::not_null("sensor_id", DataType::Int32),
         Field::not_null("ts", DataType::Int64),
@@ -125,10 +124,10 @@ pub fn sensor(n: usize, seed: u64) -> CustomerDb {
         .map(|i| {
             let s = i % 20;
             if rng.gen_bool(0.05) {
-                temp[s] += rng.gen_range(-2..=2);
+                temp[s] += rng.range_i64(-2, 3) as i32;
             }
             if rng.gen_bool(0.02) {
-                hum[s] += rng.gen_range(-1..=1);
+                hum[s] += rng.range_i64(-1, 2) as i32;
             }
             Row::new(vec![
                 Value::Int32(s as i32),
@@ -148,7 +147,7 @@ pub fn sensor(n: usize, seed: u64) -> CustomerDb {
 }
 
 pub fn weblog(n: usize, seed: u64) -> CustomerDb {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD);
+    let mut rng = Rng::new(seed ^ 0xD);
     let n_urls = 2000;
     let urls: Vec<String> = (0..n_urls)
         .map(|i| format!("/site/section-{}/page-{i:04}.html", i % 25))
@@ -163,15 +162,13 @@ pub fn weblog(n: usize, seed: u64) -> CustomerDb {
     ]);
     let rows = (0..n as i64)
         .map(|i| {
-            let status = *[200, 200, 200, 200, 304, 404, 500]
-                .get(rng.gen_range(0..7))
-                .unwrap();
+            let status = [200, 200, 200, 200, 304, 404, 500][rng.range_usize(0, 7)];
             Row::new(vec![
                 Value::Int64(1_650_000_000 + i),
                 Value::str(urls[zipf.sample(&mut rng) - 1].as_str()),
                 Value::Int32(status),
-                Value::Int32(rng.gen_range(200..100_000)),
-                Value::Int64(rng.gen::<u32>() as i64),
+                Value::Int32(rng.range_i64(200, 100_000) as i32),
+                Value::Int64(i64::from(rng.next_u32())),
             ])
         })
         .collect();
@@ -189,7 +186,7 @@ pub fn finance(n: usize, seed: u64) -> CustomerDb {
         "PG", "MA", "UNH", "HD", "DIS", "BAC", "ADBE", "CRM", "NFLX", "XOM", "CVX", "PFE", "KO",
         "PEP", "COST", "AVGO", "CSCO", "ORCL",
     ];
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xE);
+    let mut rng = Rng::new(seed ^ 0xE);
     let schema = Schema::new(vec![
         Field::not_null("ts", DataType::Int64),
         Field::not_null("symbol", DataType::Utf8),
@@ -202,15 +199,15 @@ pub fn finance(n: usize, seed: u64) -> CustomerDb {
     let mut price = vec![10_000i64; SYMBOLS.len()];
     let rows = (0..n as i64)
         .map(|i| {
-            let s = rng.gen_range(0..SYMBOLS.len());
-            price[s] += 25 * rng.gen_range(-3i64..=3);
+            let s = rng.range_usize(0, SYMBOLS.len());
+            price[s] += 25 * rng.range_i64(-3, 4);
             price[s] = price[s].max(100);
             Row::new(vec![
                 Value::Int64(1_680_000_000_000 + i * 17),
                 Value::str(SYMBOLS[s]),
                 Value::Decimal(price[s]),
-                Value::Int32(rng.gen_range(1..100) * 100),
-                Value::str(VENUES[rng.gen_range(0..VENUES.len())]),
+                Value::Int32(rng.range_i64(1, 100) as i32 * 100),
+                Value::str(VENUES[rng.range_usize(0, VENUES.len())]),
             ])
         })
         .collect();
@@ -223,7 +220,7 @@ pub fn finance(n: usize, seed: u64) -> CustomerDb {
 }
 
 pub fn inventory(n: usize, seed: u64) -> CustomerDb {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xF);
+    let mut rng = Rng::new(seed ^ 0xF);
     let schema = Schema::new(vec![
         Field::not_null("warehouse", DataType::Int32),
         Field::not_null("sku_class", DataType::Utf8),
@@ -237,7 +234,7 @@ pub fn inventory(n: usize, seed: u64) -> CustomerDb {
             Row::new(vec![
                 Value::Int32((i % 8) as i32),
                 Value::str(CLASSES[(i / 8) % CLASSES.len()]),
-                Value::Int32(rng.gen_range(0..20) * 10),
+                Value::Int32(rng.range_i64(0, 20) as i32 * 10),
                 Value::Int32(50),
                 Value::Bool(rng.gen_bool(0.97)),
             ])
@@ -252,7 +249,7 @@ pub fn inventory(n: usize, seed: u64) -> CustomerDb {
 }
 
 pub fn random(n: usize, seed: u64) -> CustomerDb {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x10);
+    let mut rng = Rng::new(seed ^ 0x10);
     let schema = Schema::new(vec![
         Field::not_null("a", DataType::Int64),
         Field::not_null("b", DataType::Int64),
@@ -262,10 +259,10 @@ pub fn random(n: usize, seed: u64) -> CustomerDb {
     let rows = (0..n)
         .map(|_| {
             Row::new(vec![
-                Value::Int64(rng.gen()),
-                Value::Int64(rng.gen()),
-                Value::Float64(rng.gen()),
-                Value::str(format!("{:016x}", rng.gen::<u64>())),
+                Value::Int64(rng.next_u64() as i64),
+                Value::Int64(rng.next_u64() as i64),
+                Value::Float64(rng.f64()),
+                Value::str(format!("{:016x}", rng.next_u64())),
             ])
         })
         .collect();

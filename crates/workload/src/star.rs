@@ -16,9 +16,8 @@
 //! row groups give real segment elimination; customer/product keys are
 //! Zipf-skewed.
 
+use cstore_common::testutil::Rng;
 use cstore_common::{DataType, Field, Row, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::zipf::Zipf;
 
@@ -122,14 +121,14 @@ impl StarSchema {
     pub fn customers(&self) -> Vec<Row> {
         const REGIONS: [&str; 4] = ["north", "south", "east", "west"];
         const SEGMENTS: [&str; 3] = ["consumer", "corporate", "public"];
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xC057);
+        let mut rng = Rng::new(self.seed ^ 0xC057);
         (0..self.n_customers as i64)
             .map(|k| {
                 Row::new(vec![
                     Value::Int64(k),
                     Value::str(format!("customer-{k:06}")),
-                    Value::str(REGIONS[rng.gen_range(0..REGIONS.len())]),
-                    Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                    Value::str(REGIONS[rng.range_usize(0, REGIONS.len())]),
+                    Value::str(SEGMENTS[rng.range_usize(0, SEGMENTS.len())]),
                 ])
             })
             .collect()
@@ -137,17 +136,24 @@ impl StarSchema {
 
     pub fn products(&self) -> Vec<Row> {
         const CATEGORIES: [&str; 8] = [
-            "grocery", "dairy", "produce", "bakery", "frozen", "household", "apparel", "toys",
+            "grocery",
+            "dairy",
+            "produce",
+            "bakery",
+            "frozen",
+            "household",
+            "apparel",
+            "toys",
         ];
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x920D);
+        let mut rng = Rng::new(self.seed ^ 0x920D);
         (0..self.n_products as i64)
             .map(|k| {
                 Row::new(vec![
                     Value::Int64(k),
                     Value::str(format!("product-{k:05}")),
-                    Value::str(CATEGORIES[rng.gen_range(0..CATEGORIES.len())]),
-                    Value::str(format!("brand-{:02}", rng.gen_range(0..40))),
-                    Value::Decimal(rng.gen_range(99..9999)),
+                    Value::str(CATEGORIES[rng.range_usize(0, CATEGORIES.len())]),
+                    Value::str(format!("brand-{:02}", rng.range_i64(0, 40))),
+                    Value::Decimal(rng.range_i64(99, 9999)),
                 ])
             })
             .collect()
@@ -168,7 +174,7 @@ impl StarSchema {
 
     /// Fact rows, in date order.
     pub fn sales(&self) -> Vec<Row> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::new(self.seed);
         let cust = Zipf::new(self.n_customers, 1.1);
         let prod = Zipf::new(self.n_products, 1.05);
         let per_day = self.n_sales.div_ceil(self.n_dates).max(1);
@@ -178,16 +184,16 @@ impl StarSchema {
             let discount = if rng.gen_bool(0.8) {
                 Value::Null
             } else {
-                Value::Float64((rng.gen_range(1..=30) as f64) / 100.0)
+                Value::Float64((rng.range_i64(1, 31) as f64) / 100.0)
             };
             rows.push(Row::new(vec![
                 Value::Int64(id),
                 Value::Date(day),
                 Value::Int64((cust.sample(&mut rng) - 1) as i64),
                 Value::Int64((prod.sample(&mut rng) - 1) as i64),
-                Value::Int64(rng.gen_range(0..self.n_stores as i64)),
-                Value::Int32(rng.gen_range(1..=10)),
-                Value::Decimal(rng.gen_range(99..99_99)),
+                Value::Int64(rng.range_i64(0, self.n_stores as i64)),
+                Value::Int32(rng.range_i64(1, 11) as i32),
+                Value::Decimal(rng.range_i64(99, 99_99)),
                 discount,
             ]));
         }
@@ -245,7 +251,9 @@ mod tests {
             StarSchema::product_schema().check_row(row).unwrap();
         }
         StarSchema::date_schema().check_row(&s.dates()[0]).unwrap();
-        StarSchema::store_schema().check_row(&s.stores()[0]).unwrap();
+        StarSchema::store_schema()
+            .check_row(&s.stores()[0])
+            .unwrap();
     }
 
     #[test]

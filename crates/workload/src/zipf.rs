@@ -5,7 +5,7 @@
 //! distribution over `1..=n` via inverse-CDF lookup (exact, O(log n) per
 //! sample after O(n) setup).
 
-use rand::Rng;
+use cstore_common::testutil::Rng;
 
 /// A Zipf distribution over `1..=n` with exponent `s`.
 pub struct Zipf {
@@ -32,8 +32,8 @@ impl Zipf {
     }
 
     /// Draw one sample in `1..=n`.
-    pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u: f64 = rng.f64();
         self.cdf.partition_point(|&p| p < u) + 1
     }
 
@@ -45,13 +45,11 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn samples_stay_in_range() {
         let z = Zipf::new(100, 1.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::new(1);
         for _ in 0..10_000 {
             let x = z.sample(&mut rng);
             assert!((1..=100).contains(&x));
@@ -61,7 +59,7 @@ mod tests {
     #[test]
     fn skew_favors_small_keys() {
         let z = Zipf::new(1000, 1.2);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::new(2);
         let mut head = 0;
         let n = 50_000;
         for _ in 0..n {
@@ -76,7 +74,7 @@ mod tests {
     #[test]
     fn zero_exponent_is_roughly_uniform() {
         let z = Zipf::new(10, 0.0);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::new(3);
         let mut counts = [0usize; 10];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng) - 1] += 1;

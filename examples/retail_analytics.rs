@@ -24,7 +24,13 @@ fn main() -> cstore::common::Result<()> {
     // Run the benchmark query set; print results for a couple of them.
     for q in queries::all() {
         let result = db.execute(q.sql)?;
-        if let QueryResult::Rows { rows, mode, elapsed, .. } = &result {
+        if let QueryResult::Rows {
+            rows,
+            mode,
+            elapsed,
+            ..
+        } = &result
+        {
             println!(
                 "{}: {} rows in {:.2} ms ({mode:?} mode) — {}",
                 q.id,
@@ -54,6 +60,9 @@ fn main() -> cstore::common::Result<()> {
     let t = std::time::Instant::now();
     db.execute(sql)?;
     let batch_ms = t.elapsed().as_secs_f64() * 1e3;
-    println!("row mode {row_ms:.2} ms vs batch mode {batch_ms:.2} ms → {:.1}x", row_ms / batch_ms);
+    println!(
+        "row mode {row_ms:.2} ms vs batch mode {batch_ms:.2} ms → {:.1}x",
+        row_ms / batch_ms
+    );
     Ok(())
 }

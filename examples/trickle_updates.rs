@@ -35,9 +35,7 @@ fn main() -> cstore::common::Result<()> {
         bulk_load_threshold: 50_000,
         ..Default::default()
     });
-    db.execute(
-        "CREATE TABLE events (id BIGINT NOT NULL, kind VARCHAR NOT NULL, amount DOUBLE)",
-    )?;
+    db.execute("CREATE TABLE events (id BIGINT NOT NULL, kind VARCHAR NOT NULL, amount DOUBLE)")?;
 
     // A historical bulk load: straight to compressed row groups.
     let history: Vec<Row> = (0..100_000)
@@ -70,7 +68,7 @@ fn main() -> cstore::common::Result<()> {
     // Background tuple mover drains the closed delta stores.
     let mover = db.start_tuple_mover("events", Duration::from_millis(5))?;
     std::thread::sleep(Duration::from_millis(200));
-    let moved = mover.stop();
+    let moved = mover.stop()?;
     println!("tuple mover compressed {moved} delta stores");
     print_stats(&db, "after tuple mover:");
 

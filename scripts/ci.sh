@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, static analysis, build, tests — in the order
+# that fails fastest. Run from anywhere; operates on the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cstore-lint check"
+cargo run -q -p cstore-lint -- check
+
+echo "==> cargo build --release"
+cargo build --workspace --release -q
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> ci: all gates passed"

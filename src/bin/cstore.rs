@@ -18,18 +18,16 @@ use cstore::{Database, QueryResult};
 fn main() {
     let dir: Option<PathBuf> = std::env::args().nth(1).map(PathBuf::from);
     let db = match &dir {
-        Some(d) if d.join("catalog.blob").exists() => {
-            match Database::open_from(d) {
-                Ok(db) => {
-                    eprintln!("opened database at {}", d.display());
-                    db
-                }
-                Err(e) => {
-                    eprintln!("failed to open {}: {e}", d.display());
-                    std::process::exit(1);
-                }
+        Some(d) if d.join("catalog.blob").exists() => match Database::open_from(d) {
+            Ok(db) => {
+                eprintln!("opened database at {}", d.display());
+                db
             }
-        }
+            Err(e) => {
+                eprintln!("failed to open {}: {e}", d.display());
+                std::process::exit(1);
+            }
+        },
         _ => Database::new(),
     };
     eprintln!("cstore — updatable columnstore + batch mode (SIGMOD'13 reproduction)");
@@ -114,10 +112,7 @@ fn run_meta(db: &Database, line: &str, dir: &Option<PathBuf>) -> MetaResult {
             None => eprintln!("no directory: start as `cstore <dir>` to persist"),
         },
         "\\demo" => {
-            let n = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(100_000);
+            let n = parts.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
             eprintln!("loading star schema with {n} fact rows…");
             match StarSchema::scale(n).load_into(db) {
                 Ok(()) => eprintln!(
@@ -137,7 +132,10 @@ fn run_sql(db: &Database, sql: &str) {
     match db.execute(sql) {
         Ok(result) => match &result {
             QueryResult::Rows {
-                rows, mode, elapsed, ..
+                rows,
+                mode,
+                elapsed,
+                ..
             } => {
                 print!("{}", result.to_table());
                 println!(

@@ -67,7 +67,7 @@ fn readers_see_consistent_sums_during_writes() {
         let cstore::TableEntry::ColumnStore(t) = entry else {
             panic!()
         };
-        TupleMover::start(t, Duration::from_millis(3))
+        TupleMover::start(t, Duration::from_millis(3)).unwrap()
     };
 
     // Readers: the pre-seeded prefix always sums to zero regardless of
@@ -84,10 +84,12 @@ fn readers_see_consistent_sums_during_writes() {
     }
     stop.store(true, Ordering::Relaxed);
     let inserted = writer.join().unwrap();
-    mover.stop();
+    mover.stop().unwrap();
     assert!(checks > 5, "only {checks} reader checks ran");
     // Quiesced: everything adds up.
-    let r = db.execute("SELECT SUM(amount), COUNT(*) FROM ledger").unwrap();
+    let r = db
+        .execute("SELECT SUM(amount), COUNT(*) FROM ledger")
+        .unwrap();
     assert_eq!(r.rows()[0].get(0), &Value::Int64(0));
     assert_eq!(
         r.rows()[0].get(1),
@@ -112,7 +114,7 @@ fn concurrent_deletes_and_mover_lose_nothing() {
     let cstore::TableEntry::ColumnStore(t) = entry else {
         panic!()
     };
-    let mover = TupleMover::start(t, Duration::from_millis(1));
+    let mover = TupleMover::start(t, Duration::from_millis(1)).unwrap();
     // Delete every third row by predicate while the mover churns.
     let deleted = db
         .execute("DELETE FROM ledger WHERE id >= 30000 AND id < 31000")
@@ -120,7 +122,7 @@ fn concurrent_deletes_and_mover_lose_nothing() {
         .affected();
     assert_eq!(deleted, 1000);
     std::thread::sleep(Duration::from_millis(50));
-    mover.stop();
+    mover.stop().unwrap();
     let r = db.execute("SELECT COUNT(*) FROM ledger").unwrap();
     assert_eq!(r.rows()[0].get(0), &Value::Int64(33_000 - 1000));
 }

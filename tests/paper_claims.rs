@@ -120,7 +120,10 @@ fn bitmap_filters_drop_probe_rows_at_scan() {
         .find(|(x, _)| *x == "rows_dropped_by_bitmap")
         .unwrap()
         .1;
-    assert!(dropped > 30_000, "bitmap filter dropped only {dropped} rows");
+    assert!(
+        dropped > 30_000,
+        "bitmap filter dropped only {dropped} rows"
+    );
 }
 
 #[test]
@@ -166,7 +169,10 @@ fn trickle_then_move_preserves_query_results() {
     let sql = "SELECT SUM(v), COUNT(*) FROM e WHERE id >= 1000";
     let before = db.execute(sql).unwrap().rows().to_vec();
     let moved = db.tuple_move("e").unwrap();
-    assert!(moved >= 3, "expected several closed delta stores, moved {moved}");
+    assert!(
+        moved >= 3,
+        "expected several closed delta stores, moved {moved}"
+    );
     assert_eq!(db.execute(sql).unwrap().rows(), before);
 }
 

@@ -167,9 +167,11 @@ fn whole_database_save_open_roundtrip() {
         })
         .collect();
     db.bulk_load("cs", &rows).unwrap();
-    db.execute("INSERT INTO cs VALUES (5000, 'delta-row', 1.25)").unwrap();
+    db.execute("INSERT INTO cs VALUES (5000, 'delta-row', 1.25)")
+        .unwrap();
     db.execute("DELETE FROM cs WHERE id < 50").unwrap();
-    db.execute("INSERT INTO hp VALUES (1, 'x'), (2, 'y')").unwrap();
+    db.execute("INSERT INTO hp VALUES (1, 'x'), (2, 'y')")
+        .unwrap();
 
     let queries = [
         "SELECT COUNT(*), SUM(amt), COUNT(name) FROM cs",

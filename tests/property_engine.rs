@@ -1,4 +1,4 @@
-//! Property-based tests on the engine's core invariants.
+//! Randomized tests on the engine's core invariants.
 //!
 //! * segment encode/decode is lossless for arbitrary typed data;
 //! * predicate evaluation on *encoded* data matches naive row-at-a-time
@@ -6,105 +6,138 @@
 //! * the archival codec roundtrips arbitrary bytes;
 //! * batch-mode and row-mode execution agree on arbitrary filters;
 //! * the delete/insert lifecycle preserves the multiset of live rows.
+//!
+//! Deterministic seeded `Rng` replaces proptest so the suite builds
+//! offline; each case runs many independent seeds.
 
-use proptest::prelude::*;
-
+use cstore::common::testutil::Rng;
 use cstore::common::{DataType, Field, Row, Schema, Value};
 use cstore::delta::{ColumnStoreTable, TableConfig};
 use cstore::storage::builder::encode_column;
 use cstore::storage::pred::{CmpOp, ColumnPred};
 
-fn arb_value(ty: DataType) -> BoxedStrategy<Value> {
+fn random_value(rng: &mut Rng, ty: DataType) -> Value {
     match ty {
-        DataType::Int64 => prop_oneof![
-            3 => any::<i64>().prop_map(Value::Int64),
-            2 => (-50i64..50).prop_map(Value::Int64),
-            1 => Just(Value::Null),
-        ]
-        .boxed(),
-        DataType::Utf8 => prop_oneof![
-            3 => "[a-e]{0,6}".prop_map(Value::str),
-            1 => Just(Value::Null),
-        ]
-        .boxed(),
-        DataType::Float64 => prop_oneof![
-            3 => any::<i32>().prop_map(|x| Value::Float64(x as f64 / 8.0)),
-            1 => Just(Value::Null),
-        ]
-        .boxed(),
-        _ => unreachable!(),
+        DataType::Int64 => match rng.below(6) {
+            0..=2 => Value::Int64(rng.next_u64() as i64),
+            3..=4 => Value::Int64(rng.range_i64(-50, 50)),
+            _ => Value::Null,
+        },
+        DataType::Utf8 => {
+            if rng.gen_bool(0.25) {
+                Value::Null
+            } else {
+                let len = rng.range_usize(0, 7);
+                Value::str(
+                    (0..len)
+                        .map(|_| ['a', 'b', 'c', 'd', 'e'][rng.range_usize(0, 5)])
+                        .collect::<String>(),
+                )
+            }
+        }
+        DataType::Float64 => {
+            if rng.gen_bool(0.25) {
+                Value::Null
+            } else {
+                Value::Float64(rng.next_u32() as i32 as f64 / 8.0)
+            }
+        }
+        _ => unreachable!("unsupported random type"),
     }
 }
 
-fn arb_column() -> impl Strategy<Value = (DataType, Vec<Value>)> {
-    prop_oneof![
-        Just(DataType::Int64),
-        Just(DataType::Utf8),
-        Just(DataType::Float64),
-    ]
-    .prop_flat_map(|ty| {
-        proptest::collection::vec(arb_value(ty), 0..300).prop_map(move |vs| (ty, vs))
-    })
+fn random_column(rng: &mut Rng) -> (DataType, Vec<Value>) {
+    let ty = [DataType::Int64, DataType::Utf8, DataType::Float64][rng.range_usize(0, 3)];
+    let n = rng.range_usize(0, 300);
+    let vs = (0..n).map(|_| random_value(rng, ty)).collect();
+    (ty, vs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn segment_roundtrip_is_lossless((ty, values) in arb_column()) {
+#[test]
+fn segment_roundtrip_is_lossless() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let (ty, values) = random_column(&mut rng);
         let seg = encode_column(ty, &values, None).unwrap();
-        prop_assert_eq!(seg.row_count(), values.len());
+        assert_eq!(seg.row_count(), values.len(), "seed {seed}");
         for (i, v) in values.iter().enumerate() {
-            prop_assert_eq!(&seg.value_at(i), v);
+            assert_eq!(&seg.value_at(i), v, "seed {seed} row {i}");
         }
         // Serialization roundtrip too.
-        let bytes = cstore::storage::format::serialize_segment(&seg);
+        let bytes = cstore::storage::format::serialize_segment(&seg).unwrap();
         let back = cstore::storage::format::deserialize_segment(&bytes).unwrap();
         for (i, v) in values.iter().enumerate() {
-            prop_assert_eq!(&back.value_at(i), v);
+            assert_eq!(&back.value_at(i), v, "seed {seed} row {i}");
         }
     }
+}
 
-    #[test]
-    fn pushdown_matches_naive_eval(
-        values in proptest::collection::vec(arb_value(DataType::Int64), 1..300),
-        k in -60i64..60,
-        op_idx in 0usize..6,
-    ) {
-        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
-        let pred = ColumnPred::Cmp { op: ops[op_idx], value: Value::Int64(k) };
+#[test]
+fn pushdown_matches_naive_eval() {
+    let ops = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed ^ 0x9D);
+        let n = rng.range_usize(1, 300);
+        let values: Vec<Value> = (0..n)
+            .map(|_| random_value(&mut rng, DataType::Int64))
+            .collect();
+        let k = rng.range_i64(-60, 60);
+        let op = ops[rng.range_usize(0, ops.len())];
+        let pred = ColumnPred::Cmp {
+            op,
+            value: Value::Int64(k),
+        };
         let seg = encode_column(DataType::Int64, &values, None).unwrap();
         let got = seg.eval_pred(&pred).unwrap();
         for (i, v) in values.iter().enumerate() {
-            prop_assert_eq!(got.get(i), pred.matches(v), "row {} = {:?}", i, v);
+            assert_eq!(got.get(i), pred.matches(v), "seed {seed} row {i} = {v:?}");
         }
         // Elimination must never claim a false negative: if any row
         // matches, may_match must be true.
         if got.any() {
-            prop_assert!(seg.may_match(&pred));
+            assert!(seg.may_match(&pred), "seed {seed} k {k} op {op:?}");
         }
     }
+}
 
-    #[test]
-    fn archival_codec_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn archival_codec_roundtrips() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed ^ 0xAC);
+        let n = rng.range_usize(0, 4096);
+        let data: Vec<u8> = (0..n).map(|_| rng.next_u32() as u8).collect();
         let compressed = cstore::storage::archive::compress(&data);
         let back = cstore::storage::archive::decompress(&compressed).unwrap();
-        prop_assert_eq!(back, data);
+        assert_eq!(back, data, "seed {seed}");
     }
+}
 
-    #[test]
-    fn batch_and_row_filters_agree(
-        values in proptest::collection::vec(arb_value(DataType::Int64), 1..200),
-        lo in -40i64..0,
-        hi in 0i64..40,
-    ) {
-        use cstore::{Database, ExecMode};
+#[test]
+fn batch_and_row_filters_agree() {
+    use cstore::{Database, ExecMode};
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed ^ 0xBF);
+        let n = rng.range_usize(1, 200);
+        let values: Vec<Value> = (0..n)
+            .map(|_| random_value(&mut rng, DataType::Int64))
+            .collect();
+        let lo = rng.range_i64(-40, 0);
+        let hi = rng.range_i64(0, 40);
         let mk = |mode| {
-            let db = Database::new().with_table_config(TableConfig {
-                bulk_load_threshold: 16,
-                max_rowgroup_rows: 64,
-                ..Default::default()
-            }).with_exec_mode(mode);
+            let db = Database::new()
+                .with_table_config(TableConfig {
+                    bulk_load_threshold: 16,
+                    max_rowgroup_rows: 64,
+                    ..Default::default()
+                })
+                .with_exec_mode(mode);
             db.execute("CREATE TABLE p (v BIGINT)").unwrap();
             let rows: Vec<Row> = values.iter().map(|v| Row::new(vec![v.clone()])).collect();
             db.bulk_load("p", &rows).unwrap();
@@ -113,27 +146,34 @@ proptest! {
         let sql = format!("SELECT COUNT(v), COUNT(*) FROM p WHERE v BETWEEN {lo} AND {hi}");
         let b = mk(ExecMode::Batch).execute(&sql).unwrap().rows().to_vec();
         let r = mk(ExecMode::Row).execute(&sql).unwrap().rows().to_vec();
-        prop_assert_eq!(&b, &r);
+        assert_eq!(&b, &r, "seed {seed}");
         // And both match a naive count.
-        let naive = values.iter().filter(|v| {
-            v.as_i64().is_some_and(|x| (lo..=hi).contains(&x))
-        }).count() as i64;
-        prop_assert_eq!(b[0].get(0), &Value::Int64(naive));
+        let naive = values
+            .iter()
+            .filter(|v| v.as_i64().is_some_and(|x| (lo..=hi).contains(&x)))
+            .count() as i64;
+        assert_eq!(b[0].get(0), &Value::Int64(naive), "seed {seed}");
     }
+}
 
-    #[test]
-    fn delete_lifecycle_preserves_live_rows(
-        n in 1usize..150,
-        deletes in proptest::collection::vec(0usize..150, 0..80),
-        move_at in 0usize..4,
-    ) {
+#[test]
+fn delete_lifecycle_preserves_live_rows() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed ^ 0xDE1);
+        let n = rng.range_usize(1, 150);
+        let n_deletes = rng.range_usize(0, 80);
+        let deletes: Vec<usize> = (0..n_deletes).map(|_| rng.range_usize(0, 150)).collect();
+        let move_at = rng.range_usize(0, 4);
         let schema = Schema::new(vec![Field::not_null("id", DataType::Int64)]);
-        let t = ColumnStoreTable::new(schema, TableConfig {
-            delta_capacity: 32,
-            bulk_load_threshold: 64,
-            max_rowgroup_rows: 64,
-            ..Default::default()
-        });
+        let t = ColumnStoreTable::new(
+            schema,
+            TableConfig {
+                delta_capacity: 32,
+                bulk_load_threshold: 64,
+                max_rowgroup_rows: 64,
+                ..Default::default()
+            },
+        );
         let mut rids = Vec::new();
         let mut live: std::collections::BTreeSet<i64> = (0..n as i64).collect();
         for i in 0..n as i64 {
@@ -144,19 +184,26 @@ proptest! {
                 t.close_open_delta();
                 t.tuple_move_once().unwrap();
                 // Row ids may have changed; re-derive them from a scan.
-                rids = t.snapshot().groups().iter().flat_map(|g| {
-                    let snap = t.snapshot();
-                    let vis = snap.visible_bitmap(g);
-                    vis.to_indices().into_iter().map(|tu| {
-                        cstore::common::RowId::new(g.id(), tu)
-                    }).collect::<Vec<_>>()
-                }).chain(t.snapshot().delta_rows().iter().map(|(r, _)| *r)).collect();
+                rids = t
+                    .snapshot()
+                    .groups()
+                    .iter()
+                    .flat_map(|g| {
+                        let snap = t.snapshot();
+                        let vis = snap.visible_bitmap(g);
+                        vis.to_indices()
+                            .into_iter()
+                            .map(|tu| cstore::common::RowId::new(g.id(), tu))
+                            .collect::<Vec<_>>()
+                    })
+                    .chain(t.snapshot().delta_rows().iter().map(|(r, _)| *r))
+                    .collect();
             }
             if d < rids.len() {
                 let rid = rids[d];
                 if let Some(row) = t.get_row(rid).unwrap() {
                     let id = row.get(0).as_i64().unwrap();
-                    prop_assert!(t.delete(rid).unwrap());
+                    assert!(t.delete(rid).unwrap(), "seed {seed} step {step}");
                     live.remove(&id);
                 }
             }
@@ -167,8 +214,7 @@ proptest! {
             .map(|r| r.get(0).as_i64().unwrap())
             .collect();
         let n_live = live.len();
-        prop_assert_eq!(seen, live);
-        prop_assert_eq!(t.total_rows(), n_live);
-        let _ = move_at;
+        assert_eq!(seen, live, "seed {seed}");
+        assert_eq!(t.total_rows(), n_live, "seed {seed}");
     }
 }

@@ -44,9 +44,7 @@ fn setup() -> Database {
 #[test]
 fn predicates_cover_all_types() {
     let db = setup();
-    let count = |sql: &str| -> i64 {
-        db.execute(sql).unwrap().rows()[0].get(0).as_i64().unwrap()
-    };
+    let count = |sql: &str| -> i64 { db.execute(sql).unwrap().rows()[0].get(0).as_i64().unwrap() };
     assert_eq!(count("SELECT COUNT(*) FROM t"), 1000);
     assert_eq!(count("SELECT COUNT(*) FROM t WHERE id < 10"), 10);
     assert_eq!(count("SELECT COUNT(*) FROM t WHERE grp = 'red'"), 334);
@@ -56,7 +54,10 @@ fn predicates_cover_all_types() {
         1000 - 91
     );
     assert_eq!(count("SELECT COUNT(*) FROM t WHERE flag = TRUE"), 500);
-    assert_eq!(count("SELECT COUNT(*) FROM t WHERE d BETWEEN 10 AND 19"), 100);
+    assert_eq!(
+        count("SELECT COUNT(*) FROM t WHERE d BETWEEN 10 AND 19"),
+        100
+    );
     assert_eq!(
         count("SELECT COUNT(*) FROM t WHERE grp IN ('red', 'blue')"),
         667
@@ -211,7 +212,11 @@ fn distinct_and_count_distinct() {
     let r = db
         .execute("SELECT DISTINCT grp FROM t ORDER BY grp")
         .unwrap();
-    let got: Vec<&str> = r.rows().iter().map(|x| x.get(0).as_str().unwrap()).collect();
+    let got: Vec<&str> = r
+        .rows()
+        .iter()
+        .map(|x| x.get(0).as_str().unwrap())
+        .collect();
     assert_eq!(got, vec!["blue", "green", "red"]);
     let r = db
         .execute("SELECT COUNT(DISTINCT grp), COUNT(DISTINCT val), COUNT(val) FROM t")
@@ -242,7 +247,11 @@ fn union_all_concatenates_and_orders() {
              ORDER BY id DESC LIMIT 5",
         )
         .unwrap();
-    let ids: Vec<i64> = r.rows().iter().map(|x| x.get(0).as_i64().unwrap()).collect();
+    let ids: Vec<i64> = r
+        .rows()
+        .iter()
+        .map(|x| x.get(0).as_i64().unwrap())
+        .collect();
     assert_eq!(ids, vec![999, 998, 501, 500, 1]);
     // Mismatched branch schemas rejected.
     assert!(db
@@ -260,14 +269,13 @@ fn analyze_improves_skewed_estimates() {
     db.execute("CREATE TABLE skew (k BIGINT NOT NULL)").unwrap();
     // 90% zeros, tail spread to 1e6.
     let rows: Vec<Row> = (0..5000)
-        .map(|i| {
-            Row::new(vec![Value::Int64(if i % 10 < 9 { 0 } else { i * 200 })])
-        })
+        .map(|i| Row::new(vec![Value::Int64(if i % 10 < 9 { 0 } else { i * 200 })]))
         .collect();
     db.bulk_load("skew", &rows).unwrap();
     let estimate = |db: &Database| -> f64 {
-        let cstore::QueryResult::Explain(text) =
-            db.execute("EXPLAIN SELECT COUNT(*) FROM skew WHERE k = 0").unwrap()
+        let cstore::QueryResult::Explain(text) = db
+            .execute("EXPLAIN SELECT COUNT(*) FROM skew WHERE k = 0")
+            .unwrap()
         else {
             panic!()
         };
@@ -282,7 +290,10 @@ fn analyze_improves_skewed_estimates() {
     // Truth: 4500 rows have k = 0. The uniform estimate is tiny; the
     // histogram one should be within 2x of the truth.
     assert!(before < 500.0, "uniform estimate {before}");
-    assert!((2250.0..=9000.0).contains(&after), "histogram estimate {after}");
+    assert!(
+        (2250.0..=9000.0).contains(&after),
+        "histogram estimate {after}"
+    );
 }
 
 #[test]
@@ -290,7 +301,9 @@ fn count_star_over_multi_join_with_reordering() {
     // Regression: COUNT(*) above a reordered join chain's compensating
     // projection used to prune the projection to zero columns and crash.
     let db = Database::new();
-    cstore::workload::StarSchema::scale(5000).load_into(&db).unwrap();
+    cstore::workload::StarSchema::scale(5000)
+        .load_into(&db)
+        .unwrap();
     let r = db
         .execute(
             "SELECT COUNT(*) FROM sales s \
@@ -305,13 +318,14 @@ fn count_star_over_multi_join_with_reordering() {
 fn like_predicates_with_prefix_pushdown() {
     let db = setup();
     // grp values: red/green/blue.
-    let count = |sql: &str| -> i64 {
-        db.execute(sql).unwrap().rows()[0].get(0).as_i64().unwrap()
-    };
+    let count = |sql: &str| -> i64 { db.execute(sql).unwrap().rows()[0].get(0).as_i64().unwrap() };
     assert_eq!(count("SELECT COUNT(*) FROM t WHERE grp LIKE 'gr%'"), 333);
     assert_eq!(count("SELECT COUNT(*) FROM t WHERE grp LIKE '%ee%'"), 333);
     assert_eq!(count("SELECT COUNT(*) FROM t WHERE grp LIKE 'r_d'"), 334);
-    assert_eq!(count("SELECT COUNT(*) FROM t WHERE grp NOT LIKE 'gr%'"), 667);
+    assert_eq!(
+        count("SELECT COUNT(*) FROM t WHERE grp NOT LIKE 'gr%'"),
+        667
+    );
     assert_eq!(count("SELECT COUNT(*) FROM t WHERE grp LIKE 'z%'"), 0);
     // The prefix becomes a pushed range on the scan.
     let cstore::QueryResult::Explain(text) = db
@@ -352,9 +366,7 @@ fn join_null_payload_columns_survive() {
     )
     .unwrap();
     let r = db
-        .execute(
-            "SELECT f.k, d.label, d.score, d.n FROM f JOIN d ON f.k = d.k ORDER BY k",
-        )
+        .execute("SELECT f.k, d.label, d.score, d.n FROM f JOIN d ON f.k = d.k ORDER BY k")
         .unwrap();
     assert_eq!(r.rows()[0].get(1), &Value::str("one"));
     assert_eq!(r.rows()[1].get(1), &Value::Null);
@@ -381,7 +393,8 @@ fn snowflake_join_keys_block_reordering() {
     db.execute("CREATE TABLE dim2 (b BIGINT NOT NULL, name VARCHAR NOT NULL)")
         .unwrap();
     for i in 0..100 {
-        db.execute(&format!("INSERT INTO fact VALUES ({i})")).unwrap();
+        db.execute(&format!("INSERT INTO fact VALUES ({i})"))
+            .unwrap();
     }
     for i in 0..10 {
         db.execute(&format!("INSERT INTO dim1 VALUES ({i}, {})", i % 3))
@@ -413,6 +426,10 @@ fn having_supports_between_in_like_over_keys() {
              AND grp IN ('red', 'green', 'blue') ORDER BY grp",
         )
         .unwrap();
-    let names: Vec<&str> = r.rows().iter().map(|x| x.get(0).as_str().unwrap()).collect();
+    let names: Vec<&str> = r
+        .rows()
+        .iter()
+        .map(|x| x.get(0).as_str().unwrap())
+        .collect();
     assert_eq!(names, vec!["blue", "green", "red"]);
 }
