@@ -1,0 +1,303 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Production storage engines earn their crash-safety claims by being
+//! tortured: SQL Server's columnstore machinery (tuple mover, segment
+//! persistence) is validated against injected IO failures and kills at
+//! arbitrary points. This module provides the equivalent lever for the
+//! reproduction: a seeded [`FaultInjector`] that components consult at
+//! named *fault points*. Tests arm faults (`arm`) and the code under test
+//! reports reaching a point (`hit`), receiving back the fault to act out —
+//! an IO error, a torn write, a flipped bit, or a simulated crash.
+//!
+//! The injector is deliberately deterministic: randomness (which bit to
+//! flip, where to tear a write) comes from the xorshift [`crate::testutil::Rng`]
+//! seeded at construction, so a failing chaos run reproduces from its seed.
+//! When nothing is armed every `hit` is a cheap no-op returning `None`, so
+//! shipping the hooks in library code costs one `Option` check.
+
+use crate::sync::Mutex;
+use crate::testutil::Rng;
+use crate::{Error, FxHashMap};
+use std::sync::Arc;
+
+/// The kinds of fault the injector can order a component to act out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the operation with an IO error (transient class).
+    IoError,
+    /// Persist only a prefix of the bytes, then report success — the
+    /// classic torn write a power cut leaves behind.
+    TornWrite,
+    /// Flip one bit of the payload, then report success.
+    BitFlip,
+    /// Simulated crash: the in-flight operation does not happen and every
+    /// subsequent operation through the same injector fails.
+    Crash,
+    /// Crash mid-write: the in-flight write leaves a torn prefix behind,
+    /// then the process is considered dead (as [`FaultKind::Crash`]).
+    TornCrash,
+}
+
+impl FaultKind {
+    /// Render this fault as the error a component should surface when it
+    /// cannot act the fault out in-band (e.g. an injected IO failure).
+    pub fn to_error(self, point: &str) -> Error {
+        match self {
+            FaultKind::IoError => Error::Io(std::io::Error::other(format!(
+                "injected IO fault at '{point}'"
+            ))),
+            FaultKind::Crash | FaultKind::TornCrash => Error::Io(std::io::Error::other(format!(
+                "simulated crash at '{point}'"
+            ))),
+            FaultKind::TornWrite | FaultKind::BitFlip => {
+                Error::Storage(format!("injected {self:?} fault at '{point}'"))
+            }
+        }
+    }
+}
+
+/// When an armed fault fires: skip the first `after` hits of the point,
+/// then fire on the next `times` hits.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    pub kind: FaultKind,
+    /// Hits of the point to let through before firing.
+    pub after: u64,
+    /// Number of consecutive hits (once reached) that fire; `u64::MAX`
+    /// means every subsequent hit.
+    pub times: u64,
+}
+
+impl FaultSpec {
+    pub fn new(kind: FaultKind) -> Self {
+        FaultSpec {
+            kind,
+            after: 0,
+            times: 1,
+        }
+    }
+
+    /// Skip the first `n` hits before firing.
+    pub fn after(mut self, n: u64) -> Self {
+        self.after = n;
+        self
+    }
+
+    /// Fire on `n` consecutive hits (default 1).
+    pub fn times(mut self, n: u64) -> Self {
+        self.times = n;
+        self
+    }
+
+    /// Fire on every hit from `after` onward.
+    pub fn always(mut self) -> Self {
+        self.times = u64::MAX;
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct PointState {
+    /// Times the point was reached.
+    hits: u64,
+    /// Times a fault actually fired at the point.
+    fired: u64,
+    /// Armed specs, consulted in arming order.
+    specs: Vec<FaultSpec>,
+}
+
+#[derive(Debug)]
+struct State {
+    rng: Rng,
+    points: FxHashMap<String, PointState>,
+    /// Once a crash fault fires the injector stays "dead": every further
+    /// hit reports [`FaultKind::Crash`] until [`FaultInjector::revive`].
+    crashed: bool,
+    /// Chronological record of fired faults, for test assertions.
+    log: Vec<(String, FaultKind)>,
+}
+
+/// A seeded, shareable fault injector. Clones share state, so the test
+/// arming faults and the component hitting points observe one another.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    state: Arc<Mutex<State>>,
+}
+
+impl FaultInjector {
+    /// Create an injector whose internal randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            state: Arc::new(Mutex::new(State {
+                rng: Rng::new(seed),
+                points: FxHashMap::default(),
+                crashed: false,
+                log: Vec::new(),
+            })),
+        }
+    }
+
+    /// Arm `spec` at `point`. Multiple specs may be armed at one point;
+    /// each hit fires at most one (arming order decides ties).
+    pub fn arm(&self, point: &str, spec: FaultSpec) {
+        let mut st = self.state.lock();
+        st.points
+            .entry(point.to_owned())
+            .or_default()
+            .specs
+            .push(spec);
+    }
+
+    /// Report reaching `point`. Returns the fault to act out, if any.
+    pub fn hit(&self, point: &str) -> Option<FaultKind> {
+        let mut st = self.state.lock();
+        if st.crashed {
+            // The "process" is dead: everything fails, nothing persists.
+            st.log.push((point.to_owned(), FaultKind::Crash));
+            return Some(FaultKind::Crash);
+        }
+        let entry = st.points.entry(point.to_owned()).or_default();
+        let seq = entry.hits;
+        entry.hits += 1;
+        let mut fired_kind = None;
+        for spec in &entry.specs {
+            if seq >= spec.after && (spec.times == u64::MAX || seq < spec.after + spec.times) {
+                fired_kind = Some(spec.kind);
+                break;
+            }
+        }
+        if let Some(kind) = fired_kind {
+            entry.fired += 1;
+            if matches!(kind, FaultKind::Crash | FaultKind::TornCrash) {
+                st.crashed = true;
+            }
+            st.log.push((point.to_owned(), kind));
+            Some(kind)
+        } else {
+            None
+        }
+    }
+
+    /// Times `point` was reached (fired or not).
+    pub fn hits(&self, point: &str) -> u64 {
+        self.state.lock().points.get(point).map_or(0, |p| p.hits)
+    }
+
+    /// Times a fault fired at `point`.
+    pub fn fired(&self, point: &str) -> u64 {
+        self.state.lock().points.get(point).map_or(0, |p| p.fired)
+    }
+
+    /// Total faults fired across all points.
+    pub fn fired_total(&self) -> u64 {
+        self.state.lock().log.len() as u64
+    }
+
+    /// Whether a crash fault has fired (the injector is "dead").
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Clear the crash state (the test "restarts the process").
+    pub fn revive(&self) {
+        self.state.lock().crashed = false;
+    }
+
+    /// Disarm every point and clear counters (the seed/RNG stream is kept).
+    pub fn disarm_all(&self) {
+        let mut st = self.state.lock();
+        st.points.clear();
+        st.crashed = false;
+        st.log.clear();
+    }
+
+    /// Chronological `(point, kind)` record of fired faults.
+    pub fn fired_log(&self) -> Vec<(String, FaultKind)> {
+        self.state.lock().log.clone()
+    }
+
+    /// Deterministic uniform draw in `[0, bound)` from the injector's
+    /// seeded stream — used by wrappers to pick tear points and bit
+    /// positions reproducibly.
+    pub fn rng_below(&self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        self.state.lock().rng.below(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_points_are_silent() {
+        let f = FaultInjector::new(1);
+        assert_eq!(f.hit("x"), None);
+        assert_eq!(f.hits("x"), 1);
+        assert_eq!(f.fired("x"), 0);
+        assert!(!f.crashed());
+    }
+
+    #[test]
+    fn after_and_times_window_fires_exactly() {
+        let f = FaultInjector::new(2);
+        f.arm("io", FaultSpec::new(FaultKind::IoError).after(2).times(3));
+        let fired: Vec<bool> = (0..8).map(|_| f.hit("io").is_some()).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, true, true, false, false, false]
+        );
+        assert_eq!(f.fired("io"), 3);
+        assert_eq!(f.hits("io"), 8);
+    }
+
+    #[test]
+    fn always_fires_forever() {
+        let f = FaultInjector::new(3);
+        f.arm("p", FaultSpec::new(FaultKind::BitFlip).always());
+        for _ in 0..5 {
+            assert_eq!(f.hit("p"), Some(FaultKind::BitFlip));
+        }
+    }
+
+    #[test]
+    fn crash_is_sticky_across_points_until_revived() {
+        let f = FaultInjector::new(4);
+        f.arm("put", FaultSpec::new(FaultKind::Crash).after(1));
+        assert_eq!(f.hit("put"), None);
+        assert_eq!(f.hit("put"), Some(FaultKind::Crash));
+        assert!(f.crashed());
+        // Every other point now reports the crash too.
+        assert_eq!(f.hit("get"), Some(FaultKind::Crash));
+        f.revive();
+        assert_eq!(f.hit("get"), None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let f = FaultInjector::new(5);
+        let g = f.clone();
+        g.arm("p", FaultSpec::new(FaultKind::IoError));
+        assert_eq!(f.hit("p"), Some(FaultKind::IoError));
+        assert_eq!(g.fired("p"), 1);
+    }
+
+    #[test]
+    fn deterministic_rng_per_seed() {
+        let a = FaultInjector::new(42);
+        let b = FaultInjector::new(42);
+        let xs: Vec<u64> = (0..10).map(|_| a.rng_below(1000)).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.rng_below(1000)).collect();
+        assert_eq!(xs, ys);
+        assert_eq!(a.rng_below(0), 0);
+    }
+
+    #[test]
+    fn to_error_classifies() {
+        assert_eq!(FaultKind::IoError.to_error("p").code(), "IO");
+        assert_eq!(FaultKind::Crash.to_error("p").code(), "IO");
+        assert_eq!(FaultKind::BitFlip.to_error("p").code(), "STORAGE");
+    }
+}

@@ -7,6 +7,7 @@
 pub mod bitmap;
 pub mod convert;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod rid;
 pub mod row;
@@ -18,6 +19,7 @@ pub mod value;
 
 pub use bitmap::Bitmap;
 pub use error::{Error, Result};
+pub use fault::{FaultInjector, FaultKind, FaultSpec};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rid::{RowGroupId, RowId};
 pub use row::Row;

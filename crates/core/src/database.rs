@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use cstore_common::{DataType, Error, Field, Result, Row, RowId, Schema, Value};
+use cstore_common::{convert, DataType, Error, Field, Result, Row, RowId, Schema, Value};
 use cstore_delta::{TableConfig, TupleMover};
 use cstore_exec::ops::collect_rows;
 use cstore_exec::{ExecContext, Expr};
@@ -14,6 +14,20 @@ use cstore_sql::ast::{Statement, TableOrganization};
 use cstore_sql::{bind_expr_on_schema, bind_select, coerce, literal_value, parse};
 
 use crate::catalog::{Catalog, TableEntry};
+use crate::persist::{self, OpenMode, OpenReport, TableOpenReport, VerifyReport};
+
+/// Catalog manifest magic: "CSCB".
+const CATALOG_MAGIC: u32 = 0x4243_5343;
+/// Catalog manifest version 2: generation-stamped (v1 had no generation
+/// and lived under the un-prefixed `catalog` key).
+const CATALOG_VERSION: u16 = 2;
+
+/// One table as described by a catalog manifest.
+struct CatalogEntry {
+    name: String,
+    is_heap: bool,
+    schema: Schema,
+}
 
 /// The result of executing one statement.
 #[derive(Debug)]
@@ -534,93 +548,330 @@ impl Database {
     /// Persist the whole database (catalog + every table) into a
     /// directory. Heap tables store their rows; columnstore tables store
     /// compressed row groups, delta rows and delete bitmaps.
+    ///
+    /// Crash-atomic: see [`Database::save_to_store`].
     pub fn save_to(&self, dir: impl AsRef<std::path::Path>) -> Result<()> {
-        use cstore_storage::blob::{BlobStore, FileBlobStore};
+        let mut store = cstore_storage::blob::FileBlobStore::open(dir.as_ref())?;
+        self.save_to_store(&mut store)?;
+        Ok(())
+    }
+
+    /// Persist into any blob store, returning the generation written.
+    ///
+    /// The save is crash-atomic: every table blob is written under a
+    /// `g<N>.` prefix *first*, and the generation-`N` catalog manifest
+    /// last, as the commit point. A crash (or IO error) at any earlier
+    /// point leaves the previous generation untouched; older generations
+    /// are garbage-collected only after the manifest lands.
+    pub fn save_to_store(&self, store: &mut dyn cstore_storage::blob::BlobStore) -> Result<u64> {
         use cstore_storage::format::{write_schema, write_value, Writer};
-        let mut store = FileBlobStore::open(dir.as_ref())?;
+        let gen = persist::manifest_generations(store)
+            .first()
+            .map_or(1, |g| g + 1);
         let names = self.catalog.table_names();
-        // Catalog manifest: name, organization, schema per table.
+        // 1. Table blobs, under the new generation's prefix.
+        for name in &names {
+            let prefix = persist::gen_prefix(gen, name);
+            match self.catalog.try_get(name)? {
+                TableEntry::ColumnStore(t) => t.persist(store, &prefix)?,
+                TableEntry::Heap(h) => {
+                    let mut w = Writer::new();
+                    w.u32(convert::u32_from_usize(h.n_rows())?);
+                    for row in h.scan() {
+                        for v in row.values() {
+                            write_value(&mut w, v)?;
+                        }
+                    }
+                    store.put(&format!("{prefix}.heap"), &w.seal())?;
+                }
+            }
+        }
+        // 2. Catalog manifest: name, organization, schema per table. This
+        //    write commits the generation.
         let mut w = Writer::new();
-        w.u32(0x4243_5343); // "CSCB"
-        w.u16(cstore_storage::format::FORMAT_VERSION);
-        w.u32(names.len() as u32);
+        w.u32(CATALOG_MAGIC);
+        w.u16(CATALOG_VERSION);
+        w.u64(gen);
+        w.u32(convert::u32_from_usize(names.len())?);
         for name in &names {
             let entry = self.catalog.try_get(name)?;
             w.lp_bytes(name.as_bytes())?;
             w.u8(matches!(entry, TableEntry::Heap(_)) as u8);
             write_schema(&mut w, &entry.schema())?;
         }
-        store.put("catalog", &w.seal())?;
-        for name in &names {
-            match self.catalog.try_get(name)? {
-                TableEntry::ColumnStore(t) => t.persist(&mut store, name)?,
-                TableEntry::Heap(h) => {
-                    let mut w = Writer::new();
-                    w.u32(h.n_rows() as u32);
-                    for row in h.scan() {
-                        for v in row.values() {
-                            write_value(&mut w, v)?;
-                        }
-                    }
-                    store.put(&format!("{name}.heap"), &w.seal())?;
-                }
-            }
-        }
-        Ok(())
+        store.put(&persist::manifest_key(gen), &w.seal())?;
+        // 3. Drop superseded generations (best-effort).
+        persist::collect_garbage(store, gen);
+        Ok(gen)
     }
 
-    /// Open a database persisted by [`Database::save_to`]. Uses this
-    /// database's table-config template for the loaded columnstores.
+    /// Open a database persisted by [`Database::save_to`]. Uses the
+    /// default table-config template for the loaded columnstores. Strict:
+    /// fails on the first unreadable table blob (but still falls back past
+    /// torn manifests — that is the crash-atomicity protocol, not damage).
     pub fn open_from(dir: impl AsRef<std::path::Path>) -> Result<Database> {
-        use cstore_storage::blob::{BlobStore, FileBlobStore};
-        use cstore_storage::format::{read_schema, read_value, Reader};
-        let store = FileBlobStore::open(dir.as_ref())?;
-        let db = Database::new();
-        let manifest = store.get("catalog")?;
+        let store = cstore_storage::blob::FileBlobStore::open(dir.as_ref())?;
+        Ok(Self::open_from_store(&store, OpenMode::Strict)?.0)
+    }
+
+    /// Open in degraded mode: unreadable table blobs are quarantined
+    /// (their data dropped) instead of failing the open, and every drop is
+    /// listed in the returned [`OpenReport`].
+    pub fn open_degraded(dir: impl AsRef<std::path::Path>) -> Result<(Database, OpenReport)> {
+        let store = cstore_storage::blob::FileBlobStore::open(dir.as_ref())?;
+        Self::open_from_store(&store, OpenMode::Degraded)
+    }
+
+    /// Open from any blob store. Tries the newest catalog manifest first
+    /// and falls back generation by generation past torn/corrupt
+    /// manifests (recorded in [`OpenReport::skipped_manifests`]).
+    pub fn open_from_store(
+        store: &dyn cstore_storage::blob::BlobStore,
+        mode: OpenMode,
+    ) -> Result<(Database, OpenReport)> {
+        let gens = persist::manifest_generations(store);
+        if gens.is_empty() {
+            return Err(Error::Storage("no catalog manifest found".into()));
+        }
+        let mut skipped: Vec<(u64, String)> = Vec::new();
+        for gen in gens {
+            let entries = match Self::read_catalog_manifest(store, gen) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    skipped.push((gen, e.to_string()));
+                    continue;
+                }
+            };
+            let (db, tables) = Self::load_tables(store, gen, &entries, mode)?;
+            return Ok((
+                db,
+                OpenReport {
+                    generation: gen,
+                    skipped_manifests: skipped,
+                    tables,
+                },
+            ));
+        }
+        let detail: Vec<String> = skipped.iter().map(|(g, e)| format!("g{g}: {e}")).collect();
+        Err(Error::Storage(format!(
+            "no usable catalog manifest ({})",
+            detail.join("; ")
+        )))
+    }
+
+    /// Read and validate one generation's catalog manifest.
+    fn read_catalog_manifest(
+        store: &dyn cstore_storage::blob::BlobStore,
+        gen: u64,
+    ) -> Result<Vec<CatalogEntry>> {
+        use cstore_storage::format::{read_schema, Reader};
+        let manifest = store.get(&persist::manifest_key(gen))?;
         let payload = Reader::check_crc(&manifest)?;
         let mut r = Reader::new(payload);
-        if r.u32()? != 0x4243_5343 {
+        if r.u32()? != CATALOG_MAGIC {
             return Err(Error::Storage("bad catalog magic".into()));
         }
         let version = r.u16()?;
-        if version != cstore_storage::format::FORMAT_VERSION {
+        if version != CATALOG_VERSION {
             return Err(Error::Storage(format!(
                 "unsupported catalog version {version}"
             )));
         }
-        let n = r.u32()? as usize;
+        let stamped = r.u64()?;
+        if stamped != gen {
+            return Err(Error::Storage(format!(
+                "catalog generation stamp {stamped} does not match key generation {gen}"
+            )));
+        }
+        let n = convert::usize_from_u32(r.u32()?);
+        let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
             let name = std::str::from_utf8(r.lp_bytes()?)
                 .map_err(|_| Error::Storage("invalid UTF-8 table name".into()))?
                 .to_owned();
             let is_heap = r.u8()? != 0;
             let schema = read_schema(&mut r)?;
-            if is_heap {
-                db.catalog.create_heap(&name, schema.clone())?;
-                let blob = store.get(&format!("{name}.heap"))?;
-                let payload = Reader::check_crc(&blob)?;
-                let mut hr = Reader::new(payload);
-                let n_rows = hr.u32()? as usize;
-                let mut rows = Vec::with_capacity(n_rows);
-                for _ in 0..n_rows {
-                    let mut values = Vec::with_capacity(schema.len());
-                    for _ in 0..schema.len() {
-                        values.push(read_value(&mut hr)?);
-                    }
-                    rows.push(Row::new(values));
+            entries.push(CatalogEntry {
+                name,
+                is_heap,
+                schema,
+            });
+        }
+        Ok(entries)
+    }
+
+    /// Load every table of generation `gen` into a fresh database.
+    fn load_tables(
+        store: &dyn cstore_storage::blob::BlobStore,
+        gen: u64,
+        entries: &[CatalogEntry],
+        mode: OpenMode,
+    ) -> Result<(Database, Vec<TableOpenReport>)> {
+        use cstore_storage::{BlobQuarantine, QuarantinedKind};
+        let db = Database::new();
+        let mut reports = Vec::new();
+        for e in entries {
+            let prefix = persist::gen_prefix(gen, &e.name);
+            let mut quarantined: Vec<BlobQuarantine> = Vec::new();
+            if e.is_heap {
+                db.catalog.create_heap(&e.name, e.schema.clone())?;
+                match Self::read_heap_blob(store, &prefix, &e.schema) {
+                    Ok(rows) => db.catalog.with_heap_mut(&e.name, |h| h.insert_all(&rows))?,
+                    Err(err) if mode == OpenMode::Degraded => quarantined.push(BlobQuarantine {
+                        key: format!("{prefix}.heap"),
+                        kind: QuarantinedKind::Heap,
+                        error: err.to_string(),
+                    }),
+                    Err(err) => return Err(err),
                 }
-                db.catalog.with_heap_mut(&name, |h| h.insert_all(&rows))?;
             } else {
-                let t = cstore_delta::ColumnStoreTable::load(
-                    &store,
-                    &name,
-                    schema,
-                    db.table_config.clone(),
-                )?;
-                db.catalog.create(&name, TableEntry::ColumnStore(t))?;
+                match mode {
+                    OpenMode::Strict => {
+                        let t = cstore_delta::ColumnStoreTable::load(
+                            store,
+                            &prefix,
+                            e.schema.clone(),
+                            db.table_config.clone(),
+                        )?;
+                        db.catalog.create(&e.name, TableEntry::ColumnStore(t))?;
+                    }
+                    OpenMode::Degraded => match cstore_delta::ColumnStoreTable::load_degraded(
+                        store,
+                        &prefix,
+                        e.schema.clone(),
+                        db.table_config.clone(),
+                    ) {
+                        Ok((t, q)) => {
+                            quarantined.extend(q);
+                            db.catalog.create(&e.name, TableEntry::ColumnStore(t))?;
+                        }
+                        Err(err) => {
+                            // Even the row-group manifest is unreadable:
+                            // quarantine the whole table, install it empty.
+                            quarantined.push(BlobQuarantine {
+                                key: format!("{prefix}.manifest"),
+                                kind: QuarantinedKind::TableManifest,
+                                error: err.to_string(),
+                            });
+                            let t = cstore_delta::ColumnStoreTable::new(
+                                e.schema.clone(),
+                                db.table_config.clone(),
+                            );
+                            db.catalog.create(&e.name, TableEntry::ColumnStore(t))?;
+                        }
+                    },
+                }
+            }
+            if !quarantined.is_empty() {
+                reports.push(TableOpenReport {
+                    table: e.name.clone(),
+                    quarantined,
+                });
             }
         }
-        Ok(db)
+        Ok((db, reports))
+    }
+
+    /// Read a heap blob into rows without touching catalog state.
+    fn read_heap_blob(
+        store: &dyn cstore_storage::blob::BlobStore,
+        prefix: &str,
+        schema: &Schema,
+    ) -> Result<Vec<Row>> {
+        use cstore_storage::format::{read_value, Reader};
+        let blob = store.get(&format!("{prefix}.heap"))?;
+        let payload = Reader::check_crc(&blob)?;
+        let mut hr = Reader::new(payload);
+        let n_rows = convert::usize_from_u32(hr.u32()?);
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let mut values = Vec::with_capacity(schema.len());
+            for _ in 0..schema.len() {
+                values.push(read_value(&mut hr)?);
+            }
+            rows.push(Row::new(values));
+        }
+        Ok(rows)
+    }
+
+    /// Whether `dir` holds a persisted database (any catalog manifest).
+    /// Does not create the directory.
+    pub fn persisted_at(dir: impl AsRef<std::path::Path>) -> bool {
+        let Ok(rd) = std::fs::read_dir(dir.as_ref()) else {
+            return false;
+        };
+        rd.flatten().any(|e| {
+            e.file_name().to_str().is_some_and(|n| {
+                n.strip_suffix(".blob")
+                    .and_then(persist::parse_manifest_key)
+                    .is_some()
+            })
+        })
+    }
+
+    /// Scrub a persisted directory: re-check every blob of the newest
+    /// usable generation against its CRC and report corrupt, missing and
+    /// orphaned blobs without loading the data.
+    pub fn verify(dir: impl AsRef<std::path::Path>) -> Result<VerifyReport> {
+        let store = cstore_storage::blob::FileBlobStore::open(dir.as_ref())?;
+        Self::verify_store(&store)
+    }
+
+    /// Scrub any blob store (see [`Database::verify`]).
+    pub fn verify_store(store: &dyn cstore_storage::blob::BlobStore) -> Result<VerifyReport> {
+        use cstore_storage::format::Reader;
+        let mut report = VerifyReport::default();
+        let mut chosen = None;
+        for gen in persist::manifest_generations(store) {
+            match Self::read_catalog_manifest(store, gen) {
+                Ok(entries) => {
+                    chosen = Some((gen, entries));
+                    break;
+                }
+                Err(e) => report
+                    .corrupt
+                    .push((persist::manifest_key(gen), e.to_string())),
+            }
+        }
+        let Some((gen, entries)) = chosen else {
+            return Err(Error::Storage(
+                "no usable catalog manifest to verify against".into(),
+            ));
+        };
+        report.generation = gen;
+        let present: std::collections::BTreeSet<String> = store.keys().into_iter().collect();
+        // Expected keys of the current generation, from the manifests.
+        let mut expected = vec![persist::manifest_key(gen)];
+        for e in &entries {
+            let prefix = persist::gen_prefix(gen, &e.name);
+            if e.is_heap {
+                expected.push(format!("{prefix}.heap"));
+            } else {
+                expected.push(format!("{prefix}.manifest"));
+                expected.push(format!("{prefix}.delta"));
+                // An unreadable table manifest is caught by the CRC pass
+                // below; its row groups then surface as orphans.
+                if let Ok(ids) = cstore_storage::ColumnStore::persisted_group_ids(store, &prefix) {
+                    for id in ids {
+                        expected.push(format!("{prefix}.rg{}", id.0));
+                    }
+                }
+            }
+        }
+        for key in &expected {
+            if !present.contains(key) {
+                report.missing.push(key.clone());
+                continue;
+            }
+            report.blobs_checked += 1;
+            match store.get(key).and_then(|b| Reader::check_crc(&b).map(drop)) {
+                Ok(()) => {}
+                Err(e) => report.corrupt.push((key.clone(), e.to_string())),
+            }
+        }
+        let expected: std::collections::BTreeSet<String> = expected.into_iter().collect();
+        report.orphaned = present.difference(&expected).cloned().collect();
+        Ok(report)
     }
 
     /// Table statistics (columnstore tables).

@@ -7,7 +7,9 @@
 
 pub mod catalog;
 pub mod database;
+pub mod persist;
 
 pub use catalog::{Catalog, TableEntry};
 pub use cstore_planner::ExecMode;
 pub use database::{Database, QueryResult};
+pub use persist::{OpenMode, OpenReport, TableOpenReport, VerifyReport};

@@ -19,9 +19,9 @@ use std::sync::Arc;
 
 use cstore_common::sync::RwLock;
 
-use cstore_common::{Error, Result, Row, RowGroupId, RowId, Schema, Value};
+use cstore_common::{convert, Error, FaultInjector, Result, Row, RowGroupId, RowId, Schema, Value};
 use cstore_storage::builder::RowGroupBuilder;
-use cstore_storage::{ColumnStore, SortMode};
+use cstore_storage::{BlobQuarantine, ColumnStore, QuarantinedKind, SortMode};
 
 use crate::delete_bitmap::DeleteBitmap;
 use crate::delta_store::DeltaStore;
@@ -76,12 +76,24 @@ pub struct TableStats {
     pub delta_bytes: usize,
 }
 
+/// Outcome of one tuple-mover pass over the closed delta stores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MovePassReport {
+    /// Closed delta stores compressed into row groups.
+    pub stores: usize,
+    /// Rows those stores held.
+    pub rows: usize,
+}
+
 struct Inner {
     cs: ColumnStore,
     open: Option<DeltaStore>,
     closed: Vec<DeltaStore>,
     deleted: DeleteBitmap,
     config: TableConfig,
+    /// Chaos hook: when set, tuple-mover passes consult the injector at
+    /// the `mover.pass` point before touching any data.
+    faults: Option<FaultInjector>,
 }
 
 /// An updatable clustered columnstore table. Cheap to clone (shared state);
@@ -96,6 +108,10 @@ pub struct ColumnStoreTable {
 impl ColumnStoreTable {
     pub fn new(schema: Schema, config: TableConfig) -> Self {
         let cs = ColumnStore::new(schema.clone()).with_sort_mode(config.sort_mode.clone());
+        Self::from_parts(schema, cs, config)
+    }
+
+    fn from_parts(schema: Schema, cs: ColumnStore, config: TableConfig) -> Self {
         ColumnStoreTable {
             schema,
             inner: Arc::new(RwLock::new(Inner {
@@ -104,8 +120,15 @@ impl ColumnStoreTable {
                 closed: Vec::new(),
                 deleted: DeleteBitmap::new(),
                 config,
+                faults: None,
             })),
         }
+    }
+
+    /// Install a fault injector consulted at the `mover.pass` point by
+    /// every tuple-mover pass (chaos testing).
+    pub fn set_fault_injector(&self, faults: FaultInjector) {
+        self.inner.write().faults = Some(faults);
     }
 
     pub fn schema(&self) -> &Schema {
@@ -227,6 +250,22 @@ impl ColumnStoreTable {
     /// ids remain unique; tuple ids within the group are reassigned
     /// (compression reorders rows).
     pub fn tuple_move_once(&self) -> Result<usize> {
+        self.tuple_move_pass().map(|r| r.stores)
+    }
+
+    /// One tuple-mover pass, reporting stores and rows moved. Consults the
+    /// installed fault injector (if any) at `mover.pass` before touching
+    /// data, so chaos tests can fail whole passes deterministically.
+    pub fn tuple_move_pass(&self) -> Result<MovePassReport> {
+        let faults = {
+            let inner = self.inner.read();
+            inner.faults.clone()
+        };
+        if let Some(f) = faults {
+            if let Some(kind) = f.hit("mover.pass") {
+                return Err(kind.to_error("mover.pass"));
+            }
+        }
         // Snapshot the closed stores' contents under a read lock, compress
         // without holding any lock, then install under the write lock.
         // Deletes can hit a closed store while it compresses; a store whose
@@ -241,7 +280,7 @@ impl ColumnStoreTable {
                 .collect()
         };
         if work.is_empty() {
-            return Ok(0);
+            return Ok(MovePassReport::default());
         }
         let (sort, dicts) = {
             let inner = self.inner.read();
@@ -257,7 +296,7 @@ impl ColumnStoreTable {
             b.push_columns(cols)?;
             built.push((id, len, b.finish(id, &dicts)?));
         }
-        let mut moved = 0;
+        let mut moved = MovePassReport::default();
         let mut inner = self.inner.write();
         for (id, len, rg) in built {
             // Install only if the store is still present and unchanged
@@ -269,7 +308,8 @@ impl ColumnStoreTable {
             {
                 inner.closed.remove(pos);
                 inner.cs.add_rowgroup(rg);
-                moved += 1;
+                moved.stores += 1;
+                moved.rows += len;
             }
         }
         Ok(moved)
@@ -380,7 +420,7 @@ impl ColumnStoreTable {
             .chain(inner.open.as_ref())
             .flat_map(|d| d.iter().map(|(_, r)| r))
             .collect();
-        w.u32(delta_rows.len() as u32);
+        w.u32(convert::u32_from_usize(delta_rows.len())?);
         for row in delta_rows {
             for v in row.values() {
                 write_value(&mut w, v)?;
@@ -388,12 +428,12 @@ impl ColumnStoreTable {
         }
         // Delete bitmap: per-group bitmaps.
         let groups: Vec<RowGroupId> = inner.cs.groups().iter().map(|g| g.id()).collect();
-        w.u32(groups.len() as u32);
+        w.u32(convert::u32_from_usize(groups.len())?);
         for gid in groups {
             w.u32(gid.0);
             match inner.deleted.group_bitmap(gid) {
                 Some(b) => {
-                    w.u32(b.len() as u32);
+                    w.u32(convert::u32_from_usize(b.len())?);
                     for &word in b.words() {
                         w.u64(word);
                     }
@@ -405,27 +445,56 @@ impl ColumnStoreTable {
         Ok(())
     }
 
-    /// Load a table persisted by [`ColumnStoreTable::persist`].
+    /// Load a table persisted by [`ColumnStoreTable::persist`]. Strict:
+    /// any unreadable blob fails the whole load.
     pub fn load(
         store: &dyn cstore_storage::blob::BlobStore,
         prefix: &str,
         schema: Schema,
         config: TableConfig,
     ) -> Result<ColumnStoreTable> {
-        use cstore_storage::format::{read_value, Reader};
         let cs = ColumnStore::load(store, prefix, schema.clone())?;
-        let table = ColumnStoreTable {
-            schema: schema.clone(),
-            inner: Arc::new(RwLock::new(Inner {
-                cs,
-                open: None,
-                closed: Vec::new(),
-                deleted: DeleteBitmap::new(),
-                config,
-            })),
-        };
+        let table = Self::from_parts(schema.clone(), cs, config);
         let blob = store.get(&format!("{prefix}.delta"))?;
-        let payload = Reader::check_crc(&blob)?;
+        let (rows, deletes) = Self::parse_delta_blob(&blob, &schema)?;
+        table.apply_delta(rows, deletes)?;
+        Ok(table)
+    }
+
+    /// Load a table, quarantining unreadable row-group blobs and an
+    /// unreadable delta blob instead of failing. A quarantined delta blob
+    /// loses both its rows *and* its delete bitmap (deleted compressed rows
+    /// may resurrect) — the returned report is the caller's signal that the
+    /// table needs repair. The row-group manifest itself must be readable.
+    pub fn load_degraded(
+        store: &dyn cstore_storage::blob::BlobStore,
+        prefix: &str,
+        schema: Schema,
+        config: TableConfig,
+    ) -> Result<(ColumnStoreTable, Vec<BlobQuarantine>)> {
+        let (cs, mut quarantined) = ColumnStore::load_degraded(store, prefix, schema.clone())?;
+        let table = Self::from_parts(schema.clone(), cs, config);
+        let key = format!("{prefix}.delta");
+        match store
+            .get(&key)
+            .and_then(|blob| Self::parse_delta_blob(&blob, &schema))
+        {
+            Ok((rows, deletes)) => table.apply_delta(rows, deletes)?,
+            Err(e) => quarantined.push(BlobQuarantine {
+                key,
+                kind: QuarantinedKind::Delta,
+                error: e.to_string(),
+            }),
+        }
+        Ok((table, quarantined))
+    }
+
+    /// Parse a `.delta` blob into its rows and deleted row ids without
+    /// touching any table state, so a parse failure mid-blob cannot leave a
+    /// table half-loaded.
+    fn parse_delta_blob(blob: &[u8], schema: &Schema) -> Result<(Vec<Row>, Vec<RowId>)> {
+        use cstore_storage::format::{read_value, Reader};
+        let payload = Reader::check_crc(blob)?;
         let mut r = Reader::new(payload);
         if r.u32()? != 0x4454_5343 {
             return Err(Error::Storage("bad delta blob magic".into()));
@@ -436,33 +505,49 @@ impl ColumnStoreTable {
                 "unsupported delta blob version {version}"
             )));
         }
-        let n_rows = r.u32()? as usize;
+        let n_rows = convert::usize_from_u32(r.u32()?);
+        let mut rows = Vec::with_capacity(n_rows);
         for _ in 0..n_rows {
             let mut values = Vec::with_capacity(schema.len());
             for _ in 0..schema.len() {
                 values.push(read_value(&mut r)?);
             }
-            table.insert(Row::new(values))?;
+            rows.push(Row::new(values));
         }
-        let n_groups = r.u32()? as usize;
-        {
-            let mut inner = table.inner.write();
-            for _ in 0..n_groups {
-                let gid = RowGroupId(r.u32()?);
-                let len = r.u32()? as usize;
-                if len > 0 {
-                    let mut words = Vec::with_capacity(len.div_ceil(64));
-                    for _ in 0..len.div_ceil(64) {
-                        words.push(r.u64()?);
-                    }
-                    let bitmap = cstore_common::Bitmap::from_words(words, len);
-                    for tuple in bitmap.iter_ones() {
-                        inner.deleted.delete(RowId::new(gid, tuple as u32));
-                    }
+        let n_groups = convert::usize_from_u32(r.u32()?);
+        let mut deletes = Vec::new();
+        for _ in 0..n_groups {
+            let gid = RowGroupId(r.u32()?);
+            let len = convert::usize_from_u32(r.u32()?);
+            if len > 0 {
+                let mut words = Vec::with_capacity(len.div_ceil(64));
+                for _ in 0..len.div_ceil(64) {
+                    words.push(r.u64()?);
+                }
+                let bitmap = cstore_common::Bitmap::from_words(words, len);
+                for tuple in bitmap.iter_ones() {
+                    deletes.push(RowId::new(gid, convert::u32_from_usize(tuple)?));
                 }
             }
         }
-        Ok(table)
+        Ok((rows, deletes))
+    }
+
+    /// Re-insert parsed delta rows and re-mark deletes. Delete marks for
+    /// row groups absent from the column store (quarantined in a degraded
+    /// open) are skipped, keeping row accounting consistent.
+    fn apply_delta(&self, rows: Vec<Row>, deletes: Vec<RowId>) -> Result<()> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        let mut inner = self.inner.write();
+        let inner = &mut *inner;
+        for rid in deletes {
+            if inner.cs.group_by_id(rid.group).is_some() {
+                inner.deleted.delete(rid);
+            }
+        }
+        Ok(())
     }
 
     /// A consistent snapshot for scans.

@@ -6,16 +6,108 @@
 //! blocking readers (scans keep seeing the delta store until the compressed
 //! group is installed). This implementation has the same structure: a
 //! thread that ticks on an interval (or on demand via [`TupleMover::kick`])
-//! and calls [`ColumnStoreTable::tuple_move_once`], which compresses
+//! and calls [`ColumnStoreTable::tuple_move_pass`], which compresses
 //! outside the table lock.
+//!
+//! A background compressor that silently dies on the first hiccup turns a
+//! transient IO stall into unbounded delta-store growth, so the mover is
+//! supervised:
+//!
+//! * pass errors are **classified**: IO errors are *transient* (the world
+//!   may recover), everything else — and a panic — is *fatal*;
+//! * transient errors are retried within a per-pass **retry budget**, with
+//!   bounded exponential backoff (still responsive to `stop`);
+//! * a fatal outcome "restarts" the pass loop up to
+//!   [`MoverConfig::max_restarts`] times before the mover parks itself in
+//!   [`MoverState::Failed`] — parked, not dead, so [`TupleMover::status`]
+//!   and [`TupleMover::stop`] still answer and the table keeps serving;
+//! * [`TupleMover::status`] exposes a live [`MoverStatus`] snapshot:
+//!   passes, stores/rows moved, retries, restarts, last error.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::Duration;
 
-use std::sync::mpsc::{self, RecvTimeoutError, Sender};
-
+use cstore_common::sync::Mutex;
 use cstore_common::{Error, Result};
 
-use crate::table::ColumnStoreTable;
+use crate::table::{ColumnStoreTable, MovePassReport};
+
+/// Tuning knobs of the background tuple mover.
+#[derive(Clone, Debug)]
+pub struct MoverConfig {
+    /// Time between unsolicited passes.
+    pub interval: Duration,
+    /// Transient (IO) failures tolerated within one pass before the pass
+    /// is declared fatal.
+    pub retry_budget: u32,
+    /// First retry delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Ceiling on the retry delay.
+    pub backoff_max: Duration,
+    /// Fatal pass outcomes (including panics) survived before the mover
+    /// parks itself in [`MoverState::Failed`].
+    pub max_restarts: u32,
+}
+
+impl Default for MoverConfig {
+    fn default() -> Self {
+        MoverConfig {
+            interval: Duration::from_millis(50),
+            retry_budget: 5,
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(250),
+            max_restarts: 3,
+        }
+    }
+}
+
+/// Lifecycle state of the mover thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MoverState {
+    /// Passing normally (possibly mid-retry).
+    Running,
+    /// Gave up after exhausting restarts; parked until `stop`.
+    Failed,
+    /// Stopped cleanly.
+    Stopped,
+}
+
+/// Point-in-time statistics of a mover, from [`TupleMover::status`].
+#[derive(Clone, Debug)]
+pub struct MoverStatus {
+    pub state: MoverState,
+    /// Successful passes completed.
+    pub passes: u64,
+    /// Delta stores compressed over the mover's lifetime.
+    pub stores_moved: u64,
+    /// Rows those stores held.
+    pub rows_moved: u64,
+    /// Transient errors absorbed by retries.
+    pub transient_retries: u64,
+    /// Fatal outcomes survived by the supervisor.
+    pub restarts: u32,
+    /// Fatal outcomes since the last successful pass.
+    pub consecutive_failures: u32,
+    /// Most recent error of any class, as text.
+    pub last_error: Option<String>,
+}
+
+impl Default for MoverStatus {
+    fn default() -> Self {
+        MoverStatus {
+            state: MoverState::Running,
+            passes: 0,
+            stores_moved: 0,
+            rows_moved: 0,
+            transient_retries: 0,
+            restarts: 0,
+            consecutive_failures: 0,
+            last_error: None,
+        }
+    }
+}
 
 enum Msg {
     /// Run a pass now.
@@ -24,40 +116,52 @@ enum Msg {
     Stop,
 }
 
+/// How one supervised pass (with retries) ended.
+enum PassOutcome {
+    Ok,
+    Fatal(Error),
+    StopRequested,
+}
+
 /// Handle to a running background tuple mover. Dropping the handle stops
 /// the thread.
 pub struct TupleMover {
     tx: Sender<Msg>,
     handle: Option<std::thread::JoinHandle<Result<usize>>>,
+    status: Arc<Mutex<MoverStatus>>,
 }
 
 impl TupleMover {
-    /// Start a mover over `table`, ticking every `interval`. Errors when
-    /// the OS refuses to spawn the worker thread.
+    /// Start a mover over `table`, ticking every `interval`, with default
+    /// fault handling. Errors when the OS refuses to spawn the thread.
     pub fn start(table: ColumnStoreTable, interval: Duration) -> Result<Self> {
+        Self::start_with(
+            table,
+            MoverConfig {
+                interval,
+                ..MoverConfig::default()
+            },
+        )
+    }
+
+    /// Start a mover with explicit fault-handling knobs.
+    pub fn start_with(table: ColumnStoreTable, config: MoverConfig) -> Result<Self> {
         let (tx, rx) = mpsc::channel();
+        let status = Arc::new(Mutex::new(MoverStatus::default()));
+        let worker = Worker {
+            table,
+            config,
+            rx,
+            status: status.clone(),
+        };
         let handle = std::thread::Builder::new()
             .name("tuple-mover".into())
-            .spawn(move || {
-                let mut total_moved = 0usize;
-                loop {
-                    match rx.recv_timeout(interval) {
-                        Ok(Msg::Stop) => break,
-                        Ok(Msg::Kick) | Err(RecvTimeoutError::Timeout) => {
-                            // A compression failure means an encoder bug:
-                            // stop the thread and hand the error to stop()
-                            // rather than spinning on it.
-                            total_moved += table.tuple_move_once()?;
-                        }
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                }
-                Ok(total_moved)
-            })
+            .spawn(move || worker.run())
             .map_err(|e| Error::Execution(format!("cannot spawn tuple mover: {e}")))?;
         Ok(TupleMover {
             tx,
             handle: Some(handle),
+            status,
         })
     }
 
@@ -68,9 +172,14 @@ impl TupleMover {
         let _ = self.tx.send(Msg::Kick);
     }
 
+    /// A snapshot of the mover's counters and state.
+    pub fn status(&self) -> MoverStatus {
+        self.status.lock().clone()
+    }
+
     /// Stop the thread and return the total number of delta stores it
-    /// compressed over its lifetime. Surfaces any compression error the
-    /// background passes hit.
+    /// compressed over its lifetime. Surfaces the fatal error if the mover
+    /// ended up in [`MoverState::Failed`].
     pub fn stop(mut self) -> Result<usize> {
         // lint: allow(discard) — send fails only when the worker already
         // exited, in which case join() below still collects its result
@@ -96,25 +205,151 @@ impl Drop for TupleMover {
     }
 }
 
+struct Worker {
+    table: ColumnStoreTable,
+    config: MoverConfig,
+    rx: Receiver<Msg>,
+    status: Arc<Mutex<MoverStatus>>,
+}
+
+impl Worker {
+    fn run(self) -> Result<usize> {
+        let mut fatal: Option<Error> = None;
+        loop {
+            match self.rx.recv_timeout(self.config.interval) {
+                Ok(Msg::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+                Ok(Msg::Kick) | Err(RecvTimeoutError::Timeout) => {
+                    match self.pass_with_retry() {
+                        PassOutcome::Ok => {}
+                        PassOutcome::StopRequested => break,
+                        PassOutcome::Fatal(e) => {
+                            let failures = {
+                                let mut st = self.status.lock();
+                                st.consecutive_failures += 1;
+                                st.last_error = Some(e.to_string());
+                                st.consecutive_failures
+                            };
+                            if failures > self.config.max_restarts {
+                                // Out of restarts: park (still answering
+                                // status/stop) rather than dying silently.
+                                self.status.lock().state = MoverState::Failed;
+                                fatal = Some(e);
+                                self.park_until_stop();
+                                break;
+                            }
+                            self.status.lock().restarts += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut st = self.status.lock();
+        if st.state != MoverState::Failed {
+            st.state = MoverState::Stopped;
+        }
+        let moved = usize::try_from(st.stores_moved).unwrap_or(usize::MAX);
+        drop(st);
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(moved),
+        }
+    }
+
+    /// One pass, retrying transient errors within the budget.
+    fn pass_with_retry(&self) -> PassOutcome {
+        let mut backoff = self.config.backoff_base;
+        let mut retries = 0u32;
+        loop {
+            match self.one_pass() {
+                Ok(report) => {
+                    let mut st = self.status.lock();
+                    st.passes += 1;
+                    st.stores_moved += report.stores as u64;
+                    st.rows_moved += report.rows as u64;
+                    st.consecutive_failures = 0;
+                    return PassOutcome::Ok;
+                }
+                Err(e) if Self::is_transient(&e) && retries < self.config.retry_budget => {
+                    retries += 1;
+                    {
+                        let mut st = self.status.lock();
+                        st.transient_retries += 1;
+                        st.last_error = Some(e.to_string());
+                    }
+                    // Back off via the channel so a Stop interrupts the wait.
+                    match self.rx.recv_timeout(backoff) {
+                        Ok(Msg::Stop) | Err(RecvTimeoutError::Disconnected) => {
+                            return PassOutcome::StopRequested;
+                        }
+                        Ok(Msg::Kick) | Err(RecvTimeoutError::Timeout) => {}
+                    }
+                    backoff = (backoff * 2).min(self.config.backoff_max);
+                }
+                Err(e) => return PassOutcome::Fatal(e),
+            }
+        }
+    }
+
+    /// Run one pass, converting a panic into a fatal error so a poisoned
+    /// encoder cannot kill the supervisor thread.
+    fn one_pass(&self) -> Result<MovePassReport> {
+        match catch_unwind(AssertUnwindSafe(|| self.table.tuple_move_pass())) {
+            Ok(r) => r,
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(Error::Execution(format!(
+                    "tuple mover pass panicked: {msg}"
+                )))
+            }
+        }
+    }
+
+    /// IO errors are transient (the disk may come back); corruption and
+    /// execution errors are not.
+    fn is_transient(e: &Error) -> bool {
+        matches!(e, Error::Io(_))
+    }
+
+    /// Failed terminally: wait for Stop so the handle's `stop()`/`status()`
+    /// keep working instead of the thread vanishing.
+    fn park_until_stop(&self) {
+        loop {
+            match self.rx.recv() {
+                Ok(Msg::Stop) | Err(_) => return,
+                Ok(Msg::Kick) => {}
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::table::TableConfig;
+    use cstore_common::fault::{FaultInjector, FaultKind, FaultSpec};
     use cstore_common::{DataType, Field, Row, Schema, Value};
     use cstore_storage::SortMode;
 
-    #[test]
-    fn background_mover_drains_closed_deltas() {
+    fn table(delta_capacity: usize) -> ColumnStoreTable {
         let schema = Schema::new(vec![Field::not_null("k", DataType::Int64)]);
-        let t = ColumnStoreTable::new(
+        ColumnStoreTable::new(
             schema,
             TableConfig {
-                delta_capacity: 100,
+                delta_capacity,
                 bulk_load_threshold: 1 << 30,
                 max_rowgroup_rows: 1 << 20,
                 sort_mode: SortMode::None,
             },
-        );
+        )
+    }
+
+    #[test]
+    fn background_mover_drains_closed_deltas() {
+        let t = table(100);
         let mover = TupleMover::start(t.clone(), Duration::from_millis(2)).unwrap();
         for i in 0..1050 {
             t.insert(Row::new(vec![Value::Int64(i)])).unwrap();
@@ -124,6 +359,8 @@ mod tests {
         while t.stats().n_closed_deltas > 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
+        let status = mover.status();
+        assert_eq!(status.state, MoverState::Running);
         let moved = mover.stop().unwrap();
         assert!(moved >= 10, "mover compressed {moved} stores");
         let s = t.stats();
@@ -134,16 +371,7 @@ mod tests {
 
     #[test]
     fn kick_triggers_immediate_pass() {
-        let schema = Schema::new(vec![Field::not_null("k", DataType::Int64)]);
-        let t = ColumnStoreTable::new(
-            schema,
-            TableConfig {
-                delta_capacity: 10,
-                bulk_load_threshold: 1 << 30,
-                max_rowgroup_rows: 1 << 20,
-                sort_mode: SortMode::None,
-            },
-        );
+        let t = table(10);
         // Long interval: only the kick can drain in time.
         let mover = TupleMover::start(t.clone(), Duration::from_secs(60)).unwrap();
         for i in 0..25 {
@@ -157,5 +385,99 @@ mod tests {
         }
         assert_eq!(t.stats().n_closed_deltas, 0);
         mover.stop().unwrap();
+    }
+
+    #[test]
+    fn status_counts_rows_and_passes() {
+        let t = table(10);
+        let mover = TupleMover::start(t.clone(), Duration::from_secs(60)).unwrap();
+        for i in 0..35 {
+            t.insert(Row::new(vec![Value::Int64(i)])).unwrap();
+        }
+        mover.kick();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while t.stats().n_closed_deltas > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let status = mover.status();
+        assert!(status.passes >= 1);
+        assert_eq!(status.stores_moved, 3);
+        assert_eq!(status.rows_moved, 30);
+        assert_eq!(status.transient_retries, 0);
+        assert_eq!(status.restarts, 0);
+        mover.stop().unwrap();
+    }
+
+    #[test]
+    fn transient_faults_are_retried_within_budget() {
+        let t = table(10);
+        let faults = FaultInjector::new(7);
+        t.set_fault_injector(faults.clone());
+        for i in 0..25 {
+            t.insert(Row::new(vec![Value::Int64(i)])).unwrap();
+        }
+        // 3 transient IO errors, budget 5: the pass must still complete.
+        faults.arm("mover.pass", FaultSpec::new(FaultKind::IoError).times(3));
+        let mover = TupleMover::start_with(
+            t.clone(),
+            MoverConfig {
+                interval: Duration::from_millis(2),
+                retry_budget: 5,
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(4),
+                max_restarts: 0,
+            },
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while t.stats().n_closed_deltas > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let status = mover.status();
+        assert_eq!(status.state, MoverState::Running);
+        assert_eq!(status.transient_retries, 3);
+        assert_eq!(status.restarts, 0);
+        assert!(status.last_error.unwrap().contains("injected IO fault"));
+        mover.stop().unwrap();
+        assert_eq!(t.total_rows(), 25);
+    }
+
+    #[test]
+    fn fatal_faults_exhaust_restarts_and_park() {
+        let t = table(10);
+        let faults = FaultInjector::new(8);
+        t.set_fault_injector(faults.clone());
+        for i in 0..25 {
+            t.insert(Row::new(vec![Value::Int64(i)])).unwrap();
+        }
+        // BitFlip maps to a Storage error: fatal class, never retried.
+        faults.arm("mover.pass", FaultSpec::new(FaultKind::BitFlip).always());
+        let mover = TupleMover::start_with(
+            t.clone(),
+            MoverConfig {
+                interval: Duration::from_millis(1),
+                retry_budget: 2,
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(2),
+                max_restarts: 2,
+            },
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while mover.status().state != MoverState::Failed && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let status = mover.status();
+        assert_eq!(status.state, MoverState::Failed);
+        assert_eq!(
+            status.restarts, 2,
+            "supervisor restarted max_restarts times"
+        );
+        assert_eq!(status.consecutive_failures, 3);
+        // The table still serves while the mover is parked.
+        t.insert(Row::new(vec![Value::Int64(100)])).unwrap();
+        assert_eq!(t.total_rows(), 26);
+        let err = mover.stop().unwrap_err();
+        assert!(err.to_string().contains("BitFlip"), "got: {err}");
     }
 }

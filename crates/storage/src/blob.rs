@@ -22,8 +22,9 @@ pub trait BlobStore: Send + Sync {
     fn keys(&self) -> Vec<String>;
 }
 
-/// In-memory blob store.
-#[derive(Default)]
+/// In-memory blob store. `Clone` snapshots the full contents — chaos
+/// tests use this to capture a "disk image" before a simulated crash.
+#[derive(Default, Clone)]
 pub struct MemBlobStore {
     blobs: FxHashMap<String, Vec<u8>>,
 }
@@ -82,15 +83,32 @@ impl FileBlobStore {
         }
         Ok(self.root.join(format!("{key}.blob")))
     }
+
+    /// Flush directory metadata so a completed rename survives a crash.
+    /// On non-Unix targets opening a directory for sync is not portable;
+    /// the rename is still atomic there, just not durably ordered.
+    fn sync_root(&self) -> Result<()> {
+        #[cfg(unix)]
+        fs::File::open(&self.root)?.sync_all()?;
+        Ok(())
+    }
 }
 
 impl BlobStore for FileBlobStore {
     fn put(&mut self, key: &str, bytes: &[u8]) -> Result<()> {
+        use std::io::Write;
         let path = self.path(key)?;
-        // Write-then-rename so readers never observe a torn blob.
+        // Write-then-fsync-then-rename-then-fsync(dir): readers never
+        // observe a torn blob, and a crash after `put` returns cannot
+        // roll the blob back or leave the rename unpublished.
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, bytes)?;
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
         fs::rename(&tmp, &path)?;
+        self.sync_root()?;
         Ok(())
     }
 
@@ -157,6 +175,24 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         let mut s = FileBlobStore::open(&dir).unwrap();
         exercise(&mut s);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_store_put_is_atomic_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("cstore-blob-sync-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = FileBlobStore::open(&dir).unwrap();
+        s.put("k", b"first").unwrap();
+        // Overwrite goes through the same tmp+rename+fsync path.
+        s.put("k", b"second-version").unwrap();
+        assert_eq!(s.get("k").unwrap(), b"second-version");
+        let leftovers: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.unwrap().file_name().into_string().ok())
+            .filter(|n| !n.ends_with(".blob"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray files after put: {leftovers:?}");
         fs::remove_dir_all(&dir).unwrap();
     }
 

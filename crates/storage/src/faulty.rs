@@ -1,0 +1,216 @@
+//! A fault-injecting [`BlobStore`] wrapper.
+//!
+//! [`FaultyBlobStore`] decorates any backend and consults a shared
+//! [`FaultInjector`] at named points before every operation:
+//!
+//! * `blob.put` / `blob.put:<key>` — before storing a blob;
+//! * `blob.get` / `blob.get:<key>` — before fetching a blob;
+//! * `blob.delete` / `blob.delete:<key>` — before removing a blob.
+//!
+//! The generic point fires for every key; the `:<key>` point only for that
+//! key, letting tests target (say) the catalog manifest specifically. What
+//! each [`FaultKind`] does here:
+//!
+//! * `IoError` — the operation fails with an IO error and has no effect;
+//! * `TornWrite` — `put` stores a strict prefix of the bytes and *reports
+//!   success* (a torn write is only discovered on read, by the CRC);
+//! * `BitFlip` — `put` stores the bytes with one bit flipped and reports
+//!   success; `get` returns the blob with one bit flipped;
+//! * `Crash` — the in-flight operation does not happen and every later
+//!   operation fails: the "process" is dead until the test recovers the
+//!   inner store via [`FaultyBlobStore::into_inner`] (the "restart");
+//! * `TornCrash` — like `Crash`, but the in-flight `put` leaves a torn
+//!   prefix behind, modelling a power cut mid-write.
+
+use cstore_common::fault::{FaultInjector, FaultKind};
+use cstore_common::Result;
+
+use crate::blob::BlobStore;
+
+/// A [`BlobStore`] decorator that injects faults from a [`FaultInjector`].
+pub struct FaultyBlobStore<S> {
+    inner: S,
+    faults: FaultInjector,
+}
+
+impl<S: BlobStore> FaultyBlobStore<S> {
+    pub fn new(inner: S, faults: FaultInjector) -> Self {
+        FaultyBlobStore { inner, faults }
+    }
+
+    /// Recover the wrapped store — the surviving "disk" after a simulated
+    /// crash, to be reopened by the test.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// The shared injector (for arming/inspection through the store).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Consult the generic and per-key points; the first fault wins.
+    fn fault_at(&self, op: &str, key: &str) -> Option<(FaultKind, String)> {
+        let generic = format!("blob.{op}");
+        if let Some(k) = self.faults.hit(&generic) {
+            return Some((k, generic));
+        }
+        let keyed = format!("blob.{op}:{key}");
+        self.faults.hit(&keyed).map(|k| (k, keyed))
+    }
+
+    /// A copy of `bytes` cut to a deterministic strict prefix.
+    fn tear(&self, bytes: &[u8]) -> Vec<u8> {
+        let cut = self.faults.rng_below(bytes.len() as u64) as usize;
+        bytes[..cut].to_vec()
+    }
+
+    /// A copy of `bytes` with one deterministic bit flipped.
+    fn flip(&self, bytes: &[u8]) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        if !out.is_empty() {
+            let pos = self.faults.rng_below(out.len() as u64) as usize;
+            let bit = self.faults.rng_below(8) as u8;
+            out[pos] ^= 1 << bit;
+        }
+        out
+    }
+}
+
+impl<S: BlobStore> BlobStore for FaultyBlobStore<S> {
+    fn put(&mut self, key: &str, bytes: &[u8]) -> Result<()> {
+        match self.fault_at("put", key) {
+            None => self.inner.put(key, bytes),
+            Some((kind @ (FaultKind::IoError | FaultKind::Crash), point)) => {
+                Err(kind.to_error(&point))
+            }
+            Some((FaultKind::TornWrite, _)) => {
+                // Report success: torn writes are silent until read back.
+                self.inner.put(key, &self.tear(bytes))
+            }
+            Some((FaultKind::BitFlip, _)) => self.inner.put(key, &self.flip(bytes)),
+            Some((kind @ FaultKind::TornCrash, point)) => {
+                // The tear lands on disk, then the process dies.
+                self.inner.put(key, &self.tear(bytes))?;
+                Err(kind.to_error(&point))
+            }
+        }
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        match self.fault_at("get", key) {
+            None => self.inner.get(key),
+            Some((FaultKind::BitFlip, _)) => Ok(self.flip(&self.inner.get(key)?)),
+            Some((FaultKind::TornWrite, _)) => Ok(self.tear(&self.inner.get(key)?)),
+            Some((kind, point)) => Err(kind.to_error(&point)),
+        }
+    }
+
+    fn delete(&mut self, key: &str) -> Result<()> {
+        match self.fault_at("delete", key) {
+            None => self.inner.delete(key),
+            Some((FaultKind::TornWrite, _)) | Some((FaultKind::BitFlip, _)) => {
+                self.inner.delete(key)
+            }
+            Some((kind, point)) => Err(kind.to_error(&point)),
+        }
+    }
+
+    fn keys(&self) -> Vec<String> {
+        if self.faults.crashed() {
+            return Vec::new();
+        }
+        self.inner.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blob::MemBlobStore;
+    use cstore_common::fault::FaultSpec;
+    use cstore_common::FaultInjector;
+
+    fn store(seed: u64) -> (FaultyBlobStore<MemBlobStore>, FaultInjector) {
+        let f = FaultInjector::new(seed);
+        (FaultyBlobStore::new(MemBlobStore::new(), f.clone()), f)
+    }
+
+    #[test]
+    fn passthrough_when_unarmed() {
+        let (mut s, f) = store(1);
+        s.put("a", b"alpha").unwrap();
+        assert_eq!(s.get("a").unwrap(), b"alpha");
+        s.delete("a").unwrap();
+        assert!(s.get("a").is_err());
+        assert_eq!(f.fired_total(), 0);
+        assert!(f.hits("blob.put") >= 1);
+    }
+
+    #[test]
+    fn io_error_fires_once_then_recovers() {
+        let (mut s, f) = store(2);
+        f.arm("blob.put", FaultSpec::new(FaultKind::IoError));
+        let err = s.put("a", b"x").unwrap_err();
+        assert_eq!(err.code(), "IO");
+        assert!(s.get("a").is_err(), "failed put must not store");
+        s.put("a", b"x").unwrap();
+        assert_eq!(s.get("a").unwrap(), b"x");
+    }
+
+    #[test]
+    fn torn_write_reports_success_but_truncates() {
+        let (mut s, f) = store(3);
+        f.arm("blob.put:t", FaultSpec::new(FaultKind::TornWrite));
+        s.put("t", b"0123456789").unwrap();
+        let got = s.get("t").unwrap();
+        assert!(got.len() < 10, "torn write kept all {} bytes", got.len());
+        assert_eq!(&b"0123456789"[..got.len()], &got[..]);
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let (mut s, f) = store(4);
+        f.arm("blob.put:b", FaultSpec::new(FaultKind::BitFlip));
+        s.put("b", &[0u8; 16]).unwrap();
+        let got = s.get("b").unwrap();
+        let ones: u32 = got.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one bit flipped");
+    }
+
+    #[test]
+    fn crash_kills_everything_until_restart() {
+        let (mut s, f) = store(5);
+        s.put("old", b"durable").unwrap();
+        f.arm("blob.put", FaultSpec::new(FaultKind::Crash).after(1));
+        assert!(s.put("new", b"lost").is_err());
+        assert!(s.get("old").is_err(), "dead process cannot read");
+        assert!(s.keys().is_empty());
+        // "Restart": recover the disk image.
+        let disk = s.into_inner();
+        assert_eq!(disk.get("old").unwrap(), b"durable");
+        assert!(disk.get("new").is_err(), "crashed put never landed");
+    }
+
+    #[test]
+    fn torn_crash_leaves_a_prefix() {
+        let (mut s, f) = store(6);
+        f.arm("blob.put:m", FaultSpec::new(FaultKind::TornCrash));
+        assert!(s.put("m", b"manifest-bytes").is_err());
+        let disk = s.into_inner();
+        let got = disk.get("m").unwrap();
+        assert!(got.len() < b"manifest-bytes".len());
+    }
+
+    #[test]
+    fn keyed_point_targets_one_key_only() {
+        let (mut s, f) = store(7);
+        f.arm(
+            "blob.put:victim",
+            FaultSpec::new(FaultKind::IoError).always(),
+        );
+        s.put("other", b"ok").unwrap();
+        assert!(s.put("victim", b"no").is_err());
+        s.put("other2", b"ok").unwrap();
+    }
+}

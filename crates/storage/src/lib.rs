@@ -22,6 +22,7 @@ pub mod archive;
 pub mod blob;
 pub mod builder;
 pub mod encode;
+pub mod faulty;
 pub mod format;
 pub mod pred;
 pub mod reorder;
@@ -31,7 +32,8 @@ pub mod stats;
 pub mod table;
 
 pub use builder::{RowGroupBuilder, SortMode};
+pub use faulty::FaultyBlobStore;
 pub use pred::{CmpOp, ColumnPred};
 pub use rowgroup::{CompressedRowGroup, CompressionLevel};
 pub use segment::{ColumnSegment, SegmentValues};
-pub use table::ColumnStore;
+pub use table::{BlobQuarantine, ColumnStore, QuarantinedKind};

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use cstore_common::{DataType, Result, Row, RowGroupId, Schema, Value};
+use cstore_common::{convert, DataType, Result, Row, RowGroupId, Schema, Value};
 
 use crate::blob::BlobStore;
 use crate::builder::{RowGroupBuilder, SortMode};
@@ -15,6 +15,33 @@ use crate::encode::Dictionary;
 use crate::pred::ColumnPred;
 use crate::rowgroup::{CompressedRowGroup, CompressionLevel};
 use crate::stats::SegmentDirectory;
+
+/// What kind of blob a quarantined key held. Shared vocabulary for
+/// degraded opens across the storage, delta and core layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantinedKind {
+    /// A compressed row group (`<prefix>.rg<id>`).
+    RowGroup(RowGroupId),
+    /// A table-level row-group manifest (`<prefix>.manifest`).
+    TableManifest,
+    /// A delta-store blob (`<prefix>.delta`).
+    Delta,
+    /// A heap blob (`<prefix>.heap`).
+    Heap,
+}
+
+/// One blob a degraded open dropped instead of failing, with the error
+/// that disqualified it. The data the blob held is *gone* from the opened
+/// database; the report is how callers learn what was lost.
+#[derive(Debug, Clone)]
+pub struct BlobQuarantine {
+    /// The blob-store key that failed.
+    pub key: String,
+    /// What the blob held.
+    pub kind: QuarantinedKind,
+    /// Why it was dropped (missing, bad CRC, bad magic, ...).
+    pub error: String,
+}
 
 /// The compressed row groups of one table.
 pub struct ColumnStore {
@@ -247,7 +274,7 @@ impl ColumnStore {
         w.u32(0x4654_5343); // "CSTF"
         w.u16(crate::format::FORMAT_VERSION);
         w.u32(self.next_group_id);
-        w.u32(self.groups.len() as u32);
+        w.u32(convert::u32_from_usize(self.groups.len())?);
         for g in &self.groups {
             w.u32(g.id().0);
         }
@@ -259,9 +286,28 @@ impl ColumnStore {
     }
 
     /// Load a persisted column store (schema from the caller's catalog).
+    /// Strict: the first unreadable blob fails the whole load.
     pub fn load(store: &dyn BlobStore, prefix: &str, schema: Schema) -> Result<ColumnStore> {
-        let manifest = store.get(&format!("{prefix}.manifest"))?;
-        let payload = crate::format::Reader::check_crc(&manifest)?;
+        Self::load_inner(store, prefix, schema, None)
+    }
+
+    /// Load a persisted column store, quarantining row-group blobs that are
+    /// missing or fail to deserialize instead of failing the load. The
+    /// manifest itself must still be readable — without it there is no way
+    /// to know what the table held (callers quarantine the whole table).
+    pub fn load_degraded(
+        store: &dyn BlobStore,
+        prefix: &str,
+        schema: Schema,
+    ) -> Result<(ColumnStore, Vec<BlobQuarantine>)> {
+        let mut quarantined = Vec::new();
+        let cs = Self::load_inner(store, prefix, schema, Some(&mut quarantined))?;
+        Ok((cs, quarantined))
+    }
+
+    /// Parse a persisted row-group manifest: `(next_group_id, group ids)`.
+    fn parse_manifest(blob: &[u8]) -> Result<(u32, Vec<u32>)> {
+        let payload = crate::format::Reader::check_crc(blob)?;
         let mut r = crate::format::Reader::new(payload);
         if r.u32()? != 0x4654_5343 {
             return Err(cstore_common::Error::Storage("bad manifest magic".into()));
@@ -273,15 +319,49 @@ impl ColumnStore {
             )));
         }
         let next_group_id = r.u32()?;
-        let n = r.u32()? as usize;
+        let n = convert::usize_from_u32(r.u32()?);
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(r.u32()?);
+        }
+        Ok((next_group_id, ids))
+    }
+
+    /// The row-group ids the persisted manifest under `prefix` references,
+    /// without loading any group (scrub/verify support).
+    pub fn persisted_group_ids(store: &dyn BlobStore, prefix: &str) -> Result<Vec<RowGroupId>> {
+        let manifest = store.get(&format!("{prefix}.manifest"))?;
+        let (_, ids) = Self::parse_manifest(&manifest)?;
+        Ok(ids.into_iter().map(RowGroupId).collect())
+    }
+
+    fn load_inner(
+        store: &dyn BlobStore,
+        prefix: &str,
+        schema: Schema,
+        mut quarantine: Option<&mut Vec<BlobQuarantine>>,
+    ) -> Result<ColumnStore> {
+        let manifest = store.get(&format!("{prefix}.manifest"))?;
+        let (next_group_id, ids) = Self::parse_manifest(&manifest)?;
         let mut cs = ColumnStore::new(schema);
         cs.next_group_id = next_group_id;
-        for _ in 0..n {
-            let gid = r.u32()?;
-            let blob = store.get(&format!("{prefix}.rg{gid}"))?;
-            let rg = CompressedRowGroup::deserialize(&blob, cs.schema.clone())?;
-            cs.adopt_global_dicts(&rg);
-            cs.groups.push(rg);
+        for gid in ids {
+            let key = format!("{prefix}.rg{gid}");
+            let loaded = store
+                .get(&key)
+                .and_then(|blob| CompressedRowGroup::deserialize(&blob, cs.schema.clone()));
+            match (loaded, quarantine.as_deref_mut()) {
+                (Ok(rg), _) => {
+                    cs.adopt_global_dicts(&rg);
+                    cs.groups.push(rg);
+                }
+                (Err(e), Some(q)) => q.push(BlobQuarantine {
+                    key,
+                    kind: QuarantinedKind::RowGroup(RowGroupId(gid)),
+                    error: e.to_string(),
+                }),
+                (Err(e), None) => return Err(e),
+            }
         }
         Ok(cs)
     }
@@ -378,6 +458,36 @@ mod tests {
         // Id sequence continues after load.
         let mut loaded = loaded;
         assert_eq!(loaded.alloc_group_id(), RowGroupId(2));
+    }
+
+    #[test]
+    fn load_degraded_quarantines_bad_groups() {
+        let mut cs = ColumnStore::new(schema());
+        cs.append_rows(&rows(0, 1500), 500).unwrap();
+        let mut store = MemBlobStore::new();
+        cs.persist(&mut store, "t").unwrap();
+        // Corrupt rg1 (flip a byte past the header) and drop rg2 entirely.
+        let mut blob = store.get("t.rg1").unwrap();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0xff;
+        store.put("t.rg1", &blob).unwrap();
+        store.delete("t.rg2").unwrap();
+
+        assert!(ColumnStore::load(&store, "t", schema()).is_err());
+        let (mut loaded, quarantined) = ColumnStore::load_degraded(&store, "t", schema()).unwrap();
+        assert_eq!(loaded.total_rows(), 500, "only rg0 survives");
+        assert_eq!(quarantined.len(), 2);
+        assert_eq!(
+            quarantined[0].kind,
+            QuarantinedKind::RowGroup(RowGroupId(1))
+        );
+        assert_eq!(
+            quarantined[1].kind,
+            QuarantinedKind::RowGroup(RowGroupId(2))
+        );
+        assert!(quarantined[1].error.contains("not found"));
+        // Id sequence is preserved even with holes.
+        assert_eq!(loaded.alloc_group_id(), RowGroupId(3));
     }
 
     #[test]

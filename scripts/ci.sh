@@ -16,4 +16,11 @@ cargo build --workspace --release -q
 echo "==> cargo test"
 cargo test --workspace -q
 
+# Chaos gate: crash-point matrix over save, degraded open per blob kind,
+# and the mover under injected faults. Fixed seeds, fully offline — part
+# of the workspace run above, re-run here explicitly so a failure names
+# the robustness suite directly.
+echo "==> chaos + degraded-open suites"
+cargo test -q --test chaos --test degraded_open
+
 echo "==> ci: all gates passed"

@@ -18,7 +18,7 @@ use cstore::{Database, QueryResult};
 fn main() {
     let dir: Option<PathBuf> = std::env::args().nth(1).map(PathBuf::from);
     let db = match &dir {
-        Some(d) if d.join("catalog.blob").exists() => match Database::open_from(d) {
+        Some(d) if Database::persisted_at(d) => match Database::open_from(d) {
             Ok(db) => {
                 eprintln!("opened database at {}", d.display());
                 db

@@ -7,7 +7,10 @@
 //! Start with [`cstore_core::Database`] (re-exported as `cstore::Database`).
 
 pub use cstore_common as common;
-pub use cstore_core::{Catalog, Database, ExecMode, QueryResult, TableEntry};
+pub use cstore_core::{
+    Catalog, Database, ExecMode, OpenMode, OpenReport, QueryResult, TableEntry, TableOpenReport,
+    VerifyReport,
+};
 pub use cstore_delta as delta;
 pub use cstore_exec as exec;
 pub use cstore_planner as planner;

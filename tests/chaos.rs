@@ -1,0 +1,291 @@
+//! Chaos suite: crash-point matrix over `save_to` and a tuple mover fed
+//! injected faults under concurrent load.
+//!
+//! The durability contract under test: killing a save at *any* blob
+//! operation leaves the store openable with either the complete pre-save
+//! state or the complete post-save state — never a torn mixture and never
+//! corruption. All faults are driven by fixed seeds, so failures reproduce
+//! deterministically.
+
+use std::time::Duration;
+
+use cstore::common::fault::{FaultInjector, FaultKind, FaultSpec};
+use cstore::common::{Row, Value};
+use cstore::delta::{ColumnStoreTable, MoverConfig, MoverState, TableConfig, TupleMover};
+use cstore::storage::blob::MemBlobStore;
+use cstore::storage::FaultyBlobStore;
+use cstore::{Database, OpenMode};
+
+fn small_config() -> TableConfig {
+    TableConfig {
+        delta_capacity: 100,
+        bulk_load_threshold: 200,
+        max_rowgroup_rows: 500,
+        ..TableConfig::default()
+    }
+}
+
+/// A database exercising every durable structure: compressed row groups,
+/// delta rows, delete-bitmap marks, and a heap table.
+fn build_db() -> Database {
+    let db = Database::new().with_table_config(small_config());
+    db.execute("CREATE TABLE cs (id BIGINT NOT NULL, name VARCHAR, amt DECIMAL(6,2))")
+        .unwrap();
+    db.execute("CREATE TABLE hp (k BIGINT NOT NULL, v VARCHAR NOT NULL) USING HEAP")
+        .unwrap();
+    let rows: Vec<Row> = (0..1000)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int64(i),
+                Value::str(format!("n{}", i % 13)),
+                Value::Decimal(i * 3),
+            ])
+        })
+        .collect();
+    db.bulk_load("cs", &rows).unwrap();
+    db.execute("INSERT INTO cs VALUES (5000, 'delta-row', 1.25)")
+        .unwrap();
+    db.execute("DELETE FROM cs WHERE id < 50").unwrap();
+    db.execute("INSERT INTO hp VALUES (1, 'x'), (2, 'y')")
+        .unwrap();
+    db
+}
+
+/// Mutate the database so the next save differs from the previous one.
+fn mutate(db: &Database) {
+    db.execute("INSERT INTO cs VALUES (7777, 'second-gen', 9.99)")
+        .unwrap();
+    db.execute("DELETE FROM cs WHERE id BETWEEN 100 AND 199")
+        .unwrap();
+    db.execute("INSERT INTO hp VALUES (3, 'z')").unwrap();
+}
+
+const FINGERPRINT_QUERIES: &[&str] = &[
+    "SELECT COUNT(*), SUM(amt), COUNT(name) FROM cs",
+    "SELECT name, COUNT(*) AS n FROM cs GROUP BY name ORDER BY name",
+    "SELECT COUNT(*) FROM hp",
+];
+
+fn fingerprint(db: &Database) -> Vec<Vec<Row>> {
+    FINGERPRINT_QUERIES
+        .iter()
+        .map(|q| db.execute(q).unwrap().rows().to_vec())
+        .collect()
+}
+
+/// Kill the save at every injected put, under both crash flavors, and
+/// check the reopened state is exactly old or exactly new.
+#[test]
+fn crash_point_matrix_over_save() {
+    let db = build_db();
+    let old_print = fingerprint(&db);
+
+    // Generation 1: a clean baseline save.
+    let mut base = MemBlobStore::new();
+    let gen1 = db.save_to_store(&mut base).unwrap();
+    assert_eq!(gen1, 1);
+    assert!(Database::verify_store(&base).unwrap().is_clean());
+
+    mutate(&db);
+    let new_print = fingerprint(&db);
+    assert_ne!(old_print, new_print, "mutation must change the fingerprint");
+
+    // Count the puts a gen-2 save performs (dry run over a disk clone).
+    let faults = FaultInjector::new(0xC0);
+    let mut dry = FaultyBlobStore::new(base.clone(), faults.clone());
+    db.save_to_store(&mut dry).unwrap();
+    let total_puts = faults.hits("blob.put");
+    assert!(total_puts >= 5, "expected several puts, saw {total_puts}");
+
+    for kind in [FaultKind::Crash, FaultKind::TornCrash] {
+        for k in 0..total_puts {
+            let faults = FaultInjector::new(1000 + k);
+            faults.arm("blob.put", FaultSpec::new(kind).after(k));
+            let mut store = FaultyBlobStore::new(base.clone(), faults);
+            let err = db.save_to_store(&mut store).unwrap_err();
+            assert_eq!(err.code(), "IO", "{kind:?} at put {k}: {err}");
+
+            // "Restart": reopen whatever survived on the disk image.
+            let disk = store.into_inner();
+            let (reopened, report) = Database::open_from_store(&disk, OpenMode::Strict).unwrap();
+            // The manifest is the last put: a save killed at any put
+            // always rolls back to generation 1.
+            assert_eq!(
+                fingerprint(&reopened),
+                old_print,
+                "{kind:?} at put {k}/{total_puts}: expected pre-save state"
+            );
+            // A torn gen-2 manifest (TornCrash at the last put) must be
+            // detected and skipped, not read.
+            if kind == FaultKind::TornCrash && k == total_puts - 1 {
+                assert_eq!(report.generation, 1);
+                assert_eq!(report.skipped_manifests.len(), 1);
+                assert_eq!(report.skipped_manifests[0].0, 2);
+            }
+        }
+    }
+
+    // Crash during garbage collection (after the manifest landed): the
+    // save reports success — GC is best-effort — and reopening yields the
+    // NEW state, with the stale generation-1 blobs left as orphans.
+    let faults = FaultInjector::new(0x6C);
+    faults.arm("blob.delete", FaultSpec::new(FaultKind::Crash));
+    let mut store = FaultyBlobStore::new(base.clone(), faults);
+    db.save_to_store(&mut store).unwrap();
+    let disk = store.into_inner();
+    let (reopened, report) = Database::open_from_store(&disk, OpenMode::Strict).unwrap();
+    assert_eq!(report.generation, 2);
+    assert_eq!(fingerprint(&reopened), new_print);
+    let verify = Database::verify_store(&disk).unwrap();
+    assert!(verify.is_clean(), "{verify:?}");
+    assert!(!verify.orphaned.is_empty(), "interrupted GC leaves orphans");
+
+    // And a clean save over the partially-collected store reclaims them.
+    let mut disk = disk;
+    let gen3 = db.save_to_store(&mut disk).unwrap();
+    assert_eq!(gen3, 3);
+    let verify = Database::verify_store(&disk).unwrap();
+    assert!(
+        verify.is_clean() && verify.orphaned.is_empty(),
+        "{verify:?}"
+    );
+}
+
+/// Injected transient IO faults within the retry budget: the mover keeps
+/// going under concurrent inserts and scans, loses nothing, and reports
+/// the retries in its status.
+#[test]
+fn mover_absorbs_transient_faults_under_concurrent_load() {
+    let schema = cstore::common::Schema::new(vec![cstore::common::Field::not_null(
+        "k",
+        cstore::common::DataType::Int64,
+    )]);
+    let t = ColumnStoreTable::new(
+        schema,
+        TableConfig {
+            delta_capacity: 50,
+            bulk_load_threshold: 1 << 30,
+            max_rowgroup_rows: 1 << 20,
+            ..TableConfig::default()
+        },
+    );
+    let faults = FaultInjector::new(42);
+    t.set_fault_injector(faults.clone());
+    // 4 transient IO errors, spread out, all within the per-pass budget.
+    faults.arm(
+        "mover.pass",
+        FaultSpec::new(FaultKind::IoError).after(1).times(2),
+    );
+    faults.arm(
+        "mover.pass",
+        FaultSpec::new(FaultKind::IoError).after(6).times(2),
+    );
+    let mover = TupleMover::start_with(
+        t.clone(),
+        MoverConfig {
+            interval: Duration::from_millis(1),
+            retry_budget: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(8),
+            max_restarts: 0,
+        },
+    )
+    .unwrap();
+
+    let writer = {
+        let t = t.clone();
+        std::thread::spawn(move || {
+            for i in 0..2000i64 {
+                t.insert(Row::new(vec![Value::Int64(i)])).unwrap();
+            }
+        })
+    };
+    let scanner = {
+        let t = t.clone();
+        std::thread::spawn(move || {
+            for _ in 0..50 {
+                // Scans must never observe a torn state mid-move.
+                let n = t.total_rows();
+                assert!(n <= 2000);
+                std::thread::yield_now();
+            }
+        })
+    };
+    writer.join().unwrap();
+    scanner.join().unwrap();
+
+    // Drain the tail and keep passing until every armed fault has fired
+    // (passes over an empty table still consult the injector).
+    t.close_open_delta();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while (t.stats().n_closed_deltas > 0 || faults.fired("mover.pass") < 4)
+        && std::time::Instant::now() < deadline
+    {
+        mover.kick();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let status = mover.status();
+    assert_eq!(status.state, MoverState::Running);
+    assert_eq!(status.transient_retries, 4, "all injected faults retried");
+    assert_eq!(status.restarts, 0);
+    mover.stop().unwrap();
+    assert_eq!(t.total_rows(), 2000, "zero rows lost");
+    assert_eq!(t.sum_i64(0).unwrap(), (0..2000).sum::<i64>());
+    assert_eq!(t.stats().n_closed_deltas, 0);
+    assert_eq!(t.stats().compressed_rows + t.stats().delta_rows, 2000);
+}
+
+/// A fault beyond the retry budget parks the mover in Failed; the table
+/// itself keeps serving reads and writes.
+#[test]
+fn mover_parks_failed_when_budget_exhausted_but_table_serves() {
+    let schema = cstore::common::Schema::new(vec![cstore::common::Field::not_null(
+        "k",
+        cstore::common::DataType::Int64,
+    )]);
+    let t = ColumnStoreTable::new(
+        schema,
+        TableConfig {
+            delta_capacity: 10,
+            bulk_load_threshold: 1 << 30,
+            max_rowgroup_rows: 1 << 20,
+            ..TableConfig::default()
+        },
+    );
+    let faults = FaultInjector::new(7);
+    t.set_fault_injector(faults.clone());
+    faults.arm("mover.pass", FaultSpec::new(FaultKind::IoError).always());
+    for i in 0..25i64 {
+        t.insert(Row::new(vec![Value::Int64(i)])).unwrap();
+    }
+    let mover = TupleMover::start_with(
+        t.clone(),
+        MoverConfig {
+            interval: Duration::from_millis(1),
+            retry_budget: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(2),
+            max_restarts: 1,
+        },
+    )
+    .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while mover.status().state != MoverState::Failed && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let status = mover.status();
+    assert_eq!(status.state, MoverState::Failed);
+    assert!(status.transient_retries >= 2);
+    assert_eq!(status.restarts, 1);
+    assert!(status.last_error.unwrap().contains("injected IO fault"));
+
+    // The table still answers while its mover is parked.
+    t.insert(Row::new(vec![Value::Int64(100)])).unwrap();
+    assert_eq!(t.total_rows(), 26);
+    assert!(mover.stop().is_err(), "stop surfaces the fatal error");
+
+    // Recovery path: clear the faults and run the pass inline.
+    faults.disarm_all();
+    assert!(t.tuple_move_once().unwrap() > 0);
+    assert_eq!(t.total_rows(), 26);
+}

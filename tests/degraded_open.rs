@@ -1,0 +1,202 @@
+//! Degraded open: every kind of single-blob damage is quarantined with an
+//! exact [`cstore::OpenReport`], while the strict open refuses to proceed.
+//!
+//! One test per blob kind — truncated row group, bit-flipped delta blob,
+//! missing heap blob, unreadable table manifest — plus the
+//! stale-generation manifest fallback.
+
+use cstore::common::{Row, Value};
+use cstore::delta::TableConfig;
+use cstore::storage::blob::{BlobStore, MemBlobStore};
+use cstore::storage::QuarantinedKind;
+use cstore::{Database, OpenMode};
+
+/// Build, save (generation 1), and return the disk image. Tables: a
+/// columnstore `cs` with two row groups plus delta rows and deletes, and
+/// a heap `hp`.
+fn saved_store() -> MemBlobStore {
+    let db = Database::new().with_table_config(TableConfig {
+        delta_capacity: 100,
+        bulk_load_threshold: 200,
+        max_rowgroup_rows: 500,
+        ..TableConfig::default()
+    });
+    db.execute("CREATE TABLE cs (id BIGINT NOT NULL, name VARCHAR)")
+        .unwrap();
+    db.execute("CREATE TABLE hp (k BIGINT NOT NULL) USING HEAP")
+        .unwrap();
+    let rows: Vec<Row> = (0..1000)
+        .map(|i| Row::new(vec![Value::Int64(i), Value::str(format!("n{}", i % 7))]))
+        .collect();
+    db.bulk_load("cs", &rows).unwrap();
+    db.execute("INSERT INTO cs VALUES (5000, 'delta')").unwrap();
+    db.execute("DELETE FROM cs WHERE id < 10").unwrap();
+    db.execute("INSERT INTO hp VALUES (1), (2), (3)").unwrap();
+    let mut store = MemBlobStore::new();
+    assert_eq!(db.save_to_store(&mut store).unwrap(), 1);
+    store
+}
+
+fn truncate(store: &mut MemBlobStore, key: &str) {
+    let blob = store.get(key).unwrap();
+    store.put(key, &blob[..blob.len() / 2]).unwrap();
+}
+
+fn flip_bit(store: &mut MemBlobStore, key: &str) {
+    let mut blob = store.get(key).unwrap();
+    let mid = blob.len() / 2;
+    blob[mid] ^= 0x10;
+    store.put(key, &blob).unwrap();
+}
+
+#[test]
+fn truncated_rowgroup_blob_is_quarantined() {
+    let mut store = saved_store();
+    truncate(&mut store, "g1.cs.rg0");
+
+    assert!(Database::open_from_store(&store, OpenMode::Strict).is_err());
+    let (db, report) = Database::open_from_store(&store, OpenMode::Degraded).unwrap();
+    assert_eq!(report.generation, 1);
+    assert!(report.skipped_manifests.is_empty());
+    assert_eq!(report.tables.len(), 1);
+    assert_eq!(report.tables[0].table, "cs");
+    let q = &report.tables[0].quarantined;
+    assert_eq!(q.len(), 1);
+    assert_eq!(q[0].key, "g1.cs.rg0");
+    assert_eq!(
+        q[0].kind,
+        QuarantinedKind::RowGroup(cstore::common::RowGroupId(0))
+    );
+    assert!(q[0].error.contains("checksum"), "{}", q[0].error);
+    assert_eq!(report.total_quarantined(), 1);
+    assert!(!report.is_clean());
+
+    // Row group 0 (500 rows, 10 of them deleted) is gone; group 1 and the
+    // delta row survive.
+    let n = db.execute("SELECT COUNT(*) FROM cs").unwrap().rows()[0]
+        .get(0)
+        .clone();
+    assert_eq!(n, Value::Int64(501));
+
+    // The scrub sees the same damage.
+    let verify = Database::verify_store(&store).unwrap();
+    assert!(!verify.is_clean());
+    assert_eq!(verify.corrupt.len(), 1);
+    assert_eq!(verify.corrupt[0].0, "g1.cs.rg0");
+}
+
+#[test]
+fn bit_flipped_delta_blob_is_quarantined() {
+    let mut store = saved_store();
+    flip_bit(&mut store, "g1.cs.delta");
+
+    assert!(Database::open_from_store(&store, OpenMode::Strict).is_err());
+    let (db, report) = Database::open_from_store(&store, OpenMode::Degraded).unwrap();
+    assert_eq!(report.tables.len(), 1);
+    let q = &report.tables[0].quarantined;
+    assert_eq!(q.len(), 1);
+    assert_eq!(q[0].key, "g1.cs.delta");
+    assert_eq!(q[0].kind, QuarantinedKind::Delta);
+    // The delta blob carried 1 delta row and the delete bitmap: both are
+    // lost — 1000 compressed rows remain, deletes resurrected.
+    let n = db.execute("SELECT COUNT(*) FROM cs").unwrap().rows()[0]
+        .get(0)
+        .clone();
+    assert_eq!(n, Value::Int64(1000));
+}
+
+#[test]
+fn missing_heap_blob_is_quarantined() {
+    let mut store = saved_store();
+    store.delete("g1.hp.heap").unwrap();
+
+    assert!(Database::open_from_store(&store, OpenMode::Strict).is_err());
+    let (db, report) = Database::open_from_store(&store, OpenMode::Degraded).unwrap();
+    assert_eq!(report.tables.len(), 1);
+    assert_eq!(report.tables[0].table, "hp");
+    let q = &report.tables[0].quarantined;
+    assert_eq!(q.len(), 1);
+    assert_eq!(q[0].key, "g1.hp.heap");
+    assert_eq!(q[0].kind, QuarantinedKind::Heap);
+    assert!(q[0].error.contains("not found"), "{}", q[0].error);
+    // The heap opens empty but usable; the columnstore is untouched.
+    let n = db.execute("SELECT COUNT(*) FROM hp").unwrap().rows()[0]
+        .get(0)
+        .clone();
+    assert_eq!(n, Value::Int64(0));
+    db.execute("INSERT INTO hp VALUES (9)").unwrap();
+
+    let verify = Database::verify_store(&store).unwrap();
+    assert_eq!(verify.missing, vec!["g1.hp.heap".to_string()]);
+}
+
+#[test]
+fn unreadable_table_manifest_quarantines_whole_table() {
+    let mut store = saved_store();
+    truncate(&mut store, "g1.cs.manifest");
+
+    assert!(Database::open_from_store(&store, OpenMode::Strict).is_err());
+    let (db, report) = Database::open_from_store(&store, OpenMode::Degraded).unwrap();
+    assert_eq!(report.tables.len(), 1);
+    let q = &report.tables[0].quarantined;
+    assert_eq!(q.len(), 1);
+    assert_eq!(q[0].key, "g1.cs.manifest");
+    assert_eq!(q[0].kind, QuarantinedKind::TableManifest);
+    // The table is installed empty (schema intact) so the rest of the
+    // database stays reachable.
+    let n = db.execute("SELECT COUNT(*) FROM cs").unwrap().rows()[0]
+        .get(0)
+        .clone();
+    assert_eq!(n, Value::Int64(0));
+    assert_eq!(
+        db.execute("SELECT COUNT(*) FROM hp").unwrap().rows()[0].get(0),
+        &Value::Int64(3)
+    );
+}
+
+#[test]
+fn stale_generation_manifest_falls_back() {
+    let mut store = saved_store();
+    // Plant a "generation 2" manifest that is really the generation-1
+    // bytes: its embedded stamp (1) disagrees with its key (2), as if a
+    // buggy copy or replayed write landed under the wrong key.
+    let g1 = store.get("catalog.g1").unwrap();
+    store.put("catalog.g2", &g1).unwrap();
+
+    // Both modes must refuse the stale manifest and fall back to g1 —
+    // this is the crash-atomicity protocol, not damage to a table.
+    let db = {
+        let (db, report) = Database::open_from_store(&store, OpenMode::Degraded).unwrap();
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.skipped_manifests.len(), 1);
+        assert_eq!(report.skipped_manifests[0].0, 2);
+        assert!(
+            report.skipped_manifests[0].1.contains("stamp"),
+            "{}",
+            report.skipped_manifests[0].1
+        );
+        assert!(report.tables.is_empty(), "no table data was touched");
+        db
+    };
+    let (strict_db, strict_report) = Database::open_from_store(&store, OpenMode::Strict).unwrap();
+    assert_eq!(strict_report.generation, 1);
+    assert_eq!(strict_report.skipped_manifests.len(), 1);
+    assert_eq!(
+        db.execute("SELECT COUNT(*) FROM cs").unwrap().rows()[0].get(0),
+        strict_db.execute("SELECT COUNT(*) FROM cs").unwrap().rows()[0].get(0),
+    );
+}
+
+#[test]
+fn clean_store_opens_clean_in_both_modes() {
+    let store = saved_store();
+    let (_, report) = Database::open_from_store(&store, OpenMode::Degraded).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.generation, 1);
+    let verify = Database::verify_store(&store).unwrap();
+    assert!(
+        verify.is_clean() && verify.orphaned.is_empty(),
+        "{verify:?}"
+    );
+    assert!(verify.blobs_checked >= 5);
+}
