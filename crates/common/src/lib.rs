@@ -9,6 +9,7 @@ pub mod convert;
 pub mod error;
 pub mod fault;
 pub mod hash;
+pub mod metrics;
 pub mod rid;
 pub mod row;
 pub mod schema;
@@ -21,6 +22,7 @@ pub use bitmap::Bitmap;
 pub use error::{Error, Result};
 pub use fault::{FaultInjector, FaultKind, FaultSpec};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use metrics::{Counter, Histogram, MetricSnapshot, Registry};
 pub use rid::{RowGroupId, RowId};
 pub use row::Row;
 pub use schema::{Field, Schema};

@@ -1,0 +1,336 @@
+//! Process-wide metrics registry: named atomic counters and fixed-bucket
+//! histograms, dependency-free (the same offline constraint as the rest
+//! of the workspace).
+//!
+//! The registry is the *durable* half of the observability layer: query
+//! execution accumulates per-query [`ExecStats`](../../cstore_exec)
+//! counters and folds them in here when the query finishes, the tuple
+//! mover and recovery paths publish their own counters, and
+//! `cstore metrics` / `Database::metrics()` render everything as a
+//! Prometheus-style text dump. Handles ([`Counter`], [`Histogram`]) are
+//! cheap `Arc`s around atomics — hot paths update them without touching
+//! the registry lock; the lock is taken only to register a name or take
+//! a snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::sync::Mutex;
+
+/// A monotonic named counter. Cloning shares the underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (inclusive) for query-latency histograms, in microseconds.
+pub const LATENCY_BUCKETS_US: [u64; 12] = [
+    100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
+    60_000_000,
+];
+
+/// Upper bounds (inclusive) for byte-size histograms (1 KiB … 1 GiB).
+pub const BYTES_BUCKETS: [u64; 11] = [
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    4 << 20,
+    16 << 20,
+    64 << 20,
+    256 << 20,
+    1 << 30,
+];
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds, strictly increasing; an implicit `+Inf`
+    /// bucket follows the last bound.
+    bounds: Vec<u64>,
+    /// One count per bound, plus the trailing `+Inf` bucket.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Cloning shares the underlying atomics.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        let inner = &self.0;
+        let idx = inner
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(inner.bounds.len());
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// `(upper_bound, cumulative_count)` per bucket; the final entry is
+    /// the implicit `+Inf` bucket (bound = `u64::MAX`).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let inner = &self.0;
+        let mut acc = 0;
+        let mut out = Vec::with_capacity(inner.buckets.len());
+        for (i, b) in inner.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            let bound = inner.bounds.get(i).copied().unwrap_or(u64::MAX);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Histogram(Histogram),
+}
+
+/// Snapshot of one registered metric.
+#[derive(Clone, Debug)]
+pub enum MetricSnapshot {
+    Counter {
+        name: String,
+        value: u64,
+    },
+    Histogram {
+        name: String,
+        /// `(upper_bound, cumulative_count)` pairs; the last bound is
+        /// `u64::MAX` (the `+Inf` bucket).
+        buckets: Vec<(u64, u64)>,
+        sum: u64,
+        count: u64,
+    },
+}
+
+impl MetricSnapshot {
+    /// The metric's registered name.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricSnapshot::Counter { name, .. } | MetricSnapshot::Histogram { name, .. } => name,
+        }
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Names follow Prometheus conventions (`snake_case`, `_total` suffix for
+/// counters); the registry itself only requires uniqueness. Looking up a
+/// name that is already registered with the *other* metric kind returns a
+/// fresh detached handle (updates are lost) rather than panicking — a
+/// programming error surfaced by the absent series, not by tearing down
+/// the process.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics_by_name: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.metrics_by_name.lock();
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            Metric::Histogram(_) => Counter::default(), // kind mismatch: detached
+        }
+    }
+
+    /// Add `n` to the counter `name` (get-or-create convenience).
+    pub fn add(&self, name: &str, n: u64) {
+        if n > 0 {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// Get or create the histogram `name` with the given bucket bounds.
+    /// Bounds are fixed at first registration; later callers share them.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut map = self.metrics_by_name.lock();
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            Metric::Counter(_) => Histogram::new(bounds), // kind mismatch: detached
+        }
+    }
+
+    /// Record one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, bounds: &[u64], value: u64) {
+        self.histogram(name, bounds).observe(value);
+    }
+
+    /// Point-in-time snapshot of every registered metric, name-sorted.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.metrics_by_name.lock();
+        map.iter()
+            .map(|(name, m)| match m {
+                Metric::Counter(c) => MetricSnapshot::Counter {
+                    name: name.clone(),
+                    value: c.get(),
+                },
+                Metric::Histogram(h) => MetricSnapshot::Histogram {
+                    name: name.clone(),
+                    buckets: h.cumulative_buckets(),
+                    sum: h.sum(),
+                    count: h.count(),
+                },
+            })
+            .collect()
+    }
+
+    /// Render the registry as Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for m in self.snapshot() {
+            match m {
+                MetricSnapshot::Counter { name, value } => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+                }
+                MetricSnapshot::Histogram {
+                    name,
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    for (bound, cum) in buckets {
+                        if bound == u64::MAX {
+                            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                        } else {
+                            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cum}\n"));
+                        }
+                    }
+                    out.push_str(&format!("{name}_sum {sum}\n{name}_count {count}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let r = Registry::new();
+        let a = r.counter("cstore_test_total");
+        let b = r.counter("cstore_test_total");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        r.add("cstore_test_total", 6);
+        assert_eq!(b.get(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[10, 100, 1000]);
+        for v in [5, 7, 50, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5 + 7 + 50 + 5000);
+        assert_eq!(
+            h.cumulative_buckets(),
+            vec![(10, 2), (100, 3), (1000, 3), (u64::MAX, 4)]
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_is_detached_not_fatal() {
+        let r = Registry::new();
+        let c = r.counter("x");
+        let h = r.histogram("x", &[1]);
+        h.observe(1); // goes nowhere visible
+        c.add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        match &snap[0] {
+            MetricSnapshot::Counter { value, .. } => assert_eq!(*value, 2),
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_render_shape() {
+        let r = Registry::new();
+        r.add("cstore_queries_total", 2);
+        r.observe("cstore_query_duration_usec", &[100, 1000], 250);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE cstore_queries_total counter"));
+        assert!(text.contains("cstore_queries_total 2"));
+        assert!(text.contains("cstore_query_duration_usec_bucket{le=\"1000\"} 1"));
+        assert!(text.contains("cstore_query_duration_usec_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("cstore_query_duration_usec_count 1"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().add("cstore_global_smoke_total", 1);
+        assert!(global()
+            .snapshot()
+            .iter()
+            .any(|m| m.name() == "cstore_global_smoke_total"));
+    }
+}

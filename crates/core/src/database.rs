@@ -1,12 +1,15 @@
 //! The `Database` facade: SQL in, results out.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cstore_common::metrics::{self, LATENCY_BUCKETS_US};
+use cstore_common::sync::Mutex;
 use cstore_common::{convert, DataType, Error, Field, Result, Row, RowId, Schema, Value};
-use cstore_delta::{TableConfig, TupleMover};
+use cstore_delta::{MoverStatus, TableConfig, TupleMover};
 use cstore_exec::ops::collect_rows;
 use cstore_exec::{ExecContext, Expr};
-use cstore_planner::explain::explain;
+use cstore_planner::explain::{explain, explain_analyze};
 use cstore_planner::physical::build_physical;
 use cstore_planner::rules::optimize;
 use cstore_planner::ExecMode;
@@ -151,6 +154,14 @@ pub struct Database {
     ctx: ExecContext,
     mode: ExecMode,
     table_config: TableConfig,
+    /// Live status handles of background tuple movers started through
+    /// [`Database::start_tuple_mover`], keyed by table, so
+    /// [`Database::metrics`] can fold mover counters in without owning
+    /// the movers.
+    movers: Arc<Mutex<Vec<(String, Arc<Mutex<MoverStatus>>)>>>,
+    /// What a degraded open skipped; empty for fresh databases and
+    /// clean opens. Immutable once the database is constructed.
+    open_report: Arc<OpenReport>,
 }
 
 impl Default for Database {
@@ -166,6 +177,8 @@ impl Database {
             ctx: ExecContext::default(),
             mode: ExecMode::Auto,
             table_config: TableConfig::default(),
+            movers: Arc::new(Mutex::new(Vec::new())),
+            open_report: Arc::new(OpenReport::default()),
         }
     }
 
@@ -205,7 +218,7 @@ impl Database {
         match stmt {
             Statement::Select(s) => self.run_select(&s),
             Statement::UnionAll(branches) => self.run_union(&branches),
-            Statement::Explain(inner) => self.run_explain(*inner),
+            Statement::Explain { analyze, stmt } => self.run_explain(*stmt, analyze),
             Statement::CreateTable {
                 name,
                 columns,
@@ -259,32 +272,55 @@ impl Database {
         let fields = plan.output_fields()?;
         let columns: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
         let types: Vec<DataType> = fields.iter().map(|f| f.data_type).collect();
-        let phys = build_physical(&plan, &self.catalog, &self.ctx, self.mode)?;
+        // Each query gets its own metrics/operator-stats fork so the
+        // result reports *this* query's counters; the fork is folded back
+        // into the cumulative context metrics below.
+        let qctx = self.ctx.for_query();
+        let phys = build_physical(&plan, &self.catalog, &qctx, self.mode)?;
         let mode = phys.mode;
         let rows = collect_rows(phys.root)?;
+        let elapsed = start.elapsed();
+        self.finish_query(&qctx, elapsed);
         Ok(QueryResult::Rows {
             columns,
             types,
             rows,
             mode,
-            metrics: self.ctx.metrics.snapshot(),
-            elapsed: start.elapsed(),
+            metrics: qctx.metrics.snapshot(),
+            elapsed,
         })
     }
 
-    fn run_explain(&self, stmt: Statement) -> Result<QueryResult> {
-        match stmt {
-            Statement::Select(s) => {
-                let plan = bind_select(&s, &self.catalog)?;
-                self.explain_plan(plan)
+    /// Fold one finished query's counters into the cumulative context
+    /// metrics and the process-wide registry.
+    fn finish_query(&self, qctx: &ExecContext, elapsed: Duration) {
+        qctx.metrics.merge_into(&self.ctx.metrics);
+        let reg = metrics::global();
+        reg.counter("cstore_queries_total").inc();
+        reg.observe(
+            "cstore_query_latency_us",
+            &LATENCY_BUCKETS_US,
+            u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        );
+        for (name, v) in qctx.metrics.snapshot() {
+            reg.add(&format!("cstore_query_{name}_total"), v);
+        }
+    }
+
+    fn run_explain(&self, stmt: Statement, analyze: bool) -> Result<QueryResult> {
+        let plan = match stmt {
+            Statement::Select(s) => bind_select(&s, &self.catalog)?,
+            Statement::UnionAll(branches) => cstore_sql::bind_union(&branches, &self.catalog)?,
+            other => {
+                return Err(Error::Unsupported(format!(
+                    "EXPLAIN supports SELECT only, got {other:?}"
+                )))
             }
-            Statement::UnionAll(branches) => {
-                let plan = cstore_sql::bind_union(&branches, &self.catalog)?;
-                self.explain_plan(plan)
-            }
-            other => Err(Error::Unsupported(format!(
-                "EXPLAIN supports SELECT only, got {other:?}"
-            ))),
+        };
+        if analyze {
+            self.explain_analyze_plan(plan)
+        } else {
+            self.explain_plan(plan)
         }
     }
 
@@ -296,6 +332,33 @@ impl Database {
         text.push_str(&format!(
             "physical: bitmap_filters={}, scan_parallelism={}\n",
             phys.bitmap_filters, self.ctx.parallelism
+        ));
+        Ok(QueryResult::Explain(text))
+    }
+
+    /// EXPLAIN ANALYZE: execute the plan, then render it annotated with
+    /// each operator's actual rows/batches/time and the query's scan,
+    /// bitmap-filter, join and spill counters.
+    fn explain_analyze_plan(&self, plan: cstore_planner::LogicalPlan) -> Result<QueryResult> {
+        let start = Instant::now();
+        let plan = optimize(plan, &self.catalog)?;
+        let qctx = self.ctx.for_query();
+        let phys = build_physical(&plan, &self.catalog, &qctx, self.mode)?;
+        let rows = collect_rows(phys.root)?;
+        let elapsed = start.elapsed();
+        self.finish_query(&qctx, elapsed);
+        let mut text = explain_analyze(
+            &plan,
+            &self.catalog,
+            self.mode,
+            &qctx.stats,
+            &qctx.metrics,
+            rows.len(),
+            elapsed,
+        );
+        text.push_str(&format!(
+            "physical: bitmap_filters={}, scan_parallelism={}\n",
+            phys.bitmap_filters, qctx.parallelism
         ));
         Ok(QueryResult::Explain(text))
     }
@@ -500,10 +563,18 @@ impl Database {
         }
     }
 
-    /// Start a background tuple mover for a table.
+    /// Start a background tuple mover for a table. The mover's status is
+    /// also registered with this database so [`Database::metrics`]
+    /// reports its counters for as long as the database lives.
     pub fn start_tuple_mover(&self, table: &str, interval: Duration) -> Result<TupleMover> {
         match self.catalog.try_get(table)? {
-            TableEntry::ColumnStore(t) => TupleMover::start(t, interval),
+            TableEntry::ColumnStore(t) => {
+                let mover = TupleMover::start(t, interval)?;
+                self.movers
+                    .lock()
+                    .push((table.to_string(), mover.status_shared()));
+                Ok(mover)
+            }
             TableEntry::Heap(_) => Err(Error::Catalog(format!(
                 "'{table}' is a heap; the tuple mover applies to columnstores"
             ))),
@@ -642,15 +713,16 @@ impl Database {
                     continue;
                 }
             };
-            let (db, tables) = Self::load_tables(store, gen, &entries, mode)?;
-            return Ok((
-                db,
-                OpenReport {
-                    generation: gen,
-                    skipped_manifests: skipped,
-                    tables,
-                },
-            ));
+            let (mut db, tables) = Self::load_tables(store, gen, &entries, mode)?;
+            let report = OpenReport {
+                generation: gen,
+                skipped_manifests: skipped,
+                tables,
+            };
+            // Keep the report on the database so `metrics()` can report
+            // recovery quarantines; `db` is not yet shared here.
+            db.open_report = Arc::new(report.clone());
+            return Ok((db, report));
         }
         let detail: Vec<String> = skipped.iter().map(|(g, e)| format!("g{g}: {e}")).collect();
         Err(Error::Storage(format!(
@@ -872,6 +944,53 @@ impl Database {
         let expected: std::collections::BTreeSet<String> = expected.into_iter().collect();
         report.orphaned = present.difference(&expected).cloned().collect();
         Ok(report)
+    }
+
+    /// One-stop observability dump in Prometheus text format: the
+    /// process-wide metrics registry (query counters and latency
+    /// histograms), per-table tuple-mover counters for movers started
+    /// through [`Database::start_tuple_mover`], and crash-recovery
+    /// quarantines recorded when this database was opened degraded.
+    pub fn metrics(&self) -> String {
+        let mut out = metrics::global().render_prometheus();
+        for (table, status) in self.movers.lock().iter() {
+            let s = status.lock().clone();
+            out.push_str(&format!(
+                "# mover table={table} state={:?} last_error={:?}\n",
+                s.state, s.last_error
+            ));
+            for (name, v) in [
+                ("cstore_mover_passes", s.passes),
+                ("cstore_mover_stores_moved", s.stores_moved),
+                ("cstore_mover_rows_moved", s.rows_moved),
+                ("cstore_mover_transient_retries", s.transient_retries),
+                ("cstore_mover_restarts", u64::from(s.restarts)),
+                (
+                    "cstore_mover_consecutive_failures",
+                    u64::from(s.consecutive_failures),
+                ),
+            ] {
+                out.push_str(&format!("{name}{{table=\"{table}\"}} {v}\n"));
+            }
+        }
+        let r = &self.open_report;
+        out.push_str(&format!(
+            "# TYPE cstore_open_skipped_manifests gauge\ncstore_open_skipped_manifests {}\n",
+            r.skipped_manifests.len()
+        ));
+        out.push_str(&format!(
+            "# TYPE cstore_open_quarantined_blobs gauge\ncstore_open_quarantined_blobs {}\n",
+            r.total_quarantined()
+        ));
+        for t in &r.tables {
+            for q in &t.quarantined {
+                out.push_str(&format!(
+                    "# quarantined table={} key={} kind={:?}: {}\n",
+                    t.table, q.key, q.kind, q.error
+                ));
+            }
+        }
+        out
     }
 
     /// Table statistics (columnstore tables).

@@ -177,6 +177,13 @@ impl TupleMover {
         self.status.lock().clone()
     }
 
+    /// Shared handle to the live status, for observers that do not own
+    /// the mover (e.g. a database-wide metrics registry). The handle
+    /// stays readable after the mover stops, holding the final snapshot.
+    pub fn status_shared(&self) -> Arc<Mutex<MoverStatus>> {
+        self.status.clone()
+    }
+
     /// Stop the thread and return the total number of delta stores it
     /// compressed over its lifetime. Surfaces the fatal error if the mover
     /// ended up in [`MoverState::Failed`].

@@ -32,6 +32,7 @@ pub use ops::hash_agg::{AggExpr, AggFunc, HashAggOp};
 pub use ops::hash_join::{BatchHashJoin, JoinType};
 pub use ops::parallel::ParallelScan;
 pub use ops::scan::{BatchSource, ColumnStoreScan, FilterSlot};
+pub use ops::stats_op::{RowStatsOp, StatsOp};
 pub use ops::{BatchOperator, BoxedBatchOp, BoxedRowOp, RowOperator};
-pub use runtime::{ExecContext, Metrics};
+pub use runtime::{ExecContext, ExecStats, Metrics, OpStats};
 pub use vector::Vector;

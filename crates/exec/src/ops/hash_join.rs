@@ -468,12 +468,26 @@ impl BatchHashJoin {
             }
         }
         if !overflow {
+            self.ctx
+                .metrics
+                .add(&self.ctx.metrics.join_build_rows, rows.len() as u64);
             let build = BuildTable::build(rows, &self.build_keys, &self.build_types)?;
             // Publish the bitmap filter before the probe side is polled.
             if let Some(slot) = &self.filter_slot {
                 let filter = build
                     .filter_keys()
                     .and_then(|keys| BitmapFilter::build(&keys));
+                match &filter {
+                    Some(f) if f.is_exact() => self
+                        .ctx
+                        .metrics
+                        .add(&self.ctx.metrics.bitmap_filters_exact, 1),
+                    Some(_) => self
+                        .ctx
+                        .metrics
+                        .add(&self.ctx.metrics.bitmap_filters_bloom, 1),
+                    None => {}
+                }
                 // lint: allow(discard) — set fails only when a filter was
                 // already published; the first value wins
                 let _ = slot.set(filter);
@@ -500,14 +514,19 @@ impl BatchHashJoin {
             let h = hash_values(keys.iter().map(|&k| row.get(k)));
             (h >> 57) as usize % SPILL_PARTITIONS
         };
+        let mut build_rows = rows.len() as u64;
         for row in rows.drain(..) {
             build_files[part_of(&row, &self.build_keys)].write_row(&row)?;
         }
         while let Some(batch) = build_input.next()? {
             for row in batch.to_rows() {
+                build_rows += 1;
                 build_files[part_of(&row, &self.build_keys)].write_row(&row)?;
             }
         }
+        self.ctx
+            .metrics
+            .add(&self.ctx.metrics.join_build_rows, build_rows);
         let mut probe_files: Vec<SpillFile> = (0..SPILL_PARTITIONS)
             .map(|_| SpillFile::create(&self.ctx.spill_dir))
             .collect::<Result<_>>()?;
@@ -570,6 +589,9 @@ impl BatchOperator for BatchHashJoin {
                         match probe.next()? {
                             Some(batch) => {
                                 let dense = batch.compact();
+                                self.ctx
+                                    .metrics
+                                    .add(&self.ctx.metrics.join_probe_rows, dense.n_rows() as u64);
                                 let m =
                                     probe_batch(build, &dense, &self.probe_keys, self.join_type);
                                 // Split borrows: emit needs &self, so move
@@ -660,6 +682,9 @@ impl BatchOperator for BatchHashJoin {
                             }
                         }
                         if !rows.is_empty() {
+                            self.ctx
+                                .metrics
+                                .add(&self.ctx.metrics.join_probe_rows, rows.len() as u64);
                             let batch = Batch::from_rows(&self.probe_types, &rows)?;
                             let m = probe_batch(
                                 &mut part.build,

@@ -17,6 +17,7 @@ pub mod parallel;
 pub mod project;
 pub mod scan;
 pub mod sort;
+pub mod stats_op;
 pub mod union;
 
 use cstore_common::{DataType, Result, Row};

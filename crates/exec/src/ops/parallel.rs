@@ -23,6 +23,9 @@ pub struct ParallelScan {
     partitions: Vec<ColumnStoreScan>,
     output_types: Vec<DataType>,
     running: Option<Running>,
+    /// Set once a worker error has been surfaced (or the scan drained):
+    /// the operator is fused and every later poll returns `Ok(None)`.
+    fused: bool,
 }
 
 struct Running {
@@ -58,6 +61,7 @@ impl ParallelScan {
             partitions,
             output_types,
             running: None,
+            fused: false,
         }
     }
 
@@ -106,6 +110,9 @@ impl BatchOperator for ParallelScan {
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {
+        if self.fused {
+            return Ok(None);
+        }
         if self.running.is_none() {
             self.start();
         }
@@ -114,9 +121,26 @@ impl BatchOperator for ParallelScan {
             .as_mut()
             .ok_or_else(|| Error::Execution("parallel scan polled before start".into()))?;
         match running.rx.recv() {
-            Ok(item) => item.map(Some),
+            Ok(Ok(batch)) => Ok(Some(batch)),
+            // A worker errored: fuse the operator so no further batches
+            // can leak out after the error escaped. Drop the receiver
+            // (failing the remaining workers' sends) and join them, then
+            // surface the error once; later polls return `Ok(None)`.
+            Ok(Err(e)) => {
+                self.fused = true;
+                if let Some(running) = self.running.take() {
+                    drop(running.rx);
+                    for w in running.workers {
+                        // lint: allow(discard) — best-effort join while
+                        // propagating the first worker error
+                        let _ = w.join();
+                    }
+                }
+                Err(e)
+            }
             // All senders dropped: every worker finished.
             Err(_) => {
+                self.fused = true;
                 for w in running.workers.drain(..) {
                     w.join()
                         .map_err(|_| Error::Execution("parallel scan worker panicked".into()))?;
@@ -216,6 +240,35 @@ mod tests {
         let par = ParallelScan::new(t.snapshot(), vec![0], preds, ExecContext::default(), 4);
         let rows = collect_rows(Box::new(par)).unwrap();
         assert_eq!(rows.len(), 1234);
+    }
+
+    #[test]
+    fn error_fuses_operator() {
+        // Drive `next()` against a hand-fed channel: a batch, then a worker
+        // error, then another batch that must NOT escape after the error.
+        let (tx, rx) = sync_channel::<Result<Batch>>(8);
+        let types = vec![DataType::Int64];
+        let batch = |k: i64| {
+            Batch::from_rows(&types, &[Row::new(vec![Value::Int64(k)])]).expect("test batch")
+        };
+        tx.send(Ok(batch(1))).unwrap();
+        tx.send(Err(Error::Execution("injected worker failure".into())))
+            .unwrap();
+        tx.send(Ok(batch(2))).unwrap();
+        let mut scan = ParallelScan {
+            partitions: Vec::new(),
+            output_types: types.clone(),
+            running: Some(Running {
+                rx,
+                workers: Vec::new(),
+            }),
+            fused: false,
+        };
+        assert!(scan.next().unwrap().is_some(), "first batch flows");
+        assert!(scan.next().is_err(), "worker error surfaces once");
+        // Pre-fix, this poll yielded batch(2) after the error had escaped.
+        assert!(scan.next().unwrap().is_none(), "fused after error");
+        assert!(scan.next().unwrap().is_none(), "stays fused");
     }
 
     #[test]

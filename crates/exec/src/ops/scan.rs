@@ -160,9 +160,11 @@ impl ColumnStoreScan {
                 }
             };
             let mut dropped = 0u64;
+            let mut probed = 0u64;
             if let Vector::I64 { values, nulls } = decoded {
                 for i in qualifying.to_indices() {
                     let i = i as usize;
+                    probed += 1;
                     let is_null = nulls.as_ref().is_some_and(|n| n.get(i));
                     if is_null || !filter.maybe_contains(values[i]) {
                         qualifying.clear(i);
@@ -170,6 +172,9 @@ impl ColumnStoreScan {
                     }
                 }
             }
+            self.ctx
+                .metrics
+                .add(&self.ctx.metrics.bitmap_probes, probed);
             self.ctx
                 .metrics
                 .add(&self.ctx.metrics.rows_dropped_by_bitmap, dropped);
@@ -247,6 +252,7 @@ impl ColumnStoreScan {
             }
             for (col, slot) in &self.filters {
                 if let Some(filter) = slot.get().and_then(|f| f.as_ref()) {
+                    self.ctx.metrics.add(&self.ctx.metrics.bitmap_probes, 1);
                     match row.get(*col).as_i64() {
                         Some(k) if filter.maybe_contains(k) => {}
                         _ => {
@@ -266,6 +272,9 @@ impl ColumnStoreScan {
         self.ctx
             .metrics
             .add(&self.ctx.metrics.rows_scanned, rows.len() as u64);
+        self.ctx
+            .metrics
+            .add(&self.ctx.metrics.rows_scanned_delta, rows.len() as u64);
         self.ctx.metrics.add(&self.ctx.metrics.batches, 1);
         Ok(Some(Batch::from_rows(&self.output_types, &rows)?))
     }

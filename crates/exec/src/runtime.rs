@@ -1,8 +1,10 @@
-//! Execution context: memory budget, batch size, metrics.
+//! Execution context: memory budget, batch size, metrics, per-query stats.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use cstore_common::sync::Mutex;
 
 use crate::batch::BATCH_SIZE;
 
@@ -11,6 +13,7 @@ use crate::batch::BATCH_SIZE;
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Rows produced by scans (after elimination, before filters).
+    /// Includes both columnstore and delta-store rows.
     pub rows_scanned: AtomicU64,
     /// Row groups skipped by segment elimination.
     pub groups_eliminated: AtomicU64,
@@ -24,6 +27,18 @@ pub struct Metrics {
     pub partitions_spilled: AtomicU64,
     /// Bytes written to spill files.
     pub bytes_spilled: AtomicU64,
+    /// Rows scanned from delta stores (subset of `rows_scanned`).
+    pub rows_scanned_delta: AtomicU64,
+    /// Rows probed against pushed-down bitmap filters.
+    pub bitmap_probes: AtomicU64,
+    /// Bitmap filters installed in exact mode.
+    pub bitmap_filters_exact: AtomicU64,
+    /// Bitmap filters installed in Bloom mode.
+    pub bitmap_filters_bloom: AtomicU64,
+    /// Rows collected on hash-join build sides.
+    pub join_build_rows: AtomicU64,
+    /// Rows streamed through hash-join probe sides.
+    pub join_probe_rows: AtomicU64,
 }
 
 impl Metrics {
@@ -57,7 +72,161 @@ impl Metrics {
                 self.partitions_spilled.load(Ordering::Relaxed),
             ),
             ("bytes_spilled", self.bytes_spilled.load(Ordering::Relaxed)),
+            (
+                "rows_scanned_delta",
+                self.rows_scanned_delta.load(Ordering::Relaxed),
+            ),
+            ("bitmap_probes", self.bitmap_probes.load(Ordering::Relaxed)),
+            (
+                "bitmap_filters_exact",
+                self.bitmap_filters_exact.load(Ordering::Relaxed),
+            ),
+            (
+                "bitmap_filters_bloom",
+                self.bitmap_filters_bloom.load(Ordering::Relaxed),
+            ),
+            (
+                "join_build_rows",
+                self.join_build_rows.load(Ordering::Relaxed),
+            ),
+            (
+                "join_probe_rows",
+                self.join_probe_rows.load(Ordering::Relaxed),
+            ),
         ]
+    }
+
+    /// Fold every counter into `target`. Used to roll a per-query
+    /// [`Metrics`] back into a long-lived cumulative one.
+    pub fn merge_into(&self, target: &Metrics) {
+        target
+            .rows_scanned
+            .fetch_add(self.rows_scanned.load(Ordering::Relaxed), Ordering::Relaxed);
+        target.groups_eliminated.fetch_add(
+            self.groups_eliminated.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        target.groups_scanned.fetch_add(
+            self.groups_scanned.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        target.rows_dropped_by_bitmap.fetch_add(
+            self.rows_dropped_by_bitmap.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        target
+            .batches
+            .fetch_add(self.batches.load(Ordering::Relaxed), Ordering::Relaxed);
+        target.partitions_spilled.fetch_add(
+            self.partitions_spilled.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        target.bytes_spilled.fetch_add(
+            self.bytes_spilled.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        target.rows_scanned_delta.fetch_add(
+            self.rows_scanned_delta.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        target.bitmap_probes.fetch_add(
+            self.bitmap_probes.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        target.bitmap_filters_exact.fetch_add(
+            self.bitmap_filters_exact.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        target.bitmap_filters_bloom.fetch_add(
+            self.bitmap_filters_bloom.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        target.join_build_rows.fetch_add(
+            self.join_build_rows.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        target.join_probe_rows.fetch_add(
+            self.join_probe_rows.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Per-operator actuals collected while a query runs. One instance per
+/// physical operator, registered in [`ExecStats`] keyed by the plan's
+/// pre-order node index (the same numbering `explain` renders).
+#[derive(Debug, Default)]
+pub struct OpStats {
+    /// Pre-order index of the logical node this operator implements.
+    pub node: usize,
+    /// Operator label as rendered by EXPLAIN (e.g. `Scan sales`).
+    pub label: String,
+    /// Rows emitted by this operator.
+    pub rows_out: AtomicU64,
+    /// Batches (or row-mode `next()` calls yielding a row) emitted.
+    pub batches_out: AtomicU64,
+    /// Wall time spent inside this operator's `next()`, nanoseconds.
+    /// Inclusive of children (pull-based executor).
+    pub elapsed_ns: AtomicU64,
+}
+
+impl OpStats {
+    pub fn record(&self, rows: u64, elapsed_ns: u64) {
+        if rows > 0 {
+            self.rows_out.fetch_add(rows, Ordering::Relaxed);
+            self.batches_out.fetch_add(1, Ordering::Relaxed);
+        }
+        self.elapsed_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+    }
+
+    pub fn rows(&self) -> u64 {
+        self.rows_out.load(Ordering::Relaxed)
+    }
+
+    pub fn batches(&self) -> u64 {
+        self.batches_out.load(Ordering::Relaxed)
+    }
+
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.elapsed_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// Registry of per-operator stats for one query execution. Fresh per
+/// query (see [`ExecContext::for_query`]); operators register themselves
+/// while the physical plan is built and EXPLAIN ANALYZE reads the
+/// results after the root is drained.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    op_stats: Mutex<Vec<Arc<OpStats>>>,
+}
+
+impl ExecStats {
+    /// Register stats for the operator implementing pre-order `node`.
+    pub fn register(&self, node: usize, label: impl Into<String>) -> Arc<OpStats> {
+        let stats = Arc::new(OpStats {
+            node,
+            label: label.into(),
+            ..OpStats::default()
+        });
+        self.op_stats.lock().push(Arc::clone(&stats));
+        stats
+    }
+
+    /// All registered operators, sorted by pre-order node index.
+    pub fn operators(&self) -> Vec<Arc<OpStats>> {
+        let mut ops: Vec<_> = self.op_stats.lock().iter().cloned().collect();
+        ops.sort_by_key(|s| s.node);
+        ops
+    }
+
+    /// Stats for pre-order node `node`, if an operator registered it.
+    pub fn for_node(&self, node: usize) -> Option<Arc<OpStats>> {
+        self.op_stats
+            .lock()
+            .iter()
+            .find(|s| s.node == node)
+            .cloned()
     }
 }
 
@@ -78,6 +247,8 @@ pub struct ExecContext {
     pub parallelism: usize,
     /// Shared metrics.
     pub metrics: Arc<Metrics>,
+    /// Per-operator stats for the current query (fresh per `for_query`).
+    pub stats: Arc<ExecStats>,
 }
 
 impl Default for ExecContext {
@@ -89,11 +260,22 @@ impl Default for ExecContext {
             enable_bitmap_filters: true,
             parallelism: 1,
             metrics: Arc::new(Metrics::default()),
+            stats: Arc::new(ExecStats::default()),
         }
     }
 }
 
 impl ExecContext {
+    /// Fork a per-query context: same configuration, fresh [`Metrics`]
+    /// and [`ExecStats`]. Callers fold the per-query counters back into
+    /// a cumulative `Metrics` with [`Metrics::merge_into`] when done.
+    pub fn for_query(&self) -> ExecContext {
+        ExecContext {
+            metrics: Arc::new(Metrics::default()),
+            stats: Arc::new(ExecStats::default()),
+            ..self.clone()
+        }
+    }
     /// A context with a specific memory budget (spill experiments).
     pub fn with_budget(mut self, bytes: usize) -> Self {
         self.memory_budget = bytes;
@@ -137,5 +319,46 @@ mod tests {
         let ctx = ExecContext::default().with_budget(1024).with_batch_size(0);
         assert_eq!(ctx.memory_budget, 1024);
         assert_eq!(ctx.batch_size, 1, "batch size clamps to >= 1");
+    }
+
+    #[test]
+    fn merge_folds_every_counter() {
+        let q = Metrics::default();
+        q.add(&q.rows_scanned, 7);
+        q.add(&q.bitmap_probes, 3);
+        q.add(&q.join_probe_rows, 2);
+        let total = Metrics::default();
+        total.add(&total.rows_scanned, 100);
+        q.merge_into(&total);
+        assert_eq!(Metrics::get(&total.rows_scanned), 107);
+        assert_eq!(Metrics::get(&total.bitmap_probes), 3);
+        assert_eq!(Metrics::get(&total.join_probe_rows), 2);
+    }
+
+    #[test]
+    fn for_query_forks_metrics_but_keeps_config() {
+        let ctx = ExecContext::default().with_budget(4096);
+        ctx.metrics.add(&ctx.metrics.rows_scanned, 9);
+        let q = ctx.for_query();
+        assert_eq!(q.memory_budget, 4096);
+        assert_eq!(Metrics::get(&q.metrics.rows_scanned), 0);
+        assert!(q.stats.operators().is_empty());
+    }
+
+    #[test]
+    fn exec_stats_register_and_sort() {
+        let stats = ExecStats::default();
+        let b = stats.register(2, "Filter");
+        let a = stats.register(0, "Scan t");
+        a.record(10, 1_000);
+        a.record(0, 500); // empty poll: time counted, no batch
+        b.record(4, 2_000);
+        let ops = stats.operators();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].node, 0);
+        assert_eq!(ops[0].rows(), 10);
+        assert_eq!(ops[0].batches(), 1);
+        assert_eq!(ops[0].elapsed_nanos(), 1_500);
+        assert_eq!(stats.for_node(2).map(|s| s.rows()), Some(4));
     }
 }

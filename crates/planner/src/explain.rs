@@ -1,4 +1,8 @@
-//! Plan rendering (`EXPLAIN`).
+//! Plan rendering (`EXPLAIN` and `EXPLAIN ANALYZE`).
+
+use std::time::Duration;
+
+use cstore_exec::{ExecStats, Metrics};
 
 use crate::catalog::CatalogProvider;
 use crate::cost::{batch_mode_cost, choose_mode, row_mode_cost, ExecMode};
@@ -19,13 +23,115 @@ pub fn explain(plan: &LogicalPlan, catalog: &dyn CatalogProvider, mode: ExecMode
     out
 }
 
+/// Render a plan annotated with per-operator actuals after execution.
+///
+/// `stats`/`metrics`/`rows_returned`/`elapsed` come from draining the
+/// physical plan built with the same logical tree: `ExecStats` node
+/// indices are pre-order positions, the numbering both
+/// `physical::build_physical` and this renderer walk.
+pub fn explain_analyze(
+    plan: &LogicalPlan,
+    catalog: &dyn CatalogProvider,
+    mode: ExecMode,
+    stats: &ExecStats,
+    metrics: &Metrics,
+    rows_returned: usize,
+    elapsed: Duration,
+) -> String {
+    let chosen = choose_mode(mode, plan, catalog);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "mode={chosen:?} (row_cost={:.0}, batch_cost={:.0})\n",
+        row_mode_cost(plan, catalog),
+        batch_mode_cost(plan, catalog)
+    ));
+    let mut node = 0usize;
+    render_analyze(plan, catalog, 0, &mut node, stats, &mut out);
+    let get = |name: &str| {
+        metrics
+            .snapshot()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    out.push_str("actuals:\n");
+    out.push_str(&format!(
+        "  rows returned={rows_returned} elapsed={:.3} ms\n",
+        elapsed.as_secs_f64() * 1e3
+    ));
+    out.push_str(&format!(
+        "  scan: groups_scanned={} groups_eliminated={} rows_columnstore={} rows_delta={}\n",
+        get("groups_scanned"),
+        get("groups_eliminated"),
+        get("rows_scanned") - get("rows_scanned_delta"),
+        get("rows_scanned_delta"),
+    ));
+    out.push_str(&format!(
+        "  bitmap filters: exact={} bloom={} probes={} pruned={}\n",
+        get("bitmap_filters_exact"),
+        get("bitmap_filters_bloom"),
+        get("bitmap_probes"),
+        get("rows_dropped_by_bitmap"),
+    ));
+    out.push_str(&format!(
+        "  join: build_rows={} probe_rows={}\n",
+        get("join_build_rows"),
+        get("join_probe_rows"),
+    ));
+    out.push_str(&format!(
+        "  spill: partitions={} bytes={}\n",
+        get("partitions_spilled"),
+        get("bytes_spilled"),
+    ));
+    out
+}
+
 fn indent(out: &mut String, depth: usize) {
     for _ in 0..depth {
         out.push_str("  ");
     }
 }
 
+/// The `render` traversal plus `[actual ...]` annotations, walking the
+/// same pre-order numbering the physical builder assigned.
+fn render_analyze(
+    plan: &LogicalPlan,
+    catalog: &dyn CatalogProvider,
+    depth: usize,
+    node: &mut usize,
+    stats: &ExecStats,
+    out: &mut String,
+) {
+    let node_id = *node;
+    *node += 1;
+    // Render the node line (sans newline) by reusing `render` on a
+    // scratch buffer restricted to this node.
+    let mut line = String::new();
+    render_node(plan, catalog, depth, &mut line);
+    out.push_str(line.trim_end_matches('\n'));
+    match stats.for_node(node_id) {
+        Some(op) => out.push_str(&format!(
+            "  [actual rows={} batches={} time={:.3} ms]\n",
+            op.rows(),
+            op.batches(),
+            op.elapsed_nanos() as f64 / 1e6
+        )),
+        None => out.push('\n'),
+    }
+    for child in plan.children() {
+        render_analyze(child, catalog, depth + 1, node, stats, out);
+    }
+}
+
 fn render(plan: &LogicalPlan, catalog: &dyn CatalogProvider, depth: usize, out: &mut String) {
+    render_node(plan, catalog, depth, out);
+    for child in plan.children() {
+        render(child, catalog, depth + 1, out);
+    }
+}
+
+/// One node's EXPLAIN line (no recursion).
+fn render_node(plan: &LogicalPlan, catalog: &dyn CatalogProvider, depth: usize, out: &mut String) {
     indent(out, depth);
     let est = estimate_rows(plan, catalog);
     match plan {
@@ -84,9 +190,6 @@ fn render(plan: &LogicalPlan, catalog: &dyn CatalogProvider, depth: usize, out: 
         }
     }
     out.push_str(&format!("  (~{est:.0} rows)\n"));
-    for child in plan.children() {
-        render(child, catalog, depth + 1, out);
-    }
 }
 
 #[cfg(test)]

@@ -24,5 +24,6 @@ pub mod stats;
 pub use catalog::{CatalogProvider, TableRef};
 pub use cost::ExecMode;
 pub use cstore_storage::pred::{CmpOp, ColumnPred};
+pub use explain::{explain, explain_analyze};
 pub use logical::LogicalPlan;
 pub use physical::build_physical;

@@ -21,7 +21,8 @@ use cstore_exec::row_ops::{
     HeapScan, RowFilter, RowHashAgg, RowHashJoin, RowProject, SnapshotRowScan,
 };
 use cstore_exec::{
-    BatchHashJoin, BoxedBatchOp, BoxedRowOp, ExecContext, Expr, FilterSlot, HashAggOp,
+    BatchHashJoin, BoxedBatchOp, BoxedRowOp, ExecContext, Expr, FilterSlot, HashAggOp, RowStatsOp,
+    StatsOp,
 };
 
 use crate::catalog::{CatalogProvider, TableRef};
@@ -45,10 +46,14 @@ pub fn build_physical(
     mode: ExecMode,
 ) -> Result<PhysicalPlan> {
     let mode = choose_mode(mode, plan, catalog);
+    // Pre-order node counter: the same numbering `explain::render` walks,
+    // so EXPLAIN ANALYZE can pair each rendered node with its operator's
+    // actuals via `ExecStats::for_node`.
+    let mut node = 0usize;
     match mode {
         ExecMode::Batch => {
             let mut n_filters = 0usize;
-            let root = build_batch(plan, catalog, ctx, None, &mut n_filters)?;
+            let root = build_batch(plan, catalog, ctx, None, &mut n_filters, &mut node)?;
             Ok(PhysicalPlan {
                 root,
                 mode,
@@ -56,7 +61,7 @@ pub fn build_physical(
             })
         }
         ExecMode::Row => {
-            let row_root = build_row(plan, catalog)?;
+            let row_root = build_row(plan, catalog, ctx, &mut node)?;
             Ok(PhysicalPlan {
                 root: Box::new(RowToBatch::new(row_root, ctx.batch_size)),
                 mode,
@@ -76,14 +81,48 @@ struct FilterRequest {
     slot: FilterSlot,
 }
 
+/// Operator label as EXPLAIN renders it (shared by the stats wrappers so
+/// EXPLAIN ANALYZE output and `ExecStats` labels line up).
+pub(crate) fn node_label(plan: &LogicalPlan) -> String {
+    match plan {
+        LogicalPlan::Scan { table, .. } => format!("Scan {table}"),
+        LogicalPlan::Filter { .. } => "Filter".into(),
+        LogicalPlan::Project { .. } => "Project".into(),
+        LogicalPlan::Join { join_type, .. } => format!("HashJoin {join_type:?}"),
+        LogicalPlan::Aggregate { .. } => "HashAggregate".into(),
+        LogicalPlan::Sort { .. } => "Sort".into(),
+        LogicalPlan::UnionAll { .. } => "UnionAll".into(),
+    }
+}
+
 // --------------------------------------------------------------- batch
 
+/// Lower one logical node: claim its pre-order number, build the operator
+/// (sub)tree, and wrap it in a [`StatsOp`] so EXPLAIN ANALYZE sees the
+/// node's actual rows/batches/time. Multi-operator lowerings (heap scans,
+/// row-mode sorts) get one wrapper at the subtree root.
 fn build_batch(
     plan: &LogicalPlan,
     catalog: &dyn CatalogProvider,
     ctx: &ExecContext,
     filter_req: Option<FilterRequest>,
     n_filters: &mut usize,
+    node: &mut usize,
+) -> Result<BoxedBatchOp> {
+    let node_id = *node;
+    *node += 1;
+    let op = build_batch_inner(plan, catalog, ctx, filter_req, n_filters, node)?;
+    let stats = ctx.stats.register(node_id, node_label(plan));
+    Ok(Box::new(StatsOp::new(op, stats)))
+}
+
+fn build_batch_inner(
+    plan: &LogicalPlan,
+    catalog: &dyn CatalogProvider,
+    ctx: &ExecContext,
+    filter_req: Option<FilterRequest>,
+    n_filters: &mut usize,
+    node: &mut usize,
 ) -> Result<BoxedBatchOp> {
     match plan {
         LogicalPlan::Scan {
@@ -146,7 +185,14 @@ fn build_batch(
             }
         }
         LogicalPlan::Filter { input, predicate } => {
-            let child = build_batch(input, catalog, ctx, pass_through(filter_req), n_filters)?;
+            let child = build_batch(
+                input,
+                catalog,
+                ctx,
+                pass_through(filter_req),
+                n_filters,
+                node,
+            )?;
             Ok(Box::new(FilterOp::new(child, predicate.clone())))
         }
         LogicalPlan::Project { input, exprs, .. } => {
@@ -159,7 +205,7 @@ fn build_batch(
                 }),
                 _ => None,
             });
-            let child = build_batch(input, catalog, ctx, fwd, n_filters)?;
+            let child = build_batch(input, catalog, ctx, fwd, n_filters, node)?;
             Ok(Box::new(ProjectOp::new(child, exprs.clone())?))
         }
         LogicalPlan::Join {
@@ -199,8 +245,8 @@ fn build_batch(
             // Prefer this join's own request; an outer request for the
             // same subtree is rarer and dropped (one filter per scan).
             let req = probe_req.or(fwd_above);
-            let probe = build_batch(left, catalog, ctx, req, n_filters)?;
-            let build = build_batch(right, catalog, ctx, None, n_filters)?;
+            let probe = build_batch(left, catalog, ctx, req, n_filters, node)?;
+            let build = build_batch(right, catalog, ctx, None, n_filters, node)?;
             let mut join = BatchHashJoin::new(
                 probe,
                 build,
@@ -220,7 +266,7 @@ fn build_batch(
             aggs,
             ..
         } => {
-            let child = build_batch(input, catalog, ctx, None, n_filters)?;
+            let child = build_batch(input, catalog, ctx, None, n_filters, node)?;
             Ok(Box::new(HashAggOp::new(
                 child,
                 group_by.clone(),
@@ -234,7 +280,7 @@ fn build_batch(
             limit,
             offset,
         } => {
-            let child = build_batch(input, catalog, ctx, None, n_filters)?;
+            let child = build_batch(input, catalog, ctx, None, n_filters, node)?;
             let keys = keys
                 .iter()
                 .map(|k| SortKey {
@@ -251,7 +297,7 @@ fn build_batch(
         LogicalPlan::UnionAll { inputs } => {
             let children = inputs
                 .iter()
-                .map(|p| build_batch(p, catalog, ctx, None, n_filters))
+                .map(|p| build_batch(p, catalog, ctx, None, n_filters, node))
                 .collect::<Result<Vec<_>>>()?;
             Ok(Box::new(UnionAllOp::new(children)?))
         }
@@ -291,7 +337,27 @@ fn preds_to_expr(pushed: &[(usize, cstore_storage::pred::ColumnPred)]) -> Expr {
 
 // ----------------------------------------------------------------- row
 
-fn build_row(plan: &LogicalPlan, catalog: &dyn CatalogProvider) -> Result<BoxedRowOp> {
+/// Row-mode mirror of [`build_batch`]: same pre-order numbering, wrapped
+/// in [`RowStatsOp`].
+fn build_row(
+    plan: &LogicalPlan,
+    catalog: &dyn CatalogProvider,
+    ctx: &ExecContext,
+    node: &mut usize,
+) -> Result<BoxedRowOp> {
+    let node_id = *node;
+    *node += 1;
+    let op = build_row_inner(plan, catalog, ctx, node)?;
+    let stats = ctx.stats.register(node_id, node_label(plan));
+    Ok(Box::new(RowStatsOp::new(op, stats)))
+}
+
+fn build_row_inner(
+    plan: &LogicalPlan,
+    catalog: &dyn CatalogProvider,
+    ctx: &ExecContext,
+    node: &mut usize,
+) -> Result<BoxedRowOp> {
     match plan {
         LogicalPlan::Scan {
             table,
@@ -316,11 +382,11 @@ fn build_row(plan: &LogicalPlan, catalog: &dyn CatalogProvider) -> Result<BoxedR
             Ok(op)
         }
         LogicalPlan::Filter { input, predicate } => Ok(Box::new(RowFilter::new(
-            build_row(input, catalog)?,
+            build_row(input, catalog, ctx, node)?,
             predicate.clone(),
         ))),
         LogicalPlan::Project { input, exprs, .. } => Ok(Box::new(RowProject::new(
-            build_row(input, catalog)?,
+            build_row(input, catalog, ctx, node)?,
             exprs.clone(),
         )?)),
         LogicalPlan::Join {
@@ -336,8 +402,8 @@ fn build_row(plan: &LogicalPlan, catalog: &dyn CatalogProvider) -> Result<BoxedR
                 ));
             }
             Ok(Box::new(RowHashJoin::new(
-                build_row(left, catalog)?,
-                build_row(right, catalog)?,
+                build_row(left, catalog, ctx, node)?,
+                build_row(right, catalog, ctx, node)?,
                 on_left.clone(),
                 on_right.clone(),
                 *join_type,
@@ -349,7 +415,7 @@ fn build_row(plan: &LogicalPlan, catalog: &dyn CatalogProvider) -> Result<BoxedR
             aggs,
             ..
         } => Ok(Box::new(RowHashAgg::new(
-            build_row(input, catalog)?,
+            build_row(input, catalog, ctx, node)?,
             group_by.clone(),
             aggs.clone(),
         )?)),
@@ -361,8 +427,7 @@ fn build_row(plan: &LogicalPlan, catalog: &dyn CatalogProvider) -> Result<BoxedR
         } => {
             // Row-mode plans reuse the (materializing) sort through
             // adapters; sorting is a stop-and-go operator either way.
-            let child = build_row(input, catalog)?;
-            let ctx = ExecContext::default();
+            let child = build_row(input, catalog, ctx, node)?;
             let as_batch: BoxedBatchOp = Box::new(RowToBatch::new(child, ctx.batch_size));
             let keys = keys
                 .iter()
@@ -371,7 +436,7 @@ fn build_row(plan: &LogicalPlan, catalog: &dyn CatalogProvider) -> Result<BoxedR
                     descending: k.descending,
                 })
                 .collect();
-            let mut sort = SortOp::new(as_batch, keys, ctx).with_offset(*offset);
+            let mut sort = SortOp::new(as_batch, keys, ctx.clone()).with_offset(*offset);
             if let Some(l) = limit {
                 sort = sort.with_limit(*l);
             }
@@ -402,7 +467,7 @@ fn build_row(plan: &LogicalPlan, catalog: &dyn CatalogProvider) -> Result<BoxedR
             }
             let children = inputs
                 .iter()
-                .map(|p| build_row(p, catalog))
+                .map(|p| build_row(p, catalog, ctx, node))
                 .collect::<Result<Vec<_>>>()?;
             let types = children
                 .first()

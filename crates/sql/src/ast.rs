@@ -164,5 +164,10 @@ pub enum Statement {
     Analyze {
         table: String,
     },
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <statement>`: with ANALYZE the statement is
+    /// executed and the plan is annotated with per-operator actuals.
+    Explain {
+        analyze: bool,
+        stmt: Box<Statement>,
+    },
 }

@@ -107,7 +107,25 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("EXPLAIN") {
-            return Ok(Statement::Explain(Box::new(self.statement()?)));
+            let analyze = self.eat_kw("ANALYZE");
+            // `EXPLAIN ANALYZE <ident>` is the statistics command
+            // `ANALYZE <table>` being explained, not EXPLAIN ANALYZE —
+            // keywords lex as idents, so exclude statement starters.
+            let starts_statement = ["SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "EXPLAIN"]
+                .iter()
+                .any(|kw| self.peek().is_some_and(|t| t.is_kw(kw)));
+            if analyze && !starts_statement && matches!(self.peek(), Some(Token::Ident(_))) {
+                return Ok(Statement::Explain {
+                    analyze: false,
+                    stmt: Box::new(Statement::Analyze {
+                        table: self.ident()?,
+                    }),
+                });
+            }
+            return Ok(Statement::Explain {
+                analyze,
+                stmt: Box::new(self.statement()?),
+            });
         }
         if self.peek().is_some_and(|t| t.is_kw("SELECT")) {
             let first = self.select()?;
@@ -798,7 +816,9 @@ mod tests {
     #[test]
     fn parses_explain() {
         let s = parse("EXPLAIN SELECT 1").unwrap();
-        assert!(matches!(s, Statement::Explain(_)));
+        assert!(matches!(s, Statement::Explain { analyze: false, .. }));
+        let s = parse("EXPLAIN ANALYZE SELECT 1").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
     }
 
     #[test]

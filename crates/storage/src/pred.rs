@@ -91,7 +91,12 @@ impl ColumnPred {
                 v.cmp_sql(lo) != std::cmp::Ordering::Less
                     && v.cmp_sql(hi) != std::cmp::Ordering::Greater
             }
-            ColumnPred::InList(vals) => vals.iter().any(|x| v.eq_storage(x)),
+            // cmp_sql, not eq_storage: IN must agree with Cmp/Between and
+            // with segment elimination, which all compare under SQL order
+            // (mixed-width integers, float/int coercion).
+            ColumnPred::InList(vals) => vals
+                .iter()
+                .any(|x| v.cmp_sql(x) == std::cmp::Ordering::Equal),
         }
     }
 
@@ -123,6 +128,13 @@ impl ColumnPred {
             ColumnPred::IsNull => null_count > 0,
             ColumnPred::IsNotNull => min.is_some(),
             ColumnPred::Cmp { .. } | ColumnPred::Between { .. } => {
+                // An empty BETWEEN range (lo > hi) matches no row; checking
+                // the two bounds independently below would let it survive.
+                if let ColumnPred::Between { lo, hi } = self {
+                    if lo.cmp_sql(hi) == std::cmp::Ordering::Greater {
+                        return false;
+                    }
+                }
                 let (Some(min), Some(max)) = (min, max) else {
                     return false; // all NULL: no comparison can match
                 };
@@ -255,6 +267,49 @@ mod tests {
         let p = ColumnPred::InList(vec![Value::Int64(5), Value::Int64(500)]);
         assert!(p.may_match(Some(&Value::Int64(0)), Some(&Value::Int64(10)), 0));
         assert!(!p.may_match(Some(&Value::Int64(20)), Some(&Value::Int64(400)), 0));
+    }
+
+    #[test]
+    fn in_list_uses_sql_comparison_across_types() {
+        // Int32(5) and Int64(5) are SQL-equal but distinct storage values;
+        // IN must agree with `=` (which compares via cmp_sql).
+        let in_list = ColumnPred::InList(vec![Value::Int64(5), Value::Int64(9)]);
+        let eq = ColumnPred::Cmp {
+            op: CmpOp::Eq,
+            value: Value::Int64(5),
+        };
+        for v in [
+            Value::Int32(5),
+            Value::Int64(5),
+            Value::Float64(5.0),
+            Value::Int32(6),
+            Value::Null,
+        ] {
+            assert_eq!(
+                in_list.matches(&v),
+                eq.matches(&v),
+                "IN and = disagree on {v:?}"
+            );
+        }
+        // And with the elimination path: a segment of Int32s must not be
+        // eliminated for an Int64 IN-list probe that falls in range.
+        assert!(in_list.may_match(Some(&Value::Int32(0)), Some(&Value::Int32(10)), 0));
+    }
+
+    #[test]
+    fn empty_between_range_is_eliminated() {
+        let p = ColumnPred::Between {
+            lo: Value::Int64(10),
+            hi: Value::Int64(5),
+        };
+        // Pre-fix: both bound checks pass independently and the segment
+        // survives even though no row can match.
+        assert!(!p.may_match(Some(&Value::Int64(0)), Some(&Value::Int64(100)), 0));
+        // matches/may_match agreement: if may_match says "cannot match",
+        // matches must be false for every value in the segment's range.
+        for v in 0..100 {
+            assert!(!p.matches(&Value::Int64(v)));
+        }
     }
 
     #[test]

@@ -61,8 +61,11 @@ impl SegmentDirectory {
         let mut out = Vec::new();
         for chunk in self.entries.chunks(self.n_columns.max(1)) {
             let Some(first) = chunk.first() else { continue };
+            // A predicate on a column the directory has no entry for must
+            // be conservative: without statistics we cannot prove the group
+            // empty, so keep it (the scan re-checks the predicate anyway).
             let ok = preds.iter().all(|(col, p)| {
-                chunk.iter().find(|e| e.column == *col).is_some_and(|e| {
+                chunk.iter().find(|e| e.column == *col).map_or(true, |e| {
                     p.may_match(e.min.as_ref(), e.max.as_ref(), e.null_count as usize)
                 })
             });
@@ -110,6 +113,51 @@ mod tests {
         assert_eq!(dir.surviving_groups(&preds), vec![RowGroupId(1)]);
         // No predicates: everything survives.
         assert_eq!(dir.surviving_groups(&[]).len(), 3);
+    }
+
+    #[test]
+    fn missing_column_is_conservative() {
+        let groups = vec![group(0, 0, 100), group(1, 100, 200)];
+        let dir = SegmentDirectory::build(&groups);
+        // Column 5 has no directory entries (the schema has one column);
+        // without stats the groups must survive, not silently vanish.
+        let preds = vec![(
+            5usize,
+            ColumnPred::Cmp {
+                op: CmpOp::Eq,
+                value: Value::Int64(1),
+            },
+        )];
+        assert_eq!(
+            dir.surviving_groups(&preds),
+            vec![RowGroupId(0), RowGroupId(1)]
+        );
+        // A real predicate alongside the stats-less one still eliminates.
+        let mixed = vec![
+            (
+                0usize,
+                ColumnPred::Cmp {
+                    op: CmpOp::Ge,
+                    value: Value::Int64(150),
+                },
+            ),
+            preds[0].clone(),
+        ];
+        assert_eq!(dir.surviving_groups(&mixed), vec![RowGroupId(1)]);
+    }
+
+    #[test]
+    fn empty_between_eliminates_all_groups() {
+        let groups = vec![group(0, 0, 100), group(1, 100, 200)];
+        let dir = SegmentDirectory::build(&groups);
+        let preds = vec![(
+            0usize,
+            ColumnPred::Between {
+                lo: Value::Int64(50),
+                hi: Value::Int64(10),
+            },
+        )];
+        assert!(dir.surviving_groups(&preds).is_empty());
     }
 
     #[test]

@@ -23,4 +23,21 @@ cargo test --workspace -q
 echo "==> chaos + degraded-open suites"
 cargo test -q --test chaos --test degraded_open
 
+# Observability gate: run the EXPLAIN ANALYZE smoke query (star-schema
+# join with a selective day predicate) and require that the rendered plan
+# reports actual segment elimination — a plan that silently stops
+# eliminating groups fails here even if results stay correct.
+echo "==> EXPLAIN ANALYZE smoke"
+smoke=$(cargo test -q --test observability explain_analyze_actuals -- --nocapture)
+echo "$smoke" | grep -E 'groups_eliminated=[1-9]' >/dev/null || {
+    echo "EXPLAIN ANALYZE smoke reported no segment elimination:"
+    echo "$smoke"
+    exit 1
+}
+echo "$smoke" | grep -E 'pruned=[1-9]' >/dev/null || {
+    echo "EXPLAIN ANALYZE smoke reported no bitmap-filter prunes:"
+    echo "$smoke"
+    exit 1
+}
+
 echo "==> ci: all gates passed"

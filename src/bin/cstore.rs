@@ -3,19 +3,26 @@
 //! ```sh
 //! cargo run --release --bin cstore            # in-memory session
 //! cargo run --release --bin cstore -- mydb/   # persistent session
+//! cargo run --release --bin cstore -- metrics [mydb/]   # metrics dump
 //! ```
 //!
-//! Meta commands: `\tables`, `\stats <table>`, `\save`, `\demo`, `\quit`.
-//! Everything else is SQL (`SELECT`/`INSERT`/`UPDATE`/`DELETE`/
-//! `CREATE TABLE`/`ANALYZE`/`EXPLAIN`), terminated by `;` or a newline.
+//! Meta commands: `\tables`, `\stats <table>`, `\metrics`, `\save`,
+//! `\demo`, `\quit`. Everything else is SQL (`SELECT`/`INSERT`/`UPDATE`/
+//! `DELETE`/`CREATE TABLE`/`ANALYZE`/`EXPLAIN [ANALYZE]`), terminated by
+//! `;` or a newline.
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
+use std::time::Duration;
 
 use cstore::workload::StarSchema;
 use cstore::{Database, QueryResult};
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("metrics") {
+        run_metrics(std::env::args().nth(2).map(PathBuf::from));
+        return;
+    }
     let dir: Option<PathBuf> = std::env::args().nth(1).map(PathBuf::from);
     let db = match &dir {
         Some(d) if Database::persisted_at(d) => match Database::open_from(d) {
@@ -83,6 +90,47 @@ fn main() {
     }
 }
 
+/// `cstore metrics [dir]`: open the database (degraded, so recovery
+/// quarantines show up), exercise a scan and one tuple-mover pass per
+/// table, and dump the observability registry in Prometheus text format.
+/// Without a directory a small demo star schema is used.
+fn run_metrics(dir: Option<PathBuf>) {
+    let db = match &dir {
+        Some(d) if Database::persisted_at(d) => match Database::open_degraded(d) {
+            Ok((db, _report)) => db,
+            Err(e) => {
+                eprintln!("failed to open {}: {e}", d.display());
+                std::process::exit(1);
+            }
+        },
+        Some(d) => {
+            eprintln!("no database at {}", d.display());
+            std::process::exit(1);
+        }
+        None => {
+            let db = Database::new();
+            if let Err(e) = StarSchema::scale(10_000).load_into(&db) {
+                eprintln!("demo load failed: {e}");
+                std::process::exit(1);
+            }
+            db
+        }
+    };
+    for t in db.catalog().table_names() {
+        if let Err(e) = db.execute(&format!("SELECT COUNT(*) FROM {t}")) {
+            eprintln!("scan of {t} failed: {e}");
+        }
+        // Register a mover so its counters appear, run one pass, stop.
+        if let Ok(m) = db.start_tuple_mover(&t, Duration::from_secs(3600)) {
+            m.kick();
+            if let Err(e) = m.stop() {
+                eprintln!("tuple mover on {t}: {e}");
+            }
+        }
+    }
+    print!("{}", db.metrics());
+}
+
 enum MetaResult {
     Continue,
     Quit,
@@ -104,6 +152,7 @@ fn run_meta(db: &Database, line: &str, dir: &Option<PathBuf>) -> MetaResult {
             },
             None => eprintln!("usage: \\stats <table>"),
         },
+        "\\metrics" => print!("{}", db.metrics()),
         "\\save" => match dir {
             Some(d) => match db.save_to(d) {
                 Ok(()) => println!("saved to {}", d.display()),
@@ -123,7 +172,9 @@ fn run_meta(db: &Database, line: &str, dir: &Option<PathBuf>) -> MetaResult {
                 Err(e) => eprintln!("demo load failed: {e}"),
             }
         }
-        other => eprintln!("unknown command {other}; try \\tables \\stats \\save \\demo \\quit"),
+        other => eprintln!(
+            "unknown command {other}; try \\tables \\stats \\metrics \\save \\demo \\quit"
+        ),
     }
     MetaResult::Continue
 }

@@ -1,0 +1,213 @@
+//! Observability suite: per-query ExecStats, EXPLAIN ANALYZE actuals,
+//! and the database-wide metrics dump.
+//!
+//! The star-schema fixture is sized so the interesting counters have
+//! independently computable expected values: 4,000 fact rows in row
+//! groups of 1,000, `day = id / 100` (so a day predicate maps to exactly
+//! one group), and `cust_id = id % 20` joined against 20 customers split
+//! evenly between two regions (so a region filter's bitmap prunes
+//! exactly half the scanned fact rows).
+
+use std::time::Duration;
+
+use cstore::common::{Row, Value};
+use cstore::delta::TableConfig;
+use cstore::{Database, QueryResult};
+
+fn db() -> Database {
+    let db = Database::new().with_table_config(TableConfig {
+        delta_capacity: 100,
+        bulk_load_threshold: 500,
+        max_rowgroup_rows: 1000,
+        ..TableConfig::default()
+    });
+    db.execute(
+        "CREATE TABLE sales (id BIGINT NOT NULL, cust_id BIGINT NOT NULL, \
+         amount DOUBLE, day DATE NOT NULL)",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE customers (id BIGINT NOT NULL, name VARCHAR NOT NULL, \
+         region VARCHAR NOT NULL)",
+    )
+    .unwrap();
+    let rows: Vec<Row> = (0..4000)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int64(i),
+                Value::Int64(i % 20),
+                Value::Float64((i % 100) as f64),
+                Value::Date((i / 100) as i32),
+            ])
+        })
+        .collect();
+    db.bulk_load("sales", &rows).unwrap();
+    let custs: Vec<Row> = (0..20)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int64(i),
+                Value::str(format!("cust{i}")),
+                Value::str(["north", "south"][(i % 2) as usize]),
+            ])
+        })
+        .collect();
+    db.bulk_load("customers", &custs).unwrap();
+    db
+}
+
+fn metric(metrics: &[(&'static str, u64)], name: &str) -> u64 {
+    metrics
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+/// Pull `rows=N` out of an EXPLAIN ANALYZE line.
+fn actual_rows(line: &str) -> u64 {
+    let tail = line.split("[actual rows=").nth(1).unwrap_or_else(|| {
+        panic!("no [actual rows=...] annotation in line: {line}");
+    });
+    tail.split(|c: char| !c.is_ascii_digit())
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap()
+}
+
+#[test]
+fn per_query_metrics_report_elimination_and_bitmap_prunes() {
+    let db = db();
+    let r = db
+        .execute(
+            "SELECT c.region, COUNT(*) AS n FROM sales s \
+             JOIN customers c ON s.cust_id = c.id \
+             WHERE s.day < DATE 10 AND c.region = 'north' GROUP BY c.region",
+        )
+        .unwrap();
+    assert_eq!(r.rows()[0].get(1), &Value::Int64(500));
+    let QueryResult::Rows { metrics, .. } = r else {
+        panic!("expected rows");
+    };
+    // day < 10 → ids 0..1000 → row group 0 of 4: three groups eliminated.
+    assert_eq!(metric(&metrics, "groups_scanned"), 1, "{metrics:?}");
+    assert_eq!(metric(&metrics, "groups_eliminated"), 3, "{metrics:?}");
+    // The region bitmap admits the 10 even cust_ids: of the 1,000
+    // scanned fact rows, the 500 with odd cust_id are pruned.
+    assert_eq!(metric(&metrics, "rows_dropped_by_bitmap"), 500);
+    assert!(metric(&metrics, "bitmap_probes") >= 1000);
+    assert_eq!(metric(&metrics, "bitmap_filters_exact"), 1);
+    assert_eq!(metric(&metrics, "bitmap_filters_bloom"), 0);
+    // Build side: the 10 north customers; probe side: surviving fact rows.
+    assert_eq!(metric(&metrics, "join_build_rows"), 10);
+    assert_eq!(metric(&metrics, "join_probe_rows"), 500);
+    // Metrics are per-query: an unrelated query reports its own counters,
+    // not an accumulation.
+    let r2 = db.execute("SELECT COUNT(*) FROM customers").unwrap();
+    let QueryResult::Rows { metrics: m2, .. } = r2 else {
+        panic!("expected rows");
+    };
+    assert_eq!(metric(&m2, "rows_dropped_by_bitmap"), 0);
+    assert_eq!(metric(&m2, "groups_eliminated"), 0);
+}
+
+#[test]
+fn explain_analyze_actuals_match_executed_query() {
+    let db = db();
+    let sql = "SELECT c.region, COUNT(*) AS n FROM sales s \
+               JOIN customers c ON s.cust_id = c.id \
+               WHERE s.day < DATE 10 AND c.region = 'north' GROUP BY c.region";
+    let baseline = db.execute(sql).unwrap();
+    let n_result_rows = baseline.rows().len() as u64;
+
+    let r = db.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+    let QueryResult::Explain(text) = r else {
+        panic!("expected explain output, got {r:?}");
+    };
+    println!("{text}"); // ci.sh greps this smoke output
+                        // Every operator line carries actuals.
+    let op_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("(~") && !l.starts_with("mode="))
+        .collect();
+    assert!(op_lines.len() >= 4, "{text}");
+    for l in &op_lines {
+        assert!(l.contains("[actual rows="), "missing actuals: {l}");
+        assert!(l.contains("time="), "missing timing: {l}");
+    }
+    // The root operator's actual row count is the result cardinality.
+    assert_eq!(actual_rows(op_lines[0]), n_result_rows, "{text}");
+    assert!(text.contains(&format!("rows returned={n_result_rows}")));
+    // The join's actual output equals the independently computed
+    // post-bitmap row count.
+    let join_line = op_lines
+        .iter()
+        .find(|l| l.contains("HashJoin"))
+        .unwrap_or_else(|| panic!("no join in {text}"));
+    assert_eq!(actual_rows(join_line), 500, "{text}");
+    // Counter footer: elimination and bitmap prunes with exact values.
+    assert!(text.contains("groups_eliminated=3"), "{text}");
+    assert!(text.contains("pruned=500"), "{text}");
+    assert!(text.contains("exact=1"), "{text}");
+}
+
+#[test]
+fn explain_without_analyze_reports_no_actuals() {
+    let db = db();
+    let r = db
+        .execute("EXPLAIN SELECT COUNT(*) FROM sales WHERE day = 3")
+        .unwrap();
+    let QueryResult::Explain(text) = r else {
+        panic!("expected explain output");
+    };
+    assert!(!text.contains("[actual"), "{text}");
+    assert!(!text.contains("actuals:"), "{text}");
+}
+
+#[test]
+fn database_metrics_dump_is_complete() {
+    let db = db();
+    db.execute("SELECT COUNT(*) FROM sales WHERE day = 3")
+        .unwrap();
+    // Trickle rows so the mover has delta stores to move, then run one
+    // supervised pass and stop; the status handle outlives the mover.
+    for i in 0..150 {
+        db.execute(&format!(
+            "INSERT INTO sales VALUES ({}, 1, 1.0, 0)",
+            10_000 + i
+        ))
+        .unwrap();
+    }
+    let mover = db
+        .start_tuple_mover("sales", Duration::from_secs(3600))
+        .unwrap();
+    mover.kick();
+    mover.stop().unwrap();
+    let text = db.metrics();
+    // Query counters from the process-wide registry.
+    assert!(text.contains("cstore_queries_total"), "{text}");
+    assert!(text.contains("cstore_query_latency_us_bucket"), "{text}");
+    assert!(text.contains("cstore_query_rows_scanned_total"), "{text}");
+    // Tuple-mover counters, labelled by table.
+    assert!(
+        text.contains("cstore_mover_passes{table=\"sales\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("cstore_mover_rows_moved{table=\"sales\"}"),
+        "{text}"
+    );
+    // Recovery quarantine gauges are present (zero for a fresh database).
+    assert!(text.contains("cstore_open_quarantined_blobs 0"), "{text}");
+    assert!(text.contains("cstore_open_skipped_manifests 0"), "{text}");
+}
+
+#[test]
+fn cumulative_context_metrics_still_accumulate_across_queries() {
+    let db = db();
+    let before = metric(&db.exec_context().metrics.snapshot(), "rows_scanned");
+    db.execute("SELECT COUNT(*) FROM sales").unwrap();
+    db.execute("SELECT COUNT(*) FROM sales").unwrap();
+    let after = metric(&db.exec_context().metrics.snapshot(), "rows_scanned");
+    // Two full scans of 4,000 rows folded back into the shared context —
+    // the bench binaries rely on these before/after deltas.
+    assert_eq!(after - before, 8000);
+}
