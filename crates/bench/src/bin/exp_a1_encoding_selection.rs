@@ -39,13 +39,9 @@ fn main() {
         for (_, policy) in policies {
             let mut total = 0usize;
             for (c, vals) in columns.iter().enumerate() {
-                let seg = encode_column_with_policy(
-                    db.schema.field(c).data_type,
-                    vals,
-                    None,
-                    policy,
-                )
-                .expect("encode");
+                let seg =
+                    encode_column_with_policy(db.schema.field(c).data_type, vals, None, policy)
+                        .expect("encode");
                 total += seg.encoded_bytes();
             }
             sizes.push(total);
@@ -57,9 +53,21 @@ fn main() {
         table.row(&[
             db.id.to_string(),
             fmt_bytes(sizes[0]),
-            format!("{} ({:.2}x)", fmt_bytes(sizes[1]), sizes[1] as f64 / auto as f64),
-            format!("{} ({:.2}x)", fmt_bytes(sizes[2]), sizes[2] as f64 / auto as f64),
-            format!("{} ({:.2}x)", fmt_bytes(sizes[3]), sizes[3] as f64 / auto as f64),
+            format!(
+                "{} ({:.2}x)",
+                fmt_bytes(sizes[1]),
+                sizes[1] as f64 / auto as f64
+            ),
+            format!(
+                "{} ({:.2}x)",
+                fmt_bytes(sizes[2]),
+                sizes[2] as f64 / auto as f64
+            ),
+            format!(
+                "{} ({:.2}x)",
+                fmt_bytes(sizes[3]),
+                sizes[3] as f64 / auto as f64
+            ),
         ]);
     }
     table.print();

@@ -36,9 +36,8 @@ fn main() {
     ];
     let mut table = Table::new(&["join type", "batch ms", "row ms", "speedup"]);
     for (label, kw) in join_sqls {
-        let sql = format!(
-            "SELECT COUNT(*) FROM sales s {kw} customer c ON s.cust_key = c.cust_key"
-        );
+        let sql =
+            format!("SELECT COUNT(*) FROM sales s {kw} customer c ON s.cust_key = c.cust_key");
         let batch_t = median_time(3, || {
             batch_db.execute(&sql).expect("batch");
         });

@@ -8,11 +8,12 @@
 //! further ≈1.3–2×, with both degrading toward 1× on incompressible data.
 
 use cstore_bench::report::{banner, Table};
-use cstore_bench::{fmt_bytes, Scale};
+use cstore_bench::{fmt_bytes, BenchResult, Scale};
 use cstore_rowstore::{CompressedHeapTable, HeapTable};
 use cstore_storage::ColumnStore;
 
 fn main() {
+    let start = std::time::Instant::now();
     let scale = Scale::from_env();
     let n = scale.dataset_rows();
     banner(
@@ -21,11 +22,21 @@ fn main() {
         &format!("{n} rows per dataset; ratios are raw_size / stored_size (higher is better)"),
     );
     let mut table = Table::new(&[
-        "db", "characteristics", "raw", "page", "page_x", "cstore", "cstore_x", "archive",
+        "db",
+        "characteristics",
+        "raw",
+        "page",
+        "page_x",
+        "cstore",
+        "cstore_x",
+        "archive",
         "archive_x",
     ]);
     let mut cs_ratios = Vec::new();
     let mut ar_ratios = Vec::new();
+    let mut total_rows = 0usize;
+    let mut total_raw = 0usize;
+    let mut total_cstore = 0usize;
     for db in cstore_workload::customer_dbs::all(n, 42) {
         // Row store, uncompressed (allocated pages).
         let mut heap = HeapTable::new(db.schema.clone());
@@ -48,6 +59,9 @@ fn main() {
         let ratio = |stored: usize| raw as f64 / stored.max(1) as f64;
         cs_ratios.push(ratio(cstore));
         ar_ratios.push(ratio(archive));
+        total_rows += db.rows.len();
+        total_raw += raw;
+        total_cstore += cstore;
         table.row(&[
             db.id.to_string(),
             db.description.split(':').next().unwrap_or("").to_string(),
@@ -69,4 +83,15 @@ fn main() {
         gmean(&cs_ratios),
         gmean(&ar_ratios)
     );
+    let result = BenchResult {
+        experiment: "E1".into(),
+        rows: total_rows,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        bytes: total_cstore,
+        compression_ratio: total_raw as f64 / total_cstore.max(1) as f64,
+    };
+    match result.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write machine-readable result: {e}"),
+    }
 }

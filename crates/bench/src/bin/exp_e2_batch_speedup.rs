@@ -27,8 +27,10 @@ fn heap_clone(db_cs: &Database, star: &StarSchema) -> Database {
     }
     db.bulk_load("sales", &star.sales()).expect("load sales");
     db.bulk_load("date_dim", &star.dates()).expect("load dates");
-    db.bulk_load("customer", &star.customers()).expect("load customers");
-    db.bulk_load("product", &star.products()).expect("load products");
+    db.bulk_load("customer", &star.customers())
+        .expect("load customers");
+    db.bulk_load("product", &star.products())
+        .expect("load products");
     db.bulk_load("store", &star.stores()).expect("load stores");
     let _ = db_cs;
     db

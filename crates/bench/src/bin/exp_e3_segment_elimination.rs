@@ -8,12 +8,11 @@
 //! with elimination rendered useless.
 
 use cstore_bench::report::{banner, Table};
+use cstore_bench::rng::Rng;
 use cstore_bench::{fmt_ms, median_time, Scale};
 use cstore_core::{Database, ExecMode};
 use cstore_exec::ExecContext;
 use cstore_workload::StarSchema;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 fn load(db: &Database, rows: &[cstore_common::Row]) {
     db.catalog()
@@ -31,9 +30,8 @@ fn load(db: &Database, rows: &[cstore_common::Row]) {
 }
 
 fn run(db: &Database, lo: i32, hi: i32) -> (std::time::Duration, u64, u64) {
-    let sql = format!(
-        "SELECT COUNT(*), SUM(quantity) FROM sales WHERE date_key BETWEEN {lo} AND {hi}"
-    );
+    let sql =
+        format!("SELECT COUNT(*), SUM(quantity) FROM sales WHERE date_key BETWEEN {lo} AND {hi}");
     db.execute(&sql).expect("warmup");
     let ctx = db.exec_context().clone();
     let before: Vec<(&str, u64)> = ctx.metrics.snapshot();
@@ -60,7 +58,7 @@ fn main() {
     let star = StarSchema::scale(n);
     let sorted_rows = star.sales();
     let mut shuffled_rows = sorted_rows.clone();
-    shuffled_rows.shuffle(&mut rand::rngs::StdRng::seed_from_u64(7));
+    Rng::seed_from_u64(7).shuffle(&mut shuffled_rows);
 
     let db_sorted = Database::new()
         .with_exec_mode(ExecMode::Batch)

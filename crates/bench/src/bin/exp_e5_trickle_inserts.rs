@@ -60,7 +60,8 @@ fn main() {
 
     // Phase 2: same inserts with a background mover — the backlog drains.
     let t2 = ColumnStoreTable::new(StarSchema::sales_schema(), config.clone());
-    let mover = TupleMover::start(t2.clone(), std::time::Duration::from_millis(10));
+    let mover =
+        TupleMover::start(t2.clone(), std::time::Duration::from_millis(10)).expect("mover start");
     let start = Instant::now();
     for i in 0..n as i64 {
         t2.insert(row(i)).expect("insert");
@@ -71,7 +72,7 @@ fn main() {
     while t2.stats().n_closed_deltas > 0 && Instant::now() < deadline {
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
-    let moved = mover.stop();
+    let moved = mover.stop().expect("mover stop");
     let s2 = t2.stats();
     println!(
         "mover ON  : {:>9.0} inserts/s; mover compressed {moved} stores → {} compressed rows ({}), {} left in delta",

@@ -24,7 +24,10 @@ fn main() {
     star.load_into(&db).expect("load");
 
     let queries = [
-        ("full scan + agg", "SELECT COUNT(*), SUM(quantity) FROM sales".to_string()),
+        (
+            "full scan + agg",
+            "SELECT COUNT(*), SUM(quantity) FROM sales".to_string(),
+        ),
         (
             "selective scan (1 month)",
             "SELECT SUM(quantity) FROM sales WHERE date_key BETWEEN 100 AND 129".to_string(),

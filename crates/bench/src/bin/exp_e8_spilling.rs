@@ -8,11 +8,11 @@
 
 use cstore_bench::report::{banner, Table};
 use cstore_bench::{fmt_bytes, fmt_ms, median_time, Scale};
+use cstore_common::DataType;
 use cstore_common::{Row, Value};
 use cstore_exec::ops::collect_rows;
 use cstore_exec::ops::hash_join::JoinType;
 use cstore_exec::{BatchHashJoin, BatchSource, ExecContext};
-use cstore_common::DataType;
 
 fn probe_rows(n: usize) -> Vec<Row> {
     (0..n as i64)
@@ -93,7 +93,11 @@ fn main() {
             format!("{pct}%"),
             fmt_ms(t),
             format!("{:.2}x", t.as_secs_f64() / b),
-            if spilled > 0 { fmt_bytes(bytes / 3) } else { "0 (in-memory)".into() },
+            if spilled > 0 {
+                fmt_bytes(bytes / 3)
+            } else {
+                "0 (in-memory)".into()
+            },
         ]);
     }
     table.print();

@@ -9,7 +9,6 @@
 use cstore_bench::report::{banner, Table};
 use cstore_bench::{fmt_bytes, fmt_ms, median_time, Scale};
 
-
 use cstore_storage::{ColumnStore, SortMode};
 
 fn main() {

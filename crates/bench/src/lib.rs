@@ -6,7 +6,9 @@
 //! `medium` (default) or `full`.
 
 pub mod report;
+pub mod rng;
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Experiment scale, from `CSTORE_SCALE`.
@@ -61,6 +63,52 @@ pub fn median_time(n: usize, mut f: impl FnMut()) -> Duration {
 /// Milliseconds as a display string with sub-ms precision.
 pub fn fmt_ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// One machine-readable experiment result, written as
+/// `results/BENCH_<experiment>.json` next to the human-readable
+/// `exp_*.txt` transcripts so CI (and plotting scripts) can shape-check
+/// runs without parsing tables.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Experiment id, e.g. `E1` (becomes the file name).
+    pub experiment: String,
+    /// Rows processed per dataset/series at the scale that ran.
+    pub rows: usize,
+    /// End-to-end wall time of the experiment body, in milliseconds.
+    pub wall_ms: f64,
+    /// Bytes the experiment reports (e.g. total columnstore bytes).
+    pub bytes: usize,
+    /// Headline compression ratio (1.0 where not meaningful).
+    pub compression_ratio: f64,
+}
+
+impl BenchResult {
+    /// Hand-rolled JSON (no serde in the offline build); all fields are
+    /// numbers except the id, which contains no characters needing
+    /// escapes beyond the alphanumerics the constructor is given.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":\"{}\",\"rows\":{},\"wall_ms\":{:.3},\"bytes\":{},\"compression_ratio\":{:.3}}}",
+            self.experiment.replace(['"', '\\'], "_"),
+            self.rows,
+            self.wall_ms,
+            self.bytes,
+            self.compression_ratio,
+        )
+    }
+
+    /// Write `results/BENCH_<experiment>.json` (directory from
+    /// `CSTORE_RESULTS_DIR`, default `results/`), returning the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("CSTORE_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
 }
 
 /// Human-readable byte count.

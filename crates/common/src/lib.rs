@@ -15,6 +15,7 @@ pub mod row;
 pub mod schema;
 pub mod sync;
 pub mod testutil;
+pub mod trace;
 pub mod types;
 pub mod value;
 

@@ -17,6 +17,7 @@ use cstore_sql::ast::{Statement, TableOrganization};
 use cstore_sql::{bind_expr_on_schema, bind_select, coerce, literal_value, parse};
 
 use crate::catalog::{Catalog, TableEntry};
+use crate::introspect::{QueryLog, QueryOutcome, SysCatalog};
 use crate::persist::{self, OpenMode, OpenReport, TableOpenReport, VerifyReport};
 
 /// Catalog manifest magic: "CSCB".
@@ -45,6 +46,8 @@ pub enum QueryResult {
         mode: ExecMode,
         /// Execution counters (segment elimination, bitmap drops, ...).
         metrics: Vec<(&'static str, u64)>,
+        /// Label of the top-level plan operator (for `sys.query_log`).
+        plan_root: Option<String>,
         elapsed: Duration,
     },
     /// DML row count.
@@ -162,6 +165,9 @@ pub struct Database {
     /// What a degraded open skipped; empty for fresh databases and
     /// clean opens. Immutable once the database is constructed.
     open_report: Arc<OpenReport>,
+    /// Ring of the last [`crate::introspect::QUERY_LOG_CAPACITY`]
+    /// statements — successes *and* errors — behind `sys.query_log`.
+    query_log: Arc<Mutex<QueryLog>>,
 }
 
 impl Default for Database {
@@ -179,6 +185,7 @@ impl Database {
             table_config: TableConfig::default(),
             movers: Arc::new(Mutex::new(Vec::new())),
             open_report: Arc::new(OpenReport::default()),
+            query_log: Arc::new(Mutex::new(QueryLog::default())),
         }
     }
 
@@ -208,9 +215,66 @@ impl Database {
         &self.ctx
     }
 
-    /// Execute one SQL statement.
+    /// The report of the open that produced this database (empty for
+    /// fresh databases); `sys.row_groups` surfaces its quarantines.
+    pub fn open_report(&self) -> &OpenReport {
+        &self.open_report
+    }
+
+    /// Point-in-time status of every registered background tuple mover.
+    pub fn mover_statuses(&self) -> Vec<(String, MoverStatus)> {
+        self.movers
+            .lock()
+            .iter()
+            .map(|(name, status)| (name.clone(), status.lock().clone()))
+            .collect()
+    }
+
+    /// Run `f` against the recent-query ring.
+    pub fn with_query_log<R>(&self, f: impl FnOnce(&QueryLog) -> R) -> R {
+        f(&self.query_log.lock())
+    }
+
+    /// Execute one SQL statement. Every statement — including ones that
+    /// fail to parse, bind or execute — lands in `sys.query_log`.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
-        let stmt = parse(sql)?;
+        let _query_span = cstore_common::trace::global().span("query");
+        let start = Instant::now();
+        let result = self.execute_traced(sql);
+        let elapsed = start.elapsed();
+        let outcome = match &result {
+            Ok(QueryResult::Rows {
+                rows,
+                metrics,
+                plan_root,
+                ..
+            }) => QueryOutcome::Ok {
+                rows: rows.len(),
+                batches: metrics
+                    .iter()
+                    .find(|(name, _)| *name == "batches")
+                    .map_or(0, |(_, v)| *v),
+                plan_root: plan_root.clone(),
+            },
+            Ok(_) => QueryOutcome::Ok {
+                rows: 0,
+                batches: 0,
+                plan_root: None,
+            },
+            Err(e) => {
+                metrics::global().counter("cstore_query_errors_total").inc();
+                QueryOutcome::Error(e.to_string())
+            }
+        };
+        self.query_log.lock().record(sql, elapsed, outcome);
+        result
+    }
+
+    fn execute_traced(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = {
+            let _span = cstore_common::trace::global().span("parse");
+            parse(sql)?
+        };
         self.execute_statement(stmt)
     }
 
@@ -257,18 +321,35 @@ impl Database {
     }
 
     fn run_select(&self, stmt: &cstore_sql::ast::SelectStmt) -> Result<QueryResult> {
-        let plan = bind_select(stmt, &self.catalog)?;
-        self.run_plan(plan)
+        // `sys.*` views materialize here (and are memoized for the whole
+        // query) so bind, optimize and lowering see one snapshot.
+        let catalog = SysCatalog::new(&self.catalog, self);
+        let plan = {
+            let _span = cstore_common::trace::global().span("bind");
+            bind_select(stmt, &catalog)?
+        };
+        self.run_plan(plan, &catalog)
     }
 
     fn run_union(&self, branches: &[cstore_sql::ast::SelectStmt]) -> Result<QueryResult> {
-        let plan = cstore_sql::bind_union(branches, &self.catalog)?;
-        self.run_plan(plan)
+        let catalog = SysCatalog::new(&self.catalog, self);
+        let plan = {
+            let _span = cstore_common::trace::global().span("bind");
+            cstore_sql::bind_union(branches, &catalog)?
+        };
+        self.run_plan(plan, &catalog)
     }
 
-    fn run_plan(&self, plan: cstore_planner::LogicalPlan) -> Result<QueryResult> {
+    fn run_plan(
+        &self,
+        plan: cstore_planner::LogicalPlan,
+        catalog: &dyn cstore_planner::CatalogProvider,
+    ) -> Result<QueryResult> {
         let start = Instant::now();
-        let plan = optimize(plan, &self.catalog)?;
+        let plan = {
+            let _span = cstore_common::trace::global().span("optimize");
+            optimize(plan, catalog)?
+        };
         let fields = plan.output_fields()?;
         let columns: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
         let types: Vec<DataType> = fields.iter().map(|f| f.data_type).collect();
@@ -276,9 +357,15 @@ impl Database {
         // result reports *this* query's counters; the fork is folded back
         // into the cumulative context metrics below.
         let qctx = self.ctx.for_query();
-        let phys = build_physical(&plan, &self.catalog, &qctx, self.mode)?;
+        let phys = {
+            let _span = cstore_common::trace::global().span("build_physical");
+            build_physical(&plan, catalog, &qctx, self.mode)?
+        };
         let mode = phys.mode;
-        let rows = collect_rows(phys.root)?;
+        let rows = {
+            let _span = cstore_common::trace::global().span("execute");
+            collect_rows(phys.root)?
+        };
         let elapsed = start.elapsed();
         self.finish_query(&qctx, elapsed);
         Ok(QueryResult::Rows {
@@ -287,6 +374,7 @@ impl Database {
             rows,
             mode,
             metrics: qctx.metrics.snapshot(),
+            plan_root: Some(cstore_planner::physical::node_label(&plan)),
             elapsed,
         })
     }
@@ -308,9 +396,10 @@ impl Database {
     }
 
     fn run_explain(&self, stmt: Statement, analyze: bool) -> Result<QueryResult> {
+        let catalog = SysCatalog::new(&self.catalog, self);
         let plan = match stmt {
-            Statement::Select(s) => bind_select(&s, &self.catalog)?,
-            Statement::UnionAll(branches) => cstore_sql::bind_union(&branches, &self.catalog)?,
+            Statement::Select(s) => bind_select(&s, &catalog)?,
+            Statement::UnionAll(branches) => cstore_sql::bind_union(&branches, &catalog)?,
             other => {
                 return Err(Error::Unsupported(format!(
                     "EXPLAIN supports SELECT only, got {other:?}"
@@ -318,17 +407,21 @@ impl Database {
             }
         };
         if analyze {
-            self.explain_analyze_plan(plan)
+            self.explain_analyze_plan(plan, &catalog)
         } else {
-            self.explain_plan(plan)
+            self.explain_plan(plan, &catalog)
         }
     }
 
-    fn explain_plan(&self, plan: cstore_planner::LogicalPlan) -> Result<QueryResult> {
-        let plan = optimize(plan, &self.catalog)?;
-        let mut text = explain(&plan, &self.catalog, self.mode);
+    fn explain_plan(
+        &self,
+        plan: cstore_planner::LogicalPlan,
+        catalog: &dyn cstore_planner::CatalogProvider,
+    ) -> Result<QueryResult> {
+        let plan = optimize(plan, catalog)?;
+        let mut text = explain(&plan, catalog, self.mode);
         // Physical annotations: what lowering would actually build.
-        let phys = build_physical(&plan, &self.catalog, &self.ctx, self.mode)?;
+        let phys = build_physical(&plan, catalog, &self.ctx, self.mode)?;
         text.push_str(&format!(
             "physical: bitmap_filters={}, scan_parallelism={}\n",
             phys.bitmap_filters, self.ctx.parallelism
@@ -339,17 +432,21 @@ impl Database {
     /// EXPLAIN ANALYZE: execute the plan, then render it annotated with
     /// each operator's actual rows/batches/time and the query's scan,
     /// bitmap-filter, join and spill counters.
-    fn explain_analyze_plan(&self, plan: cstore_planner::LogicalPlan) -> Result<QueryResult> {
+    fn explain_analyze_plan(
+        &self,
+        plan: cstore_planner::LogicalPlan,
+        catalog: &dyn cstore_planner::CatalogProvider,
+    ) -> Result<QueryResult> {
         let start = Instant::now();
-        let plan = optimize(plan, &self.catalog)?;
+        let plan = optimize(plan, catalog)?;
         let qctx = self.ctx.for_query();
-        let phys = build_physical(&plan, &self.catalog, &qctx, self.mode)?;
+        let phys = build_physical(&plan, catalog, &qctx, self.mode)?;
         let rows = collect_rows(phys.root)?;
         let elapsed = start.elapsed();
         self.finish_query(&qctx, elapsed);
         let mut text = explain_analyze(
             &plan,
-            &self.catalog,
+            catalog,
             self.mode,
             &qctx.stats,
             &qctx.metrics,
@@ -636,6 +733,7 @@ impl Database {
     /// are garbage-collected only after the manifest lands.
     pub fn save_to_store(&self, store: &mut dyn cstore_storage::blob::BlobStore) -> Result<u64> {
         use cstore_storage::format::{write_schema, write_value, Writer};
+        let _span = cstore_common::trace::global().span("persist.save");
         let gen = persist::manifest_generations(store)
             .first()
             .map_or(1, |g| g + 1);
@@ -700,6 +798,7 @@ impl Database {
         store: &dyn cstore_storage::blob::BlobStore,
         mode: OpenMode,
     ) -> Result<(Database, OpenReport)> {
+        let _span = cstore_common::trace::global().span("persist.open");
         let gens = persist::manifest_generations(store);
         if gens.is_empty() {
             return Err(Error::Storage("no catalog manifest found".into()));

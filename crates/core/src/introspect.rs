@@ -1,0 +1,537 @@
+//! The `sys.*` introspection views (DMV-style virtual tables).
+//!
+//! Columnstore internals — row-group lifecycle, per-segment encodings,
+//! dictionary sizes, tuple-mover progress, the recent-query ring — are
+//! exposed as ordinary tables queryable through the normal SQL pipeline:
+//!
+//! ```sql
+//! SELECT table_name, state, total_rows, deleted_rows FROM sys.row_groups;
+//! SELECT s.column_name, s.encoding, d.entries
+//!   FROM sys.column_segments s JOIN sys.dictionaries d
+//!     ON s.dictionary_id = d.dictionary_id;
+//! ```
+//!
+//! Each view is **materialized at bind time** from a point-in-time
+//! snapshot ([`ColumnStoreTable::introspect`] holds one read lock per
+//! table; mover/query-log state is copied under its own short lock), so
+//! planning and execution never hold storage locks. Within one query,
+//! [`SysCatalog`] memoizes each view, so every reference to the same view
+//! in a join sees the same snapshot.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cstore_common::{DataType, Field, FxHashMap, Row, Schema, Value};
+use cstore_delta::{ColumnStoreTable, TableIntrospection};
+use cstore_planner::catalog::{CatalogProvider, TableRef, VirtualTable};
+use cstore_storage::encode::{PayloadKind, PrimaryEncoding};
+use cstore_storage::{CompressedRowGroup, CompressionLevel, QuarantinedKind};
+
+use crate::catalog::TableEntry;
+use crate::database::Database;
+
+/// The names the binder recognizes as virtual tables.
+pub const SYS_VIEW_NAMES: [&str; 5] = [
+    "sys.row_groups",
+    "sys.column_segments",
+    "sys.dictionaries",
+    "sys.tuple_mover",
+    "sys.query_log",
+];
+
+/// Snapshot-materializer for the `sys.*` views: implemented by
+/// [`Database`], consumed by [`SysCatalog`]. Implementations must not
+/// return tables that keep storage locks alive — views are plain
+/// materialized rows.
+pub trait Introspection {
+    /// Materialize the named view, or `None` if the name is not a view.
+    /// `name` is already lower-cased.
+    fn sys_view(&self, name: &str) -> Option<VirtualTable>;
+}
+
+/// A [`CatalogProvider`] that resolves `sys.`-prefixed names through an
+/// [`Introspection`] source and everything else through the base catalog.
+/// One instance lives per query; materialized views are memoized so a
+/// self-join of a view sees a single consistent snapshot.
+pub struct SysCatalog<'a> {
+    base: &'a dyn CatalogProvider,
+    sys: &'a dyn Introspection,
+    materialized: RefCell<FxHashMap<String, TableRef>>,
+}
+
+impl<'a> SysCatalog<'a> {
+    pub fn new(base: &'a dyn CatalogProvider, sys: &'a dyn Introspection) -> SysCatalog<'a> {
+        SysCatalog {
+            base,
+            sys,
+            materialized: RefCell::new(FxHashMap::default()),
+        }
+    }
+}
+
+impl CatalogProvider for SysCatalog<'_> {
+    fn table(&self, name: &str) -> Option<TableRef> {
+        let lower = name.to_ascii_lowercase();
+        if !lower.starts_with("sys.") {
+            return self.base.table(name);
+        }
+        if let Some(t) = self.materialized.borrow().get(&lower) {
+            return Some(t.clone());
+        }
+        let view = self.sys.sys_view(&lower)?;
+        let t = TableRef::Virtual(Arc::new(view));
+        self.materialized.borrow_mut().insert(lower, t.clone());
+        Some(t)
+    }
+
+    fn statistics(&self, name: &str) -> Option<cstore_planner::stats::TableStatistics> {
+        if name.to_ascii_lowercase().starts_with("sys.") {
+            return None; // virtual tables: row counts come from the rows
+        }
+        self.base.statistics(name)
+    }
+}
+
+// ------------------------------------------------------------ query log
+
+/// Outcome of a logged query.
+#[derive(Clone, Debug)]
+pub enum QueryOutcome {
+    Ok {
+        rows: usize,
+        batches: u64,
+        plan_root: Option<String>,
+    },
+    /// The error string; errored queries stay in the ring.
+    Error(String),
+}
+
+/// One entry of the recent-query ring.
+#[derive(Clone, Debug)]
+pub struct QueryLogEntry {
+    pub id: u64,
+    pub text: String,
+    pub duration: Duration,
+    pub outcome: QueryOutcome,
+}
+
+/// Bounded ring of the last N queries (successes *and* errors).
+#[derive(Debug)]
+pub struct QueryLog {
+    entries: std::collections::VecDeque<QueryLogEntry>,
+    capacity: usize,
+    next_id: u64,
+}
+
+/// Queries retained by `sys.query_log`.
+pub const QUERY_LOG_CAPACITY: usize = 128;
+
+impl Default for QueryLog {
+    fn default() -> Self {
+        QueryLog {
+            entries: std::collections::VecDeque::new(),
+            capacity: QUERY_LOG_CAPACITY,
+            next_id: 1,
+        }
+    }
+}
+
+impl QueryLog {
+    pub fn record(&mut self, text: &str, duration: Duration, outcome: QueryOutcome) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(QueryLogEntry {
+            id: self.next_id,
+            text: text.to_owned(),
+            duration,
+            outcome,
+        });
+        self.next_id += 1;
+    }
+
+    pub fn entries(&self) -> impl Iterator<Item = &QueryLogEntry> {
+        self.entries.iter()
+    }
+}
+
+// ------------------------------------------------------- value plumbing
+
+fn int(v: usize) -> Value {
+    Value::Int64(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+fn int_u64(v: u64) -> Value {
+    Value::Int64(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+fn opt_str(v: Option<String>) -> Value {
+    match v {
+        Some(s) => Value::str(s),
+        None => Value::Null,
+    }
+}
+
+fn field(name: &str, ty: DataType, nullable: bool) -> Field {
+    Field::new(name, ty, nullable)
+}
+
+/// Deterministic dictionary ids, stable across views so
+/// `sys.column_segments.dictionary_id` joins against
+/// `sys.dictionaries.dictionary_id` without cross-table collisions
+/// (both views enumerate tables in the same catalog order, so the
+/// table ordinal is consistent): global (per-column, shared across
+/// groups) dictionaries get `-(table * 65536 + column + 1)`;
+/// group-local dictionaries get
+/// `(table << 40) + group_id * 65536 + column`.
+fn global_dict_id(table: usize, col: usize) -> i64 {
+    -((table as i64) * 65_536 + col as i64 + 1)
+}
+
+fn local_dict_id(table: usize, group: u32, col: usize) -> i64 {
+    ((table as i64) << 40) + i64::from(group) * 65_536 + col as i64
+}
+
+fn encoding_name(primary: PrimaryEncoding, payload: PayloadKind) -> &'static str {
+    match (primary, payload) {
+        (PrimaryEncoding::Dictionary, PayloadKind::Rle) => "DICT_RLE",
+        (PrimaryEncoding::Dictionary, PayloadKind::BitPacked) => "DICT_BITPACK",
+        (PrimaryEncoding::ValueBased, PayloadKind::Rle) => "VALUE_RLE",
+        (PrimaryEncoding::ValueBased, PayloadKind::BitPacked) => "VALUE_BITPACK",
+    }
+}
+
+/// Uncompressed size estimate of one segment (the denominator of the
+/// per-segment compression ratio): fixed-width types are exact; strings
+/// decode the segment and sum actual lengths (+2-byte length prefix),
+/// falling back to the encoded size if an archived segment cannot be
+/// opened.
+fn segment_raw_bytes(g: &CompressedRowGroup, col: usize) -> usize {
+    let m = g.seg_meta(col);
+    if let Some(w) = m.data_type.fixed_width() {
+        return w * m.row_count as usize;
+    }
+    match g.open_segment(col) {
+        Ok(seg) => match seg.decode() {
+            cstore_storage::SegmentValues::Str { codes, dict, nulls } => codes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !nulls.as_ref().is_some_and(|n| n.get(*i)))
+                .map(|(_, &c)| dict.str_at(c).len() + 2)
+                .sum(),
+            _ => (m.payload_bytes + m.dict_bytes) as usize,
+        },
+        Err(_) => (m.payload_bytes + m.dict_bytes) as usize,
+    }
+}
+
+/// The dictionary a segment uses, resolved to a deterministic id, or
+/// `Value::Null`: value-encoded segments have no dictionary, and archived
+/// segments do not expose one without decompressing.
+fn segment_dict_id(
+    intro: &TableIntrospection,
+    table: usize,
+    g: &CompressedRowGroup,
+    col: usize,
+) -> Value {
+    if g.seg_meta(col).primary != PrimaryEncoding::Dictionary
+        || g.level() == CompressionLevel::Archive
+    {
+        return Value::Null;
+    }
+    let Ok(seg) = g.open_segment(col) else {
+        return Value::Null;
+    };
+    match seg.dictionary() {
+        Some(d) => {
+            let is_global = intro
+                .global_dicts
+                .get(col)
+                .and_then(|o| o.as_ref())
+                .is_some_and(|gd| Arc::ptr_eq(gd, d));
+            if is_global {
+                Value::Int64(global_dict_id(table, col))
+            } else {
+                Value::Int64(local_dict_id(table, g.id().0, col))
+            }
+        }
+        None => Value::Null,
+    }
+}
+
+// ------------------------------------------------------------ the views
+
+fn columnstores(db: &Database) -> Vec<(String, ColumnStoreTable)> {
+    let mut out = Vec::new();
+    for name in db.catalog().table_names() {
+        if let Some(TableEntry::ColumnStore(t)) = db.catalog().get(&name) {
+            out.push((name, t));
+        }
+    }
+    out
+}
+
+pub(crate) fn row_groups_view(db: &Database) -> VirtualTable {
+    let schema = Schema::new(vec![
+        field("table_name", DataType::Utf8, false),
+        field("group_id", DataType::Int64, true),
+        field("state", DataType::Utf8, false),
+        field("total_rows", DataType::Int64, true),
+        field("deleted_rows", DataType::Int64, true),
+        field("bytes", DataType::Int64, true),
+        field("generation", DataType::Int64, false),
+    ]);
+    let generation = int_u64(db.open_report().generation);
+    let mut rows = Vec::new();
+    for (name, t) in columnstores(db) {
+        let intro = t.introspect();
+        let delta_row = |d: &cstore_delta::DeltaStoreIntrospection, state: &str| {
+            Row::new(vec![
+                Value::str(name.clone()),
+                Value::Int64(i64::from(d.id.0)),
+                Value::str(state),
+                int(d.rows),
+                Value::Int64(0),
+                int(d.approx_bytes),
+                generation.clone(),
+            ])
+        };
+        for d in &intro.closed {
+            rows.push(delta_row(d, "CLOSED"));
+        }
+        if let Some(d) = &intro.open {
+            rows.push(delta_row(d, "OPEN"));
+        }
+        for (g, &deleted) in intro.groups.iter().zip(&intro.deleted_rows) {
+            let state = match g.level() {
+                CompressionLevel::Columnstore => "COMPRESSED",
+                CompressionLevel::Archive => "ARCHIVED",
+            };
+            rows.push(Row::new(vec![
+                Value::str(name.clone()),
+                Value::Int64(i64::from(g.id().0)),
+                Value::str(state),
+                int(g.n_rows()),
+                int(deleted),
+                int(g.encoded_bytes()),
+                generation.clone(),
+            ]));
+        }
+    }
+    // Quarantined blobs surface with null sizes instead of vanishing.
+    for table in &db.open_report().tables {
+        for q in &table.quarantined {
+            let group_id = match q.kind {
+                QuarantinedKind::RowGroup(id) => Value::Int64(i64::from(id.0)),
+                _ => Value::Null,
+            };
+            rows.push(Row::new(vec![
+                Value::str(table.table.clone()),
+                group_id,
+                Value::str("QUARANTINED"),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                generation.clone(),
+            ]));
+        }
+    }
+    VirtualTable::new("sys.row_groups", schema, rows)
+}
+
+pub(crate) fn column_segments_view(db: &Database) -> VirtualTable {
+    let schema = Schema::new(vec![
+        field("table_name", DataType::Utf8, false),
+        field("group_id", DataType::Int64, false),
+        field("column_id", DataType::Int64, false),
+        field("column_name", DataType::Utf8, false),
+        field("encoding", DataType::Utf8, false),
+        field("row_count", DataType::Int64, false),
+        field("null_count", DataType::Int64, false),
+        field("min_value", DataType::Utf8, true),
+        field("max_value", DataType::Utf8, true),
+        field("dictionary_id", DataType::Int64, true),
+        field("encoded_bytes", DataType::Int64, false),
+        field("raw_bytes", DataType::Int64, false),
+        field("compression_ratio", DataType::Float64, false),
+    ]);
+    let mut rows = Vec::new();
+    for (t_ord, (name, t)) in columnstores(db).into_iter().enumerate() {
+        let intro = t.introspect();
+        for g in &intro.groups {
+            for col in 0..g.n_columns() {
+                let m = g.seg_meta(col);
+                let encoded = (m.payload_bytes + m.dict_bytes) as usize
+                    + m.row_count.div_ceil(64) as usize * 8 * usize::from(m.null_count > 0);
+                let raw = segment_raw_bytes(g, col);
+                let ratio = raw as f64 / encoded.max(1) as f64;
+                rows.push(Row::new(vec![
+                    Value::str(name.clone()),
+                    Value::Int64(i64::from(g.id().0)),
+                    int(col),
+                    Value::str(intro.schema.field(col).name.clone()),
+                    Value::str(encoding_name(m.primary, m.payload)),
+                    int_u64(u64::from(m.row_count)),
+                    int_u64(u64::from(m.null_count)),
+                    opt_str(m.min.as_ref().map(|v| v.to_string())),
+                    opt_str(m.max.as_ref().map(|v| v.to_string())),
+                    segment_dict_id(&intro, t_ord, g, col),
+                    int(encoded),
+                    int(raw),
+                    Value::Float64(ratio),
+                ]));
+            }
+        }
+    }
+    VirtualTable::new("sys.column_segments", schema, rows)
+}
+
+pub(crate) fn dictionaries_view(db: &Database) -> VirtualTable {
+    let schema = Schema::new(vec![
+        field("table_name", DataType::Utf8, false),
+        field("dictionary_id", DataType::Int64, false),
+        field("column_id", DataType::Int64, false),
+        field("column_name", DataType::Utf8, false),
+        field("scope", DataType::Utf8, false),
+        field("entries", DataType::Int64, false),
+        field("bytes", DataType::Int64, false),
+    ]);
+    let mut rows = Vec::new();
+    for (t_ord, (name, t)) in columnstores(db).into_iter().enumerate() {
+        let intro = t.introspect();
+        for (col, dict) in intro.global_dicts.iter().enumerate() {
+            if let Some(d) = dict {
+                rows.push(Row::new(vec![
+                    Value::str(name.clone()),
+                    Value::Int64(global_dict_id(t_ord, col)),
+                    int(col),
+                    Value::str(intro.schema.field(col).name.clone()),
+                    Value::str("GLOBAL"),
+                    int(d.len()),
+                    int(d.heap_bytes()),
+                ]));
+            }
+        }
+        for g in &intro.groups {
+            if g.level() == CompressionLevel::Archive {
+                continue; // archived groups fold dictionaries into payload
+            }
+            for col in 0..g.n_columns() {
+                let Ok(seg) = g.open_segment(col) else {
+                    continue;
+                };
+                let Some(d) = seg.dictionary() else {
+                    continue;
+                };
+                let is_global = intro
+                    .global_dicts
+                    .get(col)
+                    .and_then(|o| o.as_ref())
+                    .is_some_and(|gd| Arc::ptr_eq(gd, d));
+                if is_global {
+                    continue; // already listed once, table-wide
+                }
+                rows.push(Row::new(vec![
+                    Value::str(name.clone()),
+                    Value::Int64(local_dict_id(t_ord, g.id().0, col)),
+                    int(col),
+                    Value::str(intro.schema.field(col).name.clone()),
+                    Value::str("LOCAL"),
+                    int(d.len()),
+                    int(d.heap_bytes()),
+                ]));
+            }
+        }
+    }
+    VirtualTable::new("sys.dictionaries", schema, rows)
+}
+
+pub(crate) fn tuple_mover_view(db: &Database) -> VirtualTable {
+    let schema = Schema::new(vec![
+        field("table_name", DataType::Utf8, false),
+        field("state", DataType::Utf8, false),
+        field("passes", DataType::Int64, false),
+        field("stores_moved", DataType::Int64, false),
+        field("rows_moved", DataType::Int64, false),
+        field("transient_retries", DataType::Int64, false),
+        field("restarts", DataType::Int64, false),
+        field("consecutive_failures", DataType::Int64, false),
+        field("last_error", DataType::Utf8, true),
+    ]);
+    let mut rows = Vec::new();
+    for (table, status) in db.mover_statuses() {
+        rows.push(Row::new(vec![
+            Value::str(table),
+            Value::str(format!("{:?}", status.state).to_ascii_uppercase()),
+            int_u64(status.passes),
+            int_u64(status.stores_moved),
+            int_u64(status.rows_moved),
+            int_u64(status.transient_retries),
+            int_u64(u64::from(status.restarts)),
+            int_u64(u64::from(status.consecutive_failures)),
+            opt_str(status.last_error),
+        ]));
+    }
+    VirtualTable::new("sys.tuple_mover", schema, rows)
+}
+
+pub(crate) fn query_log_view(db: &Database) -> VirtualTable {
+    let schema = Schema::new(vec![
+        field("query_id", DataType::Int64, false),
+        field("query", DataType::Utf8, false),
+        field("status", DataType::Utf8, false),
+        field("error", DataType::Utf8, true),
+        field("duration_us", DataType::Int64, false),
+        field("rows", DataType::Int64, true),
+        field("batches", DataType::Int64, true),
+        field("plan_root", DataType::Utf8, true),
+    ]);
+    let mut rows = Vec::new();
+    db.with_query_log(|log| {
+        for e in log.entries() {
+            let duration = int_u64(u64::try_from(e.duration.as_micros()).unwrap_or(u64::MAX));
+            let row = match &e.outcome {
+                QueryOutcome::Ok {
+                    rows: n,
+                    batches,
+                    plan_root,
+                } => Row::new(vec![
+                    int_u64(e.id),
+                    Value::str(e.text.clone()),
+                    Value::str("OK"),
+                    Value::Null,
+                    duration,
+                    int(*n),
+                    int_u64(*batches),
+                    opt_str(plan_root.clone()),
+                ]),
+                QueryOutcome::Error(err) => Row::new(vec![
+                    int_u64(e.id),
+                    Value::str(e.text.clone()),
+                    Value::str("ERROR"),
+                    Value::str(err.clone()),
+                    duration,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                ]),
+            };
+            rows.push(row);
+        }
+    });
+    VirtualTable::new("sys.query_log", schema, rows)
+}
+
+impl Introspection for Database {
+    fn sys_view(&self, name: &str) -> Option<VirtualTable> {
+        match name {
+            "sys.row_groups" => Some(row_groups_view(self)),
+            "sys.column_segments" => Some(column_segments_view(self)),
+            "sys.dictionaries" => Some(dictionaries_view(self)),
+            "sys.tuple_mover" => Some(tuple_mover_view(self)),
+            "sys.query_log" => Some(query_log_view(self)),
+            _ => None,
+        }
+    }
+}

@@ -7,9 +7,11 @@
 
 pub mod catalog;
 pub mod database;
+pub mod introspect;
 pub mod persist;
 
 pub use catalog::{Catalog, TableEntry};
 pub use cstore_planner::ExecMode;
 pub use database::{Database, QueryResult};
+pub use introspect::{Introspection, QueryLog, QueryLogEntry, QueryOutcome, SysCatalog};
 pub use persist::{OpenMode, OpenReport, TableOpenReport, VerifyReport};

@@ -22,5 +22,8 @@ pub mod tuple_mover;
 pub use delete_bitmap::DeleteBitmap;
 pub use delta_store::{DeltaState, DeltaStore};
 pub use snapshot::TableSnapshot;
-pub use table::{BulkLoadReport, ColumnStoreTable, MovePassReport, TableConfig, TableStats};
+pub use table::{
+    BulkLoadReport, ColumnStoreTable, DeltaStoreIntrospection, MovePassReport, TableConfig,
+    TableIntrospection, TableStats,
+};
 pub use tuple_mover::{MoverConfig, MoverState, MoverStatus, TupleMover};

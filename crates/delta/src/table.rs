@@ -76,6 +76,32 @@ pub struct TableStats {
     pub delta_bytes: usize,
 }
 
+/// One delta store as seen by [`ColumnStoreTable::introspect`].
+#[derive(Clone, Debug)]
+pub struct DeltaStoreIntrospection {
+    pub id: RowGroupId,
+    pub rows: usize,
+    pub approx_bytes: usize,
+}
+
+/// A consistent point-in-time view of a table's physical state for the
+/// `sys.*` introspection views, captured under a single read lock.
+#[derive(Clone)]
+pub struct TableIntrospection {
+    pub schema: Schema,
+    /// The open (accepting inserts) delta store, if any.
+    pub open: Option<DeltaStoreIntrospection>,
+    /// Closed delta stores awaiting the tuple mover.
+    pub closed: Vec<DeltaStoreIntrospection>,
+    /// Compressed row groups (`Arc`-shared segment handles).
+    pub groups: Vec<cstore_storage::CompressedRowGroup>,
+    /// Deleted-row count per entry of `groups`, from the delete bitmap in
+    /// the same critical section.
+    pub deleted_rows: Vec<usize>,
+    /// Per-column global dictionaries (None where the column has none).
+    pub global_dicts: Vec<Option<std::sync::Arc<cstore_storage::encode::Dictionary>>>,
+}
+
 /// Outcome of one tuple-mover pass over the closed delta stores.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MovePassReport {
@@ -257,6 +283,7 @@ impl ColumnStoreTable {
     /// installed fault injector (if any) at `mover.pass` before touching
     /// data, so chaos tests can fail whole passes deterministically.
     pub fn tuple_move_pass(&self) -> Result<MovePassReport> {
+        let _span = cstore_common::trace::global().span("mover.pass");
         let faults = {
             let inner = self.inner.read();
             inner.faults.clone()
@@ -291,6 +318,7 @@ impl ColumnStoreTable {
         };
         let mut built = Vec::with_capacity(work.len());
         for (id, len, cols) in work {
+            let _span = cstore_common::trace::global().span("compress_rowgroup");
             let mut b =
                 RowGroupBuilder::new(self.schema.clone(), sort.clone()).with_max_rows(len.max(1));
             b.push_columns(cols)?;
@@ -565,6 +593,36 @@ impl ColumnStoreTable {
             delta_rows,
             inner.deleted.clone(),
         )
+    }
+
+    /// Point-in-time introspection snapshot for the `sys.*` views:
+    /// delta-store lifecycle (open/closed), compressed row-group handles,
+    /// per-group delete counts and the table's global dictionaries — all
+    /// captured under **one** read-lock critical section, so the delete
+    /// counts always agree with the captured groups even while the tuple
+    /// mover is installing compressions concurrently. Per-segment work
+    /// (metadata, size estimates) happens on the returned `Arc`-shared
+    /// handles after the lock is released.
+    pub fn introspect(&self) -> TableIntrospection {
+        let inner = self.inner.read();
+        let delta_info = |d: &crate::delta_store::DeltaStore| DeltaStoreIntrospection {
+            id: d.id(),
+            rows: d.len(),
+            approx_bytes: d.approx_bytes(),
+        };
+        let groups = inner.cs.groups().to_vec();
+        let deleted_rows = groups
+            .iter()
+            .map(|g| inner.deleted.deleted_in_group(g.id()))
+            .collect();
+        TableIntrospection {
+            schema: self.schema.clone(),
+            open: inner.open.as_ref().map(delta_info),
+            closed: inner.closed.iter().map(delta_info).collect(),
+            groups,
+            deleted_rows,
+            global_dicts: inner.cs.global_dicts().to_vec(),
+        }
     }
 
     /// Point-in-time statistics.

@@ -30,6 +30,7 @@ pub use bloom::BitmapFilter;
 pub use expr::{ArithOp, Expr};
 pub use ops::hash_agg::{AggExpr, AggFunc, HashAggOp};
 pub use ops::hash_join::{BatchHashJoin, JoinType};
+pub use ops::introspect::IntrospectionScan;
 pub use ops::parallel::ParallelScan;
 pub use ops::scan::{BatchSource, ColumnStoreScan, FilterSlot};
 pub use ops::stats_op::{RowStatsOp, StatsOp};

@@ -1,0 +1,134 @@
+//! Batch-mode scan over a materialized `sys.*` introspection view.
+//!
+//! The planner materializes virtual tables at bind time (a point-in-time
+//! snapshot of catalog/delta/mover state), so by the time this operator
+//! runs no storage locks are involved: it filters the snapshot rows with
+//! the pushed predicates, projects, and emits ordinary batches — which is
+//! what makes `sys.row_groups` joinable against `sys.column_segments`
+//! through the normal pipeline.
+
+use std::sync::Arc;
+
+use cstore_common::{DataType, Result, Row};
+use cstore_storage::pred::ColumnPred;
+
+use crate::batch::Batch;
+use crate::ops::BatchOperator;
+
+/// Batch scan over snapshot rows with pushdown + projection.
+pub struct IntrospectionScan {
+    rows: Arc<Vec<Row>>,
+    /// Table-column ordinals to produce, in output order.
+    projection: Vec<usize>,
+    /// Pushed-down predicates: (table column, predicate).
+    preds: Vec<(usize, ColumnPred)>,
+    batch_size: usize,
+    pos: usize,
+    output_types: Vec<DataType>,
+}
+
+impl IntrospectionScan {
+    pub fn new(
+        rows: Arc<Vec<Row>>,
+        table_types: &[DataType],
+        projection: Vec<usize>,
+        preds: Vec<(usize, ColumnPred)>,
+        batch_size: usize,
+    ) -> Self {
+        let output_types = projection.iter().map(|&c| table_types[c]).collect();
+        IntrospectionScan {
+            rows,
+            projection,
+            preds,
+            batch_size: batch_size.max(1),
+            pos: 0,
+            output_types,
+        }
+    }
+
+    fn qualifies(&self, row: &Row) -> bool {
+        self.preds
+            .iter()
+            .all(|(col, pred)| row.values().get(*col).is_some_and(|v| pred.matches(v)))
+    }
+}
+
+impl BatchOperator for IntrospectionScan {
+    fn output_types(&self) -> &[DataType] {
+        &self.output_types
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        let mut out: Vec<Row> = Vec::with_capacity(self.batch_size);
+        while self.pos < self.rows.len() && out.len() < self.batch_size {
+            let row = &self.rows[self.pos];
+            self.pos += 1;
+            if !self.qualifies(row) {
+                continue;
+            }
+            let projected: Vec<_> = self
+                .projection
+                .iter()
+                .map(|&c| row.get(c).clone())
+                .collect();
+            out.push(Row::new(projected));
+        }
+        if out.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Batch::from_rows(&self.output_types, &out)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::collect_rows;
+    use cstore_common::Value;
+    use cstore_storage::pred::CmpOp;
+
+    fn rows() -> Arc<Vec<Row>> {
+        Arc::new(
+            (0..10)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int64(i),
+                        Value::str(if i % 2 == 0 { "even" } else { "odd" }),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    const TYPES: [DataType; 2] = [DataType::Int64, DataType::Utf8];
+
+    #[test]
+    fn scans_all_rows_in_batches() {
+        let scan = IntrospectionScan::new(rows(), &TYPES, vec![0, 1], vec![], 3);
+        let out = collect_rows(Box::new(scan)).unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[3].get(1), &Value::str("odd"));
+    }
+
+    #[test]
+    fn pushes_predicates_and_projects() {
+        let preds = vec![(
+            0,
+            ColumnPred::Cmp {
+                op: CmpOp::Ge,
+                value: Value::Int64(6),
+            },
+        )];
+        let scan = IntrospectionScan::new(rows(), &TYPES, vec![1], preds, 100);
+        let out = collect_rows(Box::new(scan)).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].values().len(), 1);
+        assert_eq!(out[0].get(0), &Value::str("even"));
+    }
+
+    #[test]
+    fn empty_view_yields_no_batches() {
+        let mut scan = IntrospectionScan::new(Arc::new(Vec::new()), &TYPES, vec![0], vec![], 4);
+        assert!(scan.next().unwrap().is_none());
+    }
+}

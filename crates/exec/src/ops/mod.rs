@@ -13,6 +13,7 @@ pub mod adapters;
 pub mod filter;
 pub mod hash_agg;
 pub mod hash_join;
+pub mod introspect;
 pub mod parallel;
 pub mod project;
 pub mod scan;

@@ -2,16 +2,37 @@
 
 use std::sync::Arc;
 
-use cstore_common::Schema;
+use cstore_common::{Row, Schema};
 use cstore_delta::ColumnStoreTable;
 use cstore_rowstore::HeapTable;
 
-/// A table reference the planner can plan against: either an updatable
-/// clustered columnstore or a classic row-store heap (the baseline).
+/// A read-only table materialized at bind time (the `sys.*` introspection
+/// views): the rows are a point-in-time snapshot, so planning and
+/// execution never reach back into storage locks.
+pub struct VirtualTable {
+    pub name: String,
+    pub schema: Schema,
+    pub rows: Arc<Vec<Row>>,
+}
+
+impl VirtualTable {
+    pub fn new(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> VirtualTable {
+        VirtualTable {
+            name: name.into(),
+            schema,
+            rows: Arc::new(rows),
+        }
+    }
+}
+
+/// A table reference the planner can plan against: an updatable clustered
+/// columnstore, a classic row-store heap (the baseline), or a virtual
+/// table materialized by the introspection layer.
 #[derive(Clone)]
 pub enum TableRef {
     ColumnStore(ColumnStoreTable),
     Heap(Arc<HeapTable>),
+    Virtual(Arc<VirtualTable>),
 }
 
 impl TableRef {
@@ -19,6 +40,7 @@ impl TableRef {
         match self {
             TableRef::ColumnStore(t) => t.schema().clone(),
             TableRef::Heap(t) => t.schema().clone(),
+            TableRef::Virtual(t) => t.schema.clone(),
         }
     }
 
@@ -27,6 +49,7 @@ impl TableRef {
         match self {
             TableRef::ColumnStore(t) => t.total_rows(),
             TableRef::Heap(t) => t.n_rows(),
+            TableRef::Virtual(t) => t.rows.len(),
         }
     }
 

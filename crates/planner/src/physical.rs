@@ -10,9 +10,10 @@
 use std::sync::Arc;
 
 use cstore_common::{DataType, Error, Result};
-use cstore_exec::ops::adapters::RowToBatch;
+use cstore_exec::ops::adapters::{BatchToRow, RowToBatch};
 use cstore_exec::ops::filter::FilterOp;
 use cstore_exec::ops::hash_join::JoinType;
+use cstore_exec::ops::introspect::IntrospectionScan;
 use cstore_exec::ops::project::ProjectOp;
 use cstore_exec::ops::scan::ColumnStoreScan;
 use cstore_exec::ops::sort::{SortKey, SortOp};
@@ -83,7 +84,7 @@ struct FilterRequest {
 
 /// Operator label as EXPLAIN renders it (shared by the stats wrappers so
 /// EXPLAIN ANALYZE output and `ExecStats` labels line up).
-pub(crate) fn node_label(plan: &LogicalPlan) -> String {
+pub fn node_label(plan: &LogicalPlan) -> String {
     match plan {
         LogicalPlan::Scan { table, .. } => format!("Scan {table}"),
         LogicalPlan::Filter { .. } => "Filter".into(),
@@ -181,6 +182,25 @@ fn build_batch_inner(
                         op = Box::new(ProjectOp::new(op, exprs)?);
                     }
                     Ok(op)
+                }
+                TableRef::Virtual(v) => {
+                    // Already materialized at bind time; predicates and
+                    // projection apply inside the scan. Bitmap-filter
+                    // requests are dropped (the slot just stays empty,
+                    // the same as the heap path).
+                    let types: Vec<DataType> =
+                        v.schema.fields().iter().map(|f| f.data_type).collect();
+                    let proj: Vec<usize> = match projection {
+                        Some(p) => p.clone(),
+                        None => (0..types.len()).collect(),
+                    };
+                    Ok(Box::new(IntrospectionScan::new(
+                        v.rows.clone(),
+                        &types,
+                        proj,
+                        pushed.clone(),
+                        ctx.batch_size,
+                    )))
                 }
             }
         }
@@ -371,6 +391,24 @@ fn build_row_inner(
             let mut op: BoxedRowOp = match t {
                 TableRef::Heap(h) => Box::new(HeapScan::new(h)),
                 TableRef::ColumnStore(t) => Box::new(SnapshotRowScan::new(&t.snapshot())),
+                TableRef::Virtual(v) => {
+                    // The batch scan already handles projection + pushdown;
+                    // adapt it to row mode and return directly.
+                    let types: Vec<DataType> =
+                        v.schema.fields().iter().map(|f| f.data_type).collect();
+                    let proj: Vec<usize> = match projection {
+                        Some(p) => p.clone(),
+                        None => (0..types.len()).collect(),
+                    };
+                    let scan = IntrospectionScan::new(
+                        v.rows.clone(),
+                        &types,
+                        proj,
+                        pushed.clone(),
+                        ctx.batch_size,
+                    );
+                    return Ok(Box::new(BatchToRow::new(Box::new(scan))));
+                }
             };
             if !pushed.is_empty() {
                 op = Box::new(RowFilter::new(op, preds_to_expr(pushed)));

@@ -164,6 +164,10 @@ impl TableStatistics {
                 row_count: t.n_rows(),
                 columns: vec![ColumnStats::default(); t.schema().len()],
             },
+            TableRef::Virtual(t) => TableStatistics {
+                row_count: t.rows.len(),
+                columns: vec![ColumnStats::default(); t.schema.len()],
+            },
             TableRef::ColumnStore(t) => {
                 let n_cols = t.schema().len();
                 let mut columns = vec![ColumnStats::default(); n_cols];

@@ -283,7 +283,12 @@ impl Parser {
     }
 
     fn table_ref(&mut self) -> Result<TableRef> {
-        let name = self.ident()?;
+        let mut name = self.ident()?;
+        // Schema-qualified names (`sys.row_groups`) resolve as a single
+        // dotted catalog name.
+        if self.eat_if(|t| *t == Token::Dot) {
+            name = format!("{name}.{}", self.ident()?);
+        }
         self.eat_kw("AS");
         let alias = if matches!(self.peek(), Some(Token::Ident(s)) if !is_keyword(s)) {
             Some(self.ident()?)

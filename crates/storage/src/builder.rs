@@ -171,6 +171,7 @@ pub fn encode_column_with_policy(
     shared_dict: Option<&Arc<Dictionary>>,
     policy: EncodingPolicy,
 ) -> Result<ColumnSegment> {
+    let _span = cstore_common::trace::global().span("segment.encode");
     let n = values.len();
     // NULL bitmap.
     let mut nulls: Option<Bitmap> = None;

@@ -268,6 +268,7 @@ impl ColumnSegment {
 
     /// Decode the whole segment.
     pub fn decode(&self) -> SegmentValues {
+        let _span = cstore_common::trace::global().span("segment.decode");
         let mut codes = Vec::new();
         self.payload.decode_into(&mut codes);
         match (&self.dict, &self.venc) {

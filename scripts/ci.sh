@@ -40,4 +40,56 @@ echo "$smoke" | grep -E 'pruned=[1-9]' >/dev/null || {
     exit 1
 }
 
+# Introspection gate: drive the real shell binary over a loaded table and
+# require that the sys.* views report compressed row groups and a
+# nontrivial per-segment compression ratio. A refactor that silently
+# breaks view binding, the dotted-name parser, or the segment-stats
+# plumbing fails here even though the engine still answers data queries.
+echo "==> sys.* introspection smoke (shell)"
+introspect=$(printf '%s\n' \
+    '\demo 150000' \
+    'SELECT table_name, state, total_rows FROM sys.row_groups;' \
+    "SELECT encoding, compression_ratio FROM sys.column_segments WHERE compression_ratio > 2.0;" \
+    '\quit' | cargo run -q --release --bin cstore 2>/dev/null)
+echo "$introspect" | grep -E 'COMPRESSED' >/dev/null || {
+    echo "sys.row_groups reported no COMPRESSED groups:"
+    echo "$introspect"
+    exit 1
+}
+echo "$introspect" | grep -E '(DICT|VALUE)_(RLE|BITPACK)' >/dev/null || {
+    echo "sys.column_segments reported no segment with compression_ratio > 2:"
+    echo "$introspect"
+    exit 1
+}
+
+# Trace gate: the Chrome-trace export must contain complete events for a
+# query, a tuple-mover compression pass and a persistence save.
+echo "==> trace dump smoke"
+trace=$(cargo run -q --release --bin cstore -- trace dump 2>/dev/null)
+for needle in '"traceEvents":[' '"ph":"X"' '"name":"query"' \
+    '"name":"compress_rowgroup"' '"name":"persist.save"'; do
+    case "$trace" in
+    *"$needle"*) ;;
+    *)
+        echo "trace dump missing $needle"
+        exit 1
+        ;;
+    esac
+done
+
+# Bench-results gate: the E1 harness (offline, no external deps) must
+# produce a machine-readable BENCH_E1.json with the agreed shape.
+echo "==> bench BENCH_E1.json shape"
+bench_results=$(mktemp -d)
+(cd crates/bench && CSTORE_SCALE=small CSTORE_RESULTS_DIR="$bench_results" \
+    cargo run -q --offline --release --bin exp_e1_compression >/dev/null)
+for field in '"experiment":"E1"' '"rows":' '"wall_ms":' '"bytes":' '"compression_ratio":'; do
+    grep -F "$field" "$bench_results/BENCH_E1.json" >/dev/null || {
+        echo "BENCH_E1.json missing $field:"
+        cat "$bench_results/BENCH_E1.json" 2>/dev/null || echo "(no file)"
+        exit 1
+    }
+done
+rm -rf "$bench_results"
+
 echo "==> ci: all gates passed"

@@ -4,12 +4,13 @@
 //! cargo run --release --bin cstore            # in-memory session
 //! cargo run --release --bin cstore -- mydb/   # persistent session
 //! cargo run --release --bin cstore -- metrics [mydb/]   # metrics dump
+//! cargo run --release --bin cstore -- trace dump        # Chrome trace JSON
 //! ```
 //!
 //! Meta commands: `\tables`, `\stats <table>`, `\metrics`, `\save`,
-//! `\demo`, `\quit`. Everything else is SQL (`SELECT`/`INSERT`/`UPDATE`/
-//! `DELETE`/`CREATE TABLE`/`ANALYZE`/`EXPLAIN [ANALYZE]`), terminated by
-//! `;` or a newline.
+//! `\demo`, `\trace on|off|dump`, `\quit`. Everything else is SQL
+//! (`SELECT`/`INSERT`/`UPDATE`/`DELETE`/`CREATE TABLE`/`ANALYZE`/
+//! `EXPLAIN [ANALYZE]`), terminated by `;` or a newline.
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
@@ -21,6 +22,14 @@ use cstore::{Database, QueryResult};
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("metrics") {
         run_metrics(std::env::args().nth(2).map(PathBuf::from));
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("trace") {
+        if std::env::args().nth(2).as_deref() != Some("dump") {
+            eprintln!("usage: cstore trace dump");
+            std::process::exit(2);
+        }
+        run_trace_dump();
         return;
     }
     let dir: Option<PathBuf> = std::env::args().nth(1).map(PathBuf::from);
@@ -131,6 +140,49 @@ fn run_metrics(dir: Option<PathBuf>) {
     print!("{}", db.metrics());
 }
 
+/// `cstore trace dump`: trace a representative workload — demo load,
+/// one query (parse/bind/plan/execute), a forced tuple-mover compression
+/// pass, and one persistence save — and print the span ring as Chrome
+/// trace-event JSON (load it at `chrome://tracing` or in Perfetto).
+fn run_trace_dump() {
+    let tracer = cstore::common::trace::global();
+    tracer.enable();
+    let db = Database::new();
+    if let Err(e) = StarSchema::scale(10_000).load_into(&db) {
+        eprintln!("demo load failed: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = db.execute(
+        "SELECT c.region, SUM(s.quantity) AS qty FROM sales s \
+         JOIN customer c ON s.cust_key = c.cust_key GROUP BY c.region",
+    ) {
+        eprintln!("query failed: {e}");
+    }
+    // Push a row through the delta store and compress it so the dump
+    // contains a mover pass with a `compress_rowgroup` span.
+    if let Err(e) =
+        db.execute("INSERT INTO sales VALUES (99999999, DATE 15000, 1, 1, 1, 1, 9.99, NULL)")
+    {
+        eprintln!("insert failed: {e}");
+    }
+    if let cstore::TableEntry::ColumnStore(t) = db
+        .catalog()
+        .get("sales")
+        .expect("demo schema has a sales table")
+    {
+        t.close_open_delta();
+    }
+    if let Err(e) = db.tuple_move("sales") {
+        eprintln!("tuple move failed: {e}");
+    }
+    let mut store = cstore::storage::blob::MemBlobStore::new();
+    if let Err(e) = db.save_to_store(&mut store) {
+        eprintln!("save failed: {e}");
+    }
+    tracer.disable();
+    println!("{}", tracer.dump_chrome_json());
+}
+
 enum MetaResult {
     Continue,
     Quit,
@@ -172,8 +224,26 @@ fn run_meta(db: &Database, line: &str, dir: &Option<PathBuf>) -> MetaResult {
                 Err(e) => eprintln!("demo load failed: {e}"),
             }
         }
+        "\\trace" => {
+            let tracer = cstore::common::trace::global();
+            match parts.next() {
+                Some("on") => {
+                    tracer.enable();
+                    eprintln!(
+                        "tracing on ({} span ring)",
+                        cstore::common::trace::DEFAULT_RING_CAPACITY
+                    );
+                }
+                Some("off") => {
+                    tracer.disable();
+                    eprintln!("tracing off ({} spans buffered)", tracer.len());
+                }
+                Some("dump") => println!("{}", tracer.dump_chrome_json()),
+                _ => eprintln!("usage: \\trace on|off|dump"),
+            }
+        }
         other => eprintln!(
-            "unknown command {other}; try \\tables \\stats \\metrics \\save \\demo \\quit"
+            "unknown command {other}; try \\tables \\stats \\metrics \\save \\demo \\trace \\quit"
         ),
     }
     MetaResult::Continue

@@ -187,6 +187,61 @@ fn stale_generation_manifest_falls_back() {
     );
 }
 
+/// `sys.row_groups` surfaces quarantined blobs as `QUARANTINED` rows with
+/// null sizes (the data is gone — pretending otherwise would be lying),
+/// alongside the groups that survived.
+#[test]
+fn sys_row_groups_surfaces_quarantined_blobs() {
+    let mut store = saved_store();
+    truncate(&mut store, "g1.cs.rg0");
+    let (db, _) = Database::open_from_store(&store, OpenMode::Degraded).unwrap();
+
+    let r = db
+        .execute(
+            "SELECT table_name, group_id, state, total_rows, bytes \
+             FROM sys.row_groups WHERE state = 'QUARANTINED'",
+        )
+        .unwrap();
+    let rows = r.rows();
+    assert_eq!(rows.len(), 1, "{rows:?}");
+    assert_eq!(rows[0].get(0).to_string(), "cs");
+    assert_eq!(rows[0].get(1), &Value::Int64(0), "lost group id is known");
+    assert_eq!(
+        rows[0].get(3),
+        &Value::Null,
+        "row count of lost data is null"
+    );
+    assert_eq!(rows[0].get(4), &Value::Null, "size of lost data is null");
+
+    // The surviving group is still reported as COMPRESSED.
+    let r = db
+        .execute("SELECT COUNT(*) FROM sys.row_groups WHERE state = 'COMPRESSED'")
+        .unwrap();
+    assert_eq!(r.rows()[0].get(0), &Value::Int64(1));
+    // Its segments stay queryable too.
+    let r = db
+        .execute("SELECT COUNT(*) FROM sys.column_segments")
+        .unwrap();
+    assert_eq!(r.rows()[0].get(0), &Value::Int64(2), "1 group x 2 columns");
+}
+
+/// A quarantined table manifest (whole table lost) has no group id to
+/// report: `group_id` is null and the generation column still records
+/// which generation was opened.
+#[test]
+fn sys_row_groups_quarantined_manifest_has_null_group() {
+    let mut store = saved_store();
+    truncate(&mut store, "g1.cs.manifest");
+    let (db, _) = Database::open_from_store(&store, OpenMode::Degraded).unwrap();
+
+    let r = db
+        .execute("SELECT group_id, generation FROM sys.row_groups WHERE state = 'QUARANTINED'")
+        .unwrap();
+    assert_eq!(r.rows().len(), 1);
+    assert_eq!(r.rows()[0].get(0), &Value::Null);
+    assert_eq!(r.rows()[0].get(1), &Value::Int64(1));
+}
+
 #[test]
 fn clean_store_opens_clean_in_both_modes() {
     let store = saved_store();

@@ -1,0 +1,339 @@
+//! The `sys.*` virtual tables and the span tracer, end to end: the views
+//! run through the ordinary planner/executor (filterable, joinable),
+//! their numbers agree with table state — including deletes racing the
+//! tuple mover — and `Tracer::dump_chrome_json` emits well-formed Chrome
+//! trace events for a query, a mover pass and a persistence save.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cstore::common::{Row, Value};
+use cstore::delta::TableConfig;
+use cstore::storage::blob::MemBlobStore;
+use cstore::Database;
+
+/// A database with one columnstore: 1000 rows bulk-loaded into two
+/// compressed row groups (500 rows each), one trickle-inserted delta row,
+/// and `id < 10` deleted (10 deletes, all landing in group 0).
+fn loaded_db() -> Database {
+    let db = Database::new().with_table_config(TableConfig {
+        delta_capacity: 100,
+        bulk_load_threshold: 200,
+        max_rowgroup_rows: 500,
+        ..TableConfig::default()
+    });
+    db.execute("CREATE TABLE cs (id BIGINT NOT NULL, name VARCHAR)")
+        .unwrap();
+    let rows: Vec<Row> = (0..1000)
+        .map(|i| Row::new(vec![Value::Int64(i), Value::str(format!("n{}", i % 7))]))
+        .collect();
+    db.bulk_load("cs", &rows).unwrap();
+    db.execute("INSERT INTO cs VALUES (5000, 'delta')").unwrap();
+    db.execute("DELETE FROM cs WHERE id < 10").unwrap();
+    db
+}
+
+fn i64_at(row: &Row, idx: usize) -> i64 {
+    match row.get(idx) {
+        Value::Int64(v) => *v,
+        other => panic!("expected Int64, got {other:?}"),
+    }
+}
+
+fn str_at(row: &Row, idx: usize) -> String {
+    row.get(idx).to_string()
+}
+
+#[test]
+fn row_groups_reports_states_rows_and_deletes() {
+    let db = loaded_db();
+    let r = db
+        .execute(
+            "SELECT table_name, state, total_rows, deleted_rows \
+             FROM sys.row_groups ORDER BY state, total_rows",
+        )
+        .unwrap();
+    let rows = r.rows();
+    // Two COMPRESSED groups (500 rows each) and one OPEN delta store.
+    assert_eq!(rows.len(), 3, "{rows:?}");
+    for row in rows {
+        assert_eq!(str_at(row, 0), "cs");
+    }
+    let compressed: Vec<_> = rows
+        .iter()
+        .filter(|r| str_at(r, 1) == "COMPRESSED")
+        .collect();
+    assert_eq!(compressed.len(), 2);
+    assert!(compressed.iter().all(|r| i64_at(r, 2) == 500));
+    // All 10 deletes hit compressed rows (ids 0..10 are in group 0).
+    let deleted: i64 = compressed.iter().map(|r| i64_at(r, 3)).sum();
+    assert_eq!(deleted, 10);
+    let open: Vec<_> = rows.iter().filter(|r| str_at(r, 1) == "OPEN").collect();
+    assert_eq!(open.len(), 1);
+    assert_eq!(i64_at(open[0], 2), 1, "one trickle-inserted delta row");
+}
+
+#[test]
+fn row_groups_is_filterable_like_any_table() {
+    let db = loaded_db();
+    let r = db
+        .execute("SELECT COUNT(*) FROM sys.row_groups WHERE state = 'COMPRESSED'")
+        .unwrap();
+    assert_eq!(i64_at(&r.rows()[0], 0), 2);
+    // Aggregate over view columns.
+    let r = db
+        .execute("SELECT SUM(total_rows) FROM sys.row_groups WHERE state = 'COMPRESSED'")
+        .unwrap();
+    assert_eq!(i64_at(&r.rows()[0], 0), 1000);
+}
+
+#[test]
+fn column_segments_joins_dictionaries() {
+    let db = loaded_db();
+    // The VARCHAR column compresses behind a dictionary; the join against
+    // sys.dictionaries must resolve every non-null dictionary_id.
+    let r = db
+        .execute(
+            "SELECT s.table_name, s.column_name, s.encoding, s.compression_ratio, \
+                    d.scope, d.entries \
+             FROM sys.column_segments s \
+             JOIN sys.dictionaries d ON s.dictionary_id = d.dictionary_id",
+        )
+        .unwrap();
+    let rows = r.rows();
+    assert!(!rows.is_empty(), "dictionary-encoded segments must join");
+    for row in rows {
+        assert_eq!(str_at(row, 0), "cs");
+        assert_eq!(str_at(row, 1), "name");
+        assert!(str_at(row, 2).starts_with("DICT_"), "{row:?}");
+        // 7 distinct names over 500 rows: the dictionary is tiny.
+        assert_eq!(i64_at(row, 5), 7);
+    }
+    // Every segment row is present even without a dictionary.
+    let r = db
+        .execute("SELECT COUNT(*) FROM sys.column_segments")
+        .unwrap();
+    assert_eq!(i64_at(&r.rows()[0], 0), 4, "2 groups x 2 columns");
+}
+
+#[test]
+fn dictionary_ids_do_not_collide_across_tables() {
+    // Two tables whose VARCHAR columns sit at the same column index:
+    // without the table-ordinal salt both would get the same global
+    // dictionary id and the join would cross-match tables.
+    let db = Database::new().with_table_config(TableConfig {
+        delta_capacity: 100,
+        bulk_load_threshold: 200,
+        max_rowgroup_rows: 500,
+        ..TableConfig::default()
+    });
+    for t in ["a", "b"] {
+        db.execute(&format!(
+            "CREATE TABLE {t} (id BIGINT NOT NULL, name VARCHAR)"
+        ))
+        .unwrap();
+        let rows: Vec<Row> = (0..500)
+            .map(|i| Row::new(vec![Value::Int64(i), Value::str(format!("{t}{}", i % 4))]))
+            .collect();
+        db.bulk_load(t, &rows).unwrap();
+    }
+    let r = db
+        .execute(
+            "SELECT s.table_name, d.table_name FROM sys.column_segments s \
+             JOIN sys.dictionaries d ON s.dictionary_id = d.dictionary_id",
+        )
+        .unwrap();
+    let rows = r.rows();
+    assert!(!rows.is_empty(), "both tables' name columns join");
+    for row in rows {
+        assert_eq!(
+            str_at(row, 0),
+            str_at(row, 1),
+            "a segment must only join its own table's dictionary"
+        );
+    }
+}
+
+#[test]
+fn column_segments_reports_sane_compression() {
+    let db = loaded_db();
+    let r = db
+        .execute(
+            "SELECT encoding, row_count, encoded_bytes, raw_bytes, compression_ratio \
+             FROM sys.column_segments",
+        )
+        .unwrap();
+    for row in r.rows() {
+        assert_eq!(i64_at(row, 1), 500);
+        assert!(i64_at(row, 2) > 0, "encoded_bytes > 0: {row:?}");
+        assert!(i64_at(row, 3) > 0, "raw_bytes > 0: {row:?}");
+        let ratio = match row.get(4) {
+            Value::Float64(v) => *v,
+            other => panic!("expected Float64 ratio, got {other:?}"),
+        };
+        assert!(
+            ratio > 1.0,
+            "500 near-sequential/low-card rows compress: {row:?}"
+        );
+    }
+}
+
+#[test]
+fn tuple_mover_view_tracks_registered_movers() {
+    let db = loaded_db();
+    let mover = db
+        .start_tuple_mover("cs", std::time::Duration::from_secs(3600))
+        .unwrap();
+    mover.kick();
+    let r = db
+        .execute("SELECT table_name, state FROM sys.tuple_mover")
+        .unwrap();
+    assert_eq!(r.rows().len(), 1);
+    assert_eq!(str_at(&r.rows()[0], 0), "cs");
+    assert_eq!(str_at(&r.rows()[0], 1), "RUNNING");
+    mover.stop().unwrap();
+}
+
+#[test]
+fn query_log_records_successes_and_errors() {
+    let db = loaded_db();
+    db.execute("SELECT COUNT(*) FROM cs").unwrap();
+    assert!(db.execute("SELECT nope FROM missing_table").is_err());
+    let r = db
+        .execute("SELECT query_id, query, status, error, rows FROM sys.query_log")
+        .unwrap();
+    let rows = r.rows();
+    let ok: Vec<_> = rows
+        .iter()
+        .filter(|r| str_at(r, 1) == "SELECT COUNT(*) FROM cs")
+        .collect();
+    assert_eq!(ok.len(), 1);
+    assert_eq!(str_at(ok[0], 2), "OK");
+    assert_eq!(i64_at(ok[0], 4), 1, "COUNT(*) returns one row");
+    // The errored statement is logged, not dropped.
+    let err: Vec<_> = rows.iter().filter(|r| str_at(r, 2) == "ERROR").collect();
+    assert_eq!(err.len(), 1);
+    assert!(str_at(err[0], 3).contains("missing_table"), "{err:?}");
+}
+
+/// The satellite regression: `sys.row_groups.deleted_rows` must agree
+/// with the delete bitmap even for rows deleted *while* the tuple mover
+/// is compressing closed delta stores. The view snapshots groups and
+/// delete counts in one critical section, so a concurrent mover pass can
+/// never make it report a delete count for a group set it did not see.
+#[test]
+fn deleted_rows_agrees_with_bitmap_under_concurrent_mover() {
+    let db = Database::new().with_table_config(TableConfig {
+        delta_capacity: 50,
+        bulk_load_threshold: 100_000, // everything goes through delta
+        max_rowgroup_rows: 50,
+        ..TableConfig::default()
+    });
+    db.execute("CREATE TABLE cs (id BIGINT NOT NULL, name VARCHAR)")
+        .unwrap();
+    for i in 0..400 {
+        db.execute(&format!("INSERT INTO cs VALUES ({i}, 'n{}')", i % 5))
+            .unwrap();
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mover_db = db.clone();
+    let mover_stop = stop.clone();
+    let mover = std::thread::spawn(move || {
+        while !mover_stop.load(Ordering::Relaxed) {
+            mover_db.tuple_move("cs").unwrap();
+            std::thread::yield_now();
+        }
+    });
+
+    // Delete rows one by one while the mover races compression, checking
+    // the view's invariants after every delete.
+    let mut expected_deleted = 0i64;
+    for id in (0..400).step_by(7) {
+        let n = db
+            .execute(&format!("DELETE FROM cs WHERE id = {id}"))
+            .unwrap()
+            .affected();
+        assert_eq!(n, 1, "row {id} deleted exactly once");
+        expected_deleted += 1;
+
+        let r = db
+            .execute(
+                "SELECT state, total_rows, deleted_rows FROM sys.row_groups \
+                 WHERE table_name = 'cs'",
+            )
+            .unwrap();
+        let mut live = 0i64;
+        let mut compressed_deleted = 0i64;
+        for row in r.rows() {
+            let total = i64_at(row, 1);
+            if str_at(row, 0) == "COMPRESSED" {
+                let deleted = i64_at(row, 2);
+                assert!(
+                    deleted <= total,
+                    "deleted {deleted} exceeds group rows {total}"
+                );
+                compressed_deleted += deleted;
+                live += total - deleted;
+            } else {
+                // Delta deletes remove the row outright: no tombstones.
+                live += total;
+            }
+        }
+        // The snapshot is taken in one critical section, so compressed
+        // deletes never exceed the total deleted so far, and the live
+        // count is exact regardless of where the mover is.
+        assert!(compressed_deleted <= expected_deleted);
+        assert_eq!(live, 400 - expected_deleted, "after deleting id {id}");
+    }
+    stop.store(true, Ordering::Relaxed);
+    mover.join().unwrap();
+
+    // Once the mover settles, the view's totals match COUNT(*) exactly.
+    let r = db.execute("SELECT COUNT(*) FROM cs").unwrap();
+    assert_eq!(i64_at(&r.rows()[0], 0), 400 - expected_deleted);
+}
+
+#[test]
+fn trace_dump_emits_nested_chrome_events() {
+    let tracer = cstore::common::trace::global();
+    tracer.enable();
+    // One query (parse/bind/optimize/execute spans), one mover compression
+    // pass, one persistence save.
+    let db = loaded_db();
+    db.execute("SELECT COUNT(*) FROM cs WHERE id > 100")
+        .unwrap();
+    db.execute("INSERT INTO cs VALUES (6000, 'x')").unwrap();
+    {
+        use cstore::delta::ColumnStoreTable;
+        let _: &Database = &db; // close + move via the admin API
+        if let cstore::TableEntry::ColumnStore(t) = db.catalog().get("cs").unwrap() {
+            let t: ColumnStoreTable = t;
+            t.close_open_delta();
+        }
+    }
+    db.tuple_move("cs").unwrap();
+    let mut store = MemBlobStore::new();
+    db.save_to_store(&mut store).unwrap();
+    tracer.disable();
+
+    let json = tracer.dump_chrome_json();
+    // Well-formed Chrome trace envelope with complete events.
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(json.ends_with("]}"));
+    for name in [
+        "\"name\":\"query\"",
+        "\"name\":\"parse\"",
+        "\"name\":\"execute\"",
+        "\"name\":\"mover.pass\"",
+        "\"name\":\"compress_rowgroup\"",
+        "\"name\":\"segment.encode\"",
+        "\"name\":\"persist.save\"",
+        "\"ph\":\"X\"",
+    ] {
+        assert!(json.contains(name), "missing {name} in {json}");
+    }
+    // Nesting is recorded: the parse span sits below the query span.
+    assert!(json.contains("\"args\":{\"depth\":1}"), "{json}");
+    tracer.clear();
+}
