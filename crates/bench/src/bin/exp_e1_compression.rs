@@ -89,6 +89,7 @@ fn main() {
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         bytes: total_cstore,
         compression_ratio: total_raw as f64 / total_cstore.max(1) as f64,
+        extras: vec![],
     };
     match result.write() {
         Ok(path) => println!("wrote {}", path.display()),

@@ -10,9 +10,10 @@
 use std::time::Instant;
 
 use cstore_bench::report::{banner, Table};
-use cstore_bench::{fmt_bytes, fmt_ms, median_time, Scale};
+use cstore_bench::{fmt_bytes, fmt_ms, median_time, BenchResult, Scale};
 use cstore_common::{Row, Value};
-use cstore_delta::{ColumnStoreTable, TableConfig, TupleMover};
+use cstore_delta::{ColumnStoreTable, TableConfig, TupleMover, Wal, WalHandle, WalOptions};
+use cstore_storage::FileLogStore;
 use cstore_workload::StarSchema;
 
 fn row(i: i64) -> Row {
@@ -100,4 +101,58 @@ fn main() {
     table.row(&["after tuple mover (compressed)".into(), fmt_ms(after)]);
     table.print();
     println!("\nshape check: inserts stay in the millions/second either way (compression happens off the insert path; the background mover costs some concurrency), and scans speed up once row groups are compressed.");
+
+    // Phase 4: durability tax. The same trickle inserts with a real
+    // file-backed WAL (one commit = one fsync, single writer, so group
+    // commit cannot batch) versus without one. Fewer rows: each insert
+    // pays a physical fsync.
+    let n_wal = (n / 10).clamp(2_000, 20_000) as i64;
+    let t_off = ColumnStoreTable::new(StarSchema::sales_schema(), config.clone());
+    let start = Instant::now();
+    for i in 0..n_wal {
+        t_off.insert(row(i)).expect("insert");
+    }
+    let off_rate = n_wal as f64 / start.elapsed().as_secs_f64();
+
+    let wal_dir = std::env::temp_dir().join(format!("cstore-e5-wal-{}", std::process::id()));
+    let t_on = ColumnStoreTable::new(StarSchema::sales_schema(), config);
+    let (wal, _) = Wal::open(
+        Box::new(FileLogStore::open(&wal_dir).expect("wal dir")),
+        WalOptions::default(),
+        None,
+        &[],
+    )
+    .expect("wal open");
+    t_on.set_wal(WalHandle {
+        wal,
+        table: "sales".into(),
+    });
+    let start = Instant::now();
+    for i in 0..n_wal {
+        t_on.insert(row(i)).expect("insert");
+    }
+    let on_rate = n_wal as f64 / start.elapsed().as_secs_f64();
+    // lint: allow(discard) — best-effort scratch cleanup
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let overhead_pct = (off_rate / on_rate - 1.0) * 100.0;
+    println!(
+        "WAL tax   : {off_rate:>9.0} inserts/s without WAL, {on_rate:>9.0} with (fsync per commit): {overhead_pct:.0}% overhead"
+    );
+
+    let result = BenchResult {
+        experiment: "E5".into(),
+        rows: n,
+        wall_ms: insert_time2.as_secs_f64() * 1e3,
+        bytes: s2.compressed_bytes + s2.delta_bytes,
+        compression_ratio: 1.0,
+        extras: vec![
+            ("wal_off_inserts_per_s".into(), off_rate),
+            ("wal_on_inserts_per_s".into(), on_rate),
+            ("wal_overhead_pct".into(), overhead_pct),
+        ],
+    };
+    match result.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write machine-readable result: {e}"),
+    }
 }

@@ -81,6 +81,10 @@ pub struct BenchResult {
     pub bytes: usize,
     /// Headline compression ratio (1.0 where not meaningful).
     pub compression_ratio: f64,
+    /// Experiment-specific numeric fields appended to the JSON object
+    /// (e.g. E5's WAL-on vs WAL-off insert rates). Keys must be plain
+    /// `snake_case` identifiers.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl BenchResult {
@@ -88,14 +92,19 @@ impl BenchResult {
     /// numbers except the id, which contains no characters needing
     /// escapes beyond the alphanumerics the constructor is given.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"experiment\":\"{}\",\"rows\":{},\"wall_ms\":{:.3},\"bytes\":{},\"compression_ratio\":{:.3}}}",
+        let mut out = format!(
+            "{{\"experiment\":\"{}\",\"rows\":{},\"wall_ms\":{:.3},\"bytes\":{},\"compression_ratio\":{:.3}",
             self.experiment.replace(['"', '\\'], "_"),
             self.rows,
             self.wall_ms,
             self.bytes,
             self.compression_ratio,
-        )
+        );
+        for (key, value) in &self.extras {
+            out.push_str(&format!(",\"{}\":{value:.3}", key.replace(['"', '\\'], "_")));
+        }
+        out.push('}');
+        out
     }
 
     /// Write `results/BENCH_<experiment>.json` (directory from

@@ -1,12 +1,16 @@
 //! The `Database` facade: SQL in, results out.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cstore_common::fault::FaultInjector;
 use cstore_common::metrics::{self, LATENCY_BUCKETS_US};
 use cstore_common::sync::Mutex;
 use cstore_common::{convert, DataType, Error, Field, Result, Row, RowId, Schema, Value};
-use cstore_delta::{MoverStatus, TableConfig, TupleMover};
+use cstore_delta::{
+    MoverStatus, TableConfig, TupleMover, Wal, WalHandle, WalOptions, WalReplayReport, WalStatus,
+};
 use cstore_exec::ops::collect_rows;
 use cstore_exec::{ExecContext, Expr};
 use cstore_planner::explain::{explain, explain_analyze};
@@ -168,6 +172,12 @@ pub struct Database {
     /// Ring of the last [`crate::introspect::QUERY_LOG_CAPACITY`]
     /// statements — successes *and* errors — behind `sys.query_log`.
     query_log: Arc<Mutex<QueryLog>>,
+    /// The write-ahead log, when one is attached (durable opens attach
+    /// one automatically; in-memory databases run without). Shared with
+    /// every columnstore table via [`cstore_delta::WalHandle`].
+    wal: Arc<Mutex<Option<Arc<Wal>>>>,
+    /// `SET query_timeout_ms` session option; `0` means no timeout.
+    query_timeout_ms: Arc<AtomicU64>,
 }
 
 impl Default for Database {
@@ -186,6 +196,8 @@ impl Database {
             movers: Arc::new(Mutex::new(Vec::new())),
             open_report: Arc::new(OpenReport::default()),
             query_log: Arc::new(Mutex::new(QueryLog::default())),
+            wal: Arc::new(Mutex::new(None)),
+            query_timeout_ms: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -296,11 +308,22 @@ impl Database {
                 );
                 match organization {
                     TableOrganization::Columnstore => {
-                        self.catalog.create_columnstore(
+                        let t = self.catalog.create_columnstore(
                             &name,
                             schema,
                             self.table_config.clone(),
                         )?;
+                        // New columnstores join the WAL immediately so
+                        // trickle DML on them is durable from row one.
+                        // (Clone out of the guard first: set_wal takes the
+                        // table lock, which must not nest inside db.wal.)
+                        let wal = self.wal.lock().clone();
+                        if let Some(wal) = wal {
+                            t.set_wal(WalHandle {
+                                wal,
+                                table: name.to_ascii_lowercase(),
+                            });
+                        }
                     }
                     TableOrganization::Heap => self.catalog.create_heap(&name, schema)?,
                 }
@@ -310,6 +333,7 @@ impl Database {
                 self.analyze(&table, 16_384)?;
                 Ok(QueryResult::Created)
             }
+            Statement::Set { option, value } => self.run_set(&option, value),
             Statement::Insert { table, rows } => self.run_insert(&table, rows),
             Statement::Delete { table, selection } => self.run_delete(&table, selection),
             Statement::Update {
@@ -318,6 +342,27 @@ impl Database {
                 selection,
             } => self.run_update(&table, assignments, selection),
         }
+    }
+
+    /// `SET <option> = <value>`: session options.
+    fn run_set(&self, option: &str, value: i64) -> Result<QueryResult> {
+        match option.to_ascii_lowercase().as_str() {
+            "query_timeout_ms" => {
+                let ms = u64::try_from(value).map_err(|_| {
+                    Error::Sql(format!("query_timeout_ms must be >= 0, got {value}"))
+                })?;
+                self.query_timeout_ms.store(ms, Ordering::Relaxed);
+                Ok(QueryResult::Created)
+            }
+            other => Err(Error::Unsupported(format!("unknown SET option '{other}'"))),
+        }
+    }
+
+    /// The wall-clock deadline for a query starting now, from
+    /// `SET query_timeout_ms` (0 = none).
+    fn query_deadline(&self) -> Option<Instant> {
+        let ms = self.query_timeout_ms.load(Ordering::Relaxed);
+        (ms > 0).then(|| Instant::now() + Duration::from_millis(ms))
     }
 
     fn run_select(&self, stmt: &cstore_sql::ast::SelectStmt) -> Result<QueryResult> {
@@ -356,7 +401,7 @@ impl Database {
         // Each query gets its own metrics/operator-stats fork so the
         // result reports *this* query's counters; the fork is folded back
         // into the cumulative context metrics below.
-        let qctx = self.ctx.for_query();
+        let qctx = self.ctx.for_query().with_deadline(self.query_deadline());
         let phys = {
             let _span = cstore_common::trace::global().span("build_physical");
             build_physical(&plan, catalog, &qctx, self.mode)?
@@ -439,7 +484,7 @@ impl Database {
     ) -> Result<QueryResult> {
         let start = Instant::now();
         let plan = optimize(plan, catalog)?;
-        let qctx = self.ctx.for_query();
+        let qctx = self.ctx.for_query().with_deadline(self.query_deadline());
         let phys = build_physical(&plan, catalog, &qctx, self.mode)?;
         let rows = collect_rows(phys.root)?;
         let elapsed = start.elapsed();
@@ -545,8 +590,11 @@ impl Database {
             TableEntry::ColumnStore(t) => {
                 let victims = self.matching_rids(&t, &bound)?;
                 let mut n = 0;
-                for (rid, _) in victims {
-                    if t.delete(rid)? {
+                // Value-verified: a concurrent tuple-mover pass can
+                // renumber rows between the scan above and each delete,
+                // so a bare rid could hit the wrong row.
+                for (rid, row) in victims {
+                    if t.delete_verified(rid, &row)? {
                         n += 1;
                     }
                 }
@@ -607,7 +655,7 @@ impl Database {
                 let victims = self.matching_rids(&t, &bound_sel)?;
                 let mut n = 0;
                 for (rid, old) in victims {
-                    if t.update(rid, apply(&old)?)?.is_some() {
+                    if t.update_verified(rid, &old, apply(&old)?)?.is_some() {
                         n += 1;
                     }
                 }
@@ -713,6 +761,58 @@ impl Database {
         Ok(())
     }
 
+    // ------------------------------------------------- write-ahead log
+
+    /// Attach a write-ahead log backed by `dir/wal`: replay whatever the
+    /// log holds past each table's persisted watermark, then wire every
+    /// columnstore table (present and future) to log through it. Called
+    /// automatically by the durable open paths; call it on a fresh
+    /// database to make trickle DML durable before the first save.
+    pub fn attach_wal(&mut self, dir: impl AsRef<std::path::Path>) -> Result<WalReplayReport> {
+        let store = cstore_storage::FileLogStore::open(dir.as_ref().join("wal"))?;
+        self.attach_wal_store(Box::new(store), WalOptions::default(), None)
+    }
+
+    /// Attach a write-ahead log over any [`cstore_storage::LogStore`]
+    /// (tests use [`cstore_storage::MemLogStore`] plus a fault injector).
+    /// Replays into the current columnstore tables and merges the replay
+    /// outcome into [`Database::open_report`].
+    pub fn attach_wal_store(
+        &mut self,
+        store: Box<dyn cstore_storage::LogStore>,
+        options: WalOptions,
+        faults: Option<FaultInjector>,
+    ) -> Result<WalReplayReport> {
+        let tables: Vec<(String, cstore_delta::ColumnStoreTable)> = self
+            .catalog
+            .table_names()
+            .into_iter()
+            .filter_map(|name| match self.catalog.get(&name) {
+                Some(TableEntry::ColumnStore(t)) => Some((name, t)),
+                _ => None,
+            })
+            .collect();
+        let (wal, report) = Wal::open(store, options, faults, &tables)?;
+        for (name, t) in &tables {
+            t.set_wal(WalHandle {
+                wal: Arc::clone(&wal),
+                table: name.to_ascii_lowercase(),
+            });
+        }
+        *self.wal.lock() = Some(wal);
+        let mut open_report = (*self.open_report).clone();
+        open_report.wal = Some(report.clone());
+        self.open_report = Arc::new(open_report);
+        Ok(report)
+    }
+
+    /// Point-in-time WAL status (`None` when no WAL is attached);
+    /// `sys.wal` renders this.
+    pub fn wal_status(&self) -> Option<WalStatus> {
+        let wal = self.wal.lock().clone();
+        wal.map(|w| w.status())
+    }
+
     /// Persist the whole database (catalog + every table) into a
     /// directory. Heap tables store their rows; columnstore tables store
     /// compressed row groups, delta rows and delete bitmaps.
@@ -738,11 +838,17 @@ impl Database {
             .first()
             .map_or(1, |g| g + 1);
         let names = self.catalog.table_names();
-        // 1. Table blobs, under the new generation's prefix.
+        // 1. Table blobs, under the new generation's prefix. Each
+        //    columnstore reports the WAL watermark its blob covers; the
+        //    post-commit checkpoint retires log segments below them.
+        let mut wal_boundaries: Vec<(String, u64)> = Vec::new();
         for name in &names {
             let prefix = persist::gen_prefix(gen, name);
             match self.catalog.try_get(name)? {
-                TableEntry::ColumnStore(t) => t.persist(store, &prefix)?,
+                TableEntry::ColumnStore(t) => {
+                    let boundary = t.persist(store, &prefix)?;
+                    wal_boundaries.push((name.to_ascii_lowercase(), boundary));
+                }
                 TableEntry::Heap(h) => {
                     let mut w = Writer::new();
                     w.u32(convert::u32_from_usize(h.n_rows())?);
@@ -771,6 +877,18 @@ impl Database {
         store.put(&persist::manifest_key(gen), &w.seal())?;
         // 3. Drop superseded generations (best-effort).
         persist::collect_garbage(store, gen);
+        // 4. Checkpoint the WAL (best-effort): the save already committed,
+        //    so a failed checkpoint only delays segment retirement until
+        //    the next save — it must not turn a successful save into an
+        //    error.
+        let wal = self.wal.lock().clone();
+        if let Some(wal) = wal {
+            if wal.checkpoint(gen, wal_boundaries).is_err() {
+                metrics::global()
+                    .counter("cstore_wal_checkpoint_errors_total")
+                    .inc();
+            }
+        }
         Ok(gen)
     }
 
@@ -780,15 +898,37 @@ impl Database {
     /// torn manifests — that is the crash-atomicity protocol, not damage).
     pub fn open_from(dir: impl AsRef<std::path::Path>) -> Result<Database> {
         let store = cstore_storage::blob::FileBlobStore::open(dir.as_ref())?;
-        Ok(Self::open_from_store(&store, OpenMode::Strict)?.0)
+        let (mut db, _) = Self::open_from_store(&store, OpenMode::Strict)?;
+        let log = cstore_storage::FileLogStore::open(dir.as_ref().join("wal"))?;
+        db.attach_wal_store(
+            Box::new(log),
+            WalOptions {
+                strict: true,
+                ..WalOptions::default()
+            },
+            None,
+        )?;
+        Ok(db)
     }
 
     /// Open in degraded mode: unreadable table blobs are quarantined
     /// (their data dropped) instead of failing the open, and every drop is
-    /// listed in the returned [`OpenReport`].
+    /// listed in the returned [`OpenReport`]. Unreadable WAL segments are
+    /// likewise quarantined rather than fatal.
     pub fn open_degraded(dir: impl AsRef<std::path::Path>) -> Result<(Database, OpenReport)> {
         let store = cstore_storage::blob::FileBlobStore::open(dir.as_ref())?;
-        Self::open_from_store(&store, OpenMode::Degraded)
+        let (mut db, _) = Self::open_from_store(&store, OpenMode::Degraded)?;
+        let log = cstore_storage::FileLogStore::open(dir.as_ref().join("wal"))?;
+        db.attach_wal_store(
+            Box::new(log),
+            WalOptions {
+                strict: false,
+                ..WalOptions::default()
+            },
+            None,
+        )?;
+        let report = (*db.open_report).clone();
+        Ok((db, report))
     }
 
     /// Open from any blob store. Tries the newest catalog manifest first
@@ -817,6 +957,7 @@ impl Database {
                 generation: gen,
                 skipped_manifests: skipped,
                 tables,
+                wal: None,
             };
             // Keep the report on the database so `metrics()` can report
             // recovery quarantines; `db` is not yet shared here.

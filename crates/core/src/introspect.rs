@@ -32,12 +32,13 @@ use crate::catalog::TableEntry;
 use crate::database::Database;
 
 /// The names the binder recognizes as virtual tables.
-pub const SYS_VIEW_NAMES: [&str; 5] = [
+pub const SYS_VIEW_NAMES: [&str; 6] = [
     "sys.row_groups",
     "sys.column_segments",
     "sys.dictionaries",
     "sys.tuple_mover",
     "sys.query_log",
+    "sys.wal",
 ];
 
 /// Snapshot-materializer for the `sys.*` views: implemented by
@@ -523,6 +524,53 @@ pub(crate) fn query_log_view(db: &Database) -> VirtualTable {
     VirtualTable::new("sys.query_log", schema, rows)
 }
 
+/// One row per attached WAL (zero rows when the database runs without
+/// one): segment layout, LSN watermarks, the last checkpoint and the
+/// cumulative durability counters.
+pub(crate) fn wal_view(db: &Database) -> VirtualTable {
+    let schema = Schema::new(vec![
+        field("segment_count", DataType::Int64, false),
+        field("active_segment", DataType::Int64, false),
+        field("tail_lsn", DataType::Int64, false),
+        field("durable_lsn", DataType::Int64, false),
+        field("checkpoint_generation", DataType::Int64, true),
+        field("checkpoint_lsn", DataType::Int64, true),
+        field("records_appended", DataType::Int64, false),
+        field("bytes_appended", DataType::Int64, false),
+        field("fsyncs", DataType::Int64, false),
+        field("flushes", DataType::Int64, false),
+        field("checkpoints", DataType::Int64, false),
+        field("segments_retired", DataType::Int64, false),
+        field("records_replayed", DataType::Int64, false),
+        field("records_truncated", DataType::Int64, false),
+        field("segments_quarantined", DataType::Int64, false),
+        field("failed", DataType::Utf8, true),
+    ]);
+    let mut rows = Vec::new();
+    if let Some(s) = db.wal_status() {
+        let opt_lsn = |v: Option<u64>| v.map_or(Value::Null, int_u64);
+        rows.push(Row::new(vec![
+            int_u64(s.segment_count),
+            int_u64(s.active_segment),
+            int_u64(s.tail_lsn),
+            int_u64(s.durable_lsn),
+            opt_lsn(s.last_checkpoint.map(|(g, _)| g)),
+            opt_lsn(s.last_checkpoint.map(|(_, lsn)| lsn)),
+            int_u64(s.counters.records_appended),
+            int_u64(s.counters.bytes_appended),
+            int_u64(s.counters.fsyncs),
+            int_u64(s.counters.flushes),
+            int_u64(s.counters.checkpoints),
+            int_u64(s.counters.segments_retired),
+            int_u64(s.counters.records_replayed),
+            int_u64(s.counters.records_truncated),
+            int_u64(s.counters.segments_quarantined),
+            opt_str(s.failed),
+        ]));
+    }
+    VirtualTable::new("sys.wal", schema, rows)
+}
+
 impl Introspection for Database {
     fn sys_view(&self, name: &str) -> Option<VirtualTable> {
         match name {
@@ -531,6 +579,7 @@ impl Introspection for Database {
             "sys.dictionaries" => Some(dictionaries_view(self)),
             "sys.tuple_mover" => Some(tuple_mover_view(self)),
             "sys.query_log" => Some(query_log_view(self)),
+            "sys.wal" => Some(wal_view(self)),
             _ => None,
         }
     }

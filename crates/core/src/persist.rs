@@ -38,12 +38,20 @@ pub struct OpenReport {
     pub skipped_manifests: Vec<(u64, String)>,
     /// Tables that lost blobs, in catalog order. Clean tables are omitted.
     pub tables: Vec<TableOpenReport>,
+    /// WAL replay outcome, when a WAL was attached at open: records
+    /// applied past the save, a truncated torn tail, quarantined
+    /// segments. `None` when no WAL was attached.
+    pub wal: Option<cstore_delta::WalReplayReport>,
 }
 
 impl OpenReport {
-    /// True when nothing was skipped or quarantined.
+    /// True when nothing was skipped or quarantined (a truncated WAL
+    /// torn tail or quarantined WAL segment counts as unclean; normal
+    /// replay of committed records does not).
     pub fn is_clean(&self) -> bool {
-        self.skipped_manifests.is_empty() && self.tables.is_empty()
+        self.skipped_manifests.is_empty()
+            && self.tables.is_empty()
+            && self.wal.as_ref().is_none_or(|w| w.is_clean())
     }
 
     /// Total quarantined blobs across all tables.

@@ -18,6 +18,7 @@ pub mod delta_store;
 pub mod snapshot;
 pub mod table;
 pub mod tuple_mover;
+pub mod wal;
 
 pub use delete_bitmap::DeleteBitmap;
 pub use delta_store::{DeltaState, DeltaStore};
@@ -27,3 +28,6 @@ pub use table::{
     TableIntrospection, TableStats,
 };
 pub use tuple_mover::{MoverConfig, MoverState, MoverStatus, TupleMover};
+pub use wal::{
+    SegmentQuarantine, Wal, WalHandle, WalOptions, WalRecord, WalReplayReport, WalStatus,
+};

@@ -26,6 +26,7 @@ use cstore_storage::{BlobQuarantine, ColumnStore, QuarantinedKind, SortMode};
 use crate::delete_bitmap::DeleteBitmap;
 use crate::delta_store::DeltaStore;
 use crate::snapshot::TableSnapshot;
+use crate::wal::{ReplayDelete, Wal, WalHandle, WalRecord};
 
 /// Tuning knobs of a columnstore table.
 #[derive(Clone, Debug)]
@@ -120,6 +121,107 @@ struct Inner {
     /// Chaos hook: when set, tuple-mover passes consult the injector at
     /// the `mover.pass` point before touching any data.
     faults: Option<FaultInjector>,
+    /// WAL wiring: when set, every mutation logs a record under this
+    /// guard (buffered) and commits after the guard is released.
+    wal: Option<WalHandle>,
+    /// Watermark: every WAL record for this table with an LSN at or below
+    /// this value is reflected in the table's state. Persisted with the
+    /// delta blob so replay after a crash skips already-saved records.
+    last_lsn: u64,
+}
+
+impl Inner {
+    /// Buffer a WAL record for this table (must be called with the write
+    /// guard held so LSN order matches application order). Returns the
+    /// commit obligation to resolve *after* releasing the guard.
+    fn wal_log(&mut self, record: &WalRecord) -> Result<Option<(Arc<Wal>, u64)>> {
+        let Some(h) = &self.wal else { return Ok(None) };
+        let lsn = h.wal.log(record)?;
+        self.last_lsn = lsn;
+        Ok(Some((Arc::clone(&h.wal), lsn)))
+    }
+
+    /// Find and remove the row for a value-verified delete: the exact
+    /// `rid` when the resident row's values still equal `expected`, else
+    /// the first row equal to `expected` anywhere in the table. Row ids
+    /// are not stable — the tuple mover renumbers rows positionally when
+    /// it compresses a delta store with holes, and replay reassigns ids
+    /// wholesale — so a bare rid can alias an unrelated row. Returns the
+    /// rid actually deleted (with the row, for WAL logging), or `None`
+    /// if no matching row is live.
+    fn delete_matching(&mut self, rid: RowId, expected: &Row) -> Result<Option<(RowId, Row)>> {
+        // Exact row-id match first, values verified.
+        if let Some(d) = self.open.as_mut().filter(|d| d.id() == rid.group) {
+            if d.get(rid).is_some_and(|r| r == expected) {
+                if let Some(row) = d.delete(rid) {
+                    return Ok(Some((rid, row)));
+                }
+            }
+        }
+        if let Some(d) = self.closed.iter_mut().find(|d| d.id() == rid.group) {
+            if d.get(rid).is_some_and(|r| r == expected) {
+                if let Some(row) = d.delete(rid) {
+                    return Ok(Some((rid, row)));
+                }
+            }
+        }
+        if let Some(g) = self.cs.group_by_id(rid.group) {
+            if (rid.tuple as usize) < g.n_rows()
+                && !self.deleted.is_deleted(rid)
+                && Row::new(g.row_values(rid.tuple as usize)?) == *expected
+                && self.deleted.delete(rid)
+            {
+                return Ok(Some((rid, expected.clone())));
+            }
+        }
+        // By value: delta stores first (replayed inserts land there).
+        for d in self.closed.iter_mut().chain(self.open.as_mut()) {
+            let found = d.iter().find(|&(_, r)| r == expected).map(|(rid, _)| rid);
+            if let Some(found) = found {
+                if let Some(row) = d.delete(found) {
+                    return Ok(Some((found, row)));
+                }
+            }
+        }
+        // Then live compressed rows.
+        for g in self.cs.groups() {
+            for tuple in 0..g.n_rows() {
+                let cand = RowId::new(g.id(), convert::u32_from_usize(tuple)?);
+                if !self.deleted.is_deleted(cand)
+                    && Row::new(g.row_values(tuple)?) == *expected
+                    && self.deleted.delete(cand)
+                {
+                    return Ok(Some((cand, expected.clone())));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Trickle-insert into the open delta store, rotating a full one.
+    fn insert_row(&mut self, row: Row) -> Result<RowId> {
+        if self.open.as_ref().is_none_or(|d| d.is_full()) {
+            if let Some(mut full) = self.open.take() {
+                full.close();
+                self.closed.push(full);
+            }
+            let id = self.cs.alloc_group_id();
+            self.open = Some(DeltaStore::new(id, self.config.delta_capacity));
+        }
+        match self.open.as_mut() {
+            Some(open) => open.insert(row),
+            None => Err(Error::Execution("no open delta store after refill".into())),
+        }
+    }
+}
+
+/// Resolve a commit obligation returned by [`Inner::wal_log`]. Call with
+/// no table lock held.
+fn wal_commit(pending: Option<(Arc<Wal>, u64)>) -> Result<()> {
+    match pending {
+        Some((wal, lsn)) => wal.commit(lsn),
+        None => Ok(()),
+    }
 }
 
 /// An updatable clustered columnstore table. Cheap to clone (shared state);
@@ -147,6 +249,8 @@ impl ColumnStoreTable {
                 deleted: DeleteBitmap::new(),
                 config,
                 faults: None,
+                wal: None,
+                last_lsn: 0,
             })),
         }
     }
@@ -157,28 +261,51 @@ impl ColumnStoreTable {
         self.inner.write().faults = Some(faults);
     }
 
+    /// Wire this table to a write-ahead log: every subsequent mutation
+    /// logs a record and group-commits it before returning.
+    pub fn set_wal(&self, handle: WalHandle) {
+        self.inner.write().wal = Some(handle);
+    }
+
+    /// Detach the WAL (used when tearing a database down in tests).
+    pub fn clear_wal(&self) {
+        self.inner.write().wal = None;
+    }
+
+    /// The table's persisted-or-replayed LSN watermark.
+    pub fn wal_last_lsn(&self) -> u64 {
+        self.inner.read().last_lsn
+    }
+
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
 
     /// Trickle-insert one row. Returns its RowId (which may later change if
-    /// the tuple mover compresses the row's delta store).
+    /// the tuple mover compresses the row's delta store). With a WAL
+    /// attached the insert is durable when this returns.
     pub fn insert(&self, row: Row) -> Result<RowId> {
+        let (rid, pending) = self.insert_logged(row)?;
+        wal_commit(pending)?;
+        Ok(rid)
+    }
+
+    /// Apply + log an insert without committing: the building block for
+    /// `insert` and for bulk loads, which commit once per batch.
+    fn insert_logged(&self, row: Row) -> Result<(RowId, Option<(Arc<Wal>, u64)>)> {
         self.schema.check_row(&row)?;
         let mut inner = self.inner.write();
         let inner = &mut *inner;
-        if inner.open.as_ref().is_none_or(|d| d.is_full()) {
-            if let Some(mut full) = inner.open.take() {
-                full.close();
-                inner.closed.push(full);
-            }
-            let id = inner.cs.alloc_group_id();
-            inner.open = Some(DeltaStore::new(id, inner.config.delta_capacity));
-        }
-        match inner.open.as_mut() {
-            Some(open) => open.insert(row),
-            None => Err(Error::Execution("no open delta store after refill".into())),
-        }
+        let logged = inner.wal.as_ref().map(|h| WalRecord::Insert {
+            table: h.table.clone(),
+            row: row.clone(),
+        });
+        let rid = inner.insert_row(row)?;
+        let pending = match logged {
+            Some(record) => inner.wal_log(&record)?,
+            None => None,
+        };
+        Ok((rid, pending))
     }
 
     /// Bulk-insert rows. Batches at/above the threshold compress directly;
@@ -197,6 +324,7 @@ impl ColumnStoreTable {
                 c.sort_mode.clone(),
             )
         };
+        let mut pending = None;
         let mut remaining = rows;
         if rows.len() >= threshold {
             while remaining.len() >= threshold {
@@ -208,44 +336,126 @@ impl ColumnStoreTable {
                     b.push_row(row)?;
                 }
                 let id = inner.cs.finish_builder(b)?;
+                // Bulk-loaded rows are logged like trickle inserts (replay
+                // re-inserts them as delta rows; the mover re-seals), plus
+                // a marker that the group compressed directly.
+                if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
+                    for row in chunk {
+                        // lint: allow(discard) — superseded by the seal record's higher LSN, committed below
+                        let _ = inner.wal_log(&WalRecord::Insert {
+                            table: table.clone(),
+                            row: row.clone(),
+                        })?;
+                    }
+                    pending = inner.wal_log(&WalRecord::RowGroupSealed {
+                        table,
+                        group: id.0,
+                        rows: chunk.len() as u64,
+                    })?;
+                }
                 report.compressed_groups.push(id);
                 remaining = rest;
             }
         }
         drop(inner);
-        // Remainder trickles through the delta store.
+        // Remainder trickles through the delta store; one group commit
+        // covers the whole batch.
         for row in remaining {
-            self.insert(row.clone())?;
+            let (_, p) = self.insert_logged(row.clone())?;
+            if p.is_some() {
+                pending = p;
+            }
         }
+        wal_commit(pending)?;
         report.delta_rows = remaining.len();
         Ok(report)
     }
 
     /// Delete the row at `rid`. Returns `true` if a live row was deleted,
-    /// `false` if the row was already deleted or never existed.
+    /// `false` if the row was already deleted or never existed. With a
+    /// WAL attached a successful delete is durable when this returns;
+    /// the record carries the row's values because row ids are not
+    /// stable across crash replay.
     pub fn delete(&self, rid: RowId) -> Result<bool> {
-        let mut inner = self.inner.write();
-        // Delta stores first (open, then closed).
-        if let Some(d) = inner.open.as_mut().filter(|d| d.id() == rid.group) {
-            return Ok(d.delete(rid).is_some());
-        }
-        if let Some(d) = inner.closed.iter_mut().find(|d| d.id() == rid.group) {
-            return Ok(d.delete(rid).is_some());
-        }
-        // Compressed groups: mark the delete bitmap.
-        if let Some(g) = inner.cs.group_by_id(rid.group) {
-            if (rid.tuple as usize) < g.n_rows() {
-                return Ok(inner.deleted.delete(rid));
+        let mut pending = None;
+        let deleted = {
+            let mut inner = self.inner.write();
+            let inner = &mut *inner;
+            let victim: Option<Row> = {
+                // Delta stores first (open, then closed).
+                if let Some(d) = inner.open.as_mut().filter(|d| d.id() == rid.group) {
+                    d.delete(rid)
+                } else if let Some(d) = inner.closed.iter_mut().find(|d| d.id() == rid.group) {
+                    d.delete(rid)
+                } else if let Some(g) = inner.cs.group_by_id(rid.group) {
+                    // Compressed groups: mark the delete bitmap.
+                    if (rid.tuple as usize) < g.n_rows() {
+                        let values = g.row_values(rid.tuple as usize)?;
+                        inner.deleted.delete(rid).then(|| Row::new(values))
+                    } else {
+                        None
+                    }
+                } else {
+                    return Err(Error::Storage(format!("no row group {}", rid.group)));
+                }
+            };
+            match victim {
+                Some(row) => {
+                    if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
+                        pending = inner.wal_log(&WalRecord::Delete { table, rid, row })?;
+                    }
+                    true
+                }
+                None => false,
             }
-            return Ok(false);
-        }
-        Err(Error::Storage(format!("no row group {}", rid.group)))
+        };
+        wal_commit(pending)?;
+        Ok(deleted)
+    }
+
+    /// Delete the row at `rid`, but only if the resident row's values
+    /// still equal `expected`; on a mismatch, fall back to deleting
+    /// `expected` by value. Statement execution snapshots rids and then
+    /// deletes them one at a time, and a concurrent tuple-mover pass can
+    /// compress the delta store in between — renumbering rows
+    /// positionally, so a stale rid would delete the wrong row (or
+    /// none). Unlike [`delete`](Self::delete), an unresolvable group id
+    /// is not an error here: it just means the rid went stale, and the
+    /// by-value fallback decides. Returns `true` if a row was deleted.
+    pub fn delete_verified(&self, rid: RowId, expected: &Row) -> Result<bool> {
+        let mut pending = None;
+        let deleted = {
+            let mut inner = self.inner.write();
+            let inner = &mut *inner;
+            match inner.delete_matching(rid, expected)? {
+                Some((rid, row)) => {
+                    if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
+                        pending = inner.wal_log(&WalRecord::Delete { table, rid, row })?;
+                    }
+                    true
+                }
+                None => false,
+            }
+        };
+        wal_commit(pending)?;
+        Ok(deleted)
     }
 
     /// Update = delete + insert. Returns the new row's RowId, or `None` if
     /// `rid` was not a live row.
     pub fn update(&self, rid: RowId, row: Row) -> Result<Option<RowId>> {
         if !self.delete(rid)? {
+            return Ok(None);
+        }
+        Ok(Some(self.insert(row)?))
+    }
+
+    /// Update = verified delete + insert; the stale-rid-safe variant of
+    /// [`update`](Self::update) (see [`delete_verified`](Self::delete_verified)).
+    /// Returns the new row's RowId, or `None` if no row matching
+    /// (`rid`, `expected`) was live.
+    pub fn update_verified(&self, rid: RowId, expected: &Row, row: Row) -> Result<Option<RowId>> {
+        if !self.delete_verified(rid, expected)? {
             return Ok(None);
         }
         Ok(Some(self.insert(row)?))
@@ -325,21 +535,33 @@ impl ColumnStoreTable {
             built.push((id, len, b.finish(id, &dicts)?));
         }
         let mut moved = MovePassReport::default();
-        let mut inner = self.inner.write();
-        for (id, len, rg) in built {
-            // Install only if the store is still present and unchanged
-            // (it cannot grow — closed stores take no inserts).
-            if let Some(pos) = inner
-                .closed
-                .iter()
-                .position(|d| d.id() == id && d.len() == len)
-            {
-                inner.closed.remove(pos);
-                inner.cs.add_rowgroup(rg);
-                moved.stores += 1;
-                moved.rows += len;
+        let mut pending = None;
+        {
+            let mut inner = self.inner.write();
+            let inner = &mut *inner;
+            for (id, len, rg) in built {
+                // Install only if the store is still present and unchanged
+                // (it cannot grow — closed stores take no inserts).
+                if let Some(pos) = inner
+                    .closed
+                    .iter()
+                    .position(|d| d.id() == id && d.len() == len)
+                {
+                    inner.closed.remove(pos);
+                    inner.cs.add_rowgroup(rg);
+                    moved.stores += 1;
+                    moved.rows += len;
+                    if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
+                        pending = inner.wal_log(&WalRecord::RowGroupSealed {
+                            table,
+                            group: id.0,
+                            rows: len as u64,
+                        })?;
+                    }
+                }
             }
         }
+        wal_commit(pending)?;
         Ok(moved)
     }
 
@@ -427,14 +649,25 @@ impl ColumnStoreTable {
     }
 
     /// Persist the whole table (compressed row groups, delta rows, delete
-    /// bitmap, config) into `store` under `prefix`.
+    /// bitmap, config) into `store` under `prefix`. Returns the table's
+    /// WAL watermark as of this snapshot: every record for this table at
+    /// or below the returned LSN is contained in what was just written
+    /// (with no WAL attached this is the table's stored watermark).
     pub fn persist(
         &self,
         store: &mut dyn cstore_storage::blob::BlobStore,
         prefix: &str,
-    ) -> Result<()> {
+    ) -> Result<u64> {
         use cstore_storage::format::{write_value, Writer};
         let inner = self.inner.read();
+        // Records are logged and applied inside the same write-lock
+        // critical section, so under this read lock every LSN the WAL has
+        // handed out is already applied — the global tail is a valid
+        // per-table watermark, and a quiet table does not pin retirement.
+        let boundary = match &inner.wal {
+            Some(h) => h.wal.tail_lsn().max(inner.last_lsn),
+            None => inner.last_lsn,
+        };
         inner.cs.persist(store, prefix)?;
         // Delta rows (open + closed) flatten into one blob; on load they
         // re-insert through the normal trickle path, so delta-store
@@ -442,6 +675,7 @@ impl ColumnStoreTable {
         let mut w = Writer::new();
         w.u32(0x4454_5343); // "CSTD"
         w.u16(cstore_storage::format::FORMAT_VERSION);
+        w.u64(boundary);
         let delta_rows: Vec<&Row> = inner
             .closed
             .iter()
@@ -470,7 +704,7 @@ impl ColumnStoreTable {
             }
         }
         store.put(&format!("{prefix}.delta"), &w.seal())?;
-        Ok(())
+        Ok(boundary)
     }
 
     /// Load a table persisted by [`ColumnStoreTable::persist`]. Strict:
@@ -484,8 +718,9 @@ impl ColumnStoreTable {
         let cs = ColumnStore::load(store, prefix, schema.clone())?;
         let table = Self::from_parts(schema.clone(), cs, config);
         let blob = store.get(&format!("{prefix}.delta"))?;
-        let (rows, deletes) = Self::parse_delta_blob(&blob, &schema)?;
+        let (rows, deletes, last_lsn) = Self::parse_delta_blob(&blob, &schema)?;
         table.apply_delta(rows, deletes)?;
+        table.inner.write().last_lsn = last_lsn;
         Ok(table)
     }
 
@@ -507,7 +742,10 @@ impl ColumnStoreTable {
             .get(&key)
             .and_then(|blob| Self::parse_delta_blob(&blob, &schema))
         {
-            Ok((rows, deletes)) => table.apply_delta(rows, deletes)?,
+            Ok((rows, deletes, last_lsn)) => {
+                table.apply_delta(rows, deletes)?;
+                table.inner.write().last_lsn = last_lsn;
+            }
             Err(e) => quarantined.push(BlobQuarantine {
                 key,
                 kind: QuarantinedKind::Delta,
@@ -520,7 +758,7 @@ impl ColumnStoreTable {
     /// Parse a `.delta` blob into its rows and deleted row ids without
     /// touching any table state, so a parse failure mid-blob cannot leave a
     /// table half-loaded.
-    fn parse_delta_blob(blob: &[u8], schema: &Schema) -> Result<(Vec<Row>, Vec<RowId>)> {
+    fn parse_delta_blob(blob: &[u8], schema: &Schema) -> Result<(Vec<Row>, Vec<RowId>, u64)> {
         use cstore_storage::format::{read_value, Reader};
         let payload = Reader::check_crc(blob)?;
         let mut r = Reader::new(payload);
@@ -533,6 +771,7 @@ impl ColumnStoreTable {
                 "unsupported delta blob version {version}"
             )));
         }
+        let last_lsn = r.u64()?;
         let n_rows = convert::usize_from_u32(r.u32()?);
         let mut rows = Vec::with_capacity(n_rows);
         for _ in 0..n_rows {
@@ -558,7 +797,7 @@ impl ColumnStoreTable {
                 }
             }
         }
-        Ok((rows, deletes))
+        Ok((rows, deletes, last_lsn))
     }
 
     /// Re-insert parsed delta rows and re-mark deletes. Delete marks for
@@ -576,6 +815,42 @@ impl ColumnStoreTable {
             }
         }
         Ok(())
+    }
+
+    // -------------------------------------------------- WAL replay
+
+    /// Replay one logged insert: applied iff `lsn` is past the table's
+    /// persisted watermark. Never logs (replay runs before a WAL handle
+    /// is attached) and advances the watermark so replay is idempotent.
+    pub fn wal_apply_insert(&self, lsn: u64, row: Row) -> Result<bool> {
+        self.schema.check_row(&row)?;
+        let mut inner = self.inner.write();
+        if lsn <= inner.last_lsn {
+            return Ok(false);
+        }
+        inner.insert_row(row)?;
+        inner.last_lsn = lsn;
+        Ok(true)
+    }
+
+    /// Replay one logged delete. The logged `rid` resolves only when the
+    /// row group survived into the loaded state; otherwise (the row was
+    /// re-inserted as a delta row, or its mover-built group died with the
+    /// crash) fall back to deleting one row matching the logged values —
+    /// row identity across replay is by value, not by id.
+    pub fn wal_apply_delete(&self, lsn: u64, rid: RowId, row: &Row) -> Result<ReplayDelete> {
+        let mut inner = self.inner.write();
+        let inner = &mut *inner;
+        if lsn <= inner.last_lsn {
+            return Ok(ReplayDelete::BelowWatermark);
+        }
+        inner.last_lsn = lsn;
+        // Ids are reassigned on load and replay, so the logged rid can
+        // alias an unrelated row — resolve it value-verified.
+        match inner.delete_matching(rid, row)? {
+            Some(_) => Ok(ReplayDelete::Applied),
+            None => Ok(ReplayDelete::NotFound),
+        }
     }
 
     /// A consistent snapshot for scans.
@@ -729,6 +1004,32 @@ mod tests {
         // Data survives the move.
         let all: i64 = t.sum_i64(0).unwrap();
         assert_eq!(all, (0..250).sum::<i64>());
+    }
+
+    #[test]
+    fn verified_delete_survives_mover_renumbering() {
+        // A delta store with a hole compresses into dense positions, so
+        // tuple ids captured before the move no longer line up: a bare
+        // rid delete would hit the wrong row (or fall off the end).
+        let config = TableConfig {
+            delta_capacity: 10,
+            ..small_config()
+        };
+        let t = ColumnStoreTable::new(schema(), config);
+        let rids: Vec<RowId> = (0..10).map(|i| t.insert(row(i)).unwrap()).collect();
+        assert!(t.delete(rids[3]).unwrap());
+        t.close_open_delta();
+        assert_eq!(t.tuple_move_once().unwrap(), 1);
+        // Row 7 now sits at position 6 of the compressed group; its old
+        // rid points at row 8. The verified delete removes row 7 anyway.
+        assert!(t.delete_verified(rids[7], &row(7)).unwrap());
+        // Row 9 is the last row; its old tuple id (9) is past the end of
+        // the 9-row group, which a bare rid lookup cannot resolve at all.
+        assert!(t.delete_verified(rids[9], &row(9)).unwrap());
+        // Already-deleted rows are not found again.
+        assert!(!t.delete_verified(rids[7], &row(7)).unwrap());
+        assert_eq!(t.total_rows(), 7);
+        assert_eq!(t.sum_i64(0).unwrap(), (0..10).sum::<i64>() - 3 - 7 - 9);
     }
 
     #[test]

@@ -9,26 +9,46 @@
 //! The executor is pull-based, so the recorded wall time for an operator
 //! is *inclusive* of its children — the same convention SQL Server's
 //! actual-execution-plan operator times use.
+//!
+//! The wrappers double as the query's *deadline* checkpoints: because
+//! every physical operator is wrapped, checking the per-query deadline
+//! here bounds the time between checks by one operator `next()` call
+//! without threading timeout logic through every operator.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use cstore_common::{DataType, Result, Row};
+use cstore_common::{DataType, Error, Result, Row};
 
 use crate::batch::Batch;
 use crate::ops::{BatchOperator, BoxedBatchOp, BoxedRowOp, RowOperator};
 use crate::runtime::OpStats;
 
+fn check_deadline(deadline: Option<Instant>) -> Result<()> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(Error::Execution(
+            "query timeout exceeded (SET query_timeout_ms)".into(),
+        )),
+        _ => Ok(()),
+    }
+}
+
 /// Batch-mode wrapper: forwards `next()`, recording rows, batches and
-/// inclusive wall time into the shared [`OpStats`].
+/// inclusive wall time into the shared [`OpStats`]; aborts cleanly once
+/// the query deadline passes.
 pub struct StatsOp {
     input: BoxedBatchOp,
     stats: Arc<OpStats>,
+    deadline: Option<Instant>,
 }
 
 impl StatsOp {
-    pub fn new(input: BoxedBatchOp, stats: Arc<OpStats>) -> Self {
-        StatsOp { input, stats }
+    pub fn new(input: BoxedBatchOp, stats: Arc<OpStats>, deadline: Option<Instant>) -> Self {
+        StatsOp {
+            input,
+            stats,
+            deadline,
+        }
     }
 }
 
@@ -38,6 +58,7 @@ impl BatchOperator for StatsOp {
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {
+        check_deadline(self.deadline)?;
         let start = Instant::now();
         let out = self.input.next();
         let elapsed = start.elapsed().as_nanos() as u64;
@@ -54,11 +75,16 @@ impl BatchOperator for StatsOp {
 pub struct RowStatsOp {
     input: BoxedRowOp,
     stats: Arc<OpStats>,
+    deadline: Option<Instant>,
 }
 
 impl RowStatsOp {
-    pub fn new(input: BoxedRowOp, stats: Arc<OpStats>) -> Self {
-        RowStatsOp { input, stats }
+    pub fn new(input: BoxedRowOp, stats: Arc<OpStats>, deadline: Option<Instant>) -> Self {
+        RowStatsOp {
+            input,
+            stats,
+            deadline,
+        }
     }
 }
 
@@ -68,6 +94,7 @@ impl RowOperator for RowStatsOp {
     }
 
     fn next(&mut self) -> Result<Option<Row>> {
+        check_deadline(self.deadline)?;
         let start = Instant::now();
         let out = self.input.next();
         let elapsed = start.elapsed().as_nanos() as u64;
@@ -114,7 +141,7 @@ mod tests {
             types: vec![DataType::Int64],
             left: 2,
         });
-        let mut op = StatsOp::new(inner, Arc::clone(&op_stats));
+        let mut op = StatsOp::new(inner, Arc::clone(&op_stats), None);
         let mut total = 0;
         while let Some(b) = op.next().unwrap() {
             total += b.n_qualifying();
@@ -123,5 +150,54 @@ mod tests {
         assert_eq!(op_stats.rows(), 6);
         assert_eq!(op_stats.batches(), 2);
         assert!(op_stats.elapsed_nanos() > 0);
+    }
+
+    /// A synthetic slow source: every `next()` burns wall time, so a
+    /// short deadline must fire between batches.
+    struct SlowBatches {
+        types: Vec<DataType>,
+        left: usize,
+    }
+
+    impl BatchOperator for SlowBatches {
+        fn output_types(&self) -> &[DataType] {
+            &self.types
+        }
+        fn next(&mut self) -> Result<Option<Batch>> {
+            if self.left == 0 {
+                return Ok(None);
+            }
+            self.left -= 1;
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let rows = vec![Row::new(vec![cstore_common::Value::Int64(1)])];
+            Ok(Some(Batch::from_rows(&self.types, &rows)?))
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_clean_error() {
+        let stats = ExecStats::default();
+        let op_stats = stats.register(0, "SlowBatches");
+        let inner = Box::new(SlowBatches {
+            types: vec![DataType::Int64],
+            left: 1_000,
+        });
+        let deadline = Instant::now() + std::time::Duration::from_millis(30);
+        let mut op = StatsOp::new(inner, op_stats, Some(deadline));
+        let err = loop {
+            match op.next() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("deadline never fired"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, Error::Execution(_)), "{err}");
+        assert!(err.to_string().contains("query_timeout_ms"), "{err}");
+    }
+
+    #[test]
+    fn unset_deadline_never_fires() {
+        assert!(check_deadline(None).is_ok());
+        assert!(check_deadline(Some(Instant::now() - std::time::Duration::from_secs(1))).is_err());
     }
 }

@@ -3,6 +3,7 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use cstore_common::sync::Mutex;
 
@@ -249,6 +250,10 @@ pub struct ExecContext {
     pub metrics: Arc<Metrics>,
     /// Per-operator stats for the current query (fresh per `for_query`).
     pub stats: Arc<ExecStats>,
+    /// Wall-clock point after which the query must abort with a clean
+    /// `Error::Execution` (set per query from `SET query_timeout_ms`).
+    /// Checked at every operator boundary by the stats wrappers.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for ExecContext {
@@ -261,6 +266,7 @@ impl Default for ExecContext {
             parallelism: 1,
             metrics: Arc::new(Metrics::default()),
             stats: Arc::new(ExecStats::default()),
+            deadline: None,
         }
     }
 }
@@ -296,6 +302,12 @@ impl ExecContext {
     /// Scan with `k` worker threads per columnstore scan.
     pub fn with_parallelism(mut self, k: usize) -> Self {
         self.parallelism = k.max(1);
+        self
+    }
+
+    /// Abort execution once `deadline` passes (per-query timeout).
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
         self
     }
 }

@@ -83,7 +83,46 @@ pub fn explain_analyze(
         get("partitions_spilled"),
         get("bytes_spilled"),
     ));
+    out.push_str(&wal_footer_line());
     out
+}
+
+/// Database-wide WAL activity (cumulative, from the global registry —
+/// the per-query metrics above never include log writes, but the footer
+/// shows whether trickle DML is paying for durability and how well group
+/// commit is batching).
+fn wal_footer_line() -> String {
+    use cstore_common::metrics::MetricSnapshot;
+    let snap = cstore_common::metrics::global().snapshot();
+    let count = |name: &str| {
+        snap.iter()
+            .find_map(|m| match m {
+                MetricSnapshot::Counter { name: n, value } if n == name => Some(*value),
+                _ => None,
+            })
+            .unwrap_or(0)
+    };
+    let (batch_sum, batch_count) = snap
+        .iter()
+        .find_map(|m| match m {
+            MetricSnapshot::Histogram {
+                name, sum, count, ..
+            } if name == "cstore_wal_group_commit_batch" => Some((*sum, *count)),
+            _ => None,
+        })
+        .unwrap_or((0, 0));
+    let avg = if batch_count > 0 {
+        batch_sum as f64 / batch_count as f64
+    } else {
+        0.0
+    };
+    format!(
+        "  wal (cumulative): appends={} fsyncs={} group_commit_avg={avg:.1} replayed={} truncated={}\n",
+        count("cstore_wal_appends_total"),
+        count("cstore_wal_fsyncs_total"),
+        count("cstore_wal_replayed_records_total"),
+        count("cstore_wal_truncated_records_total"),
+    )
 }
 
 fn indent(out: &mut String, depth: usize) {

@@ -114,7 +114,7 @@ fn build_batch(
     *node += 1;
     let op = build_batch_inner(plan, catalog, ctx, filter_req, n_filters, node)?;
     let stats = ctx.stats.register(node_id, node_label(plan));
-    Ok(Box::new(StatsOp::new(op, stats)))
+    Ok(Box::new(StatsOp::new(op, stats, ctx.deadline)))
 }
 
 fn build_batch_inner(
@@ -369,7 +369,7 @@ fn build_row(
     *node += 1;
     let op = build_row_inner(plan, catalog, ctx, node)?;
     let stats = ctx.stats.register(node_id, node_label(plan));
-    Ok(Box::new(RowStatsOp::new(op, stats)))
+    Ok(Box::new(RowStatsOp::new(op, stats, ctx.deadline)))
 }
 
 fn build_row_inner(

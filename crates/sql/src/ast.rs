@@ -164,6 +164,12 @@ pub enum Statement {
     Analyze {
         table: String,
     },
+    /// `SET <option> = <integer>`: session options (e.g.
+    /// `SET query_timeout_ms = 500`; `0` clears).
+    Set {
+        option: String,
+        value: i64,
+    },
     /// `EXPLAIN [ANALYZE] <statement>`: with ANALYZE the statement is
     /// executed and the plan is annotated with per-operator actuals.
     Explain {

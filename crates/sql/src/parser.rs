@@ -163,6 +163,19 @@ impl Parser {
             let table = self.ident()?;
             return Ok(Statement::Analyze { table });
         }
+        if self.eat_kw("SET") {
+            let option = self.ident()?;
+            self.expect(Token::Eq)?;
+            let value = match self.next()? {
+                Token::Int(n) => n,
+                other => {
+                    return Err(Error::Sql(format!(
+                        "SET {option} expects an integer value, found {other:?}"
+                    )))
+                }
+            };
+            return Ok(Statement::Set { option, value });
+        }
         Err(Error::Sql(format!(
             "expected a statement, found {:?}",
             self.peek()

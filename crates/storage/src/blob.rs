@@ -6,9 +6,24 @@
 //! with two backends: in-memory (default) and file-per-blob on disk.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use cstore_common::{Error, FxHashMap, Result};
+
+/// Flush a directory's metadata so a completed create/rename/unlink in it
+/// survives power loss, not just process crash. POSIX only orders the
+/// rename itself; the directory entry lives in the parent's data and
+/// needs its own fsync. On non-Unix targets opening a directory for sync
+/// is not portable; the rename is still atomic there, just not durably
+/// ordered.
+pub fn fsync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    // lint: allow(discard) — parameter deliberately unused off-unix
+    let _ = dir;
+    Ok(())
+}
 
 /// A keyed store of immutable byte blobs.
 pub trait BlobStore: Send + Sync {
@@ -69,10 +84,17 @@ pub struct FileBlobStore {
 }
 
 impl FileBlobStore {
-    /// Open (creating if needed) a blob store at `root`.
+    /// Open (creating if needed) a blob store at `root`. A freshly
+    /// created root directory is fsynced via its parent so the store
+    /// itself survives power loss, not just the blobs inside it.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
         let root = root.into();
-        fs::create_dir_all(&root)?;
+        if !root.is_dir() {
+            fs::create_dir_all(&root)?;
+            if let Some(parent) = root.parent().filter(|p| !p.as_os_str().is_empty()) {
+                fsync_dir(parent)?;
+            }
+        }
         Ok(FileBlobStore { root })
     }
 
@@ -84,13 +106,10 @@ impl FileBlobStore {
         Ok(self.root.join(format!("{key}.blob")))
     }
 
-    /// Flush directory metadata so a completed rename survives a crash.
-    /// On non-Unix targets opening a directory for sync is not portable;
-    /// the rename is still atomic there, just not durably ordered.
+    /// Flush directory metadata so a completed rename/unlink survives a
+    /// crash (see [`fsync_dir`]).
     fn sync_root(&self) -> Result<()> {
-        #[cfg(unix)]
-        fs::File::open(&self.root)?.sync_all()?;
-        Ok(())
+        fsync_dir(&self.root)
     }
 }
 
@@ -126,7 +145,10 @@ impl BlobStore for FileBlobStore {
     fn delete(&mut self, key: &str) -> Result<()> {
         let path = self.path(key)?;
         match fs::remove_file(&path) {
-            Ok(()) => Ok(()),
+            // Garbage collection relies on a delete staying deleted: an
+            // un-fsynced unlink can resurrect a stale generation blob
+            // after power loss, so flush the directory entry too.
+            Ok(()) => self.sync_root(),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e.into()),
         }

@@ -24,6 +24,7 @@ pub mod builder;
 pub mod encode;
 pub mod faulty;
 pub mod format;
+pub mod log;
 pub mod pred;
 pub mod reorder;
 pub mod rowgroup;
@@ -33,6 +34,7 @@ pub mod table;
 
 pub use builder::{RowGroupBuilder, SortMode};
 pub use faulty::FaultyBlobStore;
+pub use log::{FileLogStore, LogStore, MemLogStore};
 pub use pred::{CmpOp, ColumnPred};
 pub use rowgroup::{CompressedRowGroup, CompressionLevel};
 pub use segment::{ColumnSegment, SegmentValues};

@@ -23,6 +23,15 @@ cargo test --workspace -q
 echo "==> chaos + degraded-open suites"
 cargo test -q --test chaos --test degraded_open
 
+# WAL gate: the crash-point matrix over every WAL append/fsync (clean
+# crash, torn write, bit flip), randomized crash schedules, group-commit
+# crash under concurrency, and quarantine of interior log damage — plus
+# the sys.wal smoke (queryable through the ordinary planner, reflects
+# checkpoint retirement after a save).
+echo "==> WAL chaos matrix + sys.wal smoke"
+cargo test -q --test chaos wal_
+cargo test -q --test introspection wal_view_tracks_appends_and_checkpoint_retirement
+
 # Observability gate: run the EXPLAIN ANALYZE smoke query (star-schema
 # join with a selective day predicate) and require that the rendered plan
 # reports actual segment elimination — a plan that silently stops
@@ -87,6 +96,23 @@ for field in '"experiment":"E1"' '"rows":' '"wall_ms":' '"bytes":' '"compression
     grep -F "$field" "$bench_results/BENCH_E1.json" >/dev/null || {
         echo "BENCH_E1.json missing $field:"
         cat "$bench_results/BENCH_E1.json" 2>/dev/null || echo "(no file)"
+        exit 1
+    }
+done
+rm -rf "$bench_results"
+
+# E5 durability-tax gate: the trickle-insert harness must record the
+# WAL-on vs WAL-off insert rates in BENCH_E5.json so the WAL's overhead
+# stays measured, not guessed.
+echo "==> bench BENCH_E5.json shape"
+bench_results=$(mktemp -d)
+(cd crates/bench && CSTORE_SCALE=small CSTORE_RESULTS_DIR="$bench_results" \
+    cargo run -q --offline --release --bin exp_e5_trickle_inserts >/dev/null)
+for field in '"experiment":"E5"' '"wal_off_inserts_per_s":' '"wal_on_inserts_per_s":' \
+    '"wal_overhead_pct":'; do
+    grep -F "$field" "$bench_results/BENCH_E5.json" >/dev/null || {
+        echo "BENCH_E5.json missing $field:"
+        cat "$bench_results/BENCH_E5.json" 2>/dev/null || echo "(no file)"
         exit 1
     }
 done

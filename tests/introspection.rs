@@ -337,3 +337,60 @@ fn trace_dump_emits_nested_chrome_events() {
     assert!(json.contains("\"args\":{\"depth\":1}"), "{json}");
     tracer.clear();
 }
+
+/// `sys.wal` runs through the ordinary planner: empty with no WAL
+/// attached, counts appends/fsyncs/segments once one is, and reflects
+/// checkpoint retirement after a crash-atomic save.
+#[test]
+fn wal_view_tracks_appends_and_checkpoint_retirement() {
+    // No WAL attached: the view is present but empty.
+    let plain = loaded_db();
+    let rows = plain.execute("SELECT COUNT(*) FROM sys.wal").unwrap();
+    assert_eq!(i64_at(&rows.rows()[0], 0), 0);
+
+    let mut db = Database::new();
+    db.execute("CREATE TABLE w (id BIGINT NOT NULL)").unwrap();
+    let mut disk = MemBlobStore::new();
+    db.save_to_store(&mut disk).unwrap(); // generation 1: catalog baseline
+    db.attach_wal_store(
+        Box::new(cstore::storage::MemLogStore::new()),
+        cstore::delta::WalOptions {
+            segment_bytes: 256,
+            strict: true,
+        },
+        None,
+    )
+    .unwrap();
+
+    for i in 0..30i64 {
+        db.execute(&format!("INSERT INTO w VALUES ({i})")).unwrap();
+    }
+    let rows = db
+        .execute(
+            "SELECT records_appended, fsyncs, segment_count, checkpoints, tail_lsn, durable_lsn \
+             FROM sys.wal",
+        )
+        .unwrap();
+    let r = &rows.rows()[0];
+    assert!(i64_at(r, 0) >= 30, "appends: {r:?}");
+    assert!(i64_at(r, 1) >= 1, "fsyncs: {r:?}");
+    assert!(i64_at(r, 2) >= 2, "tiny segments must rotate: {r:?}");
+    assert_eq!(i64_at(r, 3), 0, "no checkpoint yet: {r:?}");
+    assert_eq!(i64_at(r, 4), i64_at(r, 5), "all commits acknowledged");
+
+    // A save checkpoints the log and retires fully-covered segments.
+    db.save_to_store(&mut disk).unwrap();
+    let rows = db
+        .execute("SELECT checkpoints, segments_retired, checkpoint_generation FROM sys.wal")
+        .unwrap();
+    let r = &rows.rows()[0];
+    assert_eq!(i64_at(r, 0), 1, "{r:?}");
+    assert!(i64_at(r, 1) >= 1, "covered segments retire: {r:?}");
+    assert_eq!(i64_at(r, 2), 2, "checkpoint records the generation: {r:?}");
+
+    // Filterable like any other table.
+    let rows = db
+        .execute("SELECT COUNT(*) FROM sys.wal WHERE records_appended > 0")
+        .unwrap();
+    assert_eq!(i64_at(&rows.rows()[0], 0), 1);
+}

@@ -433,3 +433,35 @@ fn having_supports_between_in_like_over_keys() {
         .collect();
     assert_eq!(names, vec!["blue", "green", "red"]);
 }
+
+/// Satellite: `SET query_timeout_ms` bounds query wall time. An absurdly
+/// tight deadline aborts a heavy query with a clean SQL error; `SET
+/// query_timeout_ms = 0` clears the bound; bad options and values are
+/// rejected at the statement level.
+#[test]
+fn set_query_timeout_aborts_slow_queries_cleanly() {
+    let db = setup();
+    // A self-join fans out to ~10^6 probe rows — plenty of operator
+    // boundaries for the deadline check to fire at.
+    let heavy = "SELECT COUNT(*) FROM t a JOIN t b ON a.grp = b.grp";
+
+    db.execute("SET query_timeout_ms = 1").unwrap();
+    let err = db.execute(heavy).unwrap_err();
+    assert!(
+        err.to_string().contains("query timeout exceeded"),
+        "expected a clean timeout error, got: {err}"
+    );
+
+    // Zero clears the deadline; the same query now completes.
+    db.execute("SET query_timeout_ms = 0").unwrap();
+    let rows = db.execute(heavy).unwrap();
+    assert!(rows.rows()[0].get(0).as_i64().unwrap() > 0);
+
+    // A generous deadline does not fire on a fast query.
+    db.execute("SET query_timeout_ms = 60000").unwrap();
+    let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows()[0].get(0), &Value::Int64(1000));
+
+    assert!(db.execute("SET no_such_option = 1").is_err());
+    assert!(db.execute("SET query_timeout_ms = -5").is_err());
+}
