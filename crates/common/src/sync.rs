@@ -8,118 +8,560 @@
 //! guard is recovered via [`std::sync::PoisonError::into_inner`] rather
 //! than propagating an unrecoverable secondary panic through every reader.
 //!
-//! Keeping lock acquisition behind this module also gives `cstore-lint`
-//! a single surface to scan when enforcing the lock hierarchy declared in
-//! `LOCK_ORDER.md` (rule L5).
+//! # Lockdep
+//!
+//! Locks constructed with [`Mutex::new_leveled`] / [`RwLock::new_leveled`]
+//! participate in runtime lock-order validation against the hierarchy
+//! declared in `LOCK_ORDER.md`. Every leveled acquisition:
+//!
+//! * checks the thread-local stack of currently-held levels — blocking on
+//!   a level less than or equal to one already held is an inversion. Under
+//!   `cfg(test)` or the `lockdep` cargo feature the inversion panics with
+//!   both lock names; in release builds it bumps the lock's `violations`
+//!   counter instead so production keeps running;
+//! * records acquisition, contention (had to block), wait-time and
+//!   max-hold-time counters into a process-wide registry, surfaced through
+//!   [`lock_stats`] (the `sys.lock_stats` view) and
+//!   [`render_lock_stats_prometheus`] (the `/metrics` text).
+//!
+//! `try_*` acquisitions never block, so they are exempt from the order
+//! check; a failed `try_lock` leaves the held stack untouched.
+//! [`Condvar::wait`] atomically releases its mutex, so the held entry is
+//! popped for the duration of the wait and re-pushed on wake-up.
+//!
+//! Locks built with the plain constructors (`Mutex::new`) are untracked —
+//! they stay `const`-constructible and pay no lockdep overhead. Engine
+//! locks must use the leveled constructors; `cstore-lint` (L8) diffs the
+//! declared table against the fields in the lock-bearing crates.
 
+use std::cell::RefCell;
 use std::fmt;
-use std::sync::PoisonError;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError};
+use std::time::Instant;
 
-pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+// ---------------------------------------------------------------- lockdep
+
+/// Live counters of one declared (leveled) lock. Instances that share a
+/// name — e.g. every table's `table.inner` — share one entry.
+#[derive(Debug)]
+pub struct LockStats {
+    pub level: u32,
+    pub name: &'static str,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    total_wait_ns: AtomicU64,
+    max_hold_ns: AtomicU64,
+    violations: AtomicU64,
+}
+
+/// Point-in-time copy of one lock's counters, for `sys.lock_stats`.
+#[derive(Debug, Clone)]
+pub struct LockStatsSnapshot {
+    pub level: u32,
+    pub name: &'static str,
+    pub acquisitions: u64,
+    pub contended: u64,
+    pub total_wait_ns: u64,
+    pub max_hold_ns: u64,
+    pub violations: u64,
+}
+
+/// The process-wide registry of leveled locks. Guarded by a raw std mutex
+/// so lockdep bookkeeping can never recurse through the leveled path.
+fn registry() -> &'static std::sync::Mutex<Vec<Arc<LockStats>>> {
+    static REGISTRY: OnceLock<std::sync::Mutex<Vec<Arc<LockStats>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+/// Register (or look up) the shared stats entry for `name`.
+fn register(level: u32, name: &'static str) -> Arc<LockStats> {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(existing) = reg.iter().find(|s| s.name == name) {
+        return Arc::clone(existing);
+    }
+    let stats = Arc::new(LockStats {
+        level,
+        name,
+        acquisitions: AtomicU64::new(0),
+        contended: AtomicU64::new(0),
+        total_wait_ns: AtomicU64::new(0),
+        max_hold_ns: AtomicU64::new(0),
+        violations: AtomicU64::new(0),
+    });
+    reg.push(Arc::clone(&stats));
+    stats
+}
+
+/// Snapshot every registered lock's counters, sorted by level then name.
+pub fn lock_stats() -> Vec<LockStatsSnapshot> {
+    let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut out: Vec<LockStatsSnapshot> = reg
+        .iter()
+        .map(|s| LockStatsSnapshot {
+            level: s.level,
+            name: s.name,
+            acquisitions: s.acquisitions.load(Ordering::Relaxed),
+            contended: s.contended.load(Ordering::Relaxed),
+            total_wait_ns: s.total_wait_ns.load(Ordering::Relaxed),
+            max_hold_ns: s.max_hold_ns.load(Ordering::Relaxed),
+            violations: s.violations.load(Ordering::Relaxed),
+        })
+        .collect();
+    out.sort_by(|a, b| (a.level, a.name).cmp(&(b.level, b.name)));
+    out
+}
+
+/// Render the lock registry as Prometheus exposition text (appended to
+/// `Database::metrics()` output).
+pub fn render_lock_stats_prometheus() -> String {
+    let stats = lock_stats();
+    if stats.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let series: [(&str, &str, fn(&LockStatsSnapshot) -> u64); 5] = [
+        ("cstore_lock_acquisitions_total", "counter", |s| {
+            s.acquisitions
+        }),
+        ("cstore_lock_contended_total", "counter", |s| s.contended),
+        ("cstore_lock_wait_ns_total", "counter", |s| s.total_wait_ns),
+        ("cstore_lock_max_hold_ns", "gauge", |s| s.max_hold_ns),
+        ("cstore_lock_violations_total", "counter", |s| s.violations),
+    ];
+    for (metric, kind, value) in series {
+        out.push_str(&format!("# TYPE {metric} {kind}\n"));
+        for s in &stats {
+            out.push_str(&format!(
+                "{metric}{{lock=\"{}\",level=\"{}\"}} {}\n",
+                s.name,
+                s.level,
+                value(s)
+            ));
+        }
+    }
+    out
+}
+
+/// One entry of the thread-local held-lock stack.
+struct HeldEntry {
+    level: u32,
+    name: &'static str,
+    /// Unique acquisition token: guards can drop out of stack order, so
+    /// release removes by token, not by popping the top.
+    seq: u64,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<HeldEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+fn next_seq() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Order check for a *blocking* acquisition: a level at or below the most
+/// recently acquired held level is an inversion. (`try_*` cannot
+/// deadlock and skips this.)
+fn check_order(stats: &LockStats) {
+    HELD.with(|held| {
+        if let Some(top) = held.borrow().last() {
+            if stats.level <= top.level {
+                stats.violations.fetch_add(1, Ordering::Relaxed);
+                report_violation(stats.name, stats.level, top.name, top.level);
+            }
+        }
+    });
+}
+
+#[cfg(any(test, feature = "lockdep"))]
+fn report_violation(acq_name: &str, acq_level: u32, held_name: &str, held_level: u32) {
+    // lint: allow(panic) — lockdep's whole point: inversions must abort
+    // loudly in test/lockdep builds; release builds only count them.
+    panic!(
+        "lock-order violation: acquiring `{acq_name}` (level {acq_level}) \
+         while holding `{held_name}` (level {held_level}) — see LOCK_ORDER.md"
+    );
+}
+
+#[cfg(not(any(test, feature = "lockdep")))]
+fn report_violation(_acq_name: &str, _acq_level: u32, _held_name: &str, _held_level: u32) {}
+
+fn push_held(stats: &LockStats) -> u64 {
+    let seq = next_seq();
+    HELD.with(|held| {
+        held.borrow_mut().push(HeldEntry {
+            level: stats.level,
+            name: stats.name,
+            seq,
+        });
+    });
+    seq
+}
+
+fn pop_held(seq: u64) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|e| e.seq == seq) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Number of leveled guards the current thread holds (test hook).
+pub fn held_count() -> usize {
+    HELD.with(|held| held.borrow().len())
+}
+
+/// Lockdep bookkeeping carried by a guard of a leveled lock.
+struct Dep {
+    stats: Arc<LockStats>,
+    seq: u64,
+    acquired: Instant,
+}
+
+impl Dep {
+    /// Record a completed blocking-or-try acquisition.
+    fn acquired(stats: &Arc<LockStats>) -> Dep {
+        stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        Dep {
+            stats: Arc::clone(stats),
+            seq: push_held(stats),
+            acquired: Instant::now(),
+        }
+    }
+
+    /// Re-push after a condvar wait: no order check, no acquisition count.
+    fn reacquired(stats: &Arc<LockStats>) -> Dep {
+        Dep {
+            stats: Arc::clone(stats),
+            seq: push_held(stats),
+            acquired: Instant::now(),
+        }
+    }
+
+    fn release(self) {
+        let ns = u64::try_from(self.acquired.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stats.max_hold_ns.fetch_max(ns, Ordering::Relaxed);
+        pop_held(self.seq);
+    }
+}
+
+/// Run the blocking acquisition `block` with contention/wait accounting:
+/// a cheap `try_` probe first (provided by `probe`), falling back to the
+/// timed blocking path when the lock is contended.
+fn acquire_timed<G>(
+    stats: &LockStats,
+    probe: impl FnOnce() -> Option<G>,
+    block: impl FnOnce() -> G,
+) -> G {
+    if let Some(g) = probe() {
+        return g;
+    }
+    stats.contended.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
+    let g = block();
+    let waited = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    stats.total_wait_ns.fetch_add(waited, Ordering::Relaxed);
+    g
+}
+
+// ------------------------------------------------------------------ Mutex
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.
 #[derive(Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    stats: Option<Arc<LockStats>>,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard of a [`Mutex`]; releases lockdep state on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    dep: Option<Dep>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
 
 impl<T> Mutex<T> {
-    /// Create a new mutex holding `value`.
+    /// Create a new untracked mutex holding `value`.
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            stats: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Create a mutex registered with the lockdep under `name` at `level`
+    /// of the LOCK_ORDER.md hierarchy.
+    pub fn new_leveled(level: u32, name: &'static str, value: T) -> Self {
+        Mutex {
+            stats: Some(register(level, name)),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex and return the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking the current thread.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        let dep = self.stats.as_ref().map(|stats| {
+            check_order(stats);
+            Dep::acquired(stats)
+        });
+        let inner = match &self.stats {
+            None => self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            Some(stats) => acquire_timed(
+                stats,
+                || match self.inner.try_lock() {
+                    Ok(g) => Some(g),
+                    Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                    Err(std::sync::TryLockError::WouldBlock) => None,
+                },
+                || self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            ),
+        };
+        MutexGuard {
+            dep,
+            inner: Some(inner),
+        }
     }
 
-    /// Try to acquire the lock without blocking.
+    /// Try to acquire the lock without blocking. A failed attempt leaves
+    /// the lockdep held-stack untouched.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            dep: self.stats.as_ref().map(Dep::acquired),
+            inner: Some(inner),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            // lint: allow(panic) — unreachable: `inner` is only None
+            // transiently inside Condvar::wait, which owns the guard.
+            None => unreachable!("MutexGuard used after being dismantled"),
+        }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            // lint: allow(panic) — unreachable, as above.
+            None => unreachable!("MutexGuard used after being dismantled"),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(dep) = self.dep.take() {
+            dep.release();
+        }
+    }
+}
+
+// ----------------------------------------------------------------- RwLock
+
 /// A reader-writer lock whose `read()` / `write()` return guards directly.
 #[derive(Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    stats: Option<Arc<LockStats>>,
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared guard of a [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    dep: Option<Dep>,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive guard of a [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    dep: Option<Dep>,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
 
 impl<T> RwLock<T> {
-    /// Create a new lock holding `value`.
+    /// Create a new untracked lock holding `value`.
     pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            stats: None,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Create a lock registered with the lockdep under `name` at `level`
+    /// of the LOCK_ORDER.md hierarchy.
+    pub fn new_leveled(level: u32, name: &'static str, value: T) -> Self {
+        RwLock {
+            stats: Some(register(level, name)),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock and return the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read guard.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        let dep = self.stats.as_ref().map(|stats| {
+            check_order(stats);
+            Dep::acquired(stats)
+        });
+        let inner = match &self.stats {
+            None => self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            Some(stats) => acquire_timed(
+                stats,
+                || match self.inner.try_read() {
+                    Ok(g) => Some(g),
+                    Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                    Err(std::sync::TryLockError::WouldBlock) => None,
+                },
+                || self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            ),
+        };
+        RwLockReadGuard { dep, inner }
     }
 
     /// Acquire an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        let dep = self.stats.as_ref().map(|stats| {
+            check_order(stats);
+            Dep::acquired(stats)
+        });
+        let inner = match &self.stats {
+            None => self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            Some(stats) => acquire_timed(
+                stats,
+                || match self.inner.try_write() {
+                    Ok(g) => Some(g),
+                    Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                    Err(std::sync::TryLockError::WouldBlock) => None,
+                },
+                || self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            ),
+        };
+        RwLockWriteGuard { dep, inner }
     }
 
     /// Try to acquire a read guard without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockReadGuard {
+            dep: self.stats.as_ref().map(Dep::acquired),
+            inner,
+        })
     }
 
     /// Try to acquire a write guard without blocking.
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockWriteGuard {
+            dep: self.stats.as_ref().map(Dep::acquired),
+            inner,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(dep) = self.dep.take() {
+            dep.release();
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(dep) = self.dep.take() {
+            dep.release();
+        }
+    }
+}
+
+// ---------------------------------------------------------------- Condvar
+
 /// A condition variable paired with [`Mutex`]: `wait` consumes and
-/// returns the wrapper's [`MutexGuard`] (which *is* the std guard), with
-/// the same poison-transparent recovery as the locks above.
+/// returns the wrapper's [`MutexGuard`], with the same poison-transparent
+/// recovery as the locks above. While parked the mutex is released, so
+/// the lockdep held-entry is popped for the duration of the wait and
+/// re-pushed on wake-up (without a fresh order check — the levels below
+/// it on this thread's stack cannot have changed while it was blocked).
 #[derive(Default)]
 pub struct Condvar(std::sync::Condvar);
 
@@ -131,7 +573,12 @@ impl Condvar {
 
     /// Block until notified, releasing `guard` while parked.
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+        let (std_guard, stats) = dismantle(guard);
+        let woke = self
+            .0
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        reassemble(woke, stats)
     }
 
     /// Block until notified or `timeout` elapses.
@@ -140,10 +587,13 @@ impl Condvar {
         guard: MutexGuard<'a, T>,
         timeout: std::time::Duration,
     ) -> MutexGuard<'a, T> {
-        self.0
-            .wait_timeout(guard, timeout)
+        let (std_guard, stats) = dismantle(guard);
+        let woke = self
+            .0
+            .wait_timeout(std_guard, timeout)
             .map(|(g, _)| g)
-            .unwrap_or_else(|p| p.into_inner().0)
+            .unwrap_or_else(|p| p.into_inner().0);
+        reassemble(woke, stats)
     }
 
     /// Wake one waiting thread.
@@ -160,6 +610,38 @@ impl Condvar {
 impl fmt::Debug for Condvar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.0.fmt(f)
+    }
+}
+
+/// Take a wrapper guard apart for a condvar wait: the held entry is
+/// popped (hold time recorded) because the mutex is about to be released.
+fn dismantle<'a, T: ?Sized>(
+    mut guard: MutexGuard<'a, T>,
+) -> (std::sync::MutexGuard<'a, T>, Option<Arc<LockStats>>) {
+    let stats = guard.dep.take().map(|dep| {
+        let stats = Arc::clone(&dep.stats);
+        dep.release();
+        stats
+    });
+    let inner = guard.inner.take();
+    match inner {
+        Some(g) => (g, stats),
+        // lint: allow(panic) — unreachable: every constructed guard holds
+        // its std guard until dismantled exactly once, right here.
+        None => unreachable!("MutexGuard dismantled twice"),
+    }
+}
+
+/// Rebuild the wrapper guard after a condvar wait re-acquired the mutex.
+/// The held entry is re-pushed without an order check or acquisition
+/// count — logically this is the same acquisition resuming.
+fn reassemble<'a, T: ?Sized>(
+    inner: std::sync::MutexGuard<'a, T>,
+    stats: Option<Arc<LockStats>>,
+) -> MutexGuard<'a, T> {
+    MutexGuard {
+        dep: stats.map(|s| Dep::reacquired(&s)),
+        inner: Some(inner),
     }
 }
 
@@ -204,5 +686,216 @@ mod tests {
         .join();
         // A poisoned mutex still hands out its guard.
         assert_eq!(*m.lock(), 7);
+    }
+
+    /// Run `f` on its own thread (each thread gets a clean held stack)
+    /// and return its panic message, if it panicked.
+    fn panic_message(f: impl FnOnce() + Send + 'static) -> Option<String> {
+        let err = std::thread::spawn(f).join().err()?;
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()));
+        Some(msg.unwrap_or_else(|| "<non-string panic>".into()))
+    }
+
+    #[test]
+    fn increasing_leveled_acquisition_is_clean() {
+        let ok = std::thread::spawn(|| {
+            let low = Mutex::new_leveled(101, "t.ok.low", 0);
+            let high = Mutex::new_leveled(102, "t.ok.high", 0);
+            let _a = low.lock();
+            let _b = high.lock();
+            held_count()
+        })
+        .join()
+        .expect("increasing order must not panic");
+        assert_eq!(ok, 2);
+    }
+
+    #[test]
+    fn inversion_panics_with_both_lock_names() {
+        let msg = panic_message(|| {
+            let low = Mutex::new_leveled(111, "t.inv.low", 0);
+            let high = Mutex::new_leveled(112, "t.inv.high", 0);
+            let _b = high.lock();
+            let _a = low.lock(); // 111 <= 112: inversion
+        })
+        .expect("inversion must panic under cfg(test)");
+        assert!(msg.contains("t.inv.low"), "{msg}");
+        assert!(msg.contains("t.inv.high"), "{msg}");
+        assert!(msg.contains("level 111"), "{msg}");
+        assert!(msg.contains("level 112"), "{msg}");
+        // The violation was counted before the panic.
+        let snap = lock_stats();
+        let s = snap.iter().find(|s| s.name == "t.inv.low").unwrap();
+        assert_eq!(s.violations, 1);
+    }
+
+    #[test]
+    fn rwlock_inversion_panics_too() {
+        let msg = panic_message(|| {
+            let low = RwLock::new_leveled(121, "t.rwinv.low", 0);
+            let high = Mutex::new_leveled(122, "t.rwinv.high", 0);
+            let _b = high.lock();
+            let _a = low.read();
+        })
+        .expect("read-side inversion must panic");
+        assert!(msg.contains("t.rwinv.low"), "{msg}");
+    }
+
+    #[test]
+    fn same_level_reacquisition_is_reported() {
+        let msg = panic_message(|| {
+            let a = Mutex::new_leveled(131, "t.same.a", 0);
+            let b = Mutex::new_leveled(131, "t.same.b", 0);
+            let _a = a.lock();
+            let _b = b.lock(); // equal level: self-deadlock class
+        })
+        .expect("same-level re-entry must be reported");
+        assert!(msg.contains("t.same.a"), "{msg}");
+        assert!(msg.contains("t.same.b"), "{msg}");
+    }
+
+    #[test]
+    fn drop_order_release_keeps_stack_consistent() {
+        std::thread::spawn(|| {
+            let a = Mutex::new_leveled(141, "t.ooo.a", 0);
+            let b = Mutex::new_leveled(142, "t.ooo.b", 0);
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(ga); // out-of-stack-order release
+            assert_eq!(held_count(), 1);
+            drop(gb);
+            assert_eq!(held_count(), 0);
+            // With the stack empty, level 141 is acquirable again.
+            let _ = a.lock();
+        })
+        .join()
+        .expect("out-of-order guard drops must not corrupt the stack");
+    }
+
+    #[test]
+    fn failed_try_lock_leaves_held_stack_clean() {
+        let m = Arc::new(Mutex::new_leveled(151, "t.try.m", 0));
+        let m2 = Arc::clone(&m);
+        let (locked_tx, locked_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let holder = std::thread::spawn(move || {
+            let _g = m2.lock();
+            locked_tx.send(()).unwrap();
+            done_rx.recv().unwrap();
+        });
+        locked_rx.recv().unwrap();
+        std::thread::spawn(move || {
+            assert!(m.try_lock().is_none(), "lock is held elsewhere");
+            assert_eq!(held_count(), 0, "failed try_lock must not push");
+            // Stack is clean: a *lower* level than the failed attempt's
+            // acquires without tripping the order check.
+            let low = Mutex::new_leveled(150, "t.try.low", 0);
+            let _g = low.lock();
+        })
+        .join()
+        .expect("failed try_lock must leave the held stack clean");
+        done_tx.send(()).unwrap();
+        holder.join().unwrap();
+    }
+
+    #[test]
+    fn successful_try_lock_pushes_and_pops() {
+        std::thread::spawn(|| {
+            let m = Mutex::new_leveled(161, "t.tryok.m", 0);
+            let g = m.try_lock().unwrap();
+            assert_eq!(held_count(), 1);
+            drop(g);
+            assert_eq!(held_count(), 0);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_pops_and_repushes_held_entry() {
+        let m = Arc::new(Mutex::new_leveled(171, "t.cv.m", false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let waiter = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while !*g {
+                g = cv2.wait(g);
+            }
+            // Re-pushed after the wait: still counted as held.
+            assert_eq!(held_count(), 1);
+            drop(g);
+            assert_eq!(held_count(), 0);
+        });
+        // Let the waiter park, then flip the flag.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        *m.lock() = true;
+        cv.notify_all();
+        waiter
+            .join()
+            .expect("condvar waiter must see clean lockdep");
+    }
+
+    #[test]
+    fn stats_record_acquisitions_and_contention() {
+        let m = Arc::new(Mutex::new_leveled(181, "t.stats.m", 0u64));
+        {
+            let _g = m.lock();
+        }
+        let m2 = Arc::clone(&m);
+        let g = m.lock();
+        let blocked = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            *g += 1;
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(g);
+        blocked.join().unwrap();
+        let snap = lock_stats();
+        let s = snap.iter().find(|s| s.name == "t.stats.m").unwrap();
+        assert!(s.acquisitions >= 3, "{s:?}");
+        assert!(s.contended >= 1, "{s:?}");
+        assert!(s.total_wait_ns > 0, "{s:?}");
+        assert!(s.max_hold_ns > 0, "{s:?}");
+        assert_eq!(s.violations, 0, "{s:?}");
+        assert_eq!(s.level, 181);
+    }
+
+    #[test]
+    fn instances_sharing_a_name_share_one_stats_entry() {
+        let a = Mutex::new_leveled(191, "t.shared.name", 0);
+        let b = Mutex::new_leveled(191, "t.shared.name", 0);
+        let before = lock_stats()
+            .iter()
+            .find(|s| s.name == "t.shared.name")
+            .map(|s| s.acquisitions)
+            .unwrap_or(0);
+        drop(a.lock());
+        drop(b.lock());
+        let after = lock_stats()
+            .iter()
+            .find(|s| s.name == "t.shared.name")
+            .map(|s| s.acquisitions)
+            .unwrap();
+        assert_eq!(after, before + 2);
+        assert_eq!(
+            lock_stats()
+                .iter()
+                .filter(|s| s.name == "t.shared.name")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_has_lock_series() {
+        let m = Mutex::new_leveled(201, "t.prom.m", 0);
+        drop(m.lock());
+        let text = render_lock_stats_prometheus();
+        assert!(text.contains("# TYPE cstore_lock_acquisitions_total counter"));
+        assert!(text.contains("cstore_lock_acquisitions_total{lock=\"t.prom.m\",level=\"201\"}"));
+        assert!(text.contains("cstore_lock_violations_total{lock=\"t.prom.m\",level=\"201\"} 0"));
     }
 }

@@ -36,15 +36,24 @@ impl TableEntry {
 }
 
 /// Thread-safe name → table map (plus an ANALYZE statistics cache).
-#[derive(Default, Clone)]
+#[derive(Clone)]
 pub struct Catalog {
     tables: Arc<RwLock<Vec<(String, TableEntry)>>>,
     stats: Arc<RwLock<Vec<(String, cstore_planner::stats::TableStatistics)>>>,
 }
 
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
 impl Catalog {
     pub fn new() -> Self {
-        Catalog::default()
+        Catalog {
+            tables: Arc::new(RwLock::new_leveled(1, "catalog.tables", Vec::new())),
+            stats: Arc::new(RwLock::new_leveled(2, "catalog.stats", Vec::new())),
+        }
     }
 
     /// Register a new table; errors if the name is taken.

@@ -193,10 +193,10 @@ impl Database {
             ctx: ExecContext::default(),
             mode: ExecMode::Auto,
             table_config: TableConfig::default(),
-            movers: Arc::new(Mutex::new(Vec::new())),
+            movers: Arc::new(Mutex::new_leveled(4, "db.movers", Vec::new())),
             open_report: Arc::new(OpenReport::default()),
-            query_log: Arc::new(Mutex::new(QueryLog::default())),
-            wal: Arc::new(Mutex::new(None)),
+            query_log: Arc::new(Mutex::new_leveled(7, "db.query_log", QueryLog::default())),
+            wal: Arc::new(Mutex::new_leveled(8, "db.wal", None)),
             query_timeout_ms: Arc::new(AtomicU64::new(0)),
         }
     }
@@ -238,6 +238,8 @@ impl Database {
         self.movers
             .lock()
             .iter()
+            // lint: allow(lock-order) — `status` is the mover.status Arc
+            // (level 5) yielded by the movers map; 4 → 5 ascends.
             .map(|(name, status)| (name.clone(), status.lock().clone()))
             .collect()
     }
@@ -1194,6 +1196,8 @@ impl Database {
     pub fn metrics(&self) -> String {
         let mut out = metrics::global().render_prometheus();
         for (table, status) in self.movers.lock().iter() {
+            // lint: allow(lock-order) — `status` is the mover.status Arc
+            // (level 5) yielded by the movers map; 4 → 5 ascends.
             let s = status.lock().clone();
             out.push_str(&format!(
                 "# mover table={table} state={:?} last_error={:?}\n",
@@ -1230,6 +1234,10 @@ impl Database {
                 ));
             }
         }
+        // Per-lock acquisition/contention/hold series from the runtime
+        // lockdep layer (process-wide: every leveled lock registers on
+        // first construction).
+        out.push_str(&cstore_common::sync::render_lock_stats_prometheus());
         out
     }
 

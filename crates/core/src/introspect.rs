@@ -32,13 +32,14 @@ use crate::catalog::TableEntry;
 use crate::database::Database;
 
 /// The names the binder recognizes as virtual tables.
-pub const SYS_VIEW_NAMES: [&str; 6] = [
+pub const SYS_VIEW_NAMES: [&str; 7] = [
     "sys.row_groups",
     "sys.column_segments",
     "sys.dictionaries",
     "sys.tuple_mover",
     "sys.query_log",
     "sys.wal",
+    "sys.lock_stats",
 ];
 
 /// Snapshot-materializer for the `sys.*` views: implemented by
@@ -571,6 +572,38 @@ pub(crate) fn wal_view(db: &Database) -> VirtualTable {
     VirtualTable::new("sys.wal", schema, rows)
 }
 
+/// One row per leveled lock registered with the runtime lockdep layer
+/// (`cstore_common::sync`), ordered by declared level: acquisition and
+/// contention counters, cumulative wait time, the longest observed hold,
+/// and the count of lock-order violations observed at runtime (always 0
+/// under `cfg(test)`/the `lockdep` feature, where a violation panics).
+pub(crate) fn lock_stats_view() -> VirtualTable {
+    let schema = Schema::new(vec![
+        field("level", DataType::Int64, false),
+        field("name", DataType::Utf8, false),
+        field("acquisitions", DataType::Int64, false),
+        field("contended", DataType::Int64, false),
+        field("total_wait_ns", DataType::Int64, false),
+        field("max_hold_ns", DataType::Int64, false),
+        field("violations", DataType::Int64, false),
+    ]);
+    let rows = cstore_common::sync::lock_stats()
+        .into_iter()
+        .map(|s| {
+            Row::new(vec![
+                int_u64(u64::from(s.level)),
+                Value::str(s.name),
+                int_u64(s.acquisitions),
+                int_u64(s.contended),
+                int_u64(s.total_wait_ns),
+                int_u64(s.max_hold_ns),
+                int_u64(s.violations),
+            ])
+        })
+        .collect();
+    VirtualTable::new("sys.lock_stats", schema, rows)
+}
+
 impl Introspection for Database {
     fn sys_view(&self, name: &str) -> Option<VirtualTable> {
         match name {
@@ -580,6 +613,7 @@ impl Introspection for Database {
             "sys.tuple_mover" => Some(tuple_mover_view(self)),
             "sys.query_log" => Some(query_log_view(self)),
             "sys.wal" => Some(wal_view(self)),
+            "sys.lock_stats" => Some(lock_stats_view()),
             _ => None,
         }
     }

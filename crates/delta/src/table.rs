@@ -242,16 +242,20 @@ impl ColumnStoreTable {
     fn from_parts(schema: Schema, cs: ColumnStore, config: TableConfig) -> Self {
         ColumnStoreTable {
             schema,
-            inner: Arc::new(RwLock::new(Inner {
-                cs,
-                open: None,
-                closed: Vec::new(),
-                deleted: DeleteBitmap::new(),
-                config,
-                faults: None,
-                wal: None,
-                last_lsn: 0,
-            })),
+            inner: Arc::new(RwLock::new_leveled(
+                3,
+                "table.inner",
+                Inner {
+                    cs,
+                    open: None,
+                    closed: Vec::new(),
+                    deleted: DeleteBitmap::new(),
+                    config,
+                    faults: None,
+                    wal: None,
+                    last_lsn: 0,
+                },
+            )),
         }
     }
 

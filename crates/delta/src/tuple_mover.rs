@@ -147,7 +147,11 @@ impl TupleMover {
     /// Start a mover with explicit fault-handling knobs.
     pub fn start_with(table: ColumnStoreTable, config: MoverConfig) -> Result<Self> {
         let (tx, rx) = mpsc::channel();
-        let status = Arc::new(Mutex::new(MoverStatus::default()));
+        let status = Arc::new(Mutex::new_leveled(
+            5,
+            "mover.status",
+            MoverStatus::default(),
+        ));
         let worker = Worker {
             table,
             config,

@@ -526,23 +526,31 @@ impl Wal {
         );
 
         let wal = Arc::new(Wal {
-            wal_store: Mutex::new(StoreState {
-                store,
-                segments,
-                active,
-                faults,
-            }),
-            wal_state: Mutex::new(WalState {
-                next_lsn: report.max_lsn + 1,
-                durable_lsn: report.max_lsn,
-                buffer: Vec::new(),
-                flushing: false,
-                failed: None,
-                counters,
-            }),
+            wal_store: Mutex::new_leveled(
+                9,
+                "wal.store",
+                StoreState {
+                    store,
+                    segments,
+                    active,
+                    faults,
+                },
+            ),
+            wal_state: Mutex::new_leveled(
+                10,
+                "wal.state",
+                WalState {
+                    next_lsn: report.max_lsn + 1,
+                    durable_lsn: report.max_lsn,
+                    buffer: Vec::new(),
+                    flushing: false,
+                    failed: None,
+                    counters,
+                },
+            ),
             flushed: Condvar::new(),
             options,
-            last_checkpoint: Mutex::new(report.last_checkpoint),
+            last_checkpoint: Mutex::new_leveled(11, "wal.ckpt", report.last_checkpoint),
         });
         Ok((wal, report))
     }

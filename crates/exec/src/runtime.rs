@@ -197,9 +197,17 @@ impl OpStats {
 /// query (see [`ExecContext::for_query`]); operators register themselves
 /// while the physical plan is built and EXPLAIN ANALYZE reads the
 /// results after the root is drained.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ExecStats {
     op_stats: Mutex<Vec<Arc<OpStats>>>,
+}
+
+impl Default for ExecStats {
+    fn default() -> Self {
+        ExecStats {
+            op_stats: Mutex::new_leveled(6, "exec.op_stats", Vec::new()),
+        }
+    }
 }
 
 impl ExecStats {

@@ -81,10 +81,12 @@ impl Baseline {
         Ok(baseline)
     }
 
-    /// Aggregate violations into per-`rule.crate` counts.
+    /// Aggregate violations into per-`rule.crate` counts. Waived findings
+    /// are excluded — a waiver with a reason is the accepted escape hatch,
+    /// so it must not consume ratchet headroom.
     pub fn from_violations(violations: &[Violation]) -> Baseline {
         let mut counts: BTreeMap<String, u64> = BTreeMap::new();
-        for v in violations {
+        for v in violations.iter().filter(|v| !v.waived) {
             *counts
                 .entry(format!("{}.{}", v.rule, v.crate_name))
                 .or_insert(0) += 1;
@@ -139,7 +141,16 @@ mod tests {
             path: "x.rs".into(),
             line: 1,
             message: String::new(),
+            waived: false,
         }
+    }
+
+    #[test]
+    fn waived_findings_do_not_count() {
+        let mut w = violation(Rule::Unwrap, "storage");
+        w.waived = true;
+        let b = Baseline::from_violations(&[w, violation(Rule::Unwrap, "storage")]);
+        assert_eq!(b.counts["unwrap.storage"], 1);
     }
 
     #[test]

@@ -1,0 +1,1033 @@
+//! L7/L8 — the interprocedural half of the lock-order checker.
+//!
+//! L5 ([`crate::lockorder`]) only sees acquisitions inside one function
+//! body, so it cannot catch the cross-function shape that actually bites:
+//! a method acquires `table.inner`, then calls a helper which acquires an
+//! equal-or-lower level (or blocks on a condvar) three frames down. This
+//! module builds a syntactic call graph over the checked crates, computes
+//! a per-function summary by fixpoint —
+//!
+//!   * `min_acquire`: the lowest LOCK_ORDER.md level the function may
+//!     acquire, directly or transitively, and
+//!   * `may_wait`: whether it may block on a condvar (`.wait(..)` /
+//!     `.wait_timeout(..)`), directly or transitively
+//!
+//! — and then re-walks every function with L5-style guard tracking,
+//! flagging calls made while a guard is live whose callee may acquire an
+//! equal-or-lower level (`lock-order-call`), or may block on a condvar
+//! while a guard is held. The condvar arm is what catches the classic
+//! WAL shape: `Wal::commit` only touches levels 9–10, so a pure level
+//! comparison would allow it under `table.inner` (level 3) — but commit
+//! parks on the group-commit condvar, and sleeping under a table guard
+//! stalls every reader, so any transitive path to it under a guard is
+//! flagged.
+//!
+//! Name resolution is deliberately an under-approximation so the rule
+//! stays zero-false-positive: an ambiguous callee name resolves to the
+//! INTERSECTION of its candidates' summaries (a claim is only believed
+//! when every candidate supports it), and unresolvable callees (std,
+//! other crates) are assumed safe.
+//!
+//! L8 (`lock-order-doc`) keeps LOCK_ORDER.md honest in the other
+//! direction: every `Mutex`/`RwLock` struct field in the checked crates
+//! must have a row, and every row must still match a real field in the
+//! file it names.
+
+use crate::lockorder::{
+    brace_delta, guard_binding, receiver_field, LockOrder, ACQUIRE_CALLS, CHECKED_CRATES,
+};
+use crate::rules::{at_word_boundary, Rule, Violation};
+use crate::source::SourceFile;
+use std::collections::HashMap;
+
+/// How a call site names its callee — drives candidate filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CallKind {
+    /// `self.helper(..)` — prefer candidates on the caller's impl type.
+    SelfMethod,
+    /// `value.helper(..)` — receiver type unknown; all candidates.
+    Method,
+    /// `Type::helper(..)` — only candidates on `Type` (else external).
+    Path(String),
+    /// `helper(..)` — prefer free functions.
+    Free,
+}
+
+#[derive(Debug, Clone)]
+struct Call {
+    name: String,
+    kind: CallKind,
+}
+
+/// One function body discovered in the scanned files.
+#[derive(Debug)]
+struct FnDef {
+    name: String,
+    impl_type: Option<String>,
+    file: usize,
+    /// Line indices (into the file) attributed to this function. Nested
+    /// `fn` items get their own def; closure bodies stay with the owner.
+    lines: Vec<usize>,
+    /// True once an opening brace was seen — trait method signatures
+    /// without bodies never open and are discarded (they would otherwise
+    /// dilute every same-named impl's summary to "acquires nothing").
+    opened: bool,
+    direct_min: Option<u32>,
+    direct_wait: bool,
+    calls: Vec<Call>,
+    min_acquire: Option<u32>,
+    may_wait: bool,
+}
+
+/// Rust keywords that can precede `(` without being a call.
+const NON_CALL_WORDS: [&str; 12] = [
+    "if", "while", "for", "match", "loop", "return", "in", "as", "move", "let", "fn", "where",
+];
+
+/// Method names that are never treated as graph calls: guard
+/// acquisitions and condvar waits have their own dedicated handling.
+const SPECIAL_METHODS: [&str; 9] = [
+    "lock",
+    "read",
+    "write",
+    "try_lock",
+    "try_read",
+    "try_write",
+    "wait",
+    "wait_timeout",
+    "drop",
+];
+
+/// The identifier ending at byte `end` (exclusive), with its start.
+fn ident_ending_at(code: &str, end: usize) -> Option<(String, usize)> {
+    let head = &code[..end];
+    let ident: String = head
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        let start = end - ident.len();
+        Some((ident, start))
+    }
+}
+
+/// Extract call sites (`name(`, `self.name(`, `Type::name(`) on a line.
+fn extract_calls(code: &str) -> Vec<Call> {
+    let mut out = Vec::new();
+    for (pos, _) in code.match_indices('(') {
+        let Some((name, start)) = ident_ending_at(code, pos) else {
+            continue;
+        };
+        if NON_CALL_WORDS.contains(&name.as_str()) {
+            continue;
+        }
+        let before = &code[..start];
+        // `fn name(` is a declaration, not a call.
+        if before.trim_end().ends_with("fn") {
+            continue;
+        }
+        let kind = if before.ends_with("self.") {
+            CallKind::SelfMethod
+        } else if before.ends_with('.') {
+            CallKind::Method
+        } else if before.ends_with("::") {
+            match ident_ending_at(code, start - 2) {
+                Some((ty, _)) => CallKind::Path(ty),
+                None => continue, // `<T as X>::f(` etc. — unresolvable
+            }
+        } else {
+            CallKind::Free
+        };
+        if matches!(kind, CallKind::SelfMethod | CallKind::Method)
+            && SPECIAL_METHODS.contains(&name.as_str())
+        {
+            continue;
+        }
+        out.push(Call { name, kind });
+    }
+    out
+}
+
+/// Parse an `impl` header's self type: `impl Foo {`, `impl Tr for Foo`,
+/// `impl<T> mod::Foo<T>` all yield `Foo`.
+fn parse_impl_type(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("impl")?;
+    // Reject identifiers that merely start with "impl".
+    let mut rest = match rest.chars().next() {
+        Some(c) if c.is_alphanumeric() || c == '_' => return None,
+        _ => rest,
+    };
+    // Skip the generic parameter list, if any.
+    if let Some(stripped) = rest.strip_prefix('<') {
+        let mut depth = 1usize;
+        let mut cut = None;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = Some(i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &stripped[cut?..];
+    }
+    let rest = match rest.find(" for ") {
+        Some(p) => &rest[p + 5..],
+        None => rest,
+    };
+    // Last path segment of the type, up to `<`, `{`, or whitespace.
+    let head: &str = rest
+        .trim_start()
+        .split(|c: char| c == '<' || c == '{' || c.is_whitespace())
+        .next()?;
+    let ty = head.rsplit("::").next().unwrap_or(head).trim();
+    if ty.is_empty() || !ty.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        None
+    } else {
+        Some(ty.to_owned())
+    }
+}
+
+/// Parse `fn <name>` on a line, if present at a word boundary.
+fn parse_fn_name(code: &str) -> Option<String> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("fn ") {
+        let pos = from + rel;
+        from = pos + 3;
+        if !at_word_boundary(code, pos) {
+            continue;
+        }
+        let name: String = code[pos + 3..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// Build function defs for one file, attributing each non-test line to
+/// the innermost open function.
+fn collect_fns(file_idx: usize, file: &SourceFile, defs: &mut Vec<FnDef>) {
+    let mut depth: i64 = 0;
+    // (self type, entry depth, opened)
+    let mut impls: Vec<(String, i64, bool)> = Vec::new();
+    // (def index, entry depth)
+    let mut stack: Vec<(usize, i64)> = Vec::new();
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = line.code.as_str();
+        let analyzed = !line.in_test && !code.trim().is_empty();
+        if analyzed {
+            if let Some(ty) = parse_impl_type(code) {
+                impls.push((ty, depth, false));
+            }
+            if let Some(name) = parse_fn_name(code) {
+                let impl_type = impls.last().map(|(t, _, _)| t.clone());
+                defs.push(FnDef {
+                    name,
+                    impl_type,
+                    file: file_idx,
+                    lines: Vec::new(),
+                    // A single-line body (`fn f() { .. }`) opens and
+                    // closes within its decl line, so depth alone never
+                    // reveals it — the brace on the decl line does.
+                    opened: code.contains('{'),
+                    direct_min: None,
+                    direct_wait: false,
+                    calls: Vec::new(),
+                    min_acquire: None,
+                    may_wait: false,
+                });
+                stack.push((defs.len() - 1, depth));
+            }
+            if let Some(&(di, _)) = stack.last() {
+                defs[di].lines.push(idx);
+            }
+        }
+        depth += brace_delta(code);
+        // Close function bodies whose scope ended; drop bodyless
+        // signatures terminated by `;` before any brace opened.
+        while let Some(&(di, entry)) = stack.last() {
+            if depth > entry {
+                defs[di].opened = true;
+                break;
+            }
+            if defs[di].opened || depth < entry || code.contains(';') {
+                stack.pop();
+            } else {
+                break; // multi-line signature, body brace still coming
+            }
+        }
+        while let Some(&(_, entry, opened)) = impls.last() {
+            if depth > entry {
+                if let Some(top) = impls.last_mut() {
+                    top.2 = true;
+                }
+                break;
+            }
+            if opened || depth < entry || code.contains(';') {
+                impls.pop();
+            } else {
+                break;
+            }
+        }
+    }
+    defs.retain(|d| d.opened || d.file != file_idx);
+}
+
+/// Fill the direct (intra-body) facts of every def.
+fn analyze_direct(order: &LockOrder, files: &[SourceFile], defs: &mut [FnDef]) {
+    for def in defs.iter_mut() {
+        let file = &files[def.file];
+        for &idx in &def.lines {
+            let code = file.lines[idx].code.as_str();
+            for call in ACQUIRE_CALLS {
+                let mut from = 0;
+                while let Some(rel) = code[from..].find(call) {
+                    let pos = from + rel;
+                    from = pos + call.len();
+                    if let Some((field, true)) = receiver_field(code, pos) {
+                        if let Some(decl) = order.by_field.get(&field) {
+                            def.direct_min =
+                                Some(def.direct_min.map_or(decl.level, |m| m.min(decl.level)));
+                        }
+                    }
+                }
+            }
+            if code.contains(".wait(") || code.contains(".wait_timeout(") {
+                def.direct_wait = true;
+            }
+            def.calls.extend(extract_calls(code));
+        }
+        def.min_acquire = def.direct_min;
+        def.may_wait = def.direct_wait;
+    }
+}
+
+/// Candidate defs for a call, or `None` when the callee is external
+/// (no function of that name in the graph, or a foreign `Type::`).
+fn resolve(
+    by_name: &HashMap<String, Vec<usize>>,
+    defs: &[FnDef],
+    call: &Call,
+    caller_impl: Option<&str>,
+) -> Option<Vec<usize>> {
+    let cands = by_name.get(&call.name)?;
+    match &call.kind {
+        CallKind::Path(ty) => {
+            let ty = if ty == "Self" {
+                caller_impl?
+            } else {
+                ty.as_str()
+            };
+            let filtered: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| defs[i].impl_type.as_deref() == Some(ty))
+                .collect();
+            if filtered.is_empty() {
+                None // a type we don't know — Vec::new(), HashMap::insert(), …
+            } else {
+                Some(filtered)
+            }
+        }
+        CallKind::SelfMethod => {
+            // Prefer the caller's own impl block; fall back to all
+            // candidates (trait default methods, blanket impls).
+            let same: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| caller_impl.is_some() && defs[i].impl_type.as_deref() == caller_impl)
+                .collect();
+            if same.is_empty() {
+                Some(cands.clone())
+            } else {
+                Some(same)
+            }
+        }
+        // A method call on a non-`self` receiver can always dispatch to
+        // a type outside the checked crates (the receiver's type is
+        // unknown here), so an external candidate is always possible and
+        // the intersection claims nothing. Without this, `inner.cs.persist(..)`
+        // — a storage-crate call — would resolve to the graph's only
+        // `persist` and flag a self-inversion that cannot happen.
+        CallKind::Method => None,
+        CallKind::Free => Some(cands.clone()),
+    }
+}
+
+/// Intersection summary of a candidate set: a fact holds only when every
+/// candidate supports it. `min` is the tightest level bound all
+/// candidates reach (the max of their minima); `wait` requires all.
+fn effective(defs: &[FnDef], cands: &[usize]) -> (Option<u32>, bool) {
+    let mut min: Option<u32> = None;
+    let mut all_acquire = true;
+    let mut all_wait = true;
+    for &i in cands {
+        match defs[i].min_acquire {
+            Some(m) => min = Some(min.map_or(m, |x: u32| x.max(m))),
+            None => all_acquire = false,
+        }
+        all_wait &= defs[i].may_wait;
+    }
+    (if all_acquire { min } else { None }, all_wait)
+}
+
+/// Propagate summaries to a fixpoint. `min_acquire` only decreases and
+/// `may_wait` only flips to true, so this terminates.
+fn fixpoint(by_name: &HashMap<String, Vec<usize>>, defs: &mut [FnDef]) {
+    loop {
+        let mut changed = false;
+        for i in 0..defs.len() {
+            let mut new_min = defs[i].direct_min;
+            let mut new_wait = defs[i].direct_wait;
+            let calls = std::mem::take(&mut defs[i].calls);
+            let caller_impl = defs[i].impl_type.clone();
+            for call in &calls {
+                if let Some(cands) = resolve(by_name, defs, call, caller_impl.as_deref()) {
+                    let (m, w) = effective(defs, &cands);
+                    if let Some(m) = m {
+                        new_min = Some(new_min.map_or(m, |x: u32| x.min(m)));
+                    }
+                    new_wait |= w;
+                }
+            }
+            defs[i].calls = calls;
+            if new_min != defs[i].min_acquire || new_wait != defs[i].may_wait {
+                defs[i].min_acquire = new_min;
+                defs[i].may_wait = new_wait;
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// A guard held during the checking walk of one function body.
+struct Held {
+    field: String,
+    level: u32,
+    depth: i64,
+    binding: Option<String>,
+}
+
+/// Emit an L7/L8 finding, honouring inline waivers for `rule`.
+fn record(rule: Rule, file: &SourceFile, idx: usize, message: String, out: &mut Vec<Violation>) {
+    let path = file.path.to_string_lossy().to_string();
+    let waived = match crate::rules::waiver_for(file, idx, rule) {
+        Some(true) => true,
+        Some(false) => {
+            out.push(Violation {
+                rule: Rule::Waiver,
+                crate_name: file.crate_name.clone(),
+                path,
+                line: idx + 1,
+                message: format!(
+                    "waiver for `{}` is missing its reason — write `// lint: allow({}) — <why>`",
+                    rule.name(),
+                    rule.name()
+                ),
+                waived: false,
+            });
+            return;
+        }
+        None => false,
+    };
+    out.push(Violation {
+        rule,
+        crate_name: file.crate_name.clone(),
+        path,
+        line: idx + 1,
+        message,
+        waived,
+    });
+}
+
+/// Walk one function body with guard tracking, flagging calls whose
+/// callee may acquire an equal-or-lower level or block on a condvar.
+fn check_fn(
+    order: &LockOrder,
+    files: &[SourceFile],
+    by_name: &HashMap<String, Vec<usize>>,
+    defs: &[FnDef],
+    def: &FnDef,
+    out: &mut Vec<Violation>,
+) {
+    let file = &files[def.file];
+    let mut depth: i64 = 0;
+    let mut held: Vec<Held> = Vec::new();
+
+    for &idx in &def.lines {
+        let code = file.lines[idx].code.as_str();
+
+        // Releases via drop(name).
+        let mut from = 0;
+        while let Some(rel) = code[from..].find("drop(") {
+            let pos = from + rel;
+            if at_word_boundary(code, pos) {
+                let arg: String = code[pos + 5..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                held.retain(|h| h.binding.as_deref() != Some(arg.as_str()));
+            }
+            from = pos + 5;
+        }
+
+        // Condvar waits release their own guard but sleep under every
+        // other one — flag a wait made while another guard is held.
+        for pat in [".wait(", ".wait_timeout("] {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(pat) {
+                let pos = from + rel;
+                from = pos + pat.len();
+                let arg: String = code[pos + pat.len()..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                let others: Vec<&Held> = held
+                    .iter()
+                    .filter(|h| h.binding.as_deref() != Some(arg.as_str()))
+                    .collect();
+                if let Some(h) = others.last() {
+                    record(
+                        Rule::LockOrderCall,
+                        file,
+                        idx,
+                        format!(
+                            "condvar wait while holding `{}` (level {}) — a wait may sleep indefinitely and must not run under other guards",
+                            lock_name(order, &h.field),
+                            h.level,
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+
+        // Calls made while a guard is live.
+        if !held.is_empty() {
+            let max_held = held.iter().max_by_key(|h| h.level);
+            for call in extract_calls(code) {
+                let Some(cands) = resolve(by_name, defs, &call, def.impl_type.as_deref()) else {
+                    continue;
+                };
+                let (min, wait) = effective(defs, &cands);
+                if let (Some(m), Some(h)) = (min, max_held) {
+                    if m <= h.level {
+                        let lock = order
+                            .by_field
+                            .values()
+                            .find(|d| d.level == m)
+                            .map_or("?", |d| d.name.as_str());
+                        record(
+                            Rule::LockOrderCall,
+                            file,
+                            idx,
+                            format!(
+                                "calls `{}` which may acquire `{}` (level {}) while holding `{}` (level {}) — cross-function lock-order violation",
+                                call.name,
+                                lock,
+                                m,
+                                lock_name(order, &h.field),
+                                h.level,
+                            ),
+                            out,
+                        );
+                        continue;
+                    }
+                }
+                if wait {
+                    if let Some(h) = max_held {
+                        record(
+                            Rule::LockOrderCall,
+                            file,
+                            idx,
+                            format!(
+                                "calls `{}` which may block on a condvar while holding `{}` (level {}) — waits must not run under guards",
+                                call.name,
+                                lock_name(order, &h.field),
+                                h.level,
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Acquisitions update the held set (order itself is L5's job).
+        for call in ACQUIRE_CALLS {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(call) {
+                let pos = from + rel;
+                from = pos + call.len();
+                if let Some((field, true)) = receiver_field(code, pos) {
+                    if let Some(decl) = order.by_field.get(&field) {
+                        held.push(Held {
+                            field,
+                            level: decl.level,
+                            depth,
+                            binding: guard_binding(code, from),
+                        });
+                    }
+                }
+            }
+        }
+
+        held.retain(|h| h.binding.is_some());
+        depth += brace_delta(code);
+        held.retain(|h| depth >= h.depth);
+    }
+}
+
+fn lock_name<'a>(order: &'a LockOrder, field: &'a str) -> &'a str {
+    order.by_field.get(field).map_or(field, |d| d.name.as_str())
+}
+
+/// A `Mutex`/`RwLock` struct field discovered in a checked crate.
+struct LockField {
+    file: usize,
+    line: usize,
+    field: String,
+}
+
+/// True when a struct-body line declares a lock field; returns its name.
+fn lock_field_name(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let t = t.strip_prefix("pub").map_or(t, |rest| {
+        let rest = rest.trim_start();
+        match rest.strip_prefix('(') {
+            Some(r) => r.split_once(')').map_or(rest, |(_, tail)| tail),
+            None => rest,
+        }
+    });
+    let t = t.trim_start();
+    let name: String = t
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    let rest = t[name.len()..].trim_start();
+    if name.is_empty() || !rest.starts_with(':') {
+        return None;
+    }
+    let ty = &rest[1..];
+    if ty.contains('&') || ty.contains("fn(") || ty.contains("dyn ") {
+        return None;
+    }
+    for lock in ["Mutex<", "RwLock<"] {
+        let mut from = 0;
+        while let Some(rel) = ty[from..].find(lock) {
+            let pos = from + rel;
+            if at_word_boundary(ty, pos) {
+                return Some(name);
+            }
+            from = pos + lock.len();
+        }
+    }
+    None
+}
+
+/// Collect lock fields from struct bodies in the checked crates.
+fn collect_lock_fields(files: &[SourceFile]) -> Vec<LockField> {
+    let mut out = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        if !CHECKED_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let mut depth: i64 = 0;
+        // (entry depth, opened)
+        let mut structs: Vec<(i64, bool)> = Vec::new();
+        for (idx, line) in file.lines.iter().enumerate() {
+            let code = line.code.as_str();
+            if !line.in_test && !code.trim().is_empty() {
+                if structs.last().is_some_and(|&(_, opened)| opened) {
+                    if let Some(field) = lock_field_name(code) {
+                        out.push(LockField {
+                            file: fi,
+                            line: idx,
+                            field,
+                        });
+                    }
+                }
+                let mut from = 0;
+                while let Some(rel) = code[from..].find("struct ") {
+                    let pos = from + rel;
+                    from = pos + 7;
+                    // Unit and tuple structs have no named lock fields.
+                    if at_word_boundary(code, pos) && !code.contains(';') {
+                        structs.push((depth, false));
+                        break;
+                    }
+                }
+            }
+            depth += brace_delta(code);
+            while let Some(&(entry, opened)) = structs.last() {
+                if depth > entry {
+                    if let Some(top) = structs.last_mut() {
+                        top.1 = true;
+                    }
+                    break;
+                }
+                if opened || depth < entry || code.contains(';') {
+                    structs.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// L8 — diff LOCK_ORDER.md's table against the lock fields in code.
+fn check_doc(order: &LockOrder, files: &[SourceFile], out: &mut Vec<Violation>) {
+    let fields = collect_lock_fields(files);
+    for f in &fields {
+        let file = &files[f.file];
+        let path = file.path.to_string_lossy().to_string();
+        match order.by_field.get(&f.field) {
+            None => record(
+                Rule::LockOrderDoc,
+                file,
+                f.line,
+                format!(
+                    "lock field `{}` is not declared in LOCK_ORDER.md — add a `<level> <name> <file> <field>` row",
+                    f.field
+                ),
+                out,
+            ),
+            Some(decl) => {
+                let matches_file =
+                    path.ends_with(&decl.file) || decl.file.ends_with(path.as_str());
+                if !matches_file {
+                    record(
+                        Rule::LockOrderDoc,
+                        file,
+                        f.line,
+                        format!(
+                            "lock field `{}` found in {} but LOCK_ORDER.md declares it in {} — fix the row",
+                            f.field, path, decl.file
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+    // Rows with no surviving field are stale.
+    for decl in order.by_field.values() {
+        let survives = fields.iter().any(|f| {
+            let path = files[f.file].path.to_string_lossy();
+            f.field == decl.field
+                && (path.ends_with(&decl.file) || decl.file.ends_with(path.as_ref()))
+        });
+        if !survives {
+            out.push(Violation {
+                rule: Rule::LockOrderDoc,
+                crate_name: "docs".into(),
+                path: "LOCK_ORDER.md".into(),
+                line: decl.doc_line,
+                message: format!(
+                    "stale row: lock `{}` (field `{}`) is not declared as a Mutex/RwLock field in {} — remove or fix the row",
+                    decl.name, decl.field, decl.file
+                ),
+                waived: false,
+            });
+        }
+    }
+}
+
+/// Run the interprocedural (L7) and documentation-diff (L8) checks over
+/// the whole scanned workspace.
+pub fn check_workspace(order: &LockOrder, files: &[SourceFile], out: &mut Vec<Violation>) {
+    let mut defs: Vec<FnDef> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        if CHECKED_CRATES.contains(&file.crate_name.as_str()) {
+            collect_fns(fi, file, &mut defs);
+        }
+    }
+    analyze_direct(order, files, &mut defs);
+    let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, def) in defs.iter().enumerate() {
+        by_name.entry(def.name.clone()).or_default().push(i);
+    }
+    fixpoint(&by_name, &mut defs);
+    for def in &defs {
+        check_fn(order, files, &by_name, &defs, def, out);
+    }
+    check_doc(order, files, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    const DOC: &str = "```lock-order\n\
+        1 a.first crates/core/src/x.rs first\n\
+        3 b.second crates/core/src/x.rs second\n\
+        ```\n";
+
+    fn run(text: &str) -> Vec<Violation> {
+        let order = LockOrder::parse(DOC).unwrap();
+        let files = vec![SourceFile::parse(
+            PathBuf::from("crates/core/src/x.rs"),
+            "core",
+            false,
+            text,
+        )];
+        let mut out = Vec::new();
+        check_workspace(&order, &files, &mut out);
+        out
+    }
+
+    /// Boilerplate that keeps L8 quiet: both declared fields exist.
+    const STRUCTS: &str = "struct S {\n first: RwLock<u32>,\n second: Mutex<u32>,\n}\n";
+
+    #[test]
+    fn cross_function_inversion_is_flagged() {
+        let text = format!(
+            "{STRUCTS}impl S {{\n\
+             fn low(&self) {{ let g = self.first.write(); }}\n\
+             fn high(&self) {{\n let g = self.second.lock();\n self.low();\n }}\n\
+             }}\n"
+        );
+        let v = run(&text);
+        let l7: Vec<_> = v.iter().filter(|v| v.rule == Rule::LockOrderCall).collect();
+        assert_eq!(l7.len(), 1, "{v:?}");
+        assert!(l7[0].message.contains("`low`"), "{}", l7[0].message);
+        assert!(l7[0].message.contains("a.first"), "{}", l7[0].message);
+        assert!(l7[0].message.contains("b.second"), "{}", l7[0].message);
+    }
+
+    #[test]
+    fn transitive_inversion_through_a_middleman_is_flagged() {
+        let text = format!(
+            "{STRUCTS}impl S {{\n\
+             fn low(&self) {{ let g = self.first.write(); }}\n\
+             fn middle(&self) {{ self.low(); }}\n\
+             fn high(&self) {{\n let g = self.second.lock();\n self.middle();\n }}\n\
+             }}\n"
+        );
+        let v = run(&text);
+        let l7: Vec<_> = v.iter().filter(|v| v.rule == Rule::LockOrderCall).collect();
+        assert_eq!(l7.len(), 1, "{v:?}");
+        assert!(l7[0].message.contains("`middle`"), "{}", l7[0].message);
+    }
+
+    #[test]
+    fn increasing_cross_function_order_is_clean() {
+        let text = format!(
+            "{STRUCTS}impl S {{\n\
+             fn upper(&self) {{ let g = self.second.lock(); }}\n\
+             fn entry(&self) {{\n let g = self.first.read();\n self.upper();\n }}\n\
+             }}\n"
+        );
+        let v = run(&text);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::LockOrderCall),
+            "3 > 1 is a legal acquisition order: {v:?}"
+        );
+    }
+
+    #[test]
+    fn call_after_guard_release_is_clean() {
+        let text = format!(
+            "{STRUCTS}impl S {{\n\
+             fn low(&self) {{ let g = self.first.write(); }}\n\
+             fn high(&self) {{\n {{\n let g = self.second.lock();\n }}\n self.low();\n }}\n\
+             fn drops(&self) {{\n let g = self.second.lock();\n drop(g);\n self.low();\n }}\n\
+             }}\n"
+        );
+        let v = run(&text);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::LockOrderCall),
+            "guard released before the call: {v:?}"
+        );
+    }
+
+    #[test]
+    fn may_wait_callee_under_guard_is_flagged() {
+        let text = format!(
+            "{STRUCTS}impl S {{\n\
+             fn parks(&self) {{\n let g = self.second.lock();\n let g = self.cv.wait(g);\n }}\n\
+             fn bad(&self) {{\n let g = self.first.read();\n self.parks();\n }}\n\
+             }}\n"
+        );
+        let v = run(&text);
+        let l7: Vec<_> = v.iter().filter(|v| v.rule == Rule::LockOrderCall).collect();
+        assert_eq!(l7.len(), 1, "{v:?}");
+        assert!(l7[0].message.contains("condvar"), "{}", l7[0].message);
+    }
+
+    #[test]
+    fn direct_wait_on_own_guard_is_clean_but_under_another_is_not() {
+        let clean = format!(
+            "{STRUCTS}impl S {{\n\
+             fn ok(&self) {{\n let st = self.second.lock();\n let st = self.cv.wait(st);\n }}\n\
+             }}\n"
+        );
+        let v = run(&clean);
+        assert!(v.iter().all(|v| v.rule != Rule::LockOrderCall), "{v:?}");
+        let bad = format!(
+            "{STRUCTS}impl S {{\n\
+             fn no(&self) {{\n let a = self.first.read();\n let st = self.second.lock();\n let st = self.cv.wait(st);\n }}\n\
+             }}\n"
+        );
+        let v = run(&bad);
+        let l7: Vec<_> = v.iter().filter(|v| v.rule == Rule::LockOrderCall).collect();
+        assert_eq!(l7.len(), 1, "{v:?}");
+        assert!(l7[0].message.contains("a.first"), "{}", l7[0].message);
+    }
+
+    #[test]
+    fn ambiguous_callee_uses_intersection_of_candidates() {
+        // Two same-named candidates on different impl types; the caller's
+        // `self.helper()` matches neither impl, so both stay candidates.
+        // One acquires level 1, the other acquires nothing — the
+        // intersection claims nothing and no finding fires.
+        let text = format!(
+            "{STRUCTS}struct A;\nstruct B;\n\
+             impl A {{\n fn helper(&self, s: &S) {{ let g = s.first.write(); }}\n }}\n\
+             impl B {{\n fn helper(&self) {{ }}\n }}\n\
+             impl S {{\n\
+             fn high(&self) {{\n let g = self.second.lock();\n self.helper();\n }}\n\
+             }}\n"
+        );
+        let v = run(&text);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::LockOrderCall),
+            "ambiguous callee must not be assumed to acquire: {v:?}"
+        );
+    }
+
+    #[test]
+    fn method_call_on_foreign_receiver_is_not_resolved() {
+        // `inner.cs.persist(..)` dispatches to a type outside the checked
+        // crates; it must not resolve to the graph's only `persist`.
+        let text = format!(
+            "{STRUCTS}impl S {{\n\
+             pub fn persist(&self) {{\n let g = self.first.read();\n g.cs.persist();\n }}\n\
+             }}\n"
+        );
+        let v = run(&text);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::LockOrderCall),
+            "foreign-receiver method must be assumed safe: {v:?}"
+        );
+    }
+
+    #[test]
+    fn guard_consumed_by_a_chain_is_a_temporary() {
+        // `let w = self.second.lock().clone();` binds the clone, not the
+        // guard — the guard dies at the semicolon, so the later call is
+        // made lock-free.
+        let text = format!(
+            "{STRUCTS}impl S {{\n\
+             fn low(&self) {{ let g = self.first.write(); }}\n\
+             fn high(&self) {{\n let w = self.second.lock().clone();\n self.low();\n }}\n\
+             }}\n"
+        );
+        let v = run(&text);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::LockOrderCall),
+            "chained guard is a temporary: {v:?}"
+        );
+    }
+
+    #[test]
+    fn waiver_marks_l7_finding_waived() {
+        let text = format!(
+            "{STRUCTS}impl S {{\n\
+             fn low(&self) {{ let g = self.first.write(); }}\n\
+             fn high(&self) {{\n let g = self.second.lock();\n \
+             // lint: allow(lock-order-call) — release protocol documented in DESIGN.md\n \
+             self.low();\n }}\n\
+             }}\n"
+        );
+        let v = run(&text);
+        let l7: Vec<_> = v.iter().filter(|v| v.rule == Rule::LockOrderCall).collect();
+        assert_eq!(l7.len(), 1, "{v:?}");
+        assert!(l7[0].waived);
+    }
+
+    #[test]
+    fn undeclared_lock_field_is_flagged() {
+        let text = format!("{STRUCTS}struct T {{\n hidden: Mutex<u32>,\n}}\n");
+        let v = run(&text);
+        let l8: Vec<_> = v.iter().filter(|v| v.rule == Rule::LockOrderDoc).collect();
+        assert_eq!(l8.len(), 1, "{v:?}");
+        assert!(l8[0].message.contains("`hidden`"), "{}", l8[0].message);
+    }
+
+    #[test]
+    fn stale_doc_row_is_flagged() {
+        // Only `first` exists in code; the `second` row is stale.
+        let text = "struct S {\n first: RwLock<u32>,\n}\n";
+        let v = run(text);
+        let l8: Vec<_> = v.iter().filter(|v| v.rule == Rule::LockOrderDoc).collect();
+        assert_eq!(l8.len(), 1, "{v:?}");
+        assert_eq!(l8[0].path, "LOCK_ORDER.md");
+        assert!(l8[0].message.contains("stale row"), "{}", l8[0].message);
+        assert!(l8[0].message.contains("b.second"), "{}", l8[0].message);
+    }
+
+    #[test]
+    fn wrong_file_in_doc_row_is_flagged() {
+        let order =
+            LockOrder::parse("```lock-order\n1 a.first crates/core/src/other.rs first\n```\n")
+                .unwrap();
+        let files = vec![SourceFile::parse(
+            PathBuf::from("crates/core/src/x.rs"),
+            "core",
+            false,
+            "struct S {\n first: RwLock<u32>,\n}\n",
+        )];
+        let mut out = Vec::new();
+        check_workspace(&order, &files, &mut out);
+        let l8: Vec<_> = out
+            .iter()
+            .filter(|v| v.rule == Rule::LockOrderDoc)
+            .collect();
+        // Wrong-file on the field plus the stale row pointing nowhere.
+        assert_eq!(l8.len(), 2, "{out:?}");
+        assert!(l8.iter().any(|v| v.message.contains("fix the row")));
+    }
+
+    #[test]
+    fn arc_wrapped_and_pub_fields_are_detected() {
+        assert_eq!(
+            lock_field_name(" pub tables: Arc<RwLock<Vec<u32>>>,"),
+            Some("tables".into())
+        );
+        assert_eq!(
+            lock_field_name(" pub(crate) wal: Arc<Mutex<Option<u8>>>,"),
+            Some("wal".into())
+        );
+        assert_eq!(lock_field_name(" count: u64,"), None);
+        assert_eq!(
+            lock_field_name(" r: &'a Mutex<u8>,"),
+            None,
+            "references are not declarations"
+        );
+    }
+}

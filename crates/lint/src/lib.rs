@@ -14,11 +14,16 @@
 //! | `unsafe`    | L4 — every `unsafe` needs a `// SAFETY:` comment                |
 //! | `lock-order`| L5 — guard acquisitions must follow LOCK_ORDER.md               |
 //! | `discard`   | L6 — no silent Result discards (`.ok();`, `let _ =`)            |
+//! | `lock-order-call` | L7 — interprocedural: no call under a guard may reach a function that acquires an equal-or-lower level or parks on a condvar |
+//! | `lock-order-doc`  | L8 — LOCK_ORDER.md must match the actual `Mutex`/`RwLock` fields in the checked crates |
 //!
 //! Findings are compared against the checked-in `lint-baseline.toml`
-//! ratchet ([`baseline`]): counts may only decrease.
+//! ratchet ([`baseline`]): counts may only decrease. Findings waived
+//! with `// lint: allow(<rule>) — <reason>` are reported (and surface
+//! in `--json` with `"waived": true`) but don't count against it.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lockorder;
 pub mod rules;
 pub mod source;
@@ -110,7 +115,50 @@ pub fn check_files(files: &[SourceFile], lock_order: Option<&LockOrder>) -> Vec<
             lockorder::check_file(order, file, &mut out);
         }
     }
+    if let Some(order) = lock_order {
+        callgraph::check_workspace(order, files, &mut out);
+    }
     out.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON array (machine-readable `--json` output).
+/// Hand-rolled so the lint layer stays dependency-free.
+pub fn render_json(violations: &[Violation]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"waived\": {}}}",
+            v.rule,
+            json_escape(&v.path),
+            v.line,
+            json_escape(&v.message),
+            v.waived
+        ));
+    }
+    out.push_str(if violations.is_empty() { "]" } else { "\n]" });
     out
 }
 

@@ -7,8 +7,9 @@
 //! ```
 //!
 //! Options: `--root <DIR>` (default `.`), `--baseline <FILE>` (default
-//! `<root>/lint-baseline.toml`). Exit codes: 0 clean, 1 violations or
-//! ratchet regression, 2 internal/usage error.
+//! `<root>/lint-baseline.toml`), `--json` (machine-readable findings on
+//! stdout; diagnostics stay on stderr). Exit codes: 0 clean, 1
+//! violations or ratchet regression, 2 internal/usage error.
 
 use cstore_lint::baseline::Baseline;
 use std::path::PathBuf;
@@ -18,6 +19,7 @@ struct Options {
     command: String,
     root: PathBuf,
     baseline: PathBuf,
+    json: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -25,8 +27,10 @@ fn parse_args() -> Result<Options, String> {
     let mut command = None;
     let mut root = PathBuf::from(".");
     let mut baseline = None;
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--json" => json = true,
             "--root" => {
                 root = PathBuf::from(args.next().ok_or("--root requires a directory")?);
             }
@@ -41,13 +45,15 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    let command = command
-        .ok_or("usage: cstore-lint <check|list|update-baseline> [--root DIR] [--baseline FILE]")?;
+    let command = command.ok_or(
+        "usage: cstore-lint <check|list|update-baseline> [--root DIR] [--baseline FILE] [--json]",
+    )?;
     let baseline = baseline.unwrap_or_else(|| root.join("lint-baseline.toml"));
     Ok(Options {
         command,
         root,
         baseline,
+        json,
     })
 }
 
@@ -78,11 +84,15 @@ fn run(opts: &Options) -> Result<bool, String> {
     match opts.command.as_str() {
         "list" => {
             let violations = cstore_lint::collect_violations(&opts.root)?;
-            for v in &violations {
-                println!("{v}");
+            if opts.json {
+                println!("{}", cstore_lint::render_json(&violations));
+            } else {
+                for v in &violations {
+                    println!("{v}");
+                }
+                println!("{} finding(s)", violations.len());
             }
-            println!("{} finding(s)", violations.len());
-            Ok(violations.is_empty())
+            Ok(violations.iter().all(|v| v.waived))
         }
         "update-baseline" => {
             let violations = cstore_lint::collect_violations(&opts.root)?;
@@ -99,6 +109,9 @@ fn run(opts: &Options) -> Result<bool, String> {
         }
         "check" => {
             let (violations, cmp) = cstore_lint::run_check(&opts.root, &opts.baseline)?;
+            if opts.json {
+                println!("{}", cstore_lint::render_json(&violations));
+            }
             if !cmp.regressions.is_empty() {
                 eprintln!("ratchet REGRESSION — new violations over the baseline:");
                 for (key, base, cur) in &cmp.regressions {
@@ -120,16 +133,18 @@ fn run(opts: &Options) -> Result<bool, String> {
                 return Ok(false);
             }
             if !cmp.improvements.is_empty() {
-                println!("ratchet improvement — counts dropped below the baseline:");
+                eprintln!("ratchet improvement — counts dropped below the baseline:");
                 for (key, base, cur) in &cmp.improvements {
-                    println!("  {key}: baseline {base}, now {cur}");
+                    eprintln!("  {key}: baseline {base}, now {cur}");
                 }
-                println!("run `cargo run -p cstore-lint -- update-baseline` to lock this in.");
+                eprintln!("run `cargo run -p cstore-lint -- update-baseline` to lock this in.");
             }
-            println!(
-                "cstore-lint: OK ({} finding(s), all within baseline)",
-                violations.len()
-            );
+            if !opts.json {
+                println!(
+                    "cstore-lint: OK ({} finding(s), all within baseline)",
+                    violations.len()
+                );
+            }
             Ok(true)
         }
         other => Err(format!("unknown command {other:?}")),

@@ -30,6 +30,11 @@ pub enum Rule {
     LockOrder,
     /// L6 — silently discarded `Result` (`.ok();` or `let _ =`).
     Discard,
+    /// L7 — a call made while a guard is live reaches a function that
+    /// may acquire an equal-or-lower level (interprocedural).
+    LockOrderCall,
+    /// L8 — LOCK_ORDER.md drifted from the actual lock fields in code.
+    LockOrderDoc,
     /// A waiver comment missing its mandatory reason.
     Waiver,
 }
@@ -44,17 +49,21 @@ impl Rule {
             Rule::Unsafe => "unsafe",
             Rule::LockOrder => "lock-order",
             Rule::Discard => "discard",
+            Rule::LockOrderCall => "lock-order-call",
+            Rule::LockOrderDoc => "lock-order-doc",
             Rule::Waiver => "waiver",
         }
     }
 
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 9] = [
         Rule::Unwrap,
         Rule::Panic,
         Rule::Cast,
         Rule::Unsafe,
         Rule::LockOrder,
         Rule::Discard,
+        Rule::LockOrderCall,
+        Rule::LockOrderDoc,
         Rule::Waiver,
     ];
 }
@@ -74,14 +83,22 @@ pub struct Violation {
     /// 1-based line number.
     pub line: usize,
     pub message: String,
+    /// True when an inline `lint: allow(...)` waiver (with a reason)
+    /// covers this finding. Waived findings are reported for audit but
+    /// excluded from the baseline ratchet and from CI failure counts.
+    pub waived: bool,
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.message
+            "{}:{}: [{}] {}{}",
+            self.path,
+            self.line,
+            self.rule,
+            self.message,
+            if self.waived { " (waived)" } else { "" }
         )
     }
 }
@@ -103,7 +120,7 @@ const NUMERIC_TYPES: [&str; 12] = [
 /// same line, or in the contiguous block of comment-only lines directly
 /// above it (so a waiver's reason may wrap). Returns `Some(has_reason)`
 /// when a waiver is present.
-fn waiver_for(file: &SourceFile, idx: usize, rule: Rule) -> Option<bool> {
+pub(crate) fn waiver_for(file: &SourceFile, idx: usize, rule: Rule) -> Option<bool> {
     let needle = format!("lint: allow({})", rule.name());
     let check = |j: usize| -> Option<bool> {
         let comment = &file.lines[j].comment;
@@ -191,7 +208,16 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
 
     let record = |rule: Rule, idx: usize, message: String, out: &mut Vec<Violation>| {
         match waiver_for(file, idx, rule) {
-            Some(true) => {} // waived with a reason
+            // Waived with a reason: keep the finding (audit trail, JSON
+            // output) but mark it so the ratchet and CI ignore it.
+            Some(true) => out.push(Violation {
+                rule,
+                crate_name: file.crate_name.clone(),
+                path: path.clone(),
+                line: idx + 1,
+                message,
+                waived: true,
+            }),
             Some(false) => out.push(Violation {
                 rule: Rule::Waiver,
                 crate_name: file.crate_name.clone(),
@@ -201,6 +227,7 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
                     "waiver for `{}` is missing its reason — write `// lint: allow({}) — <why>`",
                     rule, rule
                 ),
+                waived: false,
             }),
             None => out.push(Violation {
                 rule,
@@ -208,6 +235,7 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
                 path: path.clone(),
                 line: idx + 1,
                 message,
+                waived: false,
             }),
         }
     };
@@ -350,7 +378,9 @@ mod tests {
         let text =
             "// lint: allow(panic) — impossible by construction\nfn f() { panic!(\"x\"); }\n";
         let v = scan("crates/sql/src/x.rs", "sql", text);
-        assert!(v.is_empty());
+        assert_eq!(v.len(), 1, "waived finding is retained for audit");
+        assert!(v[0].waived);
+        assert_eq!(v[0].rule, Rule::Panic);
     }
 
     #[test]

@@ -40,8 +40,13 @@ impl Fixture {
         collect_violations(&self.root).expect("fixture scan succeeds")
     }
 
+    /// Count non-waived findings for `rule` (waived ones are retained in
+    /// the output for audit but don't count against anything).
     fn count(&self, rule: Rule) -> usize {
-        self.violations().iter().filter(|v| v.rule == rule).count()
+        self.violations()
+            .iter()
+            .filter(|v| v.rule == rule && !v.waived)
+            .count()
     }
 }
 
@@ -83,11 +88,21 @@ fn l2_panic_macros_need_a_waiver_with_a_reason() {
          pub fn c() {\n    // lint: allow(panic)\n    todo!();\n}\n",
     );
     let v = f.violations();
-    // a(): unwaived panic. b(): waived, clean. c(): a waiver missing its
-    // reason is reported as a `waiver` violation in place of the finding
-    // it covers — still a failure, but pointing at the broken comment.
+    // a(): unwaived panic. b(): waived — reported but marked. c(): a
+    // waiver missing its reason is reported as a `waiver` violation in
+    // place of the finding it covers — still a failure, but pointing at
+    // the broken comment.
     assert_eq!(
-        v.iter().filter(|v| v.rule == Rule::Panic).count(),
+        v.iter()
+            .filter(|v| v.rule == Rule::Panic && !v.waived)
+            .count(),
+        1,
+        "{v:?}"
+    );
+    assert_eq!(
+        v.iter()
+            .filter(|v| v.rule == Rule::Panic && v.waived)
+            .count(),
         1,
         "{v:?}"
     );
@@ -112,7 +127,10 @@ fn l3_lossy_casts_flagged_only_in_format_and_encode_files() {
          pub fn d(x: &dyn std::fmt::Debug) -> &dyn std::fmt::Debug {\n    x as &dyn std::fmt::Debug\n}\n",
     );
     let v = f.violations();
-    let casts: Vec<_> = v.iter().filter(|v| v.rule == Rule::Cast).collect();
+    let casts: Vec<_> = v
+        .iter()
+        .filter(|v| v.rule == Rule::Cast && !v.waived)
+        .collect();
     assert_eq!(casts.len(), 2, "{v:?}");
     assert!(casts.iter().any(|c| c.path.contains("encode/pack.rs")));
     assert!(casts.iter().any(|c| c.path.contains("format.rs")));
@@ -149,6 +167,62 @@ fn l5_lock_inversion_flagged_per_lock_order_md() {
     assert_eq!(locks.len(), 1, "{v:?}");
     assert_eq!(locks[0].line, 3);
     assert!(locks[0].message.contains("catalog.tables"));
+}
+
+#[test]
+fn l7_cross_function_inversion_flagged_through_the_call_graph() {
+    let f = Fixture::new("l7");
+    f.file(
+        "LOCK_ORDER.md",
+        "# order\n```lock-order\n1 catalog.tables crates/core/src/lib.rs tables\n3 table.inner crates/core/src/lib.rs inner\n```\n",
+    );
+    f.file(
+        "crates/core/src/lib.rs",
+        "pub struct T {\n    tables: RwLock<u32>,\n    inner: RwLock<u32>,\n}\n\
+         impl T {\n\
+         fn reload(&self) {\n    let t = self.tables.write();\n}\n\
+         pub fn bad(&self) {\n    let g = self.inner.write();\n    self.reload();\n}\n\
+         pub fn good(&self) {\n    {\n        let g = self.inner.write();\n    }\n    self.reload();\n}\n\
+         }\n",
+    );
+    let v = f.violations();
+    let l7: Vec<_> = v.iter().filter(|v| v.rule == Rule::LockOrderCall).collect();
+    assert_eq!(l7.len(), 1, "{v:?}");
+    assert!(l7[0].message.contains("`reload`"), "{}", l7[0].message);
+    assert!(
+        l7[0].message.contains("catalog.tables"),
+        "{}",
+        l7[0].message
+    );
+    assert!(l7[0].message.contains("table.inner"), "{}", l7[0].message);
+}
+
+#[test]
+fn l8_doc_drift_flagged_in_both_directions() {
+    let f = Fixture::new("l8");
+    // The doc declares a lock that no longer exists and misses one that
+    // does.
+    f.file(
+        "LOCK_ORDER.md",
+        "# order\n```lock-order\n1 gone.lock crates/core/src/lib.rs vanished\n```\n",
+    );
+    f.file(
+        "crates/core/src/lib.rs",
+        "pub struct T {\n    undocumented: Mutex<u32>,\n}\n",
+    );
+    let v = f.violations();
+    let l8: Vec<_> = v.iter().filter(|v| v.rule == Rule::LockOrderDoc).collect();
+    assert_eq!(l8.len(), 2, "{v:?}");
+    assert!(
+        l8.iter()
+            .any(|v| v.path == "LOCK_ORDER.md" && v.message.contains("stale row")),
+        "{v:?}"
+    );
+    assert!(
+        l8.iter()
+            .any(|v| v.path.contains("lib.rs") && v.message.contains("`undocumented`")),
+        "{v:?}"
+    );
 }
 
 #[test]

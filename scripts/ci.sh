@@ -10,6 +10,15 @@ cargo fmt --all --check
 echo "==> cstore-lint check"
 cargo run -q -p cstore-lint -- check
 
+# Lock-discipline gate, static half: `list` exits nonzero if any finding
+# is not explicitly waived — the interprocedural L7/L8 passes must stay
+# at zero live findings, not merely within the ratchet.
+echo "==> cstore-lint zero non-waived findings"
+cargo run -q -p cstore-lint -- list --json >/dev/null || {
+    echo "cstore-lint: non-waived findings present (run 'cargo run -p cstore-lint -- list')"
+    exit 1
+}
+
 echo "==> cargo build --release"
 cargo build --workspace --release -q
 
@@ -22,6 +31,14 @@ cargo test --workspace -q
 # the robustness suite directly.
 echo "==> chaos + degraded-open suites"
 cargo test -q --test chaos --test degraded_open
+
+# Lock-discipline gate, dynamic half: re-run the concurrency and chaos
+# suites with the `lockdep` feature, so a runtime lock-order inversion
+# anywhere in the engine aborts the suite instead of deadlocking in
+# production. (Unit tests get this for free via cfg(test); integration
+# tests compile the library without it, hence the explicit feature.)
+echo "==> concurrency + chaos under runtime lockdep"
+cargo test -q --features lockdep --test concurrency --test chaos
 
 # WAL gate: the crash-point matrix over every WAL append/fsync (clean
 # crash, torn write, bit flip), randomized crash schedules, group-commit

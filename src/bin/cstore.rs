@@ -5,6 +5,7 @@
 //! cargo run --release --bin cstore -- mydb/   # persistent session
 //! cargo run --release --bin cstore -- metrics [mydb/]   # metrics dump
 //! cargo run --release --bin cstore -- trace dump        # Chrome trace JSON
+//! cargo run --release --bin cstore -- lint [--json]     # static analysis
 //! ```
 //!
 //! Meta commands: `\tables`, `\stats <table>`, `\metrics`, `\save`,
@@ -30,6 +31,10 @@ fn main() {
             std::process::exit(2);
         }
         run_trace_dump();
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("lint") {
+        run_lint(std::env::args().nth(2).as_deref() == Some("--json"));
         return;
     }
     let dir: Option<PathBuf> = std::env::args().nth(1).map(PathBuf::from);
@@ -144,6 +149,35 @@ fn run_metrics(dir: Option<PathBuf>) {
 /// one query (parse/bind/plan/execute), a forced tuple-mover compression
 /// pass, and one persistence save — and print the span ring as Chrome
 /// trace-event JSON (load it at `chrome://tracing` or in Perfetto).
+/// `cstore lint [--json]` — run the in-repo static-analysis suite
+/// (L1–L8) against the workspace rooted at the current directory.
+/// Exits 0 only when every finding is waived and the ratchet holds.
+fn run_lint(json: bool) {
+    let root = PathBuf::from(".");
+    let baseline = root.join("lint-baseline.toml");
+    let (violations, cmp) = match cstore_lint::run_check(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cstore lint: {e}");
+            std::process::exit(2);
+        }
+    };
+    if json {
+        println!("{}", cstore_lint::render_json(&violations));
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("{} finding(s)", violations.len());
+    }
+    if !cmp.regressions.is_empty() {
+        for (key, base, cur) in &cmp.regressions {
+            eprintln!("ratchet regression {key}: baseline {base}, now {cur}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn run_trace_dump() {
     let tracer = cstore::common::trace::global();
     tracer.enable();

@@ -126,3 +126,39 @@ fn concurrent_deletes_and_mover_lose_nothing() {
     let r = db.execute("SELECT COUNT(*) FROM ledger").unwrap();
     assert_eq!(r.rows()[0].get(0), &Value::Int64(33_000 - 1000));
 }
+
+/// With the `lockdep` feature on, the runtime checker aborts a real
+/// inversion loudly: acquiring a lower-leveled lock while a higher one
+/// is held panics with both lock names. (Integration tests compile the
+/// library without `cfg(test)`, so this only fires under the feature —
+/// exactly the release-diagnostics configuration ci.sh exercises.)
+#[cfg(feature = "lockdep")]
+#[test]
+fn lockdep_feature_panics_on_deliberate_inversion() {
+    use cstore::common::sync::Mutex;
+
+    // Levels far above the engine's 1–11 band so this test cannot
+    // interfere with real engine locks on other threads.
+    let err = std::thread::spawn(|| {
+        let low = Mutex::new_leveled(901, "itest.low", 0);
+        let high = Mutex::new_leveled(902, "itest.high", 0);
+        let _hi = high.lock();
+        let _lo = low.lock(); // 901 <= 902: inversion
+    })
+    .join()
+    .expect_err("inversion must panic under the lockdep feature");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("itest.low"), "{msg}");
+    assert!(msg.contains("itest.high"), "{msg}");
+    assert!(msg.contains("LOCK_ORDER.md"), "{msg}");
+
+    // And the well-ordered path stays silent.
+    std::thread::spawn(|| {
+        let low = Mutex::new_leveled(901, "itest.low", 0);
+        let high = Mutex::new_leveled(902, "itest.high", 0);
+        let _lo = low.lock();
+        let _hi = high.lock();
+    })
+    .join()
+    .expect("ascending order must not panic");
+}
