@@ -6,10 +6,13 @@
 //! constant factor for the partition/re-read pass — rather than falling
 //! off a cliff.
 
+use std::sync::Arc;
+
 use cstore_bench::report::{banner, Table};
-use cstore_bench::{fmt_bytes, fmt_ms, median_time, Scale};
+use cstore_bench::{fmt_bytes, fmt_ms, median_time, BenchResult, Scale};
+use cstore_common::governor::MemoryLedger;
 use cstore_common::DataType;
-use cstore_common::{Row, Value};
+use cstore_common::{Error, Row, Value};
 use cstore_exec::ops::collect_rows;
 use cstore_exec::ops::hash_join::JoinType;
 use cstore_exec::{BatchHashJoin, BatchSource, ExecContext};
@@ -76,6 +79,7 @@ fn main() {
         (t, spilled, bytes)
     };
 
+    let started = std::time::Instant::now();
     let mut table = Table::new(&[
         "memory budget",
         "% of build",
@@ -84,10 +88,13 @@ fn main() {
         "spilled bytes",
     ]);
     let mut base = None;
+    let mut extras: Vec<(String, f64)> = Vec::new();
     for pct in [200, 100, 75, 50, 25, 10] {
         let budget = (build_bytes * pct / 100).max(1024);
         let (t, spilled, bytes) = run(budget);
         let b = *base.get_or_insert(t.as_secs_f64());
+        extras.push((format!("budget_{pct}pct_ms"), t.as_secs_f64() * 1e3));
+        extras.push((format!("budget_{pct}pct_spilled_bytes"), (bytes / 3) as f64));
         table.row(&[
             fmt_bytes(budget),
             format!("{pct}%"),
@@ -102,4 +109,96 @@ fn main() {
     }
     table.print();
     println!("\nshape check: once the budget drops below the build size the join spills, and the cost rises by a modest constant factor — not a cliff (graceful degradation).");
+
+    // Concurrent axis: K identical joins race against ONE shared memory
+    // ledger (the resource governor's global accounting) capped at 1.5×
+    // the build side. One query fits in memory; under contention each
+    // join either spills (per-query budget still applies) or fails
+    // cleanly with the ledger-exhausted error — never a panic or an OOM.
+    println!();
+    banner(
+        "E8b",
+        "Concurrent joins against one shared memory ledger",
+        "K joins race one global byte ceiling (1.5x build side)",
+    );
+    let mut ctable = Table::new(&["concurrency", "wall ms", "completed", "exhausted", "spills"]);
+    for k in [1usize, 4, 8, 16] {
+        let ledger = Arc::new(MemoryLedger::default());
+        ledger.set_limit((build_bytes * 3 / 2) as u64);
+        let t0 = std::time::Instant::now();
+        let (mut completed, mut exhausted, mut spills) = (0u64, 0u64, 0u64);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..k)
+                .map(|_| {
+                    let ledger = Arc::clone(&ledger);
+                    let (probe, build) = (&probe, &build);
+                    let (types_p, types_b) = (&types_p, &types_b);
+                    s.spawn(move || {
+                        let ctx = ExecContext::default()
+                            .with_budget(build_bytes / 2)
+                            .with_ledger(ledger)
+                            .for_query();
+                        let p = BatchSource::from_rows(types_p.clone(), probe, 900).expect("probe");
+                        let b = BatchSource::from_rows(types_b.clone(), build, 900).expect("build");
+                        let join = BatchHashJoin::new(
+                            Box::new(p),
+                            Box::new(b),
+                            vec![0],
+                            vec![0],
+                            JoinType::Inner,
+                            ctx.clone(),
+                        );
+                        let outcome = join.and_then(|j| collect_rows(Box::new(j)));
+                        let spilled = ctx
+                            .metrics
+                            .snapshot()
+                            .iter()
+                            .find(|(n, _)| *n == "partitions_spilled")
+                            .map_or(0, |(_, v)| *v);
+                        match outcome {
+                            Ok(rows) => {
+                                assert_eq!(rows.len(), n_probe, "wrong join cardinality");
+                                (1u64, 0u64, spilled)
+                            }
+                            Err(Error::ResourceExhausted(_)) => (0, 1, spilled),
+                            Err(e) => panic!("unexpected error class: {e}"),
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (c, x, sp) = h.join().expect("no panics under memory pressure");
+                completed += c;
+                exhausted += x;
+                spills += sp;
+            }
+        });
+        let wall = t0.elapsed();
+        assert_eq!(ledger.reserved(), 0, "ledger must drain after the storm");
+        extras.push((format!("concurrent_k{k}_ms"), wall.as_secs_f64() * 1e3));
+        extras.push((format!("concurrent_k{k}_completed"), completed as f64));
+        extras.push((format!("concurrent_k{k}_exhausted"), exhausted as f64));
+        ctable.row(&[
+            format!("{k}"),
+            fmt_ms(wall),
+            format!("{completed}"),
+            format!("{exhausted}"),
+            format!("{spills}"),
+        ]);
+    }
+    ctable.print();
+    println!("\nshape check: under one shared ledger every join completes (spilling) or fails with the clean ledger-exhausted error; reservations drain to zero after each storm.");
+
+    let result = BenchResult {
+        experiment: "E8".into(),
+        rows: n_probe,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        bytes: build_bytes,
+        compression_ratio: 1.0,
+        extras,
+    };
+    match result.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_E8.json: {e}"),
+    }
 }

@@ -28,6 +28,13 @@ pub enum Error {
     Io(std::io::Error),
     /// An operation is valid but not supported by this build.
     Unsupported(String),
+    /// The resource governor refused the operation: admission queue
+    /// timeout/overflow, or a memory reservation beyond the shared ledger
+    /// that could not be resolved by spilling.
+    ResourceExhausted(String),
+    /// The database is in read-only degradation; the message names the
+    /// cause (sticky WAL failure, blob-store write failure, failed mover).
+    ReadOnly(String),
 }
 
 impl Error {
@@ -42,6 +49,8 @@ impl Error {
             Error::Storage(_) => "STORAGE",
             Error::Io(_) => "IO",
             Error::Unsupported(_) => "UNSUPPORTED",
+            Error::ResourceExhausted(_) => "RESOURCE_EXHAUSTED",
+            Error::ReadOnly(_) => "READ_ONLY",
         }
     }
 }
@@ -57,6 +66,8 @@ impl fmt::Display for Error {
             Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            Error::ReadOnly(m) => write!(f, "database is read-only: {m}"),
         }
     }
 }
@@ -85,6 +96,17 @@ mod tests {
         let e = Error::Type("expected Int64".into());
         assert_eq!(e.to_string(), "type error: expected Int64");
         assert_eq!(e.code(), "TYPE");
+    }
+
+    #[test]
+    fn governor_variants_display_and_code() {
+        let e = Error::ResourceExhausted("admission queue timeout".into());
+        assert_eq!(e.code(), "RESOURCE_EXHAUSTED");
+        assert_eq!(e.to_string(), "resource exhausted: admission queue timeout");
+        let e = Error::ReadOnly("WAL is failed: disk full".into());
+        assert_eq!(e.code(), "READ_ONLY");
+        assert!(e.to_string().contains("read-only"));
+        assert!(e.to_string().contains("disk full"));
     }
 
     #[test]

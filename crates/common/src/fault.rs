@@ -20,6 +20,42 @@ use crate::testutil::Rng;
 use crate::{Error, FxHashMap};
 use std::sync::Arc;
 
+/// Every fault point the engine consults, with a one-line description —
+/// the source of truth behind `cstore faults list` and the shell's
+/// `\faults`, so chaos schedules enumerate real names instead of
+/// hard-coding strings that drift. Components adding a `hit("...")`
+/// call must add the point here (the names are asserted in tests).
+///
+/// `blob.put` also has a keyed form, `blob.put:<key>`, targeting one
+/// specific object; the keyed form is consulted in addition to the
+/// plain point.
+pub const KNOWN_FAULT_POINTS: &[(&str, &str)] = &[
+    (
+        "alloc.reserve",
+        "memory-ledger reservation (governor); firing fails the reserve",
+    ),
+    ("blob.delete", "blob-store delete through FaultyBlobStore"),
+    ("blob.get", "blob-store read through FaultyBlobStore"),
+    (
+        "blob.put",
+        "blob-store write through FaultyBlobStore (ENOSPC via IoError; keyed form blob.put:<key>)",
+    ),
+    (
+        "governor.admit",
+        "query admission in Database::execute; firing rejects the query",
+    ),
+    (
+        "mover.pass",
+        "tuple-mover compression pass entry; IoError is transient, others fatal",
+    ),
+    (
+        "wal.append",
+        "WAL frame append inside flush_batch (per frame)",
+    ),
+    ("wal.fsync", "WAL segment fsync after a group-commit batch"),
+    ("wal.replay", "WAL record decode during recovery replay"),
+];
+
 /// The kinds of fault the injector can order a component to act out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -292,6 +328,25 @@ mod tests {
         let ys: Vec<u64> = (0..10).map(|_| b.rng_below(1000)).collect();
         assert_eq!(xs, ys);
         assert_eq!(a.rng_below(0), 0);
+    }
+
+    #[test]
+    fn known_points_are_sorted_unique_and_described() {
+        let names: Vec<&str> = KNOWN_FAULT_POINTS.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            names, sorted,
+            "KNOWN_FAULT_POINTS must be sorted and unique"
+        );
+        for (name, desc) in KNOWN_FAULT_POINTS {
+            assert!(!name.is_empty() && !desc.is_empty());
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '.'),
+                "point name '{name}' must be lowercase dotted"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,932 @@
+//! The resource governor: admission control, a process-wide memory
+//! ledger, delta-store backpressure, and the health state machine that
+//! degrades the engine to read-only under storage failure.
+//!
+//! A columnstore engine under "heavy traffic from millions of users"
+//! fails in one of two ways: it grows without bound (every query assumes
+//! the whole machine, a stalled tuple mover lets delta stores pile up),
+//! or it falls over with raw I/O errors the moment storage misbehaves.
+//! The governor makes both failure modes *governed*:
+//!
+//! * [`AdmissionGate`] — a configurable max-concurrent-queries gate with
+//!   a bounded wait queue and a queue timeout. Unlimited by default, so
+//!   an ungoverned embedded database behaves exactly as before.
+//! * [`MemoryLedger`] — one process-wide byte ceiling that every query's
+//!   blocking operators (hash-join builds, sorts) reserve from and
+//!   release to, so N concurrent queries share one budget instead of
+//!   each assuming it owns the machine. Over-reservation is a clean
+//!   [`Error::ResourceExhausted`]; operators with a spill path spill
+//!   first. Delta stores charge the same ledger (non-failing — ingest is
+//!   governed by backpressure, not by memory errors).
+//! * [`BackpressureGate`] — trickle inserts block (with a deadline) when
+//!   the count of closed, un-moved delta stores crosses a high-water
+//!   mark, and wake on tuple-mover progress, so a stalled mover can no
+//!   longer cause unbounded delta growth. Disabled by default.
+//! * [`Health`] — `Healthy → ReadOnly(cause) → Healthy`: a sticky WAL
+//!   failure, ENOSPC from a blob/log store, or a parked tuple mover
+//!   transitions the database to read-only. Writes are rejected with an
+//!   [`Error::ReadOnly`] naming the cause; reads keep serving. Recovery
+//!   is probe-based with exponential backoff ([`Health::probe_due`]).
+//!
+//! All four are observable through [`Governor::snapshot`] (the
+//! `sys.resource_governor` view and the `cstore_governor_*` Prometheus
+//! series render it) and fault-injectable at the `governor.admit` and
+//! `alloc.reserve` points.
+//!
+//! # Locking
+//!
+//! The governor's three leveled locks (`governor.admission` at 12,
+//! `governor.backpressure` at 13, `governor.health` at 14) sit *above*
+//! every engine lock: admission is decided before a statement touches
+//! any engine state, backpressure waits park with no table lock held,
+//! and health transitions are leaf operations that never call back into
+//! the engine. See LOCK_ORDER.md.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::sync::{Condvar, Mutex, RwLock};
+use crate::{Error, FaultInjector, Result};
+
+/// Fault point consulted by [`Governor::admit_query`].
+pub const FAULT_POINT_ADMIT: &str = "governor.admit";
+/// Fault point consulted by [`MemoryLedger::reserve`].
+pub const FAULT_POINT_RESERVE: &str = "alloc.reserve";
+
+// ------------------------------------------------------------- admission
+
+/// Mutable half of the admission gate, behind the `governor.admission`
+/// lock (level 12).
+#[derive(Debug)]
+struct AdmissionState {
+    /// Queries currently holding a permit.
+    running: u64,
+    /// Threads parked waiting for a slot.
+    queued: u64,
+    /// `SET max_concurrent_queries`; 0 = unlimited (the default).
+    max_concurrent: u64,
+    /// Waiters allowed in the queue before new arrivals are rejected
+    /// outright instead of parked.
+    max_queue: u64,
+    /// `SET admission_timeout_ms`: how long an arrival may wait for a
+    /// slot before failing with [`Error::ResourceExhausted`].
+    timeout: Duration,
+}
+
+/// The max-concurrent-queries gate. Cheap when unlimited (one mutex
+/// round-trip per query); a bounded wait queue plus timeout when not.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    state: Mutex<AdmissionState>,
+    slot_freed: Condvar,
+    admitted_total: AtomicU64,
+    rejected_total: AtomicU64,
+    timeouts_total: AtomicU64,
+}
+
+impl Default for AdmissionGate {
+    fn default() -> Self {
+        AdmissionGate {
+            state: Mutex::new_leveled(
+                12,
+                "governor.admission",
+                AdmissionState {
+                    running: 0,
+                    queued: 0,
+                    max_concurrent: 0,
+                    max_queue: 64,
+                    timeout: Duration::from_millis(5_000),
+                },
+            ),
+            slot_freed: Condvar::new(),
+            admitted_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            timeouts_total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AdmissionGate {
+    /// Acquire a query slot, parking up to the admission timeout when
+    /// the gate is saturated. The returned permit releases the slot on
+    /// drop. Errors are clean [`Error::ResourceExhausted`]s: queue
+    /// overflow rejects immediately, a timeout rejects after waiting.
+    pub fn admit(self: &Arc<Self>) -> Result<AdmissionPermit> {
+        let mut st = self.state.lock();
+        if st.max_concurrent == 0 || st.running < st.max_concurrent {
+            st.running += 1;
+            drop(st);
+            self.admitted_total.fetch_add(1, Ordering::Relaxed);
+            return Ok(AdmissionPermit {
+                gate: Arc::clone(self),
+            });
+        }
+        if st.queued >= st.max_queue {
+            let (queued, max_queue) = (st.queued, st.max_queue);
+            drop(st);
+            self.rejected_total.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::ResourceExhausted(format!(
+                "admission queue full: {queued} queries already waiting (limit {max_queue}); \
+                 raise SET max_concurrent_queries or retry later"
+            )));
+        }
+        st.queued += 1;
+        let deadline = Instant::now() + st.timeout;
+        loop {
+            if st.max_concurrent == 0 || st.running < st.max_concurrent {
+                st.queued = st.queued.saturating_sub(1);
+                st.running += 1;
+                drop(st);
+                self.admitted_total.fetch_add(1, Ordering::Relaxed);
+                return Ok(AdmissionPermit {
+                    gate: Arc::clone(self),
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                st.queued = st.queued.saturating_sub(1);
+                let timeout = st.timeout;
+                drop(st);
+                self.timeouts_total.fetch_add(1, Ordering::Relaxed);
+                self.rejected_total.fetch_add(1, Ordering::Relaxed);
+                return Err(Error::ResourceExhausted(format!(
+                    "admission timeout: no query slot freed within {}ms \
+                     (SET max_concurrent_queries / SET admission_timeout_ms)",
+                    timeout.as_millis()
+                )));
+            }
+            st = self.slot_freed.wait_timeout(st, deadline - now);
+        }
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock();
+        st.running = st.running.saturating_sub(1);
+        drop(st);
+        self.slot_freed.notify_all();
+    }
+
+    /// `SET max_concurrent_queries` (0 = unlimited). Raising the limit
+    /// wakes parked waiters.
+    pub fn set_max_concurrent(&self, n: u64) {
+        self.state.lock().max_concurrent = n;
+        self.slot_freed.notify_all();
+    }
+
+    /// `SET admission_timeout_ms` for future arrivals.
+    pub fn set_timeout(&self, timeout: Duration) {
+        self.state.lock().timeout = timeout;
+    }
+
+    /// Bound the wait queue (arrivals beyond it are rejected outright).
+    pub fn set_max_queue(&self, n: u64) {
+        self.state.lock().max_queue = n;
+    }
+}
+
+/// RAII admission slot; dropping it frees the slot and wakes one waiter.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    gate: Arc<AdmissionGate>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+// ----------------------------------------------------------- memory ledger
+
+/// The process-wide byte ledger shared by every concurrent query's
+/// blocking operators and by delta-store accounting. Lock-free on the
+/// reserve/release path (one CAS per call).
+#[derive(Debug)]
+pub struct MemoryLedger {
+    /// Byte ceiling; 0 = unlimited (the default).
+    limit: AtomicU64,
+    /// Bytes currently reserved or charged.
+    reserved: AtomicU64,
+    /// High-water mark of `reserved` over the ledger's lifetime.
+    peak: AtomicU64,
+    /// Reservations refused because they would cross the limit.
+    exhausted_total: AtomicU64,
+    /// Chaos hook consulted at `alloc.reserve` (see
+    /// [`Governor::set_fault_injector`]).
+    faults: RwLock<Option<FaultInjector>>,
+}
+
+impl Default for MemoryLedger {
+    fn default() -> Self {
+        MemoryLedger {
+            limit: AtomicU64::new(0),
+            reserved: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            exhausted_total: AtomicU64::new(0),
+            faults: RwLock::new(None),
+        }
+    }
+}
+
+impl MemoryLedger {
+    /// Reserve `bytes` against the shared ceiling. Fails with a clean
+    /// [`Error::ResourceExhausted`] when the reservation would cross the
+    /// limit — callers with a spill path treat that as "spill now".
+    pub fn reserve(&self, bytes: u64) -> Result<()> {
+        let injected = self.faults.read().as_ref().and_then(|f| {
+            f.hit(FAULT_POINT_RESERVE)
+                .map(|k| k.to_error(FAULT_POINT_RESERVE))
+        });
+        if let Some(e) = injected {
+            self.exhausted_total.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let limit = self.limit.load(Ordering::Relaxed);
+        let result = self
+            .reserved
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                let next = cur.saturating_add(bytes);
+                (limit == 0 || next <= limit).then_some(next)
+            });
+        match result {
+            Ok(prev) => {
+                self.peak
+                    .fetch_max(prev.saturating_add(bytes), Ordering::Relaxed);
+                Ok(())
+            }
+            Err(cur) => {
+                self.exhausted_total.fetch_add(1, Ordering::Relaxed);
+                Err(Error::ResourceExhausted(format!(
+                    "memory ledger exhausted: reserving {bytes} B on top of {cur} B \
+                     would cross the {limit} B shared limit"
+                )))
+            }
+        }
+    }
+
+    /// Return `bytes` to the ledger (saturating: never underflows).
+    pub fn release(&self, bytes: u64) {
+        // lint: allow(discard) — fetch_update with Some(..) cannot fail
+        let _ = self
+            .reserved
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes))
+            });
+    }
+
+    /// Non-failing accounting charge (delta-store bytes): ingest is
+    /// governed by backpressure, not memory errors, but its footprint
+    /// still counts against what queries see as available.
+    pub fn charge(&self, bytes: u64) {
+        let prev = self.reserved.fetch_add(bytes, Ordering::Relaxed);
+        self.peak
+            .fetch_max(prev.saturating_add(bytes), Ordering::Relaxed);
+    }
+
+    /// Undo a [`MemoryLedger::charge`].
+    pub fn uncharge(&self, bytes: u64) {
+        self.release(bytes);
+    }
+
+    /// Bytes currently reserved or charged.
+    pub fn reserved(&self) -> u64 {
+        self.reserved.load(Ordering::Relaxed)
+    }
+
+    /// The ceiling (0 = unlimited).
+    pub fn limit(&self) -> u64 {
+        self.limit.load(Ordering::Relaxed)
+    }
+
+    /// Set the ceiling (0 = unlimited). Takes effect for future
+    /// reservations; existing ones are never clawed back.
+    pub fn set_limit(&self, bytes: u64) {
+        self.limit.store(bytes, Ordering::Relaxed);
+    }
+
+    fn set_fault_injector(&self, f: FaultInjector) {
+        *self.faults.write() = Some(f);
+    }
+}
+
+/// One query's running total against a shared [`MemoryLedger`]: the
+/// query reserves and releases through this handle, and whatever is
+/// still outstanding when the query ends (including on an error path)
+/// is returned to the ledger by `Drop`.
+#[derive(Debug)]
+pub struct QueryReservation {
+    ledger: Arc<MemoryLedger>,
+    held: AtomicU64,
+}
+
+impl QueryReservation {
+    pub fn new(ledger: Arc<MemoryLedger>) -> Self {
+        QueryReservation {
+            ledger,
+            held: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserve `bytes` for this query (see [`MemoryLedger::reserve`]).
+    pub fn reserve(&self, bytes: u64) -> Result<()> {
+        self.ledger.reserve(bytes)?;
+        self.held.fetch_add(bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Release up to `bytes` of this query's outstanding reservation.
+    pub fn release(&self, bytes: u64) {
+        let mut freed = 0;
+        // lint: allow(discard) — fetch_update with Some(..) cannot fail
+        let _ = self
+            .held
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                freed = cur.min(bytes);
+                Some(cur - freed)
+            });
+        self.ledger.release(freed);
+    }
+
+    /// Bytes this query currently holds.
+    pub fn held(&self) -> u64 {
+        self.held.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for QueryReservation {
+    fn drop(&mut self) {
+        let held = self.held.swap(0, Ordering::Relaxed);
+        self.ledger.release(held);
+    }
+}
+
+// ------------------------------------------------------------ backpressure
+
+/// Wakes trickle inserters parked at the delta high-water mark when the
+/// tuple mover makes progress. The gate itself holds no table state: the
+/// insert path re-reads its closed-delta count between waits, so a
+/// missed notification costs at most one wait slice, never a deadline.
+#[derive(Debug)]
+pub struct BackpressureGate {
+    /// Closed (filled, un-moved) delta stores tolerated per table before
+    /// trickle inserts block; 0 = disabled (the default).
+    high_water: AtomicU64,
+    /// How long a blocked insert waits for mover progress before failing
+    /// with [`Error::ResourceExhausted`].
+    timeout_ms: AtomicU64,
+    /// Progress generation, bumped by [`BackpressureGate::notify_progress`].
+    progress: Mutex<u64>,
+    moved: Condvar,
+    waits_total: AtomicU64,
+    rejected_total: AtomicU64,
+}
+
+/// Upper bound of one wait slice: even with no notification at all, a
+/// parked inserter re-checks its condition this often.
+const BACKPRESSURE_WAIT_SLICE: Duration = Duration::from_millis(50);
+
+impl Default for BackpressureGate {
+    fn default() -> Self {
+        BackpressureGate {
+            high_water: AtomicU64::new(0),
+            timeout_ms: AtomicU64::new(10_000),
+            progress: Mutex::new_leveled(13, "governor.backpressure", 0),
+            moved: Condvar::new(),
+            waits_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl BackpressureGate {
+    /// The high-water mark (0 = backpressure disabled).
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Enable backpressure at `n` closed delta stores (0 disables).
+    pub fn set_high_water(&self, n: u64) {
+        self.high_water.store(n, Ordering::Relaxed);
+        self.notify_progress();
+    }
+
+    /// The per-insert blocking deadline.
+    pub fn timeout(&self) -> Duration {
+        Duration::from_millis(self.timeout_ms.load(Ordering::Relaxed))
+    }
+
+    pub fn set_timeout_ms(&self, ms: u64) {
+        self.timeout_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Signal mover progress (closed delta stores were compressed) and
+    /// wake every parked inserter.
+    pub fn notify_progress(&self) {
+        *self.progress.lock() += 1;
+        self.moved.notify_all();
+    }
+
+    /// Park for one wait slice (or until progress is signalled, or until
+    /// `deadline`, whichever is earliest). The caller re-checks its own
+    /// condition after every slice.
+    pub fn wait_slice(&self, deadline: Instant) {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let slice = BACKPRESSURE_WAIT_SLICE.min(deadline - now);
+        let guard = self.progress.lock();
+        // lint: allow(discard) — wake reason is irrelevant: the caller
+        // re-reads its closed-delta count either way
+        let _ = self.moved.wait_timeout(guard, slice);
+    }
+
+    /// Count one insert that had to block.
+    pub fn note_wait(&self) {
+        self.waits_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one insert that gave up at the deadline.
+    pub fn note_rejected(&self) {
+        self.rejected_total.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ------------------------------------------------------------------ health
+
+/// Mutable half of the health machine, behind the `governor.health` lock
+/// (level 14).
+#[derive(Debug)]
+struct HealthInner {
+    /// `Some(cause)` = read-only.
+    cause: Option<String>,
+    /// Current probe backoff (doubles per failed probe window).
+    backoff: Duration,
+    /// No probe before this instant.
+    next_probe: Option<Instant>,
+}
+
+/// `Healthy → ReadOnly(cause) → Healthy`. Degradation is sticky until a
+/// recovery probe (rate-limited with exponential backoff) verifies that
+/// storage accepts writes again.
+#[derive(Debug)]
+pub struct Health {
+    inner: Mutex<HealthInner>,
+    degraded_total: AtomicU64,
+    write_rejects_total: AtomicU64,
+    probes_total: AtomicU64,
+}
+
+const PROBE_BACKOFF_BASE: Duration = Duration::from_millis(100);
+const PROBE_BACKOFF_MAX: Duration = Duration::from_secs(5);
+
+impl Default for Health {
+    fn default() -> Self {
+        Health {
+            inner: Mutex::new_leveled(
+                14,
+                "governor.health",
+                HealthInner {
+                    cause: None,
+                    backoff: PROBE_BACKOFF_BASE,
+                    next_probe: None,
+                },
+            ),
+            degraded_total: AtomicU64::new(0),
+            write_rejects_total: AtomicU64::new(0),
+            probes_total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Health {
+    /// Transition to read-only, naming the cause. Idempotent: an already
+    /// degraded database keeps its first cause.
+    pub fn degrade(&self, cause: impl Into<String>) {
+        let mut inner = self.inner.lock();
+        if inner.cause.is_none() {
+            inner.cause = Some(cause.into());
+            inner.backoff = PROBE_BACKOFF_BASE;
+            inner.next_probe = Some(Instant::now() + PROBE_BACKOFF_BASE);
+            self.degraded_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Transition back to healthy (a recovery probe succeeded).
+    pub fn recover(&self) {
+        let mut inner = self.inner.lock();
+        inner.cause = None;
+        inner.backoff = PROBE_BACKOFF_BASE;
+        inner.next_probe = None;
+    }
+
+    /// The degradation cause, if read-only.
+    pub fn cause(&self) -> Option<String> {
+        self.inner.lock().cause.clone()
+    }
+
+    pub fn is_read_only(&self) -> bool {
+        self.inner.lock().cause.is_some()
+    }
+
+    /// Gate a write: `Err(Error::ReadOnly(cause))` while degraded.
+    pub fn check_writable(&self) -> Result<()> {
+        match self.inner.lock().cause.clone() {
+            None => Ok(()),
+            Some(cause) => {
+                self.write_rejects_total.fetch_add(1, Ordering::Relaxed);
+                Err(Error::ReadOnly(cause))
+            }
+        }
+    }
+
+    /// Whether a recovery probe is due. A `true` answer *claims* the
+    /// probe window: the backoff doubles and the next window is pushed
+    /// out, so concurrent writers do not stampede storage with probes.
+    pub fn probe_due(&self) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.cause.is_none() {
+            return false;
+        }
+        let now = Instant::now();
+        match inner.next_probe {
+            Some(t) if now < t => false,
+            _ => {
+                inner.backoff = (inner.backoff * 2).min(PROBE_BACKOFF_MAX);
+                inner.next_probe = Some(now + inner.backoff);
+                true
+            }
+        }
+    }
+
+    /// Count one recovery probe attempt.
+    pub fn note_probe(&self) {
+        self.probes_total.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------- governor
+
+/// Callback a recovery probe runs to verify the primary blob store
+/// accepts writes again (e.g. put-then-delete of a probe key).
+pub type StorageProbe = Box<dyn Fn() -> Result<()> + Send + Sync>;
+
+/// The four governance mechanisms plus their chaos and observability
+/// wiring, shared engine-wide behind one `Arc`.
+pub struct Governor {
+    admission: Arc<AdmissionGate>,
+    ledger: Arc<MemoryLedger>,
+    backpressure: Arc<BackpressureGate>,
+    health: Arc<Health>,
+    faults: RwLock<Option<FaultInjector>>,
+    storage_probe: RwLock<Option<StorageProbe>>,
+}
+
+impl std::fmt::Debug for Governor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Governor")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl Default for Governor {
+    fn default() -> Self {
+        Governor {
+            admission: Arc::new(AdmissionGate::default()),
+            ledger: Arc::new(MemoryLedger::default()),
+            backpressure: Arc::new(BackpressureGate::default()),
+            health: Arc::new(Health::default()),
+            faults: RwLock::new(None),
+            storage_probe: RwLock::new(None),
+        }
+    }
+}
+
+impl Governor {
+    pub fn new() -> Governor {
+        Governor::default()
+    }
+
+    pub fn admission(&self) -> &Arc<AdmissionGate> {
+        &self.admission
+    }
+
+    pub fn ledger(&self) -> &Arc<MemoryLedger> {
+        &self.ledger
+    }
+
+    pub fn backpressure(&self) -> &Arc<BackpressureGate> {
+        &self.backpressure
+    }
+
+    pub fn health(&self) -> &Arc<Health> {
+        &self.health
+    }
+
+    /// Admit one query, consulting the `governor.admit` fault point
+    /// first (chaos tests fail admission deterministically through it).
+    pub fn admit_query(&self) -> Result<AdmissionPermit> {
+        let injected = self.faults.read().as_ref().and_then(|f| {
+            f.hit(FAULT_POINT_ADMIT)
+                .map(|k| k.to_error(FAULT_POINT_ADMIT))
+        });
+        if let Some(e) = injected {
+            return Err(e);
+        }
+        self.admission.admit()
+    }
+
+    /// Install a fault injector consulted at `governor.admit` and
+    /// `alloc.reserve`.
+    pub fn set_fault_injector(&self, f: FaultInjector) {
+        self.ledger.set_fault_injector(f.clone());
+        *self.faults.write() = Some(f);
+    }
+
+    /// Register the storage-side recovery probe (see [`StorageProbe`]).
+    pub fn set_storage_probe(&self, probe: impl Fn() -> Result<()> + Send + Sync + 'static) {
+        *self.storage_probe.write() = Some(Box::new(probe));
+    }
+
+    /// Run the registered storage probe (`Ok` when none is registered —
+    /// an in-memory database has no blob store to verify).
+    pub fn run_storage_probe(&self) -> Result<()> {
+        match self.storage_probe.read().as_ref() {
+            Some(p) => p(),
+            None => Ok(()),
+        }
+    }
+
+    /// Point-in-time counters for `sys.resource_governor` and the
+    /// `cstore_governor_*` metric series.
+    pub fn snapshot(&self) -> GovernorSnapshot {
+        let (running, queued, max_concurrent) = {
+            let st = self.admission.state.lock();
+            (st.running, st.queued, st.max_concurrent)
+        };
+        GovernorSnapshot {
+            admission_running: running,
+            admission_queued: queued,
+            admission_max_concurrent: max_concurrent,
+            admission_admitted_total: self.admission.admitted_total.load(Ordering::Relaxed),
+            admission_rejected_total: self.admission.rejected_total.load(Ordering::Relaxed),
+            admission_timeouts_total: self.admission.timeouts_total.load(Ordering::Relaxed),
+            mem_reserved_bytes: self.ledger.reserved(),
+            mem_peak_bytes: self.ledger.peak.load(Ordering::Relaxed),
+            mem_limit_bytes: self.ledger.limit(),
+            mem_exhausted_total: self.ledger.exhausted_total.load(Ordering::Relaxed),
+            backpressure_high_water: self.backpressure.high_water(),
+            backpressure_waits_total: self.backpressure.waits_total.load(Ordering::Relaxed),
+            backpressure_rejected_total: self.backpressure.rejected_total.load(Ordering::Relaxed),
+            health_cause: self.health.cause(),
+            degraded_total: self.health.degraded_total.load(Ordering::Relaxed),
+            write_rejects_total: self.health.write_rejects_total.load(Ordering::Relaxed),
+            recovery_probes_total: self.health.probes_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counters exposed by [`Governor::snapshot`].
+#[derive(Clone, Debug)]
+pub struct GovernorSnapshot {
+    pub admission_running: u64,
+    pub admission_queued: u64,
+    /// 0 = unlimited.
+    pub admission_max_concurrent: u64,
+    pub admission_admitted_total: u64,
+    pub admission_rejected_total: u64,
+    pub admission_timeouts_total: u64,
+    pub mem_reserved_bytes: u64,
+    pub mem_peak_bytes: u64,
+    /// 0 = unlimited.
+    pub mem_limit_bytes: u64,
+    pub mem_exhausted_total: u64,
+    /// 0 = disabled.
+    pub backpressure_high_water: u64,
+    pub backpressure_waits_total: u64,
+    pub backpressure_rejected_total: u64,
+    /// `Some(cause)` = read-only.
+    pub health_cause: Option<String>,
+    pub degraded_total: u64,
+    pub write_rejects_total: u64,
+    pub recovery_probes_total: u64,
+}
+
+impl GovernorSnapshot {
+    /// `"HEALTHY"` or `"READ_ONLY"`, as rendered by the sys view.
+    pub fn health_state(&self) -> &'static str {
+        if self.health_cause.is_some() {
+            "READ_ONLY"
+        } else {
+            "HEALTHY"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultSpec};
+
+    #[test]
+    fn unlimited_gate_admits_everything() {
+        let gate = Arc::new(AdmissionGate::default());
+        let permits: Vec<_> = (0..32).map(|_| gate.admit().unwrap()).collect();
+        assert_eq!(gate.state.lock().running, 32);
+        drop(permits);
+        assert_eq!(gate.state.lock().running, 0);
+        assert_eq!(gate.admitted_total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn saturated_gate_times_out_cleanly() {
+        let gate = Arc::new(AdmissionGate::default());
+        gate.set_max_concurrent(1);
+        gate.set_timeout(Duration::from_millis(30));
+        let held = gate.admit().unwrap();
+        let err = gate.admit().unwrap_err();
+        assert_eq!(err.code(), "RESOURCE_EXHAUSTED");
+        assert!(err.to_string().contains("admission timeout"), "{err}");
+        assert_eq!(gate.timeouts_total.load(Ordering::Relaxed), 1);
+        drop(held);
+        // Slot freed: the next arrival is admitted immediately.
+        drop(gate.admit().unwrap());
+    }
+
+    #[test]
+    fn queued_arrival_wakes_on_release() {
+        let gate = Arc::new(AdmissionGate::default());
+        gate.set_max_concurrent(1);
+        gate.set_timeout(Duration::from_secs(5));
+        let held = gate.admit().unwrap();
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || g2.admit().map(drop));
+        // Let the waiter park, then free the slot.
+        while gate.state.lock().queued == 0 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        waiter.join().unwrap().unwrap();
+        assert_eq!(gate.state.lock().running, 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_immediately() {
+        let gate = Arc::new(AdmissionGate::default());
+        gate.set_max_concurrent(1);
+        gate.set_max_queue(0);
+        let _held = gate.admit().unwrap();
+        let err = gate.admit().unwrap_err();
+        assert!(err.to_string().contains("admission queue full"), "{err}");
+        assert_eq!(gate.rejected_total.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn ledger_reserves_releases_and_exhausts() {
+        let l = MemoryLedger::default();
+        l.set_limit(1000);
+        l.reserve(600).unwrap();
+        l.reserve(400).unwrap();
+        let err = l.reserve(1).unwrap_err();
+        assert_eq!(err.code(), "RESOURCE_EXHAUSTED");
+        assert!(err.to_string().contains("memory ledger exhausted"), "{err}");
+        l.release(500);
+        l.reserve(400).unwrap();
+        assert_eq!(l.reserved(), 900);
+        assert_eq!(l.exhausted_total.load(Ordering::Relaxed), 1);
+        assert_eq!(l.peak.load(Ordering::Relaxed), 1000);
+        // Release never underflows.
+        l.release(u64::MAX);
+        assert_eq!(l.reserved(), 0);
+    }
+
+    #[test]
+    fn unlimited_ledger_never_fails() {
+        let l = MemoryLedger::default();
+        l.reserve(u64::MAX / 2).unwrap();
+        l.reserve(u64::MAX / 2).unwrap();
+        l.release(u64::MAX);
+    }
+
+    #[test]
+    fn query_reservation_drop_returns_outstanding_bytes() {
+        let ledger = Arc::new(MemoryLedger::default());
+        ledger.set_limit(1 << 20);
+        {
+            let q = QueryReservation::new(Arc::clone(&ledger));
+            q.reserve(4096).unwrap();
+            q.reserve(4096).unwrap();
+            q.release(1000);
+            assert_eq!(q.held(), 7192);
+            assert_eq!(ledger.reserved(), 7192);
+            // Over-release of the query's own holding is clamped.
+            q.release(u64::MAX);
+            assert_eq!(q.held(), 0);
+            q.reserve(123).unwrap();
+        } // drop returns the outstanding 123
+        assert_eq!(ledger.reserved(), 0);
+    }
+
+    #[test]
+    fn charge_is_non_failing_past_limit() {
+        let l = MemoryLedger::default();
+        l.set_limit(10);
+        l.charge(100);
+        assert_eq!(l.reserved(), 100);
+        // But a reservation now fails: delta growth ate the budget.
+        assert!(l.reserve(1).is_err());
+        l.uncharge(100);
+        l.reserve(1).unwrap();
+    }
+
+    #[test]
+    fn backpressure_wait_wakes_on_progress() {
+        let gate = Arc::new(BackpressureGate::default());
+        let g2 = Arc::clone(&gate);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let start = Instant::now();
+        let waiter = std::thread::spawn(move || g2.wait_slice(deadline));
+        std::thread::sleep(Duration::from_millis(5));
+        gate.notify_progress();
+        waiter.join().unwrap();
+        // Woke well before the 50ms slice elapsed on its own.
+        assert!(start.elapsed() < Duration::from_millis(45));
+    }
+
+    #[test]
+    fn backpressure_wait_slice_is_bounded() {
+        let gate = BackpressureGate::default();
+        let start = Instant::now();
+        gate.wait_slice(Instant::now() + Duration::from_millis(10));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        // A deadline in the past returns immediately.
+        gate.wait_slice(Instant::now() - Duration::from_millis(1));
+    }
+
+    #[test]
+    fn health_degrades_sticky_and_recovers() {
+        let h = Health::default();
+        h.check_writable().unwrap();
+        h.degrade("WAL is failed: disk full");
+        h.degrade("second cause is ignored");
+        let err = h.check_writable().unwrap_err();
+        assert_eq!(err.code(), "READ_ONLY");
+        assert!(err.to_string().contains("disk full"), "{err}");
+        assert!(h.is_read_only());
+        assert_eq!(h.degraded_total.load(Ordering::Relaxed), 1);
+        assert_eq!(h.write_rejects_total.load(Ordering::Relaxed), 1);
+        h.recover();
+        h.check_writable().unwrap();
+        assert_eq!(h.cause(), None);
+    }
+
+    #[test]
+    fn probe_windows_back_off() {
+        let h = Health::default();
+        assert!(!h.probe_due(), "healthy: no probes");
+        h.degrade("x");
+        // First window opens PROBE_BACKOFF_BASE after degradation.
+        assert!(!h.probe_due());
+        std::thread::sleep(PROBE_BACKOFF_BASE + Duration::from_millis(20));
+        assert!(h.probe_due());
+        // The claim pushed the next window out: immediately re-asking is denied.
+        assert!(!h.probe_due());
+        h.recover();
+        assert!(!h.probe_due());
+    }
+
+    #[test]
+    fn governor_fault_points_fire() {
+        let gov = Governor::new();
+        let f = FaultInjector::new(11);
+        gov.set_fault_injector(f.clone());
+        f.arm(FAULT_POINT_ADMIT, FaultSpec::new(FaultKind::IoError));
+        let err = gov.admit_query().unwrap_err();
+        assert!(err.to_string().contains("governor.admit"), "{err}");
+        drop(gov.admit_query().unwrap());
+        f.arm(FAULT_POINT_RESERVE, FaultSpec::new(FaultKind::IoError));
+        let err = gov.ledger().reserve(1).unwrap_err();
+        assert!(err.to_string().contains("alloc.reserve"), "{err}");
+        gov.ledger().reserve(1).unwrap();
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let gov = Governor::new();
+        gov.admission().set_max_concurrent(8);
+        gov.ledger().set_limit(1 << 20);
+        gov.ledger().reserve(4096).unwrap();
+        gov.backpressure().set_high_water(4);
+        let s = gov.snapshot();
+        assert_eq!(s.admission_max_concurrent, 8);
+        assert_eq!(s.mem_limit_bytes, 1 << 20);
+        assert_eq!(s.mem_reserved_bytes, 4096);
+        assert_eq!(s.backpressure_high_water, 4);
+        assert_eq!(s.health_state(), "HEALTHY");
+        gov.health().degrade("probe");
+        assert_eq!(gov.snapshot().health_state(), "READ_ONLY");
+        assert_eq!(gov.snapshot().health_cause.as_deref(), Some("probe"));
+    }
+}

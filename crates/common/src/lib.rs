@@ -8,6 +8,7 @@ pub mod bitmap;
 pub mod convert;
 pub mod error;
 pub mod fault;
+pub mod governor;
 pub mod hash;
 pub mod metrics;
 pub mod rid;
@@ -21,7 +22,11 @@ pub mod value;
 
 pub use bitmap::Bitmap;
 pub use error::{Error, Result};
-pub use fault::{FaultInjector, FaultKind, FaultSpec};
+pub use fault::{FaultInjector, FaultKind, FaultSpec, KNOWN_FAULT_POINTS};
+pub use governor::{
+    AdmissionGate, AdmissionPermit, BackpressureGate, Governor, GovernorSnapshot, Health,
+    MemoryLedger, QueryReservation,
+};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use metrics::{Counter, Histogram, MetricSnapshot, Registry};
 pub use rid::{RowGroupId, RowId};

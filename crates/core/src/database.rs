@@ -5,11 +5,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cstore_common::fault::FaultInjector;
+use cstore_common::governor::Governor;
 use cstore_common::metrics::{self, LATENCY_BUCKETS_US};
 use cstore_common::sync::Mutex;
 use cstore_common::{convert, DataType, Error, Field, Result, Row, RowId, Schema, Value};
 use cstore_delta::{
-    MoverStatus, TableConfig, TupleMover, Wal, WalHandle, WalOptions, WalReplayReport, WalStatus,
+    MoverState, MoverStatus, TableConfig, TupleMover, Wal, WalHandle, WalOptions, WalReplayReport,
+    WalStatus,
 };
 use cstore_exec::ops::collect_rows;
 use cstore_exec::{ExecContext, Expr};
@@ -178,6 +180,10 @@ pub struct Database {
     wal: Arc<Mutex<Option<Arc<Wal>>>>,
     /// `SET query_timeout_ms` session option; `0` means no timeout.
     query_timeout_ms: Arc<AtomicU64>,
+    /// The resource governor: admission control, the shared memory
+    /// ledger, delta backpressure and the health state machine. Shared
+    /// with every columnstore table and with the exec context.
+    governor: Arc<Governor>,
 }
 
 impl Default for Database {
@@ -188,9 +194,10 @@ impl Default for Database {
 
 impl Database {
     pub fn new() -> Self {
+        let governor = Arc::new(Governor::new());
         Database {
             catalog: Catalog::new(),
-            ctx: ExecContext::default(),
+            ctx: ExecContext::default().with_ledger(Arc::clone(governor.ledger())),
             mode: ExecMode::Auto,
             table_config: TableConfig::default(),
             movers: Arc::new(Mutex::new_leveled(4, "db.movers", Vec::new())),
@@ -198,13 +205,22 @@ impl Database {
             query_log: Arc::new(Mutex::new_leveled(7, "db.query_log", QueryLog::default())),
             wal: Arc::new(Mutex::new_leveled(8, "db.wal", None)),
             query_timeout_ms: Arc::new(AtomicU64::new(0)),
+            governor,
         }
     }
 
     /// Override the execution context (memory budget, batch size, metrics).
+    /// The context is re-wired to this database's governor ledger so its
+    /// queries stay inside the shared memory budget.
     pub fn with_exec_context(mut self, ctx: ExecContext) -> Self {
-        self.ctx = ctx;
+        self.ctx = ctx.with_ledger(Arc::clone(self.governor.ledger()));
         self
+    }
+
+    /// The database's resource governor (admission gate, memory ledger,
+    /// backpressure gate, health state machine).
+    pub fn governor(&self) -> &Arc<Governor> {
+        &self.governor
     }
 
     /// Force an execution mode for all queries (default: cost-based).
@@ -254,7 +270,14 @@ impl Database {
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         let _query_span = cstore_common::trace::global().span("query");
         let start = Instant::now();
-        let result = self.execute_traced(sql);
+        // Admission control: acquire (and hold, via the permit) a query
+        // slot for the whole statement. A saturated gate parks the caller
+        // up to the admission timeout; rejections land in the query log
+        // like any other error.
+        let result = match self.governor.admit_query() {
+            Ok(_permit) => self.execute_traced(sql),
+            Err(e) => Err(e),
+        };
         let elapsed = start.elapsed();
         let outcome = match &result {
             Ok(QueryResult::Rows {
@@ -326,6 +349,7 @@ impl Database {
                                 table: name.to_ascii_lowercase(),
                             });
                         }
+                        t.set_governor(Arc::clone(&self.governor));
                     }
                     TableOrganization::Heap => self.catalog.create_heap(&name, schema)?,
                 }
@@ -356,8 +380,40 @@ impl Database {
                 self.query_timeout_ms.store(ms, Ordering::Relaxed);
                 Ok(QueryResult::Created)
             }
+            "max_concurrent_queries" => {
+                let n = Self::set_u64("max_concurrent_queries", value)?;
+                self.governor.admission().set_max_concurrent(n);
+                Ok(QueryResult::Created)
+            }
+            "admission_timeout_ms" => {
+                let ms = Self::set_u64("admission_timeout_ms", value)?;
+                self.governor
+                    .admission()
+                    .set_timeout(Duration::from_millis(ms));
+                Ok(QueryResult::Created)
+            }
+            "memory_limit_bytes" => {
+                let bytes = Self::set_u64("memory_limit_bytes", value)?;
+                self.governor.ledger().set_limit(bytes);
+                Ok(QueryResult::Created)
+            }
+            "delta_high_water_mark" => {
+                let n = Self::set_u64("delta_high_water_mark", value)?;
+                self.governor.backpressure().set_high_water(n);
+                Ok(QueryResult::Created)
+            }
+            "backpressure_timeout_ms" => {
+                let ms = Self::set_u64("backpressure_timeout_ms", value)?;
+                self.governor.backpressure().set_timeout_ms(ms);
+                Ok(QueryResult::Created)
+            }
             other => Err(Error::Unsupported(format!("unknown SET option '{other}'"))),
         }
+    }
+
+    /// Parse a non-negative governor SET value.
+    fn set_u64(option: &str, value: i64) -> Result<u64> {
+        u64::try_from(value).map_err(|_| Error::Sql(format!("{option} must be >= 0, got {value}")))
     }
 
     /// The wall-clock deadline for a query starting now, from
@@ -512,6 +568,7 @@ impl Database {
         table: &str,
         value_rows: Vec<Vec<cstore_sql::ast::AstExpr>>,
     ) -> Result<QueryResult> {
+        self.check_writable()?;
         let entry = self.catalog.try_get(table)?;
         let schema = entry.schema();
         let mut rows = Vec::with_capacity(value_rows.len());
@@ -583,6 +640,7 @@ impl Database {
         table: &str,
         selection: Option<cstore_sql::ast::AstExpr>,
     ) -> Result<QueryResult> {
+        self.check_writable()?;
         let entry = self.catalog.try_get(table)?;
         let schema = entry.schema();
         let bound = selection
@@ -629,6 +687,7 @@ impl Database {
         assignments: Vec<(String, cstore_sql::ast::AstExpr)>,
         selection: Option<cstore_sql::ast::AstExpr>,
     ) -> Result<QueryResult> {
+        self.check_writable()?;
         let entry = self.catalog.try_get(table)?;
         let schema = entry.schema();
         let bound_sel = selection
@@ -685,11 +744,96 @@ impl Database {
         }
     }
 
+    // ------------------------------------------------- health state machine
+
+    /// Gate one write statement through the health state machine: pick
+    /// up fresh degradation causes first, give a degraded database its
+    /// backoff-paced chance to recover, then reject with the cause if
+    /// still read-only. Reads are never gated.
+    fn check_writable(&self) -> Result<()> {
+        self.scan_health();
+        let health = Arc::clone(self.governor.health());
+        if health.is_read_only() && health.probe_due() {
+            // lint: allow(discard) — a failed probe leaves the database
+            // read-only; the next backoff window retries
+            let _ = self.probe_recovery();
+        }
+        health.check_writable()
+    }
+
+    /// Detect degradation causes that storage reports asynchronously: a
+    /// sticky WAL failure, or a tuple mover parked after repeated fatal
+    /// errors. First cause wins; an already-degraded database is left
+    /// alone (its cause is cleared only by a successful recovery probe).
+    fn scan_health(&self) {
+        let health = self.governor.health();
+        if health.is_read_only() {
+            return;
+        }
+        if let Some(e) = self.wal_status().and_then(|s| s.failed) {
+            health.degrade(format!("WAL is failed: {e}"));
+            return;
+        }
+        for (table, status) in self.latest_mover_statuses() {
+            if status.state == MoverState::Failed {
+                health.degrade(format!(
+                    "tuple mover for '{table}' is parked after repeated failures: {}",
+                    status.last_error.unwrap_or_else(|| "unknown error".into())
+                ));
+                return;
+            }
+        }
+    }
+
+    /// The latest registered mover status per table. Restarting a mover
+    /// registers a new status handle under the same name, and the old
+    /// (possibly parked-Failed) handle stays in the registry for metrics
+    /// continuity — health decisions must see only the newest one.
+    fn latest_mover_statuses(&self) -> Vec<(String, MoverStatus)> {
+        let mut latest: std::collections::BTreeMap<String, MoverStatus> =
+            std::collections::BTreeMap::new();
+        for (name, status) in self.movers.lock().iter() {
+            // lint: allow(lock-order) — `status` is the mover.status Arc
+            // (level 5) yielded by the movers map; 4 → 5 ascends.
+            latest.insert(name.clone(), status.lock().clone());
+        }
+        latest.into_iter().collect()
+    }
+
+    /// Attempt to bring a read-only database back to healthy: verify the
+    /// WAL accepts appends again (a real append+fsync of a probe record),
+    /// run the registered storage probe against the blob store, and check
+    /// that no current tuple mover is parked. On full success the health
+    /// machine transitions back to `Healthy` and writes resume. Public so
+    /// operators can force a probe instead of waiting out the backoff.
+    pub fn probe_recovery(&self) -> Result<()> {
+        let health = Arc::clone(self.governor.health());
+        if !health.is_read_only() {
+            return Ok(());
+        }
+        health.note_probe();
+        let wal = self.wal.lock().clone();
+        if let Some(wal) = wal {
+            wal.try_clear_failure()?;
+        }
+        self.governor.run_storage_probe()?;
+        for (table, status) in self.latest_mover_statuses() {
+            if status.state == MoverState::Failed {
+                return Err(Error::Storage(format!(
+                    "recovery probe failed: tuple mover for '{table}' is still parked"
+                )));
+            }
+        }
+        health.recover();
+        Ok(())
+    }
+
     // --------------------------------------------------- bulk / admin API
 
     /// Bulk-load rows into a columnstore table (the paper's bulk insert:
     /// large batches compress directly, bypassing delta stores).
     pub fn bulk_load(&self, table: &str, rows: &[Row]) -> Result<cstore_delta::BulkLoadReport> {
+        self.check_writable()?;
         match self.catalog.try_get(table)? {
             TableEntry::ColumnStore(t) => t.bulk_insert(rows),
             TableEntry::Heap(_) => {
@@ -834,6 +978,22 @@ impl Database {
     /// point leaves the previous generation untouched; older generations
     /// are garbage-collected only after the manifest lands.
     pub fn save_to_store(&self, store: &mut dyn cstore_storage::blob::BlobStore) -> Result<u64> {
+        let result = self.save_to_store_inner(store);
+        if let Err(e) = &result {
+            // A failed save means the blob store is refusing writes
+            // (ENOSPC, IO error): degrade to read-only so later DML fails
+            // with the cause instead of raw storage errors. The committed
+            // previous generation is untouched — reads keep serving.
+            if matches!(e, Error::Io(_) | Error::Storage(_)) {
+                self.governor
+                    .health()
+                    .degrade(format!("blob store write failure: {e}"));
+            }
+        }
+        result
+    }
+
+    fn save_to_store_inner(&self, store: &mut dyn cstore_storage::blob::BlobStore) -> Result<u64> {
         use cstore_storage::format::{write_schema, write_value, Writer};
         let _span = cstore_common::trace::global().span("persist.save");
         let gen = persist::manifest_generations(store)
@@ -910,7 +1070,22 @@ impl Database {
             },
             None,
         )?;
+        db.register_dir_storage_probe(dir.as_ref());
         Ok(db)
+    }
+
+    /// Register a recovery probe that round-trips a scratch blob through
+    /// the database's backing directory, so [`Database::probe_recovery`]
+    /// can verify the filesystem accepts writes again (e.g. after
+    /// ENOSPC clears).
+    fn register_dir_storage_probe(&self, dir: &std::path::Path) {
+        use cstore_storage::blob::BlobStore;
+        let dir = dir.to_path_buf();
+        self.governor.set_storage_probe(move || {
+            let mut store = cstore_storage::blob::FileBlobStore::open(&dir)?;
+            store.put("governor.probe", b"ok")?;
+            store.delete("governor.probe")
+        });
     }
 
     /// Open in degraded mode: unreadable table blobs are quarantined
@@ -929,6 +1104,7 @@ impl Database {
             },
             None,
         )?;
+        db.register_dir_storage_probe(dir.as_ref());
         let report = (*db.open_report).clone();
         Ok((db, report))
     }
@@ -1047,6 +1223,7 @@ impl Database {
                             e.schema.clone(),
                             db.table_config.clone(),
                         )?;
+                        t.set_governor(Arc::clone(&db.governor));
                         db.catalog.create(&e.name, TableEntry::ColumnStore(t))?;
                     }
                     OpenMode::Degraded => match cstore_delta::ColumnStoreTable::load_degraded(
@@ -1057,6 +1234,7 @@ impl Database {
                     ) {
                         Ok((t, q)) => {
                             quarantined.extend(q);
+                            t.set_governor(Arc::clone(&db.governor));
                             db.catalog.create(&e.name, TableEntry::ColumnStore(t))?;
                         }
                         Err(err) => {
@@ -1071,6 +1249,7 @@ impl Database {
                                 e.schema.clone(),
                                 db.table_config.clone(),
                             );
+                            t.set_governor(Arc::clone(&db.governor));
                             db.catalog.create(&e.name, TableEntry::ColumnStore(t))?;
                         }
                     },
@@ -1233,6 +1412,57 @@ impl Database {
                     t.table, q.key, q.kind, q.error
                 ));
             }
+        }
+        // Resource-governor series: admission, shared memory ledger,
+        // delta backpressure, health.
+        let s = self.governor.snapshot();
+        out.push_str(&format!(
+            "# TYPE cstore_governor_health gauge\ncstore_governor_health{{state=\"{}\"}} 1\n",
+            s.health_state()
+        ));
+        if let Some(cause) = &s.health_cause {
+            out.push_str(&format!("# governor read-only cause: {cause}\n"));
+        }
+        for (name, v) in [
+            ("cstore_governor_admission_running", s.admission_running),
+            ("cstore_governor_admission_queued", s.admission_queued),
+            (
+                "cstore_governor_admission_max_concurrent",
+                s.admission_max_concurrent,
+            ),
+            ("cstore_governor_admitted_total", s.admission_admitted_total),
+            (
+                "cstore_governor_admission_rejected_total",
+                s.admission_rejected_total,
+            ),
+            (
+                "cstore_governor_admission_timeouts_total",
+                s.admission_timeouts_total,
+            ),
+            ("cstore_governor_mem_reserved_bytes", s.mem_reserved_bytes),
+            ("cstore_governor_mem_peak_bytes", s.mem_peak_bytes),
+            ("cstore_governor_mem_limit_bytes", s.mem_limit_bytes),
+            ("cstore_governor_mem_exhausted_total", s.mem_exhausted_total),
+            (
+                "cstore_governor_backpressure_high_water",
+                s.backpressure_high_water,
+            ),
+            (
+                "cstore_governor_backpressure_waits_total",
+                s.backpressure_waits_total,
+            ),
+            (
+                "cstore_governor_backpressure_rejected_total",
+                s.backpressure_rejected_total,
+            ),
+            ("cstore_governor_degraded_total", s.degraded_total),
+            ("cstore_governor_write_rejects_total", s.write_rejects_total),
+            (
+                "cstore_governor_recovery_probes_total",
+                s.recovery_probes_total,
+            ),
+        ] {
+            out.push_str(&format!("{name} {v}\n"));
         }
         // Per-lock acquisition/contention/hold series from the runtime
         // lockdep layer (process-wide: every leveled lock registers on

@@ -32,7 +32,7 @@ use crate::catalog::TableEntry;
 use crate::database::Database;
 
 /// The names the binder recognizes as virtual tables.
-pub const SYS_VIEW_NAMES: [&str; 7] = [
+pub const SYS_VIEW_NAMES: [&str; 8] = [
     "sys.row_groups",
     "sys.column_segments",
     "sys.dictionaries",
@@ -40,6 +40,7 @@ pub const SYS_VIEW_NAMES: [&str; 7] = [
     "sys.query_log",
     "sys.wal",
     "sys.lock_stats",
+    "sys.resource_governor",
 ];
 
 /// Snapshot-materializer for the `sys.*` views: implemented by
@@ -546,10 +547,13 @@ pub(crate) fn wal_view(db: &Database) -> VirtualTable {
         field("records_truncated", DataType::Int64, false),
         field("segments_quarantined", DataType::Int64, false),
         field("failed", DataType::Utf8, true),
+        field("state", DataType::Utf8, false),
+        field("last_error", DataType::Utf8, true),
     ]);
     let mut rows = Vec::new();
     if let Some(s) = db.wal_status() {
         let opt_lsn = |v: Option<u64>| v.map_or(Value::Null, int_u64);
+        let state = if s.failed.is_some() { "FAILED" } else { "OK" };
         rows.push(Row::new(vec![
             int_u64(s.segment_count),
             int_u64(s.active_segment),
@@ -566,6 +570,8 @@ pub(crate) fn wal_view(db: &Database) -> VirtualTable {
             int_u64(s.counters.records_replayed),
             int_u64(s.counters.records_truncated),
             int_u64(s.counters.segments_quarantined),
+            opt_str(s.failed.clone()),
+            Value::str(state),
             opt_str(s.failed),
         ]));
     }
@@ -604,6 +610,54 @@ pub(crate) fn lock_stats_view() -> VirtualTable {
     VirtualTable::new("sys.lock_stats", schema, rows)
 }
 
+/// A single row summarizing the resource governor: admission-gate
+/// occupancy, the shared memory ledger, delta backpressure counters and
+/// the health state machine. Counters are cumulative since process start.
+pub(crate) fn resource_governor_view(db: &Database) -> VirtualTable {
+    let schema = Schema::new(vec![
+        field("admission_running", DataType::Int64, false),
+        field("admission_queued", DataType::Int64, false),
+        field("max_concurrent_queries", DataType::Int64, false),
+        field("admitted_total", DataType::Int64, false),
+        field("admission_rejected_total", DataType::Int64, false),
+        field("admission_timeouts_total", DataType::Int64, false),
+        field("mem_reserved_bytes", DataType::Int64, false),
+        field("mem_peak_bytes", DataType::Int64, false),
+        field("mem_limit_bytes", DataType::Int64, false),
+        field("mem_exhausted_total", DataType::Int64, false),
+        field("delta_high_water_mark", DataType::Int64, false),
+        field("backpressure_waits_total", DataType::Int64, false),
+        field("backpressure_rejected_total", DataType::Int64, false),
+        field("health_state", DataType::Utf8, false),
+        field("health_cause", DataType::Utf8, true),
+        field("degraded_total", DataType::Int64, false),
+        field("write_rejects_total", DataType::Int64, false),
+        field("recovery_probes_total", DataType::Int64, false),
+    ]);
+    let s = db.governor().snapshot();
+    let rows = vec![Row::new(vec![
+        int_u64(s.admission_running),
+        int_u64(s.admission_queued),
+        int_u64(s.admission_max_concurrent),
+        int_u64(s.admission_admitted_total),
+        int_u64(s.admission_rejected_total),
+        int_u64(s.admission_timeouts_total),
+        int_u64(s.mem_reserved_bytes),
+        int_u64(s.mem_peak_bytes),
+        int_u64(s.mem_limit_bytes),
+        int_u64(s.mem_exhausted_total),
+        int_u64(s.backpressure_high_water),
+        int_u64(s.backpressure_waits_total),
+        int_u64(s.backpressure_rejected_total),
+        Value::str(s.health_state()),
+        opt_str(s.health_cause.clone()),
+        int_u64(s.degraded_total),
+        int_u64(s.write_rejects_total),
+        int_u64(s.recovery_probes_total),
+    ])];
+    VirtualTable::new("sys.resource_governor", schema, rows)
+}
+
 impl Introspection for Database {
     fn sys_view(&self, name: &str) -> Option<VirtualTable> {
         match name {
@@ -614,6 +668,7 @@ impl Introspection for Database {
             "sys.query_log" => Some(query_log_view(self)),
             "sys.wal" => Some(wal_view(self)),
             "sys.lock_stats" => Some(lock_stats_view()),
+            "sys.resource_governor" => Some(resource_governor_view(self)),
             _ => None,
         }
     }

@@ -13,5 +13,7 @@ pub mod persist;
 pub use catalog::{Catalog, TableEntry};
 pub use cstore_planner::ExecMode;
 pub use database::{Database, QueryResult};
-pub use introspect::{Introspection, QueryLog, QueryLogEntry, QueryOutcome, SysCatalog};
+pub use introspect::{
+    Introspection, QueryLog, QueryLogEntry, QueryOutcome, SysCatalog, SYS_VIEW_NAMES,
+};
 pub use persist::{OpenMode, OpenReport, TableOpenReport, VerifyReport};

@@ -16,7 +16,9 @@
 //!   (minus deleted rows) with delta-store rows.
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use cstore_common::governor::Governor;
 use cstore_common::sync::RwLock;
 
 use cstore_common::{convert, Error, FaultInjector, Result, Row, RowGroupId, RowId, Schema, Value};
@@ -128,6 +130,20 @@ struct Inner {
     /// this value is reflected in the table's state. Persisted with the
     /// delta blob so replay after a crash skips already-saved records.
     last_lsn: u64,
+    /// Resource governor: trickle inserts consult its backpressure gate,
+    /// and delta-store bytes are charged to its shared memory ledger.
+    governor: Option<Arc<Governor>>,
+    /// Delta bytes currently charged to the governor's ledger; kept in
+    /// sync with the stores' `approx_bytes` by [`Inner::sync_delta_charge`].
+    delta_charged: usize,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if let Some(gov) = &self.governor {
+            gov.ledger().uncharge(self.delta_charged as u64);
+        }
+    }
 }
 
 impl Inner {
@@ -213,6 +229,26 @@ impl Inner {
             None => Err(Error::Execution("no open delta store after refill".into())),
         }
     }
+
+    /// Reconcile the governor ledger's delta charge with the stores'
+    /// current footprint. Exact (diff-based), so deletes and mover
+    /// installs return bytes and nothing leaks. Called at the end of
+    /// every write-lock section that changes delta contents.
+    fn sync_delta_charge(&mut self) {
+        let Some(gov) = &self.governor else { return };
+        let cur: usize = self
+            .closed
+            .iter()
+            .chain(self.open.as_ref())
+            .map(|d| d.approx_bytes())
+            .sum();
+        if cur >= self.delta_charged {
+            gov.ledger().charge((cur - self.delta_charged) as u64);
+        } else {
+            gov.ledger().uncharge((self.delta_charged - cur) as u64);
+        }
+        self.delta_charged = cur;
+    }
 }
 
 /// Resolve a commit obligation returned by [`Inner::wal_log`]. Call with
@@ -254,6 +290,8 @@ impl ColumnStoreTable {
                     faults: None,
                     wal: None,
                     last_lsn: 0,
+                    governor: None,
+                    delta_charged: 0,
                 },
             )),
         }
@@ -276,6 +314,51 @@ impl ColumnStoreTable {
         self.inner.write().wal = None;
     }
 
+    /// Wire this table to the resource governor: trickle inserts park at
+    /// the delta high-water mark, and delta bytes (existing ones
+    /// immediately, future ones as they land) are charged to the shared
+    /// memory ledger.
+    pub fn set_governor(&self, governor: Arc<Governor>) {
+        let mut inner = self.inner.write();
+        inner.governor = Some(governor);
+        inner.sync_delta_charge();
+    }
+
+    /// Block until the closed-delta count is below the governor's
+    /// high-water mark (waking on tuple-mover progress), or fail with
+    /// [`Error::ResourceExhausted`] at the backpressure deadline. Holds
+    /// **no** table lock while parked — the condition is re-read under a
+    /// brief read lock every wait slice, so a missed wakeup costs one
+    /// slice, never a deadline.
+    fn backpressure_admit(&self) -> Result<()> {
+        let Some(gov) = self.inner.read().governor.clone() else {
+            return Ok(());
+        };
+        let bp = Arc::clone(gov.backpressure());
+        let hwm = bp.high_water();
+        if hwm == 0 || (self.inner.read().closed.len() as u64) < hwm {
+            return Ok(());
+        }
+        bp.note_wait();
+        let deadline = Instant::now() + bp.timeout();
+        loop {
+            bp.wait_slice(deadline);
+            let hwm = bp.high_water();
+            let closed = self.inner.read().closed.len() as u64;
+            if hwm == 0 || closed < hwm {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                bp.note_rejected();
+                return Err(Error::ResourceExhausted(format!(
+                    "delta-store backpressure: {closed} closed delta stores at or above \
+                     the high-water mark {hwm} and no tuple-mover progress within {}ms",
+                    bp.timeout().as_millis()
+                )));
+            }
+        }
+    }
+
     /// The table's persisted-or-replayed LSN watermark.
     pub fn wal_last_lsn(&self) -> u64 {
         self.inner.read().last_lsn
@@ -289,6 +372,7 @@ impl ColumnStoreTable {
     /// the tuple mover compresses the row's delta store). With a WAL
     /// attached the insert is durable when this returns.
     pub fn insert(&self, row: Row) -> Result<RowId> {
+        self.backpressure_admit()?;
         let (rid, pending) = self.insert_logged(row)?;
         wal_commit(pending)?;
         Ok(rid)
@@ -309,6 +393,7 @@ impl ColumnStoreTable {
             Some(record) => inner.wal_log(&record)?,
             None => None,
         };
+        inner.sync_delta_charge();
         Ok((rid, pending))
     }
 
@@ -403,7 +488,7 @@ impl ColumnStoreTable {
                     return Err(Error::Storage(format!("no row group {}", rid.group)));
                 }
             };
-            match victim {
+            let deleted = match victim {
                 Some(row) => {
                     if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
                         pending = inner.wal_log(&WalRecord::Delete { table, rid, row })?;
@@ -411,7 +496,9 @@ impl ColumnStoreTable {
                     true
                 }
                 None => false,
-            }
+            };
+            inner.sync_delta_charge();
+            deleted
         };
         wal_commit(pending)?;
         Ok(deleted)
@@ -431,7 +518,7 @@ impl ColumnStoreTable {
         let deleted = {
             let mut inner = self.inner.write();
             let inner = &mut *inner;
-            match inner.delete_matching(rid, expected)? {
+            let deleted = match inner.delete_matching(rid, expected)? {
                 Some((rid, row)) => {
                     if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
                         pending = inner.wal_log(&WalRecord::Delete { table, rid, row })?;
@@ -439,7 +526,9 @@ impl ColumnStoreTable {
                     true
                 }
                 None => false,
-            }
+            };
+            inner.sync_delta_charge();
+            deleted
         };
         wal_commit(pending)?;
         Ok(deleted)
@@ -540,7 +629,7 @@ impl ColumnStoreTable {
         }
         let mut moved = MovePassReport::default();
         let mut pending = None;
-        {
+        let governor = {
             let mut inner = self.inner.write();
             let inner = &mut *inner;
             for (id, len, rg) in built {
@@ -564,8 +653,17 @@ impl ColumnStoreTable {
                     }
                 }
             }
-        }
+            inner.sync_delta_charge();
+            inner.governor.clone()
+        };
         wal_commit(pending)?;
+        // Wake parked inserters *after* the write lock is released, so a
+        // woken thread's re-check sees the shrunken closed-delta count.
+        if moved.stores > 0 {
+            if let Some(gov) = governor {
+                gov.backpressure().notify_progress();
+            }
+        }
         Ok(moved)
     }
 
@@ -832,8 +930,10 @@ impl ColumnStoreTable {
         if lsn <= inner.last_lsn {
             return Ok(false);
         }
+        let inner = &mut *inner;
         inner.insert_row(row)?;
         inner.last_lsn = lsn;
+        inner.sync_delta_charge();
         Ok(true)
     }
 
@@ -851,7 +951,9 @@ impl ColumnStoreTable {
         inner.last_lsn = lsn;
         // Ids are reassigned on load and replay, so the logged rid can
         // alias an unrelated row — resolve it value-verified.
-        match inner.delete_matching(rid, row)? {
+        let applied = inner.delete_matching(rid, row)?;
+        inner.sync_delta_charge();
+        match applied {
             Some(_) => Ok(ReplayDelete::Applied),
             None => Ok(ReplayDelete::NotFound),
         }
@@ -1174,6 +1276,78 @@ mod tests {
         let before: i64 = t.sum_i64(0).unwrap();
         t.archive_all().unwrap();
         assert_eq!(t.sum_i64(0).unwrap(), before);
+    }
+
+    #[test]
+    fn governor_ledger_tracks_delta_bytes() {
+        use cstore_common::governor::Governor;
+        let t = ColumnStoreTable::new(schema(), small_config());
+        let gov = Arc::new(Governor::new());
+        for i in 0..50 {
+            t.insert(row(i)).unwrap();
+        }
+        // Attaching charges the *existing* delta footprint.
+        t.set_governor(Arc::clone(&gov));
+        let charged = gov.ledger().reserved();
+        assert_eq!(charged as usize, t.stats().delta_bytes);
+        assert!(charged > 0);
+        t.insert(row(50)).unwrap();
+        assert!(gov.ledger().reserved() > charged, "insert charges bytes");
+        // Compressing the delta stores returns their bytes.
+        t.close_open_delta();
+        t.tuple_move_once().unwrap();
+        assert_eq!(gov.ledger().reserved(), 0);
+        // A delta delete returns the row's bytes too.
+        let rid = t.insert(row(99)).unwrap();
+        assert!(gov.ledger().reserved() > 0);
+        t.delete(rid).unwrap();
+        assert_eq!(gov.ledger().reserved(), 0);
+        // Dropping the table returns whatever is still charged.
+        t.insert(row(100)).unwrap();
+        assert!(gov.ledger().reserved() > 0);
+        drop(t);
+        assert_eq!(gov.ledger().reserved(), 0);
+    }
+
+    #[test]
+    fn governor_backpressure_rejects_then_resumes_on_mover_progress() {
+        use cstore_common::governor::Governor;
+        use std::time::Duration;
+        let config = TableConfig {
+            delta_capacity: 10,
+            ..small_config()
+        };
+        let t = ColumnStoreTable::new(schema(), config);
+        let gov = Arc::new(Governor::new());
+        gov.backpressure().set_high_water(2);
+        gov.backpressure().set_timeout_ms(150);
+        t.set_governor(Arc::clone(&gov));
+        // 21 inserts = two closed stores + one row in the third; the
+        // high-water check precedes each insert, so the fill itself never
+        // sees the mark crossed.
+        for i in 0..21 {
+            t.insert(row(i)).unwrap();
+        }
+        assert_eq!(t.stats().n_closed_deltas, 2);
+        // No mover running: a blocked insert gives up at the deadline.
+        let err = t.insert(row(100)).unwrap_err();
+        assert_eq!(err.code(), "RESOURCE_EXHAUSTED", "{err}");
+        assert!(
+            err.to_string().contains("delta-store backpressure"),
+            "{err}"
+        );
+        assert_eq!(gov.snapshot().backpressure_rejected_total, 1);
+        // With a mover making progress, the parked insert resumes.
+        gov.backpressure().set_timeout_ms(5_000);
+        let t2 = t.clone();
+        let mover = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            t2.tuple_move_once().unwrap();
+        });
+        t.insert(row(101)).unwrap();
+        mover.join().unwrap();
+        assert!(gov.snapshot().backpressure_waits_total >= 2);
+        assert_eq!(t.stats().n_closed_deltas, 0);
     }
 
     #[test]

@@ -814,6 +814,47 @@ impl Wal {
         Ok(retired)
     }
 
+    /// Attempt to clear a sticky flush failure by proving the log can
+    /// accept writes again: append and fsync a probe record through the
+    /// real IO path (including the `wal.append`/`wal.fsync` fault
+    /// points). On success the failure clears and logging resumes; on
+    /// failure the WAL stays failed and the probe error is returned.
+    /// A healthy WAL returns `Ok` without touching storage. Called by
+    /// the database's health state machine during recovery probing.
+    pub fn try_clear_failure(&self) -> Result<()> {
+        let lsn = {
+            let mut st = self.wal_state.lock();
+            if st.failed.is_none() {
+                return Ok(());
+            }
+            let lsn = st.next_lsn;
+            st.next_lsn += 1;
+            lsn
+        };
+        // The probe is a RowGroupSealed marker: informational at replay,
+        // so a successfully probed-but-then-crashed log replays cleanly.
+        let frame = encode_frame(
+            lsn,
+            &WalRecord::RowGroupSealed {
+                table: "<wal.probe>".into(),
+                group: 0,
+                rows: 0,
+            },
+        )?;
+        let frame_len = frame.len() as u64;
+        self.flush_batch(&[(lsn, frame)])?;
+        let mut st = self.wal_state.lock();
+        st.durable_lsn = st.durable_lsn.max(lsn);
+        st.counters.records_appended += 1;
+        st.counters.bytes_appended += frame_len;
+        st.counters.flushes += 1;
+        st.counters.fsyncs += 1;
+        st.failed = None;
+        drop(st);
+        self.flushed.notify_all();
+        Ok(())
+    }
+
     /// Highest LSN handed out so far (0 if none).
     pub fn tail_lsn(&self) -> u64 {
         self.wal_state.lock().next_lsn.saturating_sub(1)
@@ -972,6 +1013,42 @@ mod tests {
             .unwrap();
         }
         assert_eq!(n, 400);
+    }
+
+    #[test]
+    fn sticky_failure_clears_only_when_storage_recovers() {
+        use cstore_common::fault::{FaultKind, FaultSpec};
+        let store = MemLogStore::new();
+        let faults = FaultInjector::new(7);
+        let (wal, _) = Wal::open(
+            Box::new(store.clone()),
+            WalOptions::default(),
+            Some(faults.clone()),
+            &[],
+        )
+        .unwrap();
+        // Healthy WAL: probe is a no-op.
+        wal.try_clear_failure().unwrap();
+        // Wedge the log: every append fails (ENOSPC-style).
+        faults.arm("wal.append", FaultSpec::new(FaultKind::IoError).always());
+        let rec = WalRecord::RowGroupSealed {
+            table: "t".into(),
+            group: 0,
+            rows: 1,
+        };
+        assert!(wal.log_and_commit(&rec).is_err());
+        assert!(wal.status().failed.is_some());
+        // Logging is refused while failed.
+        let err = wal.log(&rec).unwrap_err();
+        assert!(err.to_string().contains("WAL is failed"), "{err}");
+        // A probe while storage is still broken keeps the failure sticky.
+        assert!(wal.try_clear_failure().is_err());
+        assert!(wal.status().failed.is_some());
+        // Storage recovers: the probe proves a durable append and clears.
+        faults.disarm_all();
+        wal.try_clear_failure().unwrap();
+        assert!(wal.status().failed.is_none());
+        wal.log_and_commit(&rec).unwrap();
     }
 
     #[test]

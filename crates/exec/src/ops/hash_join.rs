@@ -21,7 +21,7 @@ use crate::batch::Batch;
 use crate::bloom::BitmapFilter;
 use crate::ops::scan::FilterSlot;
 use crate::ops::{BatchOperator, BoxedBatchOp};
-use crate::runtime::ExecContext;
+use crate::runtime::{check_deadline, ExecContext};
 use crate::spill::{SpillFile, SpillReader};
 use crate::vector::{hash_values, Vector};
 
@@ -387,6 +387,9 @@ struct PartitionJoin {
     probe: SpillReader,
     unmatched_cursor: usize,
     probe_done: bool,
+    /// Ledger bytes reserved for this partition's build table; returned
+    /// when the partition finishes.
+    reserved: usize,
 }
 
 /// The batch-mode hash join operator.
@@ -456,12 +459,23 @@ impl BatchHashJoin {
             .ok_or_else(|| Error::Execution("join build side consumed twice".into()))?;
         let mut rows: Vec<Row> = Vec::new();
         let mut bytes = 0usize;
+        let mut reserved = 0usize;
         let mut overflow = false;
         while let Some(batch) = build_input.next()? {
+            check_deadline(self.ctx.deadline)?;
+            let mut batch_bytes = 0usize;
             for row in batch.to_rows() {
-                bytes += row.approx_bytes();
+                batch_bytes += row.approx_bytes();
                 rows.push(row);
             }
+            bytes += batch_bytes;
+            // Reserve the increment against the shared ledger; exhaustion
+            // is not an error here — it means "the machine is full, spill".
+            if self.ctx.reserve_memory(batch_bytes).is_err() {
+                overflow = true;
+                break;
+            }
+            reserved += batch_bytes;
             if bytes > self.ctx.memory_budget {
                 overflow = true;
                 break;
@@ -518,7 +532,10 @@ impl BatchHashJoin {
         for row in rows.drain(..) {
             build_files[part_of(&row, &self.build_keys)].write_row(&row)?;
         }
+        // The build rows now live on disk: return their ledger reservation.
+        self.ctx.release_memory(reserved);
         while let Some(batch) = build_input.next()? {
+            check_deadline(self.ctx.deadline)?;
             for row in batch.to_rows() {
                 build_rows += 1;
                 build_files[part_of(&row, &self.build_keys)].write_row(&row)?;
@@ -535,6 +552,7 @@ impl BatchHashJoin {
             .take()
             .ok_or_else(|| Error::Execution("join probe side consumed twice".into()))?;
         while let Some(batch) = probe_input.next()? {
+            check_deadline(self.ctx.deadline)?;
             for row in batch.to_rows() {
                 probe_files[part_of(&row, &self.probe_keys)].write_row(&row)?;
             }
@@ -644,10 +662,18 @@ impl BatchOperator for BatchHashJoin {
                     partitions,
                     current,
                 } => {
+                    check_deadline(self.ctx.deadline)?;
                     if current.is_none() {
                         match partitions.next() {
                             Some((build_reader, probe_reader)) => {
                                 let build_rows = build_reader.read_all()?;
+                                // A single partition that still cannot
+                                // reserve its footprint is a clean
+                                // ResourceExhausted — spilling already
+                                // happened, there is nowhere left to shed.
+                                let part_bytes: usize =
+                                    build_rows.iter().map(|r| r.approx_bytes()).sum();
+                                self.ctx.reserve_memory(part_bytes)?;
                                 let build = BuildTable::build(
                                     build_rows,
                                     &self.build_keys,
@@ -658,6 +684,7 @@ impl BatchOperator for BatchHashJoin {
                                     probe: probe_reader,
                                     unmatched_cursor: 0,
                                     probe_done: false,
+                                    reserved: part_bytes,
                                 });
                             }
                             None => {
@@ -720,7 +747,9 @@ impl BatchOperator for BatchHashJoin {
                     match out {
                         Some(b) => return Ok(Some(b)),
                         None => {
-                            *current = None;
+                            if let Some(done) = current.take() {
+                                self.ctx.release_memory(done.reserved);
+                            }
                             continue;
                         }
                     }
@@ -918,6 +947,65 @@ mod tests {
                 .unwrap()
                 .1
         }
+    }
+
+    #[test]
+    fn exhausted_ledger_forces_spill_not_error() {
+        use cstore_common::governor::MemoryLedger;
+        // The per-operator budget is huge; only the shared ledger is tight.
+        // The build side must degrade to the spill path and still produce
+        // identical results.
+        let ledger = std::sync::Arc::new(MemoryLedger::default());
+        ledger.set_limit(256);
+        let governed = ExecContext::default()
+            .with_ledger(std::sync::Arc::clone(&ledger))
+            .for_query();
+        let spilled = join(JoinType::Inner, governed.clone());
+        assert_eq!(join(JoinType::Inner, ExecContext::default()), spilled);
+        assert!(
+            Metrics::get_spilled(&governed) > 0,
+            "tight ledger did not force a spill"
+        );
+        drop(governed);
+        assert_eq!(ledger.reserved(), 0, "join leaked ledger bytes");
+    }
+
+    #[test]
+    fn ledger_too_small_for_one_partition_fails_cleanly() {
+        use cstore_common::governor::MemoryLedger;
+        let ledger = std::sync::Arc::new(MemoryLedger::default());
+        ledger.set_limit(8); // below even a single partition's footprint
+        let ctx = ExecContext::default()
+            .with_ledger(std::sync::Arc::clone(&ledger))
+            .for_query();
+        let j = BatchHashJoin::new(
+            probe_side(),
+            build_side(),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+            ctx,
+        )
+        .unwrap();
+        let err = collect_rows(Box::new(j)).unwrap_err();
+        assert_eq!(err.code(), "RESOURCE_EXHAUSTED", "{err}");
+        assert_eq!(ledger.reserved(), 0, "failed join leaked ledger bytes");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_build_loop() {
+        let ctx = ExecContext::default().with_deadline(Some(std::time::Instant::now()));
+        let j = BatchHashJoin::new(
+            probe_side(),
+            build_side(),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+            ctx,
+        )
+        .unwrap();
+        let err = collect_rows(Box::new(j)).unwrap_err();
+        assert!(err.to_string().contains("query timeout"), "{err}");
     }
 
     #[test]

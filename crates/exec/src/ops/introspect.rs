@@ -8,12 +8,14 @@
 //! through the normal pipeline.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use cstore_common::{DataType, Result, Row};
 use cstore_storage::pred::ColumnPred;
 
 use crate::batch::Batch;
 use crate::ops::BatchOperator;
+use crate::runtime::check_deadline;
 
 /// Batch scan over snapshot rows with pushdown + projection.
 pub struct IntrospectionScan {
@@ -25,6 +27,10 @@ pub struct IntrospectionScan {
     batch_size: usize,
     pos: usize,
     output_types: Vec<DataType>,
+    /// Per-query deadline: a huge `sys.*` snapshot (row groups × columns)
+    /// can outlive `query_timeout_ms` between stats-wrapper checkpoints,
+    /// so the scan checks per batch itself.
+    deadline: Option<Instant>,
 }
 
 impl IntrospectionScan {
@@ -34,6 +40,7 @@ impl IntrospectionScan {
         projection: Vec<usize>,
         preds: Vec<(usize, ColumnPred)>,
         batch_size: usize,
+        deadline: Option<Instant>,
     ) -> Self {
         let output_types = projection.iter().map(|&c| table_types[c]).collect();
         IntrospectionScan {
@@ -43,6 +50,7 @@ impl IntrospectionScan {
             batch_size: batch_size.max(1),
             pos: 0,
             output_types,
+            deadline,
         }
     }
 
@@ -59,6 +67,7 @@ impl BatchOperator for IntrospectionScan {
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {
+        check_deadline(self.deadline)?;
         let mut out: Vec<Row> = Vec::with_capacity(self.batch_size);
         while self.pos < self.rows.len() && out.len() < self.batch_size {
             let row = &self.rows[self.pos];
@@ -104,7 +113,7 @@ mod tests {
 
     #[test]
     fn scans_all_rows_in_batches() {
-        let scan = IntrospectionScan::new(rows(), &TYPES, vec![0, 1], vec![], 3);
+        let scan = IntrospectionScan::new(rows(), &TYPES, vec![0, 1], vec![], 3, None);
         let out = collect_rows(Box::new(scan)).unwrap();
         assert_eq!(out.len(), 10);
         assert_eq!(out[3].get(1), &Value::str("odd"));
@@ -119,7 +128,7 @@ mod tests {
                 value: Value::Int64(6),
             },
         )];
-        let scan = IntrospectionScan::new(rows(), &TYPES, vec![1], preds, 100);
+        let scan = IntrospectionScan::new(rows(), &TYPES, vec![1], preds, 100, None);
         let out = collect_rows(Box::new(scan)).unwrap();
         assert_eq!(out.len(), 4);
         assert_eq!(out[0].values().len(), 1);
@@ -128,7 +137,22 @@ mod tests {
 
     #[test]
     fn empty_view_yields_no_batches() {
-        let mut scan = IntrospectionScan::new(Arc::new(Vec::new()), &TYPES, vec![0], vec![], 4);
+        let mut scan =
+            IntrospectionScan::new(Arc::new(Vec::new()), &TYPES, vec![0], vec![], 4, None);
         assert!(scan.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn expired_deadline_aborts_scan() {
+        let mut scan = IntrospectionScan::new(
+            rows(),
+            &TYPES,
+            vec![0, 1],
+            vec![],
+            3,
+            Some(Instant::now() - std::time::Duration::from_millis(1)),
+        );
+        let err = scan.next().unwrap_err();
+        assert!(err.to_string().contains("query timeout"), "{err}");
     }
 }

@@ -5,7 +5,7 @@ use cstore_common::{DataType, Error, Result, Row};
 use crate::batch::Batch;
 use crate::expr::Expr;
 use crate::ops::{BatchOperator, BoxedBatchOp};
-use crate::runtime::ExecContext;
+use crate::runtime::{check_deadline, ExecContext};
 
 /// One sort key: expression + direction.
 #[derive(Clone, Debug)]
@@ -87,9 +87,13 @@ impl SortOp {
         // Materialize (row, key-values) pairs.
         let mut items: Vec<(Row, Row)> = Vec::new();
         let retain = self.limit.map(|l| self.offset + l);
+        let mut reserved_rows = 0usize;
         while let Some(batch) = input.next()? {
+            check_deadline(self.ctx.deadline)?;
+            let mut batch_bytes = 0usize;
             let rows = batch.to_rows();
             for row in rows {
+                batch_bytes += row.approx_bytes();
                 let key = Row::new(
                     self.keys
                         .iter()
@@ -98,13 +102,24 @@ impl SortOp {
                 );
                 items.push((row, key));
             }
+            // A full sort has no spill path: reserve the materialized
+            // footprint against the shared ledger and propagate the clean
+            // ResourceExhausted when N concurrent sorts overrun it. (The
+            // reservation is returned when the query context drops.)
+            self.ctx.reserve_memory(batch_bytes)?;
             // Top-N bound: sort and truncate whenever the buffer doubles
-            // past the retain bound.
+            // past the retain bound; the freed rows go back to the ledger.
             if let Some(cap) = retain {
                 if items.len() > cap * 2 + 1024 {
                     self.partial_truncate(&mut items, cap);
+                    let kept: usize = items.iter().map(|(r, _)| r.approx_bytes()).sum();
+                    let freed = (reserved_rows + batch_bytes).saturating_sub(kept);
+                    self.ctx.release_memory(freed);
+                    reserved_rows = kept;
+                    continue;
                 }
             }
+            reserved_rows += batch_bytes;
         }
         items.sort_by(|(_, ka), (_, kb)| self.compare_keys(ka, kb));
         let mut rows: Vec<Row> = items.into_iter().map(|(r, _)| r).collect();
@@ -199,6 +214,28 @@ mod tests {
         assert_eq!(rows[0].get(0), &Value::Int64(1));
         assert_eq!(rows[0].get(1), &Value::str("b"));
         assert_eq!(rows[1].get(0), &Value::Int64(2));
+    }
+
+    #[test]
+    fn tight_ledger_fails_sort_cleanly() {
+        use cstore_common::governor::MemoryLedger;
+        let ledger = std::sync::Arc::new(MemoryLedger::default());
+        ledger.set_limit(16);
+        let ctx = ExecContext::default()
+            .with_ledger(std::sync::Arc::clone(&ledger))
+            .for_query();
+        let s = SortOp::new(source(), vec![SortKey::asc(Expr::col(0))], ctx);
+        let err = collect_rows(Box::new(s)).unwrap_err();
+        assert_eq!(err.code(), "RESOURCE_EXHAUSTED", "{err}");
+        assert_eq!(ledger.reserved(), 0, "failed sort leaked ledger bytes");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_sort() {
+        let ctx = ExecContext::default().with_deadline(Some(std::time::Instant::now()));
+        let s = SortOp::new(source(), vec![SortKey::asc(Expr::col(0))], ctx);
+        let err = collect_rows(Box::new(s)).unwrap_err();
+        assert!(err.to_string().contains("query timeout"), "{err}");
     }
 
     #[test]

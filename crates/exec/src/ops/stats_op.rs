@@ -18,20 +18,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use cstore_common::{DataType, Error, Result, Row};
+use cstore_common::{DataType, Result, Row};
 
 use crate::batch::Batch;
 use crate::ops::{BatchOperator, BoxedBatchOp, BoxedRowOp, RowOperator};
-use crate::runtime::OpStats;
-
-fn check_deadline(deadline: Option<Instant>) -> Result<()> {
-    match deadline {
-        Some(d) if Instant::now() >= d => Err(Error::Execution(
-            "query timeout exceeded (SET query_timeout_ms)".into(),
-        )),
-        _ => Ok(()),
-    }
-}
+use crate::runtime::{check_deadline, OpStats};
 
 /// Batch-mode wrapper: forwards `next()`, recording rows, batches and
 /// inclusive wall time into the shared [`OpStats`]; aborts cleanly once
@@ -111,6 +102,7 @@ mod tests {
     use super::*;
     use crate::batch::Batch;
     use crate::runtime::ExecStats;
+    use cstore_common::Error;
 
     struct TwoBatches {
         types: Vec<DataType>,

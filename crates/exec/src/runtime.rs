@@ -5,9 +5,26 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use cstore_common::governor::{MemoryLedger, QueryReservation};
 use cstore_common::sync::Mutex;
+use cstore_common::{Error, Result};
 
 use crate::batch::BATCH_SIZE;
+
+/// Fail with the standard timeout error once `deadline` has passed.
+///
+/// The stats wrappers call this at every operator boundary; operators
+/// with internal loops that can run long between boundaries (spill
+/// writes, partition merges, `sys.*` scans) call it directly so a
+/// spilling join cannot overrun its deadline.
+pub fn check_deadline(deadline: Option<Instant>) -> Result<()> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(Error::Execution(
+            "query timeout exceeded (SET query_timeout_ms)".into(),
+        )),
+        _ => Ok(()),
+    }
+}
 
 /// Counters collected during execution; all monotonic, safe to read while
 /// the query runs.
@@ -262,6 +279,14 @@ pub struct ExecContext {
     /// `Error::Execution` (set per query from `SET query_timeout_ms`).
     /// Checked at every operator boundary by the stats wrappers.
     pub deadline: Option<Instant>,
+    /// Process-wide memory ledger shared by every concurrent query
+    /// (installed by the database's resource governor; `None` when
+    /// ungoverned).
+    pub ledger: Option<Arc<MemoryLedger>>,
+    /// This query's running reservation against `ledger` (fresh per
+    /// [`ExecContext::for_query`]; outstanding bytes return to the
+    /// ledger when the query's context drops).
+    pub alloc: Option<Arc<QueryReservation>>,
 }
 
 impl Default for ExecContext {
@@ -275,6 +300,8 @@ impl Default for ExecContext {
             metrics: Arc::new(Metrics::default()),
             stats: Arc::new(ExecStats::default()),
             deadline: None,
+            ledger: None,
+            alloc: None,
         }
     }
 }
@@ -287,6 +314,10 @@ impl ExecContext {
         ExecContext {
             metrics: Arc::new(Metrics::default()),
             stats: Arc::new(ExecStats::default()),
+            alloc: self
+                .ledger
+                .as_ref()
+                .map(|l| Arc::new(QueryReservation::new(Arc::clone(l)))),
             ..self.clone()
         }
     }
@@ -317,6 +348,32 @@ impl ExecContext {
     pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
         self.deadline = deadline;
         self
+    }
+
+    /// Share `ledger` with every query forked from this context. Each
+    /// [`ExecContext::for_query`] then gets its own [`QueryReservation`]
+    /// so N concurrent queries draw from one ceiling.
+    pub fn with_ledger(mut self, ledger: Arc<MemoryLedger>) -> Self {
+        self.alloc = Some(Arc::new(QueryReservation::new(Arc::clone(&ledger))));
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// Reserve `bytes` against the shared ledger; a no-op `Ok` when
+    /// ungoverned. A clean `Error::ResourceExhausted` means "spill now"
+    /// to operators that can, and propagates to the client otherwise.
+    pub fn reserve_memory(&self, bytes: usize) -> Result<()> {
+        match &self.alloc {
+            Some(a) => a.reserve(bytes as u64),
+            None => Ok(()),
+        }
+    }
+
+    /// Return `bytes` of this query's reservation to the shared ledger.
+    pub fn release_memory(&self, bytes: usize) {
+        if let Some(a) = &self.alloc {
+            a.release(bytes as u64);
+        }
     }
 }
 
@@ -363,6 +420,34 @@ mod tests {
         assert_eq!(q.memory_budget, 4096);
         assert_eq!(Metrics::get(&q.metrics.rows_scanned), 0);
         assert!(q.stats.operators().is_empty());
+    }
+
+    #[test]
+    fn check_deadline_trips_only_when_past() {
+        check_deadline(None).unwrap();
+        check_deadline(Some(Instant::now() + std::time::Duration::from_secs(60))).unwrap();
+        let err = check_deadline(Some(Instant::now())).unwrap_err();
+        assert!(err.to_string().contains("query timeout"), "{err}");
+    }
+
+    #[test]
+    fn ledger_wiring_forks_fresh_reservations_per_query() {
+        let ledger = Arc::new(MemoryLedger::default());
+        ledger.set_limit(1000);
+        let ctx = ExecContext::default().with_ledger(Arc::clone(&ledger));
+        let q1 = ctx.for_query();
+        let q2 = ctx.for_query();
+        q1.reserve_memory(600).unwrap();
+        let err = q2.reserve_memory(600).unwrap_err();
+        assert_eq!(err.code(), "RESOURCE_EXHAUSTED");
+        q1.release_memory(600);
+        q2.reserve_memory(600).unwrap();
+        drop(q2);
+        assert_eq!(ledger.reserved(), 0, "drop returns outstanding bytes");
+        // Ungoverned contexts are no-ops.
+        let plain = ExecContext::default().for_query();
+        plain.reserve_memory(usize::MAX).unwrap();
+        plain.release_memory(1);
     }
 
     #[test]

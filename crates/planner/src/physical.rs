@@ -200,6 +200,7 @@ fn build_batch_inner(
                         proj,
                         pushed.clone(),
                         ctx.batch_size,
+                        ctx.deadline,
                     )))
                 }
             }
@@ -406,6 +407,7 @@ fn build_row_inner(
                         proj,
                         pushed.clone(),
                         ctx.batch_size,
+                        ctx.deadline,
                     );
                     return Ok(Box::new(BatchToRow::new(Box::new(scan))));
                 }

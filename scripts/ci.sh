@@ -32,6 +32,13 @@ cargo test --workspace -q
 echo "==> chaos + degraded-open suites"
 cargo test -q --test chaos --test degraded_open
 
+# Resource-governor gate: the four governor mechanisms (admission
+# control, shared memory ledger, delta backpressure, read-only health
+# machine) under injected storage failure, run with runtime lockdep so
+# the new governor locks (levels 12-14) prove their place in the order.
+echo "==> resource governor chaos (with lockdep)"
+cargo test -q --features lockdep --test governor
+
 # Lock-discipline gate, dynamic half: re-run the concurrency and chaos
 # suites with the `lockdep` feature, so a runtime lock-order inversion
 # anywhere in the engine aborts the suite instead of deadlocking in
@@ -130,6 +137,23 @@ for field in '"experiment":"E5"' '"wal_off_inserts_per_s":' '"wal_on_inserts_per
     grep -F "$field" "$bench_results/BENCH_E5.json" >/dev/null || {
         echo "BENCH_E5.json missing $field:"
         cat "$bench_results/BENCH_E5.json" 2>/dev/null || echo "(no file)"
+        exit 1
+    }
+done
+rm -rf "$bench_results"
+
+# E8 governor-pressure gate: the spilling harness must record the budget
+# sweep and the concurrent shared-ledger axis in BENCH_E8.json, so the
+# governor's memory behavior under concurrency stays measured.
+echo "==> bench BENCH_E8.json shape"
+bench_results=$(mktemp -d)
+(cd crates/bench && CSTORE_SCALE=small CSTORE_RESULTS_DIR="$bench_results" \
+    cargo run -q --offline --release --bin exp_e8_spilling >/dev/null)
+for field in '"experiment":"E8"' '"budget_10pct_spilled_bytes":' \
+    '"concurrent_k16_ms":' '"concurrent_k16_completed":'; do
+    grep -F "$field" "$bench_results/BENCH_E8.json" >/dev/null || {
+        echo "BENCH_E8.json missing $field:"
+        cat "$bench_results/BENCH_E8.json" 2>/dev/null || echo "(no file)"
         exit 1
     }
 done

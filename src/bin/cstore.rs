@@ -6,10 +6,11 @@
 //! cargo run --release --bin cstore -- metrics [mydb/]   # metrics dump
 //! cargo run --release --bin cstore -- trace dump        # Chrome trace JSON
 //! cargo run --release --bin cstore -- lint [--json]     # static analysis
+//! cargo run --release --bin cstore -- faults list       # fault points
 //! ```
 //!
-//! Meta commands: `\tables`, `\stats <table>`, `\metrics`, `\save`,
-//! `\demo`, `\trace on|off|dump`, `\quit`. Everything else is SQL
+//! Meta commands: `\tables`, `\stats <table>`, `\metrics`, `\faults`,
+//! `\save`, `\demo`, `\trace on|off|dump`, `\quit`. Everything else is SQL
 //! (`SELECT`/`INSERT`/`UPDATE`/`DELETE`/`CREATE TABLE`/`ANALYZE`/
 //! `EXPLAIN [ANALYZE]`), terminated by `;` or a newline.
 
@@ -35,6 +36,14 @@ fn main() {
     }
     if std::env::args().nth(1).as_deref() == Some("lint") {
         run_lint(std::env::args().nth(2).as_deref() == Some("--json"));
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("faults") {
+        if std::env::args().nth(2).as_deref() != Some("list") {
+            eprintln!("usage: cstore faults list");
+            std::process::exit(2);
+        }
+        print_fault_points();
         return;
     }
     let dir: Option<PathBuf> = std::env::args().nth(1).map(PathBuf::from);
@@ -217,6 +226,19 @@ fn run_trace_dump() {
     println!("{}", tracer.dump_chrome_json());
 }
 
+/// `cstore faults list` / `\faults`: the injectable fault points a
+/// `FaultInjector` recognizes, with where each one fires.
+fn print_fault_points() {
+    let width = cstore::common::KNOWN_FAULT_POINTS
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(0);
+    for (name, desc) in cstore::common::KNOWN_FAULT_POINTS {
+        println!("{name:width$}  {desc}");
+    }
+}
+
 enum MetaResult {
     Continue,
     Quit,
@@ -239,6 +261,7 @@ fn run_meta(db: &Database, line: &str, dir: &Option<PathBuf>) -> MetaResult {
             None => eprintln!("usage: \\stats <table>"),
         },
         "\\metrics" => print!("{}", db.metrics()),
+        "\\faults" => print_fault_points(),
         "\\save" => match dir {
             Some(d) => match db.save_to(d) {
                 Ok(()) => println!("saved to {}", d.display()),
@@ -277,7 +300,8 @@ fn run_meta(db: &Database, line: &str, dir: &Option<PathBuf>) -> MetaResult {
             }
         }
         other => eprintln!(
-            "unknown command {other}; try \\tables \\stats \\metrics \\save \\demo \\trace \\quit"
+            "unknown command {other}; try \\tables \\stats \\metrics \\faults \\save \\demo \
+             \\trace \\quit"
         ),
     }
     MetaResult::Continue

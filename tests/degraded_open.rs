@@ -255,3 +255,52 @@ fn clean_store_opens_clean_in_both_modes() {
     );
     assert!(verify.blobs_checked >= 5);
 }
+
+/// A database forced read-only by the health state machine keeps serving
+/// SELECTs and `sys.*` views while INSERT/UPDATE/DELETE and bulk loads
+/// are rejected with an error that names the degradation cause — and a
+/// recovery probe restores full service.
+#[test]
+fn read_only_database_serves_reads_and_rejects_writes_with_cause() {
+    let store = saved_store();
+    let (db, _report) = Database::open_from_store(&store, OpenMode::Degraded).unwrap();
+
+    db.governor()
+        .health()
+        .degrade("blob store write failure: disk full (simulated ENOSPC)");
+
+    // Reads — base tables and every introspection view — keep working.
+    let r = db.execute("SELECT COUNT(*) FROM cs").unwrap();
+    assert_eq!(r.rows()[0].get(0).to_string(), "991");
+    for view in cstore::SYS_VIEW_NAMES {
+        db.execute(&format!("SELECT COUNT(*) FROM {view}"))
+            .unwrap_or_else(|e| panic!("{view} must keep serving: {e}"));
+    }
+    let r = db
+        .execute("SELECT health_state FROM sys.resource_governor")
+        .unwrap();
+    assert_eq!(r.rows()[0].get(0).to_string(), "READ_ONLY");
+
+    // Every write class is rejected, and the error names the cause.
+    for sql in [
+        "INSERT INTO cs VALUES (8000, 'nope')",
+        "UPDATE cs SET name = 'nope' WHERE id = 100",
+        "DELETE FROM cs WHERE id = 100",
+        "INSERT INTO hp VALUES (4)",
+    ] {
+        let msg = db.execute(sql).unwrap_err().to_string();
+        assert!(msg.contains("database is read-only"), "{sql}: {msg}");
+        assert!(msg.contains("disk full"), "{sql}: {msg}");
+    }
+    let err = db
+        .bulk_load("cs", &[Row::new(vec![Value::Int64(1), Value::Null])])
+        .unwrap_err();
+    assert!(err.to_string().contains("read-only"), "{err}");
+
+    // Storage is actually fine (no WAL failure, no parked mover, no
+    // registered probe): recovery restores writes.
+    db.probe_recovery().unwrap();
+    db.execute("INSERT INTO cs VALUES (8000, 'yes')").unwrap();
+    let r = db.execute("SELECT COUNT(*) FROM cs").unwrap();
+    assert_eq!(r.rows()[0].get(0).to_string(), "992");
+}
