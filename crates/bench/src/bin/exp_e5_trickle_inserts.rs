@@ -7,12 +7,15 @@
 //! so the delta tail stays bounded; queries stay correct throughout and
 //! get faster once data is compressed.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use cstore_bench::report::{banner, Table};
 use cstore_bench::{fmt_bytes, fmt_ms, median_time, BenchResult, Scale};
 use cstore_common::{Row, Value};
-use cstore_delta::{ColumnStoreTable, TableConfig, TupleMover, Wal, WalHandle, WalOptions};
+use cstore_delta::{
+    ColumnStoreTable, TableConfig, TupleMover, Wal, WalHandle, WalOptions, WalSyncMode,
+};
 use cstore_storage::FileLogStore;
 use cstore_workload::StarSchema;
 
@@ -115,7 +118,7 @@ fn main() {
     let off_rate = n_wal as f64 / start.elapsed().as_secs_f64();
 
     let wal_dir = std::env::temp_dir().join(format!("cstore-e5-wal-{}", std::process::id()));
-    let t_on = ColumnStoreTable::new(StarSchema::sales_schema(), config);
+    let t_on = ColumnStoreTable::new(StarSchema::sales_schema(), config.clone());
     let (wal, _) = Wal::open(
         Box::new(FileLogStore::open(&wal_dir).expect("wal dir")),
         WalOptions::default(),
@@ -139,6 +142,89 @@ fn main() {
         "WAL tax   : {off_rate:>9.0} inserts/s without WAL, {on_rate:>9.0} with (fsync per commit): {overhead_pct:.0}% overhead"
     );
 
+    // Phase 5: 16 concurrent writers issuing multi-row statements (128
+    // rows each — the batched ingest path: one InsertBatch frame and one
+    // commit obligation per statement), one trial per durability mode.
+    // Group commit earns its keep under concurrency: committers pile up
+    // behind the log-writer thread and many statements ride one fsync.
+    const WRITERS: i64 = 16;
+    const STMT_ROWS: i64 = 128;
+    let stmts_per_writer = (n_wal / WRITERS).max(250);
+    let rows16 = stmts_per_writer * STMT_ROWS * WRITERS;
+    let run16 = |mode: Option<WalSyncMode>| -> (f64, f64) {
+        let t = ColumnStoreTable::new(StarSchema::sales_schema(), config.clone());
+        let dir = std::env::temp_dir().join(format!(
+            "cstore-e5-wal16-{}-{}",
+            std::process::id(),
+            mode.map_or("none", |m| m.as_str()),
+        ));
+        let wal = mode.map(|m| {
+            let (wal, _) = Wal::open(
+                Box::new(FileLogStore::open(&dir).expect("wal dir")),
+                WalOptions::default(),
+                None,
+                &[],
+            )
+            .expect("wal open");
+            wal.set_sync_mode(m);
+            t.set_wal(WalHandle {
+                wal: Arc::clone(&wal),
+                table: "sales".into(),
+            });
+            wal
+        });
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let t = t.clone();
+                s.spawn(move || {
+                    for stmt in 0..stmts_per_writer {
+                        let base = w * 10_000_000 + stmt * STMT_ROWS;
+                        let rows: Vec<Row> = (base..base + STMT_ROWS).map(row).collect();
+                        t.insert_batch(&rows).expect("insert_batch");
+                    }
+                });
+            }
+        });
+        let secs = start.elapsed().as_secs_f64();
+        let fsyncs = wal.as_ref().map_or(0, |w| w.status().counters.fsyncs);
+        drop(wal); // join the log-writer thread before deleting its files
+                   // lint: allow(discard) — best-effort scratch cleanup
+        let _ = std::fs::remove_dir_all(&dir);
+        (rows16 as f64 / secs, fsyncs as f64 / rows16 as f64)
+    };
+    let (off16_rate, _) = run16(None);
+    let (nosync16_rate, nosync16_fpr) = run16(Some(WalSyncMode::Off));
+    let (group16_rate, group16_fpr) = run16(Some(WalSyncMode::Group));
+    let (strict16_rate, strict16_fpr) = run16(Some(WalSyncMode::Strict));
+    let group_ratio = off16_rate / group16_rate;
+    let mut t16 = Table::new(&[
+        "wal_sync (16 writers x 128-row stmts)",
+        "rows_per_s",
+        "fsyncs_per_row",
+    ]);
+    t16.row(&["no WAL".into(), format!("{off16_rate:.0}"), "-".into()]);
+    t16.row(&[
+        "off".into(),
+        format!("{nosync16_rate:.0}"),
+        format!("{nosync16_fpr:.4}"),
+    ]);
+    t16.row(&[
+        "group".into(),
+        format!("{group16_rate:.0}"),
+        format!("{group16_fpr:.4}"),
+    ]);
+    t16.row(&[
+        "strict".into(),
+        format!("{strict16_rate:.0}"),
+        format!("{strict16_fpr:.4}"),
+    ]);
+    t16.print();
+    println!(
+        "group commit: {group_ratio:.1}x off the WAL-free rate ({:.0} inserts amortize each fsync)",
+        1.0 / group16_fpr.max(1e-9)
+    );
+
     let result = BenchResult {
         experiment: "E5".into(),
         rows: n,
@@ -149,6 +235,14 @@ fn main() {
             ("wal_off_inserts_per_s".into(), off_rate),
             ("wal_on_inserts_per_s".into(), on_rate),
             ("wal_overhead_pct".into(), overhead_pct),
+            ("wal16_off_rows_per_s".into(), off16_rate),
+            ("wal16_nosync_rows_per_s".into(), nosync16_rate),
+            ("wal16_nosync_fsyncs_per_row".into(), nosync16_fpr),
+            ("wal16_group_rows_per_s".into(), group16_rate),
+            ("wal16_group_fsyncs_per_row".into(), group16_fpr),
+            ("wal16_strict_rows_per_s".into(), strict16_rate),
+            ("wal16_strict_fsyncs_per_row".into(), strict16_fpr),
+            ("wal16_group_vs_off_ratio".into(), group_ratio),
         ],
     };
     match result.write() {

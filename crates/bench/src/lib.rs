@@ -101,7 +101,10 @@ impl BenchResult {
             self.compression_ratio,
         );
         for (key, value) in &self.extras {
-            out.push_str(&format!(",\"{}\":{value:.3}", key.replace(['"', '\\'], "_")));
+            out.push_str(&format!(
+                ",\"{}\":{value:.3}",
+                key.replace(['"', '\\'], "_")
+            ));
         }
         out.push('}');
         out

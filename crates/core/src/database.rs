@@ -1,6 +1,6 @@
 //! The `Database` facade: SQL in, results out.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -11,7 +11,7 @@ use cstore_common::sync::Mutex;
 use cstore_common::{convert, DataType, Error, Field, Result, Row, RowId, Schema, Value};
 use cstore_delta::{
     MoverState, MoverStatus, TableConfig, TupleMover, Wal, WalHandle, WalOptions, WalReplayReport,
-    WalStatus,
+    WalStatus, WalSyncMode,
 };
 use cstore_exec::ops::collect_rows;
 use cstore_exec::{ExecContext, Expr};
@@ -19,7 +19,7 @@ use cstore_planner::explain::{explain, explain_analyze};
 use cstore_planner::physical::build_physical;
 use cstore_planner::rules::optimize;
 use cstore_planner::ExecMode;
-use cstore_sql::ast::{Statement, TableOrganization};
+use cstore_sql::ast::{SetValue, Statement, TableOrganization};
 use cstore_sql::{bind_expr_on_schema, bind_select, coerce, literal_value, parse};
 
 use crate::catalog::{Catalog, TableEntry};
@@ -180,6 +180,10 @@ pub struct Database {
     wal: Arc<Mutex<Option<Arc<Wal>>>>,
     /// `SET query_timeout_ms` session option; `0` means no timeout.
     query_timeout_ms: Arc<AtomicU64>,
+    /// `SET wal_sync` durability mode ([`WalSyncMode`] as `u8`). Applied
+    /// to the attached WAL immediately and remembered so a WAL attached
+    /// later starts in the chosen mode.
+    wal_sync: Arc<AtomicU8>,
     /// The resource governor: admission control, the shared memory
     /// ledger, delta backpressure and the health state machine. Shared
     /// with every columnstore table and with the exec context.
@@ -205,6 +209,7 @@ impl Database {
             query_log: Arc::new(Mutex::new_leveled(7, "db.query_log", QueryLog::default())),
             wal: Arc::new(Mutex::new_leveled(8, "db.wal", None)),
             query_timeout_ms: Arc::new(AtomicU64::new(0)),
+            wal_sync: Arc::new(AtomicU8::new(WalSyncMode::default().to_u8())),
             governor,
         }
     }
@@ -371,49 +376,77 @@ impl Database {
     }
 
     /// `SET <option> = <value>`: session options.
-    fn run_set(&self, option: &str, value: i64) -> Result<QueryResult> {
+    fn run_set(&self, option: &str, value: SetValue) -> Result<QueryResult> {
         match option.to_ascii_lowercase().as_str() {
             "query_timeout_ms" => {
-                let ms = u64::try_from(value).map_err(|_| {
-                    Error::Sql(format!("query_timeout_ms must be >= 0, got {value}"))
-                })?;
+                let ms = Self::set_u64("query_timeout_ms", &value)?;
                 self.query_timeout_ms.store(ms, Ordering::Relaxed);
                 Ok(QueryResult::Created)
             }
             "max_concurrent_queries" => {
-                let n = Self::set_u64("max_concurrent_queries", value)?;
+                let n = Self::set_u64("max_concurrent_queries", &value)?;
                 self.governor.admission().set_max_concurrent(n);
                 Ok(QueryResult::Created)
             }
             "admission_timeout_ms" => {
-                let ms = Self::set_u64("admission_timeout_ms", value)?;
+                let ms = Self::set_u64("admission_timeout_ms", &value)?;
                 self.governor
                     .admission()
                     .set_timeout(Duration::from_millis(ms));
                 Ok(QueryResult::Created)
             }
             "memory_limit_bytes" => {
-                let bytes = Self::set_u64("memory_limit_bytes", value)?;
+                let bytes = Self::set_u64("memory_limit_bytes", &value)?;
                 self.governor.ledger().set_limit(bytes);
                 Ok(QueryResult::Created)
             }
             "delta_high_water_mark" => {
-                let n = Self::set_u64("delta_high_water_mark", value)?;
+                let n = Self::set_u64("delta_high_water_mark", &value)?;
                 self.governor.backpressure().set_high_water(n);
                 Ok(QueryResult::Created)
             }
             "backpressure_timeout_ms" => {
-                let ms = Self::set_u64("backpressure_timeout_ms", value)?;
+                let ms = Self::set_u64("backpressure_timeout_ms", &value)?;
                 self.governor.backpressure().set_timeout_ms(ms);
+                Ok(QueryResult::Created)
+            }
+            "wal_sync" => {
+                let name = match &value {
+                    SetValue::Name(name) => name.as_str(),
+                    SetValue::Int(n) => {
+                        return Err(Error::Sql(format!(
+                            "wal_sync expects off, group or strict, got {n}"
+                        )))
+                    }
+                };
+                let mode = WalSyncMode::parse(name).ok_or_else(|| {
+                    Error::Sql(format!(
+                        "wal_sync expects off, group or strict, got '{name}'"
+                    ))
+                })?;
+                self.wal_sync.store(mode.to_u8(), Ordering::Relaxed);
+                // Clone out of the guard first: set_sync_mode takes WAL
+                // locks, which must not nest inside db.wal.
+                let wal = self.wal.lock().clone();
+                if let Some(wal) = wal {
+                    wal.set_sync_mode(mode);
+                }
                 Ok(QueryResult::Created)
             }
             other => Err(Error::Unsupported(format!("unknown SET option '{other}'"))),
         }
     }
 
-    /// Parse a non-negative governor SET value.
-    fn set_u64(option: &str, value: i64) -> Result<u64> {
-        u64::try_from(value).map_err(|_| Error::Sql(format!("{option} must be >= 0, got {value}")))
+    /// Parse a non-negative integer SET value.
+    fn set_u64(option: &str, value: &SetValue) -> Result<u64> {
+        match value {
+            SetValue::Int(n) => {
+                u64::try_from(*n).map_err(|_| Error::Sql(format!("{option} must be >= 0, got {n}")))
+            }
+            SetValue::Name(name) => Err(Error::Sql(format!(
+                "{option} expects an integer value, got '{name}'"
+            ))),
+        }
     }
 
     /// The wall-clock deadline for a query starting now, from
@@ -591,10 +624,10 @@ impl Database {
         match entry {
             TableEntry::ColumnStore(t) => {
                 // INSERT ... VALUES is the trickle path; programmatic bulk
-                // loads use [`Database::bulk_load`].
-                for row in rows {
-                    t.insert(row)?;
-                }
+                // loads use [`Database::bulk_load`]. The whole statement is
+                // one WAL frame and one commit obligation, however many
+                // rows it carries.
+                t.insert_batch(&rows)?;
             }
             TableEntry::Heap(_) => {
                 self.catalog.with_heap_mut(table, |h| h.insert_all(&rows))?;
@@ -939,6 +972,7 @@ impl Database {
             })
             .collect();
         let (wal, report) = Wal::open(store, options, faults, &tables)?;
+        wal.set_sync_mode(WalSyncMode::from_u8(self.wal_sync.load(Ordering::Relaxed)));
         for (name, t) in &tables {
             t.set_wal(WalHandle {
                 wal: Arc::clone(&wal),

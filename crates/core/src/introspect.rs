@@ -535,6 +535,7 @@ pub(crate) fn wal_view(db: &Database) -> VirtualTable {
         field("active_segment", DataType::Int64, false),
         field("tail_lsn", DataType::Int64, false),
         field("durable_lsn", DataType::Int64, false),
+        field("sync_mode", DataType::Utf8, false),
         field("checkpoint_generation", DataType::Int64, true),
         field("checkpoint_lsn", DataType::Int64, true),
         field("records_appended", DataType::Int64, false),
@@ -559,6 +560,7 @@ pub(crate) fn wal_view(db: &Database) -> VirtualTable {
             int_u64(s.active_segment),
             int_u64(s.tail_lsn),
             int_u64(s.durable_lsn),
+            Value::str(s.sync_mode.as_str()),
             opt_lsn(s.last_checkpoint.map(|(g, _)| g)),
             opt_lsn(s.last_checkpoint.map(|(_, lsn)| lsn)),
             int_u64(s.counters.records_appended),

@@ -30,4 +30,5 @@ pub use table::{
 pub use tuple_mover::{MoverConfig, MoverState, MoverStatus, TupleMover};
 pub use wal::{
     SegmentQuarantine, Wal, WalHandle, WalOptions, WalRecord, WalReplayReport, WalStatus,
+    WalSyncMode,
 };

@@ -64,6 +64,11 @@ pub struct BulkLoadReport {
     pub delta_rows: usize,
 }
 
+/// Rows per `InsertBatch` WAL frame: batched statements are chunked so
+/// one frame stays well under the WAL's 64 MB frame limit while still
+/// amortizing the commit across the whole statement.
+const WAL_BATCH_ROWS: usize = 4096;
+
 /// Point-in-time statistics of a table.
 #[derive(Clone, Debug, Default)]
 pub struct TableStats {
@@ -397,66 +402,127 @@ impl ColumnStoreTable {
         Ok((rid, pending))
     }
 
+    /// Insert every row of one statement under a single commit
+    /// obligation: the whole batch rides `InsertBatch` WAL frames
+    /// (chunked at [`WAL_BATCH_ROWS`]) and one group commit, so a
+    /// multi-row `INSERT ... VALUES (...),(...)` pays one fsync for the
+    /// statement instead of one per row. With a WAL attached every row
+    /// is durable when this returns.
+    pub fn insert_batch(&self, rows: &[Row]) -> Result<Vec<RowId>> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        for row in rows {
+            self.schema.check_row(row)?;
+        }
+        self.backpressure_admit()?;
+        let (rids, pending) = {
+            let mut inner = self.inner.write();
+            let inner = &mut *inner;
+            let table = inner.wal.as_ref().map(|h| h.table.clone());
+            let mut rids = Vec::with_capacity(rows.len());
+            for row in rows {
+                rids.push(inner.insert_row(row.clone())?);
+            }
+            let mut pending = None;
+            if let Some(table) = table {
+                for chunk in rows.chunks(WAL_BATCH_ROWS) {
+                    let record = match chunk {
+                        [row] => WalRecord::Insert {
+                            table: table.clone(),
+                            row: row.clone(),
+                        },
+                        _ => WalRecord::InsertBatch {
+                            table: table.clone(),
+                            rows: chunk.to_vec(),
+                        },
+                    };
+                    pending = inner.wal_log(&record)?;
+                }
+            }
+            inner.sync_delta_charge();
+            (rids, pending)
+        };
+        wal_commit(pending)?;
+        Ok(rids)
+    }
+
     /// Bulk-insert rows. Batches at/above the threshold compress directly;
-    /// a trailing remainder below it goes through the delta store.
+    /// a trailing remainder below it goes through the delta store. The
+    /// whole call is one commit obligation: each compressed chunk and the
+    /// delta remainder are logged as `InsertBatch` frames and group-commit
+    /// once at the end.
     pub fn bulk_insert(&self, rows: &[Row]) -> Result<BulkLoadReport> {
         for row in rows {
             self.schema.check_row(row)?;
         }
         let mut report = BulkLoadReport::default();
-        let mut inner = self.inner.write();
-        let (threshold, max_rows, sort) = {
-            let c = &inner.config;
-            (
-                c.bulk_load_threshold,
-                c.max_rowgroup_rows,
-                c.sort_mode.clone(),
-            )
-        };
         let mut pending = None;
-        let mut remaining = rows;
-        if rows.len() >= threshold {
-            while remaining.len() >= threshold {
-                let take = remaining.len().min(max_rows);
-                let (chunk, rest) = remaining.split_at(take);
-                let mut b =
-                    RowGroupBuilder::new(self.schema.clone(), sort.clone()).with_max_rows(take);
-                for row in chunk {
-                    b.push_row(row)?;
-                }
-                let id = inner.cs.finish_builder(b)?;
-                // Bulk-loaded rows are logged like trickle inserts (replay
-                // re-inserts them as delta rows; the mover re-seals), plus
-                // a marker that the group compressed directly.
-                if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
+        {
+            let mut inner = self.inner.write();
+            let inner = &mut *inner;
+            let (threshold, max_rows, sort) = {
+                let c = &inner.config;
+                (
+                    c.bulk_load_threshold,
+                    c.max_rowgroup_rows,
+                    c.sort_mode.clone(),
+                )
+            };
+            let mut remaining = rows;
+            if rows.len() >= threshold {
+                while remaining.len() >= threshold {
+                    let take = remaining.len().min(max_rows);
+                    let (chunk, rest) = remaining.split_at(take);
+                    let mut b =
+                        RowGroupBuilder::new(self.schema.clone(), sort.clone()).with_max_rows(take);
                     for row in chunk {
-                        // lint: allow(discard) — superseded by the seal record's higher LSN, committed below
-                        let _ = inner.wal_log(&WalRecord::Insert {
-                            table: table.clone(),
-                            row: row.clone(),
+                        b.push_row(row)?;
+                    }
+                    // Log the chunk (replay re-inserts the rows as delta
+                    // rows; the mover re-seals) *before* installing the
+                    // sealed group: a refused append must propagate and
+                    // must not leave an unlogged row group installed.
+                    if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
+                        for wal_chunk in chunk.chunks(WAL_BATCH_ROWS) {
+                            pending = inner.wal_log(&WalRecord::InsertBatch {
+                                table: table.clone(),
+                                rows: wal_chunk.to_vec(),
+                            })?;
+                        }
+                    }
+                    let id = inner.cs.finish_builder(b)?;
+                    // Plus a marker that the group compressed directly.
+                    if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
+                        pending = inner.wal_log(&WalRecord::RowGroupSealed {
+                            table,
+                            group: id.0,
+                            rows: chunk.len() as u64,
                         })?;
                     }
-                    pending = inner.wal_log(&WalRecord::RowGroupSealed {
-                        table,
-                        group: id.0,
-                        rows: chunk.len() as u64,
-                    })?;
+                    report.compressed_groups.push(id);
+                    remaining = rest;
                 }
-                report.compressed_groups.push(id);
-                remaining = rest;
             }
-        }
-        drop(inner);
-        // Remainder trickles through the delta store; one group commit
-        // covers the whole batch.
-        for row in remaining {
-            let (_, p) = self.insert_logged(row.clone())?;
-            if p.is_some() {
-                pending = p;
+            // Remainder trickles through the delta store under the same
+            // guard, logged as one more batch frame.
+            if !remaining.is_empty() {
+                if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
+                    for wal_chunk in remaining.chunks(WAL_BATCH_ROWS) {
+                        pending = inner.wal_log(&WalRecord::InsertBatch {
+                            table: table.clone(),
+                            rows: wal_chunk.to_vec(),
+                        })?;
+                    }
+                }
+                for row in remaining {
+                    inner.insert_row(row.clone())?;
+                }
+                report.delta_rows = remaining.len();
             }
+            inner.sync_delta_charge();
         }
         wal_commit(pending)?;
-        report.delta_rows = remaining.len();
         Ok(report)
     }
 
@@ -937,6 +1003,27 @@ impl ColumnStoreTable {
         Ok(true)
     }
 
+    /// Replay one logged insert batch: every row applied iff `lsn` is
+    /// past the table's watermark. The batch rode a single frame, so it
+    /// shares one LSN and replays all-or-nothing — idempotent under the
+    /// same watermark rule as single-row inserts.
+    pub fn wal_apply_insert_batch(&self, lsn: u64, rows: Vec<Row>) -> Result<bool> {
+        for row in &rows {
+            self.schema.check_row(row)?;
+        }
+        let mut inner = self.inner.write();
+        if lsn <= inner.last_lsn {
+            return Ok(false);
+        }
+        let inner = &mut *inner;
+        for row in rows {
+            inner.insert_row(row)?;
+        }
+        inner.last_lsn = lsn;
+        inner.sync_delta_charge();
+        Ok(true)
+    }
+
     /// Replay one logged delete. The logged `rid` resolves only when the
     /// row group survived into the loaded state; otherwise (the row was
     /// re-inserted as a delta row, or its mover-built group died with the
@@ -1160,6 +1247,99 @@ mod tests {
         assert!(report.compressed_groups.is_empty());
         assert_eq!(report.delta_rows, 400);
         assert_eq!(t.stats().compressed_rows, 0);
+    }
+
+    fn wal_fixture(
+        seed: u64,
+    ) -> (
+        ColumnStoreTable,
+        std::sync::Arc<Wal>,
+        FaultInjector,
+        cstore_storage::log::MemLogStore,
+    ) {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        let store = cstore_storage::log::MemLogStore::new();
+        let faults = FaultInjector::new(seed);
+        let (wal, _) = Wal::open(
+            Box::new(store.clone()),
+            crate::wal::WalOptions::default(),
+            Some(faults.clone()),
+            &[],
+        )
+        .unwrap();
+        t.set_wal(WalHandle {
+            wal: Arc::clone(&wal),
+            table: "t".into(),
+        });
+        (t, wal, faults, store)
+    }
+
+    /// Satellite-1 regression: with the WAL wedged, `bulk_insert` must
+    /// propagate the append error AND must not leave an unlogged row
+    /// group sealed — the old per-row path installed the group first and
+    /// only then noticed the refusal.
+    #[test]
+    fn bulk_insert_propagates_wal_errors_without_sealing() {
+        use cstore_common::fault::{FaultKind, FaultSpec};
+        let (t, wal, faults, _) = wal_fixture(21);
+        // Wedge the WAL with a failed flush (sticky).
+        faults.arm("wal.append", FaultSpec::new(FaultKind::IoError).always());
+        assert!(t.insert(row(0)).is_err());
+        assert!(wal.status().failed.is_some());
+        // ≥ threshold (500), so the bulk path would seal a group.
+        let rows: Vec<Row> = (0..600).map(row).collect();
+        let err = t.bulk_insert(&rows).unwrap_err();
+        assert!(err.to_string().contains("WAL is failed"), "{err}");
+        let s = t.stats();
+        assert_eq!(
+            s.n_compressed_groups, 0,
+            "a refused append must not seal a row group"
+        );
+        assert_eq!(s.compressed_rows, 0);
+        assert_eq!(s.delta_rows, 1, "only the wedging insert's row remains");
+    }
+
+    /// Satellite-2 regression: a multi-row batch is one commit
+    /// obligation — one `InsertBatch` frame, one flush, one fsync.
+    #[test]
+    fn insert_batch_is_one_frame_and_one_fsync() {
+        let (t, wal, _, store) = wal_fixture(22);
+        let rows: Vec<Row> = (0..50).map(row).collect();
+        let rids = t.insert_batch(&rows).unwrap();
+        assert_eq!(rids.len(), 50);
+        assert_eq!(t.total_rows(), 50);
+        let c = wal.status().counters;
+        assert_eq!(c.records_appended, 1, "one InsertBatch frame per statement");
+        assert_eq!(c.fsyncs, 1, "one fsync per statement, not per row");
+        // And it replays: reopening the durable image into a fresh table
+        // recovers every row of the batch.
+        t.clear_wal();
+        drop(wal); // joins the writer; the crash image is fully durable
+        let t2 = ColumnStoreTable::new(schema(), small_config());
+        let (_wal2, report) = Wal::open(
+            Box::new(store.crash_image()),
+            crate::wal::WalOptions::default(),
+            None,
+            &[("t".into(), t2.clone())],
+        )
+        .unwrap();
+        assert_eq!(report.records_applied, 1);
+        assert_eq!(t2.total_rows(), 50);
+    }
+
+    /// Replaying the same `InsertBatch` frame twice applies it once: the
+    /// batch shares one LSN and the watermark gates it all-or-nothing.
+    #[test]
+    fn insert_batch_replay_is_idempotent() {
+        let t = ColumnStoreTable::new(schema(), small_config());
+        let rows: Vec<Row> = (0..10).map(row).collect();
+        assert!(t.wal_apply_insert_batch(5, rows.clone()).unwrap());
+        assert_eq!(t.total_rows(), 10);
+        assert!(!t.wal_apply_insert_batch(5, rows.clone()).unwrap());
+        assert_eq!(t.total_rows(), 10, "below-watermark replay is skipped");
+        assert!(t.wal_apply_insert_batch(6, rows).unwrap());
+        assert_eq!(t.total_rows(), 20);
+        assert_eq!(t.wal_last_lsn(), 6);
     }
 
     #[test]

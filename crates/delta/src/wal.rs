@@ -1,18 +1,37 @@
-//! Write-ahead logging for delta stores, with group commit and replay.
+//! Write-ahead logging for delta stores, with pipelined group commit
+//! and replay.
 //!
 //! The paper's trickle path inherits durability from SQL Server's fully
 //! logged row-store engine: every delta-store insert and delete-bitmap
 //! mark is WAL-protected, so a crash never loses a committed row. This
 //! module closes the same gap for the reproduction. Mutations append
 //! CRC32-framed records to an append-only, segmented log
-//! ([`cstore_storage::log::LogStore`]); commit is *group commit* — a
-//! small mutex-held buffer that the committing thread flushes and fsyncs
-//! on behalf of every concurrently buffered writer. On open, [`Wal::open`]
-//! replays the log into the freshly loaded tables: records at or below a
-//! table's persisted LSN watermark are skipped (the generation-stamped
-//! save already contains them), a torn tail is truncated at the first bad
-//! frame, and — in degraded mode — an unreadable interior segment is
-//! quarantined while later segments still apply.
+//! ([`cstore_storage::log::LogStore`]); commit is *pipelined group
+//! commit* — committers buffer frames under a short mutex and park,
+//! while a dedicated log-writer thread drains the buffer, appends and
+//! fsyncs each stolen batch, and wakes the committers whose LSNs it
+//! made durable. Because committers never do IO themselves, batch N+1
+//! accumulates (and is handed to the writer) while batch N is still
+//! fsyncing. On open, [`Wal::open`] replays the log into the freshly
+//! loaded tables: records at or below a table's persisted LSN watermark
+//! are skipped (the generation-stamped save already contains them), a
+//! torn tail is truncated at the first bad frame, and — in degraded
+//! mode — an unreadable interior segment is quarantined while later
+//! segments still apply.
+//!
+//! ## Durability modes
+//!
+//! `SET wal_sync = off|group|strict` selects how much of that pipeline
+//! a commit waits for (see `DESIGN.md` §8 for the loss-window table):
+//!
+//! - `off` — the commit is acknowledged as soon as its frames are
+//!   buffered; the writer thread flushes behind the caller. A crash can
+//!   lose the buffered tail.
+//! - `group` (default) — the commit parks until the writer thread has
+//!   fsynced its LSN; acknowledged means durable.
+//! - `strict` — as `group`, but the committing thread flushes the
+//!   buffer itself (leader-style) instead of handing off, trading
+//!   batching opportunity for the lowest acknowledge latency.
 //!
 //! ## Frame format
 //!
@@ -24,11 +43,13 @@
 //! Record types: `1` Insert, `2` Delete, `3` RowGroupSealed (informational
 //! marker from the tuple mover), `4` Checkpoint (generation + per-table
 //! LSN watermarks; written after a successful save, drives segment
-//! retirement). A Delete record carries the full row values as well as
-//! the `RowId`: row ids are not stable across replay (re-inserted delta
-//! rows get fresh ids, mover-built row groups vanish with the crash), so
-//! replay falls back to delete-by-value when the logged id no longer
-//! resolves.
+//! retirement), `5` InsertBatch (one frame covering every row of a
+//! multi-row statement or bulk-load chunk, so ingest pays one commit
+//! obligation per statement instead of one per row). A Delete record
+//! carries the full row values as well as the `RowId`: row ids are not
+//! stable across replay (re-inserted delta rows get fresh ids,
+//! mover-built row groups vanish with the crash), so replay falls back
+//! to delete-by-value when the logged id no longer resolves.
 //!
 //! ## Locks
 //!
@@ -36,9 +57,12 @@
 //! physical append/fsync of a flush; `wal_state` (LSN allocator, commit
 //! buffer, durable watermark) is only ever held for short critical
 //! sections — never across IO. `wal_store` is acquired before
-//! `wal_state`, never the other way; see `LOCK_ORDER.md`.
+//! `wal_state`, never the other way; the writer thread steals the
+//! buffer under `wal_state`, *releases it*, and only then takes
+//! `wal_store` to flush. See `LOCK_ORDER.md`.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use cstore_common::fault::FaultInjector;
@@ -56,10 +80,63 @@ const MAX_FRAME_BYTES: u32 = 64 << 20;
 /// Histogram bounds for the group-commit batch size (records per flush).
 pub const BATCH_BUCKETS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
 
+/// How much durability a commit waits for. See the module docs and
+/// `DESIGN.md` §8; selected per-database with `SET wal_sync = …`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalSyncMode {
+    /// Acknowledge once buffered; the writer thread flushes behind the
+    /// caller. Loss window: every frame not yet flushed at the crash.
+    Off,
+    /// Acknowledge once the writer thread has fsynced the commit's LSN.
+    #[default]
+    Group,
+    /// As `Group`, but the committer flushes inline (leader-style).
+    Strict,
+}
+
+impl WalSyncMode {
+    /// Parse a `SET wal_sync` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<WalSyncMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Some(WalSyncMode::Off),
+            "group" => Some(WalSyncMode::Group),
+            "strict" => Some(WalSyncMode::Strict),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WalSyncMode::Off => "off",
+            WalSyncMode::Group => "group",
+            WalSyncMode::Strict => "strict",
+        }
+    }
+
+    /// Stable numeric form, for storing the mode in an atomic.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            WalSyncMode::Off => 0,
+            WalSyncMode::Group => 1,
+            WalSyncMode::Strict => 2,
+        }
+    }
+
+    /// Inverse of [`WalSyncMode::to_u8`]; unknown values decode as the
+    /// `Group` default.
+    pub fn from_u8(v: u8) -> WalSyncMode {
+        match v {
+            0 => WalSyncMode::Off,
+            2 => WalSyncMode::Strict,
+            _ => WalSyncMode::Group,
+        }
+    }
+}
+
 /// One logical WAL record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
-    /// A trickle (or bulk-load) insert of one row.
+    /// A trickle insert of one row.
     Insert { table: String, row: Row },
     /// A delete; carries the row values for replay-by-value fallback.
     Delete { table: String, rid: RowId, row: Row },
@@ -74,6 +151,10 @@ pub enum WalRecord {
         generation: u64,
         boundaries: Vec<(String, u64)>,
     },
+    /// Every row of one multi-row statement or bulk-load chunk under a
+    /// single LSN: replay applies all of them or none (watermark check
+    /// on the one LSN), and ingest pays one commit for the whole frame.
+    InsertBatch { table: String, rows: Vec<Row> },
 }
 
 impl WalRecord {
@@ -83,6 +164,7 @@ impl WalRecord {
             WalRecord::Delete { .. } => 2,
             WalRecord::RowGroupSealed { .. } => 3,
             WalRecord::Checkpoint { .. } => 4,
+            WalRecord::InsertBatch { .. } => 5,
         }
     }
 
@@ -111,6 +193,13 @@ impl WalRecord {
                 for (table, lsn) in boundaries {
                     w.lp_bytes(table.as_bytes())?;
                     w.u64(*lsn);
+                }
+            }
+            WalRecord::InsertBatch { table, rows } => {
+                w.lp_bytes(table.as_bytes())?;
+                w.u32(rows.len() as u32);
+                for row in rows {
+                    write_row(w, row)?;
                 }
             }
         }
@@ -149,6 +238,20 @@ impl WalRecord {
                     generation,
                     boundaries,
                 })
+            }
+            5 => {
+                let table = read_name(r)?;
+                let n = r.u32()? as usize;
+                if n > 1 << 24 {
+                    return Err(Error::Storage(format!(
+                        "WAL insert batch has absurd cardinality {n}"
+                    )));
+                }
+                let mut rows = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    rows.push(read_row(r)?);
+                }
+                Ok(WalRecord::InsertBatch { table, rows })
             }
             other => Err(Error::Storage(format!("unknown WAL record type {other}"))),
         }
@@ -352,11 +455,19 @@ struct WalState {
     durable_lsn: u64,
     /// Buffered (lsn, frame) pairs awaiting the next group flush.
     buffer: Vec<(u64, Vec<u8>)>,
-    /// A flush is in flight; committers wait on the condvar.
-    flushing: bool,
     /// A flush failed; the WAL refuses further work (durability of
     /// anything not yet acknowledged is unknown).
     failed: Option<String>,
+    /// Every LSN at or below this rode a flush that failed: those frames
+    /// are gone (or of unknown durability), so their committers must
+    /// observe an error *even after* a recovery probe clears `failed`
+    /// and pushes `durable_lsn` past them.
+    lost_below: u64,
+    /// The log-writer thread exits once this is set and the buffer is
+    /// drained; set by `Wal::drop`.
+    shutdown: bool,
+    /// The dedicated log-writer thread; joined on `Wal::drop`.
+    writer: Option<std::thread::JoinHandle<()>>,
     counters: WalCounters,
 }
 
@@ -382,28 +493,85 @@ pub struct WalStatus {
     pub tail_lsn: u64,
     pub durable_lsn: u64,
     pub last_checkpoint: Option<(u64, u64)>,
+    pub sync_mode: WalSyncMode,
     pub counters: WalCounters,
     pub failed: Option<String>,
 }
 
-/// The write-ahead log. Shared (`Arc`) between the database and every
-/// column-store table wired to it.
-pub struct Wal {
+/// Shared WAL internals: everything the log-writer thread needs without
+/// keeping the public [`Wal`] (and therefore its drop-driven shutdown)
+/// alive. `Wal` is a thin handle around this.
+struct WalCore {
     wal_store: Mutex<StoreState>,
     wal_state: Mutex<WalState>,
+    /// Committers park here; the flusher (writer thread or strict-mode
+    /// leader) notifies after every durable-LSN or failure update.
     flushed: Condvar,
+    /// The log-writer thread parks here when the buffer is empty (or the
+    /// WAL is failed); committers and shutdown notify it.
+    work: Condvar,
+    /// Current `SET wal_sync` mode (a `WalSyncMode` as u8).
+    sync_mode: AtomicU8,
     options: WalOptions,
     /// Last checkpoint (generation, lsn) — updated on `checkpoint`.
-    /// Stored alongside `wal_state` data but only written while holding
-    /// `wal_state`.
     last_checkpoint: Mutex<Option<(u64, u64)>>,
+}
+
+/// The write-ahead log. Shared (`Arc`) between the database and every
+/// column-store table wired to it; dropping the last handle shuts down
+/// and joins the log-writer thread (draining any buffered tail).
+pub struct Wal {
+    core: Arc<WalCore>,
+}
+
+/// The dedicated log-writer thread: steal the commit buffer under
+/// `wal_state`, release the lock, flush (append + fsync) under
+/// `wal_store`, publish the outcome, repeat. Committers keep buffering
+/// batch N+1 while batch N is in flight here — that is the pipelining.
+/// A failed WAL parks the writer until a probe clears it; shutdown
+/// drains whatever is still flushable, then exits.
+fn writer_loop(core: Arc<WalCore>) {
+    loop {
+        let batch = {
+            let mut st = core.wal_state.lock();
+            while !st.shutdown && (st.failed.is_some() || st.buffer.is_empty()) {
+                st = core.work.wait(st);
+            }
+            if st.failed.is_some() || st.buffer.is_empty() {
+                // Shutting down with nothing flushable left.
+                return;
+            }
+            std::mem::take(&mut st.buffer)
+        };
+        let res = core.flush_batch(&batch);
+        if let Err(_e) = core.finish_flush(&batch, res) {
+            // The failure is recorded sticky in `wal_state` and surfaced
+            // to every committer; the writer parks until a probe clears.
+        }
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        let handle = {
+            let mut st = self.core.wal_state.lock();
+            st.shutdown = true;
+            st.writer.take()
+        };
+        self.core.work.notify_all();
+        if let Some(h) = handle {
+            // lint: allow(discard) — the writer thread returns no payload
+            let _ = h.join();
+        }
+    }
 }
 
 impl Wal {
     /// Open the log in `store`: scan every segment, replay records past
     /// each table's persisted watermark into `tables`, truncate a torn
-    /// tail, and position the log for appending. `tables` maps
-    /// lower-cased table names to their freshly loaded tables.
+    /// tail, position the log for appending, and start the log-writer
+    /// thread. `tables` maps lower-cased table names to their freshly
+    /// loaded tables.
     pub fn open(
         mut store: Box<dyn LogStore>,
         options: WalOptions,
@@ -525,7 +693,7 @@ impl Wal {
             report.quarantined.len() as u64,
         );
 
-        let wal = Arc::new(Wal {
+        let core = Arc::new(WalCore {
             wal_store: Mutex::new_leveled(
                 9,
                 "wal.store",
@@ -542,17 +710,27 @@ impl Wal {
                 WalState {
                     next_lsn: report.max_lsn + 1,
                     durable_lsn: report.max_lsn,
-                    buffer: Vec::new(),
-                    flushing: false,
-                    failed: None,
                     counters,
+                    ..Default::default()
                 },
             ),
             flushed: Condvar::new(),
+            work: Condvar::new(),
+            sync_mode: AtomicU8::new(WalSyncMode::default().to_u8()),
             options,
             last_checkpoint: Mutex::new_leveled(11, "wal.ckpt", report.last_checkpoint),
         });
-        Ok((wal, report))
+        let writer = {
+            let core = Arc::clone(&core);
+            std::thread::Builder::new()
+                .name("cstore-wal-writer".into())
+                .spawn(move || writer_loop(core))
+                // lint: allow(unwrap) — thread spawn fails only on OS
+                // resource exhaustion, at which point nothing works
+                .expect("spawn WAL writer thread")
+        };
+        core.wal_state.lock().writer = Some(writer);
+        Ok((Arc::new(Wal { core }), report))
     }
 
     fn note_unreadable(
@@ -586,6 +764,17 @@ impl Wal {
                     return Ok(());
                 };
                 if t.wal_apply_insert(lsn, row)? {
+                    report.records_applied += 1;
+                } else {
+                    report.records_below_watermark += 1;
+                }
+            }
+            WalRecord::InsertBatch { table, rows } => {
+                let Some(t) = tables.get(&table.to_ascii_lowercase()) else {
+                    report.records_unknown_table += 1;
+                    return Ok(());
+                };
+                if t.wal_apply_insert_batch(lsn, rows)? {
                     report.records_applied += 1;
                 } else {
                     report.records_below_watermark += 1;
@@ -625,7 +814,7 @@ impl Wal {
     /// durable. Safe to call while holding a table's write lock.
     pub fn log(&self, record: &WalRecord) -> Result<u64> {
         let mut frame_tail = encode_frame(0, record)?; // placeholder lsn
-        let mut st = self.wal_state.lock();
+        let mut st = self.core.wal_state.lock();
         if let Some(e) = &st.failed {
             return Err(Error::Storage(format!("WAL is failed: {e}")));
         }
@@ -642,48 +831,66 @@ impl Wal {
         Ok(lsn)
     }
 
-    /// Block until every record up to `lsn` is durable, flushing the
-    /// group-commit buffer ourselves if no flush is in flight. Must not
-    /// be called while holding a table lock.
+    /// Make every record up to `lsn` durable per the current
+    /// [`WalSyncMode`]: park until the writer thread flushes it
+    /// (`group`), flush it ourselves (`strict`), or acknowledge
+    /// immediately and let the writer catch up (`off`). Must not be
+    /// called while holding a table lock.
     pub fn commit(&self, lsn: u64) -> Result<()> {
+        self.commit_mode(lsn, self.sync_mode())
+    }
+
+    /// Like [`Wal::commit`] but always waits for durability regardless
+    /// of the session `wal_sync` mode. Checkpoints and recovery probes
+    /// must not be acknowledged before they reach stable storage.
+    pub fn sync_commit(&self, lsn: u64) -> Result<()> {
+        self.commit_mode(lsn, WalSyncMode::Strict)
+    }
+
+    fn commit_mode(&self, lsn: u64, mode: WalSyncMode) -> Result<()> {
+        let mut st = self.core.wal_state.lock();
         loop {
-            let mut st = self.wal_state.lock();
+            // Order matters: a records-lost check must precede the
+            // durable check, because a successful recovery probe pushes
+            // `durable_lsn` *past* the LSNs that rode the failed flush —
+            // without the floor, a committer woken after the probe would
+            // see durable ≥ lsn and acknowledge a lost record.
+            if lsn <= st.lost_below {
+                return Err(Error::Storage(format!(
+                    "WAL records at or below LSN {} were lost in a failed flush",
+                    st.lost_below
+                )));
+            }
             if st.durable_lsn >= lsn {
                 return Ok(());
             }
             if let Some(e) = &st.failed {
                 return Err(Error::Storage(format!("WAL is failed: {e}")));
             }
-            if st.flushing {
-                // Another committer is flushing (possibly our records too)
-                // — wait for it and re-check.
-                let _g = self.flushed.wait(st);
-                continue;
-            }
-            // We are the flusher for everything buffered so far.
-            let batch = std::mem::take(&mut st.buffer);
-            st.flushing = true;
-            drop(st);
-            let res = self.flush_batch(&batch);
-            let mut st = self.wal_state.lock();
-            st.flushing = false;
-            match res {
-                Ok(()) => {
-                    if let Some(max) = batch.iter().map(|(l, _)| *l).max() {
-                        st.durable_lsn = st.durable_lsn.max(max);
-                    }
-                    st.counters.flushes += 1;
-                    st.counters.fsyncs += 1;
-                }
-                Err(e) => {
-                    st.failed = Some(e.to_string());
+            match mode {
+                WalSyncMode::Off => {
+                    // Acknowledge now; the writer thread flushes behind
+                    // us. The loss window is the buffered tail.
                     drop(st);
-                    self.flushed.notify_all();
-                    return Err(e);
+                    self.core.work.notify_one();
+                    return Ok(());
+                }
+                WalSyncMode::Strict if !st.buffer.is_empty() => {
+                    // Leader path: flush the buffer ourselves instead of
+                    // handing off to the writer thread.
+                    let batch = std::mem::take(&mut st.buffer);
+                    drop(st);
+                    self.core
+                        .finish_flush(&batch, self.core.flush_batch(&batch))?;
+                    st = self.core.wal_state.lock();
+                }
+                _ => {
+                    // Hand the buffered batch to the writer thread and
+                    // park until it publishes our LSN (or a failure).
+                    self.core.work.notify_one();
+                    st = self.core.flushed.wait(st);
                 }
             }
-            drop(st);
-            self.flushed.notify_all();
         }
     }
 
@@ -694,6 +901,159 @@ impl Wal {
         Ok(lsn)
     }
 
+    /// Current `SET wal_sync` durability mode.
+    pub fn sync_mode(&self) -> WalSyncMode {
+        WalSyncMode::from_u8(self.core.sync_mode.load(Ordering::Relaxed))
+    }
+
+    /// Switch the durability mode. Takes effect for subsequent commits;
+    /// in-flight commits finish under the mode they started with.
+    pub fn set_sync_mode(&self, mode: WalSyncMode) {
+        self.core.sync_mode.store(mode.to_u8(), Ordering::Relaxed);
+        // Leaving `off`: anything acknowledged under the old mode should
+        // stop being a loss window as soon as possible.
+        self.core.work.notify_one();
+    }
+
+    /// Record a committed save: rotate to a fresh segment, append and
+    /// fsync a Checkpoint record, then retire segments wholly covered by
+    /// the save (`max_lsn` ≤ the smallest per-table watermark). Returns
+    /// the number of segments retired. Always durable, even under
+    /// `wal_sync = off`.
+    pub fn checkpoint(&self, generation: u64, boundaries: Vec<(String, u64)>) -> Result<u64> {
+        let floor = boundaries
+            .iter()
+            .map(|(_, lsn)| *lsn)
+            .min()
+            .unwrap_or(u64::MAX);
+        {
+            let mut ss = self.core.wal_store.lock();
+            let active_nonempty = ss.segments.get(&ss.active).is_some_and(|i| i.bytes > 0);
+            if active_nonempty {
+                ss.rotate()?;
+            }
+        }
+        let lsn = self.log(&WalRecord::Checkpoint {
+            generation,
+            boundaries,
+        })?;
+        self.sync_commit(lsn)?;
+        let mut retired = 0u64;
+        {
+            let mut ss = self.core.wal_store.lock();
+            let retirable: Vec<u64> = ss
+                .segments
+                .iter()
+                .filter(|(&id, info)| id != ss.active && info.max_lsn <= floor)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in retirable {
+                ss.store.remove(id)?;
+                ss.segments.remove(&id);
+                retired += 1;
+            }
+        }
+        {
+            let mut st = self.core.wal_state.lock();
+            st.counters.checkpoints += 1;
+            st.counters.segments_retired += retired;
+        }
+        *self.core.last_checkpoint.lock() = Some((generation, lsn));
+        let m = metrics::global();
+        m.add("cstore_wal_checkpoints_total", 1);
+        m.add("cstore_wal_retired_segments_total", retired);
+        Ok(retired)
+    }
+
+    /// Attempt to clear a sticky flush failure by proving the log can
+    /// accept writes again: append and fsync a probe record — plus any
+    /// frames still sitting in the commit buffer — through the real IO
+    /// path (including the `wal.append`/`wal.fsync` fault points). On
+    /// success the failure clears and logging resumes; on failure the
+    /// WAL stays failed and the probe error is returned. Records that
+    /// rode the *original* failed flush stay lost either way: their
+    /// committers keep observing an error (see `lost_below`). A healthy
+    /// WAL returns `Ok` without touching storage. Called by the
+    /// database's health state machine during recovery probing.
+    pub fn try_clear_failure(&self) -> Result<()> {
+        let (mut batch, probe_lsn) = {
+            let mut st = self.core.wal_state.lock();
+            if st.failed.is_none() {
+                return Ok(());
+            }
+            let lsn = st.next_lsn;
+            st.next_lsn += 1;
+            // Take the frames buffered behind the failure with us: they
+            // were never acknowledged, and flushing them alongside the
+            // probe means their (still-parked or future) committers can
+            // legitimately see durable ≥ lsn afterwards.
+            (std::mem::take(&mut st.buffer), lsn)
+        };
+        // The probe is a RowGroupSealed marker: informational at replay,
+        // so a successfully probed-but-then-crashed log replays cleanly.
+        let frame = encode_frame(
+            probe_lsn,
+            &WalRecord::RowGroupSealed {
+                table: "<wal.probe>".into(),
+                group: 0,
+                rows: 0,
+            },
+        )?;
+        let frame_len = frame.len() as u64;
+        batch.push((probe_lsn, frame));
+        let res = self.core.flush_batch(&batch);
+        let mut st = self.core.wal_state.lock();
+        match res {
+            Ok(()) => {
+                st.durable_lsn = st.durable_lsn.max(probe_lsn);
+                st.counters.records_appended += 1;
+                st.counters.bytes_appended += frame_len;
+                st.counters.flushes += 1;
+                st.counters.fsyncs += 1;
+                st.failed = None;
+            }
+            Err(e) => {
+                // The probe batch (buffered frames included) is now of
+                // unknown durability too.
+                st.lost_below = st.lost_below.max(probe_lsn);
+                st.failed = Some(e.to_string());
+                drop(st);
+                self.core.flushed.notify_all();
+                return Err(e);
+            }
+        }
+        drop(st);
+        self.core.flushed.notify_all();
+        self.core.work.notify_one();
+        Ok(())
+    }
+
+    /// Highest LSN handed out so far (0 if none).
+    pub fn tail_lsn(&self) -> u64 {
+        self.core.wal_state.lock().next_lsn.saturating_sub(1)
+    }
+
+    /// Point-in-time status snapshot for `sys.wal`.
+    pub fn status(&self) -> WalStatus {
+        let (segment_count, active_segment) = {
+            let ss = self.core.wal_store.lock();
+            (ss.segments.len() as u64, ss.active)
+        };
+        let st = self.core.wal_state.lock();
+        WalStatus {
+            segment_count,
+            active_segment,
+            tail_lsn: st.next_lsn.saturating_sub(1),
+            durable_lsn: st.durable_lsn,
+            last_checkpoint: *self.core.last_checkpoint.lock(),
+            sync_mode: self.sync_mode(),
+            counters: st.counters,
+            failed: st.failed.clone(),
+        }
+    }
+}
+
+impl WalCore {
     /// Physically append and fsync one batch. Holds `wal_store` for the
     /// duration; consults the fault injector at `wal.append` (per frame)
     /// and `wal.fsync`.
@@ -766,116 +1126,29 @@ impl Wal {
         Ok(())
     }
 
-    /// Record a committed save: rotate to a fresh segment, append and
-    /// fsync a Checkpoint record, then retire segments wholly covered by
-    /// the save (`max_lsn` ≤ the smallest per-table watermark). Returns
-    /// the number of segments retired.
-    pub fn checkpoint(&self, generation: u64, boundaries: Vec<(String, u64)>) -> Result<u64> {
-        let floor = boundaries
-            .iter()
-            .map(|(_, lsn)| *lsn)
-            .min()
-            .unwrap_or(u64::MAX);
-        {
-            let mut ss = self.wal_store.lock();
-            let active_nonempty = ss.segments.get(&ss.active).is_some_and(|i| i.bytes > 0);
-            if active_nonempty {
-                ss.rotate()?;
-            }
-        }
-        let lsn = self.log_and_commit(&WalRecord::Checkpoint {
-            generation,
-            boundaries,
-        })?;
-        let mut retired = 0u64;
-        {
-            let mut ss = self.wal_store.lock();
-            let retirable: Vec<u64> = ss
-                .segments
-                .iter()
-                .filter(|(&id, info)| id != ss.active && info.max_lsn <= floor)
-                .map(|(&id, _)| id)
-                .collect();
-            for id in retirable {
-                ss.store.remove(id)?;
-                ss.segments.remove(&id);
-                retired += 1;
-            }
-        }
-        {
-            let mut st = self.wal_state.lock();
-            st.counters.checkpoints += 1;
-            st.counters.segments_retired += retired;
-        }
-        *self.last_checkpoint.lock() = Some((generation, lsn));
-        let m = metrics::global();
-        m.add("cstore_wal_checkpoints_total", 1);
-        m.add("cstore_wal_retired_segments_total", retired);
-        Ok(retired)
-    }
-
-    /// Attempt to clear a sticky flush failure by proving the log can
-    /// accept writes again: append and fsync a probe record through the
-    /// real IO path (including the `wal.append`/`wal.fsync` fault
-    /// points). On success the failure clears and logging resumes; on
-    /// failure the WAL stays failed and the probe error is returned.
-    /// A healthy WAL returns `Ok` without touching storage. Called by
-    /// the database's health state machine during recovery probing.
-    pub fn try_clear_failure(&self) -> Result<()> {
-        let lsn = {
-            let mut st = self.wal_state.lock();
-            if st.failed.is_none() {
-                return Ok(());
-            }
-            let lsn = st.next_lsn;
-            st.next_lsn += 1;
-            lsn
-        };
-        // The probe is a RowGroupSealed marker: informational at replay,
-        // so a successfully probed-but-then-crashed log replays cleanly.
-        let frame = encode_frame(
-            lsn,
-            &WalRecord::RowGroupSealed {
-                table: "<wal.probe>".into(),
-                group: 0,
-                rows: 0,
-            },
-        )?;
-        let frame_len = frame.len() as u64;
-        self.flush_batch(&[(lsn, frame)])?;
+    /// Publish a flush outcome: advance the durable watermark (or record
+    /// the sticky failure and the lost-LSN floor) and wake committers.
+    fn finish_flush(&self, batch: &[(u64, Vec<u8>)], res: Result<()>) -> Result<()> {
+        let batch_max = batch.iter().map(|(l, _)| *l).max();
         let mut st = self.wal_state.lock();
-        st.durable_lsn = st.durable_lsn.max(lsn);
-        st.counters.records_appended += 1;
-        st.counters.bytes_appended += frame_len;
-        st.counters.flushes += 1;
-        st.counters.fsyncs += 1;
-        st.failed = None;
+        match &res {
+            Ok(()) => {
+                if let Some(max) = batch_max {
+                    st.durable_lsn = st.durable_lsn.max(max);
+                }
+                st.counters.flushes += 1;
+                st.counters.fsyncs += 1;
+            }
+            Err(e) => {
+                st.failed = Some(e.to_string());
+                if let Some(max) = batch_max {
+                    st.lost_below = st.lost_below.max(max);
+                }
+            }
+        }
         drop(st);
         self.flushed.notify_all();
-        Ok(())
-    }
-
-    /// Highest LSN handed out so far (0 if none).
-    pub fn tail_lsn(&self) -> u64 {
-        self.wal_state.lock().next_lsn.saturating_sub(1)
-    }
-
-    /// Point-in-time status snapshot for `sys.wal`.
-    pub fn status(&self) -> WalStatus {
-        let (segment_count, active_segment) = {
-            let ss = self.wal_store.lock();
-            (ss.segments.len() as u64, ss.active)
-        };
-        let st = self.wal_state.lock();
-        WalStatus {
-            segment_count,
-            active_segment,
-            tail_lsn: st.next_lsn.saturating_sub(1),
-            durable_lsn: st.durable_lsn,
-            last_checkpoint: *self.last_checkpoint.lock(),
-            counters: st.counters,
-            failed: st.failed.clone(),
-        }
+        res
     }
 }
 
@@ -935,6 +1208,18 @@ mod tests {
         frame_roundtrip(WalRecord::Checkpoint {
             generation: 2,
             boundaries: vec![("a".into(), 10), ("b".into(), 12)],
+        });
+        frame_roundtrip(WalRecord::InsertBatch {
+            table: "t".into(),
+            rows: vec![
+                Row::new(vec![Value::Int64(1), Value::from("a")]),
+                Row::new(vec![Value::Int64(2), Value::Null]),
+                Row::new(vec![Value::Int64(3), Value::from("c")]),
+            ],
+        });
+        frame_roundtrip(WalRecord::InsertBatch {
+            table: "empty".into(),
+            rows: vec![],
         });
     }
 
@@ -1016,6 +1301,64 @@ mod tests {
     }
 
     #[test]
+    fn strict_mode_commits_inline_and_stays_durable() {
+        let store = MemLogStore::new();
+        let (wal, _) =
+            Wal::open(Box::new(store.clone()), WalOptions::default(), None, &[]).unwrap();
+        wal.set_sync_mode(WalSyncMode::Strict);
+        for i in 0..20 {
+            wal.log_and_commit(&WalRecord::RowGroupSealed {
+                table: "t".into(),
+                group: i,
+                rows: 1,
+            })
+            .unwrap();
+        }
+        let status = wal.status();
+        assert_eq!(status.durable_lsn, 20);
+        assert_eq!(status.sync_mode, WalSyncMode::Strict);
+        let image = store.crash_image();
+        let mut n = 0;
+        for seg in image.segment_ids().unwrap() {
+            decode_frames(&image.read(seg).unwrap(), |_, _| {
+                n += 1;
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(n, 20);
+    }
+
+    #[test]
+    fn off_mode_acks_without_waiting_and_drains_on_drop() {
+        let store = MemLogStore::new();
+        let (wal, _) =
+            Wal::open(Box::new(store.clone()), WalOptions::default(), None, &[]).unwrap();
+        wal.set_sync_mode(WalSyncMode::Off);
+        for i in 0..30 {
+            wal.log_and_commit(&WalRecord::RowGroupSealed {
+                table: "t".into(),
+                group: i,
+                rows: 1,
+            })
+            .unwrap();
+        }
+        // Dropping the last handle shuts the writer down, draining any
+        // buffered tail — a clean close loses nothing even in off mode.
+        drop(wal);
+        let image = store.crash_image();
+        let mut n = 0;
+        for seg in image.segment_ids().unwrap() {
+            decode_frames(&image.read(seg).unwrap(), |_, _| {
+                n += 1;
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(n, 30);
+    }
+
+    #[test]
     fn sticky_failure_clears_only_when_storage_recovers() {
         use cstore_common::fault::{FaultKind, FaultSpec};
         let store = MemLogStore::new();
@@ -1049,6 +1392,94 @@ mod tests {
         wal.try_clear_failure().unwrap();
         assert!(wal.status().failed.is_none());
         wal.log_and_commit(&rec).unwrap();
+    }
+
+    /// Satellite-3 regression: a committer whose frames rode a failed
+    /// flush must observe the error even if a recovery probe has since
+    /// cleared the failure and pushed `durable_lsn` past its LSN.
+    #[test]
+    fn probe_does_not_resurrect_records_lost_in_a_failed_flush() {
+        use cstore_common::fault::{FaultKind, FaultSpec};
+        let store = MemLogStore::new();
+        let faults = FaultInjector::new(11);
+        let (wal, _) = Wal::open(
+            Box::new(store.clone()),
+            WalOptions::default(),
+            Some(faults.clone()),
+            &[],
+        )
+        .unwrap();
+        let rec = WalRecord::RowGroupSealed {
+            table: "t".into(),
+            group: 0,
+            rows: 1,
+        };
+        // Buffer two frames, then have the flush that carries both fail
+        // at the fsync: lsn1's committer has not shown up yet — it is
+        // exactly the "rode another thread's failed flush" victim.
+        let lsn1 = wal.log(&rec).unwrap();
+        let lsn2 = wal.log(&rec).unwrap();
+        faults.arm("wal.fsync", FaultSpec::new(FaultKind::IoError).always());
+        assert!(wal.commit(lsn2).is_err());
+        assert!(wal.status().failed.is_some());
+        // Storage recovers; the probe clears the sticky failure and
+        // advances the durable watermark past the lost LSNs.
+        faults.disarm_all();
+        wal.try_clear_failure().unwrap();
+        assert!(wal.status().failed.is_none());
+        assert!(wal.status().durable_lsn > lsn1);
+        // The victim's commit must still fail: its frame is gone.
+        let err = wal.commit(lsn1).unwrap_err();
+        assert!(err.to_string().contains("lost"), "{err}");
+        let err = wal.commit(lsn2).unwrap_err();
+        assert!(err.to_string().contains("lost"), "{err}");
+        // New work is fine.
+        wal.log_and_commit(&rec).unwrap();
+    }
+
+    /// Satellite-3 concurrency coverage: when a flush fails, *every*
+    /// parked committer — flusher and waiters alike — observes an error;
+    /// after recovery all new commits succeed.
+    #[test]
+    fn all_concurrent_committers_observe_a_flush_failure() {
+        use cstore_common::fault::{FaultKind, FaultSpec};
+        let store = MemLogStore::new();
+        let faults = FaultInjector::new(13);
+        let (wal, _) = Wal::open(
+            Box::new(store.clone()),
+            WalOptions::default(),
+            Some(faults.clone()),
+            &[],
+        )
+        .unwrap();
+        faults.arm("wal.fsync", FaultSpec::new(FaultKind::IoError).always());
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    wal.log_and_commit(&WalRecord::RowGroupSealed {
+                        table: format!("t{i}"),
+                        group: 0,
+                        rows: 1,
+                    })
+                    .is_err()
+                })
+            })
+            .collect();
+        for t in threads {
+            assert!(
+                t.join().unwrap(),
+                "a committer was acknowledged despite the failed flush"
+            );
+        }
+        faults.disarm_all();
+        wal.try_clear_failure().unwrap();
+        wal.log_and_commit(&WalRecord::RowGroupSealed {
+            table: "t".into(),
+            group: 1,
+            rows: 1,
+        })
+        .unwrap();
     }
 
     #[test]

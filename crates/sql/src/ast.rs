@@ -164,11 +164,12 @@ pub enum Statement {
     Analyze {
         table: String,
     },
-    /// `SET <option> = <integer>`: session options (e.g.
-    /// `SET query_timeout_ms = 500`; `0` clears).
+    /// `SET <option> = <value>`: session options. Numeric options take
+    /// an integer (e.g. `SET query_timeout_ms = 500`; `0` clears);
+    /// enumerated options take a bare name (e.g. `SET wal_sync = group`).
     Set {
         option: String,
-        value: i64,
+        value: SetValue,
     },
     /// `EXPLAIN [ANALYZE] <statement>`: with ANALYZE the statement is
     /// executed and the plan is annotated with per-operator actuals.
@@ -176,4 +177,12 @@ pub enum Statement {
         analyze: bool,
         stmt: Box<Statement>,
     },
+}
+
+/// A `SET` option value: an integer, or a bare name for enumerated
+/// options (`SET wal_sync = group`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetValue {
+    Int(i64),
+    Name(String),
 }

@@ -167,10 +167,11 @@ impl Parser {
             let option = self.ident()?;
             self.expect(Token::Eq)?;
             let value = match self.next()? {
-                Token::Int(n) => n,
+                Token::Int(n) => SetValue::Int(n),
+                Token::Ident(name) => SetValue::Name(name),
                 other => {
                     return Err(Error::Sql(format!(
-                        "SET {option} expects an integer value, found {other:?}"
+                        "SET {option} expects an integer or name value, found {other:?}"
                     )))
                 }
             };

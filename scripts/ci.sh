@@ -127,19 +127,33 @@ rm -rf "$bench_results"
 
 # E5 durability-tax gate: the trickle-insert harness must record the
 # WAL-on vs WAL-off insert rates in BENCH_E5.json so the WAL's overhead
-# stays measured, not guessed.
-echo "==> bench BENCH_E5.json shape"
+# stays measured, not guessed. The 16-writer axis records rows/s and
+# fsyncs/row per `wal_sync` mode; the group-commit ratio against the
+# WAL-free rate is the pipelined-log-writer regression gate (target ~5x;
+# the bound leaves headroom for slow CI disks — a regression to the old
+# fsync-per-commit path shows up as ~50x and fails loudly).
+echo "==> bench BENCH_E5.json shape + group-commit ratio"
 bench_results=$(mktemp -d)
 (cd crates/bench && CSTORE_SCALE=small CSTORE_RESULTS_DIR="$bench_results" \
     cargo run -q --offline --release --bin exp_e5_trickle_inserts >/dev/null)
 for field in '"experiment":"E5"' '"wal_off_inserts_per_s":' '"wal_on_inserts_per_s":' \
-    '"wal_overhead_pct":'; do
+    '"wal_overhead_pct":' '"wal16_off_rows_per_s":' '"wal16_nosync_rows_per_s":' \
+    '"wal16_group_rows_per_s":' '"wal16_group_fsyncs_per_row":' \
+    '"wal16_strict_rows_per_s":' '"wal16_strict_fsyncs_per_row":' \
+    '"wal16_group_vs_off_ratio":'; do
     grep -F "$field" "$bench_results/BENCH_E5.json" >/dev/null || {
         echo "BENCH_E5.json missing $field:"
         cat "$bench_results/BENCH_E5.json" 2>/dev/null || echo "(no file)"
         exit 1
     }
 done
+ratio=$(sed -n 's/.*"wal16_group_vs_off_ratio":\([0-9.]*\).*/\1/p' "$bench_results/BENCH_E5.json")
+awk "BEGIN { exit !($ratio <= 12) }" || {
+    echo "wal16_group_vs_off_ratio regressed: $ratio (group commit must stay near 5x of WAL-off)"
+    cat "$bench_results/BENCH_E5.json"
+    exit 1
+}
+echo "    wal16_group_vs_off_ratio = $ratio"
 rm -rf "$bench_results"
 
 # E8 governor-pressure gate: the spilling harness must record the budget

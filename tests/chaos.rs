@@ -331,12 +331,17 @@ enum WalOp {
 
 /// Insert → delete → mover-seal → checkpoint → more DML: one WAL commit
 /// per op, so "op returned Err" ⟺ "record may be absent after a crash".
+/// Multi-row INSERTs ride the `InsertBatch` frame, so the matrix crashes
+/// inside batch-frame flushes as well as single-record ones.
 fn fixed_wal_ops() -> Vec<WalOp> {
     let mut ops = Vec::new();
     for i in 0..12i64 {
         ops.push(WalOp::Sql(format!("INSERT INTO t VALUES ({i}, 'r{i}')")));
     }
-    for i in [3i64, 5, 7] {
+    ops.push(WalOp::Sql(
+        "INSERT INTO t VALUES (50, 'b50'), (51, 'b51'), (52, 'b52'), (53, 'b53')".into(),
+    ));
+    for i in [3i64, 5, 7, 51] {
         ops.push(WalOp::Sql(format!("DELETE FROM t WHERE id = {i}")));
     }
     ops.push(WalOp::Move);
@@ -344,6 +349,9 @@ fn fixed_wal_ops() -> Vec<WalOp> {
     for i in 100..108i64 {
         ops.push(WalOp::Sql(format!("INSERT INTO t VALUES ({i}, 'r{i}')")));
     }
+    ops.push(WalOp::Sql(
+        "INSERT INTO t VALUES (150, 'b150'), (151, 'b151'), (152, 'b152')".into(),
+    ));
     ops.push(WalOp::Sql("DELETE FROM t WHERE id = 101".into()));
     ops
 }
@@ -368,6 +376,19 @@ fn wal_crash_trial(
     ops: &[WalOp],
     arm: Option<(&'static str, FaultKind, u64)>,
 ) -> (FaultInjector, WalReplayReport, bool) {
+    wal_crash_trial_mode(seed, ops, arm, "group")
+}
+
+/// [`wal_crash_trial`] under an explicit `SET wal_sync` mode. Valid for
+/// `group` and `strict` only: both ack on durability, so exact shadow
+/// equality holds. (`off` acks before the flush; its weaker contract is
+/// asserted by [`wal_sync_off_crash_loses_only_the_unflushed_tail`].)
+fn wal_crash_trial_mode(
+    seed: u64,
+    ops: &[WalOp],
+    arm: Option<(&'static str, FaultKind, u64)>,
+    mode: &'static str,
+) -> (FaultInjector, WalReplayReport, bool) {
     let mut db = Database::new().with_table_config(wal_config());
     db.execute("CREATE TABLE t (id BIGINT NOT NULL, v VARCHAR)")
         .unwrap();
@@ -385,6 +406,7 @@ fn wal_crash_trial(
         Some(faults.clone()),
     )
     .unwrap();
+    db.execute(&format!("SET wal_sync = {mode}")).unwrap();
 
     let shadow = Database::new().with_table_config(wal_config());
     shadow
@@ -421,7 +443,7 @@ fn wal_crash_trial(
     assert_eq!(
         wal_contents(&reopened),
         wal_contents(&shadow),
-        "recovered contents must be exactly the acknowledged ops (seed {seed}, arm {arm:?})"
+        "recovered contents must be exactly the acknowledged ops (seed {seed}, arm {arm:?}, wal_sync={mode})"
     );
     (faults, report, crashed)
 }
@@ -464,6 +486,130 @@ fn wal_crash_point_matrix() {
     }
 }
 
+/// The same crash-point sweep under `SET wal_sync = strict` (committers
+/// flush inline instead of handing off to the log-writer thread): the
+/// acked-⟺-recovered equivalence must hold on that path too.
+#[test]
+fn wal_crash_point_matrix_strict_mode() {
+    let ops = fixed_wal_ops();
+    let (faults, _, crashed) = wal_crash_trial_mode(0xA1, &ops, None, "strict");
+    assert!(!crashed);
+    for (point, total) in [
+        ("wal.append", faults.hits("wal.append")),
+        ("wal.fsync", faults.hits("wal.fsync")),
+    ] {
+        assert!(total >= 20, "expected many {point} consults, saw {total}");
+        for kind in [FaultKind::Crash, FaultKind::TornCrash] {
+            for k in 0..total {
+                let (faults, _, _) =
+                    wal_crash_trial_mode(5000 + k, &ops, Some((point, kind, k)), "strict");
+                assert_eq!(faults.fired(point), 1, "{kind:?} at {point} #{k} must fire");
+            }
+        }
+    }
+}
+
+/// `SET wal_sync = off` trades the fsync wait for a loss window: a crash
+/// may lose acknowledged rows, but only from the *unflushed tail* — the
+/// recovered table is always an exact statement-granularity prefix of the
+/// attempted inserts (frames are all-or-nothing), with no duplicates and
+/// nothing invented.
+#[test]
+fn wal_sync_off_crash_loses_only_the_unflushed_tail() {
+    // Insert-only ops: one WAL frame per statement, including multi-row
+    // InsertBatch frames, so "prefix of ops" is a meaningful shape.
+    let mut attempted: Vec<Vec<i64>> = Vec::new();
+    let mut ops: Vec<String> = Vec::new();
+    for i in 0..10i64 {
+        ops.push(format!("INSERT INTO t VALUES ({i}, 'r{i}')"));
+        attempted.push(vec![i]);
+    }
+    for base in [100i64, 200, 300] {
+        let ids: Vec<i64> = (base..base + 4).collect();
+        let values = ids
+            .iter()
+            .map(|i| format!("({i}, 'b{i}')"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        ops.push(format!("INSERT INTO t VALUES {values}"));
+        attempted.push(ids);
+    }
+    for i in 20..30i64 {
+        ops.push(format!("INSERT INTO t VALUES ({i}, 'r{i}')"));
+        attempted.push(vec![i]);
+    }
+
+    for (point, kind) in [
+        ("wal.append", FaultKind::Crash),
+        ("wal.append", FaultKind::TornCrash),
+        ("wal.fsync", FaultKind::Crash),
+    ] {
+        for k in [0u64, 3, 9, 14] {
+            let mut db = Database::new().with_table_config(wal_config());
+            db.execute("CREATE TABLE t (id BIGINT NOT NULL, v VARCHAR)")
+                .unwrap();
+            let mut disk = MemBlobStore::new();
+            db.save_to_store(&mut disk).unwrap();
+            let logs = MemLogStore::new();
+            let faults = FaultInjector::new(0xD00D + k);
+            faults.arm(point, FaultSpec::new(kind).after(k));
+            db.attach_wal_store(
+                Box::new(logs.clone()),
+                wal_options(true),
+                Some(faults.clone()),
+            )
+            .unwrap();
+            db.execute("SET wal_sync = off").unwrap();
+
+            // Run until the wedged WAL surfaces as an error; off-mode acks
+            // don't wait for the flush, so acked rows past the durable
+            // tail are the (expected, documented) loss window.
+            for sql in &ops {
+                if db.execute(sql).is_err() {
+                    break;
+                }
+            }
+
+            let (mut reopened, _) = Database::open_from_store(&disk, OpenMode::Strict).unwrap();
+            reopened
+                .attach_wal_store(Box::new(logs.crash_image()), wal_options(true), None)
+                .unwrap();
+            let recovered: Vec<i64> = reopened
+                .execute("SELECT id FROM t")
+                .unwrap()
+                .rows()
+                .iter()
+                .map(|r| match r.values()[0] {
+                    Value::Int64(v) => v,
+                    ref other => panic!("unexpected value {other:?}"),
+                })
+                .collect();
+
+            // Frames are applied in LSN order and each frame is
+            // all-or-nothing, so the recovered set must be exactly the
+            // first j statements for some j.
+            let mut prefix: Vec<i64> = Vec::new();
+            let mut matched = recovered.len() == prefix.len();
+            for ids in &attempted {
+                if matched {
+                    break;
+                }
+                prefix.extend_from_slice(ids);
+                matched = recovered.len() == prefix.len();
+            }
+            let mut want = prefix.clone();
+            let mut got = recovered.clone();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert!(
+                matched && want == got,
+                "wal_sync=off recovery must be a statement prefix \
+                 ({point} {kind:?} #{k}: recovered {recovered:?})"
+            );
+        }
+    }
+}
+
 /// Satellite: randomized crash-point schedules. Random op sequences,
 /// random fault point / kind / hit index per seed — every recovery must
 /// equal its shadow exactly.
@@ -484,13 +630,26 @@ fn wal_randomized_crash_recovery_equivalence() {
         let mut next_id = 0i64;
         for _ in 0..rng.range_usize(20, 40) {
             match rng.below(100) {
-                0..=59 => {
+                0..=49 => {
                     ops.push(WalOp::Sql(format!(
                         "INSERT INTO t VALUES ({next_id}, '{}')",
                         rng.alnum_string(6)
                     )));
                     live.push(next_id);
                     next_id += 1;
+                }
+                50..=59 => {
+                    // Multi-row statement: one InsertBatch frame.
+                    let n = rng.range_usize(2, 5);
+                    let values = (0..n)
+                        .map(|j| format!("({}, 'm{}')", next_id + j as i64, rng.below(100)))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    ops.push(WalOp::Sql(format!("INSERT INTO t VALUES {values}")));
+                    for j in 0..n {
+                        live.push(next_id + j as i64);
+                    }
+                    next_id += n as i64;
                 }
                 60..=79 => {
                     if let Some(&id) = rng.choose(&live) {
@@ -505,9 +664,10 @@ fn wal_randomized_crash_recovery_equivalence() {
         let point = *rng.choose(&POINTS).unwrap();
         let kind = *rng.choose(&KINDS).unwrap();
         let k = rng.below(40);
+        let mode = if rng.below(2) == 0 { "group" } else { "strict" };
         // The fault may or may not fire depending on the schedule; the
         // equivalence assertion inside the trial must hold either way.
-        let (_, _, _crashed) = wal_crash_trial(seed, &ops, Some((point, kind, k)));
+        let (_, _, _crashed) = wal_crash_trial_mode(seed, &ops, Some((point, kind, k)), mode);
     }
 }
 

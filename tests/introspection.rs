@@ -478,3 +478,69 @@ fn wal_view_state_column_reports_ok_when_healthy() {
     assert_eq!(str_at(r, 0), "OK");
     assert!(matches!(r.get(1), Value::Null), "{r:?}");
 }
+
+/// `SET wal_sync` round-trips through SQL and `sys.wal.sync_mode`, and a
+/// multi-row `INSERT ... VALUES` is one WAL frame and one fsync per
+/// statement — the batched trickle path, not row-at-a-time commits.
+#[test]
+fn wal_sync_knob_and_batched_insert_fsync_count() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE w (id BIGINT NOT NULL)").unwrap();
+    db.attach_wal_store(
+        Box::new(cstore::storage::MemLogStore::new()),
+        cstore::delta::WalOptions::default(),
+        None,
+    )
+    .unwrap();
+
+    let sync_mode = |db: &Database| {
+        str_at(
+            &db.execute("SELECT sync_mode FROM sys.wal").unwrap().rows()[0],
+            0,
+        )
+    };
+    assert_eq!(sync_mode(&db), "group", "group commit is the default");
+
+    // One 40-row statement: one InsertBatch frame, one fsync.
+    let before = db.wal_status().unwrap().counters;
+    let values = (0..40)
+        .map(|i| format!("({i})"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let res = db
+        .execute(&format!("INSERT INTO w VALUES {values}"))
+        .unwrap();
+    assert_eq!(res.affected(), 40);
+    let after = db.wal_status().unwrap().counters;
+    assert_eq!(
+        after.records_appended - before.records_appended,
+        1,
+        "a multi-row INSERT must log one batch frame"
+    );
+    assert_eq!(
+        after.fsyncs - before.fsyncs,
+        1,
+        "a multi-row INSERT must cost one fsync"
+    );
+
+    // The knob accepts all three modes and rejects junk.
+    for mode in ["strict", "off", "group"] {
+        db.execute(&format!("SET wal_sync = {mode}")).unwrap();
+        assert_eq!(sync_mode(&db), mode);
+    }
+    assert!(db.execute("SET wal_sync = fast").is_err());
+    assert!(db.execute("SET wal_sync = 1").is_err());
+    assert!(db.execute("SET query_timeout_ms = group").is_err());
+
+    // The mode set before a WAL is attached applies at attach time.
+    let mut late = Database::new();
+    late.execute("CREATE TABLE w (id BIGINT NOT NULL)").unwrap();
+    late.execute("SET wal_sync = strict").unwrap();
+    late.attach_wal_store(
+        Box::new(cstore::storage::MemLogStore::new()),
+        cstore::delta::WalOptions::default(),
+        None,
+    )
+    .unwrap();
+    assert_eq!(sync_mode(&late), "strict");
+}
