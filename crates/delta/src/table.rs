@@ -389,15 +389,18 @@ impl ColumnStoreTable {
         self.schema.check_row(&row)?;
         let mut inner = self.inner.write();
         let inner = &mut *inner;
-        let logged = inner.wal.as_ref().map(|h| WalRecord::Insert {
-            table: h.table.clone(),
-            row: row.clone(),
-        });
-        let rid = inner.insert_row(row)?;
-        let pending = match logged {
-            Some(record) => inner.wal_log(&record)?,
+        // Log before applying: a refused append fails the statement with
+        // nothing applied, instead of leaving a visible-but-unlogged row
+        // behind until restart. The apply below cannot refuse a
+        // schema-checked row, so the logged and applied states agree.
+        let pending = match inner.wal.as_ref().map(|h| h.table.clone()) {
+            Some(table) => inner.wal_log(&WalRecord::Insert {
+                table,
+                row: row.clone(),
+            })?,
             None => None,
         };
+        let rid = inner.insert_row(row)?;
         inner.sync_delta_charge();
         Ok((rid, pending))
     }
@@ -419,13 +422,13 @@ impl ColumnStoreTable {
         let (rids, pending) = {
             let mut inner = self.inner.write();
             let inner = &mut *inner;
-            let table = inner.wal.as_ref().map(|h| h.table.clone());
-            let mut rids = Vec::with_capacity(rows.len());
-            for row in rows {
-                rids.push(inner.insert_row(row.clone())?);
-            }
+            // Log the whole statement before applying any row: a refused
+            // append fails the statement with nothing applied, instead of
+            // leaving visible-but-unlogged rows behind until restart. The
+            // applies below cannot refuse a schema-checked row, so the
+            // logged and applied states agree.
             let mut pending = None;
-            if let Some(table) = table {
+            if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
                 for chunk in rows.chunks(WAL_BATCH_ROWS) {
                     let record = match chunk {
                         [row] => WalRecord::Insert {
@@ -439,6 +442,10 @@ impl ColumnStoreTable {
                     };
                     pending = inner.wal_log(&record)?;
                 }
+            }
+            let mut rids = Vec::with_capacity(rows.len());
+            for row in rows {
+                rids.push(inner.insert_row(row.clone())?);
             }
             inner.sync_delta_charge();
             (rids, pending)
@@ -456,70 +463,87 @@ impl ColumnStoreTable {
         for row in rows {
             self.schema.check_row(row)?;
         }
+        // Split the load, then compress the bulk chunks *outside* the
+        // write lock (mover-style: snapshot the sort mode and global
+        // dictionaries, build, install later) so a large load does not
+        // block readers and concurrent writers for the duration of the
+        // compression.
+        let (threshold, max_rows, sort, dicts) = {
+            let inner = self.inner.read();
+            (
+                inner.config.bulk_load_threshold,
+                inner.config.max_rowgroup_rows,
+                inner.config.sort_mode.clone(),
+                inner.cs.global_dicts().to_vec(),
+            )
+        };
+        let mut chunks: Vec<&[Row]> = Vec::new();
+        let mut remaining = rows;
+        while remaining.len() >= threshold {
+            let take = remaining.len().min(max_rows);
+            let (chunk, rest) = remaining.split_at(take);
+            chunks.push(chunk);
+            remaining = rest;
+        }
+        // Group ids must come from the store's allocator (briefly under
+        // the write lock); building happens unlocked.
+        let ids: Vec<RowGroupId> = {
+            let mut inner = self.inner.write();
+            chunks.iter().map(|_| inner.cs.alloc_group_id()).collect()
+        };
+        let mut built = Vec::with_capacity(chunks.len());
+        for (chunk, id) in chunks.iter().zip(&ids) {
+            let mut b =
+                RowGroupBuilder::new(self.schema.clone(), sort.clone()).with_max_rows(chunk.len());
+            for row in *chunk {
+                b.push_row(row)?;
+            }
+            built.push(b.finish(*id, &dicts)?);
+        }
         let mut report = BulkLoadReport::default();
         let mut pending = None;
         {
             let mut inner = self.inner.write();
             let inner = &mut *inner;
-            let (threshold, max_rows, sort) = {
-                let c = &inner.config;
-                (
-                    c.bulk_load_threshold,
-                    c.max_rowgroup_rows,
-                    c.sort_mode.clone(),
-                )
-            };
-            let mut remaining = rows;
-            if rows.len() >= threshold {
-                while remaining.len() >= threshold {
-                    let take = remaining.len().min(max_rows);
-                    let (chunk, rest) = remaining.split_at(take);
-                    let mut b =
-                        RowGroupBuilder::new(self.schema.clone(), sort.clone()).with_max_rows(take);
-                    for row in chunk {
-                        b.push_row(row)?;
-                    }
-                    // Log the chunk (replay re-inserts the rows as delta
-                    // rows; the mover re-seals) *before* installing the
-                    // sealed group: a refused append must propagate and
-                    // must not leave an unlogged row group installed.
-                    if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
-                        for wal_chunk in chunk.chunks(WAL_BATCH_ROWS) {
-                            pending = inner.wal_log(&WalRecord::InsertBatch {
-                                table: table.clone(),
-                                rows: wal_chunk.to_vec(),
-                            })?;
-                        }
-                    }
-                    let id = inner.cs.finish_builder(b)?;
-                    // Plus a marker that the group compressed directly.
-                    if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
-                        pending = inner.wal_log(&WalRecord::RowGroupSealed {
-                            table,
-                            group: id.0,
-                            rows: chunk.len() as u64,
-                        })?;
-                    }
-                    report.compressed_groups.push(id);
-                    remaining = rest;
-                }
-            }
-            // Remainder trickles through the delta store under the same
-            // guard, logged as one more batch frame.
-            if !remaining.is_empty() {
-                if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
-                    for wal_chunk in remaining.chunks(WAL_BATCH_ROWS) {
-                        pending = inner.wal_log(&WalRecord::InsertBatch {
+            // Log the whole load before installing anything: batch frames
+            // for every chunk (replay re-inserts the rows as delta rows;
+            // the mover re-seals) plus a sealed marker, then the delta
+            // remainder. A refused append fails the load with nothing
+            // visible — neither an unlogged row group nor unlogged delta
+            // rows — and nothing below the logging can refuse a
+            // schema-checked row, so the logged and applied states agree.
+            if let Some(table) = inner.wal.as_ref().map(|h| h.table.clone()) {
+                for (chunk, rg) in chunks.iter().zip(&built) {
+                    for wal_chunk in chunk.chunks(WAL_BATCH_ROWS) {
+                        // The sealed marker below refreshes `pending`
+                        // (commit of the highest LSN covers these); the
+                        // `?` still propagates a refused append.
+                        inner.wal_log(&WalRecord::InsertBatch {
                             table: table.clone(),
                             rows: wal_chunk.to_vec(),
                         })?;
                     }
+                    pending = inner.wal_log(&WalRecord::RowGroupSealed {
+                        table: table.clone(),
+                        group: rg.id().0,
+                        rows: chunk.len() as u64,
+                    })?;
                 }
-                for row in remaining {
-                    inner.insert_row(row.clone())?;
+                for wal_chunk in remaining.chunks(WAL_BATCH_ROWS) {
+                    pending = inner.wal_log(&WalRecord::InsertBatch {
+                        table: table.clone(),
+                        rows: wal_chunk.to_vec(),
+                    })?;
                 }
-                report.delta_rows = remaining.len();
             }
+            for rg in built {
+                report.compressed_groups.push(rg.id());
+                inner.cs.add_rowgroup(rg);
+            }
+            for row in remaining {
+                inner.insert_row(row.clone())?;
+            }
+            report.delta_rows = remaining.len();
             inner.sync_delta_charge();
         }
         wal_commit(pending)?;
@@ -1297,6 +1321,35 @@ mod tests {
         );
         assert_eq!(s.compressed_rows, 0);
         assert_eq!(s.delta_rows, 1, "only the wedging insert's row remains");
+    }
+
+    /// Review fix: insert paths log before applying, so a statement
+    /// that fails at WAL logging leaves no visible-but-unlogged rows
+    /// behind (previously the rows stayed queryable until restart and
+    /// silently vanished after a crash).
+    #[test]
+    fn refused_wal_log_leaves_no_visible_rows() {
+        use cstore_common::fault::{FaultKind, FaultSpec};
+        let (t, wal, faults, _) = wal_fixture(23);
+        faults.arm("wal.append", FaultSpec::new(FaultKind::IoError).always());
+        // The wedging insert fails at *commit* (its frame was buffered);
+        // its row stays — that is the flush-failure case, handled by the
+        // WAL's sticky failure and read-only degradation.
+        assert!(t.insert(row(0)).is_err());
+        assert!(wal.status().failed.is_some());
+        let before = t.total_rows();
+        // With the WAL failed, logging is refused up front: neither the
+        // single-row, batched, nor bulk path may apply anything.
+        assert!(t.insert(row(1)).is_err());
+        let batch: Vec<Row> = (0..50).map(row).collect();
+        assert!(t.insert_batch(&batch).is_err());
+        let bulk: Vec<Row> = (0..600).map(row).collect();
+        assert!(t.bulk_insert(&bulk).is_err());
+        assert_eq!(
+            t.total_rows(),
+            before,
+            "a refused WAL append must not leave rows visible"
+        );
     }
 
     /// Satellite-2 regression: a multi-row batch is one commit

@@ -11,8 +11,9 @@
 //! while a dedicated log-writer thread drains the buffer, appends and
 //! fsyncs each stolen batch, and wakes the committers whose LSNs it
 //! made durable. Because committers never do IO themselves, batch N+1
-//! accumulates (and is handed to the writer) while batch N is still
-//! fsyncing. On open, [`Wal::open`] replays the log into the freshly
+//! accumulates while batch N is still fsyncing (and is stolen the
+//! moment the fsync completes — flushes themselves are serialized so
+//! batches reach storage in LSN order). On open, [`Wal::open`] replays the log into the freshly
 //! loaded tables: records at or below a table's persisted LSN watermark
 //! are skipped (the generation-stamped save already contains them), a
 //! torn tail is truncated at the first bad frame, and — in degraded
@@ -57,9 +58,13 @@
 //! physical append/fsync of a flush; `wal_state` (LSN allocator, commit
 //! buffer, durable watermark) is only ever held for short critical
 //! sections — never across IO. `wal_store` is acquired before
-//! `wal_state`, never the other way; the writer thread steals the
-//! buffer under `wal_state`, *releases it*, and only then takes
-//! `wal_store` to flush. See `LOCK_ORDER.md`.
+//! `wal_state`, never the other way; a flusher steals the buffer under
+//! `wal_state`, *releases it*, and only then takes `wal_store` to
+//! flush. At most one flusher (writer thread, strict-mode leader, or
+//! recovery probe) is in flight at a time — a `flush_inflight` token in
+//! `wal_state` serializes steal+flush so batches reach storage in LSN
+//! order, which is what lets a successful flush publish
+//! `durable_lsn = max(batch)`. See `LOCK_ORDER.md`.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -458,11 +463,20 @@ struct WalState {
     /// A flush failed; the WAL refuses further work (durability of
     /// anything not yet acknowledged is unknown).
     failed: Option<String>,
-    /// Every LSN at or below this rode a flush that failed: those frames
-    /// are gone (or of unknown durability), so their committers must
-    /// observe an error *even after* a recovery probe clears `failed`
-    /// and pushes `durable_lsn` past them.
-    lost_below: u64,
+    /// LSN ranges `(above, below]` that rode a flush that failed: those
+    /// frames are gone (or of unknown durability), so their committers
+    /// must observe an error *even after* a recovery probe clears
+    /// `failed` and pushes `durable_lsn` past them. Ranges are open
+    /// below at the durable watermark as of the failure, so LSNs that
+    /// were already durable before the failed flush are never reported
+    /// lost.
+    lost: Vec<(u64, u64)>,
+    /// A stolen batch is currently being appended/fsynced. Exactly one
+    /// flusher (the writer thread, a strict-mode leader, or a recovery
+    /// probe) may hold this at a time: `durable_lsn = max(batch)` in
+    /// [`WalCore::finish_flush`] is only correct if batches reach
+    /// storage in the LSN order they were stolen in.
+    flush_inflight: bool,
     /// The log-writer thread exits once this is set and the buffer is
     /// drained; set by `Wal::drop`.
     shutdown: bool,
@@ -534,13 +548,21 @@ fn writer_loop(core: Arc<WalCore>) {
     loop {
         let batch = {
             let mut st = core.wal_state.lock();
-            while !st.shutdown && (st.failed.is_some() || st.buffer.is_empty()) {
+            // Never steal while another flusher (a strict-mode leader or
+            // a recovery probe) is in flight — even during shutdown —
+            // or two batches could race for storage and fsync out of
+            // LSN order. `finish_flush` notifies `work` when it clears
+            // the token.
+            while st.flush_inflight
+                || (!st.shutdown && (st.failed.is_some() || st.buffer.is_empty()))
+            {
                 st = core.work.wait(st);
             }
             if st.failed.is_some() || st.buffer.is_empty() {
                 // Shutting down with nothing flushable left.
                 return;
             }
+            st.flush_inflight = true;
             std::mem::take(&mut st.buffer)
         };
         let res = core.flush_batch(&batch);
@@ -853,12 +875,17 @@ impl Wal {
             // Order matters: a records-lost check must precede the
             // durable check, because a successful recovery probe pushes
             // `durable_lsn` *past* the LSNs that rode the failed flush —
-            // without the floor, a committer woken after the probe would
-            // see durable ≥ lsn and acknowledge a lost record.
-            if lsn <= st.lost_below {
+            // without this, a committer woken after the probe would see
+            // durable ≥ lsn and acknowledge a lost record. Ranges, not a
+            // floor: LSNs already durable *before* the failed flush are
+            // on disk and must still acknowledge cleanly.
+            if let Some(&(above, below)) = st
+                .lost
+                .iter()
+                .find(|&&(above, below)| above < lsn && lsn <= below)
+            {
                 return Err(Error::Storage(format!(
-                    "WAL records at or below LSN {} were lost in a failed flush",
-                    st.lost_below
+                    "WAL records in LSN range ({above}, {below}] were lost in a failed flush"
                 )));
             }
             if st.durable_lsn >= lsn {
@@ -875,9 +902,15 @@ impl Wal {
                     self.core.work.notify_one();
                     return Ok(());
                 }
-                WalSyncMode::Strict if !st.buffer.is_empty() => {
+                WalSyncMode::Strict if !st.buffer.is_empty() && !st.flush_inflight => {
                     // Leader path: flush the buffer ourselves instead of
-                    // handing off to the writer thread.
+                    // handing off to the writer thread. Only with the
+                    // flush token in hand — a second concurrent flusher
+                    // would race for storage and could fsync batches out
+                    // of LSN order, breaking `durable_lsn = max(batch)`.
+                    // If a flush is already in flight we park below and
+                    // re-evaluate when it completes.
+                    st.flush_inflight = true;
                     let batch = std::mem::take(&mut st.buffer);
                     drop(st);
                     self.core
@@ -972,15 +1005,24 @@ impl Wal {
     /// success the failure clears and logging resumes; on failure the
     /// WAL stays failed and the probe error is returned. Records that
     /// rode the *original* failed flush stay lost either way: their
-    /// committers keep observing an error (see `lost_below`). A healthy
+    /// committers keep observing an error (see `WalState::lost`). A healthy
     /// WAL returns `Ok` without touching storage. Called by the
     /// database's health state machine during recovery probing.
     pub fn try_clear_failure(&self) -> Result<()> {
         let (mut batch, probe_lsn) = {
             let mut st = self.core.wal_state.lock();
-            if st.failed.is_none() {
-                return Ok(());
+            // Serialize with any in-flight flush (including a racing
+            // probe): the single-flusher invariant holds here too.
+            loop {
+                if st.failed.is_none() {
+                    return Ok(());
+                }
+                if !st.flush_inflight {
+                    break;
+                }
+                st = self.core.flushed.wait(st);
             }
+            st.flush_inflight = true;
             let lsn = st.next_lsn;
             st.next_lsn += 1;
             // Take the frames buffered behind the failure with us: they
@@ -1003,6 +1045,7 @@ impl Wal {
         batch.push((probe_lsn, frame));
         let res = self.core.flush_batch(&batch);
         let mut st = self.core.wal_state.lock();
+        st.flush_inflight = false;
         match res {
             Ok(()) => {
                 st.durable_lsn = st.durable_lsn.max(probe_lsn);
@@ -1014,8 +1057,12 @@ impl Wal {
             }
             Err(e) => {
                 // The probe batch (buffered frames included) is now of
-                // unknown durability too.
-                st.lost_below = st.lost_below.max(probe_lsn);
+                // unknown durability too; everything in it sits above
+                // the (unchanged) durable watermark.
+                if probe_lsn > st.durable_lsn {
+                    let lost = (st.durable_lsn, probe_lsn);
+                    st.lost.push(lost);
+                }
                 st.failed = Some(e.to_string());
                 drop(st);
                 self.core.flushed.notify_all();
@@ -1126,11 +1173,13 @@ impl WalCore {
         Ok(())
     }
 
-    /// Publish a flush outcome: advance the durable watermark (or record
-    /// the sticky failure and the lost-LSN floor) and wake committers.
+    /// Publish a flush outcome: release the flush token, advance the
+    /// durable watermark (or record the sticky failure and the lost LSN
+    /// range) and wake committers plus the writer thread.
     fn finish_flush(&self, batch: &[(u64, Vec<u8>)], res: Result<()>) -> Result<()> {
         let batch_max = batch.iter().map(|(l, _)| *l).max();
         let mut st = self.wal_state.lock();
+        st.flush_inflight = false;
         match &res {
             Ok(()) => {
                 if let Some(max) = batch_max {
@@ -1141,13 +1190,25 @@ impl WalCore {
             }
             Err(e) => {
                 st.failed = Some(e.to_string());
+                // Everything in the failed batch sits strictly above the
+                // durable watermark (flushes are serialized by the
+                // token), so `(durable_lsn, batch_max]` is exactly the
+                // lost range — LSNs durable before the failure stay
+                // acknowledgeable.
                 if let Some(max) = batch_max {
-                    st.lost_below = st.lost_below.max(max);
+                    if max > st.durable_lsn {
+                        let lost = (st.durable_lsn, max);
+                        st.lost.push(lost);
+                    }
                 }
             }
         }
         drop(st);
         self.flushed.notify_all();
+        // The writer may be parked waiting for the token (e.g. during
+        // shutdown drain, or with a fresh batch buffered behind a
+        // strict leader's flush).
+        self.work.notify_all();
         res
     }
 }
@@ -1435,6 +1496,127 @@ mod tests {
         assert!(err.to_string().contains("lost"), "{err}");
         // New work is fine.
         wal.log_and_commit(&rec).unwrap();
+    }
+
+    /// Review fix: the lost range is `(durable-at-failure, batch_max]`,
+    /// not a blanket floor — a record that rode an earlier *successful*
+    /// flush must keep acknowledging cleanly after a later flush fails,
+    /// and must not be reported lost (its frame is on disk and replays).
+    #[test]
+    fn already_durable_records_survive_a_later_flush_failure() {
+        use cstore_common::fault::{FaultKind, FaultSpec};
+        let store = MemLogStore::new();
+        let faults = FaultInjector::new(17);
+        let (wal, _) = Wal::open(
+            Box::new(store.clone()),
+            WalOptions::default(),
+            Some(faults.clone()),
+            &[],
+        )
+        .unwrap();
+        let rec = WalRecord::RowGroupSealed {
+            table: "t".into(),
+            group: 0,
+            rows: 1,
+        };
+        // lsn1 rides a successful flush.
+        let lsn1 = wal.log(&rec).unwrap();
+        wal.commit(lsn1).unwrap();
+        assert!(wal.status().durable_lsn >= lsn1);
+        // lsn2's flush fails at the fsync (armed before logging so the
+        // writer cannot sneak the frame out first).
+        faults.arm("wal.fsync", FaultSpec::new(FaultKind::IoError).always());
+        let lsn2 = wal.log(&rec).unwrap();
+        assert!(wal.commit(lsn2).is_err());
+        assert!(wal.status().failed.is_some());
+        // lsn1 is on disk: its committer must NOT see a spurious "lost"
+        // error (the caller would treat a durable, replayable write as
+        // failed — a phantom row after recovery).
+        wal.commit(lsn1).unwrap();
+        // After recovery the distinction persists: lsn1 acknowledges,
+        // lsn2 stays lost.
+        faults.disarm_all();
+        wal.try_clear_failure().unwrap();
+        wal.commit(lsn1).unwrap();
+        let err = wal.commit(lsn2).unwrap_err();
+        assert!(err.to_string().contains("lost"), "{err}");
+    }
+
+    /// Review fix: `sync_commit` (the checkpoint path) and strict-mode
+    /// leaders used to flush inline while the writer thread could also
+    /// be flushing — two batches racing for storage can fsync out of
+    /// LSN order, and `durable_lsn = max(batch)` would then acknowledge
+    /// records still sitting in an earlier, un-fsynced batch. With the
+    /// flush-in-flight token every acknowledged commit must be in the
+    /// crash image, even when fsync starts failing mid-run.
+    #[test]
+    fn acked_commits_are_durable_with_mixed_group_and_strict_flushers() {
+        use cstore_common::fault::{FaultKind, FaultSpec};
+        use std::collections::HashSet;
+        let store = MemLogStore::new();
+        let faults = FaultInjector::new(23);
+        let (wal, _) = Wal::open(
+            Box::new(store.clone()),
+            WalOptions::default(),
+            Some(faults.clone()),
+            &[],
+        )
+        .unwrap();
+        // Let some fsyncs through, then storage dies for good.
+        faults.arm(
+            "wal.fsync",
+            FaultSpec::new(FaultKind::IoError).after(25).always(),
+        );
+        let acked = Arc::new(std::sync::Mutex::new(Vec::<(u32, u32)>::new()));
+        let threads: Vec<_> = (0..8u32)
+            .map(|i| {
+                let wal = Arc::clone(&wal);
+                let acked = Arc::clone(&acked);
+                std::thread::spawn(move || {
+                    for j in 0..100u32 {
+                        let rec = WalRecord::RowGroupSealed {
+                            table: format!("t{i}"),
+                            group: j,
+                            rows: 1,
+                        };
+                        // Threads 6 and 7 commit checkpoint-style
+                        // (inline strict flush); the rest ride the
+                        // writer thread's group commit.
+                        let res = wal.log(&rec).and_then(|lsn| {
+                            if i >= 6 {
+                                wal.sync_commit(lsn)
+                            } else {
+                                wal.commit(lsn)
+                            }
+                        });
+                        match res {
+                            Ok(()) => acked.lock().unwrap().push((i, j)),
+                            Err(_) => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let image = store.crash_image();
+        let mut durable = HashSet::new();
+        for seg in image.segment_ids().unwrap() {
+            decode_frames(&image.read(seg).unwrap(), |_, r| {
+                if let WalRecord::RowGroupSealed { table, group, .. } = r {
+                    durable.insert((table, group));
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        for (i, j) in acked.lock().unwrap().iter() {
+            assert!(
+                durable.contains(&(format!("t{i}"), *j)),
+                "commit t{i}/{j} was acknowledged but is not in the crash image"
+            );
+        }
     }
 
     /// Satellite-3 concurrency coverage: when a flush fails, *every*
