@@ -47,6 +47,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::sync::{Condvar, Mutex, RwLock};
+use crate::waits::{self, WaitClass};
 use crate::{Error, FaultInjector, Result};
 
 /// Fault point consulted by [`Governor::admit_query`].
@@ -132,13 +133,17 @@ impl AdmissionGate {
             )));
         }
         st.queued += 1;
-        let deadline = Instant::now() + st.timeout;
+        let queued_at = Instant::now();
+        let deadline = queued_at + st.timeout;
         loop {
             if st.max_concurrent == 0 || st.running < st.max_concurrent {
                 st.queued = st.queued.saturating_sub(1);
                 st.running += 1;
                 drop(st);
                 self.admitted_total.fetch_add(1, Ordering::Relaxed);
+                // Charged to the *queued* query: its wait frame is
+                // installed on this thread before admit() is called.
+                waits::observe(WaitClass::Admission, queued_at.elapsed());
                 return Ok(AdmissionPermit {
                     gate: Arc::clone(self),
                 });
@@ -150,6 +155,7 @@ impl AdmissionGate {
                 drop(st);
                 self.timeouts_total.fetch_add(1, Ordering::Relaxed);
                 self.rejected_total.fetch_add(1, Ordering::Relaxed);
+                waits::observe(WaitClass::Admission, queued_at.elapsed());
                 return Err(Error::ResourceExhausted(format!(
                     "admission timeout: no query slot freed within {}ms \
                      (SET max_concurrent_queries / SET admission_timeout_ms)",
@@ -257,6 +263,9 @@ impl MemoryLedger {
             }
             Err(cur) => {
                 self.exhausted_total.fetch_add(1, Ordering::Relaxed);
+                // The ledger never blocks: a denial is a zero-duration
+                // MEMORY_GRANT wait event (count of grants refused).
+                waits::observe(WaitClass::MemoryGrant, Duration::ZERO);
                 Err(Error::ResourceExhausted(format!(
                     "memory ledger exhausted: reserving {bytes} B on top of {cur} B \
                      would cross the {limit} B shared limit"
@@ -437,9 +446,11 @@ impl BackpressureGate {
         }
         let slice = BACKPRESSURE_WAIT_SLICE.min(deadline - now);
         let guard = self.progress.lock();
+        let parked_at = Instant::now();
         // lint: allow(discard) — wake reason is irrelevant: the caller
         // re-reads its closed-delta count either way
         let _ = self.moved.wait_timeout(guard, slice);
+        waits::observe(WaitClass::Backpressure, parked_at.elapsed());
     }
 
     /// Count one insert that had to block.

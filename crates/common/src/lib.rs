@@ -19,6 +19,7 @@ pub mod testutil;
 pub mod trace;
 pub mod types;
 pub mod value;
+pub mod waits;
 
 pub use bitmap::Bitmap;
 pub use error::{Error, Result};
@@ -34,3 +35,4 @@ pub use row::Row;
 pub use schema::{Field, Schema};
 pub use types::DataType;
 pub use value::Value;
+pub use waits::{WaitClass, WaitProfile, WaitSnapshot};

@@ -122,6 +122,46 @@ impl Histogram {
         }
         out
     }
+
+    /// Estimated `q`-quantile (0.0..=1.0), interpolated within buckets.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_cumulative(&self.cumulative_buckets(), q)
+    }
+}
+
+/// Estimate a quantile from `(upper_bound, cumulative_count)` bucket
+/// pairs (as produced by [`Histogram::cumulative_buckets`]), linearly
+/// interpolating inside the bucket that contains the target rank. The
+/// `+Inf` bucket reports the previous finite bound (the best available
+/// upper estimate). Returns 0 when there are no observations.
+pub fn quantile_from_cumulative(buckets: &[(u64, u64)], q: f64) -> u64 {
+    let total = match buckets.last() {
+        Some(&(_, count)) if count > 0 => count,
+        _ => return 0,
+    };
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let mut prev_bound = 0u64;
+    let mut prev_cum = 0u64;
+    for &(bound, cum) in buckets {
+        if cum >= rank {
+            if bound == u64::MAX {
+                // Open-ended bucket: report the last finite bound.
+                return prev_bound;
+            }
+            let in_bucket = cum - prev_cum;
+            if in_bucket == 0 {
+                return bound;
+            }
+            let frac = (rank - prev_cum) as f64 / in_bucket as f64;
+            let width = (bound - prev_bound) as f64;
+            return prev_bound + (width * frac).round() as u64;
+        }
+        prev_bound = bound;
+        prev_cum = cum;
+    }
+    prev_bound
 }
 
 #[derive(Clone, Debug)]
@@ -245,7 +285,7 @@ impl Registry {
                     count,
                 } => {
                     out.push_str(&format!("# TYPE {name} histogram\n"));
-                    for (bound, cum) in buckets {
+                    for &(bound, cum) in &buckets {
                         if bound == u64::MAX {
                             out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
                         } else {
@@ -253,6 +293,12 @@ impl Registry {
                         }
                     }
                     out.push_str(&format!("{name}_sum {sum}\n{name}_count {count}\n"));
+                    if count > 0 {
+                        for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                            let v = quantile_from_cumulative(&buckets, q);
+                            out.push_str(&format!("{name}_{suffix} {v}\n"));
+                        }
+                    }
                 }
             }
         }
@@ -323,6 +369,44 @@ mod tests {
         assert!(text.contains("cstore_query_duration_usec_bucket{le=\"1000\"} 1"));
         assert!(text.contains("cstore_query_duration_usec_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("cstore_query_duration_usec_count 1"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("q", &[10, 100, 1000]);
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for _ in 0..90 {
+            h.observe(5); // bucket le=10
+        }
+        for _ in 0..10 {
+            h.observe(500); // bucket le=1000
+        }
+        // p50 rank 50 of 100 lands in the first bucket (0..=10].
+        assert!(h.quantile(0.50) <= 10, "p50 = {}", h.quantile(0.50));
+        // p95 rank 95 lands in (100..=1000].
+        let p95 = h.quantile(0.95);
+        assert!((100..=1000).contains(&p95), "p95 = {p95}");
+        // p99 higher than p95, still within the last finite bucket.
+        assert!(h.quantile(0.99) >= p95);
+        // Overflow observations report the last finite bound.
+        h.observe(u64::MAX / 2);
+        for _ in 0..200 {
+            h.observe(u64::MAX / 2);
+        }
+        assert_eq!(h.quantile(0.99), 1000);
+    }
+
+    #[test]
+    fn prometheus_render_includes_quantiles() {
+        let r = Registry::new();
+        for v in [100u64, 200, 300, 400, 10_000] {
+            r.observe("lat_us", &[1_000, 100_000], v);
+        }
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_us_p50 "), "missing p50 in:\n{text}");
+        assert!(text.contains("lat_us_p95 "));
+        assert!(text.contains("lat_us_p99 "));
     }
 
     #[test]

@@ -263,8 +263,10 @@ fn acquire_timed<G>(
     stats.contended.fetch_add(1, Ordering::Relaxed);
     let start = Instant::now();
     let g = block();
-    let waited = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let elapsed = start.elapsed();
+    let waited = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
     stats.total_wait_ns.fetch_add(waited, Ordering::Relaxed);
+    crate::waits::observe(crate::waits::WaitClass::Lock(stats.name), elapsed);
     g
 }
 

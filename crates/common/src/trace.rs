@@ -42,6 +42,9 @@ pub struct SpanEvent {
     pub start_us: u64,
     /// Duration in microseconds (zero-length spans are kept).
     pub dur_us: u64,
+    /// Wait time observed on this thread while the span was open
+    /// (diffed from [`crate::waits::thread_wait_ns`]), in nanoseconds.
+    pub wait_ns: u64,
 }
 
 struct Ring {
@@ -115,11 +118,12 @@ impl Tracer {
                 name: name.into(),
                 depth,
                 start: Instant::now(),
+                wait_ns_at_open: crate::waits::thread_wait_ns(),
             }),
         }
     }
 
-    fn record(&self, name: Cow<'static, str>, depth: u32, start: Instant) {
+    fn record(&self, name: Cow<'static, str>, depth: u32, start: Instant, wait_ns: u64) {
         let start_us =
             u64::try_from(start.duration_since(self.epoch).as_micros()).unwrap_or(u64::MAX);
         let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -129,6 +133,7 @@ impl Tracer {
             depth,
             start_us,
             dur_us,
+            wait_ns,
         };
         let mut ring = self.ring.lock();
         if ring.events.len() < self.capacity {
@@ -179,12 +184,13 @@ impl Tracer {
             }
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"cat\":\"cstore\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
-                 \"ts\":{},\"dur\":{},\"args\":{{\"depth\":{}}}}}",
+                 \"ts\":{},\"dur\":{},\"args\":{{\"depth\":{},\"wait_ns\":{}}}}}",
                 escape_json(&e.name),
                 e.tid,
                 e.start_us,
                 e.dur_us,
                 e.depth,
+                e.wait_ns,
             ));
         }
         out.push_str("]}");
@@ -214,6 +220,7 @@ struct ActiveSpan<'a> {
     name: Cow<'static, str>,
     depth: u32,
     start: Instant,
+    wait_ns_at_open: u64,
 }
 
 /// Scope guard returned by [`Tracer::span`]; records on drop.
@@ -225,8 +232,9 @@ impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(span) = self.active.take() {
             THREAD_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            let wait_ns = crate::waits::thread_wait_ns().saturating_sub(span.wait_ns_at_open);
             span.tracer
-                .record(span.name.clone(), span.depth, span.start);
+                .record(span.name.clone(), span.depth, span.start, wait_ns);
         }
     }
 }
@@ -349,6 +357,55 @@ mod tests {
             "{json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn spans_annotate_wait_time() {
+        let t = Tracer::new(8);
+        t.enable();
+        {
+            let _g = t.span("waits_inside");
+            crate::waits::observe(
+                crate::waits::WaitClass::WalCommit,
+                std::time::Duration::from_nanos(5_000),
+            );
+        }
+        {
+            let _g = t.span("no_waits");
+        }
+        let events = t.snapshot();
+        assert!(events[0].wait_ns >= 5_000, "span saw its wait: {events:?}");
+        assert_eq!(events[1].wait_ns, 0, "later span starts from zero");
+        let json = t.dump_chrome_json();
+        assert!(json.contains("\"wait_ns\":"), "{json}");
+    }
+
+    #[test]
+    fn overflowed_ring_drops_oldest_and_keeps_json_valid() {
+        let t = Tracer::new(4);
+        t.enable();
+        // 3x capacity: spans "s0".."s11"; only the newest 4 survive.
+        for i in 0..12 {
+            let _g = t.span(format!("s{i}"));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.overwritten(), 8);
+        let names: Vec<_> = t.snapshot().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, vec!["s8", "s9", "s10", "s11"], "oldest-first drop");
+        let json = t.dump_chrome_json();
+        // Exactly the surviving spans appear, in order, and the JSON
+        // stays structurally sound for a strict reader.
+        for survivor in &names {
+            assert!(json.contains(&format!("\"name\":\"{survivor}\"")));
+        }
+        assert!(!json.contains("\"name\":\"s7\""));
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        // No dangling commas around the array.
+        assert!(!json.contains(",]") && !json.contains("[,"));
     }
 
     #[test]

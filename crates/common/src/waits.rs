@@ -1,0 +1,354 @@
+//! Engine-wide wait statistics: a wait-class taxonomy, a global
+//! accumulator, and a thread-local *current-query wait frame*.
+//!
+//! Every blocking point in the engine — the WAL group-commit park, the
+//! admission gate, memory-grant denials, backpressure slices, contended
+//! leveled-lock acquisitions, spill file IO, the tuple mover's idle
+//! parks — calls [`observe`] with a [`WaitClass`] and the time spent
+//! blocked. Each observation is recorded three ways:
+//!
+//! 1. **Globally**, into a process-wide accumulator served by
+//!    `sys.wait_stats` and the `cstore_wait_*` Prometheus series.
+//! 2. **Per query**, into the [`WaitProfile`] installed on the current
+//!    thread (if any). `Database::execute` installs the running query's
+//!    profile before admission, so queueing *for* admission is charged
+//!    to the queued query — never smeared onto whoever happens to be
+//!    running. Engine threads with no installed frame (tuple mover,
+//!    WAL writer, scan workers that weren't handed a frame) record
+//!    globally only.
+//! 3. **Per thread**, into a monotone cumulative counter sampled by
+//!    trace spans so each span can report the wait time that elapsed
+//!    inside it ([`thread_wait_ns`]).
+//!
+//! Lock discipline: the dynamic `LOCK_<name>` registry and each
+//! profile's lock map use **raw** `std::sync::Mutex`es, deliberately
+//! outside the leveled-lock system — `observe` is called from
+//! `sync::acquire_timed` itself and from code holding arbitrary leveled
+//! locks, so it must never participate in lock-order tracking (same
+//! exemption as the lockdep registry; see LOCK_ORDER.md).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Where a wait happened. The static variants cover the engine's named
+/// blocking subsystems; `Lock` fans out per leveled-lock name at
+/// runtime (rendered as `LOCK_<name>`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitClass {
+    /// Parked in `Wal::commit` waiting for the group-commit flusher to
+    /// make an LSN durable (or leading the flush inline in strict mode).
+    WalCommit,
+    /// Queued in `AdmissionGate::admit` waiting for a concurrency slot.
+    Admission,
+    /// `MemoryLedger` reservation denied for lack of budget. The ledger
+    /// never blocks, so `total_ns` stays zero — `count` is the number
+    /// of denials.
+    MemoryGrant,
+    /// Parked in `BackpressureGate::wait_slice` behind full delta
+    /// stores.
+    Backpressure,
+    /// Spill-file reads and writes (grace hash join / external sort).
+    SpillIo,
+    /// The tuple mover thread parked between work (idle interval or
+    /// failure backoff).
+    Mover,
+    /// Contended acquisition of the named leveled lock.
+    Lock(&'static str),
+}
+
+const STATIC_CLASSES: [(WaitClass, &str); 6] = [
+    (WaitClass::WalCommit, "WAL_COMMIT"),
+    (WaitClass::Admission, "ADMISSION"),
+    (WaitClass::MemoryGrant, "MEMORY_GRANT"),
+    (WaitClass::Backpressure, "BACKPRESSURE"),
+    (WaitClass::SpillIo, "SPILL_IO"),
+    (WaitClass::Mover, "MOVER"),
+];
+
+impl WaitClass {
+    fn static_index(self) -> Option<usize> {
+        match self {
+            WaitClass::WalCommit => Some(0),
+            WaitClass::Admission => Some(1),
+            WaitClass::MemoryGrant => Some(2),
+            WaitClass::Backpressure => Some(3),
+            WaitClass::SpillIo => Some(4),
+            WaitClass::Mover => Some(5),
+            WaitClass::Lock(_) => None,
+        }
+    }
+
+    /// Canonical `SCREAMING_CASE` label (`LOCK_<name>` for locks).
+    pub fn label(self) -> String {
+        match self {
+            WaitClass::Lock(name) => format!("LOCK_{name}"),
+            other => match other.static_index() {
+                Some(i) => STATIC_CLASSES[i].1.to_string(),
+                None => String::new(),
+            },
+        }
+    }
+}
+
+/// One accumulator cell: (count, total_ns, max_ns), all lock-free.
+#[derive(Default)]
+struct WaitCell {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl WaitCell {
+    fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.count.load(Ordering::Relaxed),
+            self.total_ns.load(Ordering::Relaxed),
+            self.max_ns.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A point-in-time reading of one wait class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaitSnapshot {
+    /// Canonical label, e.g. `WAL_COMMIT` or `LOCK_wal.state`.
+    pub class: String,
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+/// Accumulated waits for one scope — the process (global) or one query.
+#[derive(Default)]
+pub struct WaitProfile {
+    cells: [WaitCell; STATIC_CLASSES.len()],
+    // Raw mutex on purpose: recorded into from inside the leveled-lock
+    // slow path, so it must stay outside lock-order tracking.
+    locks: Mutex<BTreeMap<&'static str, WaitCell>>,
+}
+
+impl WaitProfile {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&self, class: WaitClass, ns: u64) {
+        match class.static_index() {
+            Some(i) => self.cells[i].record(ns),
+            None => {
+                if let WaitClass::Lock(name) = class {
+                    match self.locks.lock() {
+                        Ok(mut map) => map.entry(name).or_default().record(ns),
+                        // Poisoned only if a panic unwound mid-record;
+                        // dropping one observation is harmless.
+                        Err(_) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-zero classes, static taxonomy order first, then locks by
+    /// name.
+    pub fn snapshot(&self) -> Vec<WaitSnapshot> {
+        let mut out = Vec::new();
+        for (i, (_, label)) in STATIC_CLASSES.iter().enumerate() {
+            let (count, total_ns, max_ns) = self.cells[i].snapshot();
+            if count > 0 {
+                out.push(WaitSnapshot {
+                    class: (*label).to_string(),
+                    count,
+                    total_ns,
+                    max_ns,
+                });
+            }
+        }
+        if let Ok(map) = self.locks.lock() {
+            for (name, cell) in map.iter() {
+                let (count, total_ns, max_ns) = cell.snapshot();
+                if count > 0 {
+                    out.push(WaitSnapshot {
+                        class: format!("LOCK_{name}"),
+                        count,
+                        total_ns,
+                        max_ns,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of `total_ns` across every class.
+    pub fn total_ns(&self) -> u64 {
+        self.snapshot().iter().map(|s| s.total_ns).sum()
+    }
+}
+
+fn global() -> &'static WaitProfile {
+    static GLOBAL: OnceLock<WaitProfile> = OnceLock::new();
+    GLOBAL.get_or_init(WaitProfile::default)
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Arc<WaitProfile>>> =
+        const { std::cell::RefCell::new(None) };
+    static THREAD_WAIT_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Record one wait observation: globally, into the current thread's
+/// installed query frame (if any), and into the thread's cumulative
+/// wait counter.
+pub fn observe(class: WaitClass, waited: Duration) {
+    let ns = waited.as_nanos().min(u64::MAX as u128) as u64;
+    global().record(class, ns);
+    CURRENT.with(|cur| {
+        if let Some(profile) = cur.borrow().as_ref() {
+            profile.record(class, ns);
+        }
+    });
+    THREAD_WAIT_NS.with(|c| c.set(c.get().saturating_add(ns)));
+}
+
+/// Monotone cumulative wait nanoseconds observed on this thread.
+/// Trace spans diff this across their lifetime.
+pub fn thread_wait_ns() -> u64 {
+    THREAD_WAIT_NS.with(|c| c.get())
+}
+
+/// The wait profile installed on this thread, if a query is running.
+pub fn current() -> Option<Arc<WaitProfile>> {
+    CURRENT.with(|cur| cur.borrow().clone())
+}
+
+/// Install `profile` as this thread's current-query wait frame for the
+/// guard's lifetime; restores the previous frame on drop (frames nest).
+pub fn install(profile: Arc<WaitProfile>) -> WaitScope {
+    let prev = CURRENT.with(|cur| cur.borrow_mut().replace(profile));
+    WaitScope { prev }
+}
+
+/// RAII guard from [`install`].
+pub struct WaitScope {
+    prev: Option<Arc<WaitProfile>>,
+}
+
+impl Drop for WaitScope {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|cur| *cur.borrow_mut() = prev);
+    }
+}
+
+/// Snapshot of the process-wide accumulator (non-zero classes only).
+pub fn global_snapshot() -> Vec<WaitSnapshot> {
+    global().snapshot()
+}
+
+/// `cstore_wait_*` Prometheus series for every non-zero class.
+pub fn render_prometheus() -> String {
+    let mut out = String::new();
+    let snap = global_snapshot();
+    if snap.is_empty() {
+        return out;
+    }
+    out.push_str("# TYPE cstore_wait_count counter\n");
+    for s in &snap {
+        out.push_str(&format!(
+            "cstore_wait_count{{class=\"{}\"}} {}\n",
+            s.class, s.count
+        ));
+    }
+    out.push_str("# TYPE cstore_wait_total_ns counter\n");
+    for s in &snap {
+        out.push_str(&format!(
+            "cstore_wait_total_ns{{class=\"{}\"}} {}\n",
+            s.class, s.total_ns
+        ));
+    }
+    out.push_str("# TYPE cstore_wait_max_ns gauge\n");
+    for s in &snap {
+        out.push_str(&format!(
+            "cstore_wait_max_ns{{class=\"{}\"}} {}\n",
+            s.class, s.max_ns
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_canonical() {
+        assert_eq!(WaitClass::WalCommit.label(), "WAL_COMMIT");
+        assert_eq!(WaitClass::Lock("wal.state").label(), "LOCK_wal.state");
+    }
+
+    #[test]
+    fn profile_records_and_snapshots() {
+        let p = WaitProfile::new();
+        p.record(WaitClass::WalCommit, 100);
+        p.record(WaitClass::WalCommit, 300);
+        p.record(WaitClass::Lock("t.inner"), 50);
+        let snap = p.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].class, "WAL_COMMIT");
+        assert_eq!(snap[0].count, 2);
+        assert_eq!(snap[0].total_ns, 400);
+        assert_eq!(snap[0].max_ns, 300);
+        assert_eq!(snap[1].class, "LOCK_t.inner");
+        assert_eq!(p.total_ns(), 450);
+    }
+
+    #[test]
+    fn observe_hits_installed_frame_and_thread_counter() {
+        let frame = Arc::new(WaitProfile::new());
+        let before = thread_wait_ns();
+        {
+            let _scope = install(frame.clone());
+            observe(WaitClass::Admission, Duration::from_nanos(1234));
+        }
+        // Frame restored: further observes don't land on `frame`.
+        observe(WaitClass::Admission, Duration::from_nanos(1));
+        let snap = frame.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].class, "ADMISSION");
+        assert_eq!(snap[0].count, 1);
+        assert_eq!(snap[0].total_ns, 1234);
+        assert!(thread_wait_ns() >= before + 1235);
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let outer = Arc::new(WaitProfile::new());
+        let inner = Arc::new(WaitProfile::new());
+        let _a = install(outer.clone());
+        {
+            let _b = install(inner.clone());
+            observe(WaitClass::SpillIo, Duration::from_nanos(7));
+        }
+        observe(WaitClass::Mover, Duration::from_nanos(9));
+        assert_eq!(inner.snapshot()[0].class, "SPILL_IO");
+        let outer_snap = outer.snapshot();
+        assert_eq!(outer_snap.len(), 1, "outer saw only the MOVER wait");
+        assert_eq!(outer_snap[0].class, "MOVER");
+    }
+
+    #[test]
+    fn prometheus_renders_nonzero_classes() {
+        observe(WaitClass::Backpressure, Duration::from_nanos(42));
+        let text = render_prometheus();
+        assert!(text.contains("cstore_wait_count{class=\"BACKPRESSURE\"}"));
+        assert!(text.contains("# TYPE cstore_wait_total_ns counter"));
+    }
+}

@@ -188,6 +188,9 @@ pub struct Database {
     /// ledger, delta backpressure and the health state machine. Shared
     /// with every columnstore table and with the exec context.
     governor: Arc<Governor>,
+    /// Per-shape workload history behind `sys.query_store`, persisted
+    /// through save/open.
+    query_store: Arc<crate::query_store::QueryStore>,
 }
 
 impl Default for Database {
@@ -211,6 +214,7 @@ impl Database {
             query_timeout_ms: Arc::new(AtomicU64::new(0)),
             wal_sync: Arc::new(AtomicU8::new(WalSyncMode::default().to_u8())),
             governor,
+            query_store: Arc::new(crate::query_store::QueryStore::new()),
         }
     }
 
@@ -226,6 +230,11 @@ impl Database {
     /// backpressure gate, health state machine).
     pub fn governor(&self) -> &Arc<Governor> {
         &self.governor
+    }
+
+    /// The per-shape workload history behind `sys.query_store`.
+    pub fn query_store(&self) -> &Arc<crate::query_store::QueryStore> {
+        &self.query_store
     }
 
     /// Force an execution mode for all queries (default: cost-based).
@@ -275,6 +284,14 @@ impl Database {
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         let _query_span = cstore_common::trace::global().span("query");
         let start = Instant::now();
+        let shape = cstore_sql::query_shape(sql);
+        // Per-query wait frame, installed *before* admission so time
+        // spent queued at the gate is charged to the waiting statement,
+        // not to whichever query happens to be running. Every blocking
+        // point this thread (and its scan workers) hits records into it;
+        // `ExecContext::for_query` adopts the same frame.
+        let waits = Arc::new(cstore_common::waits::WaitProfile::new());
+        let _wait_scope = cstore_common::waits::install(Arc::clone(&waits));
         // Admission control: acquire (and hold, via the permit) a query
         // slot for the whole statement. A saturated gate parks the caller
         // up to the admission timeout; rejections land in the query log
@@ -284,6 +301,20 @@ impl Database {
             Err(e) => Err(e),
         };
         let elapsed = start.elapsed();
+        let metric = |snapshot: &[(&str, u64)], name: &str| {
+            snapshot
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        let (rows_returned, spill_partitions, spill_bytes) = match &result {
+            Ok(QueryResult::Rows { rows, metrics, .. }) => (
+                rows.len() as u64,
+                metric(metrics, "partitions_spilled"),
+                metric(metrics, "bytes_spilled"),
+            ),
+            _ => (0, 0, 0),
+        };
         let outcome = match &result {
             Ok(QueryResult::Rows {
                 rows,
@@ -292,10 +323,7 @@ impl Database {
                 ..
             }) => QueryOutcome::Ok {
                 rows: rows.len(),
-                batches: metrics
-                    .iter()
-                    .find(|(name, _)| *name == "batches")
-                    .map_or(0, |(_, v)| *v),
+                batches: metric(metrics, "batches"),
                 plan_root: plan_root.clone(),
             },
             Ok(_) => QueryOutcome::Ok {
@@ -308,7 +336,24 @@ impl Database {
                 QueryOutcome::Error(e.to_string())
             }
         };
-        self.query_log.lock().record(sql, elapsed, outcome);
+        let (failed, timed_out) = match &result {
+            Ok(_) => (false, false),
+            Err(e) => (true, e.to_string().contains("query timeout")),
+        };
+        self.query_log
+            .lock()
+            .record(sql, shape.hash, elapsed, outcome);
+        self.query_store.record(&crate::query_store::QuerySample {
+            shape_hash: shape.hash,
+            shape_text: shape.text,
+            elapsed,
+            rows: rows_returned,
+            failed,
+            timed_out,
+            waits: waits.snapshot(),
+            spill_partitions,
+            spill_bytes,
+        });
         result
     }
 
@@ -408,6 +453,20 @@ impl Database {
             "backpressure_timeout_ms" => {
                 let ms = Self::set_u64("backpressure_timeout_ms", &value)?;
                 self.governor.backpressure().set_timeout_ms(ms);
+                Ok(QueryResult::Created)
+            }
+            "query_log_size" => {
+                let n = Self::set_u64("query_log_size", &value)?;
+                let n = usize::try_from(n).unwrap_or(usize::MAX);
+                self.query_log.lock().set_capacity(n);
+                Ok(QueryResult::Created)
+            }
+            "query_store_interval_ms" => {
+                let ms = Self::set_u64("query_store_interval_ms", &value)?;
+                if ms == 0 {
+                    return Err(Error::Sql("query_store_interval_ms must be > 0".into()));
+                }
+                self.query_store.set_interval_ms(ms);
                 Ok(QueryResult::Created)
             }
             "wal_sync" => {
@@ -586,6 +645,7 @@ impl Database {
             self.mode,
             &qctx.stats,
             &qctx.metrics,
+            &qctx.waits,
             rows.len(),
             elapsed,
         );
@@ -1057,6 +1117,10 @@ impl Database {
                 }
             }
         }
+        // 1b. Query Store history, under the same generation prefix (it
+        //     only becomes reachable once the manifest commits, and GC
+        //     retires it with the generation).
+        store.put(&format!("g{gen}.querystore"), &self.query_store.encode()?)?;
         // 2. Catalog manifest: name, organization, schema per table. This
         //    write commits the generation.
         let mut w = Writer::new();
@@ -1165,6 +1229,17 @@ impl Database {
                 }
             };
             let (mut db, tables) = Self::load_tables(store, gen, &entries, mode)?;
+            // Query Store history (best-effort): absent for generations
+            // written before the store existed, and corrupt history must
+            // never block an open — data tables matter, telemetry does
+            // not. Load failures are counted, not fatal.
+            if let Ok(blob) = store.get(&format!("g{gen}.querystore")) {
+                if db.query_store.load(&blob).is_err() {
+                    metrics::global()
+                        .counter("cstore_query_store_load_errors_total")
+                        .inc();
+                }
+            }
             let report = OpenReport {
                 generation: gen,
                 skipped_manifests: skipped,
@@ -1385,6 +1460,12 @@ impl Database {
                 }
             }
         }
+        // The Query Store blob is optional (older generations predate
+        // it): CRC-check it when present, never report it missing.
+        let qs_key = format!("g{gen}.querystore");
+        if present.contains(&qs_key) {
+            expected.push(qs_key);
+        }
         for key in &expected {
             if !present.contains(key) {
                 report.missing.push(key.clone());
@@ -1502,6 +1583,9 @@ impl Database {
         // lockdep layer (process-wide: every leveled lock registers on
         // first construction).
         out.push_str(&cstore_common::sync::render_lock_stats_prometheus());
+        // Engine-wide wait-class totals (the global side of the wait
+        // registry behind `sys.wait_stats`).
+        out.push_str(&cstore_common::waits::render_prometheus());
         out
     }
 

@@ -32,7 +32,7 @@ use crate::catalog::TableEntry;
 use crate::database::Database;
 
 /// The names the binder recognizes as virtual tables.
-pub const SYS_VIEW_NAMES: [&str; 8] = [
+pub const SYS_VIEW_NAMES: [&str; 10] = [
     "sys.row_groups",
     "sys.column_segments",
     "sys.dictionaries",
@@ -41,6 +41,8 @@ pub const SYS_VIEW_NAMES: [&str; 8] = [
     "sys.wal",
     "sys.lock_stats",
     "sys.resource_governor",
+    "sys.wait_stats",
+    "sys.query_store",
 ];
 
 /// Snapshot-materializer for the `sys.*` views: implemented by
@@ -115,6 +117,9 @@ pub enum QueryOutcome {
 pub struct QueryLogEntry {
     pub id: u64,
     pub text: String,
+    /// Normalized shape hash (literals → `?`), joinable against
+    /// `sys.query_store.query_hash`.
+    pub query_hash: u64,
     pub duration: Duration,
     pub outcome: QueryOutcome,
 }
@@ -141,17 +146,37 @@ impl Default for QueryLog {
 }
 
 impl QueryLog {
-    pub fn record(&mut self, text: &str, duration: Duration, outcome: QueryOutcome) {
-        if self.entries.len() == self.capacity {
+    pub fn record(
+        &mut self,
+        text: &str,
+        query_hash: u64,
+        duration: Duration,
+        outcome: QueryOutcome,
+    ) {
+        while self.entries.len() >= self.capacity.max(1) {
             self.entries.pop_front();
         }
         self.entries.push_back(QueryLogEntry {
             id: self.next_id,
             text: text.to_owned(),
+            query_hash,
             duration,
             outcome,
         });
         self.next_id += 1;
+    }
+
+    /// `SET query_log_size`: resize the ring, evicting oldest entries
+    /// immediately if it shrinks below the current length.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     pub fn entries(&self) -> impl Iterator<Item = &QueryLogEntry> {
@@ -483,6 +508,7 @@ pub(crate) fn query_log_view(db: &Database) -> VirtualTable {
     let schema = Schema::new(vec![
         field("query_id", DataType::Int64, false),
         field("query", DataType::Utf8, false),
+        field("query_hash", DataType::Utf8, false),
         field("status", DataType::Utf8, false),
         field("error", DataType::Utf8, true),
         field("duration_us", DataType::Int64, false),
@@ -494,6 +520,7 @@ pub(crate) fn query_log_view(db: &Database) -> VirtualTable {
     db.with_query_log(|log| {
         for e in log.entries() {
             let duration = int_u64(u64::try_from(e.duration.as_micros()).unwrap_or(u64::MAX));
+            let hash = Value::str(format!("{:016x}", e.query_hash));
             let row = match &e.outcome {
                 QueryOutcome::Ok {
                     rows: n,
@@ -502,6 +529,7 @@ pub(crate) fn query_log_view(db: &Database) -> VirtualTable {
                 } => Row::new(vec![
                     int_u64(e.id),
                     Value::str(e.text.clone()),
+                    hash,
                     Value::str("OK"),
                     Value::Null,
                     duration,
@@ -512,6 +540,7 @@ pub(crate) fn query_log_view(db: &Database) -> VirtualTable {
                 QueryOutcome::Error(err) => Row::new(vec![
                     int_u64(e.id),
                     Value::str(e.text.clone()),
+                    hash,
                     Value::str("ERROR"),
                     Value::str(err.clone()),
                     duration,
@@ -524,6 +553,94 @@ pub(crate) fn query_log_view(db: &Database) -> VirtualTable {
         }
     });
     VirtualTable::new("sys.query_log", schema, rows)
+}
+
+/// One row per wait class with any recorded waits (process-wide
+/// accumulator, cumulative since start — the engine's
+/// `sys.dm_os_wait_stats`).
+pub(crate) fn wait_stats_view() -> VirtualTable {
+    let schema = Schema::new(vec![
+        field("wait_class", DataType::Utf8, false),
+        field("wait_count", DataType::Int64, false),
+        field("total_wait_ns", DataType::Int64, false),
+        field("max_wait_ns", DataType::Int64, false),
+        field("avg_wait_us", DataType::Float64, false),
+    ]);
+    let rows = cstore_common::waits::global_snapshot()
+        .into_iter()
+        .map(|s| {
+            let avg_us = if s.count > 0 {
+                s.total_ns as f64 / s.count as f64 / 1e3
+            } else {
+                0.0
+            };
+            Row::new(vec![
+                Value::str(s.class),
+                int_u64(s.count),
+                int_u64(s.total_ns),
+                int_u64(s.max_ns),
+                Value::Float64(avg_us),
+            ])
+        })
+        .collect();
+    VirtualTable::new("sys.wait_stats", schema, rows)
+}
+
+/// One row per (interval, query shape): the Query Store surface.
+/// `query_hash` is the same hex form `sys.query_log.query_hash` uses,
+/// so the two views join directly.
+pub(crate) fn query_store_view(db: &Database) -> VirtualTable {
+    let schema = Schema::new(vec![
+        field("interval_start_ms", DataType::Int64, false),
+        field("query_hash", DataType::Utf8, false),
+        field("query_shape", DataType::Utf8, false),
+        field("executions", DataType::Int64, false),
+        field("failures", DataType::Int64, false),
+        field("timeouts", DataType::Int64, false),
+        field("rows_returned", DataType::Int64, false),
+        field("avg_elapsed_us", DataType::Float64, false),
+        field("p50_elapsed_us", DataType::Int64, false),
+        field("p99_elapsed_us", DataType::Int64, false),
+        field("max_elapsed_us", DataType::Int64, false),
+        field("total_wait_ns", DataType::Int64, false),
+        field("waits", DataType::Utf8, true),
+        field("spill_partitions", DataType::Int64, false),
+        field("spill_bytes", DataType::Int64, false),
+    ]);
+    let mut rows = Vec::new();
+    for interval in db.query_store().snapshot() {
+        for shape in interval.shapes.values() {
+            let avg = if shape.executions > 0 {
+                shape.total_elapsed_us as f64 / shape.executions as f64
+            } else {
+                0.0
+            };
+            let total_wait_ns: u64 = shape.waits.values().map(|w| w.total_ns).sum();
+            let summary = shape.waits_summary();
+            rows.push(Row::new(vec![
+                int_u64(interval.start_unix_ms),
+                Value::str(format!("{:016x}", shape.shape_hash)),
+                Value::str(shape.shape_text.clone()),
+                int_u64(shape.executions),
+                int_u64(shape.failures),
+                int_u64(shape.timeouts),
+                int_u64(shape.rows_returned),
+                Value::Float64(avg),
+                int_u64(shape.elapsed_quantile_us(0.50)),
+                int_u64(shape.elapsed_quantile_us(0.99)),
+                int_u64(shape.max_elapsed_us),
+                int_u64(total_wait_ns),
+                if summary.is_empty() {
+                    Value::Null
+                } else {
+                    Value::str(summary)
+                },
+                int_u64(shape.spill_partitions),
+                int_u64(shape.spill_bytes),
+            ]));
+        }
+    }
+    VirtualTable::new("sys.query_store", schema, rows)
 }
 
 /// One row per attached WAL (zero rows when the database runs without
@@ -671,6 +788,8 @@ impl Introspection for Database {
             "sys.wal" => Some(wal_view(self)),
             "sys.lock_stats" => Some(lock_stats_view()),
             "sys.resource_governor" => Some(resource_governor_view(self)),
+            "sys.wait_stats" => Some(wait_stats_view()),
+            "sys.query_store" => Some(query_store_view(self)),
             _ => None,
         }
     }

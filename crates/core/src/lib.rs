@@ -9,6 +9,7 @@ pub mod catalog;
 pub mod database;
 pub mod introspect;
 pub mod persist;
+pub mod query_store;
 
 pub use catalog::{Catalog, TableEntry};
 pub use cstore_planner::ExecMode;
@@ -17,3 +18,4 @@ pub use introspect::{
     Introspection, QueryLog, QueryLogEntry, QueryOutcome, SysCatalog, SYS_VIEW_NAMES,
 };
 pub use persist::{OpenMode, OpenReport, TableOpenReport, VerifyReport};
+pub use query_store::{QuerySample, QueryStore};

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cstore_common::sync::Mutex;
+use cstore_common::waits::{self, WaitClass};
 use cstore_common::{Error, Result};
 
 use crate::table::{ColumnStoreTable, MovePassReport};
@@ -227,7 +228,11 @@ impl Worker {
     fn run(self) -> Result<usize> {
         let mut fatal: Option<Error> = None;
         loop {
-            match self.rx.recv_timeout(self.config.interval) {
+            let parked_at = std::time::Instant::now();
+            let msg = self.rx.recv_timeout(self.config.interval);
+            // Global-only MOVER wait (the mover thread runs no query).
+            waits::observe(WaitClass::Mover, parked_at.elapsed());
+            match msg {
                 Ok(Msg::Stop) | Err(RecvTimeoutError::Disconnected) => break,
                 Ok(Msg::Kick) | Err(RecvTimeoutError::Timeout) => {
                     match self.pass_with_retry() {
@@ -288,7 +293,10 @@ impl Worker {
                         st.last_error = Some(e.to_string());
                     }
                     // Back off via the channel so a Stop interrupts the wait.
-                    match self.rx.recv_timeout(backoff) {
+                    let parked_at = std::time::Instant::now();
+                    let msg = self.rx.recv_timeout(backoff);
+                    waits::observe(WaitClass::Mover, parked_at.elapsed());
+                    match msg {
                         Ok(Msg::Stop) | Err(RecvTimeoutError::Disconnected) => {
                             return PassOutcome::StopRequested;
                         }

@@ -69,9 +69,11 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use cstore_common::fault::FaultInjector;
 use cstore_common::sync::{Condvar, Mutex};
+use cstore_common::waits::{self, WaitClass};
 use cstore_common::{metrics, Error, Result, Row, RowId};
 use cstore_storage::format::{crc32, read_value, write_value, Reader, Writer};
 use cstore_storage::log::LogStore;
@@ -870,6 +872,20 @@ impl Wal {
     }
 
     fn commit_mode(&self, lsn: u64, mode: WalSyncMode) -> Result<()> {
+        let start = Instant::now();
+        let mut waited = false;
+        let result = self.commit_mode_inner(lsn, mode, &mut waited);
+        if waited {
+            // Charged to the committing query's wait frame: time parked
+            // on the group-commit condvar, or spent leading a strict
+            // flush on the group's behalf. The fast paths (already
+            // durable, `off` ack) record nothing.
+            waits::observe(WaitClass::WalCommit, start.elapsed());
+        }
+        result
+    }
+
+    fn commit_mode_inner(&self, lsn: u64, mode: WalSyncMode, waited: &mut bool) -> Result<()> {
         let mut st = self.core.wal_state.lock();
         loop {
             // Order matters: a records-lost check must precede the
@@ -913,6 +929,7 @@ impl Wal {
                     st.flush_inflight = true;
                     let batch = std::mem::take(&mut st.buffer);
                     drop(st);
+                    *waited = true;
                     self.core
                         .finish_flush(&batch, self.core.flush_batch(&batch))?;
                     st = self.core.wal_state.lock();
@@ -920,6 +937,7 @@ impl Wal {
                 _ => {
                     // Hand the buffered batch to the writer thread and
                     // park until it publishes our LSN (or a failure).
+                    *waited = true;
                     self.core.work.notify_one();
                     st = self.core.flushed.wait(st);
                 }

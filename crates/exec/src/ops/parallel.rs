@@ -78,23 +78,30 @@ impl ParallelScan {
     fn start(&mut self) {
         let scans = std::mem::take(&mut self.partitions);
         let (tx, rx) = sync_channel::<Result<Batch>>(scans.len() * 4);
+        // Workers inherit the coordinating query's wait frame so their
+        // blocking (contended table locks) is attributed to this query.
+        let waits = cstore_common::waits::current();
         let workers = scans
             .into_iter()
             .map(|mut scan| {
                 let tx = tx.clone();
-                std::thread::spawn(move || loop {
-                    match scan.next() {
-                        Ok(Some(batch)) => {
-                            if tx.send(Ok(batch)).is_err() {
-                                return; // consumer went away (e.g. LIMIT)
+                let waits = waits.clone();
+                std::thread::spawn(move || {
+                    let _scope = waits.map(cstore_common::waits::install);
+                    loop {
+                        match scan.next() {
+                            Ok(Some(batch)) => {
+                                if tx.send(Ok(batch)).is_err() {
+                                    return; // consumer went away (e.g. LIMIT)
+                                }
                             }
-                        }
-                        Ok(None) => return,
-                        Err(e) => {
-                            // lint: allow(discard) — the consumer hung up;
-                            // the error has nowhere left to go
-                            let _ = tx.send(Err(e));
-                            return;
+                            Ok(None) => return,
+                            Err(e) => {
+                                // lint: allow(discard) — the consumer hung up;
+                                // the error has nowhere left to go
+                                let _ = tx.send(Err(e));
+                                return;
+                            }
                         }
                     }
                 })

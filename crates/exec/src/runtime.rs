@@ -7,6 +7,7 @@ use std::time::Instant;
 
 use cstore_common::governor::{MemoryLedger, QueryReservation};
 use cstore_common::sync::Mutex;
+use cstore_common::waits::WaitProfile;
 use cstore_common::{Error, Result};
 
 use crate::batch::BATCH_SIZE;
@@ -287,6 +288,11 @@ pub struct ExecContext {
     /// [`ExecContext::for_query`]; outstanding bytes return to the
     /// ledger when the query's context drops).
     pub alloc: Option<Arc<QueryReservation>>,
+    /// This query's wait-class breakdown. `for_query` adopts the frame
+    /// already installed on the thread (so waits recorded before the
+    /// context existed — admission queueing — are visible here), else
+    /// starts a fresh one.
+    pub waits: Arc<WaitProfile>,
 }
 
 impl Default for ExecContext {
@@ -302,6 +308,7 @@ impl Default for ExecContext {
             deadline: None,
             ledger: None,
             alloc: None,
+            waits: Arc::new(WaitProfile::new()),
         }
     }
 }
@@ -318,6 +325,7 @@ impl ExecContext {
                 .ledger
                 .as_ref()
                 .map(|l| Arc::new(QueryReservation::new(Arc::clone(l)))),
+            waits: cstore_common::waits::current().unwrap_or_default(),
             ..self.clone()
         }
     }

@@ -9,11 +9,23 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
+use cstore_common::waits::{self, WaitClass};
 use cstore_common::{Error, Result, Row};
 use cstore_storage::format::{read_value, write_value, Reader, Writer};
 
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Accumulated spill IO time is recorded as one `SPILL_IO` wait
+/// observation per file side (write side at seal/drop, read side at
+/// reader drop) rather than per row, so a million-row spill doesn't
+/// generate a million wait events.
+fn record_spill_io(io: Duration) {
+    if !io.is_zero() {
+        waits::observe(WaitClass::SpillIo, io);
+    }
+}
 
 /// A temporary file of serialized rows.
 pub struct SpillFile {
@@ -21,6 +33,7 @@ pub struct SpillFile {
     writer: Option<BufWriter<File>>,
     n_rows: usize,
     bytes: u64,
+    io: Duration,
 }
 
 impl SpillFile {
@@ -28,12 +41,14 @@ impl SpillFile {
     pub fn create(dir: &std::path::Path) -> Result<SpillFile> {
         let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
         let path = dir.join(format!("cstore-spill-{}-{seq}.tmp", std::process::id()));
+        let start = Instant::now();
         let file = File::create(&path)?;
         Ok(SpillFile {
             path,
             writer: Some(BufWriter::new(file)),
             n_rows: 0,
             bytes: 0,
+            io: start.elapsed(),
         })
     }
 
@@ -57,8 +72,10 @@ impl SpillFile {
             write_value(&mut buf, v)?;
         }
         let bytes = buf.into_bytes();
+        let start = Instant::now();
         w.write_all(&(bytes.len() as u32).to_le_bytes())?;
         w.write_all(&bytes)?;
+        self.io += start.elapsed();
         self.n_rows += 1;
         self.bytes += bytes.len() as u64 + 4;
         Ok(())
@@ -66,22 +83,28 @@ impl SpillFile {
 
     /// Finish writing and return a reader over the rows.
     pub fn into_reader(mut self) -> Result<SpillReader> {
+        let start = Instant::now();
         if let Some(mut w) = self.writer.take() {
             w.flush()?;
         }
         let file = File::open(&self.path)?;
+        self.io += start.elapsed();
+        record_spill_io(std::mem::take(&mut self.io));
         Ok(SpillReader {
             // Move path ownership so the file is deleted when the reader
             // drops (self's Drop must not delete it first).
             path: std::mem::take(&mut self.path),
             reader: BufReader::new(file),
             remaining: self.n_rows,
+            io: Duration::ZERO,
         })
     }
 }
 
 impl Drop for SpillFile {
     fn drop(&mut self) {
+        // Abandoned before into_reader (error path): still charge the IO.
+        record_spill_io(std::mem::take(&mut self.io));
         if !self.path.as_os_str().is_empty() {
             // lint: allow(discard) — best-effort temp-file cleanup in Drop
             let _ = std::fs::remove_file(&self.path);
@@ -94,6 +117,7 @@ pub struct SpillReader {
     path: PathBuf,
     reader: BufReader<File>,
     remaining: usize,
+    io: Duration,
 }
 
 impl SpillReader {
@@ -106,11 +130,13 @@ impl SpillReader {
         if self.remaining == 0 {
             return Ok(None);
         }
+        let start = Instant::now();
         let mut len_buf = [0u8; 4];
         self.reader.read_exact(&mut len_buf)?;
         let len = u32::from_le_bytes(len_buf) as usize;
         let mut buf = vec![0u8; len];
         self.reader.read_exact(&mut buf)?;
+        self.io += start.elapsed();
         let mut r = Reader::new(&buf);
         let n = r.u16()? as usize;
         let mut values = Vec::with_capacity(n);
@@ -133,6 +159,7 @@ impl SpillReader {
 
 impl Drop for SpillReader {
     fn drop(&mut self) {
+        record_spill_io(std::mem::take(&mut self.io));
         // lint: allow(discard) — best-effort temp-file cleanup in Drop
         let _ = std::fs::remove_file(&self.path);
     }
@@ -190,6 +217,27 @@ mod tests {
             assert!(path.exists());
         }
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn spill_io_attributed_to_installed_wait_frame() {
+        let frame = std::sync::Arc::new(cstore_common::waits::WaitProfile::new());
+        {
+            let _scope = cstore_common::waits::install(frame.clone());
+            let mut f = SpillFile::create(&std::env::temp_dir()).unwrap();
+            for i in 0..1000 {
+                f.write_row(&row(i)).unwrap();
+            }
+            let rows = f.into_reader().unwrap().read_all().unwrap();
+            assert_eq!(rows.len(), 1000);
+        }
+        let snap = frame.snapshot();
+        let spill = snap
+            .iter()
+            .find(|s| s.class == "SPILL_IO")
+            .expect("SPILL_IO recorded on the query frame");
+        assert!(spill.count >= 2, "write side + read side: {spill:?}");
+        assert!(spill.total_ns > 0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use cstore_common::waits::WaitProfile;
 use cstore_exec::{ExecStats, Metrics};
 
 use crate::catalog::CatalogProvider;
@@ -35,6 +36,7 @@ pub fn explain_analyze(
     mode: ExecMode,
     stats: &ExecStats,
     metrics: &Metrics,
+    waits: &WaitProfile,
     rows_returned: usize,
     elapsed: Duration,
 ) -> String {
@@ -83,8 +85,31 @@ pub fn explain_analyze(
         get("partitions_spilled"),
         get("bytes_spilled"),
     ));
+    out.push_str(&waits_footer_line(waits));
     out.push_str(&wal_footer_line());
     out
+}
+
+/// Per-query wait breakdown: one line listing every wait class the query
+/// hit, worst-first, so "where did the time go" is answered in place.
+fn waits_footer_line(waits: &WaitProfile) -> String {
+    let mut snap = waits.snapshot();
+    if snap.is_empty() {
+        return "  waits: none\n".to_string();
+    }
+    snap.sort_by(|a, b| b.total_ns.cmp(&a.total_ns));
+    let mut line = String::from("  waits:");
+    for s in &snap {
+        line.push_str(&format!(
+            " {}(n={}, total={:.3} ms, max={:.3} ms)",
+            s.class,
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.max_ns as f64 / 1e6,
+        ));
+    }
+    line.push('\n');
+    line
 }
 
 /// Database-wide WAL activity (cumulative, from the global registry —

@@ -6,7 +6,9 @@ pub mod ast;
 pub mod bind;
 pub mod lexer;
 pub mod parser;
+pub mod shape;
 
 pub use ast::{Statement, TableOrganization};
 pub use bind::{bind_expr_on_schema, bind_select, bind_union, coerce, literal_value};
 pub use parser::parse;
+pub use shape::{query_shape, QueryShape};

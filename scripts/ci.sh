@@ -110,6 +110,41 @@ for needle in '"traceEvents":[' '"ph":"X"' '"name":"query"' \
     esac
 done
 
+# Wait-stats + Query Store gate: drive the shell through a two-session
+# persisted workload. Session 2 reopens the directory (which attaches the
+# WAL), commits trickle inserts and repeats one SELECT shape; it must
+# then report a nonzero WAL_COMMIT row in sys.wait_stats and an
+# aggregated sys.query_store row for the repeated shape. A refactor that
+# silently stops attributing commit waits, or stops aggregating shapes,
+# fails here even though every query still answers correctly.
+echo "==> wait stats + query store smoke (shell)"
+wsdir=$(mktemp -d)
+printf '%s\n' \
+    'CREATE TABLE qs (id BIGINT NOT NULL, v BIGINT NOT NULL);' \
+    'INSERT INTO qs VALUES (1, 10);' \
+    '\quit' | cargo run -q --release --bin cstore -- "$wsdir" >/dev/null 2>&1
+waitsmoke=$(printf '%s\n' \
+    'INSERT INTO qs VALUES (2, 20);' \
+    'INSERT INTO qs VALUES (3, 30);' \
+    'INSERT INTO qs VALUES (4, 40);' \
+    'SELECT SUM(v) FROM qs WHERE id > 0;' \
+    'SELECT SUM(v) FROM qs WHERE id > 1;' \
+    'SELECT SUM(v) FROM qs WHERE id > 2;' \
+    'SELECT wait_class, wait_count FROM sys.wait_stats WHERE wait_count > 0;' \
+    'SELECT query_shape, executions FROM sys.query_store WHERE executions > 2;' \
+    '\quit' | cargo run -q --release --bin cstore -- "$wsdir" 2>/dev/null)
+echo "$waitsmoke" | grep 'WAL_COMMIT' >/dev/null || {
+    echo "sys.wait_stats reported no WAL_COMMIT wait after WAL-attached inserts:"
+    echo "$waitsmoke"
+    exit 1
+}
+echo "$waitsmoke" | grep -F 'where id > ?' >/dev/null || {
+    echo "sys.query_store reported no aggregated row for the repeated SELECT shape:"
+    echo "$waitsmoke"
+    exit 1
+}
+rm -rf "$wsdir"
+
 # Bench-results gate: the E1 harness (offline, no external deps) must
 # produce a machine-readable BENCH_E1.json with the agreed shape.
 echo "==> bench BENCH_E1.json shape"

@@ -9,8 +9,9 @@
 //! cargo run --release --bin cstore -- faults list       # fault points
 //! ```
 //!
-//! Meta commands: `\tables`, `\stats <table>`, `\metrics`, `\faults`,
-//! `\save`, `\demo`, `\trace on|off|dump`, `\quit`. Everything else is SQL
+//! Meta commands: `\tables`, `\stats <table>`, `\metrics`, `\waits`,
+//! `\querystore`, `\faults`, `\save`, `\demo`, `\trace on|off|dump`,
+//! `\quit`. Everything else is SQL
 //! (`SELECT`/`INSERT`/`UPDATE`/`DELETE`/`CREATE TABLE`/`ANALYZE`/
 //! `EXPLAIN [ANALYZE]`), terminated by `;` or a newline.
 
@@ -261,6 +262,8 @@ fn run_meta(db: &Database, line: &str, dir: &Option<PathBuf>) -> MetaResult {
             None => eprintln!("usage: \\stats <table>"),
         },
         "\\metrics" => print!("{}", db.metrics()),
+        "\\waits" => run_sql(db, "SELECT * FROM sys.wait_stats"),
+        "\\querystore" => run_sql(db, "SELECT * FROM sys.query_store"),
         "\\faults" => print_fault_points(),
         "\\save" => match dir {
             Some(d) => match db.save_to(d) {
@@ -300,8 +303,8 @@ fn run_meta(db: &Database, line: &str, dir: &Option<PathBuf>) -> MetaResult {
             }
         }
         other => eprintln!(
-            "unknown command {other}; try \\tables \\stats \\metrics \\faults \\save \\demo \
-             \\trace \\quit"
+            "unknown command {other}; try \\tables \\stats \\metrics \\waits \\querystore \
+             \\faults \\save \\demo \\trace \\quit"
         ),
     }
     MetaResult::Continue

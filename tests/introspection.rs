@@ -333,8 +333,13 @@ fn trace_dump_emits_nested_chrome_events() {
     ] {
         assert!(json.contains(name), "missing {name} in {json}");
     }
-    // Nesting is recorded: the parse span sits below the query span.
-    assert!(json.contains("\"args\":{\"depth\":1}"), "{json}");
+    // Nesting is recorded: the parse span sits below the query span
+    // (args also carry the wait time accumulated while the span was
+    // open — see sys.wait_stats).
+    assert!(
+        json.contains("\"args\":{\"depth\":1,\"wait_ns\":"),
+        "{json}"
+    );
     tracer.clear();
 }
 
