@@ -35,6 +35,9 @@ pub enum Error {
     /// The database is in read-only degradation; the message names the
     /// cause (sticky WAL failure, blob-store write failure, failed mover).
     ReadOnly(String),
+    /// A write-write conflict between concurrent transactions: two
+    /// transactions tried to delete/update the same row, and this one lost.
+    Conflict(String),
 }
 
 impl Error {
@@ -51,6 +54,7 @@ impl Error {
             Error::Unsupported(_) => "UNSUPPORTED",
             Error::ResourceExhausted(_) => "RESOURCE_EXHAUSTED",
             Error::ReadOnly(_) => "READ_ONLY",
+            Error::Conflict(_) => "CONFLICT",
         }
     }
 }
@@ -68,6 +72,7 @@ impl fmt::Display for Error {
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             Error::ReadOnly(m) => write!(f, "database is read-only: {m}"),
+            Error::Conflict(m) => write!(f, "write-write conflict: {m}"),
         }
     }
 }
@@ -107,6 +112,14 @@ mod tests {
         assert_eq!(e.code(), "READ_ONLY");
         assert!(e.to_string().contains("read-only"));
         assert!(e.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn conflict_variant_displays_and_codes() {
+        let e = Error::Conflict("row t:42 already written by txn 7".into());
+        assert_eq!(e.code(), "CONFLICT");
+        assert!(e.to_string().contains("write-write conflict"));
+        assert!(e.to_string().contains("txn 7"));
     }
 
     #[test]

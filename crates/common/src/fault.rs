@@ -54,6 +54,18 @@ pub const KNOWN_FAULT_POINTS: &[(&str, &str)] = &[
     ),
     ("wal.fsync", "WAL segment fsync after a group-commit batch"),
     ("wal.replay", "WAL record decode during recovery replay"),
+    (
+        "wal.txn_abort",
+        "TxnAbort record logging during ROLLBACK / conflict abort",
+    ),
+    (
+        "wal.txn_begin",
+        "TxnBegin record logging at BEGIN of an explicit transaction",
+    ),
+    (
+        "wal.txn_commit",
+        "TxnCommit record logging at COMMIT (the atomicity point)",
+    ),
 ];
 
 /// The kinds of fault the injector can order a component to act out.
@@ -343,7 +355,8 @@ mod tests {
         for (name, desc) in KNOWN_FAULT_POINTS {
             assert!(!name.is_empty() && !desc.is_empty());
             assert!(
-                name.chars().all(|c| c.is_ascii_lowercase() || c == '.'),
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
                 "point name '{name}' must be lowercase dotted"
             );
         }

@@ -1,5 +1,6 @@
 //! The `Database` facade: SQL in, results out.
 
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -8,10 +9,12 @@ use cstore_common::fault::FaultInjector;
 use cstore_common::governor::Governor;
 use cstore_common::metrics::{self, LATENCY_BUCKETS_US};
 use cstore_common::sync::Mutex;
-use cstore_common::{convert, DataType, Error, Field, Result, Row, RowId, Schema, Value};
+use cstore_common::{
+    convert, DataType, Error, Field, Result, Row, RowGroupId, RowId, Schema, Value,
+};
 use cstore_delta::{
-    MoverState, MoverStatus, TableConfig, TupleMover, Wal, WalHandle, WalOptions, WalReplayReport,
-    WalStatus, WalSyncMode,
+    MoverState, MoverStatus, TableConfig, TableSnapshot, TupleMover, Wal, WalHandle, WalOptions,
+    WalRecord, WalReplayReport, WalStatus, WalSyncMode,
 };
 use cstore_exec::ops::collect_rows;
 use cstore_exec::{ExecContext, Expr};
@@ -25,6 +28,7 @@ use cstore_sql::{bind_expr_on_schema, bind_select, coerce, literal_value, parse}
 use crate::catalog::{Catalog, TableEntry};
 use crate::introspect::{QueryLog, QueryOutcome, SysCatalog};
 use crate::persist::{self, OpenMode, OpenReport, TableOpenReport, VerifyReport};
+use crate::txn::{TxnManager, TxnState};
 
 /// Catalog manifest magic: "CSCB".
 const CATALOG_MAGIC: u32 = 0x4243_5343;
@@ -62,6 +66,16 @@ pub enum QueryResult {
     Created,
     /// EXPLAIN output.
     Explain(String),
+    /// Transaction-control acknowledgement (BEGIN / COMMIT / ROLLBACK).
+    Txn(TxnAck),
+}
+
+/// Which transaction-control statement succeeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnAck {
+    Begun,
+    Committed,
+    RolledBack,
 }
 
 impl QueryResult {
@@ -155,6 +169,172 @@ impl QueryResult {
     }
 }
 
+/// The pseudo row-group id of rows a transaction has inserted but not
+/// yet committed. Real row groups never reach this id, so a synthetic
+/// rid can't collide with a live one, and commit-time replay resolves
+/// it by value (the group does not exist in the live table).
+const TXN_GROUP: RowGroupId = RowGroupId(u32::MAX);
+
+/// In-transaction WAL chunking for multi-row inserts — mirrors the
+/// auto-commit trickle path so replay cost stays bounded per frame.
+const TXN_WAL_BATCH_ROWS: usize = 4096;
+
+/// One session's transaction state (guarded by the `db.session` mutex,
+/// level 17 — a leaf that is never held across statement execution).
+enum SessionTxn {
+    /// Auto-commit: every statement commits by itself.
+    None,
+    /// An explicit transaction is open and accepting statements.
+    Active(Box<ActiveTxn>),
+    /// A statement inside the transaction failed: the transaction is
+    /// abort-only. Every further statement is rejected until ROLLBACK
+    /// (or COMMIT, which rolls back and reports the original error).
+    Poisoned { txn: Box<ActiveTxn>, reason: String },
+}
+
+/// A buffered, uncommitted transaction: pinned base snapshots plus a
+/// private write set. Nothing here is visible to other sessions until
+/// commit applies it.
+struct ActiveTxn {
+    id: u64,
+    /// Per-table pinned snapshot + overlay write set, keyed by
+    /// lowercased table name.
+    overlays: BTreeMap<String, TableOverlay>,
+    /// The write set in log order — exactly mirrors the TxnOp frames
+    /// already in the WAL, so commit-apply and crash-replay perform the
+    /// same operations in the same order.
+    ops: Vec<TxnWriteOp>,
+    /// Statements executed so far (for `sys.transactions`).
+    statements: u64,
+}
+
+/// Rollback point for statement-level atomicity: `ops` length plus a
+/// deep copy of every overlay's mutable write set. A failed statement
+/// restores this, leaving any WAL frames the half-statement logged as
+/// orphans — safe only because the transaction is then poisoned and can
+/// never log a TxnCommit that would replay them.
+struct TxnCheckpoint {
+    ops_len: usize,
+    overlays: BTreeMap<String, (Vec<(RowId, Row)>, Vec<(u32, Row)>, u32)>,
+}
+
+impl ActiveTxn {
+    fn checkpoint(&self) -> TxnCheckpoint {
+        TxnCheckpoint {
+            ops_len: self.ops.len(),
+            overlays: self
+                .overlays
+                .iter()
+                .map(|(name, ov)| {
+                    (
+                        name.clone(),
+                        (ov.deleted.clone(), ov.inserted.clone(), ov.next_synth),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn restore(&mut self, ckpt: TxnCheckpoint) {
+        self.ops.truncate(ckpt.ops_len);
+        // Overlays only ever gain entries within a statement; drop any
+        // the failed statement created, restore the rest.
+        self.overlays
+            .retain(|name, _| ckpt.overlays.contains_key(name));
+        for (name, (deleted, inserted, next_synth)) in ckpt.overlays {
+            if let Some(ov) = self.overlays.get_mut(&name) {
+                ov.deleted = deleted;
+                ov.inserted = inserted;
+                ov.next_synth = next_synth;
+            }
+        }
+    }
+
+    /// The overlay for `key`, creating one lazily (with a live base
+    /// snapshot) for tables that appeared after BEGIN.
+    fn overlay_mut(&mut self, key: &str, t: &cstore_delta::ColumnStoreTable) -> &mut TableOverlay {
+        self.overlays
+            .entry(key.to_string())
+            .or_insert_with(|| TableOverlay::new(t.snapshot()))
+    }
+
+    /// Per-table effective snapshots (base + overlay), for scans.
+    fn snapshots(&self) -> Arc<HashMap<String, TableSnapshot>> {
+        Arc::new(
+            self.overlays
+                .iter()
+                .map(|(name, ov)| (name.clone(), ov.effective()))
+                .collect(),
+        )
+    }
+}
+
+/// One table's view inside a transaction: the base snapshot pinned at
+/// BEGIN (or first touch) plus this transaction's private writes.
+struct TableOverlay {
+    base: TableSnapshot,
+    /// Base rows this transaction deleted, value-verified at commit.
+    deleted: Vec<(RowId, Row)>,
+    /// Rows this transaction inserted, under synthetic tuple ids in
+    /// [`TXN_GROUP`]. Deleting an own insert removes it from here.
+    inserted: Vec<(u32, Row)>,
+    /// Next synthetic tuple id.
+    next_synth: u32,
+}
+
+impl TableOverlay {
+    fn new(base: TableSnapshot) -> Self {
+        TableOverlay {
+            base,
+            deleted: Vec::new(),
+            inserted: Vec::new(),
+            next_synth: 0,
+        }
+    }
+
+    /// Materialize the view scans see: base minus own deletes plus own
+    /// inserts (as delta rows in the synthetic group).
+    fn effective(&self) -> TableSnapshot {
+        let mut deleted = self.base.deleted().clone();
+        let mut delta: Vec<(RowId, Row)> = self.base.delta_rows().to_vec();
+        for (rid, _) in &self.deleted {
+            if self.base.group_by_id(rid.group).is_some() {
+                deleted.delete(*rid);
+            } else if let Some(pos) = delta.iter().position(|(r, _)| r == rid) {
+                delta.remove(pos);
+            }
+        }
+        for (synth, row) in &self.inserted {
+            delta.push((RowId::new(TXN_GROUP, *synth), row.clone()));
+        }
+        TableSnapshot::new(
+            self.base.schema().clone(),
+            self.base.groups().to_vec(),
+            delta,
+            deleted,
+        )
+    }
+}
+
+/// One buffered write, in log order. An UPDATE contributes a Delete and
+/// an Insert per victim — the same two frames crash-replay applies.
+enum TxnWriteOp {
+    Insert { table: String, rows: Vec<Row> },
+    Delete { table: String, rid: RowId, row: Row },
+}
+
+/// What commit-apply actually did, for exact undo when the TxnCommit
+/// record cannot be made durable (torn commit) or a conflict surfaces.
+enum AppliedOp {
+    /// Rows inserted, with the rids they landed at.
+    Insert {
+        table: String,
+        rows: Vec<(RowId, Row)>,
+    },
+    /// A row deleted (undo re-inserts it by value).
+    Delete { table: String, row: Row },
+}
+
 /// An embedded analytical database: updatable columnstore tables (plus
 /// heap baselines), batch-mode execution, and a SQL surface.
 #[derive(Clone)]
@@ -191,6 +371,12 @@ pub struct Database {
     /// Per-shape workload history behind `sys.query_store`, persisted
     /// through save/open.
     query_store: Arc<crate::query_store::QueryStore>,
+    /// The transaction manager shared by every session: txn ids, row
+    /// locks (write-write conflict detection) and `sys.transactions`.
+    txns: Arc<TxnManager>,
+    /// This session's transaction state. [`Database::new_session`]
+    /// replaces only this Arc, so sessions share everything else.
+    session: Arc<Mutex<SessionTxn>>,
 }
 
 impl Default for Database {
@@ -215,7 +401,30 @@ impl Database {
             wal_sync: Arc::new(AtomicU8::new(WalSyncMode::default().to_u8())),
             governor,
             query_store: Arc::new(crate::query_store::QueryStore::new()),
+            txns: Arc::new(TxnManager::new()),
+            session: Arc::new(Mutex::new_leveled(17, "db.session", SessionTxn::None)),
         }
+    }
+
+    /// A new session over the same database: shares the catalog, WAL,
+    /// governor, transaction manager and telemetry, but has its own
+    /// transaction state — two sessions can hold overlapping
+    /// transactions with independent snapshots. A session is intended
+    /// for single-threaded use (like one client connection).
+    pub fn new_session(&self) -> Database {
+        let mut db = self.clone();
+        db.session = Arc::new(Mutex::new_leveled(17, "db.session", SessionTxn::None));
+        db
+    }
+
+    /// Whether this session has an open (or poisoned) transaction.
+    pub fn in_transaction(&self) -> bool {
+        !matches!(*self.session.lock(), SessionTxn::None)
+    }
+
+    /// The shared transaction manager (row locks, `sys.transactions`).
+    pub fn txns(&self) -> &Arc<TxnManager> {
+        &self.txns
     }
 
     /// Override the execution context (memory budget, batch size, metrics).
@@ -326,18 +535,30 @@ impl Database {
                 batches: metric(metrics, "batches"),
                 plan_root: plan_root.clone(),
             },
+            // Rollbacks are not errors, but they are not successful work
+            // either: the Query Store counts them as failures and the
+            // query log shows a distinct ROLLBACK status.
+            Ok(QueryResult::Txn(TxnAck::RolledBack)) => QueryOutcome::RolledBack,
             Ok(_) => QueryOutcome::Ok {
                 rows: 0,
                 batches: 0,
                 plan_root: None,
             },
+            Err(e) if e.code() == "CONFLICT" => {
+                metrics::global().counter("cstore_query_errors_total").inc();
+                metrics::global()
+                    .counter("cstore_txn_conflicts_total")
+                    .inc();
+                QueryOutcome::Conflict(e.to_string())
+            }
             Err(e) => {
                 metrics::global().counter("cstore_query_errors_total").inc();
                 QueryOutcome::Error(e.to_string())
             }
         };
+        let rolled_back = matches!(&result, Ok(QueryResult::Txn(TxnAck::RolledBack)));
         let (failed, timed_out) = match &result {
-            Ok(_) => (false, false),
+            Ok(_) => (rolled_back, false),
             Err(e) => (true, e.to_string().contains("query timeout")),
         };
         self.query_log
@@ -366,10 +587,67 @@ impl Database {
     }
 
     fn execute_statement(&self, stmt: Statement) -> Result<QueryResult> {
+        // Transaction control first: these transition the session state
+        // and never run inside the statement wrapper below.
         match stmt {
-            Statement::Select(s) => self.run_select(&s),
-            Statement::UnionAll(branches) => self.run_union(&branches),
-            Statement::Explain { analyze, stmt } => self.run_explain(*stmt, analyze),
+            Statement::Begin => return self.txn_begin(),
+            Statement::Commit => return self.txn_commit(),
+            Statement::Rollback => return self.txn_rollback(),
+            _ => {}
+        }
+        // Take any open transaction out of the session for the
+        // statement's duration: `db.session` is a leaf mutex (level 17)
+        // and must not be held across execution. Sessions are
+        // single-threaded by contract (one client connection each).
+        let open = {
+            let mut s = self.session.lock();
+            if let SessionTxn::Poisoned { reason, .. } = &*s {
+                return Err(Error::Sql(format!(
+                    "transaction aborted by an earlier error ({reason}); ROLLBACK required"
+                )));
+            }
+            match std::mem::replace(&mut *s, SessionTxn::None) {
+                SessionTxn::Active(t) => Some(t),
+                other => {
+                    *s = other;
+                    None
+                }
+            }
+        };
+        let Some(mut txn) = open else {
+            return self.dispatch_autocommit(stmt);
+        };
+        let ckpt = txn.checkpoint();
+        let result = self.execute_in_txn(&mut txn, stmt);
+        match result {
+            Ok(r) => {
+                txn.statements += 1;
+                self.txns
+                    .note_progress(txn.id, txn.statements, txn.ops.len() as u64);
+                *self.session.lock() = SessionTxn::Active(txn);
+                Ok(r)
+            }
+            Err(e) => {
+                // Statement-level atomicity: undo the half-statement's
+                // buffered writes, then poison the transaction. Any WAL
+                // frames the half-statement already logged become
+                // orphans — safe, because a poisoned transaction can
+                // never log the TxnCommit that would replay them.
+                txn.restore(ckpt);
+                *self.session.lock() = SessionTxn::Poisoned {
+                    txn,
+                    reason: e.to_string(),
+                };
+                Err(e)
+            }
+        }
+    }
+
+    fn dispatch_autocommit(&self, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(s) => self.run_select(&s, None),
+            Statement::UnionAll(branches) => self.run_union(&branches, None),
+            Statement::Explain { analyze, stmt } => self.run_explain(*stmt, analyze, None),
             Statement::CreateTable {
                 name,
                 columns,
@@ -417,7 +695,485 @@ impl Database {
                 assignments,
                 selection,
             } => self.run_update(&table, assignments, selection),
+            // Dispatched by `execute_statement` before this point.
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::Sql(
+                "transaction control cannot nest inside a statement".into(),
+            )),
         }
+    }
+
+    /// Run one statement against an open transaction: reads see the
+    /// pinned snapshots plus the private write set; writes buffer into
+    /// the overlay and log TxnOp frames at statement time.
+    fn execute_in_txn(&self, txn: &mut ActiveTxn, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(s) => self.run_select(&s, Some(txn.snapshots())),
+            Statement::UnionAll(branches) => self.run_union(&branches, Some(txn.snapshots())),
+            Statement::Explain { analyze, stmt } => {
+                self.run_explain(*stmt, analyze, Some(txn.snapshots()))
+            }
+            // SET tunes session options, not data — it runs (and can
+            // fail) outside the transaction's write set either way.
+            Statement::Set { option, value } => self.run_set(&option, value),
+            Statement::Insert { table, rows } => self.txn_insert(txn, &table, rows),
+            Statement::Delete { table, selection } => self.txn_delete(txn, &table, selection),
+            Statement::Update {
+                table,
+                assignments,
+                selection,
+            } => self.txn_update(txn, &table, assignments, selection),
+            Statement::CreateTable { .. } | Statement::Analyze { .. } => Err(Error::Unsupported(
+                "DDL is not supported inside a transaction; COMMIT or ROLLBACK first".into(),
+            )),
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::Sql(
+                "transaction control cannot nest inside a statement".into(),
+            )),
+        }
+    }
+
+    // --------------------------------------------------- transactions
+
+    /// `BEGIN`: pin a snapshot of every columnstore table, register the
+    /// transaction, and log a TxnBegin frame.
+    fn txn_begin(&self) -> Result<QueryResult> {
+        if self.in_transaction() {
+            // Not a poisoning event: the open transaction is untouched.
+            return Err(Error::Sql(
+                "a transaction is already open (nested BEGIN is not supported)".into(),
+            ));
+        }
+        self.check_writable()?;
+        let wal = self.wal.lock().clone();
+        let snapshot_lsn = wal.as_ref().map_or(0, |w| w.tail_lsn());
+        let id = self.txns.begin(snapshot_lsn);
+        if let Some(w) = &wal {
+            let logged = w
+                .fault_check("wal.txn_begin")
+                .and_then(|()| w.log(&WalRecord::TxnBegin { txn: id }).map(drop));
+            if let Err(e) = logged {
+                self.txns.finish(
+                    id,
+                    TxnState::Aborted,
+                    None,
+                    Some(format!("BEGIN logging failed: {e}")),
+                    0,
+                    0,
+                );
+                return Err(e);
+            }
+        }
+        // Pin the snapshots *after* the begin record: everything the
+        // snapshot shows is at or before the txn's position in the log.
+        let mut overlays = BTreeMap::new();
+        for name in self.catalog.table_names() {
+            if let Some(TableEntry::ColumnStore(t)) = self.catalog.get(&name) {
+                overlays.insert(name.to_ascii_lowercase(), TableOverlay::new(t.snapshot()));
+            }
+        }
+        let mut s = self.session.lock();
+        if !matches!(*s, SessionTxn::None) {
+            // Lost a BEGIN race on a shared session handle; abandon ours.
+            drop(s);
+            self.txns.finish(
+                id,
+                TxnState::Aborted,
+                None,
+                Some("concurrent BEGIN on the same session".into()),
+                0,
+                0,
+            );
+            return Err(Error::Sql(
+                "a transaction is already open (nested BEGIN is not supported)".into(),
+            ));
+        }
+        *s = SessionTxn::Active(Box::new(ActiveTxn {
+            id,
+            overlays,
+            ops: Vec::new(),
+            statements: 0,
+        }));
+        Ok(QueryResult::Txn(TxnAck::Begun))
+    }
+
+    /// `ROLLBACK`: discard the write set (nothing was applied), release
+    /// row locks and log a best-effort TxnAbort frame.
+    fn txn_rollback(&self) -> Result<QueryResult> {
+        let taken = std::mem::replace(&mut *self.session.lock(), SessionTxn::None);
+        let txn = match taken {
+            SessionTxn::None => return Err(Error::Sql("no open transaction to roll back".into())),
+            SessionTxn::Active(t) => t,
+            SessionTxn::Poisoned { txn, .. } => txn,
+        };
+        self.abort_txn(&txn, "ROLLBACK".into());
+        Ok(QueryResult::Txn(TxnAck::RolledBack))
+    }
+
+    /// Release a transaction's locks and log a TxnAbort frame.
+    /// Best-effort on the WAL side: replay discards any transaction
+    /// without a commit record, so a lost abort record costs nothing.
+    fn abort_txn(&self, txn: &ActiveTxn, reason: String) {
+        self.txns.finish(
+            txn.id,
+            TxnState::Aborted,
+            None,
+            Some(reason),
+            txn.statements,
+            txn.ops.len() as u64,
+        );
+        let wal = self.wal.lock().clone();
+        if let Some(w) = wal {
+            // lint: allow(discard) — see the doc comment: abort records
+            // are an optimization for replay, not a correctness point.
+            let _ = w
+                .fault_check("wal.txn_abort")
+                .and_then(|()| w.log(&WalRecord::TxnAbort { txn: txn.id }).map(drop));
+        }
+    }
+
+    /// `COMMIT`: apply the buffered write set to the live tables, then
+    /// log the TxnCommit record and make it durable — the atomicity
+    /// point. Any failure before the commit record is durable undoes
+    /// the applied prefix exactly, so the live image never shows a
+    /// transaction that crash-replay would discard.
+    fn txn_commit(&self) -> Result<QueryResult> {
+        let taken = std::mem::replace(&mut *self.session.lock(), SessionTxn::None);
+        match taken {
+            SessionTxn::None => Err(Error::Sql("no open transaction to commit".into())),
+            SessionTxn::Poisoned { txn, reason } => {
+                self.abort_txn(&txn, format!("COMMIT after error: {reason}"));
+                Err(Error::Sql(format!(
+                    "transaction aborted by an earlier error ({reason}); rolled back"
+                )))
+            }
+            SessionTxn::Active(txn) => self.commit_active(*txn),
+        }
+    }
+
+    fn commit_active(&self, txn: ActiveTxn) -> Result<QueryResult> {
+        let wal = self.wal.lock().clone();
+        // 1. Apply the write set in log order. Deletes are
+        //    value-verified: `None` means a concurrent *committed*
+        //    writer removed the row after our lock-free snapshot read —
+        //    the transaction loses with a CONFLICT, exactly once.
+        let mut applied: Vec<AppliedOp> = Vec::new();
+        for op in &txn.ops {
+            let outcome = self.commit_apply_one(op, &mut applied);
+            match outcome {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.undo_applied(&applied);
+                    self.txns.note_conflict();
+                    let reason = "write-write conflict discovered at commit".to_string();
+                    self.abort_txn(&txn, reason.clone());
+                    return Err(Error::Conflict(format!(
+                        "{reason}: a concurrent transaction removed a row this \
+                         transaction deleted or updated"
+                    )));
+                }
+                Err(e) => {
+                    self.undo_applied(&applied);
+                    self.abort_txn(&txn, format!("commit apply failed: {e}"));
+                    return Err(e);
+                }
+            }
+        }
+        // 2. The atomicity point: TxnCommit, flushed durable. All the
+        //    transaction's frames (TxnBegin, TxnOps, TxnCommit) ride
+        //    this one group-commit flush.
+        let commit_lsn = match &wal {
+            Some(w) => {
+                let logged = w.fault_check("wal.txn_commit").and_then(|()| {
+                    let lsn = w.log(&WalRecord::TxnCommit { txn: txn.id })?;
+                    w.commit(lsn)?;
+                    Ok(lsn)
+                });
+                match logged {
+                    Ok(lsn) => Some(lsn),
+                    Err(e) => {
+                        // Torn commit: the record is not durable (fault
+                        // points fire before bytes land), so replay will
+                        // discard the transaction — make the live image
+                        // agree by undoing the applied write set.
+                        self.undo_applied(&applied);
+                        self.abort_txn(&txn, format!("commit logging failed: {e}"));
+                        return Err(e);
+                    }
+                }
+            }
+            None => None,
+        };
+        self.txns.finish(
+            txn.id,
+            TxnState::Committed,
+            commit_lsn,
+            None,
+            txn.statements,
+            txn.ops.len() as u64,
+        );
+        Ok(QueryResult::Txn(TxnAck::Committed))
+    }
+
+    /// Apply one buffered op. `Ok(false)` is a commit-time conflict
+    /// (the value-verified delete found no matching live row).
+    fn commit_apply_one(&self, op: &TxnWriteOp, applied: &mut Vec<AppliedOp>) -> Result<bool> {
+        match op {
+            TxnWriteOp::Insert { table, rows } => {
+                let TableEntry::ColumnStore(t) = self.catalog.try_get(table)? else {
+                    return Err(Error::Unsupported(
+                        "heap tables do not support explicit transactions".into(),
+                    ));
+                };
+                let rids = t.apply_unlogged_insert_batch(rows)?;
+                applied.push(AppliedOp::Insert {
+                    table: table.clone(),
+                    rows: rids.into_iter().zip(rows.iter().cloned()).collect(),
+                });
+                Ok(true)
+            }
+            TxnWriteOp::Delete { table, rid, row } => {
+                let TableEntry::ColumnStore(t) = self.catalog.try_get(table)? else {
+                    return Err(Error::Unsupported(
+                        "heap tables do not support explicit transactions".into(),
+                    ));
+                };
+                match t.apply_unlogged_delete(*rid, row)? {
+                    Some((_, actual_row)) => {
+                        applied.push(AppliedOp::Delete {
+                            table: table.clone(),
+                            row: actual_row,
+                        });
+                        Ok(true)
+                    }
+                    None => Ok(false),
+                }
+            }
+        }
+    }
+
+    /// Undo an applied prefix of a commit, newest first: re-insert
+    /// deleted rows, delete inserted rows. Unlogged — the WAL never saw
+    /// a commit record, so replay discards the transaction anyway.
+    /// Best-effort per op: an undo can only miss if a concurrent writer
+    /// raced the same row in the failure window.
+    fn undo_applied(&self, applied: &[AppliedOp]) {
+        for op in applied.iter().rev() {
+            let (table, result) = match op {
+                AppliedOp::Insert { table, rows } => {
+                    let r = match self.catalog.try_get(table) {
+                        Ok(TableEntry::ColumnStore(t)) => rows.iter().try_for_each(|(rid, row)| {
+                            t.apply_unlogged_delete(*rid, row).map(drop)
+                        }),
+                        _ => Ok(()),
+                    };
+                    (table, r)
+                }
+                AppliedOp::Delete { table, row } => {
+                    let r = match self.catalog.try_get(table) {
+                        Ok(TableEntry::ColumnStore(t)) => t
+                            .apply_unlogged_insert_batch(std::slice::from_ref(row))
+                            .map(drop),
+                        _ => Ok(()),
+                    };
+                    (table, r)
+                }
+            };
+            if let Err(e) = result {
+                // Counted, not fatal: the undo target can only be gone
+                // if a concurrent writer raced it in the failure window.
+                metrics::global()
+                    .counter("cstore_txn_undo_errors_total")
+                    .inc();
+                // lint: allow(discard) — best-effort undo; the miss is counted above
+                let _ = (table, e);
+            }
+        }
+    }
+
+    /// Log one DML operation of an open transaction as a TxnOp frame.
+    /// No commit/flush here: the frames become durable with the
+    /// transaction's commit record (or are discarded by replay).
+    fn txn_log(&self, txn: u64, op: WalRecord) -> Result<()> {
+        let wal = self.wal.lock().clone();
+        if let Some(w) = wal {
+            w.log(&WalRecord::TxnOp {
+                txn,
+                op: Box::new(op),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The columnstore behind an in-transaction DML statement (heap
+    /// tables don't participate in explicit transactions).
+    fn txn_table(&self, table: &str) -> Result<cstore_delta::ColumnStoreTable> {
+        match self.catalog.try_get(table)? {
+            TableEntry::ColumnStore(t) => Ok(t),
+            TableEntry::Heap(_) => Err(Error::Unsupported(
+                "heap tables do not support explicit transactions".into(),
+            )),
+        }
+    }
+
+    fn txn_insert(
+        &self,
+        txn: &mut ActiveTxn,
+        table: &str,
+        value_rows: Vec<Vec<cstore_sql::ast::AstExpr>>,
+    ) -> Result<QueryResult> {
+        self.check_writable()?;
+        let t = self.txn_table(table)?;
+        let schema = t.schema().clone();
+        let rows = Self::literal_rows(table, &schema, value_rows)?;
+        // Validate the whole statement before logging or buffering a
+        // single row: a NULL-into-NOT-NULL in row 3 must not leave rows
+        // 1–2 buffered (statement-level atomicity).
+        for row in &rows {
+            schema.check_row(row)?;
+        }
+        let key = table.to_ascii_lowercase();
+        for chunk in rows.chunks(TXN_WAL_BATCH_ROWS) {
+            self.txn_log(
+                txn.id,
+                WalRecord::InsertBatch {
+                    table: key.clone(),
+                    rows: chunk.to_vec(),
+                },
+            )?;
+        }
+        let n = rows.len();
+        let ov = txn.overlay_mut(&key, &t);
+        for row in &rows {
+            ov.inserted.push((ov.next_synth, row.clone()));
+            ov.next_synth += 1;
+        }
+        txn.ops.push(TxnWriteOp::Insert { table: key, rows });
+        Ok(QueryResult::Affected(n))
+    }
+
+    fn txn_delete(
+        &self,
+        txn: &mut ActiveTxn,
+        table: &str,
+        selection: Option<cstore_sql::ast::AstExpr>,
+    ) -> Result<QueryResult> {
+        self.check_writable()?;
+        let t = self.txn_table(table)?;
+        let schema = t.schema().clone();
+        let bound = selection
+            .map(|s| bind_expr_on_schema(&s, &schema, table))
+            .transpose()?;
+        let key = table.to_ascii_lowercase();
+        let victims = {
+            let ov = txn.overlay_mut(&key, &t);
+            self.matching_rids_in(&ov.effective(), &bound)?
+        };
+        let mut n = 0;
+        for (rid, row) in victims {
+            self.txn_delete_one(txn, &key, &t, rid, row)?;
+            n += 1;
+        }
+        Ok(QueryResult::Affected(n))
+    }
+
+    /// Buffer one in-transaction delete: lock the row (base rows only),
+    /// log the TxnOp frame, then update the overlay and op list.
+    fn txn_delete_one(
+        &self,
+        txn: &mut ActiveTxn,
+        key: &str,
+        t: &cstore_delta::ColumnStoreTable,
+        rid: RowId,
+        row: Row,
+    ) -> Result<()> {
+        if rid.group != TXN_GROUP {
+            // A base row: claim it, so a concurrent transaction gets a
+            // deterministic CONFLICT instead of a silent lost update.
+            self.txns.lock_row(txn.id, key, rid)?;
+        }
+        self.txn_log(
+            txn.id,
+            WalRecord::Delete {
+                table: key.to_string(),
+                rid,
+                row: row.clone(),
+            },
+        )?;
+        let ov = txn.overlay_mut(key, t);
+        if rid.group == TXN_GROUP {
+            // Deleting an own uncommitted insert: drop it from the
+            // buffer. The logged insert+delete pair nets out by value
+            // at replay (and at commit-apply).
+            ov.inserted.retain(|(synth, _)| *synth != rid.tuple);
+        } else {
+            ov.deleted.push((rid, row.clone()));
+        }
+        txn.ops.push(TxnWriteOp::Delete {
+            table: key.to_string(),
+            rid,
+            row,
+        });
+        Ok(())
+    }
+
+    fn txn_update(
+        &self,
+        txn: &mut ActiveTxn,
+        table: &str,
+        assignments: Vec<(String, cstore_sql::ast::AstExpr)>,
+        selection: Option<cstore_sql::ast::AstExpr>,
+    ) -> Result<QueryResult> {
+        self.check_writable()?;
+        let t = self.txn_table(table)?;
+        let schema = t.schema().clone();
+        let bound_sel = selection
+            .map(|s| bind_expr_on_schema(&s, &schema, table))
+            .transpose()?;
+        let bound_assign: Vec<(usize, DataType, Expr)> = assignments
+            .iter()
+            .map(|(col, e)| {
+                let idx = schema.try_index_of(col)?;
+                Ok((
+                    idx,
+                    schema.field(idx).data_type,
+                    bind_expr_on_schema(e, &schema, table)?,
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let key = table.to_ascii_lowercase();
+        let victims = {
+            let ov = txn.overlay_mut(&key, &t);
+            self.matching_rids_in(&ov.effective(), &bound_sel)?
+        };
+        let mut n = 0;
+        for (rid, old) in victims {
+            // Compute and validate the replacement before touching
+            // anything: a bad assignment must not half-delete the row.
+            let mut values = old.values().to_vec();
+            for (idx, ty, e) in &bound_assign {
+                values[*idx] = coerce(e.eval_row(&old)?, *ty)?;
+            }
+            let new = Row::new(values);
+            schema.check_row(&new)?;
+            // An UPDATE is a delete + insert, the same two frames
+            // crash-replay applies in this order.
+            self.txn_delete_one(txn, &key, &t, rid, old)?;
+            self.txn_log(
+                txn.id,
+                WalRecord::InsertBatch {
+                    table: key.clone(),
+                    rows: vec![new.clone()],
+                },
+            )?;
+            let ov = txn.overlay_mut(&key, &t);
+            ov.inserted.push((ov.next_synth, new.clone()));
+            ov.next_synth += 1;
+            txn.ops.push(TxnWriteOp::Insert {
+                table: key.clone(),
+                rows: vec![new],
+            });
+            n += 1;
+        }
+        Ok(QueryResult::Affected(n))
     }
 
     /// `SET <option> = <value>`: session options.
@@ -515,7 +1271,11 @@ impl Database {
         (ms > 0).then(|| Instant::now() + Duration::from_millis(ms))
     }
 
-    fn run_select(&self, stmt: &cstore_sql::ast::SelectStmt) -> Result<QueryResult> {
+    fn run_select(
+        &self,
+        stmt: &cstore_sql::ast::SelectStmt,
+        snaps: Option<Arc<HashMap<String, TableSnapshot>>>,
+    ) -> Result<QueryResult> {
         // `sys.*` views materialize here (and are memoized for the whole
         // query) so bind, optimize and lowering see one snapshot.
         let catalog = SysCatalog::new(&self.catalog, self);
@@ -523,22 +1283,27 @@ impl Database {
             let _span = cstore_common::trace::global().span("bind");
             bind_select(stmt, &catalog)?
         };
-        self.run_plan(plan, &catalog)
+        self.run_plan(plan, &catalog, snaps)
     }
 
-    fn run_union(&self, branches: &[cstore_sql::ast::SelectStmt]) -> Result<QueryResult> {
+    fn run_union(
+        &self,
+        branches: &[cstore_sql::ast::SelectStmt],
+        snaps: Option<Arc<HashMap<String, TableSnapshot>>>,
+    ) -> Result<QueryResult> {
         let catalog = SysCatalog::new(&self.catalog, self);
         let plan = {
             let _span = cstore_common::trace::global().span("bind");
             cstore_sql::bind_union(branches, &catalog)?
         };
-        self.run_plan(plan, &catalog)
+        self.run_plan(plan, &catalog, snaps)
     }
 
     fn run_plan(
         &self,
         plan: cstore_planner::LogicalPlan,
         catalog: &dyn cstore_planner::CatalogProvider,
+        snaps: Option<Arc<HashMap<String, TableSnapshot>>>,
     ) -> Result<QueryResult> {
         let start = Instant::now();
         let plan = {
@@ -551,7 +1316,11 @@ impl Database {
         // Each query gets its own metrics/operator-stats fork so the
         // result reports *this* query's counters; the fork is folded back
         // into the cumulative context metrics below.
-        let qctx = self.ctx.for_query().with_deadline(self.query_deadline());
+        let qctx = self
+            .ctx
+            .for_query()
+            .with_deadline(self.query_deadline())
+            .with_snapshots(snaps);
         let phys = {
             let _span = cstore_common::trace::global().span("build_physical");
             build_physical(&plan, catalog, &qctx, self.mode)?
@@ -590,7 +1359,12 @@ impl Database {
         }
     }
 
-    fn run_explain(&self, stmt: Statement, analyze: bool) -> Result<QueryResult> {
+    fn run_explain(
+        &self,
+        stmt: Statement,
+        analyze: bool,
+        snaps: Option<Arc<HashMap<String, TableSnapshot>>>,
+    ) -> Result<QueryResult> {
         let catalog = SysCatalog::new(&self.catalog, self);
         let plan = match stmt {
             Statement::Select(s) => bind_select(&s, &catalog)?,
@@ -602,7 +1376,7 @@ impl Database {
             }
         };
         if analyze {
-            self.explain_analyze_plan(plan, &catalog)
+            self.explain_analyze_plan(plan, &catalog, snaps)
         } else {
             self.explain_plan(plan, &catalog)
         }
@@ -631,10 +1405,15 @@ impl Database {
         &self,
         plan: cstore_planner::LogicalPlan,
         catalog: &dyn cstore_planner::CatalogProvider,
+        snaps: Option<Arc<HashMap<String, TableSnapshot>>>,
     ) -> Result<QueryResult> {
         let start = Instant::now();
         let plan = optimize(plan, catalog)?;
-        let qctx = self.ctx.for_query().with_deadline(self.query_deadline());
+        let qctx = self
+            .ctx
+            .for_query()
+            .with_deadline(self.query_deadline())
+            .with_snapshots(snaps);
         let phys = build_physical(&plan, catalog, &qctx, self.mode)?;
         let rows = collect_rows(phys.root)?;
         let elapsed = start.elapsed();
@@ -656,14 +1435,13 @@ impl Database {
         Ok(QueryResult::Explain(text))
     }
 
-    fn run_insert(
-        &self,
+    /// Evaluate INSERT value lists into rows, coercing each literal to
+    /// its column's type.
+    fn literal_rows(
         table: &str,
+        schema: &Schema,
         value_rows: Vec<Vec<cstore_sql::ast::AstExpr>>,
-    ) -> Result<QueryResult> {
-        self.check_writable()?;
-        let entry = self.catalog.try_get(table)?;
-        let schema = entry.schema();
+    ) -> Result<Vec<Row>> {
         let mut rows = Vec::with_capacity(value_rows.len());
         for exprs in value_rows {
             if exprs.len() != schema.len() {
@@ -680,6 +1458,18 @@ impl Database {
                 .collect::<Result<Vec<_>>>()?;
             rows.push(Row::new(values));
         }
+        Ok(rows)
+    }
+
+    fn run_insert(
+        &self,
+        table: &str,
+        value_rows: Vec<Vec<cstore_sql::ast::AstExpr>>,
+    ) -> Result<QueryResult> {
+        self.check_writable()?;
+        let entry = self.catalog.try_get(table)?;
+        let schema = entry.schema();
+        let rows = Self::literal_rows(table, &schema, value_rows)?;
         let n = rows.len();
         match entry {
             TableEntry::ColumnStore(t) => {
@@ -702,7 +1492,16 @@ impl Database {
         t: &cstore_delta::ColumnStoreTable,
         selection: &Option<Expr>,
     ) -> Result<Vec<(RowId, Row)>> {
-        let snap = t.snapshot();
+        self.matching_rids_in(&t.snapshot(), selection)
+    }
+
+    /// Collect the row ids of rows in `snap` matching `selection` —
+    /// transactions pass their effective (base + overlay) snapshot.
+    fn matching_rids_in(
+        &self,
+        snap: &TableSnapshot,
+        selection: &Option<Expr>,
+    ) -> Result<Vec<(RowId, Row)>> {
         let mut out = Vec::new();
         for g in snap.groups() {
             let visible = snap.visible_bitmap(g);
@@ -719,6 +1518,22 @@ impl Database {
             }
         }
         Ok(out)
+    }
+
+    /// Reject an auto-commit write of a row an open transaction has
+    /// write-locked: the implicit statement loses with a CONFLICT
+    /// instead of silently overwriting (or being overwritten by) the
+    /// transaction's buffered write.
+    fn check_unlocked(&self, table: &str, rid: RowId) -> Result<()> {
+        if let Some(owner) = self.txns.locked_by_other(table, rid, None) {
+            self.txns.note_conflict();
+            return Err(Error::Conflict(format!(
+                "row {}:{} is write-locked by open transaction {owner}",
+                table.to_ascii_lowercase(),
+                rid.pack()
+            )));
+        }
+        Ok(())
     }
 
     fn row_matches(&self, selection: &Option<Expr>, row: &Row) -> Result<bool> {
@@ -747,6 +1562,7 @@ impl Database {
                 // renumber rows between the scan above and each delete,
                 // so a bare rid could hit the wrong row.
                 for (rid, row) in victims {
+                    self.check_unlocked(table, rid)?;
                     if t.delete_verified(rid, &row)? {
                         n += 1;
                     }
@@ -809,6 +1625,7 @@ impl Database {
                 let victims = self.matching_rids(&t, &bound_sel)?;
                 let mut n = 0;
                 for (rid, old) in victims {
+                    self.check_unlocked(table, rid)?;
                     if t.update_verified(rid, &old, apply(&old)?)?.is_some() {
                         n += 1;
                     }
@@ -1090,6 +1907,17 @@ impl Database {
     fn save_to_store_inner(&self, store: &mut dyn cstore_storage::blob::BlobStore) -> Result<u64> {
         use cstore_storage::format::{write_schema, write_value, Writer};
         let _span = cstore_common::trace::global().span("persist.save");
+        // A save advances every table's WAL watermark past the log tail
+        // it persists — doing that while a transaction holds unlogged
+        // commit intent (or un-replayed TxnOp frames) could make the
+        // commit record land below a watermark that never applied it.
+        // Keep it simple and correct: no saves while transactions are
+        // open, in any session.
+        if self.txns.active_count() > 0 {
+            return Err(Error::Unsupported(
+                "cannot save while a transaction is open; COMMIT or ROLLBACK first".into(),
+            ));
+        }
         let gen = persist::manifest_generations(store)
             .first()
             .map_or(1, |g| g + 1);
@@ -1797,6 +2625,238 @@ mod tests {
         let text = r.to_table();
         assert!(text.contains("id"));
         assert!(text.contains('0') && text.contains('1'));
+    }
+
+    fn count(db: &Database, sql: &str) -> i64 {
+        let r = db.execute(sql).unwrap();
+        match r.rows()[0].get(0) {
+            Value::Int64(n) => *n,
+            other => panic!("expected COUNT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn txn_commit_makes_writes_visible() {
+        let db = db();
+        assert!(matches!(
+            db.execute("BEGIN").unwrap(),
+            QueryResult::Txn(TxnAck::Begun)
+        ));
+        assert!(db.in_transaction());
+        db.execute("INSERT INTO sales VALUES (7001, 1, 1.0, 0)")
+            .unwrap();
+        db.execute("UPDATE sales SET amount = 9.0 WHERE id = 7001")
+            .unwrap();
+        // The transaction sees its own buffered writes…
+        assert_eq!(count(&db, "SELECT COUNT(*) FROM sales WHERE id = 7001"), 1);
+        let r = db
+            .execute("SELECT amount FROM sales WHERE id = 7001")
+            .unwrap();
+        assert_eq!(r.rows()[0].get(0), &Value::Float64(9.0));
+        // …but another session does not until COMMIT.
+        let peer = db.new_session();
+        assert_eq!(
+            count(&peer, "SELECT COUNT(*) FROM sales WHERE id = 7001"),
+            0
+        );
+        assert!(matches!(
+            db.execute("COMMIT").unwrap(),
+            QueryResult::Txn(TxnAck::Committed)
+        ));
+        assert!(!db.in_transaction());
+        assert_eq!(
+            count(&peer, "SELECT COUNT(*) FROM sales WHERE id = 7001"),
+            1
+        );
+    }
+
+    #[test]
+    fn txn_rollback_undoes_all_statements() {
+        let db = db();
+        let before = count(&db, "SELECT COUNT(*) FROM sales");
+        db.execute("BEGIN TRANSACTION").unwrap();
+        db.execute("INSERT INTO sales VALUES (7002, 1, 1.0, 0), (7003, 2, 2.0, 0)")
+            .unwrap();
+        db.execute("DELETE FROM sales WHERE id = 0").unwrap();
+        db.execute("UPDATE sales SET amount = 0.0 WHERE id = 1")
+            .unwrap();
+        assert!(matches!(
+            db.execute("ROLLBACK").unwrap(),
+            QueryResult::Txn(TxnAck::RolledBack)
+        ));
+        assert_eq!(count(&db, "SELECT COUNT(*) FROM sales"), before);
+        assert_eq!(count(&db, "SELECT COUNT(*) FROM sales WHERE id = 0"), 1);
+        let r = db.execute("SELECT amount FROM sales WHERE id = 1").unwrap();
+        assert_ne!(r.rows()[0].get(0), &Value::Float64(0.0));
+    }
+
+    #[test]
+    fn txn_snapshot_isolates_from_concurrent_commits() {
+        let db = db();
+        let reader = db.new_session();
+        reader.execute("BEGIN").unwrap();
+        // Pin the snapshot with a read, then change the table underneath.
+        let before = count(&reader, "SELECT COUNT(*) FROM sales");
+        db.execute("INSERT INTO sales VALUES (7004, 1, 1.0, 0)")
+            .unwrap();
+        db.execute("DELETE FROM sales WHERE id = 2").unwrap();
+        // The open transaction still sees its BEGIN-time view.
+        assert_eq!(count(&reader, "SELECT COUNT(*) FROM sales"), before);
+        assert_eq!(count(&reader, "SELECT COUNT(*) FROM sales WHERE id = 2"), 1);
+        reader.execute("COMMIT").unwrap();
+        // After COMMIT the session reads the live image again.
+        assert_eq!(count(&reader, "SELECT COUNT(*) FROM sales"), before);
+        assert_eq!(count(&reader, "SELECT COUNT(*) FROM sales WHERE id = 2"), 0);
+    }
+
+    #[test]
+    fn txn_control_statement_errors() {
+        let db = db();
+        assert!(db.execute("COMMIT").is_err());
+        assert!(db.execute("ROLLBACK").is_err());
+        db.execute("BEGIN").unwrap();
+        // Nested BEGIN is an error but must not poison the open txn.
+        assert!(db.execute("BEGIN").is_err());
+        db.execute("INSERT INTO sales VALUES (7005, 1, 1.0, 0)")
+            .unwrap();
+        db.execute("COMMIT").unwrap();
+        assert_eq!(count(&db, "SELECT COUNT(*) FROM sales WHERE id = 7005"), 1);
+    }
+
+    #[test]
+    fn txn_statement_failure_poisons_until_rollback() {
+        let db = db();
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO sales VALUES (7006, 1, 1.0, 0)")
+            .unwrap();
+        // Second row violates NOT NULL: the whole statement must be undone
+        // and the transaction poisoned.
+        let err = db
+            .execute("INSERT INTO sales VALUES (7007, 2, 2.0, 0), (7008, NULL, 3.0, 0)")
+            .unwrap_err();
+        assert!(err.to_string().contains("NULL"), "{err}");
+        let err = db
+            .execute("SELECT COUNT(*) FROM sales")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("ROLLBACK required"), "{err}");
+        // COMMIT on a poisoned transaction rolls back and reports the error.
+        let err = db.execute("COMMIT").unwrap_err().to_string();
+        assert!(err.contains("rolled back"), "{err}");
+        assert!(!db.in_transaction());
+        assert_eq!(
+            count(
+                &db,
+                "SELECT COUNT(*) FROM sales WHERE id >= 7006 AND id <= 7008"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn txn_locked_row_conflicts_with_autocommit_writer() {
+        let db = db();
+        db.execute("BEGIN").unwrap();
+        db.execute("UPDATE sales SET amount = 1.0 WHERE id = 3")
+            .unwrap();
+        let peer = db.new_session();
+        let err = peer.execute("DELETE FROM sales WHERE id = 3").unwrap_err();
+        assert_eq!(err.code(), "CONFLICT");
+        db.execute("COMMIT").unwrap();
+        // Lock released: the peer's write now succeeds.
+        assert_eq!(
+            peer.execute("DELETE FROM sales WHERE id = 3")
+                .unwrap()
+                .affected(),
+            1
+        );
+    }
+
+    #[test]
+    fn txn_write_write_conflict_between_sessions() {
+        let db = db();
+        let a = db.new_session();
+        let b = db.new_session();
+        a.execute("BEGIN").unwrap();
+        b.execute("BEGIN").unwrap();
+        a.execute("UPDATE sales SET amount = 1.0 WHERE id = 4")
+            .unwrap();
+        // B touches the same row: statement-time lock detection aborts B.
+        let err = b
+            .execute("UPDATE sales SET amount = 2.0 WHERE id = 4")
+            .unwrap_err();
+        assert_eq!(err.code(), "CONFLICT");
+        b.execute("ROLLBACK").unwrap();
+        a.execute("COMMIT").unwrap();
+        let r = db.execute("SELECT amount FROM sales WHERE id = 4").unwrap();
+        assert_eq!(r.rows()[0].get(0), &Value::Float64(1.0));
+        assert!(db.txns().counters().conflicts >= 1);
+    }
+
+    #[test]
+    fn txn_ddl_and_save_are_rejected_inside_transaction() {
+        let db = db();
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO sales VALUES (7009, 1, 1.0, 0)")
+            .unwrap();
+        let mut store = cstore_storage::blob::MemBlobStore::new();
+        let err = db.save_to_store(&mut store).unwrap_err().to_string();
+        assert!(err.contains("transaction is open"), "{err}");
+        db.execute("ROLLBACK").unwrap();
+        db.save_to_store(&mut store).unwrap();
+    }
+
+    #[test]
+    fn txn_outcomes_reach_query_log_and_sys_transactions() {
+        let db = db();
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO sales VALUES (7010, 1, 1.0, 0)")
+            .unwrap();
+        db.execute("ROLLBACK").unwrap();
+        let rollbacks = count(
+            &db,
+            "SELECT COUNT(*) FROM sys.query_log WHERE status = 'ROLLBACK'",
+        );
+        assert_eq!(rollbacks, 1);
+        let aborted = count(
+            &db,
+            "SELECT COUNT(*) FROM sys.transactions WHERE state = 'ABORTED'",
+        );
+        assert!(aborted >= 1);
+        // A conflict shows up with its own status.
+        db.execute("BEGIN").unwrap();
+        db.execute("UPDATE sales SET amount = 1.0 WHERE id = 5")
+            .unwrap();
+        let peer = db.new_session();
+        assert!(peer.execute("DELETE FROM sales WHERE id = 5").is_err());
+        db.execute("COMMIT").unwrap();
+        let conflicts = count(
+            &db,
+            "SELECT COUNT(*) FROM sys.query_log WHERE status = 'CONFLICT'",
+        );
+        assert_eq!(conflicts, 1);
+        let committed = count(
+            &db,
+            "SELECT COUNT(*) FROM sys.transactions WHERE state = 'COMMITTED'",
+        );
+        assert!(committed >= 1);
+    }
+
+    #[test]
+    fn txn_delete_of_own_insert_nets_out() {
+        let db = db();
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO sales VALUES (7011, 1, 1.0, 0)")
+            .unwrap();
+        assert_eq!(
+            db.execute("DELETE FROM sales WHERE id = 7011")
+                .unwrap()
+                .affected(),
+            1
+        );
+        assert_eq!(count(&db, "SELECT COUNT(*) FROM sales WHERE id = 7011"), 0);
+        db.execute("COMMIT").unwrap();
+        assert_eq!(count(&db, "SELECT COUNT(*) FROM sales WHERE id = 7011"), 0);
     }
 }
 

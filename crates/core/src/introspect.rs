@@ -32,7 +32,7 @@ use crate::catalog::TableEntry;
 use crate::database::Database;
 
 /// The names the binder recognizes as virtual tables.
-pub const SYS_VIEW_NAMES: [&str; 10] = [
+pub const SYS_VIEW_NAMES: [&str; 11] = [
     "sys.row_groups",
     "sys.column_segments",
     "sys.dictionaries",
@@ -43,6 +43,7 @@ pub const SYS_VIEW_NAMES: [&str; 10] = [
     "sys.resource_governor",
     "sys.wait_stats",
     "sys.query_store",
+    "sys.transactions",
 ];
 
 /// Snapshot-materializer for the `sys.*` views: implemented by
@@ -110,6 +111,12 @@ pub enum QueryOutcome {
     },
     /// The error string; errored queries stay in the ring.
     Error(String),
+    /// A successful `ROLLBACK` (distinct from errors: nothing failed,
+    /// but the transaction's work was discarded).
+    RolledBack,
+    /// A write-write conflict aborted the statement or transaction;
+    /// carries the conflict message.
+    Conflict(String),
 }
 
 /// One entry of the recent-query ring.
@@ -548,6 +555,28 @@ pub(crate) fn query_log_view(db: &Database) -> VirtualTable {
                     Value::Null,
                     Value::Null,
                 ]),
+                QueryOutcome::RolledBack => Row::new(vec![
+                    int_u64(e.id),
+                    Value::str(e.text.clone()),
+                    hash,
+                    Value::str("ROLLBACK"),
+                    Value::Null,
+                    duration,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                ]),
+                QueryOutcome::Conflict(err) => Row::new(vec![
+                    int_u64(e.id),
+                    Value::str(e.text.clone()),
+                    hash,
+                    Value::str("CONFLICT"),
+                    Value::str(err.clone()),
+                    duration,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                ]),
             };
             rows.push(row);
         }
@@ -641,6 +670,39 @@ pub(crate) fn query_store_view(db: &Database) -> VirtualTable {
         }
     }
     VirtualTable::new("sys.query_store", schema, rows)
+}
+
+/// One row per transaction: active ones first (by id), then the
+/// recently finished ring (newest last). `commit_lsn` is null for
+/// anything but a committed transaction; `abort_reason` records why an
+/// aborted one ended (ROLLBACK, conflict, or the poisoning error).
+pub(crate) fn transactions_view(db: &Database) -> VirtualTable {
+    let schema = Schema::new(vec![
+        field("txn_id", DataType::Int64, false),
+        field("state", DataType::Utf8, false),
+        field("statements", DataType::Int64, false),
+        field("write_ops", DataType::Int64, false),
+        field("snapshot_lsn", DataType::Int64, false),
+        field("commit_lsn", DataType::Int64, true),
+        field("abort_reason", DataType::Utf8, true),
+    ]);
+    let rows = db
+        .txns()
+        .view_rows()
+        .into_iter()
+        .map(|t| {
+            Row::new(vec![
+                int_u64(t.id),
+                Value::str(t.state.as_str()),
+                int_u64(t.statements),
+                int_u64(t.write_ops),
+                int_u64(t.snapshot_lsn),
+                t.commit_lsn.map_or(Value::Null, int_u64),
+                opt_str(t.abort_reason),
+            ])
+        })
+        .collect();
+    VirtualTable::new("sys.transactions", schema, rows)
 }
 
 /// One row per attached WAL (zero rows when the database runs without
@@ -790,6 +852,7 @@ impl Introspection for Database {
             "sys.resource_governor" => Some(resource_governor_view(self)),
             "sys.wait_stats" => Some(wait_stats_view()),
             "sys.query_store" => Some(query_store_view(self)),
+            "sys.transactions" => Some(transactions_view(self)),
             _ => None,
         }
     }

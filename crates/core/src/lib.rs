@@ -10,12 +10,14 @@ pub mod database;
 pub mod introspect;
 pub mod persist;
 pub mod query_store;
+pub mod txn;
 
 pub use catalog::{Catalog, TableEntry};
 pub use cstore_planner::ExecMode;
-pub use database::{Database, QueryResult};
+pub use database::{Database, QueryResult, TxnAck};
 pub use introspect::{
     Introspection, QueryLog, QueryLogEntry, QueryOutcome, SysCatalog, SYS_VIEW_NAMES,
 };
 pub use persist::{OpenMode, OpenReport, TableOpenReport, VerifyReport};
 pub use query_store::{QuerySample, QueryStore};
+pub use txn::{TxnInfo, TxnManager, TxnState};

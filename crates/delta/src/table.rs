@@ -28,7 +28,7 @@ use cstore_storage::{BlobQuarantine, ColumnStore, QuarantinedKind, SortMode};
 use crate::delete_bitmap::DeleteBitmap;
 use crate::delta_store::DeltaStore;
 use crate::snapshot::TableSnapshot;
-use crate::wal::{ReplayDelete, Wal, WalHandle, WalRecord};
+use crate::wal::{ReplayDelete, TxnApplyOp, Wal, WalHandle, WalRecord};
 
 /// Tuning knobs of a columnstore table.
 #[derive(Clone, Debug)]
@@ -1068,6 +1068,86 @@ impl ColumnStoreTable {
             Some(_) => Ok(ReplayDelete::Applied),
             None => Ok(ReplayDelete::NotFound),
         }
+    }
+
+    /// Replay one committed transaction's operations against this table,
+    /// in the transaction's log order, gated **once** on the TxnCommit
+    /// record's LSN. The individual ops keep their original (earlier)
+    /// LSNs in the log, but interleaved auto-commit frames may have
+    /// advanced the watermark past them — the commit record is the
+    /// atomicity point, so `commit_lsn` is what decides replay-vs-skip
+    /// for the whole transaction. Returns `false` when the save already
+    /// covered the commit (watermark ≥ `commit_lsn`).
+    pub fn wal_apply_txn_ops(&self, commit_lsn: u64, ops: &[TxnApplyOp]) -> Result<bool> {
+        for op in ops {
+            if let TxnApplyOp::Insert(rows) = op {
+                for row in rows {
+                    self.schema.check_row(row)?;
+                }
+            }
+        }
+        let mut inner = self.inner.write();
+        if commit_lsn <= inner.last_lsn {
+            return Ok(false);
+        }
+        let inner = &mut *inner;
+        for op in ops {
+            match op {
+                TxnApplyOp::Insert(rows) => {
+                    for row in rows {
+                        inner.insert_row(row.clone())?;
+                    }
+                }
+                TxnApplyOp::Delete(rid, row) => {
+                    // Value-verified, same as wal_apply_delete: ids are
+                    // reassigned across replay. A miss means the row was
+                    // already gone — counted at the call site, not fatal.
+                    // lint: allow(discard) — miss is legitimate here
+                    let _ = inner.delete_matching(*rid, row)?;
+                }
+            }
+        }
+        inner.last_lsn = commit_lsn;
+        inner.sync_delta_charge();
+        Ok(true)
+    }
+
+    // ---------------------------------------- transaction commit apply
+
+    /// Insert schema-checked rows *without* logging: the transaction
+    /// layer already logged them as TxnOp frames at statement time, so
+    /// logging again at commit-apply would double them on replay.
+    pub fn apply_unlogged_insert_batch(&self, rows: &[Row]) -> Result<Vec<RowId>> {
+        for row in rows {
+            self.schema.check_row(row)?;
+        }
+        let mut inner = self.inner.write();
+        let inner = &mut *inner;
+        let mut rids = Vec::with_capacity(rows.len());
+        for row in rows {
+            rids.push(inner.insert_row(row.clone())?);
+        }
+        inner.sync_delta_charge();
+        Ok(rids)
+    }
+
+    /// Value-verified delete *without* logging (see
+    /// [`apply_unlogged_insert_batch`](Self::apply_unlogged_insert_batch)
+    /// for why). Returns the resolved `(rid, row)` when a matching live
+    /// row was deleted — `None` means a concurrent committer got the row
+    /// first, which the transaction layer treats as a write-write
+    /// conflict at commit. Mover-safe: resolution falls back to by-value
+    /// when the rid went stale (PR 5 discipline).
+    pub fn apply_unlogged_delete(
+        &self,
+        rid: RowId,
+        expected: &Row,
+    ) -> Result<Option<(RowId, Row)>> {
+        let mut inner = self.inner.write();
+        let inner = &mut *inner;
+        let hit = inner.delete_matching(rid, expected)?;
+        inner.sync_delta_charge();
+        Ok(hit)
     }
 
     /// A consistent snapshot for scans.

@@ -52,6 +52,16 @@
 //! mover-built row groups vanish with the crash), so replay falls back
 //! to delete-by-value when the logged id no longer resolves.
 //!
+//! Multi-statement transactions add framing records: `6` TxnBegin,
+//! `7` TxnCommit, `8` TxnAbort, and `9` TxnOp (a transaction id wrapping
+//! an ordinary Insert/InsertBatch/Delete body). Replay *buffers* TxnOp
+//! records per transaction and applies them only when the matching
+//! TxnCommit is decoded — stamped with the commit record's LSN, the
+//! transaction's atomicity point. A transaction whose commit record
+//! never made it to stable storage (crash, abort, torn tail) is
+//! discarded wholesale, which is what makes a multi-statement commit
+//! all-or-nothing across any WAL fault point.
+//!
 //! ## Locks
 //!
 //! `wal_store` (the segment store + segment index) is held across the
@@ -162,6 +172,18 @@ pub enum WalRecord {
     /// single LSN: replay applies all of them or none (watermark check
     /// on the one LSN), and ingest pays one commit for the whole frame.
     InsertBatch { table: String, rows: Vec<Row> },
+    /// An explicit transaction opened (`BEGIN`).
+    TxnBegin { txn: u64 },
+    /// The transaction's atomicity point: replay applies the buffered
+    /// TxnOp records of `txn` when (and only when) this record is seen.
+    TxnCommit { txn: u64 },
+    /// The transaction rolled back; replay discards its buffered ops.
+    /// Informational — a missing abort record (crash) discards too.
+    TxnAbort { txn: u64 },
+    /// One DML operation inside an open transaction: an ordinary
+    /// Insert/InsertBatch/Delete body tagged with the owning txn id.
+    /// Logged at statement time, applied (or discarded) at commit.
+    TxnOp { txn: u64, op: Box<WalRecord> },
 }
 
 impl WalRecord {
@@ -172,6 +194,10 @@ impl WalRecord {
             WalRecord::RowGroupSealed { .. } => 3,
             WalRecord::Checkpoint { .. } => 4,
             WalRecord::InsertBatch { .. } => 5,
+            WalRecord::TxnBegin { .. } => 6,
+            WalRecord::TxnCommit { .. } => 7,
+            WalRecord::TxnAbort { .. } => 8,
+            WalRecord::TxnOp { .. } => 9,
         }
     }
 
@@ -208,6 +234,16 @@ impl WalRecord {
                 for row in rows {
                     write_row(w, row)?;
                 }
+            }
+            WalRecord::TxnBegin { txn }
+            | WalRecord::TxnCommit { txn }
+            | WalRecord::TxnAbort { txn } => {
+                w.u64(*txn);
+            }
+            WalRecord::TxnOp { txn, op } => {
+                w.u64(*txn);
+                w.u8(op.type_tag());
+                op.encode_body(w)?;
             }
         }
         Ok(())
@@ -259,6 +295,26 @@ impl WalRecord {
                     rows.push(read_row(r)?);
                 }
                 Ok(WalRecord::InsertBatch { table, rows })
+            }
+            6 => Ok(WalRecord::TxnBegin { txn: r.u64()? }),
+            7 => Ok(WalRecord::TxnCommit { txn: r.u64()? }),
+            8 => Ok(WalRecord::TxnAbort { txn: r.u64()? }),
+            9 => {
+                let txn = r.u64()?;
+                let inner = r.u8()?;
+                // Only plain DML may ride inside a transaction: a nested
+                // TxnOp, a Checkpoint, or a mover marker inside a frame
+                // is corruption, not a valid log.
+                if !matches!(inner, 1 | 2 | 5) {
+                    return Err(Error::Storage(format!(
+                        "WAL TxnOp wraps invalid inner record type {inner}"
+                    )));
+                }
+                let op = WalRecord::decode_body(inner, r)?;
+                Ok(WalRecord::TxnOp {
+                    txn,
+                    op: Box::new(op),
+                })
             }
             other => Err(Error::Storage(format!("unknown WAL record type {other}"))),
         }
@@ -412,6 +468,12 @@ pub struct WalReplayReport {
     pub last_checkpoint: Option<(u64, u64)>,
     /// Highest LSN seen in the log.
     pub max_lsn: u64,
+    /// Transactions whose TxnCommit was decoded and whose buffered ops
+    /// were applied (or skipped below-watermark as a unit).
+    pub txns_committed: u64,
+    /// Transactions discarded: an explicit TxnAbort, or no commit record
+    /// by the end of the log (crash between TxnBegin and TxnCommit).
+    pub txns_discarded: u64,
 }
 
 impl WalReplayReport {
@@ -611,6 +673,10 @@ impl Wal {
         let ids = store.segment_ids()?;
         let mut segments = BTreeMap::new();
         let last_seg = ids.last().copied();
+        // In-flight transactions: TxnOp frames buffer here (in log
+        // order, across segment boundaries) until their TxnCommit
+        // applies them or a TxnAbort / end-of-log discards them.
+        let mut pending_txns: BTreeMap<u64, Vec<WalRecord>> = BTreeMap::new();
         for seg in &ids {
             let seg = *seg;
             if let Some(f) = &faults {
@@ -650,7 +716,7 @@ impl Wal {
                 report.records_scanned += 1;
                 seg_max_lsn = seg_max_lsn.max(lsn);
                 report.max_lsn = report.max_lsn.max(lsn);
-                Self::apply_record(lsn, record, &by_name, &mut report)
+                Self::apply_record(lsn, record, &by_name, &mut pending_txns, &mut report)
             })?;
             let mut seg_bytes = bytes.len() as u64;
             if let FrameStop::Bad { offset, reason } = stop {
@@ -683,6 +749,12 @@ impl Wal {
                 },
             );
         }
+
+        // Transactions still open at the end of the log never committed:
+        // the crash (or a retired abort record) beat their TxnCommit.
+        // Their buffered ops are simply dropped — all-or-nothing.
+        report.txns_discarded += pending_txns.len() as u64;
+        drop(pending_txns);
 
         // Position for appending: continue the last segment, or start one.
         let active = match last_seg {
@@ -779,9 +851,68 @@ impl Wal {
         lsn: u64,
         record: WalRecord,
         tables: &BTreeMap<String, &ColumnStoreTable>,
+        pending_txns: &mut BTreeMap<u64, Vec<WalRecord>>,
         report: &mut WalReplayReport,
     ) -> Result<()> {
         match record {
+            WalRecord::TxnBegin { txn } => {
+                pending_txns.insert(txn, Vec::new());
+            }
+            WalRecord::TxnOp { txn, op } => {
+                // A TxnOp whose TxnBegin fell into a retired/quarantined
+                // segment still buffers: only the commit record decides.
+                pending_txns.entry(txn).or_default().push(*op);
+            }
+            WalRecord::TxnAbort { txn } => {
+                if pending_txns.remove(&txn).is_some() {
+                    report.txns_discarded += 1;
+                }
+            }
+            WalRecord::TxnCommit { txn } => {
+                let Some(ops) = pending_txns.remove(&txn) else {
+                    // Commit record without buffered ops: the whole
+                    // transaction (begin + ops + commit) was already
+                    // covered by a save and its segments retired, or it
+                    // was read-only. Nothing to do.
+                    report.txns_committed += 1;
+                    return Ok(());
+                };
+                // Group by table, preserving per-table log order (the
+                // order that makes delete-after-own-insert resolve), and
+                // stamp every op with the *commit* LSN: interleaved
+                // auto-commit frames may have advanced a table's
+                // watermark past the ops' original LSNs, but the commit
+                // record is the transaction's atomicity point.
+                let mut by_table: Vec<(String, Vec<TxnApplyOp>)> = Vec::new();
+                for op in ops {
+                    let (name, apply) = match op {
+                        WalRecord::Insert { table, row } => (table, TxnApplyOp::Insert(vec![row])),
+                        WalRecord::InsertBatch { table, rows } => (table, TxnApplyOp::Insert(rows)),
+                        WalRecord::Delete { table, rid, row } => {
+                            (table, TxnApplyOp::Delete(rid, row))
+                        }
+                        // decode_body guards the inner tag; unreachable.
+                        _ => continue,
+                    };
+                    let key = name.to_ascii_lowercase();
+                    match by_table.iter_mut().find(|(n, _)| *n == key) {
+                        Some((_, v)) => v.push(apply),
+                        None => by_table.push((key, vec![apply])),
+                    }
+                }
+                for (name, ops) in by_table {
+                    let Some(t) = tables.get(&name) else {
+                        report.records_unknown_table += 1;
+                        continue;
+                    };
+                    if t.wal_apply_txn_ops(lsn, &ops)? {
+                        report.records_applied += 1;
+                    } else {
+                        report.records_below_watermark += 1;
+                    }
+                }
+                report.txns_committed += 1;
+            }
             WalRecord::Insert { table, row } => {
                 let Some(t) = tables.get(&table.to_ascii_lowercase()) else {
                     report.records_unknown_table += 1;
@@ -1093,6 +1224,20 @@ impl Wal {
         Ok(())
     }
 
+    /// Consult the WAL's fault injector at `point` (used by the
+    /// transaction layer for the `wal.txn_begin` / `wal.txn_commit` /
+    /// `wal.txn_abort` points, which wrap whole framing records rather
+    /// than individual appends). No-op without an injector.
+    pub fn fault_check(&self, point: &str) -> Result<()> {
+        let ss = self.core.wal_store.lock();
+        if let Some(f) = &ss.faults {
+            if let Some(kind) = f.hit(point) {
+                return Err(kind.to_error(point));
+            }
+        }
+        Ok(())
+    }
+
     /// Highest LSN handed out so far (0 if none).
     pub fn tail_lsn(&self) -> u64 {
         self.core.wal_state.lock().next_lsn.saturating_sub(1)
@@ -1239,6 +1384,17 @@ pub struct WalHandle {
     pub table: String,
 }
 
+/// One buffered transactional operation, applied at its TxnCommit.
+/// Within a table the ops preserve the transaction's log order, so a
+/// delete targeting a row the same transaction inserted resolves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxnApplyOp {
+    /// Insert these rows (one Insert or InsertBatch frame's worth).
+    Insert(Vec<Row>),
+    /// Delete this row; the values drive replay-by-value fallback.
+    Delete(RowId, Row),
+}
+
 /// Outcome of replaying one Delete record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplayDelete {
@@ -1300,6 +1456,46 @@ mod tests {
             table: "empty".into(),
             rows: vec![],
         });
+    }
+
+    #[test]
+    fn txn_frames_roundtrip() {
+        use cstore_common::{RowGroupId, Value};
+        frame_roundtrip(WalRecord::TxnBegin { txn: 1 });
+        frame_roundtrip(WalRecord::TxnCommit { txn: u64::MAX });
+        frame_roundtrip(WalRecord::TxnAbort { txn: 7 });
+        frame_roundtrip(WalRecord::TxnOp {
+            txn: 3,
+            op: Box::new(WalRecord::InsertBatch {
+                table: "t".into(),
+                rows: vec![Row::new(vec![Value::Int64(1), Value::from("a")])],
+            }),
+        });
+        frame_roundtrip(WalRecord::TxnOp {
+            txn: 3,
+            op: Box::new(WalRecord::Delete {
+                table: "t".into(),
+                rid: RowId::new(RowGroupId(2), 5),
+                row: Row::new(vec![Value::Int64(1)]),
+            }),
+        });
+    }
+
+    #[test]
+    fn txn_op_rejects_non_dml_inner_record() {
+        // A TxnOp wrapping a Checkpoint (tag 4) is not a valid log; the
+        // decoder must refuse rather than apply it.
+        let mut payload = Writer::new();
+        payload.u64(9); // lsn
+        payload.u8(9); // TxnOp
+        payload.u64(1); // txn id
+        payload.u8(4); // inner tag: Checkpoint — invalid inside a txn
+        payload.u64(0);
+        payload.u32(0);
+        let payload = payload.into_bytes();
+        let mut r = Reader::new(&payload[9..]);
+        let err = WalRecord::decode_body(9, &mut r).unwrap_err();
+        assert!(err.to_string().contains("invalid inner record"), "{err}");
     }
 
     #[test]

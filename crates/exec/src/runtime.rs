@@ -1,5 +1,6 @@
 //! Execution context: memory budget, batch size, metrics, per-query stats.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -293,6 +294,12 @@ pub struct ExecContext {
     /// context existed — admission queueing — are visible here), else
     /// starts a fresh one.
     pub waits: Arc<WaitProfile>,
+    /// Per-table snapshot overrides for this query, keyed by lower-cased
+    /// table name. Installed by an open transaction so every scan sees
+    /// the transaction's stable view (base snapshot + its own buffered
+    /// writes) instead of the table's live state. `None` (the default)
+    /// scans live.
+    pub snapshots: Option<Arc<HashMap<String, cstore_delta::TableSnapshot>>>,
 }
 
 impl Default for ExecContext {
@@ -309,6 +316,7 @@ impl Default for ExecContext {
             ledger: None,
             alloc: None,
             waits: Arc::new(WaitProfile::new()),
+            snapshots: None,
         }
     }
 }
@@ -356,6 +364,24 @@ impl ExecContext {
     pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
         self.deadline = deadline;
         self
+    }
+
+    /// Scan these tables from fixed snapshots instead of live state —
+    /// how an open transaction pins its stable view for the query.
+    pub fn with_snapshots(
+        mut self,
+        snapshots: Option<Arc<HashMap<String, cstore_delta::TableSnapshot>>>,
+    ) -> Self {
+        self.snapshots = snapshots;
+        self
+    }
+
+    /// The snapshot override for `table` (case-insensitive), if any.
+    pub fn snapshot_for(&self, table: &str) -> Option<cstore_delta::TableSnapshot> {
+        self.snapshots
+            .as_ref()?
+            .get(&table.to_ascii_lowercase())
+            .cloned()
     }
 
     /// Share `ledger` with every query forked from this context. Each

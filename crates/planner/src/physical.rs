@@ -137,7 +137,10 @@ fn build_batch_inner(
                 .ok_or_else(|| Error::Catalog(format!("unknown table '{table}'")))?;
             match t {
                 TableRef::ColumnStore(t) => {
-                    let snapshot = t.snapshot();
+                    // An open transaction pins its stable view (plus its
+                    // own buffered writes) via the context; otherwise
+                    // scan the live table.
+                    let snapshot = ctx.snapshot_for(table).unwrap_or_else(|| t.snapshot());
                     let proj: Vec<usize> = match projection {
                         Some(p) => p.clone(),
                         None => (0..snapshot.schema().len()).collect(),
@@ -391,7 +394,9 @@ fn build_row_inner(
                 .ok_or_else(|| Error::Catalog(format!("unknown table '{table}'")))?;
             let mut op: BoxedRowOp = match t {
                 TableRef::Heap(h) => Box::new(HeapScan::new(h)),
-                TableRef::ColumnStore(t) => Box::new(SnapshotRowScan::new(&t.snapshot())),
+                TableRef::ColumnStore(t) => Box::new(SnapshotRowScan::new(
+                    &ctx.snapshot_for(table).unwrap_or_else(|| t.snapshot()),
+                )),
                 TableRef::Virtual(v) => {
                     // The batch scan already handles projection + pushdown;
                     // adapt it to row mode and return directly.

@@ -177,6 +177,12 @@ pub enum Statement {
         analyze: bool,
         stmt: Box<Statement>,
     },
+    /// `BEGIN [TRANSACTION | WORK]`: open an explicit transaction.
+    Begin,
+    /// `COMMIT [TRANSACTION | WORK]`: commit the open transaction.
+    Commit,
+    /// `ROLLBACK [TRANSACTION | WORK]`: abort the open transaction.
+    Rollback,
 }
 
 /// A `SET` option value: an integer, or a bare name for enumerated

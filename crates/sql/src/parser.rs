@@ -177,10 +177,31 @@ impl Parser {
             };
             return Ok(Statement::Set { option, value });
         }
+        if self.eat_kw("BEGIN") {
+            self.eat_txn_noise();
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("COMMIT") {
+            self.eat_txn_noise();
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("ROLLBACK") {
+            self.eat_txn_noise();
+            return Ok(Statement::Rollback);
+        }
         Err(Error::Sql(format!(
             "expected a statement, found {:?}",
             self.peek()
         )))
+    }
+
+    /// Optional `TRANSACTION` / `WORK` noise word after BEGIN/COMMIT/
+    /// ROLLBACK, per the usual SQL grammars.
+    fn eat_txn_noise(&mut self) {
+        if !self.eat_kw("TRANSACTION") {
+            // lint: allow(discard) — pure noise word, present or not
+            let _ = self.eat_kw("WORK");
+        }
     }
 
     fn select(&mut self) -> Result<SelectStmt> {
@@ -712,11 +733,54 @@ impl Parser {
 /// Keywords that terminate alias positions.
 fn is_keyword(s: &str) -> bool {
     const KEYWORDS: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "JOIN",
-        "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "SEMI", "ANTI", "ON", "AS", "AND", "OR", "NOT",
-        "IN", "IS", "NULL", "BETWEEN", "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
-        "CREATE", "TABLE", "USING", "EXPLAIN", "ASC", "DESC", "UNION", "ALL", "DISTINCT",
-        "ANALYZE", "LIKE",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "LIMIT",
+        "OFFSET",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "FULL",
+        "OUTER",
+        "SEMI",
+        "ANTI",
+        "ON",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "IS",
+        "NULL",
+        "BETWEEN",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "DELETE",
+        "UPDATE",
+        "SET",
+        "CREATE",
+        "TABLE",
+        "USING",
+        "EXPLAIN",
+        "ASC",
+        "DESC",
+        "UNION",
+        "ALL",
+        "DISTINCT",
+        "ANALYZE",
+        "LIKE",
+        "BEGIN",
+        "COMMIT",
+        "ROLLBACK",
+        "TRANSACTION",
+        "WORK",
     ];
     KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
 }
@@ -871,5 +935,24 @@ mod tests {
         assert!(parse("SELECT FROM").is_err());
         assert!(parse("SELECT 1 extra garbage ,").is_err());
         assert!(parse("CREATE TABLE t (a WIDGET)").is_err());
+    }
+
+    #[test]
+    fn parses_transaction_statements() {
+        assert_eq!(parse("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse("begin transaction").unwrap(), Statement::Begin);
+        assert_eq!(parse("BEGIN WORK").unwrap(), Statement::Begin);
+        assert_eq!(parse("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse("commit work").unwrap(), Statement::Commit);
+        assert_eq!(parse("ROLLBACK").unwrap(), Statement::Rollback);
+        assert_eq!(parse("rollback transaction").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn rejects_malformed_transaction_statements() {
+        // Trailing junk after the optional noise word must not parse.
+        assert!(parse("BEGIN TRANSACTION NOW").is_err());
+        assert!(parse("COMMIT 5").is_err());
+        assert!(parse("ROLLBACK TO SAVEPOINT s").is_err());
     }
 }

@@ -145,6 +145,72 @@ echo "$waitsmoke" | grep -F 'where id > ?' >/dev/null || {
 }
 rm -rf "$wsdir"
 
+# Transactions gate: drive BEGIN…ROLLBACK and BEGIN…disconnect…reopen
+# through the real shell against a persisted directory. Rolled-back rows
+# must never be visible, never survive a reopen, and the abort must be
+# observable in sys.transactions and sys.query_log. A refactor that
+# leaks buffered transaction writes (or stops rolling back a dropped
+# session) fails here even though unit suites still pass.
+echo "==> transactions smoke (shell)"
+txdir=$(mktemp -d)
+txsmoke=$(printf '%s\n' \
+    'CREATE TABLE txndemo (id BIGINT NOT NULL, v VARCHAR NOT NULL);' \
+    "INSERT INTO txndemo VALUES (1, 'keepme');" \
+    'BEGIN;' \
+    "INSERT INTO txndemo VALUES (2, 'leakme'), (3, 'leakme');" \
+    "UPDATE txndemo SET v = 'leakme' WHERE id = 1;" \
+    'ROLLBACK;' \
+    'SELECT id, v FROM txndemo ORDER BY id;' \
+    "SELECT state FROM sys.transactions WHERE state = 'ABORTED';" \
+    "SELECT status FROM sys.query_log WHERE status = 'ROLLBACK';" \
+    '\quit' | cargo run -q --release --bin cstore -- "$txdir" 2>/dev/null)
+echo "$txsmoke" | grep 'keepme' >/dev/null || {
+    echo "committed row lost after ROLLBACK:"
+    echo "$txsmoke"
+    exit 1
+}
+echo "$txsmoke" | grep 'leakme' >/dev/null && {
+    echo "rolled-back transaction leaked rows:"
+    echo "$txsmoke"
+    exit 1
+}
+echo "$txsmoke" | grep 'ABORTED' >/dev/null || {
+    echo "sys.transactions reported no ABORTED transaction:"
+    echo "$txsmoke"
+    exit 1
+}
+echo "$txsmoke" | grep 'ROLLBACK' >/dev/null || {
+    echo "sys.query_log reported no ROLLBACK outcome:"
+    echo "$txsmoke"
+    exit 1
+}
+# A session that disconnects (EOF, no \quit) mid-transaction: the shell
+# rolls the open transaction back before its exit save.
+drop=$(printf '%s\n' \
+    'BEGIN;' \
+    "INSERT INTO txndemo VALUES (4, 'ghost');" \
+    | cargo run -q --release --bin cstore -- "$txdir" 2>&1)
+echo "$drop" | grep 'open transaction rolled back on exit' >/dev/null || {
+    echo "shell did not roll back the open transaction on disconnect:"
+    echo "$drop"
+    exit 1
+}
+# Reopen: zero leaked rows from either aborted transaction.
+reopen=$(printf '%s\n' \
+    'SELECT id, v FROM txndemo ORDER BY id;' \
+    '\quit' | cargo run -q --release --bin cstore -- "$txdir" 2>/dev/null)
+echo "$reopen" | grep 'keepme' >/dev/null || {
+    echo "committed row lost across reopen:"
+    echo "$reopen"
+    exit 1
+}
+echo "$reopen" | grep -E 'leakme|ghost' >/dev/null && {
+    echo "aborted transaction rows leaked across reopen:"
+    echo "$reopen"
+    exit 1
+}
+rm -rf "$txdir"
+
 # Bench-results gate: the E1 harness (offline, no external deps) must
 # produce a machine-readable BENCH_E1.json with the agreed shape.
 echo "==> bench BENCH_E1.json shape"

@@ -107,6 +107,15 @@ fn main() {
         }
     }
     if let Some(d) = dir {
+        // An open transaction would block the save (and its work was
+        // never committed anyway): roll it back first, like a client
+        // disconnect would.
+        if db.in_transaction() {
+            eprintln!("open transaction rolled back on exit");
+            if let Err(e) = db.execute("ROLLBACK") {
+                eprintln!("rollback failed: {e}");
+            }
+        }
         match db.save_to(&d) {
             Ok(()) => eprintln!("saved to {}", d.display()),
             Err(e) => eprintln!("save failed: {e}"),
@@ -329,6 +338,14 @@ fn run_sql(db: &Database, sql: &str) {
             QueryResult::Affected(n) => println!("{n} rows affected"),
             QueryResult::Created => println!("ok"),
             QueryResult::Explain(text) => print!("{text}"),
+            QueryResult::Txn(ack) => println!(
+                "{}",
+                match ack {
+                    cstore::TxnAck::Begun => "transaction started",
+                    cstore::TxnAck::Committed => "committed",
+                    cstore::TxnAck::RolledBack => "rolled back",
+                }
+            ),
         },
         Err(e) => eprintln!("error: {e}"),
     }

@@ -9,7 +9,7 @@
 pub use cstore_common as common;
 pub use cstore_core::{
     Catalog, Database, ExecMode, OpenMode, OpenReport, QueryResult, TableEntry, TableOpenReport,
-    VerifyReport, SYS_VIEW_NAMES,
+    TxnAck, TxnInfo, TxnManager, TxnState, VerifyReport, SYS_VIEW_NAMES,
 };
 pub use cstore_delta as delta;
 pub use cstore_exec as exec;

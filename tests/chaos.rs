@@ -861,3 +861,279 @@ fn wal_replay_fault_strict_fails_degraded_quarantines() {
     assert!(report.records_applied > 0, "later segments still replay");
     assert!(!degraded.open_report().is_clean());
 }
+
+// ------------------------------------------------- transaction WAL chaos
+//
+// The transaction durability contract: a multi-statement transaction is
+// all-or-nothing across a crash at *any* WAL fault point. If COMMIT was
+// acknowledged, every statement survives replay; if the crash lands
+// anywhere between `TxnBegin` and the commit record's durable flush — a
+// torn commit — replay discards the whole transaction and recovery shows
+// none of its writes. Rolled-back transactions never surface anywhere.
+
+#[derive(Clone, Debug)]
+enum TxnChaosOp {
+    /// An ordinary auto-commit statement.
+    Auto(String),
+    /// `BEGIN; stmts…; COMMIT` (or `ROLLBACK` when `commit` is false).
+    Txn {
+        stmts: Vec<String>,
+        commit: bool,
+    },
+    Move,
+    Save,
+}
+
+/// Auto-commit traffic around three multi-statement transactions — two
+/// committed (one before and one after a mover pass + checkpointing
+/// save), one rolled back — mixing single inserts, batch inserts,
+/// updates (delete+insert WAL pairs), deletes of pre-existing rows, and
+/// a delete of the transaction's own uncommitted insert (nets out).
+fn fixed_txn_ops() -> Vec<TxnChaosOp> {
+    let mut ops = Vec::new();
+    for i in 0..8i64 {
+        ops.push(TxnChaosOp::Auto(format!(
+            "INSERT INTO t VALUES ({i}, 'seed{i}')"
+        )));
+    }
+    ops.push(TxnChaosOp::Txn {
+        stmts: vec![
+            "INSERT INTO t VALUES (100, 'txn1')".into(),
+            "INSERT INTO t VALUES (101, 'b1'), (102, 'b2'), (103, 'b3')".into(),
+            "UPDATE t SET v = 'updated' WHERE id = 2".into(),
+            "DELETE FROM t WHERE id = 3".into(),
+            "DELETE FROM t WHERE id = 101".into(),
+        ],
+        commit: true,
+    });
+    ops.push(TxnChaosOp::Move);
+    ops.push(TxnChaosOp::Save);
+    ops.push(TxnChaosOp::Txn {
+        stmts: vec![
+            "INSERT INTO t VALUES (200, 'ghost')".into(),
+            "DELETE FROM t WHERE id = 4".into(),
+            "UPDATE t SET v = 'ghost' WHERE id = 5".into(),
+        ],
+        commit: false,
+    });
+    ops.push(TxnChaosOp::Txn {
+        stmts: vec![
+            "INSERT INTO t VALUES (300, 'post1'), (301, 'post2')".into(),
+            "UPDATE t SET v = 'post' WHERE id = 100".into(),
+            "DELETE FROM t WHERE id = 6".into(),
+        ],
+        commit: true,
+    });
+    ops.push(TxnChaosOp::Auto(
+        "INSERT INTO t VALUES (400, 'tail')".into(),
+    ));
+    ops.push(TxnChaosOp::Auto("DELETE FROM t WHERE id = 7".into()));
+    ops
+}
+
+/// Run the transactional schedule with `arm` injected, treating the
+/// first failed operation as the crash, then reboot from the durable
+/// images and assert the recovered contents equal a shadow database
+/// that applied only acknowledged auto-commits and transactions whose
+/// COMMIT returned Ok — transaction statements reach the shadow at
+/// commit time or never.
+fn txn_crash_trial(
+    seed: u64,
+    ops: &[TxnChaosOp],
+    arm: Option<(&'static str, FaultKind, u64)>,
+) -> (FaultInjector, WalReplayReport, bool) {
+    let mut db = Database::new().with_table_config(wal_config());
+    db.execute("CREATE TABLE t (id BIGINT NOT NULL, v VARCHAR)")
+        .unwrap();
+    let mut disk = MemBlobStore::new();
+    db.save_to_store(&mut disk).unwrap();
+    let logs = MemLogStore::new();
+    let faults = FaultInjector::new(seed);
+    if let Some((point, kind, k)) = arm {
+        faults.arm(point, FaultSpec::new(kind).after(k));
+    }
+    db.attach_wal_store(
+        Box::new(logs.clone()),
+        wal_options(true),
+        Some(faults.clone()),
+    )
+    .unwrap();
+
+    let shadow = Database::new().with_table_config(wal_config());
+    shadow
+        .execute("CREATE TABLE t (id BIGINT NOT NULL, v VARCHAR)")
+        .unwrap();
+
+    let mut crashed = false;
+    'schedule: for op in ops {
+        match op {
+            TxnChaosOp::Auto(sql) => match db.execute(sql) {
+                Ok(_) => {
+                    shadow.execute(sql).unwrap();
+                }
+                Err(_) => {
+                    crashed = true;
+                    break 'schedule;
+                }
+            },
+            TxnChaosOp::Txn { stmts, commit } => {
+                if db.execute("BEGIN").is_err() {
+                    crashed = true;
+                    break 'schedule;
+                }
+                for sql in stmts {
+                    if db.execute(sql).is_err() {
+                        // Died mid-transaction: a torn commit. Nothing of
+                        // this transaction may survive recovery.
+                        crashed = true;
+                        break 'schedule;
+                    }
+                }
+                if *commit {
+                    match db.execute("COMMIT") {
+                        Ok(_) => {
+                            for sql in stmts {
+                                shadow.execute(sql).unwrap();
+                            }
+                        }
+                        Err(_) => {
+                            crashed = true;
+                            break 'schedule;
+                        }
+                    }
+                } else if db.execute("ROLLBACK").is_err() {
+                    crashed = true;
+                    break 'schedule;
+                }
+            }
+            TxnChaosOp::Move => {
+                if db.tuple_move("t").is_err() {
+                    crashed = true;
+                    break 'schedule;
+                }
+            }
+            TxnChaosOp::Save => {
+                if db.save_to_store(&mut disk).is_err() {
+                    crashed = true;
+                    break 'schedule;
+                }
+            }
+        }
+    }
+
+    let (mut reopened, _) = Database::open_from_store(&disk, OpenMode::Strict).unwrap();
+    let report = reopened
+        .attach_wal_store(Box::new(logs.crash_image()), wal_options(true), None)
+        .unwrap();
+    assert_eq!(
+        wal_contents(&reopened),
+        wal_contents(&shadow),
+        "recovered contents must be exactly the committed transactions plus \
+         acknowledged auto-commits (seed {seed}, arm {arm:?})"
+    );
+    (faults, report, crashed)
+}
+
+/// Kill the transactional schedule at every WAL append and fsync under
+/// clean-crash, torn-write and transient-IO flavors: recovery always
+/// shows whole transactions or none of them.
+#[test]
+fn txn_torn_commit_crash_point_matrix() {
+    let ops = fixed_txn_ops();
+
+    // Dry run: committed and rolled-back transactions replay as such.
+    let (faults, report, crashed) = txn_crash_trial(0xE0, &ops, None);
+    assert!(!crashed);
+    assert!(report.is_clean(), "{report:?}");
+    // The save's checkpoint retires the pre-save transaction's records;
+    // the post-save rollback and commit must replay as such.
+    assert_eq!(report.txns_committed, 1, "{report:?}");
+    assert_eq!(report.txns_discarded, 1, "explicit abort: {report:?}");
+
+    for (point, total) in [
+        ("wal.append", faults.hits("wal.append")),
+        ("wal.fsync", faults.hits("wal.fsync")),
+    ] {
+        assert!(total >= 10, "expected many {point} consults, saw {total}");
+        for kind in [FaultKind::Crash, FaultKind::TornCrash, FaultKind::IoError] {
+            for k in 0..total {
+                let (faults, _, _) = txn_crash_trial(9000 + k, &ops, Some((point, kind, k)));
+                assert!(
+                    faults.fired(point) >= 1,
+                    "{kind:?} at {point} #{k} must fire"
+                );
+            }
+        }
+    }
+}
+
+/// Sweep the transaction-framing fault points themselves: a fault while
+/// logging `TxnBegin`, `TxnCommit` or `TxnAbort` never leaks or loses a
+/// transaction — the shadow-equality check inside every trial is the
+/// contract. (A crash at the commit point usually erases the unflushed
+/// begin/op frames too; the flushed-frames flavor is pinned down by
+/// [`txn_torn_commit_is_discarded_at_replay`].)
+#[test]
+fn txn_framing_fault_point_sweep() {
+    let ops = fixed_txn_ops();
+    let (faults, _, _) = txn_crash_trial(0xE1, &ops, None);
+
+    for point in ["wal.txn_begin", "wal.txn_commit", "wal.txn_abort"] {
+        let total = faults.hits(point);
+        assert!(total >= 1, "expected {point} consults, saw {total}");
+        for kind in [FaultKind::Crash, FaultKind::IoError] {
+            for k in 0..total {
+                let (faults, _, _) = txn_crash_trial(9500 + k, &ops, Some((point, kind, k)));
+                assert!(
+                    faults.fired(point) >= 1,
+                    "{kind:?} at {point} #{k} must fire"
+                );
+            }
+        }
+    }
+}
+
+/// The canonical torn commit: a transaction's `TxnBegin` and op frames
+/// are already durable (group-flushed by a concurrent auto-commit), then
+/// the crash lands exactly at the commit record. Replay must find the
+/// frames, see no commit, and discard the whole transaction — only the
+/// auto-commit row survives.
+#[test]
+fn txn_torn_commit_is_discarded_at_replay() {
+    let mut db = Database::new().with_table_config(wal_config());
+    db.execute("CREATE TABLE t (id BIGINT NOT NULL, v VARCHAR)")
+        .unwrap();
+    let mut disk = MemBlobStore::new();
+    db.save_to_store(&mut disk).unwrap();
+    let logs = MemLogStore::new();
+    let faults = FaultInjector::new(0xE2);
+    faults.arm("wal.txn_commit", FaultSpec::new(FaultKind::Crash));
+    db.attach_wal_store(
+        Box::new(logs.clone()),
+        wal_options(true),
+        Some(faults.clone()),
+    )
+    .unwrap();
+
+    let a = db.new_session();
+    a.execute("BEGIN").unwrap();
+    a.execute("INSERT INTO t VALUES (1, 'torn')").unwrap();
+    a.execute("INSERT INTO t VALUES (2, 'torn'), (3, 'torn')")
+        .unwrap();
+    // Another session's auto-commit group-flushes A's buffered frames:
+    // TxnBegin and the ops are now durable; the commit record is not.
+    db.execute("INSERT INTO t VALUES (50, 'auto')").unwrap();
+    let err = a.execute("COMMIT").unwrap_err();
+    assert!(err.to_string().contains("crash"), "{err}");
+    assert!(!a.in_transaction(), "failed COMMIT must close the txn");
+
+    let (mut reopened, _) = Database::open_from_store(&disk, OpenMode::Strict).unwrap();
+    let report = reopened
+        .attach_wal_store(Box::new(logs.crash_image()), wal_options(true), None)
+        .unwrap();
+    assert_eq!(report.txns_discarded, 1, "{report:?}");
+    assert_eq!(report.txns_committed, 0, "{report:?}");
+    let rows = wal_contents(&reopened);
+    assert_eq!(rows.len(), 1, "only the auto-commit row survives: {rows:?}");
+    assert_eq!(rows[0].get(0), &Value::Int64(50));
+}
